@@ -1,0 +1,66 @@
+// Ablation: simulator engine (statevector vs tensor network) and the
+// parallel "device" contraction backend.
+//
+// Times one full QAOA energy evaluation (all |E| <ZZ> terms) per engine
+// as the qubit count grows. Expected: statevector wins at small n but its
+// cost doubles per qubit; the TN-lightcone path depends on circuit
+// structure rather than n, so the crossover moves in its favour as n grows
+// (at p=1 the lightcone is constant-size for regular graphs). The parallel
+// backend/inner-worker rows show the intra-candidate parallelism seam.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "graph/generators.hpp"
+#include "qaoa/ansatz.hpp"
+#include "qaoa/energy.hpp"
+
+using namespace qarch;
+
+namespace {
+
+double time_energy(const graph::Graph& g, const circuit::Circuit& c,
+                   const qaoa::EnergyOptions& opt, std::size_t reps) {
+  const qaoa::EnergyEvaluator ev(g, opt);
+  const auto plan = ev.make_plan(c);
+  const std::vector<double> theta(c.num_params(), 0.4);
+  plan->energy(theta);  // warm-up / order-cache build
+  Timer t;
+  for (std::size_t i = 0; i < reps; ++i) plan->energy(theta);
+  return t.seconds() / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 1));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 10));
+
+  std::printf("engine ablation: one full <C> evaluation, p=%zu, 3-regular\n\n",
+              p);
+  std::printf("%-4s %-16s %-16s %-20s\n", "n", "statevector (ms)",
+              "tn serial (ms)", "tn 8 workers (ms)");
+  for (std::size_t n : {8, 10, 12, 14, 16}) {
+    Rng rng(5);
+    const auto g = graph::random_regular(n, 3, rng);
+    const auto c = qaoa::build_qaoa_circuit(g, p, qaoa::MixerSpec::qnas());
+
+    qaoa::EnergyOptions sv;
+    sv.engine = qaoa::EngineKind::Statevector;
+    qaoa::EnergyOptions tn;
+    tn.engine = qaoa::EngineKind::TensorNetwork;
+    qaoa::EnergyOptions tn_par = tn;
+    tn_par.inner_workers = 8;
+    tn_par.qtensor.backend = "parallel:4";
+
+    std::printf("%-4zu %-16.3f %-16.3f %-20.3f\n", n,
+                time_energy(g, c, sv, reps) * 1e3,
+                time_energy(g, c, tn, reps) * 1e3,
+                time_energy(g, c, tn_par, reps) * 1e3);
+  }
+  std::printf(
+      "\nNote: at p=1 the TN lightcone is constant-size on regular graphs,\n"
+      "so its cost stays flat while the statevector doubles per qubit.\n");
+  return 0;
+}

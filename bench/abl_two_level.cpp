@@ -1,0 +1,62 @@
+// Ablation: two-level parallelism split (Fig. 2's scheme on one node).
+//
+// With a fixed core budget C, split it as outer (concurrent candidates) x
+// inner (threads per candidate's per-edge TN contractions) and time the same
+// candidate batch under every split. Expected: outer-heavy splits win when
+// candidates outnumber cores (the paper's starmap regime); inner parallelism
+// only pays once outer width saturates the candidate count.
+#include <cstdio>
+#include <thread>
+#include <tuple>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "graph/generators.hpp"
+#include "parallel/two_level.hpp"
+#include "search/combinations.hpp"
+#include "search/evaluator.hpp"
+
+using namespace qarch;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto budget = static_cast<std::size_t>(cli.get_int(
+      "budget", std::min<std::size_t>(24, std::thread::hardware_concurrency())));
+  const auto num_candidates =
+      static_cast<std::size_t>(cli.get_int("candidates", 16));
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 1));
+
+  Rng rng(13);
+  const auto g = graph::random_regular(10, 4, rng);
+  const auto candidates = search::all_combinations(
+      search::GateAlphabet::standard(), 2, search::CombinationMode::Product);
+
+  std::printf("two-level split ablation: %zu candidates, core budget %zu, "
+              "p=%zu, TN engine\n\n",
+              num_candidates, budget, p);
+  std::printf("%-14s %-12s\n", "outer x inner", "time (s)");
+
+  for (std::size_t outer : {budget, budget / 2, budget / 4, budget / 8,
+                            std::size_t{1}}) {
+    if (outer == 0) continue;
+    const std::size_t inner = budget / outer;
+    if (inner == 0) continue;
+
+    search::EvaluatorOptions opt;
+    opt.energy.engine = qaoa::EngineKind::TensorNetwork;
+    opt.energy.inner_workers = inner;
+    opt.cobyla.max_evals = 100;
+    const search::Evaluator evaluator(g, opt);
+
+    parallel::TwoLevelExecutor exec(outer, inner);
+    Timer t;
+    const std::function<double(std::size_t, std::size_t)> job =
+        [&](std::size_t i, std::size_t) {
+          return evaluator.evaluate(candidates[i % candidates.size()], p)
+              .energy;
+        };
+    exec.run<double>(num_candidates, job);
+    std::printf("%3zu x %-8zu %-12.3f\n", outer, inner, t.seconds());
+  }
+  return 0;
+}

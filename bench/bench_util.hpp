@@ -1,0 +1,103 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Every fig*_ binary accepts:
+//   --quick (default)  calibrated-down workload that keeps the figure's
+//                      SHAPE while finishing in seconds..minutes
+//   --full             the paper's full workload (|A_R|=5, k=1..4 → 780
+//                      sequences per depth; 20 graphs; 5 runs)
+//   --engine sv|tn     simulator engine (default sv; the paper used the
+//                      tensor-network backend — see EXPERIMENTS.md)
+//   --csv PATH         also dump the series to CSV
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "qaoa/energy.hpp"
+#include "search/combinations.hpp"
+#include "search/engine.hpp"
+
+namespace qarch::bench {
+
+/// Standard workload knobs decoded from the CLI.
+struct BenchConfig {
+  bool full = false;
+  qaoa::EngineKind engine = qaoa::EngineKind::Statevector;
+  std::string csv_path;
+  std::size_t combos = 0;   ///< candidate sequences per depth (0 = mode default)
+  std::size_t graphs = 0;   ///< dataset size (0 = mode default)
+  std::size_t runs = 0;     ///< repetitions (0 = mode default)
+  std::uint64_t seed = 2023;
+
+  static BenchConfig from_cli(const Cli& cli) {
+    BenchConfig c;
+    c.full = cli.has("full");
+    if (cli.get("engine", "sv") == "tn")
+      c.engine = qaoa::EngineKind::TensorNetwork;
+    c.csv_path = cli.get("csv", "");
+    c.combos = static_cast<std::size_t>(cli.get_int("combos", 0));
+    c.graphs = static_cast<std::size_t>(cli.get_int("graphs", 0));
+    c.runs = static_cast<std::size_t>(cli.get_int("runs", 0));
+    c.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2023));
+    return c;
+  }
+
+  [[nodiscard]] std::size_t combos_or(std::size_t quick,
+                                      std::size_t full_value) const {
+    if (combos != 0) return combos;
+    return full ? full_value : quick;
+  }
+  [[nodiscard]] std::size_t graphs_or(std::size_t quick,
+                                      std::size_t full_value) const {
+    if (graphs != 0) return graphs;
+    return full ? full_value : quick;
+  }
+  [[nodiscard]] std::size_t runs_or(std::size_t quick,
+                                    std::size_t full_value) const {
+    if (runs != 0) return runs;
+    return full ? full_value : quick;
+  }
+};
+
+/// A seeded subsample of the full candidate space (paper alphabet, k<=k_max).
+/// count >= space size returns the whole space.
+inline std::vector<qaoa::MixerSpec> candidate_subsample(
+    const search::GateAlphabet& alphabet, std::size_t k_max, std::size_t count,
+    std::uint64_t seed) {
+  auto all = search::all_combinations(alphabet, k_max,
+                                      search::CombinationMode::Product);
+  if (count >= all.size()) return all;
+  Rng rng(seed);
+  rng.shuffle(all);
+  all.resize(count);
+  return all;
+}
+
+/// Pretty banner for a figure harness.
+inline void banner(const char* figure, const char* description,
+                   const BenchConfig& cfg) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("mode=%s engine=%s seed=%llu\n", cfg.full ? "full" : "quick",
+              cfg.engine == qaoa::EngineKind::Statevector ? "statevector"
+                                                          : "tensor-network",
+              static_cast<unsigned long long>(cfg.seed));
+  std::printf("================================================================\n");
+}
+
+/// Writes (x, series...) rows to CSV when a path was requested.
+inline void maybe_csv(const std::string& path,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<double>>& rows) {
+  if (path.empty()) return;
+  CsvWriter w(path, header);
+  for (const auto& r : rows) w.row(r);
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+}  // namespace qarch::bench

@@ -1,0 +1,85 @@
+// Figure 5: time to run the p=2 search for one graph as the worker count
+// sweeps 8..64 in steps of 8, against the serial baseline (dashed line in
+// the paper).
+//
+// Expected shape: parallel time is below the serial line everywhere and
+// decreases with the worker count until it saturates (beyond the physical
+// core count extra workers stop helping — our host has fewer than 64 cores,
+// which the output records, mirroring the paper's flattening tail).
+#include <thread>
+
+#include "bench_util.hpp"
+#include "parallel/task_pool.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/timer.hpp"
+
+using namespace qarch;
+
+namespace {
+
+double timed_search(const graph::Graph& g,
+                    const std::vector<qaoa::MixerSpec>& candidates,
+                    std::size_t p, std::size_t workers,
+                    qaoa::EngineKind engine) {
+  search::EvaluatorOptions opt;
+  opt.energy.engine = engine;
+  opt.cobyla.max_evals = 200;
+  const search::Evaluator evaluator(g, opt);
+  Timer timer;
+  if (workers <= 1) {
+    for (const auto& mixer : candidates) evaluator.evaluate(mixer, p);
+  } else {
+    parallel::TaskPool pool(workers);
+    std::vector<std::tuple<std::size_t>> idx;
+    for (std::size_t i = 0; i < candidates.size(); ++i) idx.emplace_back(i);
+    pool.starmap_async(
+            [&](std::size_t i) { return evaluator.evaluate(candidates[i], p); },
+            idx)
+        .get();
+  }
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto cfg = bench::BenchConfig::from_cli(cli);
+  bench::banner("Figure 5", "search time at p=2 vs available workers", cfg);
+
+  const std::size_t combos = cfg.combos_or(/*quick=*/32, /*full=*/780);
+  const std::size_t p = static_cast<std::size_t>(cli.get_int("p", 2));
+  const auto candidates = bench::candidate_subsample(
+      search::GateAlphabet::standard(), 4, combos, cfg.seed);
+
+  Rng rng(cfg.seed);
+  const graph::Graph g = graph::erdos_renyi_connected(10, 0.5, rng);
+  std::printf("graph=%s candidates=%zu p=%zu physical cores=%u\n\n",
+              g.to_string().c_str(), candidates.size(), p,
+              std::thread::hardware_concurrency());
+
+  const double serial = timed_search(g, candidates, p, 1, cfg.engine);
+  std::printf("serial baseline: %.3fs (dashed line)\n\n", serial);
+  std::printf("%-8s %-12s %-12s\n", "cores", "time (s)", "vs serial");
+
+  Series parallel_series{"parallel", {}, {}};
+  Series serial_series{"serial (baseline)", {}, {}};
+  std::vector<std::vector<double>> csv_rows;
+  for (std::size_t cores = 8; cores <= 64; cores += 8) {
+    const double t = timed_search(g, candidates, p, cores, cfg.engine);
+    std::printf("%-8zu %-12.3f %-12.2fx\n", cores, t, serial / t);
+    parallel_series.x.push_back(static_cast<double>(cores));
+    parallel_series.y.push_back(t);
+    serial_series.x.push_back(static_cast<double>(cores));
+    serial_series.y.push_back(serial);
+    csv_rows.push_back({static_cast<double>(cores), t, serial});
+  }
+
+  AsciiPlot plot("Fig 5: time to simulate vs cores (p=2)", "cores", "seconds");
+  plot.add(parallel_series);
+  plot.add(serial_series);
+  std::printf("\n%s\n", plot.render().c_str());
+  bench::maybe_csv(cfg.csv_path, {"cores", "parallel_s", "serial_s"},
+                   csv_rows);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Circuit inspection/optimization utility built on the umbrella header:
+// reads an OpenQASM 2.0 file (or generates a QAOA ansatz), prints stats,
+// runs the peephole optimizer, and optionally re-emits QASM and a diagram.
+//
+//   ./circuit_tool --qasm circuit.qasm [--emit out.qasm] [--draw]
+//   ./circuit_tool --demo [--n 6] [--p 2]     # built-in QAOA demo circuit
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "qarch.hpp"
+
+using namespace qarch;
+
+namespace {
+
+void print_stats(const char* label, const circuit::Circuit& c) {
+  std::printf("%s: qubits=%zu gates=%zu two-qubit=%zu depth=%zu params=%zu\n",
+              label, c.num_qubits(), c.num_gates(), c.two_qubit_gate_count(),
+              c.depth(), c.num_params());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+
+  circuit::Circuit c;
+  std::vector<double> theta;
+  if (cli.has("qasm")) {
+    const std::string path = cli.get("qasm", "");
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    c = circuit::parse_qasm(buf.str());
+    std::printf("loaded %s\n", path.c_str());
+  } else {
+    const auto n = static_cast<std::size_t>(cli.get_int("n", 6));
+    const auto p = static_cast<std::size_t>(cli.get_int("p", 2));
+    Rng rng(3);
+    const auto g = graph::random_regular(n, 3, rng);
+    c = qaoa::build_qaoa_circuit(g, p, qaoa::MixerSpec::qnas());
+    theta.assign(c.num_params(), 0.37);
+    std::printf("demo: QAOA ansatz for %s at p=%zu\n", g.to_string().c_str(),
+                p);
+  }
+
+  print_stats("input ", c);
+  circuit::OptimizeStats stats;
+  const circuit::Circuit optimized = circuit::optimize(c, {}, &stats);
+  print_stats("output", optimized);
+  std::printf("optimizer: %s\n", stats.to_string().c_str());
+
+  if (cli.has("draw")) std::printf("\n%s", circuit::draw(optimized).c_str());
+
+  if (cli.has("emit")) {
+    const std::string out_path = cli.get("emit", "");
+    std::ofstream out(out_path);
+    if (theta.empty()) theta.assign(optimized.num_params(), 0.0);
+    out << circuit::to_qasm(optimized, theta);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Energy-landscape comparison: scans the p=1 <C>(γ, β) surface for the
+// baseline and searched mixers and renders both as ASCII heat maps — a
+// visual explanation of WHY the searched mixer trains better on ER graphs.
+//
+//   ./landscape_scan [--n 10] [--family er|regular] [--grid 33] [--csv out]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "graph/generators.hpp"
+#include "qaoa/landscape.hpp"
+
+using namespace qarch;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 10));
+  const auto grid = static_cast<std::size_t>(cli.get_int("grid", 33));
+  const std::string family = cli.get("family", "er");
+  const std::string csv_path = cli.get("csv", "");
+
+  Rng rng(55);
+  const graph::Graph g = family == "regular"
+                             ? graph::random_regular(n, 4, rng)
+                             : graph::erdos_renyi_connected(n, 0.5, rng);
+  std::printf("p=1 landscapes over %s (%s family)\n\n", g.to_string().c_str(),
+              family.c_str());
+
+  const qaoa::EnergyEvaluator evaluator(g, {});
+  qaoa::LandscapeOptions opts;
+  opts.gamma_points = grid;
+  opts.beta_points = grid;
+  opts.workers = 8;
+
+  for (const auto& [name, mixer] :
+       {std::pair{std::string("baseline (rx)"), qaoa::MixerSpec::baseline()},
+        std::pair{std::string("qnas (rx, ry)"), qaoa::MixerSpec::qnas()}}) {
+    const auto land = qaoa::scan_landscape(g, mixer, evaluator, opts);
+    const auto peak = land.peak();
+    std::printf("--- %s ---\n%s", name.c_str(), land.ascii().c_str());
+    std::printf("grid peak <C> = %.4f at γ=%.3f β=%.3f\n\n", peak.value,
+                peak.gamma, peak.beta);
+    if (!csv_path.empty()) {
+      CsvWriter w(csv_path + "_" + (name[0] == 'b' ? "baseline" : "qnas") +
+                      ".csv",
+                  {"gamma", "beta", "energy"});
+      for (std::size_t i = 0; i < land.gammas.size(); ++i)
+        for (std::size_t j = 0; j < land.betas.size(); ++j)
+          w.row(std::vector<double>{land.gammas[i], land.betas[j],
+                                    land.at(i, j)});
+    }
+  }
+  return 0;
+}

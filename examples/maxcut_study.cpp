@@ -1,0 +1,60 @@
+// Mixer generalization study: compare the baseline RX mixer against the
+// searched (rx, ry) mixer across graph families and depths — the experiment
+// behind the paper's Figs. 8 and 9, on user-selected parameters.
+//
+//   ./maxcut_study [--graphs 8] [--n 10] [--pmax 3] [--family er|regular]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "parallel/task_pool.hpp"
+#include "search/evaluator.hpp"
+
+using namespace qarch;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto num_graphs = static_cast<std::size_t>(cli.get_int("graphs", 8));
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 10));
+  const auto p_max = static_cast<std::size_t>(cli.get_int("pmax", 3));
+  const std::string family = cli.get("family", "regular");
+
+  Rng rng(2023);
+  const std::vector<graph::Graph> graphs =
+      family == "er" ? graph::er_dataset(num_graphs, n, 0.3, 0.7, rng)
+                     : graph::regular_dataset(num_graphs, n, 4, rng);
+  std::printf("family=%s graphs=%zu n=%zu\n\n", family.c_str(), graphs.size(),
+              n);
+
+  const std::vector<qaoa::MixerSpec> mixers = {qaoa::MixerSpec::baseline(),
+                                               qaoa::MixerSpec::qnas()};
+  search::EvaluatorOptions opts;
+  opts.energy.engine = qaoa::EngineKind::Statevector;
+
+  parallel::TaskPool pool;
+  std::printf("%-10s %-3s %-12s %-12s %-14s\n", "mixer", "p", "mean r",
+              "std r", "mean r_smpl");
+  for (const auto& mixer : mixers) {
+    for (std::size_t p = 1; p <= p_max; ++p) {
+      std::vector<std::tuple<std::size_t>> indices;
+      for (std::size_t i = 0; i < graphs.size(); ++i) indices.emplace_back(i);
+      auto handle = pool.starmap_async(
+          [&](std::size_t i) {
+            const search::Evaluator ev(graphs[i], opts);
+            return ev.evaluate(mixer, p);
+          },
+          indices);
+      const auto results = handle.get();
+      std::vector<double> ratios, sampled;
+      for (const auto& r : results) {
+        ratios.push_back(r.ratio);
+        sampled.push_back(r.sampled_ratio);
+      }
+      std::printf("%-10s %-3zu %-12.4f %-12.4f %-14.4f\n",
+                  mixer.to_string().c_str(), p, mean(ratios), stddev(ratios),
+                  mean(sampled));
+    }
+  }
+  return 0;
+}

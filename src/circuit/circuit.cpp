@@ -1,0 +1,186 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qarch::circuit {
+
+Circuit::Circuit(std::size_t num_qubits, std::size_t num_params)
+    : num_qubits_(num_qubits), num_params_(num_params) {}
+
+std::size_t Circuit::add_param() { return num_params_++; }
+
+void Circuit::append(Gate gate) {
+  QARCH_REQUIRE(gate.q0 < num_qubits_, "gate qubit out of range");
+  if (gate.arity() == 2) {
+    QARCH_REQUIRE(gate.q1 < num_qubits_, "gate qubit out of range");
+    QARCH_REQUIRE(gate.q0 != gate.q1, "two-qubit gate needs distinct qubits");
+  }
+  if (gate.param.kind == ParamExpr::Kind::Symbol)
+    QARCH_REQUIRE(gate.param.index < num_params_,
+                  "gate references unregistered parameter");
+  if (!is_parameterized(gate.kind))
+    QARCH_REQUIRE(gate.param.kind == ParamExpr::Kind::None,
+                  "fixed gate must not carry a parameter");
+  gates_.push_back(gate);
+}
+
+void Circuit::compose(const Circuit& other) {
+  QARCH_REQUIRE(other.num_qubits() == num_qubits_,
+                "compose: qubit count mismatch");
+  const std::size_t shift = num_params_;
+  num_params_ += other.num_params();
+  for (Gate g : other.gates()) {
+    if (g.param.kind == ParamExpr::Kind::Symbol) g.param.index += shift;
+    gates_.push_back(g);
+  }
+}
+
+Circuit Circuit::inverse() const {
+  Circuit inv(num_qubits_, num_params_);
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it)
+    inv.gates_.push_back(it->inverse());
+  return inv;
+}
+
+std::size_t Circuit::two_qubit_gate_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const Gate& g) { return g.arity() == 2; }));
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> level(num_qubits_, 0);
+  std::size_t depth = 0;
+  for (const Gate& g : gates_) {
+    std::size_t at = level[g.q0];
+    if (g.arity() == 2) at = std::max(at, level[g.q1]);
+    ++at;
+    level[g.q0] = at;
+    if (g.arity() == 2) level[g.q1] = at;
+    depth = std::max(depth, at);
+  }
+  return depth;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << "Circuit(n=" << num_qubits_ << ", params=" << num_params_
+     << ", gates=" << gates_.size() << ")\n";
+  for (const Gate& g : gates_) os << "  " << g.to_string() << '\n';
+  return os.str();
+}
+
+std::string draw(const Circuit& circuit) {
+  const std::size_t n = circuit.num_qubits();
+  // Column-compacted layout: a gate goes into the earliest column where all
+  // of its qubits (and, for two-qubit gates, the qubits in between) are free.
+  std::vector<std::size_t> next_col(n, 0);
+  struct Cell { std::string text; bool connector = false; };
+  std::vector<std::vector<Cell>> grid(n);
+
+  auto label = [](const Gate& g) {
+    std::string s = gate_name(g.kind);
+    if (is_parameterized(g.kind)) {
+      switch (g.param.kind) {
+        case ParamExpr::Kind::None:
+          break;
+        case ParamExpr::Kind::Constant: {
+          char buf[32];
+          std::snprintf(buf, sizeof buf, "(%.2f)", g.param.constant);
+          s += buf;
+          break;
+        }
+        case ParamExpr::Kind::Symbol: {
+          char buf[48];
+          if (g.param.scale == 1.0)
+            std::snprintf(buf, sizeof buf, "(t%zu)", g.param.index);
+          else
+            std::snprintf(buf, sizeof buf, "(%.3g*t%zu)", g.param.scale,
+                          g.param.index);
+          s += buf;
+          break;
+        }
+      }
+    }
+    return s;
+  };
+
+  auto ensure_cols = [&](std::size_t q, std::size_t col) {
+    while (grid[q].size() <= col) grid[q].push_back({});
+  };
+
+  for (const Gate& g : circuit.gates()) {
+    if (g.arity() == 1) {
+      const std::size_t col = next_col[g.q0];
+      ensure_cols(g.q0, col);
+      grid[g.q0][col].text = label(g);
+      next_col[g.q0] = col + 1;
+    } else {
+      const std::size_t lo = std::min(g.q0, g.q1), hi = std::max(g.q0, g.q1);
+      std::size_t col = 0;
+      for (std::size_t q = lo; q <= hi; ++q) col = std::max(col, next_col[q]);
+      for (std::size_t q = lo; q <= hi; ++q) {
+        ensure_cols(q, col);
+        if (q == g.q0) grid[q][col].text = label(g) + (g.kind == GateKind::CX ? ":c" : "");
+        else if (q == g.q1) grid[q][col].text = g.kind == GateKind::CX ? "X" : label(g);
+        else grid[q][col].connector = true;
+        next_col[q] = col + 1;
+      }
+    }
+  }
+
+  std::size_t cols = 0;
+  for (const auto& row : grid) cols = std::max(cols, row.size());
+  std::vector<std::size_t> width(cols, 1);
+  for (const auto& row : grid)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].text.size());
+
+  std::ostringstream os;
+  for (std::size_t q = 0; q < n; ++q) {
+    os << 'q' << q << (q < 10 ? " " : "") << ": ";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Cell cell = c < grid[q].size() ? grid[q][c] : Cell{};
+      std::string body;
+      if (!cell.text.empty()) {
+        body = "[" + cell.text + "]";
+      } else if (cell.connector) {
+        body = "--|--";
+      }
+      const std::size_t target = width[c] + 2;
+      // pad with wire dashes on both sides
+      while (body.size() < target)
+        body = (body.size() % 2 == 0) ? "-" + body : body + "-";
+      os << '-' << body << '-';
+    }
+    os << "--\n";
+  }
+  return os.str();
+}
+
+std::string to_qasm(const Circuit& circuit, std::span<const double> theta) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  os << "qreg q[" << circuit.num_qubits() << "];\n";
+  for (const Gate& g : circuit.gates()) {
+    const std::string name = gate_name(g.kind);
+    if (g.kind == GateKind::I) continue;  // no-op in qelib1
+    os << name;
+    if (is_parameterized(g.kind)) {
+      // Full precision so import/export round-trips bit-exactly.
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", g.param.value(theta));
+      os << '(' << buf << ')';
+    }
+    os << " q[" << g.q0 << ']';
+    if (g.arity() == 2) os << ",q[" << g.q1 << ']';
+    os << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace qarch::circuit

@@ -1,0 +1,87 @@
+// Circuit container: an ordered gate list over n qubits with a shared
+// symbolic parameter space.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace qarch::circuit {
+
+/// A quantum circuit: ordered gates over `num_qubits` qubits referencing a
+/// parameter vector of length `num_params`.
+class Circuit {
+ public:
+  Circuit() = default;
+
+  /// Empty circuit on n qubits with `params` symbolic parameters.
+  explicit Circuit(std::size_t num_qubits, std::size_t num_params = 0);
+
+  [[nodiscard]] std::size_t num_qubits() const { return num_qubits_; }
+  [[nodiscard]] std::size_t num_params() const { return num_params_; }
+  [[nodiscard]] std::size_t num_gates() const { return gates_.size(); }
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+
+  /// Registers one more symbolic parameter; returns its index.
+  std::size_t add_param();
+
+  /// Appends an arbitrary gate (validates qubit indices / parameter use).
+  void append(Gate gate);
+
+  // -- convenience builders ------------------------------------------------
+  void h(std::size_t q)   { append({GateKind::H, q, 0, ParamExpr::none()}); }
+  void x(std::size_t q)   { append({GateKind::X, q, 0, ParamExpr::none()}); }
+  void y(std::size_t q)   { append({GateKind::Y, q, 0, ParamExpr::none()}); }
+  void z(std::size_t q)   { append({GateKind::Z, q, 0, ParamExpr::none()}); }
+  void s(std::size_t q)   { append({GateKind::S, q, 0, ParamExpr::none()}); }
+  void t(std::size_t q)   { append({GateKind::T, q, 0, ParamExpr::none()}); }
+  void rx(std::size_t q, ParamExpr a) { append({GateKind::RX, q, 0, a}); }
+  void ry(std::size_t q, ParamExpr a) { append({GateKind::RY, q, 0, a}); }
+  void rz(std::size_t q, ParamExpr a) { append({GateKind::RZ, q, 0, a}); }
+  void p(std::size_t q, ParamExpr a)  { append({GateKind::P, q, 0, a}); }
+  void cx(std::size_t c, std::size_t t2) {
+    append({GateKind::CX, c, t2, ParamExpr::none()});
+  }
+  void cz(std::size_t a, std::size_t b) {
+    append({GateKind::CZ, a, b, ParamExpr::none()});
+  }
+  void swap(std::size_t a, std::size_t b) {
+    append({GateKind::SWAP, a, b, ParamExpr::none()});
+  }
+  void rzz(std::size_t a, std::size_t b, ParamExpr angle) {
+    append({GateKind::RZZ, a, b, angle});
+  }
+
+  /// Appends every gate of `other` (same qubit count; parameter indices of
+  /// `other` are shifted by this circuit's current num_params()).
+  void compose(const Circuit& other);
+
+  /// The adjoint circuit (gates reversed and inverted).
+  [[nodiscard]] Circuit inverse() const;
+
+  /// Total count of two-qubit gates (a standard hardware-cost metric).
+  [[nodiscard]] std::size_t two_qubit_gate_count() const;
+
+  /// Circuit depth: longest chain of gates per qubit timeline.
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Multi-line gate listing.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::size_t num_params_ = 0;
+  std::vector<Gate> gates_;
+};
+
+/// ASCII circuit diagram in the style of the paper's Fig. 6 (one row per
+/// qubit, boxed gate mnemonics, vertical connectors for two-qubit gates).
+std::string draw(const Circuit& circuit);
+
+/// OpenQASM 2.0 text for a circuit with all parameters bound to `theta`.
+std::string to_qasm(const Circuit& circuit, std::span<const double> theta);
+
+}  // namespace qarch::circuit

@@ -1,0 +1,221 @@
+#include "circuit/gate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qarch::circuit {
+
+using linalg::cplx;
+using linalg::Matrix;
+
+bool is_parameterized(GateKind kind) {
+  switch (kind) {
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::RZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_two_qubit(GateKind kind) {
+  switch (kind) {
+    case GateKind::CX:
+    case GateKind::CZ:
+    case GateKind::SWAP:
+    case GateKind::RZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_diagonal(GateKind kind) {
+  switch (kind) {
+    case GateKind::I:
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::CZ:
+    case GateKind::RZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::I: return "id";
+    case GateKind::X: return "x";
+    case GateKind::Y: return "y";
+    case GateKind::Z: return "z";
+    case GateKind::H: return "h";
+    case GateKind::S: return "s";
+    case GateKind::Sdg: return "sdg";
+    case GateKind::T: return "t";
+    case GateKind::Tdg: return "tdg";
+    case GateKind::RX: return "rx";
+    case GateKind::RY: return "ry";
+    case GateKind::RZ: return "rz";
+    case GateKind::P: return "p";
+    case GateKind::CX: return "cx";
+    case GateKind::CZ: return "cz";
+    case GateKind::SWAP: return "swap";
+    case GateKind::RZZ: return "rzz";
+  }
+  return "?";
+}
+
+GateKind gate_from_name(const std::string& name) {
+  static const std::pair<const char*, GateKind> table[] = {
+      {"id", GateKind::I},   {"x", GateKind::X},     {"y", GateKind::Y},
+      {"z", GateKind::Z},    {"h", GateKind::H},     {"s", GateKind::S},
+      {"sdg", GateKind::Sdg},{"t", GateKind::T},     {"tdg", GateKind::Tdg},
+      {"rx", GateKind::RX},  {"ry", GateKind::RY},   {"rz", GateKind::RZ},
+      {"p", GateKind::P},    {"cx", GateKind::CX},   {"cz", GateKind::CZ},
+      {"swap", GateKind::SWAP}, {"rzz", GateKind::RZZ},
+  };
+  for (const auto& [n, k] : table)
+    if (name == n) return k;
+  throw InvalidArgument("unknown gate name: " + name);
+}
+
+double ParamExpr::value(std::span<const double> theta) const {
+  switch (kind) {
+    case Kind::None:
+      return 0.0;
+    case Kind::Constant:
+      return constant;
+    case Kind::Symbol:
+      QARCH_REQUIRE(index < theta.size(), "parameter index out of range");
+      return scale * theta[index];
+  }
+  return 0.0;
+}
+
+Matrix gate_matrix(GateKind kind, double theta) {
+  const cplx i{0.0, 1.0};
+  const double c = std::cos(theta / 2.0), s = std::sin(theta / 2.0);
+  switch (kind) {
+    case GateKind::I:
+      return Matrix(2, 2, {1, 0, 0, 1});
+    case GateKind::X:
+      return Matrix(2, 2, {0, 1, 1, 0});
+    case GateKind::Y:
+      return Matrix(2, 2, {0, -i, i, 0});
+    case GateKind::Z:
+      return Matrix(2, 2, {1, 0, 0, -1});
+    case GateKind::H: {
+      const double r = 1.0 / std::sqrt(2.0);
+      return Matrix(2, 2, {r, r, r, -r});
+    }
+    case GateKind::S:
+      return Matrix(2, 2, {1, 0, 0, i});
+    case GateKind::Sdg:
+      return Matrix(2, 2, {1, 0, 0, -i});
+    case GateKind::T:
+      return Matrix(2, 2, {1, 0, 0, std::exp(i * (3.14159265358979323846 / 4))});
+    case GateKind::Tdg:
+      return Matrix(2, 2, {1, 0, 0, std::exp(-i * (3.14159265358979323846 / 4))});
+    case GateKind::RX:
+      return Matrix(2, 2, {c, -i * s, -i * s, c});
+    case GateKind::RY:
+      return Matrix(2, 2, {c, -s, s, c});
+    case GateKind::RZ:
+      return Matrix(2, 2, {std::exp(-i * (theta / 2)), 0, 0,
+                           std::exp(i * (theta / 2))});
+    case GateKind::P:
+      return Matrix(2, 2, {1, 0, 0, std::exp(i * theta)});
+    case GateKind::CX:
+      return Matrix(4, 4, {1, 0, 0, 0,
+                           0, 1, 0, 0,
+                           0, 0, 0, 1,
+                           0, 0, 1, 0});
+    case GateKind::CZ:
+      return Matrix(4, 4, {1, 0, 0, 0,
+                           0, 1, 0, 0,
+                           0, 0, 1, 0,
+                           0, 0, 0, -1});
+    case GateKind::SWAP:
+      return Matrix(4, 4, {1, 0, 0, 0,
+                           0, 0, 1, 0,
+                           0, 1, 0, 0,
+                           0, 0, 0, 1});
+    case GateKind::RZZ: {
+      // exp(-i θ/2 Z⊗Z) = diag(e^{-iθ/2}, e^{iθ/2}, e^{iθ/2}, e^{-iθ/2})
+      const cplx em = std::exp(-i * (theta / 2)), ep = std::exp(i * (theta / 2));
+      return Matrix(4, 4, {em, 0, 0, 0,
+                           0, ep, 0, 0,
+                           0, 0, ep, 0,
+                           0, 0, 0, em});
+    }
+  }
+  throw InternalError("unhandled gate kind");
+}
+
+Matrix Gate::matrix(std::span<const double> theta) const {
+  return gate_matrix(kind, param.value(theta));
+}
+
+Gate Gate::inverse() const {
+  Gate g = *this;
+  switch (kind) {
+    case GateKind::S:   g.kind = GateKind::Sdg; return g;
+    case GateKind::Sdg: g.kind = GateKind::S;   return g;
+    case GateKind::T:   g.kind = GateKind::Tdg; return g;
+    case GateKind::Tdg: g.kind = GateKind::T;   return g;
+    default:
+      break;
+  }
+  if (is_parameterized(kind)) {
+    // Rotation adjoint = rotation by the negated angle.
+    switch (g.param.kind) {
+      case ParamExpr::Kind::None:
+        break;
+      case ParamExpr::Kind::Constant:
+        g.param.constant = -g.param.constant;
+        break;
+      case ParamExpr::Kind::Symbol:
+        g.param.scale = -g.param.scale;
+        break;
+    }
+    return g;
+  }
+  // X, Y, Z, H, CX, CZ, SWAP, I are self-inverse.
+  return g;
+}
+
+std::string Gate::to_string() const {
+  std::ostringstream os;
+  os << gate_name(kind);
+  if (is_parameterized(kind)) {
+    os << '(';
+    switch (param.kind) {
+      case ParamExpr::Kind::None:
+        os << '0';
+        break;
+      case ParamExpr::Kind::Constant:
+        os << param.constant;
+        break;
+      case ParamExpr::Kind::Symbol:
+        os << param.scale << "*t" << param.index;
+        break;
+    }
+    os << ')';
+  }
+  os << " q" << q0;
+  if (arity() == 2) os << ",q" << q1;
+  return os.str();
+}
+
+}  // namespace qarch::circuit

@@ -1,0 +1,179 @@
+#include "circuit/optimizer.hpp"
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qarch::circuit {
+
+namespace {
+
+/// True when the two gates act on exactly the same qubit set (order-aware
+/// for directional gates like CX, order-free for symmetric ones).
+bool same_qubits(const Gate& a, const Gate& b) {
+  if (a.arity() != b.arity()) return false;
+  if (a.arity() == 1) return a.q0 == b.q0;
+  const bool symmetric_a = a.kind == GateKind::CZ || a.kind == GateKind::RZZ ||
+                           a.kind == GateKind::SWAP;
+  if (symmetric_a)
+    return (a.q0 == b.q0 && a.q1 == b.q1) || (a.q0 == b.q1 && a.q1 == b.q0);
+  return a.q0 == b.q0 && a.q1 == b.q1;
+}
+
+/// True when two gates share at least one qubit (i.e. do not commute
+/// trivially by acting on disjoint wires).
+bool overlap(const Gate& a, const Gate& b) {
+  const auto touches = [](const Gate& g, std::size_t q) {
+    return g.q0 == q || (g.arity() == 2 && g.q1 == q);
+  };
+  if (touches(b, a.q0)) return true;
+  return a.arity() == 2 && touches(b, a.q1);
+}
+
+/// Sum of two ParamExprs when it is expressible as a single ParamExpr:
+/// constants add; symbols with the same index add scales.
+std::optional<ParamExpr> add_params(const ParamExpr& a, const ParamExpr& b) {
+  if (a.kind == ParamExpr::Kind::Constant &&
+      b.kind == ParamExpr::Kind::Constant)
+    return ParamExpr::constant_angle(a.constant + b.constant);
+  if (a.kind == ParamExpr::Kind::Symbol && b.kind == ParamExpr::Kind::Symbol &&
+      a.index == b.index)
+    return ParamExpr::symbol(a.index, a.scale + b.scale);
+  return std::nullopt;
+}
+
+/// True for a gate that is exactly the identity: id, or a rotation with a
+/// provably zero angle (constant 0 or symbol with scale 0).
+bool is_identity(const Gate& g) {
+  if (g.kind == GateKind::I) return true;
+  if (!is_parameterized(g.kind)) return false;
+  switch (g.param.kind) {
+    case ParamExpr::Kind::None:
+      return true;  // parameterized gate with no angle = angle 0
+    case ParamExpr::Kind::Constant:
+      return g.param.constant == 0.0;
+    case ParamExpr::Kind::Symbol:
+      return g.param.scale == 0.0;
+  }
+  return false;
+}
+
+/// True when a followed by b is provably the identity.
+bool are_inverse_pair(const Gate& a, const Gate& b) {
+  if (!same_qubits(a, b)) return false;
+  // Self-inverse fixed gates.
+  const auto self_inverse = [](GateKind k) {
+    switch (k) {
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::SWAP:
+        return true;
+      default:
+        return false;
+    }
+  };
+  if (a.kind == b.kind && self_inverse(a.kind)) return true;
+  // Dual pairs.
+  if ((a.kind == GateKind::S && b.kind == GateKind::Sdg) ||
+      (a.kind == GateKind::Sdg && b.kind == GateKind::S) ||
+      (a.kind == GateKind::T && b.kind == GateKind::Tdg) ||
+      (a.kind == GateKind::Tdg && b.kind == GateKind::T))
+    return true;
+  // Opposite rotations about the same axis.
+  if (a.kind == b.kind && is_parameterized(a.kind)) {
+    const auto sum = add_params(a.param, b.param);
+    if (sum.has_value()) {
+      const Gate merged{a.kind, a.q0, a.q1, *sum};
+      return is_identity(merged);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string OptimizeStats::to_string() const {
+  std::ostringstream os;
+  os << "gates " << gates_before << " -> " << gates_after << " (merged "
+     << merged_rotations << ", cancelled " << cancelled_pairs << ", dropped "
+     << removed_identities << ")";
+  return os.str();
+}
+
+Circuit optimize(const Circuit& input, const OptimizeOptions& options,
+                 OptimizeStats* stats) {
+  OptimizeStats local;
+  local.gates_before = input.num_gates();
+
+  std::vector<Gate> gates = input.gates();
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    bool changed = false;
+
+    // Pass 1: drop identities.
+    if (options.drop_identities) {
+      std::vector<Gate> kept;
+      kept.reserve(gates.size());
+      for (const Gate& g : gates) {
+        if (is_identity(g)) {
+          ++local.removed_identities;
+          changed = true;
+        } else {
+          kept.push_back(g);
+        }
+      }
+      gates = std::move(kept);
+    }
+
+    // Pass 2: merge/cancel adjacent gates on the same wires. "Adjacent"
+    // means no intervening gate shares a qubit with the pair — gates on
+    // disjoint wires commute, so we scan past them.
+    if (options.merge_rotations || options.cancel_inverses) {
+      for (std::size_t i = 0; i < gates.size(); ++i) {
+        // Find the next gate overlapping gates[i].
+        std::size_t j = i + 1;
+        while (j < gates.size() && !overlap(gates[i], gates[j])) ++j;
+        if (j >= gates.size()) continue;
+
+        if (options.cancel_inverses && are_inverse_pair(gates[i], gates[j])) {
+          gates.erase(gates.begin() + static_cast<long>(j));
+          gates.erase(gates.begin() + static_cast<long>(i));
+          ++local.cancelled_pairs;
+          changed = true;
+          if (i > 0) --i;  // re-examine the newly adjacent neighbourhood
+          continue;
+        }
+
+        if (options.merge_rotations && gates[i].kind == gates[j].kind &&
+            is_parameterized(gates[i].kind) && same_qubits(gates[i], gates[j])) {
+          const auto sum = add_params(gates[i].param, gates[j].param);
+          if (sum.has_value()) {
+            gates[i].param = *sum;
+            gates.erase(gates.begin() + static_cast<long>(j));
+            ++local.merged_rotations;
+            changed = true;
+            --i;  // the merged gate may merge or cancel again
+            continue;
+          }
+        }
+      }
+    }
+
+    if (!changed) break;
+  }
+
+  Circuit out(input.num_qubits(), input.num_params());
+  for (const Gate& g : gates) out.append(g);
+  local.gates_after = out.num_gates();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace qarch::circuit

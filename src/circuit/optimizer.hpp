@@ -1,0 +1,46 @@
+// Circuit simplification passes.
+//
+// The search explores many gate sequences whose circuits contain removable
+// structure (adjacent rotations about the same axis, gate/inverse pairs,
+// identity rotations). These peephole passes shrink candidates before
+// simulation — the standard circuit-optimization step a production search
+// stack runs between QBuilder and the evaluator (cf. Fösel et al. 2021 cited
+// by the paper for learned versions of the same idea).
+//
+// All passes preserve the circuit's unitary action exactly (up to global
+// phase for the RZ/P merge family) and never touch symbolic parameter
+// structure they cannot prove equal.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qarch::circuit {
+
+/// Statistics of one optimization run.
+struct OptimizeStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t merged_rotations = 0;   ///< adjacent same-axis rotations fused
+  std::size_t cancelled_pairs = 0;    ///< gate/inverse pairs removed
+  std::size_t removed_identities = 0; ///< zero-angle rotations / id gates
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Options selecting which passes run.
+struct OptimizeOptions {
+  bool merge_rotations = true;    ///< RX(a)RX(b) -> RX(a+b), same for RY/RZ/P/RZZ
+  bool cancel_inverses = true;    ///< H H -> ∅, CX CX -> ∅, S Sdg -> ∅, ...
+  bool drop_identities = true;    ///< id gates and constant zero-angle rotations
+  std::size_t max_rounds = 8;     ///< passes iterate to a fixed point
+};
+
+/// Runs the enabled passes to a fixed point and returns the smaller circuit.
+/// `stats`, when non-null, receives counters for what each pass did.
+Circuit optimize(const Circuit& input, const OptimizeOptions& options = {},
+                 OptimizeStats* stats = nullptr);
+
+}  // namespace qarch::circuit

@@ -1,0 +1,275 @@
+#include "circuit/qasm_parser.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qarch::circuit {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  std::ostringstream os;
+  os << "qasm parse error (line " << line << "): " << message;
+  throw InvalidArgument(os.str());
+}
+
+/// Strips `// ...` comments and surrounding whitespace.
+std::string clean_line(std::string s) {
+  const auto comment = s.find("//");
+  if (comment != std::string::npos) s.erase(comment);
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Minimal recursive-descent evaluator for angle expressions:
+///   expr   := term (('+'|'-') term)*
+///   term   := factor (('*'|'/') factor)*
+///   factor := ('-')? (number | 'pi' | '(' expr ')')
+class AngleParser {
+ public:
+  AngleParser(const std::string& text, std::size_t line)
+      : text_(text), line_(line) {}
+
+  double parse() {
+    const double v = expr();
+    skip_ws();
+    if (pos_ != text_.size()) fail(line_, "trailing angle characters");
+    return v;
+  }
+
+ private:
+  double expr() {
+    double v = term();
+    for (;;) {
+      skip_ws();
+      if (accept('+')) v += term();
+      else if (accept('-')) v -= term();
+      else return v;
+    }
+  }
+
+  double term() {
+    double v = factor();
+    for (;;) {
+      skip_ws();
+      if (accept('*')) v *= factor();
+      else if (accept('/')) {
+        const double d = factor();
+        if (d == 0.0) fail(line_, "division by zero in angle");
+        v /= d;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double factor() {
+    skip_ws();
+    if (accept('-')) return -factor();
+    if (accept('(')) {
+      const double v = expr();
+      skip_ws();
+      if (!accept(')')) fail(line_, "missing ')' in angle");
+      return v;
+    }
+    if (text_.compare(pos_, 2, "pi") == 0) {
+      pos_ += 2;
+      return kPi;
+    }
+    // Number literal.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E'))))
+      ++pos_;
+    if (pos_ == start) fail(line_, "expected a number or 'pi'");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  bool accept(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t line_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses "q[3]" against the declared register name; returns the index.
+std::size_t parse_qubit(const std::string& token, const std::string& reg,
+                        std::size_t reg_size, std::size_t line) {
+  const auto open = token.find('[');
+  const auto close = token.find(']');
+  if (open == std::string::npos || close == std::string::npos || close < open)
+    fail(line, "expected <reg>[<index>], got '" + token + "'");
+  const std::string name = token.substr(0, open);
+  if (name != reg) fail(line, "unknown register '" + name + "'");
+  const std::string idx_text = token.substr(open + 1, close - open - 1);
+  char* end = nullptr;
+  const unsigned long idx = std::strtoul(idx_text.c_str(), &end, 10);
+  if (end == idx_text.c_str() || *end != '\0')
+    fail(line, "bad qubit index '" + idx_text + "'");
+  if (idx >= reg_size) fail(line, "qubit index out of range");
+  return static_cast<std::size_t>(idx);
+}
+
+/// Splits "a,b" outside of brackets/parens into operand tokens.
+std::vector<std::string> split_operands(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : text) {
+    if (c == '[' || c == '(') ++depth;
+    if (c == ']' || c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(clean_line(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!clean_line(cur).empty()) out.push_back(clean_line(cur));
+  return out;
+}
+
+}  // namespace
+
+Circuit parse_qasm(const std::string& source) {
+  std::istringstream in(source);
+  std::string raw;
+  std::size_t line_no = 0;
+
+  bool saw_header = false;
+  std::string reg_name;
+  std::size_t reg_size = 0;
+  std::optional<Circuit> circuit;
+
+  // Statements may span lines until ';'; accumulate.
+  std::string pending;
+  std::vector<std::pair<std::string, std::size_t>> statements;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string cleaned = clean_line(raw);
+    if (cleaned.empty()) continue;
+    pending += (pending.empty() ? "" : " ") + cleaned;
+    std::size_t semi;
+    while ((semi = pending.find(';')) != std::string::npos) {
+      const std::string stmt = clean_line(pending.substr(0, semi));
+      pending = clean_line(pending.substr(semi + 1));
+      if (!stmt.empty()) statements.emplace_back(stmt, line_no);
+    }
+  }
+  if (!clean_line(pending).empty())
+    fail(line_no, "unterminated statement (missing ';')");
+
+  for (const auto& [stmt, line] : statements) {
+    if (stmt.rfind("OPENQASM", 0) == 0) {
+      if (stmt.find("2.0") == std::string::npos)
+        fail(line, "only OPENQASM 2.0 is supported");
+      saw_header = true;
+      continue;
+    }
+    if (stmt.rfind("include", 0) == 0) continue;
+    if (stmt.rfind("creg", 0) == 0 || stmt.rfind("barrier", 0) == 0 ||
+        stmt.rfind("measure", 0) == 0)
+      continue;  // classical/no-op constructs: ignored by the simulator
+
+    if (stmt.rfind("qreg", 0) == 0) {
+      if (circuit.has_value()) fail(line, "multiple qreg declarations");
+      const std::string decl = clean_line(stmt.substr(4));
+      const auto open = decl.find('[');
+      const auto close = decl.find(']');
+      if (open == std::string::npos || close == std::string::npos)
+        fail(line, "malformed qreg declaration");
+      reg_name = clean_line(decl.substr(0, open));
+      const std::string size_text = decl.substr(open + 1, close - open - 1);
+      char* end = nullptr;
+      reg_size = std::strtoul(size_text.c_str(), &end, 10);
+      if (end == size_text.c_str() || *end != '\0' || reg_size == 0)
+        fail(line, "bad qreg size");
+      circuit.emplace(reg_size);
+      continue;
+    }
+
+    // Gate application: name[(angle)] operand(,operand)*
+    if (!saw_header) fail(line, "missing OPENQASM 2.0 header");
+    if (!circuit.has_value()) fail(line, "gate before qreg declaration");
+
+    std::size_t name_end = 0;
+    while (name_end < stmt.size() &&
+           (std::isalnum(static_cast<unsigned char>(stmt[name_end]))))
+      ++name_end;
+    const std::string name = stmt.substr(0, name_end);
+    std::string rest = clean_line(stmt.substr(name_end));
+
+    double angle = 0.0;
+    bool has_angle = false;
+    if (!rest.empty() && rest[0] == '(') {
+      // Find the MATCHING close paren — angle expressions may nest.
+      int depth = 0;
+      std::size_t close = std::string::npos;
+      for (std::size_t i = 0; i < rest.size(); ++i) {
+        if (rest[i] == '(') ++depth;
+        if (rest[i] == ')' && --depth == 0) {
+          close = i;
+          break;
+        }
+      }
+      if (close == std::string::npos) fail(line, "missing ')' after angle");
+      angle = AngleParser(rest.substr(1, close - 1), line).parse();
+      has_angle = true;
+      rest = clean_line(rest.substr(close + 1));
+    }
+
+    GateKind kind;
+    try {
+      kind = gate_from_name(name);
+    } catch (const Error&) {
+      fail(line, "unsupported gate '" + name + "'");
+    }
+    if (is_parameterized(kind) != has_angle)
+      fail(line, "gate '" + name + "' has the wrong parameter arity");
+
+    const auto operands = split_operands(rest);
+    const std::size_t expected = is_two_qubit(kind) ? 2 : 1;
+    if (operands.size() != expected)
+      fail(line, "gate '" + name + "' expects " + std::to_string(expected) +
+                     " operand(s)");
+
+    Gate g;
+    g.kind = kind;
+    g.q0 = parse_qubit(operands[0], reg_name, reg_size, line);
+    if (expected == 2) g.q1 = parse_qubit(operands[1], reg_name, reg_size, line);
+    g.param = has_angle ? ParamExpr::constant_angle(angle) : ParamExpr::none();
+    circuit->append(g);
+  }
+
+  if (!saw_header) throw InvalidArgument("qasm parse error: empty program");
+  if (!circuit.has_value())
+    throw InvalidArgument("qasm parse error: no qreg declared");
+  return *circuit;
+}
+
+}  // namespace qarch::circuit

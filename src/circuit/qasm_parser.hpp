@@ -1,0 +1,20 @@
+// OpenQASM 2.0 importer.
+//
+// Parses the subset of OpenQASM 2.0 our exporter emits plus the common
+// interchange constructs: one quantum register, the qelib1 gate set we
+// support, numeric angle expressions (including pi arithmetic such as
+// `pi/2`, `3*pi/4`, `-pi`), comments, and measure/barrier statements
+// (ignored, since the simulator is stateless). Round-trips with to_qasm().
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qarch::circuit {
+
+/// Parses OpenQASM 2.0 source into a Circuit with constant-bound angles.
+/// Throws InvalidArgument with a line-numbered message on malformed input.
+Circuit parse_qasm(const std::string& source);
+
+}  // namespace qarch::circuit

@@ -1,0 +1,119 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qarch {
+
+namespace {
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+}
+
+AsciiPlot::AsciiPlot(std::string title, std::string xlabel, std::string ylabel)
+    : title_(std::move(title)),
+      xlabel_(std::move(xlabel)),
+      ylabel_(std::move(ylabel)) {}
+
+void AsciiPlot::add(Series series) {
+  QARCH_REQUIRE(series.x.size() == series.y.size(),
+                "series x/y length mismatch");
+  series_.push_back(std::move(series));
+}
+
+std::string AsciiPlot::render(int width, int height) const {
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  if (series_.empty()) return os.str() + "(no data)\n";
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& s : series_) {
+    for (double v : s.x) { xmin = std::min(xmin, v); xmax = std::max(xmax, v); }
+    for (double v : s.y) { ymin = std::min(ymin, v); ymax = std::max(ymax, v); }
+  }
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+  // Pad the y range slightly so extreme points are not on the border.
+  const double ypad = 0.05 * (ymax - ymin);
+  ymin -= ypad;
+  ymax += ypad;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char mark = kMarkers[si % sizeof(kMarkers)];
+    const auto& s = series_[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      int cx = static_cast<int>(std::lround((s.x[i] - xmin) / (xmax - xmin) *
+                                            (width - 1)));
+      int cy = static_cast<int>(std::lround((s.y[i] - ymin) / (ymax - ymin) *
+                                            (height - 1)));
+      cx = std::clamp(cx, 0, width - 1);
+      cy = std::clamp(cy, 0, height - 1);
+      grid[static_cast<std::size_t>(height - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = mark;
+    }
+  }
+
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%10.4g", ymax);
+  os << buf << " +" << std::string(static_cast<std::size_t>(width), '-')
+     << "+\n";
+  for (int r = 0; r < height; ++r) {
+    os << std::string(10, ' ') << " |" << grid[static_cast<std::size_t>(r)]
+       << "|\n";
+  }
+  std::snprintf(buf, sizeof buf, "%10.4g", ymin);
+  os << buf << " +" << std::string(static_cast<std::size_t>(width), '-')
+     << "+\n";
+  std::snprintf(buf, sizeof buf, "%.4g", xmin);
+  std::string xlo = buf;
+  std::snprintf(buf, sizeof buf, "%.4g", xmax);
+  std::string xhi = buf;
+  os << std::string(12, ' ') << xlo
+     << std::string(
+            std::max<std::size_t>(
+                1, static_cast<std::size_t>(width) - xlo.size() - xhi.size()),
+            ' ')
+     << xhi << "\n";
+  os << std::string(12, ' ') << "x: " << xlabel_ << ", y: " << ylabel_ << "\n";
+  for (std::size_t si = 0; si < series_.size(); ++si)
+    os << std::string(12, ' ') << kMarkers[si % sizeof(kMarkers)] << " = "
+       << series_[si].name << "\n";
+  return os.str();
+}
+
+std::string ascii_barh(const std::string& title,
+                       const std::vector<std::pair<std::string, double>>& bars,
+                       int width, double vmin, double vmax) {
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  if (bars.empty()) return os.str() + "(no data)\n";
+  double lo = vmin, hi = vmax;
+  if (lo == 0.0 && hi == 0.0) {
+    lo = 0.0;
+    hi = -std::numeric_limits<double>::infinity();
+    for (const auto& [_, v] : bars) hi = std::max(hi, v);
+    if (hi <= lo) hi = lo + 1;
+  }
+  std::size_t label_width = 0;
+  for (const auto& [name, _] : bars) label_width = std::max(label_width, name.size());
+  for (const auto& [name, v] : bars) {
+    const double frac = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+    const int len = static_cast<int>(std::lround(frac * width));
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%8.4f", v);
+    os << "  " << name << std::string(label_width - name.size(), ' ') << " |"
+       << std::string(static_cast<std::size_t>(len), '#')
+       << std::string(static_cast<std::size_t>(width - len), ' ') << "| " << buf
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qarch

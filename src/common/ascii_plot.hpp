@@ -1,0 +1,43 @@
+// Terminal plotting for benchmark output.
+//
+// The paper's evaluation consists of figures; our bench binaries print each
+// figure's data both as a table and as an ASCII rendering so the "shape" of
+// the result (who wins, where the crossover falls) is visible in plain text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qarch {
+
+/// A named data series for AsciiPlot.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Renders one or more (x, y) series as an ASCII line/scatter chart.
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, std::string xlabel, std::string ylabel);
+
+  /// Adds a series; each series gets a distinct marker character.
+  void add(Series series);
+
+  /// Renders the chart (width x height characters of plotting area).
+  [[nodiscard]] std::string render(int width = 64, int height = 18) const;
+
+ private:
+  std::string title_, xlabel_, ylabel_;
+  std::vector<Series> series_;
+};
+
+/// Renders a horizontal bar chart: one labeled bar per entry.
+/// Used for the categorical figures (Fig. 7 approximation ratios, Fig. 8/9
+/// baseline-vs-qnas comparisons).
+std::string ascii_barh(const std::string& title,
+                       const std::vector<std::pair<std::string, double>>& bars,
+                       int width = 48, double vmin = 0.0, double vmax = 0.0);
+
+}  // namespace qarch

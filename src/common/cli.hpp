@@ -1,0 +1,45 @@
+// Tiny command-line flag parser for examples and bench binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qarch {
+
+/// Parses argv into a flag map and exposes typed accessors with defaults.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True when `--name` was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String flag value or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+
+  /// Integer flag value or `fallback` when absent. Throws on parse failure.
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+
+  /// Double flag value or `fallback` when absent. Throws on parse failure.
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qarch

@@ -1,0 +1,56 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace qarch {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  QARCH_REQUIRE(!header.empty(), "CSV header must be non-empty");
+  if (!out_) throw Error("CsvWriter: cannot open " + path);
+  write_row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  QARCH_REQUIRE(fields.size() == columns_, "CSV row width mismatch");
+  write_row(fields);
+}
+
+void CsvWriter::row(const std::vector<double>& fields) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  char buf[64];
+  for (double v : fields) {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    text.emplace_back(buf);
+  }
+  row(text);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace qarch

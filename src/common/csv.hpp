@@ -1,0 +1,33 @@
+// Small CSV writer used by bench harnesses to dump figure data series.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace qarch {
+
+/// Row-oriented CSV writer. Escapes fields containing separators/quotes.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row of string fields. Field count must match the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Appends one row of numeric fields (formatted with %.6g).
+  void row(const std::vector<double>& fields);
+
+  /// Flushes and closes; further rows are an error. Destructor also closes.
+  void close();
+
+ private:
+  void write_row(const std::vector<std::string>& fields);
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace qarch

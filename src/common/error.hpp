@@ -1,0 +1,62 @@
+// Error handling primitives shared by every qarch module.
+//
+// The library throws `qarch::Error` (derived from std::runtime_error) for
+// user-visible failures and uses QARCH_CHECK for internal invariants that
+// indicate a programming error. Following the C++ Core Guidelines (E.2), we
+// throw exceptions rather than return error codes; all library types are
+// exception-safe via RAII.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qarch {
+
+/// Base exception for every error raised by the qarch library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a function argument is outside its documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an internal invariant is violated (library bug).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "QARCH_REQUIRE") throw InvalidArgument(os.str());
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace qarch
+
+/// Internal invariant; failure means a bug inside the library.
+#define QARCH_CHECK(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::qarch::detail::throw_check_failure("QARCH_CHECK", #cond, __FILE__,   \
+                                           __LINE__, (msg));                 \
+  } while (0)
+
+/// Precondition on user-supplied arguments; failure throws InvalidArgument.
+#define QARCH_REQUIRE(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::qarch::detail::throw_check_failure("QARCH_REQUIRE", #cond, __FILE__, \
+                                           __LINE__, (msg));                 \
+  } while (0)

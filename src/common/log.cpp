@@ -1,0 +1,53 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace qarch::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::Info};
+std::once_flag g_env_once;
+std::mutex g_write_mutex;
+
+void init_from_env() {
+  const char* env = std::getenv("QARCH_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) g_level = Level::Debug;
+  else if (std::strcmp(env, "info") == 0) g_level = Level::Info;
+  else if (std::strcmp(env, "warn") == 0) g_level = Level::Warn;
+  else if (std::strcmp(env, "error") == 0) g_level = Level::Error;
+  else if (std::strcmp(env, "off") == 0) g_level = Level::Off;
+}
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO ";
+    case Level::Warn: return "WARN ";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level = level; }
+
+Level level() {
+  std::call_once(g_env_once, init_from_env);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void write(Level level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[qarch %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace qarch::log

@@ -1,0 +1,56 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Levels follow the usual severity order. The default level is Info; set
+// QARCH_LOG=debug|info|warn|error in the environment or call set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace qarch::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum severity that will be emitted.
+void set_level(Level level);
+
+/// Current global minimum severity.
+Level level();
+
+/// Emits one formatted line (internal; prefer the convenience wrappers).
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::Debug)
+    write(Level::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::Info)
+    write(Level::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::Warn)
+    write(Level::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::Error)
+    write(Level::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace qarch::log

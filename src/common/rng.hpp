@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// We implement xoshiro256** (Blackman & Vigna) rather than relying on
+// std::mt19937 so that results are bit-identical across standard libraries —
+// benchmark workloads (random graphs, random search) must be reproducible.
+// The generator satisfies the C++ UniformRandomBitGenerator concept so it can
+// also feed <random> distributions when convenient.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace qarch {
+
+/// xoshiro256** 1.0 — a fast, high-quality 64-bit PRNG with 256-bit state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal variate (Box–Muller, cached pair).
+  double normal();
+
+  /// Normal variate with given mean and stddev.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability prob.
+  bool bernoulli(double prob);
+
+  /// Uniformly random index permutation of {0, .., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Fisher–Yates shuffle of a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_int(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-thread streams).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace qarch

@@ -1,0 +1,52 @@
+// Descriptive statistics helpers for benchmark reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qarch {
+
+/// Arithmetic mean. Requires a non-empty sample.
+inline double mean(std::span<const double> xs) {
+  QARCH_REQUIRE(!xs.empty(), "mean of empty sample");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Sample standard deviation (n-1 denominator); 0 for singleton samples.
+inline double stddev(std::span<const double> xs) {
+  QARCH_REQUIRE(!xs.empty(), "stddev of empty sample");
+  if (xs.size() == 1) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+/// Median (copies and sorts the sample).
+inline double median(std::span<const double> xs) {
+  QARCH_REQUIRE(!xs.empty(), "median of empty sample");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Minimum element.
+inline double min_value(std::span<const double> xs) {
+  QARCH_REQUIRE(!xs.empty(), "min of empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+/// Maximum element.
+inline double max_value(std::span<const double> xs) {
+  QARCH_REQUIRE(!xs.empty(), "max of empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+}  // namespace qarch

@@ -1,0 +1,127 @@
+#include "graph/extra_generators.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qarch::graph {
+
+Graph cycle(std::size_t n) {
+  QARCH_REQUIRE(n >= 3, "cycle needs n >= 3");
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+Graph path(std::size_t n) {
+  QARCH_REQUIRE(n >= 2, "path needs n >= 2");
+  Graph g(n);
+  for (std::size_t v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  QARCH_REQUIRE(n >= 2, "complete graph needs n >= 2");
+  Graph g(n);
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  QARCH_REQUIRE(a >= 1 && b >= 1, "parts must be non-empty");
+  Graph g(a + b);
+  for (std::size_t u = 0; u < a; ++u)
+    for (std::size_t v = 0; v < b; ++v) g.add_edge(u, a + v);
+  return g;
+}
+
+Graph star(std::size_t n) {
+  QARCH_REQUIRE(n >= 2, "star needs n >= 2");
+  Graph g(n);
+  for (std::size_t v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  QARCH_REQUIRE(rows >= 1 && cols >= 1 && rows * cols >= 2,
+                "grid needs at least two vertices");
+  Graph g(rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return r * cols + c;
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng) {
+  QARCH_REQUIRE(m >= 1, "attachment count must be >= 1");
+  QARCH_REQUIRE(n > m + 1, "need n > m + 1");
+  Graph g(n);
+  // Seed clique on m+1 vertices.
+  for (std::size_t u = 0; u <= m; ++u)
+    for (std::size_t v = u + 1; v <= m; ++v) g.add_edge(u, v);
+
+  // Repeated-endpoint list: sampling uniformly from it is degree-
+  // proportional sampling.
+  std::vector<std::size_t> endpoints;
+  for (const auto& e : g.edges()) {
+    endpoints.push_back(e.u);
+    endpoints.push_back(e.v);
+  }
+
+  for (std::size_t v = m + 1; v < n; ++v) {
+    std::vector<std::size_t> targets;
+    while (targets.size() < m) {
+      const std::size_t pick = endpoints[rng.uniform_int(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), pick) == targets.end())
+        targets.push_back(pick);
+    }
+    for (std::size_t t : targets) {
+      g.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph with_random_weights(const Graph& g, double lo, double hi, Rng& rng) {
+  QARCH_REQUIRE(lo <= hi, "weight range inverted");
+  Graph out(g.num_vertices());
+  for (const auto& e : g.edges())
+    out.add_edge(e.u, e.v, rng.uniform(lo, hi));
+  return out;
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  os.precision(17);
+  for (const auto& e : g.edges())
+    os << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  return os.str();
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  std::size_t n = 0, m = 0;
+  if (!(is >> n >> m)) throw InvalidArgument("edge list: missing header");
+  Graph g(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t u = 0, v = 0;
+    double w = 0.0;
+    if (!(is >> u >> v >> w))
+      throw InvalidArgument("edge list: truncated at edge " +
+                            std::to_string(i));
+    g.add_edge(u, v, w);
+  }
+  return g;
+}
+
+}  // namespace qarch::graph

@@ -1,0 +1,50 @@
+// Additional graph families and simple edge-list IO.
+//
+// The paper evaluates on ER and random-regular instances; these families
+// (cycles, complete/bipartite graphs, grids, preferential attachment) widen
+// the test surface and let users benchmark discovered mixers on structured
+// topologies with known max-cut values.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace qarch::graph {
+
+/// The n-cycle C_n (n >= 3). Max-cut = n for even n, n-1 for odd n.
+Graph cycle(std::size_t n);
+
+/// The path P_n (n >= 2). Max-cut = n-1 (every edge cuttable).
+Graph path(std::size_t n);
+
+/// The complete graph K_n. Max-cut = floor(n/2) * ceil(n/2).
+Graph complete(std::size_t n);
+
+/// Complete bipartite K_{a,b}. Max-cut = a*b (fully cuttable).
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// The star S_n: one hub, n-1 leaves. Max-cut = n-1.
+Graph star(std::size_t n);
+
+/// rows x cols grid graph. Bipartite, so max-cut = all edges.
+Graph grid(std::size_t rows, std::size_t cols);
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `m + 1` vertices, then each new vertex attaches to m distinct existing
+/// vertices with probability proportional to degree.
+Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng);
+
+/// Assigns each edge a uniform random weight in [lo, hi] (fresh graph).
+Graph with_random_weights(const Graph& g, double lo, double hi, Rng& rng);
+
+/// Serializes as an edge list: first line "n m", then one "u v weight" line
+/// per edge.
+std::string to_edge_list(const Graph& g);
+
+/// Parses the to_edge_list format; throws InvalidArgument on malformed text.
+Graph from_edge_list(const std::string& text);
+
+}  // namespace qarch::graph

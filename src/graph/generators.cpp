@@ -1,0 +1,74 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qarch::graph {
+
+Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
+  QARCH_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability must be in [0, 1]");
+  Graph g(n);
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+  return g;
+}
+
+Graph erdos_renyi_connected(std::size_t n, double p, Rng& rng,
+                            std::size_t max_tries) {
+  for (std::size_t t = 0; t < max_tries; ++t) {
+    Graph g = erdos_renyi(n, p, rng);
+    if (g.is_connected()) return g;
+  }
+  throw Error("erdos_renyi_connected: no connected sample found");
+}
+
+Graph random_regular(std::size_t n, std::size_t d, Rng& rng) {
+  QARCH_REQUIRE(d < n, "degree must be < n");
+  QARCH_REQUIRE((n * d) % 2 == 0, "n*d must be even");
+  // Configuration model: n*d half-edge stubs are paired uniformly at random;
+  // retry whenever the pairing produces a self-loop or a parallel edge. For
+  // the paper's sizes (n=10, d=4) a valid pairing is found almost instantly.
+  constexpr std::size_t kMaxRestarts = 100000;
+  for (std::size_t attempt = 0; attempt < kMaxRestarts; ++attempt) {
+    std::vector<std::size_t> stubs;
+    stubs.reserve(n * d);
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
+    rng.shuffle(stubs);
+
+    Graph g(n);
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size() && ok; i += 2) {
+      const std::size_t u = stubs[i], v = stubs[i + 1];
+      if (u == v || g.has_edge(u, v)) ok = false;
+      else g.add_edge(u, v);
+    }
+    if (ok) return g;
+  }
+  throw Error("random_regular: pairing model failed to converge");
+}
+
+std::vector<Graph> er_dataset(std::size_t count, std::size_t n, double p_lo,
+                              double p_hi, Rng& rng) {
+  QARCH_REQUIRE(p_lo <= p_hi, "p_lo must be <= p_hi");
+  std::vector<Graph> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double p = rng.uniform(p_lo, p_hi);
+    out.push_back(erdos_renyi_connected(n, p, rng));
+  }
+  return out;
+}
+
+std::vector<Graph> regular_dataset(std::size_t count, std::size_t n,
+                                   std::size_t d, Rng& rng) {
+  std::vector<Graph> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(random_regular(n, d, rng));
+  return out;
+}
+
+}  // namespace qarch::graph

@@ -1,0 +1,38 @@
+// Random graph generators for the paper's workloads:
+//   * Erdős–Rényi G(n, p)     — Fig. 4/5 search profiling and Fig. 8 eval
+//   * random d-regular graphs — Fig. 7/9 evaluation (10-node, 4-regular)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace qarch::graph {
+
+/// Samples G(n, p): each of the n(n-1)/2 possible edges appears
+/// independently with probability p.
+Graph erdos_renyi(std::size_t n, double p, Rng& rng);
+
+/// Samples a connected G(n, p) by rejection (at most `max_tries` attempts;
+/// throws Error if none is connected — use p well above the ln(n)/n
+/// connectivity threshold).
+Graph erdos_renyi_connected(std::size_t n, double p, Rng& rng,
+                            std::size_t max_tries = 1000);
+
+/// Samples a uniformly random d-regular simple graph via the configuration
+/// (pairing) model with restarts. Requires n*d even and d < n.
+Graph random_regular(std::size_t n, std::size_t d, Rng& rng);
+
+/// The paper's profiling dataset: `count` Erdős–Rényi graphs on `n` nodes
+/// with "varying degrees of connectivity" — edge probability is drawn
+/// uniformly from [p_lo, p_hi] per graph.
+std::vector<Graph> er_dataset(std::size_t count, std::size_t n, double p_lo,
+                              double p_hi, Rng& rng);
+
+/// The paper's evaluation dataset: `count` random d-regular graphs on n nodes.
+std::vector<Graph> regular_dataset(std::size_t count, std::size_t n,
+                                   std::size_t d, Rng& rng);
+
+}  // namespace qarch::graph

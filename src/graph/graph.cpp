@@ -1,0 +1,80 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qarch::graph {
+
+Graph::Graph(std::size_t n) : adjacency_(n) {}
+
+void Graph::add_edge(std::size_t u, std::size_t v, double weight) {
+  QARCH_REQUIRE(u < num_vertices() && v < num_vertices(),
+                "edge endpoint out of range");
+  QARCH_REQUIRE(u != v, "self-loops are not allowed");
+  QARCH_REQUIRE(!has_edge(u, v), "duplicate edge");
+  edges_.push_back(Edge{std::min(u, v), std::max(u, v), weight});
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+}
+
+bool Graph::has_edge(std::size_t u, std::size_t v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  const auto& smaller =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
+  const std::size_t other = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), other) != smaller.end();
+}
+
+std::size_t Graph::degree(std::size_t v) const {
+  QARCH_REQUIRE(v < num_vertices(), "vertex out of range");
+  return adjacency_[v].size();
+}
+
+const std::vector<std::size_t>& Graph::neighbors(std::size_t v) const {
+  QARCH_REQUIRE(v < num_vertices(), "vertex out of range");
+  return adjacency_[v];
+}
+
+double Graph::total_weight() const {
+  double s = 0.0;
+  for (const auto& e : edges_) s += e.weight;
+  return s;
+}
+
+double Graph::cut_value(const std::vector<int>& z) const {
+  QARCH_REQUIRE(z.size() == num_vertices(), "assignment size mismatch");
+  double cut = 0.0;
+  for (const auto& e : edges_)
+    if (z[e.u] != z[e.v]) cut += e.weight;
+  return cut;
+}
+
+bool Graph::is_connected() const {
+  if (num_vertices() == 0) return true;
+  std::vector<bool> seen(num_vertices(), false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t w : adjacency_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited == num_vertices();
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_vertices() << ", m=" << num_edges() << ")";
+  return os.str();
+}
+
+}  // namespace qarch::graph

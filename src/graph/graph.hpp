@@ -1,0 +1,69 @@
+// Simple undirected weighted graph used as the QAOA problem instance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qarch::graph {
+
+/// An undirected edge with weight (1.0 for unweighted instances).
+struct Edge {
+  std::size_t u = 0;
+  std::size_t v = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Simple undirected graph (no self-loops, no parallel edges), stored as an
+/// edge list plus adjacency sets for O(deg) neighbourhood queries.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates an empty graph on n vertices.
+  explicit Graph(std::size_t n);
+
+  /// Number of vertices.
+  [[nodiscard]] std::size_t num_vertices() const { return adjacency_.size(); }
+
+  /// Number of edges.
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  /// Adds the undirected edge {u, v} with the given weight.
+  /// Throws InvalidArgument on self-loops, out-of-range endpoints, or
+  /// duplicate edges.
+  void add_edge(std::size_t u, std::size_t v, double weight = 1.0);
+
+  /// True when {u, v} is an edge.
+  [[nodiscard]] bool has_edge(std::size_t u, std::size_t v) const;
+
+  /// Degree of vertex v.
+  [[nodiscard]] std::size_t degree(std::size_t v) const;
+
+  /// Neighbours of vertex v (unsorted).
+  [[nodiscard]] const std::vector<std::size_t>& neighbors(std::size_t v) const;
+
+  /// All edges in insertion order.
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Sum of all edge weights.
+  [[nodiscard]] double total_weight() const;
+
+  /// Cut value of the ±1 assignment `z` (z.size() == num_vertices()):
+  /// sum of w_uv over edges with z_u != z_v. This is C_MC(z) from Eq. (1).
+  [[nodiscard]] double cut_value(const std::vector<int>& z) const;
+
+  /// True if every vertex is reachable from vertex 0 (or the graph is empty).
+  [[nodiscard]] bool is_connected() const;
+
+  /// Human-readable description, e.g. "Graph(n=10, m=20)".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace qarch::graph

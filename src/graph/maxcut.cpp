@@ -1,0 +1,116 @@
+#include "graph/maxcut.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qarch::graph {
+
+CutResult maxcut_exact(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  QARCH_REQUIRE(n >= 1, "empty graph");
+  QARCH_REQUIRE(n <= 26, "exact solver limited to 26 vertices");
+  const auto& edges = g.edges();
+
+  double best = -1.0;
+  std::uint64_t best_mask = 0;
+  // Vertex 0 is fixed on side 0: the cut function is invariant under global
+  // side swap, so enumerating 2^(n-1) masks covers every bipartition.
+  const std::uint64_t limit = 1ULL << (n - 1);
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    const std::uint64_t sides = mask << 1;  // bit v = side of vertex v
+    double cut = 0.0;
+    for (const auto& e : edges)
+      if (((sides >> e.u) & 1ULL) != ((sides >> e.v) & 1ULL)) cut += e.weight;
+    if (cut > best) {
+      best = cut;
+      best_mask = sides;
+    }
+  }
+
+  CutResult r;
+  r.value = best;
+  r.assignment.resize(n);
+  for (std::size_t v = 0; v < n; ++v)
+    r.assignment[v] = ((best_mask >> v) & 1ULL) ? -1 : +1;
+  return r;
+}
+
+CutResult maxcut_greedy(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::vector<std::pair<std::size_t, double>>> incident(n);
+  for (const auto& e : g.edges()) {
+    incident[e.u].emplace_back(e.v, e.weight);
+    incident[e.v].emplace_back(e.u, e.weight);
+  }
+  std::vector<int> z(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    // Weighted gain of placing v on +1 vs -1 given already-placed neighbours.
+    double gain_plus = 0.0, gain_minus = 0.0;
+    for (const auto& [w, weight] : incident[v]) {
+      if (w >= v || z[w] == 0) continue;
+      if (z[w] == -1) gain_plus += weight;
+      else gain_minus += weight;
+    }
+    z[v] = gain_plus >= gain_minus ? +1 : -1;
+  }
+  return CutResult{g.cut_value(z), std::move(z)};
+}
+
+namespace {
+
+/// Runs 1-flip best-improvement local search in place; returns cut value.
+double local_search_inplace(const Graph& g, std::vector<int>& z) {
+  const std::size_t n = g.num_vertices();
+  // Weighted incidence lists: flipping v toggles each incident edge's cut
+  // membership, so the gain must use the edge WEIGHT, not a unit count.
+  std::vector<std::vector<std::pair<std::size_t, double>>> incident(n);
+  for (const auto& e : g.edges()) {
+    incident[e.u].emplace_back(e.v, e.weight);
+    incident[e.v].emplace_back(e.u, e.weight);
+  }
+
+  double cut = g.cut_value(z);
+  for (;;) {
+    double best_delta = 0.0;
+    std::size_t best_v = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      double delta = 0.0;
+      for (const auto& [w, weight] : incident[v])
+        delta += (z[v] != z[w]) ? -weight : +weight;
+      if (delta > best_delta) {
+        best_delta = delta;
+        best_v = v;
+      }
+    }
+    if (best_v == n) break;
+    z[best_v] = -z[best_v];
+    cut += best_delta;
+  }
+  return cut;
+}
+
+}  // namespace
+
+CutResult maxcut_local_search(const Graph& g, std::vector<int> start) {
+  if (start.empty()) start = maxcut_greedy(g).assignment;
+  QARCH_REQUIRE(start.size() == g.num_vertices(), "start size mismatch");
+  const double cut = local_search_inplace(g, start);
+  return CutResult{cut, std::move(start)};
+}
+
+CutResult maxcut_multistart(const Graph& g, std::size_t restarts, Rng& rng) {
+  QARCH_REQUIRE(restarts >= 1, "need at least one restart");
+  CutResult best;
+  best.value = -1.0;
+  const std::size_t n = g.num_vertices();
+  for (std::size_t r = 0; r < restarts; ++r) {
+    std::vector<int> z(n);
+    for (auto& s : z) s = rng.bernoulli(0.5) ? +1 : -1;
+    const double cut = local_search_inplace(g, z);
+    if (cut > best.value) best = CutResult{cut, std::move(z)};
+  }
+  return best;
+}
+
+}  // namespace qarch::graph

@@ -1,0 +1,132 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qarch::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<cplx> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  QARCH_REQUIRE(data_.size() == rows_ * cols_, "matrix data size mismatch");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::matmul(const Matrix& rhs) const {
+  QARCH_REQUIRE(cols_ == rhs.rows_, "matmul shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx a = (*this)(i, k);
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j)
+        out(i, j) += a * rhs(k, j);
+    }
+  return out;
+}
+
+Matrix Matrix::dagger() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j)
+      out(j, i) = std::conj((*this)(i, j));
+  return out;
+}
+
+Matrix Matrix::kron(const Matrix& rhs) const {
+  Matrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const cplx a = (*this)(i, j);
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t r = 0; r < rhs.rows_; ++r)
+        for (std::size_t c = 0; c < rhs.cols_; ++c)
+          out(i * rhs.rows_ + r, j * rhs.cols_ + c) = a * rhs(r, c);
+    }
+  return out;
+}
+
+std::vector<cplx> Matrix::apply(const std::vector<cplx>& v) const {
+  QARCH_REQUIRE(v.size() == cols_, "matvec shape mismatch");
+  std::vector<cplx> out(rows_, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < rows_; ++i) {
+    cplx s{0.0, 0.0};
+    for (std::size_t j = 0; j < cols_; ++j) s += (*this)(i, j) * v[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+Matrix Matrix::scaled(cplx s) const {
+  Matrix out = *this;
+  for (auto& x : out.data_) x *= s;
+  return out;
+}
+
+Matrix Matrix::add(const Matrix& rhs) const {
+  QARCH_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "add shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+double Matrix::distance(const Matrix& rhs) const {
+  QARCH_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "distance shape mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const cplx d = data_[i] - rhs.data_[i];
+    s += std::norm(d);
+  }
+  return std::sqrt(s);
+}
+
+bool Matrix::is_unitary(double tol) const {
+  if (rows_ != cols_) return false;
+  return dagger().matmul(*this).distance(identity(rows_)) < tol;
+}
+
+bool Matrix::is_diagonal(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j)
+      if (i != j && std::abs((*this)(i, j)) >= tol) return false;
+  return true;
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const cplx v = (*this)(i, j);
+      os << '(' << v.real() << (v.imag() >= 0 ? "+" : "") << v.imag() << "i) ";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  QARCH_REQUIRE(a.size() == b.size(), "inner product size mismatch");
+  cplx s{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+double norm(const std::vector<cplx>& v) {
+  double s = 0.0;
+  for (const cplx& x : v) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+}  // namespace qarch::linalg

@@ -1,0 +1,84 @@
+// Dense complex matrices and vectors for gate algebra.
+//
+// These are deliberately small-scale types (gates are 2x2 / 4x4; verification
+// matrices up to 2^n x 2^n for small n). Row-major storage, value semantics.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qarch::linalg {
+
+using cplx = std::complex<double>;
+
+/// Dense row-major complex matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero matrix of shape rows x cols.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Matrix from a row-major initializer (size must equal rows*cols).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<cplx> data);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  cplx& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<cplx>& data() const { return data_; }
+  [[nodiscard]] std::vector<cplx>& data() { return data_; }
+
+  /// Matrix product this * rhs.
+  [[nodiscard]] Matrix matmul(const Matrix& rhs) const;
+
+  /// Conjugate transpose.
+  [[nodiscard]] Matrix dagger() const;
+
+  /// Kronecker product this ⊗ rhs.
+  [[nodiscard]] Matrix kron(const Matrix& rhs) const;
+
+  /// Matrix-vector product this * v.
+  [[nodiscard]] std::vector<cplx> apply(const std::vector<cplx>& v) const;
+
+  /// Scales every entry by s.
+  [[nodiscard]] Matrix scaled(cplx s) const;
+
+  /// Entry-wise sum.
+  [[nodiscard]] Matrix add(const Matrix& rhs) const;
+
+  /// Frobenius norm of (this - rhs).
+  [[nodiscard]] double distance(const Matrix& rhs) const;
+
+  /// True when this† · this == I within `tol` (Frobenius).
+  [[nodiscard]] bool is_unitary(double tol = 1e-10) const;
+
+  /// True when every off-diagonal entry is < tol in magnitude.
+  [[nodiscard]] bool is_diagonal(double tol = 1e-12) const;
+
+  /// Multi-line human-readable rendering (for debugging/tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+/// Inner product <a|b> = sum conj(a_i) b_i.
+cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b);
+
+/// Euclidean norm of a complex vector.
+double norm(const std::vector<cplx>& v);
+
+}  // namespace qarch::linalg

@@ -1,0 +1,70 @@
+#include "nn/mat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qarch::nn {
+
+Mat::Mat(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Mat Mat::xavier(std::size_t rows, std::size_t cols, Rng& rng) {
+  Mat m(rows, cols);
+  const double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& x : m.data_) x = rng.uniform(-bound, bound);
+  return m;
+}
+
+std::vector<double> Mat::matvec(const std::vector<double>& x) const {
+  QARCH_REQUIRE(x.size() == cols_, "matvec shape mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += (*this)(r, c) * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+std::vector<double> Mat::matvec_transposed(const std::vector<double>& x) const {
+  QARCH_REQUIRE(x.size() == rows_, "matvec_transposed shape mismatch");
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += (*this)(r, c) * x[r];
+  return y;
+}
+
+void Mat::add_outer(const std::vector<double>& a, const std::vector<double>& b,
+                    double scale) {
+  QARCH_REQUIRE(a.size() == rows_ && b.size() == cols_,
+                "add_outer shape mismatch");
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      (*this)(r, c) += scale * a[r] * b[c];
+}
+
+void Mat::add_scaled(const Mat& rhs, double scale) {
+  QARCH_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "add_scaled shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += scale * rhs.data_[i];
+}
+
+void Mat::zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+std::vector<double> softmax(const std::vector<double>& logits) {
+  QARCH_REQUIRE(!logits.empty(), "softmax of empty vector");
+  const double m = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> p(logits.size());
+  double z = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - m);
+    z += p[i];
+  }
+  for (double& v : p) v /= z;
+  return p;
+}
+
+}  // namespace qarch::nn

@@ -1,0 +1,62 @@
+// Real-valued dense matrix for the neural predictor.
+//
+// Kept separate from linalg::Matrix (complex, gate-algebra oriented): the
+// controller network is real-valued and needs gradient-style ops.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qarch::nn {
+
+/// Row-major dense matrix of doubles.
+class Mat {
+ public:
+  Mat() = default;
+  Mat(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Xavier/Glorot-uniform initialization.
+  static Mat xavier(std::size_t rows, std::size_t cols, Rng& rng);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+
+  /// y = this * x (matrix-vector).
+  [[nodiscard]] std::vector<double> matvec(
+      const std::vector<double>& x) const;
+
+  /// y = this^T * x.
+  [[nodiscard]] std::vector<double> matvec_transposed(
+      const std::vector<double>& x) const;
+
+  /// this += scale * (a outer b), where a has rows() entries, b cols().
+  void add_outer(const std::vector<double>& a, const std::vector<double>& b,
+                 double scale);
+
+  /// this += scale * rhs (same shape).
+  void add_scaled(const Mat& rhs, double scale);
+
+  /// Sets every entry to zero.
+  void zero();
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Numerically stable softmax of a logit vector.
+std::vector<double> softmax(const std::vector<double>& logits);
+
+}  // namespace qarch::nn

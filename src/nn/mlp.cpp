@@ -1,0 +1,147 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qarch::nn {
+
+namespace {
+
+double activate(Activation a, double x) {
+  switch (a) {
+    case Activation::Identity: return x;
+    case Activation::Tanh: return std::tanh(x);
+    case Activation::Relu: return x > 0.0 ? x : 0.0;
+  }
+  return x;
+}
+
+double activate_grad(Activation a, double pre) {
+  switch (a) {
+    case Activation::Identity: return 1.0;
+    case Activation::Tanh: {
+      const double t = std::tanh(pre);
+      return 1.0 - t * t;
+    }
+    case Activation::Relu: return pre > 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+void MlpGradients::zero() {
+  for (Mat& m : w) m.zero();
+  for (auto& v : b) std::fill(v.begin(), v.end(), 0.0);
+}
+
+void MlpGradients::add_scaled(const MlpGradients& rhs, double scale) {
+  QARCH_REQUIRE(w.size() == rhs.w.size(), "gradient shape mismatch");
+  for (std::size_t l = 0; l < w.size(); ++l) {
+    w[l].add_scaled(rhs.w[l], scale);
+    for (std::size_t i = 0; i < b[l].size(); ++i)
+      b[l][i] += scale * rhs.b[l][i];
+  }
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims,
+         const std::vector<Activation>& activations, Rng& rng)
+    : act_(activations) {
+  QARCH_REQUIRE(dims.size() >= 2, "MLP needs at least input and output dims");
+  QARCH_REQUIRE(activations.size() == dims.size() - 1,
+                "one activation per layer required");
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    w_.push_back(Mat::xavier(dims[l + 1], dims[l], rng));
+    b_.emplace_back(dims[l + 1], 0.0);
+  }
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& x,
+                                 Trace* trace) const {
+  QARCH_REQUIRE(x.size() == input_size(), "MLP input size mismatch");
+  std::vector<double> h = x;
+  if (trace != nullptr) {
+    trace->inputs.clear();
+    trace->pre.clear();
+  }
+  for (std::size_t l = 0; l < w_.size(); ++l) {
+    if (trace != nullptr) trace->inputs.push_back(h);
+    std::vector<double> pre = w_[l].matvec(h);
+    for (std::size_t i = 0; i < pre.size(); ++i) pre[i] += b_[l][i];
+    if (trace != nullptr) trace->pre.push_back(pre);
+    h.resize(pre.size());
+    for (std::size_t i = 0; i < pre.size(); ++i)
+      h[i] = activate(act_[l], pre[i]);
+  }
+  return h;
+}
+
+void Mlp::backward(const Trace& trace,
+                   const std::vector<double>& dloss_dout,
+                   MlpGradients& grads) const {
+  QARCH_REQUIRE(trace.pre.size() == w_.size(), "trace does not match model");
+  QARCH_REQUIRE(dloss_dout.size() == output_size(), "output grad mismatch");
+
+  std::vector<double> delta = dloss_dout;
+  for (std::size_t l = w_.size(); l-- > 0;) {
+    // delta currently holds dL/d(post-activation of layer l).
+    for (std::size_t i = 0; i < delta.size(); ++i)
+      delta[i] *= activate_grad(act_[l], trace.pre[l][i]);
+    grads.w[l].add_outer(delta, trace.inputs[l], 1.0);
+    for (std::size_t i = 0; i < delta.size(); ++i) grads.b[l][i] += delta[i];
+    if (l > 0) delta = w_[l].matvec_transposed(delta);
+  }
+}
+
+MlpGradients Mlp::make_gradients() const {
+  MlpGradients g;
+  for (std::size_t l = 0; l < w_.size(); ++l) {
+    g.w.emplace_back(w_[l].rows(), w_[l].cols());
+    g.b.emplace_back(b_[l].size(), 0.0);
+  }
+  return g;
+}
+
+std::size_t Mlp::input_size() const { return w_.front().cols(); }
+std::size_t Mlp::output_size() const { return w_.back().rows(); }
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t n = 0;
+  for (std::size_t l = 0; l < w_.size(); ++l)
+    n += w_[l].rows() * w_[l].cols() + b_[l].size();
+  return n;
+}
+
+Adam::Adam(const Mlp& model, AdamConfig config)
+    : config_(config), m_(model.make_gradients()), v_(model.make_gradients()) {}
+
+void Adam::step(Mlp& model, const MlpGradients& grads) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+
+  for (std::size_t l = 0; l < model.weights().size(); ++l) {
+    auto& w = model.weights()[l];
+    auto& b = model.biases()[l];
+    for (std::size_t i = 0; i < w.data().size(); ++i) {
+      const double g = grads.w[l].data()[i];
+      auto& m = m_.w[l].data()[i];
+      auto& v = v_.w[l].data()[i];
+      m = config_.beta1 * m + (1.0 - config_.beta1) * g;
+      v = config_.beta2 * v + (1.0 - config_.beta2) * g * g;
+      w.data()[i] -=
+          config_.lr * (m / bc1) / (std::sqrt(v / bc2) + config_.eps);
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      const double g = grads.b[l][i];
+      auto& m = m_.b[l][i];
+      auto& v = v_.b[l][i];
+      m = config_.beta1 * m + (1.0 - config_.beta1) * g;
+      v = config_.beta2 * v + (1.0 - config_.beta2) * g * g;
+      b[i] -= config_.lr * (m / bc1) / (std::sqrt(v / bc2) + config_.eps);
+    }
+  }
+}
+
+}  // namespace qarch::nn

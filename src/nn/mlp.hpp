@@ -1,0 +1,90 @@
+// A small multilayer perceptron with manual backprop and an Adam optimizer —
+// the deep-neural-net predictor of Fig. 1 is built from this.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/mat.hpp"
+
+namespace qarch::nn {
+
+/// Per-layer activation.
+enum class Activation { Identity, Tanh, Relu };
+
+/// Gradients mirroring an Mlp's parameters.
+struct MlpGradients {
+  std::vector<Mat> w;
+  std::vector<std::vector<double>> b;
+
+  void zero();
+  void add_scaled(const MlpGradients& rhs, double scale);
+};
+
+/// Fully connected network: dims = {in, hidden..., out}; activations has one
+/// entry per layer (dims.size() - 1 entries).
+class Mlp {
+ public:
+  Mlp(const std::vector<std::size_t>& dims,
+      const std::vector<Activation>& activations, Rng& rng);
+
+  /// Forward pass caches per-layer pre/post activations for backprop.
+  struct Trace {
+    std::vector<std::vector<double>> inputs;  ///< input to each layer
+    std::vector<std::vector<double>> pre;     ///< pre-activation per layer
+  };
+
+  /// Output for input x; fills `trace` when non-null.
+  [[nodiscard]] std::vector<double> forward(const std::vector<double>& x,
+                                            Trace* trace = nullptr) const;
+
+  /// Backpropagates dL/d(output) through `trace`, accumulating into `grads`.
+  void backward(const Trace& trace, const std::vector<double>& dloss_dout,
+                MlpGradients& grads) const;
+
+  /// Zero-initialized gradient buffers of matching shape.
+  [[nodiscard]] MlpGradients make_gradients() const;
+
+  [[nodiscard]] std::size_t input_size() const;
+  [[nodiscard]] std::size_t output_size() const;
+  [[nodiscard]] std::size_t num_layers() const { return w_.size(); }
+  [[nodiscard]] std::size_t num_parameters() const;
+
+  // Parameter access for the optimizer and serialization.
+  std::vector<Mat>& weights() { return w_; }
+  std::vector<std::vector<double>>& biases() { return b_; }
+  [[nodiscard]] const std::vector<Mat>& weights() const { return w_; }
+  [[nodiscard]] const std::vector<std::vector<double>>& biases() const {
+    return b_;
+  }
+
+ private:
+  std::vector<Mat> w_;
+  std::vector<std::vector<double>> b_;
+  std::vector<Activation> act_;
+};
+
+/// Adam hyperparameters.
+struct AdamConfig {
+  double lr = 1e-2;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+/// Adam optimizer over an Mlp's parameters.
+class Adam {
+ public:
+  explicit Adam(const Mlp& model, AdamConfig config = {});
+
+  /// Applies one Adam update of `grads` (gradient DESCENT direction).
+  void step(Mlp& model, const MlpGradients& grads);
+
+ private:
+  AdamConfig config_;
+  MlpGradients m_, v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace qarch::nn

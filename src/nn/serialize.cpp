@@ -1,0 +1,71 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qarch::nn {
+
+json::Value mlp_to_json(const Mlp& model) {
+  json::Value layers = json::Value::array();
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    const Mat& w = model.weights()[l];
+    const auto& b = model.biases()[l];
+    json::Value layer = json::Value::object();
+    layer.set("rows", w.rows());
+    layer.set("cols", w.cols());
+    json::Value weights = json::Value::array();
+    for (double x : w.data()) weights.push_back(x);
+    layer.set("w", std::move(weights));
+    json::Value bias = json::Value::array();
+    for (double x : b) bias.push_back(x);
+    layer.set("b", std::move(bias));
+    layers.push_back(std::move(layer));
+  }
+  json::Value obj = json::Value::object();
+  obj.set("format", "qarch-mlp-v1");
+  obj.set("layers", std::move(layers));
+  return obj;
+}
+
+void mlp_from_json(const json::Value& value, Mlp& model) {
+  QARCH_REQUIRE(value.contains("format") &&
+                    value.at("format").as_string() == "qarch-mlp-v1",
+                "not a qarch MLP checkpoint");
+  const json::Value& layers = value.at("layers");
+  QARCH_REQUIRE(layers.size() == model.num_layers(),
+                "layer count mismatch");
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    const json::Value& layer = layers.at(l);
+    Mat& w = model.weights()[l];
+    auto& b = model.biases()[l];
+    QARCH_REQUIRE(
+        static_cast<std::size_t>(layer.at("rows").as_number()) == w.rows() &&
+            static_cast<std::size_t>(layer.at("cols").as_number()) == w.cols(),
+        "weight shape mismatch at layer " + std::to_string(l));
+    const json::Value& weights = layer.at("w");
+    QARCH_REQUIRE(weights.size() == w.data().size(), "weight count mismatch");
+    for (std::size_t i = 0; i < w.data().size(); ++i)
+      w.data()[i] = weights.at(i).as_number();
+    const json::Value& bias = layer.at("b");
+    QARCH_REQUIRE(bias.size() == b.size(), "bias count mismatch");
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = bias.at(i).as_number();
+  }
+}
+
+void save_mlp(const Mlp& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("save_mlp: cannot open " + path);
+  out << mlp_to_json(model).dump(2) << '\n';
+}
+
+void load_mlp(const std::string& path, Mlp& model) {
+  std::ifstream in(path);
+  if (!in) throw Error("load_mlp: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  mlp_from_json(json::parse(buffer.str()), model);
+}
+
+}  // namespace qarch::nn

@@ -1,0 +1,26 @@
+// MLP weight persistence.
+//
+// The REINFORCE controller is trained online during a search; persisting its
+// weights lets a later search (or a bigger cluster job) resume from a warm
+// policy instead of re-exploring. JSON format keeps checkpoints diffable.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "nn/mlp.hpp"
+
+namespace qarch::nn {
+
+/// Serializes all weights/biases plus layer shapes.
+json::Value mlp_to_json(const Mlp& model);
+
+/// Restores weights into a model of IDENTICAL architecture; throws
+/// InvalidArgument on any shape mismatch.
+void mlp_from_json(const json::Value& value, Mlp& model);
+
+/// Convenience file wrappers.
+void save_mlp(const Mlp& model, const std::string& path);
+void load_mlp(const std::string& path, Mlp& model);
+
+}  // namespace qarch::nn

@@ -1,0 +1,162 @@
+#include "optim/cobyla.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qarch::optim {
+
+namespace {
+
+/// Solves the n x n system A x = b by Gaussian elimination with partial
+/// pivoting. Returns false when the matrix is (numerically) singular.
+bool solve_linear(std::vector<std::vector<double>> a, std::vector<double> b,
+                  std::vector<double>& x) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    if (std::abs(a[pivot][col]) < 1e-14) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  x.assign(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double s = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) s -= a[r][c] * x[c];
+    x[r] = s / a[r][r];
+  }
+  return true;
+}
+
+}  // namespace
+
+OptimResult Cobyla::minimize(const Objective& f,
+                             std::vector<double> x0) const {
+  const std::size_t n = x0.size();
+  QARCH_REQUIRE(n >= 1, "cobyla needs at least one parameter");
+  QARCH_REQUIRE(config_.max_evals >= n + 2,
+                "evaluation budget too small for the initial simplex");
+
+  OptimResult result;
+  result.history.reserve(config_.max_evals);
+  double best_so_far = std::numeric_limits<double>::infinity();
+
+  auto eval = [&](std::span<const double> x) {
+    const double v = f(x);
+    ++result.evaluations;
+    best_so_far = std::min(best_so_far, v);
+    result.history.push_back(best_so_far);
+    return v;
+  };
+
+  double rho = config_.rho_begin;
+
+  // Simplex: points[0] is the current base; points[i] = base + rho * e_i.
+  std::vector<std::vector<double>> points(n + 1, x0);
+  std::vector<double> values(n + 1);
+  auto rebuild_simplex = [&](const std::vector<double>& base, double base_val,
+                             bool have_base_val) -> bool {
+    points[0] = base;
+    values[0] = have_base_val ? base_val : eval(base);
+    if (!have_base_val && result.evaluations >= config_.max_evals) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+      points[i + 1] = base;
+      points[i + 1][i] += rho;
+      if (result.evaluations >= config_.max_evals) return false;
+      values[i + 1] = eval(points[i + 1]);
+    }
+    return true;
+  };
+
+  rebuild_simplex(x0, 0.0, false);
+
+  auto best_index = [&] {
+    std::size_t bi = 0;
+    for (std::size_t i = 1; i <= n; ++i)
+      if (values[i] < values[bi]) bi = i;
+    return bi;
+  };
+
+  while (result.evaluations < config_.max_evals && rho > config_.rho_end) {
+    // Affine interpolation: f(x) ≈ values[0] + g·(x - points[0]).
+    std::vector<std::vector<double>> a(n, std::vector<double>(n));
+    std::vector<double> rhs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j)
+        a[i][j] = points[i + 1][j] - points[0][j];
+      rhs[i] = values[i + 1] - values[0];
+    }
+    std::vector<double> grad;
+    const bool solvable = solve_linear(a, rhs, grad);
+
+    const std::size_t bi = best_index();
+    bool improved = false;
+    if (solvable) {
+      double gnorm = 0.0;
+      for (double g : grad) gnorm += g * g;
+      gnorm = std::sqrt(gnorm);
+      if (gnorm > 1e-14) {
+        // Trust-region step: move rho along the steepest model descent
+        // from the best simplex point.
+        std::vector<double> cand = points[bi];
+        for (std::size_t j = 0; j < n; ++j) cand[j] -= rho * grad[j] / gnorm;
+        const double cv = eval(cand);
+        if (result.evaluations > config_.max_evals) break;
+        // Replace the worst simplex point on improvement.
+        std::size_t wi = 0;
+        for (std::size_t i = 1; i <= n; ++i)
+          if (values[i] > values[wi]) wi = i;
+        if (cv < values[wi]) {
+          improved = cv < values[bi];
+          // Pattern move: when the step beat the incumbent, probe a doubled
+          // step and modestly regrow the trust region — this lets the method
+          // track curved valleys instead of only ever shrinking rho.
+          if (improved && result.evaluations < config_.max_evals) {
+            std::vector<double> extended = points[bi];
+            for (std::size_t j = 0; j < n; ++j)
+              extended[j] -= 2.0 * rho * grad[j] / gnorm;
+            const double ev = eval(extended);
+            if (ev < cv) {
+              cand = std::move(extended);
+              rho = std::min(rho * 1.5, config_.rho_begin);
+              points[wi] = std::move(cand);
+              values[wi] = ev;
+            } else {
+              points[wi] = std::move(cand);
+              values[wi] = cv;
+            }
+          } else {
+            points[wi] = std::move(cand);
+            values[wi] = cv;
+          }
+        }
+      }
+    }
+
+    if (!improved) {
+      // Model stalled: shrink the trust region and rebuild the simplex
+      // around the incumbent best point.
+      rho *= 0.5;
+      const std::size_t keep = best_index();
+      const std::vector<double> base = points[keep];
+      const double base_val = values[keep];
+      if (result.evaluations >= config_.max_evals) break;
+      if (!rebuild_simplex(base, base_val, true)) break;
+    }
+  }
+
+  const std::size_t bi = best_index();
+  result.x = points[bi];
+  result.value = values[bi];
+  return result;
+}
+
+}  // namespace qarch::optim

@@ -1,0 +1,38 @@
+// COBYLA-style linear-surrogate trust-region optimizer.
+//
+// The paper trains candidates with SciPy's COBYLA (Powell 1994). This is a
+// from-scratch reimplementation of the method's core mechanism for the
+// unconstrained case: maintain an (n+1)-point simplex, interpolate an affine
+// model of the objective through it, step to the trust-region minimizer of
+// the model, and shrink the trust radius when the model stops producing
+// improvement. Termination on either the evaluation budget (`max_evals`,
+// 200 in every paper experiment) or trust radius reaching `rho_end`.
+#pragma once
+
+#include "optim/optimizer.hpp"
+
+namespace qarch::optim {
+
+/// Configuration mirroring SciPy's (rhobeg, tol, maxiter).
+struct CobylaConfig {
+  double rho_begin = 0.5;   ///< initial trust-region radius
+  double rho_end = 1e-6;    ///< final radius (convergence threshold)
+  std::size_t max_evals = 200;
+};
+
+/// Unconstrained COBYLA-style minimizer.
+class Cobyla final : public Optimizer {
+ public:
+  explicit Cobyla(CobylaConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] OptimResult minimize(const Objective& f,
+                                     std::vector<double> x0) const override;
+  [[nodiscard]] std::string name() const override { return "cobyla"; }
+
+  [[nodiscard]] const CobylaConfig& config() const { return config_; }
+
+ private:
+  CobylaConfig config_;
+};
+
+}  // namespace qarch::optim

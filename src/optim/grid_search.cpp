@@ -1,0 +1,43 @@
+#include "optim/grid_search.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace qarch::optim {
+
+OptimResult GridSearch::minimize(const Objective& f,
+                                 std::vector<double> x0) const {
+  const std::size_t n = x0.size();
+  QARCH_REQUIRE(n >= 1 && n <= 3, "grid search limited to 1-3 dimensions");
+  QARCH_REQUIRE(config_.points_per_axis >= 2, "need at least 2 grid points");
+
+  const std::size_t ppa = config_.points_per_axis;
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < n; ++i) total *= ppa;
+
+  OptimResult result;
+  result.value = std::numeric_limits<double>::infinity();
+  std::vector<double> x(n);
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    std::size_t rem = flat;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t k = rem % ppa;
+      rem /= ppa;
+      x[j] = config_.lo + (config_.hi - config_.lo) *
+                              static_cast<double>(k) /
+                              static_cast<double>(ppa - 1);
+    }
+    const double v = f(x);
+    ++result.evaluations;
+    if (v < result.value) {
+      result.value = v;
+      result.x = x;
+    }
+    result.history.push_back(result.value);
+  }
+  return result;
+}
+
+}  // namespace qarch::optim

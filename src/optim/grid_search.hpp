@@ -1,0 +1,30 @@
+// Exhaustive grid search over a box; exact baseline for low dimensions
+// (QAOA p=1 has just two parameters, so a fine grid is feasible).
+#pragma once
+
+#include "optim/optimizer.hpp"
+
+namespace qarch::optim {
+
+/// Axis-aligned box [lo, hi]^n sampled at `points_per_axis` per dimension.
+struct GridSearchConfig {
+  double lo = -3.14159265358979323846;
+  double hi = 3.14159265358979323846;
+  std::size_t points_per_axis = 16;
+};
+
+/// Grid-search minimizer. Ignores x0 except for its dimension. Evaluation
+/// count is points_per_axis^n — use only for n <= 3.
+class GridSearch final : public Optimizer {
+ public:
+  explicit GridSearch(GridSearchConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] OptimResult minimize(const Objective& f,
+                                     std::vector<double> x0) const override;
+  [[nodiscard]] std::string name() const override { return "grid"; }
+
+ private:
+  GridSearchConfig config_;
+};
+
+}  // namespace qarch::optim

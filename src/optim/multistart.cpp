@@ -1,0 +1,50 @@
+#include "optim/multistart.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qarch::optim {
+
+MultiStart::MultiStart(OptimizerFactory factory, MultiStartConfig config)
+    : factory_(std::move(factory)), config_(config) {
+  QARCH_REQUIRE(factory_ != nullptr, "multi-start needs a factory");
+  QARCH_REQUIRE(config_.restarts >= 1, "need at least one restart");
+  QARCH_REQUIRE(config_.total_evals >= config_.restarts,
+                "budget smaller than restart count");
+}
+
+OptimResult MultiStart::minimize(const Objective& f,
+                                 std::vector<double> x0) const {
+  const std::size_t per_run = config_.total_evals / config_.restarts;
+  Rng rng(config_.seed);
+
+  OptimResult best;
+  best.value = std::numeric_limits<double>::infinity();
+  OptimResult combined;
+
+  for (std::size_t r = 0; r < config_.restarts; ++r) {
+    std::vector<double> start = x0;
+    if (r > 0)  // first run keeps the caller's initial point
+      for (double& x : start) x += rng.normal(0.0, config_.perturbation);
+
+    const std::unique_ptr<Optimizer> base = factory_(per_run);
+    const OptimResult run = base->minimize(f, std::move(start));
+
+    combined.evaluations += run.evaluations;
+    // Stitch the best-so-far history across restarts.
+    const double floor = combined.history.empty()
+                             ? std::numeric_limits<double>::infinity()
+                             : combined.history.back();
+    for (double h : run.history)
+      combined.history.push_back(std::min(h, floor));
+    if (run.value < best.value) best = run;
+  }
+
+  combined.x = best.x;
+  combined.value = best.value;
+  return combined;
+}
+
+}  // namespace qarch::optim

@@ -1,0 +1,42 @@
+// Multi-start wrapper: restarts any base optimizer from several seeded
+// initial points within a shared evaluation budget.
+//
+// QAOA landscapes are non-convex with symmetric local optima; multi-start is
+// the standard mitigation when a single 200-eval run stalls. The wrapper
+// divides the total budget evenly across restarts and returns the best run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "optim/optimizer.hpp"
+
+namespace qarch::optim {
+
+/// Factory for the per-restart optimizer, given its evaluation budget.
+using OptimizerFactory =
+    std::function<std::unique_ptr<Optimizer>(std::size_t budget)>;
+
+/// Multi-start configuration.
+struct MultiStartConfig {
+  std::size_t restarts = 4;
+  std::size_t total_evals = 200;   ///< budget shared across restarts
+  double perturbation = 1.0;       ///< stddev of the restart-point jitter
+  std::uint64_t seed = 31;
+};
+
+/// Wraps a base optimizer with seeded random restarts.
+class MultiStart final : public Optimizer {
+ public:
+  MultiStart(OptimizerFactory factory, MultiStartConfig config = {});
+
+  [[nodiscard]] OptimResult minimize(const Objective& f,
+                                     std::vector<double> x0) const override;
+  [[nodiscard]] std::string name() const override { return "multi-start"; }
+
+ private:
+  OptimizerFactory factory_;
+  MultiStartConfig config_;
+};
+
+}  // namespace qarch::optim

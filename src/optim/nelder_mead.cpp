@@ -1,0 +1,114 @@
+#include "optim/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qarch::optim {
+
+OptimResult NelderMead::minimize(const Objective& f,
+                                 std::vector<double> x0) const {
+  const std::size_t n = x0.size();
+  QARCH_REQUIRE(n >= 1, "nelder-mead needs at least one parameter");
+  QARCH_REQUIRE(config_.max_evals >= n + 2, "budget too small for simplex");
+
+  OptimResult result;
+  double best_so_far = std::numeric_limits<double>::infinity();
+  auto eval = [&](std::span<const double> x) {
+    const double v = f(x);
+    ++result.evaluations;
+    best_so_far = std::min(best_so_far, v);
+    result.history.push_back(best_so_far);
+    return v;
+  };
+  auto budget_left = [&] { return result.evaluations < config_.max_evals; };
+
+  // Initial simplex around x0.
+  std::vector<std::vector<double>> pts(n + 1, x0);
+  std::vector<double> vals(n + 1);
+  vals[0] = eval(pts[0]);
+  for (std::size_t i = 0; i < n && budget_left(); ++i) {
+    pts[i + 1][i] += config_.initial_step;
+    vals[i + 1] = eval(pts[i + 1]);
+  }
+
+  std::vector<std::size_t> idx(n + 1);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+
+  while (budget_left()) {
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return vals[a] < vals[b]; });
+    const std::size_t best = idx[0], worst = idx[n];
+    const std::size_t second_worst = idx[n - 1];
+
+    // Convergence on value spread.
+    if (std::abs(vals[worst] - vals[best]) < config_.tol) break;
+
+    // Centroid of all but the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += pts[idx[k]][j];
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto along = [&](double coeff) {
+      std::vector<double> p(n);
+      for (std::size_t j = 0; j < n; ++j)
+        p[j] = centroid[j] + coeff * (centroid[j] - pts[worst][j]);
+      return p;
+    };
+
+    const std::vector<double> reflected = along(config_.alpha);
+    const double fr = eval(reflected);
+    if (!budget_left() && fr >= vals[best]) break;
+
+    if (fr < vals[best]) {
+      // Try expanding further along the reflection direction.
+      if (budget_left()) {
+        const std::vector<double> expanded = along(config_.gamma);
+        const double fe = eval(expanded);
+        if (fe < fr) {
+          pts[worst] = expanded;
+          vals[worst] = fe;
+          continue;
+        }
+      }
+      pts[worst] = reflected;
+      vals[worst] = fr;
+      continue;
+    }
+    if (fr < vals[second_worst]) {
+      pts[worst] = reflected;
+      vals[worst] = fr;
+      continue;
+    }
+    // Contraction toward the centroid.
+    if (budget_left()) {
+      const std::vector<double> contracted = along(-config_.rho);
+      const double fc = eval(contracted);
+      if (fc < vals[worst]) {
+        pts[worst] = contracted;
+        vals[worst] = fc;
+        continue;
+      }
+    }
+    // Shrink everything toward the best point.
+    for (std::size_t k = 1; k <= n && budget_left(); ++k) {
+      const std::size_t i = idx[k];
+      for (std::size_t j = 0; j < n; ++j)
+        pts[i][j] = pts[best][j] + config_.sigma * (pts[i][j] - pts[best][j]);
+      vals[i] = eval(pts[i]);
+    }
+  }
+
+  std::size_t bi = 0;
+  for (std::size_t i = 1; i <= n; ++i)
+    if (vals[i] < vals[bi]) bi = i;
+  result.x = pts[bi];
+  result.value = vals[bi];
+  return result;
+}
+
+}  // namespace qarch::optim

@@ -1,0 +1,32 @@
+// Nelder–Mead downhill simplex (ablation alternative to COBYLA).
+#pragma once
+
+#include "optim/optimizer.hpp"
+
+namespace qarch::optim {
+
+/// Standard Nelder–Mead coefficients plus an evaluation budget.
+struct NelderMeadConfig {
+  double initial_step = 0.5;  ///< simplex edge length around x0
+  double alpha = 1.0;         ///< reflection
+  double gamma = 2.0;         ///< expansion
+  double rho = 0.5;           ///< contraction
+  double sigma = 0.5;         ///< shrink
+  double tol = 1e-10;         ///< spread termination threshold
+  std::size_t max_evals = 200;
+};
+
+/// Downhill-simplex minimizer.
+class NelderMead final : public Optimizer {
+ public:
+  explicit NelderMead(NelderMeadConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] OptimResult minimize(const Objective& f,
+                                     std::vector<double> x0) const override;
+  [[nodiscard]] std::string name() const override { return "nelder-mead"; }
+
+ private:
+  NelderMeadConfig config_;
+};
+
+}  // namespace qarch::optim

@@ -1,0 +1,39 @@
+// Derivative-free optimizer interface for variational circuit training.
+//
+// The paper trains every candidate circuit for 200 steps of COBYLA; the
+// evaluator takes any Optimizer so ablations can swap in Nelder–Mead, SPSA,
+// or grid search (see bench/abl_optimizers).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qarch::optim {
+
+/// Objective: maps a parameter vector to a scalar to be MINIMIZED.
+using Objective = std::function<double(std::span<const double>)>;
+
+/// Result of an optimization run.
+struct OptimResult {
+  std::vector<double> x;          ///< best parameters found
+  double value = 0.0;             ///< objective at x
+  std::size_t evaluations = 0;    ///< objective calls consumed
+  std::vector<double> history;    ///< best-so-far value after each call
+};
+
+/// Abstract derivative-free minimizer.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Minimizes f starting at x0 within the optimizer's evaluation budget.
+  [[nodiscard]] virtual OptimResult minimize(const Objective& f,
+                                             std::vector<double> x0) const = 0;
+
+  /// Display name ("cobyla", "nelder-mead", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace qarch::optim

@@ -1,0 +1,62 @@
+#include "optim/spsa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qarch::optim {
+
+OptimResult Spsa::minimize(const Objective& f, std::vector<double> x0) const {
+  const std::size_t n = x0.size();
+  QARCH_REQUIRE(n >= 1, "spsa needs at least one parameter");
+  QARCH_REQUIRE(config_.max_evals >= 3, "budget too small");
+
+  Rng rng(config_.seed);
+  OptimResult result;
+  double best_so_far = std::numeric_limits<double>::infinity();
+  std::vector<double> best_x = x0;
+
+  auto eval = [&](std::span<const double> x) {
+    const double v = f(x);
+    ++result.evaluations;
+    if (v < best_so_far) {
+      best_so_far = v;
+      best_x.assign(x.begin(), x.end());
+    }
+    result.history.push_back(best_so_far);
+    return v;
+  };
+
+  std::vector<double> x = std::move(x0);
+  eval(x);
+
+  std::vector<double> delta(n), plus(n), minus(n);
+  for (std::size_t k = 0; result.evaluations + 2 <= config_.max_evals; ++k) {
+    const double ak =
+        config_.a / std::pow(static_cast<double>(k) + 1 + config_.stability,
+                             config_.alpha);
+    const double ck =
+        config_.c / std::pow(static_cast<double>(k) + 1, config_.gamma);
+
+    for (std::size_t j = 0; j < n; ++j) {
+      delta[j] = rng.bernoulli(0.5) ? 1.0 : -1.0;  // Rademacher
+      plus[j] = x[j] + ck * delta[j];
+      minus[j] = x[j] - ck * delta[j];
+    }
+    const double fp = eval(plus);
+    const double fm = eval(minus);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ghat = (fp - fm) / (2.0 * ck * delta[j]);
+      x[j] -= ak * ghat;
+    }
+  }
+
+  result.x = std::move(best_x);
+  result.value = best_so_far;
+  return result;
+}
+
+}  // namespace qarch::optim

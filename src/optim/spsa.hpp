@@ -1,0 +1,38 @@
+// Simultaneous Perturbation Stochastic Approximation (Spall 1992).
+//
+// A standard optimizer for noisy variational-quantum objectives; included as
+// an ablation alternative. Two objective calls per iteration regardless of
+// dimension.
+#pragma once
+
+#include <cstdint>
+
+#include "optim/optimizer.hpp"
+
+namespace qarch::optim {
+
+/// Standard SPSA gain-sequence parameters.
+struct SpsaConfig {
+  double a = 0.2;          ///< step-size numerator
+  double c = 0.1;          ///< perturbation size numerator
+  double alpha = 0.602;    ///< step-size decay exponent
+  double gamma = 0.101;    ///< perturbation decay exponent
+  double stability = 10.0; ///< A, stability constant in a_k
+  std::size_t max_evals = 200;
+  std::uint64_t seed = 1234;
+};
+
+/// SPSA minimizer.
+class Spsa final : public Optimizer {
+ public:
+  explicit Spsa(SpsaConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] OptimResult minimize(const Objective& f,
+                                     std::vector<double> x0) const override;
+  [[nodiscard]] std::string name() const override { return "spsa"; }
+
+ private:
+  SpsaConfig config_;
+};
+
+}  // namespace qarch::optim

@@ -1,0 +1,79 @@
+// Fork-join data parallelism (OpenMP "parallel for" idiom).
+//
+// Used for the *inner* level of the two-level parallelization scheme:
+// distributing per-edge expectation values or tensor-contraction work across
+// threads inside one candidate evaluation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qarch::parallel {
+
+/// Runs body(i) for i in [begin, end) on up to `workers` threads.
+///
+/// Work is distributed dynamically in chunks via an atomic counter (the
+/// OpenMP `schedule(dynamic)` idiom) so uneven task costs balance well.
+/// Exceptions thrown by the body are captured and the first one rethrown on
+/// the calling thread after all workers join.
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body,
+                         std::size_t workers = 0, std::size_t chunk = 1) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (workers == 0)
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers = std::min(workers, n);
+  if (chunk == 0) chunk = 1;
+
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{begin};
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+
+  auto run = [&] {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk);
+      if (lo >= end) return;
+      const std::size_t hi = std::min(end, lo + chunk);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(run);
+  run();
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Parallel map: applies fn to each element of `inputs`, preserving order.
+template <typename In, typename Fn>
+auto parallel_map(const std::vector<In>& inputs, Fn&& fn,
+                  std::size_t workers = 0)
+    -> std::vector<decltype(fn(inputs.front()))> {
+  using Out = decltype(fn(inputs.front()));
+  std::vector<Out> out(inputs.size());
+  parallel_for(
+      0, inputs.size(), [&](std::size_t i) { out[i] = fn(inputs[i]); },
+      workers);
+  return out;
+}
+
+}  // namespace qarch::parallel

@@ -1,0 +1,89 @@
+// starmap_async-style bulk task execution.
+//
+// The paper parallelizes the gate-combination loop with Python
+// `multiprocessing.Pool.starmap_async`. `TaskPool::starmap_async` reproduces
+// that contract: submit fn over a vector of argument tuples, obtain a handle,
+// and collect ordered results later. Built on ThreadPool.
+#pragma once
+
+#include <future>
+#include <tuple>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace qarch::parallel {
+
+/// Handle for an in-flight starmap_async call; `get()` blocks and returns
+/// results in submission order (exactly like multiprocessing's MapResult).
+template <typename R>
+class MapResult {
+ public:
+  explicit MapResult(std::vector<std::future<R>> futures)
+      : futures_(std::move(futures)) {}
+
+  /// Blocks until every task finished; rethrows the first task exception.
+  std::vector<R> get() {
+    std::vector<R> out;
+    out.reserve(futures_.size());
+    for (auto& f : futures_) out.push_back(f.get());
+    return out;
+  }
+
+  /// True when every task has completed (non-blocking poll). Futures whose
+  /// results were already collected by get() count as completed.
+  [[nodiscard]] bool ready() const {
+    for (const auto& f : futures_) {
+      if (!f.valid()) continue;  // consumed by get()
+      if (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+        return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return futures_.size(); }
+
+ private:
+  std::vector<std::future<R>> futures_;
+};
+
+/// A pool facade mirroring multiprocessing.Pool's bulk-submission API.
+class TaskPool {
+ public:
+  /// Creates the pool with `workers` threads (0 = hardware concurrency).
+  explicit TaskPool(std::size_t workers = 0) : pool_(workers) {}
+
+  [[nodiscard]] std::size_t size() const { return pool_.size(); }
+
+  /// Applies fn to each argument tuple asynchronously; returns a handle.
+  template <typename Fn, typename... Args>
+  auto starmap_async(Fn fn, const std::vector<std::tuple<Args...>>& args)
+      -> MapResult<decltype(std::apply(fn, args.front()))> {
+    using R = decltype(std::apply(fn, args.front()));
+    std::vector<std::future<R>> futures;
+    futures.reserve(args.size());
+    for (const auto& a : args)
+      futures.push_back(pool_.submit([fn, a] { return std::apply(fn, a); }));
+    return MapResult<R>(std::move(futures));
+  }
+
+  /// Applies fn to each single argument asynchronously (Pool.map_async).
+  template <typename Fn, typename Arg>
+  auto map_async(Fn fn, const std::vector<Arg>& args)
+      -> MapResult<decltype(fn(args.front()))> {
+    using R = decltype(fn(args.front()));
+    std::vector<std::future<R>> futures;
+    futures.reserve(args.size());
+    for (const auto& a : args)
+      futures.push_back(pool_.submit([fn, a] { return fn(a); }));
+    return MapResult<R>(std::move(futures));
+  }
+
+  /// Direct access to the underlying pool for single submissions.
+  ThreadPool& raw() { return pool_; }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace qarch::parallel

@@ -1,0 +1,66 @@
+// Fixed-size thread pool.
+//
+// This is the process-level parallelism substrate standing in for Python's
+// `multiprocessing.Pool` in the paper: a pool of N workers pulls independent
+// tasks (candidate-circuit evaluations) from a shared queue. The worker count
+// is an explicit constructor argument because the Fig. 5 experiment sweeps it
+// from 8 to 64 regardless of the physical core count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qarch::parallel {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t workers = 0);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+  /// Submits a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Blocks until the queue is empty and all in-flight tasks finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace qarch::parallel

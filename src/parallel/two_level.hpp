@@ -1,0 +1,61 @@
+// Two-level parallelization scheme (Fig. 2 of the paper).
+//
+// The paper splits work across *nodes* of Polaris (one graph / search job per
+// node) and, within a node, across CPUs (one candidate circuit per process)
+// with the simulator optionally using a GPU. On a single machine we model the
+// same structure as nested thread groups:
+//
+//   outer level  — `outer_workers` concurrent candidate evaluations
+//   inner level  — each evaluation may use `inner_workers` threads for the
+//                  simulator backend (per-edge expectations / contraction)
+//
+// TwoLevelExecutor owns the budget split so a fixed core budget C can be
+// partitioned as outer×inner = C; the `abl_two_level` bench sweeps this.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "parallel/task_pool.hpp"
+
+namespace qarch::parallel {
+
+/// Splits a total core budget between outer (search) and inner (simulator)
+/// parallelism and runs bulk jobs under that split.
+class TwoLevelExecutor {
+ public:
+  /// `outer_workers` concurrent tasks, each told it may use `inner_workers`
+  /// threads. Both must be >= 1.
+  TwoLevelExecutor(std::size_t outer_workers, std::size_t inner_workers)
+      : inner_workers_(inner_workers), pool_(outer_workers) {
+    QARCH_REQUIRE(outer_workers >= 1 && inner_workers >= 1,
+                  "worker counts must be >= 1");
+  }
+
+  [[nodiscard]] std::size_t outer_workers() const { return pool_.size(); }
+  [[nodiscard]] std::size_t inner_workers() const { return inner_workers_; }
+
+  /// Runs fn(item_index, inner_workers) for every index in [0, n), with at
+  /// most outer_workers() in flight; returns per-item results in order.
+  template <typename R>
+  std::vector<R> run(std::size_t n,
+                     const std::function<R(std::size_t, std::size_t)>& fn) {
+    std::vector<std::future<R>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      futures.push_back(pool_.raw().submit(
+          [fn, i, inner = inner_workers_] { return fn(i, inner); }));
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  }
+
+ private:
+  std::size_t inner_workers_;
+  TaskPool pool_;
+};
+
+}  // namespace qarch::parallel

@@ -1,0 +1,33 @@
+#include "qaoa/ansatz.hpp"
+
+#include "common/error.hpp"
+
+namespace qarch::qaoa {
+
+using circuit::ParamExpr;
+
+void append_cost_layer(circuit::Circuit& target, const graph::Graph& g,
+                       std::size_t gamma_param) {
+  QARCH_REQUIRE(target.num_qubits() == g.num_vertices(),
+                "circuit/graph size mismatch");
+  for (const auto& e : g.edges()) {
+    // e^{-iγ C} restricted to this edge is e^{+iγ w/2 Z_u Z_v} (up to global
+    // phase) = RZZ(-w γ) since RZZ(θ) = e^{-iθ Z⊗Z / 2}.
+    target.rzz(e.u, e.v, ParamExpr::symbol(gamma_param, -e.weight));
+  }
+}
+
+circuit::Circuit build_qaoa_circuit(const graph::Graph& g, std::size_t p,
+                                    const MixerSpec& mixer) {
+  QARCH_REQUIRE(p >= 1, "ansatz depth p must be >= 1");
+  circuit::Circuit c(g.num_vertices());
+  for (std::size_t layer = 0; layer < p; ++layer) {
+    const std::size_t gamma = c.add_param();
+    const std::size_t beta = c.add_param();
+    append_cost_layer(c, g, gamma);
+    append_mixer_layer(c, mixer, beta);
+  }
+  return c;
+}
+
+}  // namespace qarch::qaoa

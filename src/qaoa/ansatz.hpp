@@ -1,0 +1,39 @@
+// The p-layer alternating QAOA ansatz (Eq. 2 of the paper):
+//   |γ, β> = e^{-iβ_p B} e^{-iγ_p C} ... e^{-iβ_1 B} e^{-iγ_1 C} |s>
+// with |s> = |+>^n. The cost layer is fixed by the graph; the mixer layer is
+// pluggable (BUILD_QAOA_CKT of Algorithm 1).
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/circuit.hpp"
+#include "graph/graph.hpp"
+#include "qaoa/mixer.hpp"
+
+namespace qarch::qaoa {
+
+/// Parameter layout of the ansatz returned by build_qaoa_circuit:
+/// theta[2l] = γ_{l+1}, theta[2l+1] = β_{l+1} for layer l in [0, p).
+struct AnsatzLayout {
+  std::size_t p = 0;
+  [[nodiscard]] std::size_t num_params() const { return 2 * p; }
+  [[nodiscard]] std::size_t gamma_index(std::size_t layer) const {
+    return 2 * layer;
+  }
+  [[nodiscard]] std::size_t beta_index(std::size_t layer) const {
+    return 2 * layer + 1;
+  }
+};
+
+/// Appends the max-cut cost layer e^{-iγC}: RZZ(-w_e γ) per edge.
+/// (Global phases from the identity part of C are dropped.)
+void append_cost_layer(circuit::Circuit& target, const graph::Graph& g,
+                       std::size_t gamma_param);
+
+/// Builds the full p-layer ansatz over `g` with `mixer` as B.
+/// The circuit assumes the |+>^n initial state (run with run_from_plus or
+/// the QTensor expectation network, both of which bake the plus caps in).
+circuit::Circuit build_qaoa_circuit(const graph::Graph& g, std::size_t p,
+                                    const MixerSpec& mixer);
+
+}  // namespace qarch::qaoa

@@ -1,0 +1,133 @@
+#include "qaoa/energy.hpp"
+
+#include "common/error.hpp"
+#include "parallel/parallel_for.hpp"
+#include "qtensor/ordering.hpp"
+
+namespace qarch::qaoa {
+
+namespace {
+
+/// Statevector plan: run the circuit once per call, read all <ZZ> off it.
+class StatevectorPlan final : public EnergyPlan {
+ public:
+  StatevectorPlan(circuit::Circuit ansatz, const MaxCutHamiltonian& ham)
+      : ansatz_(std::move(ansatz)), ham_(ham), simulator_(/*workers=*/1) {}
+
+  double energy(std::span<const double> theta) const override {
+    return ham_.energy(zz_expectations(theta));
+  }
+
+  std::vector<double> zz_expectations(
+      std::span<const double> theta) const override {
+    const sim::State state = simulator_.run_from_plus(ansatz_, theta);
+    const auto& terms = ham_.terms();
+    std::vector<double> zz(terms.size());
+    for (std::size_t k = 0; k < terms.size(); ++k)
+      zz[k] = sim::expectation_zz(state, terms[k].u, terms[k].v);
+    return zz;
+  }
+
+ private:
+  circuit::Circuit ansatz_;
+  const MaxCutHamiltonian& ham_;
+  sim::StatevectorSimulator simulator_;
+};
+
+/// Tensor-network plan: per-edge elimination orders are computed once from
+/// the network STRUCTURE (wire variables depend only on the gate list, never
+/// on parameter values) and reused for every subsequent theta.
+class TensorNetworkPlan final : public EnergyPlan {
+ public:
+  TensorNetworkPlan(circuit::Circuit ansatz, const MaxCutHamiltonian& ham,
+                    const EnergyOptions& options)
+      : ansatz_(std::move(ansatz)),
+        ham_(ham),
+        options_(options),
+        backend_(qtensor::make_backend(options.qtensor.backend)) {
+    // Probe parameters: any values produce the same network structure.
+    const std::vector<double> probe(ansatz_.num_params(), 0.1);
+    const auto& terms = ham_.terms();
+    orders_.resize(terms.size());
+    for (std::size_t k = 0; k < terms.size(); ++k) {
+      const auto net = qtensor::expectation_zz_network(
+          ansatz_, probe, terms[k].u, terms[k].v, options_.qtensor.network);
+      orders_[k] = make_order(net);
+    }
+  }
+
+  double energy(std::span<const double> theta) const override {
+    return ham_.energy(zz_expectations(theta));
+  }
+
+  std::vector<double> zz_expectations(
+      std::span<const double> theta) const override {
+    const auto& terms = ham_.terms();
+    std::vector<double> zz(terms.size());
+    parallel::parallel_for(
+        0, terms.size(),
+        [&](std::size_t k) {
+          const auto net = qtensor::expectation_zz_network(
+              ansatz_, theta, terms[k].u, terms[k].v, options_.qtensor.network);
+          const auto r = qtensor::contract(net, orders_[k], *backend_);
+          QARCH_CHECK(std::abs(r.value.imag()) < 1e-8,
+                      "Hermitian expectation has a large imaginary part");
+          zz[k] = r.value.real();
+        },
+        options_.inner_workers);
+    return zz;
+  }
+
+ private:
+  [[nodiscard]] std::vector<qtensor::VarId> make_order(
+      const qtensor::TensorNetwork& net) const {
+    switch (options_.qtensor.ordering) {
+      case qtensor::OrderingAlgo::GreedyDegree:
+        return qtensor::order_greedy_degree(net);
+      case qtensor::OrderingAlgo::GreedyFill:
+        return qtensor::order_greedy_fill(net);
+      case qtensor::OrderingAlgo::Random: {
+        Rng rng(options_.qtensor.ordering_seed);
+        return qtensor::order_random(net, rng);
+      }
+      case qtensor::OrderingAlgo::RandomRestart: {
+        Rng rng(options_.qtensor.ordering_seed);
+        return qtensor::order_random_restart(
+            net, options_.qtensor.random_restarts, rng);
+      }
+    }
+    throw InternalError("unhandled ordering algorithm");
+  }
+
+  circuit::Circuit ansatz_;
+  const MaxCutHamiltonian& ham_;
+  EnergyOptions options_;
+  std::shared_ptr<const qtensor::Backend> backend_;
+  std::vector<std::vector<qtensor::VarId>> orders_;
+};
+
+}  // namespace
+
+EnergyEvaluator::EnergyEvaluator(const graph::Graph& g, EnergyOptions options)
+    : ham_(g), options_(std::move(options)) {}
+
+std::unique_ptr<EnergyPlan> EnergyEvaluator::make_plan(
+    const circuit::Circuit& ansatz) const {
+  QARCH_REQUIRE(ansatz.num_qubits() == ham_.num_qubits(),
+                "ansatz/Hamiltonian qubit mismatch");
+  if (options_.engine == EngineKind::Statevector)
+    return std::make_unique<StatevectorPlan>(ansatz, ham_);
+  return std::make_unique<TensorNetworkPlan>(ansatz, ham_, options_);
+}
+
+double EnergyEvaluator::energy(const circuit::Circuit& ansatz,
+                               std::span<const double> theta) const {
+  return make_plan(ansatz)->energy(theta);
+}
+
+std::vector<double> EnergyEvaluator::zz_expectations(
+    const circuit::Circuit& ansatz, std::span<const double> theta) const {
+  return make_plan(ansatz)->zz_expectations(theta);
+}
+
+}  // namespace qarch::qaoa

@@ -1,0 +1,75 @@
+// QAOA energy evaluation (SIMULATE_QAOA of Algorithm 1).
+//
+// Two engines compute <γ,β| C |γ,β>:
+//   * Statevector — run the ansatz once, read every <Z_u Z_v> off the state.
+//   * TensorNetwork — contract one lightcone network per edge with the
+//     QTensor backend; per-edge contractions can run in parallel across
+//     `inner_workers` threads (the inner level of the two-level scheme).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "circuit/circuit.hpp"
+#include "graph/graph.hpp"
+#include "qaoa/hamiltonian.hpp"
+#include "qtensor/contraction.hpp"
+#include "sim/statevector.hpp"
+
+namespace qarch::qaoa {
+
+/// Which simulator computes expectation values.
+enum class EngineKind { Statevector, TensorNetwork };
+
+/// Evaluation configuration.
+struct EnergyOptions {
+  EngineKind engine = EngineKind::TensorNetwork;
+  std::size_t inner_workers = 1;  ///< threads for per-edge TN contractions
+  qtensor::QTensorOptions qtensor;
+};
+
+/// A reusable evaluation plan bound to one ansatz STRUCTURE: repeated
+/// energy(theta) calls share precomputed state. The tensor-network plan
+/// caches the per-edge contraction ORDER (which depends only on the network
+/// structure, not on parameter values), so a 200-step training run pays for
+/// ordering once — the same contraction-tree reuse QTensor performs.
+class EnergyPlan {
+ public:
+  virtual ~EnergyPlan() = default;
+
+  /// <γ,β| C |γ,β> at the given parameters.
+  [[nodiscard]] virtual double energy(std::span<const double> theta) const = 0;
+
+  /// Per-term <Z_u Z_v>, aligned with the evaluator's hamiltonian().terms().
+  [[nodiscard]] virtual std::vector<double> zz_expectations(
+      std::span<const double> theta) const = 0;
+};
+
+/// Stateless evaluator of <C> over a fixed graph.
+class EnergyEvaluator {
+ public:
+  explicit EnergyEvaluator(const graph::Graph& g, EnergyOptions options = {});
+
+  /// Builds a reusable plan for an ansatz (preferred for training loops).
+  /// The plan references this evaluator's Hamiltonian and must not outlive it.
+  [[nodiscard]] std::unique_ptr<EnergyPlan> make_plan(
+      const circuit::Circuit& ansatz) const;
+
+  /// One-shot convenience: <γ,β| C |γ,β> (builds a throwaway plan).
+  [[nodiscard]] double energy(const circuit::Circuit& ansatz,
+                              std::span<const double> theta) const;
+
+  /// One-shot per-term <Z_u Z_v> values aligned with hamiltonian().terms().
+  [[nodiscard]] std::vector<double> zz_expectations(
+      const circuit::Circuit& ansatz, std::span<const double> theta) const;
+
+  [[nodiscard]] const MaxCutHamiltonian& hamiltonian() const { return ham_; }
+  [[nodiscard]] const EnergyOptions& options() const { return options_; }
+
+ private:
+  MaxCutHamiltonian ham_;
+  EnergyOptions options_;
+};
+
+}  // namespace qarch::qaoa

@@ -1,0 +1,36 @@
+#include "qaoa/hamiltonian.hpp"
+
+#include "common/error.hpp"
+
+namespace qarch::qaoa {
+
+MaxCutHamiltonian::MaxCutHamiltonian(const graph::Graph& g)
+    : num_qubits_(g.num_vertices()) {
+  terms_.reserve(g.num_edges());
+  for (const auto& e : g.edges()) {
+    constant_ += e.weight / 2.0;
+    terms_.push_back(ZZTerm{e.u, e.v, -e.weight / 2.0});
+  }
+}
+
+double MaxCutHamiltonian::energy(
+    const std::vector<double>& zz_expectations) const {
+  QARCH_REQUIRE(zz_expectations.size() == terms_.size(),
+                "expectation count mismatch");
+  double e = constant_;
+  for (std::size_t k = 0; k < terms_.size(); ++k)
+    e += terms_[k].coefficient * zz_expectations[k];
+  return e;
+}
+
+double MaxCutHamiltonian::classical_value(const std::vector<int>& z) const {
+  QARCH_REQUIRE(z.size() == num_qubits_, "assignment size mismatch");
+  double e = constant_;
+  for (const ZZTerm& t : terms_) {
+    QARCH_REQUIRE(z[t.u] == 1 || z[t.u] == -1, "assignment must be ±1");
+    e += t.coefficient * static_cast<double>(z[t.u] * z[t.v]);
+  }
+  return e;
+}
+
+}  // namespace qarch::qaoa

@@ -1,0 +1,47 @@
+// Max-cut cost Hamiltonian (Eq. 1 of the paper):
+//   C_MC(z) = 1/2 * sum_{(u,v) in E} w_uv (1 - z_u z_v)
+// As an operator: C = sum_e w_e/2 (I - Z_u Z_v).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qarch::qaoa {
+
+/// One Ising term: coefficient * Z_u Z_v.
+struct ZZTerm {
+  std::size_t u = 0;
+  std::size_t v = 0;
+  double coefficient = 0.0;
+};
+
+/// The max-cut Hamiltonian of a graph in the form
+/// C = constant + sum_k coefficient_k Z_{u_k} Z_{v_k}.
+class MaxCutHamiltonian {
+ public:
+  explicit MaxCutHamiltonian(const graph::Graph& g);
+
+  /// Identity coefficient: sum_e w_e / 2.
+  [[nodiscard]] double constant() const { return constant_; }
+
+  /// ZZ terms (coefficient = -w_e / 2).
+  [[nodiscard]] const std::vector<ZZTerm>& terms() const { return terms_; }
+
+  /// Number of qubits (graph vertices).
+  [[nodiscard]] std::size_t num_qubits() const { return num_qubits_; }
+
+  /// <C> given per-term <Z_u Z_v> values (aligned with terms()).
+  [[nodiscard]] double energy(const std::vector<double>& zz_expectations) const;
+
+  /// Classical value C_MC(z) for a ±1 assignment (equals the cut weight).
+  [[nodiscard]] double classical_value(const std::vector<int>& z) const;
+
+ private:
+  std::size_t num_qubits_ = 0;
+  double constant_ = 0.0;
+  std::vector<ZZTerm> terms_;
+};
+
+}  // namespace qarch::qaoa

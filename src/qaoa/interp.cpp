@@ -1,0 +1,76 @@
+#include "qaoa/interp.hpp"
+
+#include "common/error.hpp"
+#include "qaoa/ansatz.hpp"
+
+namespace qarch::qaoa {
+
+namespace {
+
+/// INTERP rule for one schedule (γ or β as a length-p vector): produce the
+/// length-(p+1) schedule with
+///   out[i] = (i / p) * in[i-1] + ((p - i) / p) * in[i],  i = 0..p
+/// (in[-1] and in[p] treated as contributing nothing).
+std::vector<double> interp_one(const std::vector<double>& in) {
+  const std::size_t p = in.size();
+  std::vector<double> out(p + 1, 0.0);
+  for (std::size_t i = 0; i <= p; ++i) {
+    const double left = i > 0 ? in[i - 1] : 0.0;
+    const double right = i < p ? in[i] : 0.0;
+    out[i] = (static_cast<double>(i) / static_cast<double>(p)) * left +
+             (static_cast<double>(p - i) / static_cast<double>(p)) * right;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> interp_schedule(const std::vector<double>& theta) {
+  QARCH_REQUIRE(!theta.empty() && theta.size() % 2 == 0,
+                "schedule must have 2p entries");
+  const std::size_t p = theta.size() / 2;
+  std::vector<double> gammas(p), betas(p);
+  for (std::size_t l = 0; l < p; ++l) {
+    gammas[l] = theta[2 * l];
+    betas[l] = theta[2 * l + 1];
+  }
+  const std::vector<double> new_gammas = interp_one(gammas);
+  const std::vector<double> new_betas = interp_one(betas);
+  std::vector<double> out(2 * (p + 1));
+  for (std::size_t l = 0; l <= p; ++l) {
+    out[2 * l] = new_gammas[l];
+    out[2 * l + 1] = new_betas[l];
+  }
+  return out;
+}
+
+InterpResult train_qaoa_interp(const graph::Graph& g, const MixerSpec& mixer,
+                               std::size_t p_target,
+                               const EnergyEvaluator& evaluator,
+                               const optim::Optimizer& optimizer,
+                               const TrainOptions& options) {
+  QARCH_REQUIRE(p_target >= 1, "p_target must be >= 1");
+  InterpResult result;
+  std::vector<double> seed;
+  for (std::size_t p = 1; p <= p_target; ++p) {
+    const circuit::Circuit ansatz = build_qaoa_circuit(g, p, mixer);
+    const std::unique_ptr<EnergyPlan> plan = evaluator.make_plan(ansatz);
+    const optim::Objective objective = [&](std::span<const double> theta) {
+      return -plan->energy(theta);
+    };
+    std::vector<double> x0 =
+        p == 1 ? std::vector<double>(2, options.initial_value) : seed;
+    QARCH_CHECK(x0.size() == ansatz.num_params(), "seed size mismatch");
+    const optim::OptimResult opt = optimizer.minimize(objective, std::move(x0));
+
+    TrainResult tr;
+    tr.theta = opt.x;
+    tr.energy = -opt.value;
+    tr.evaluations = opt.evaluations;
+    seed = interp_schedule(tr.theta);
+    result.per_depth.push_back(std::move(tr));
+  }
+  return result;
+}
+
+}  // namespace qarch::qaoa

@@ -1,0 +1,41 @@
+// INTERP parameter initialization (Zhou et al. 2020).
+//
+// Training a depth-p ansatz from scratch wastes optimizer budget; the INTERP
+// heuristic seeds depth p+1 by linearly interpolating the trained depth-p
+// schedule. train_qaoa_interp trains p = 1..p_target incrementally and is
+// the standard way production QAOA stacks reach useful depths with small
+// per-depth budgets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "optim/optimizer.hpp"
+#include "qaoa/energy.hpp"
+#include "qaoa/mixer.hpp"
+#include "qaoa/train.hpp"
+
+namespace qarch::qaoa {
+
+/// Interpolates a trained depth-p schedule (our interleaved γ/β layout,
+/// theta.size() == 2p) into a depth-(p+1) initial schedule (size 2p+2)
+/// using the INTERP linear rule applied to γ and β independently.
+std::vector<double> interp_schedule(const std::vector<double>& theta);
+
+/// Result of incremental training: one entry per depth 1..p_target.
+struct InterpResult {
+  std::vector<TrainResult> per_depth;
+
+  /// The final (deepest) trained result.
+  [[nodiscard]] const TrainResult& final() const { return per_depth.back(); }
+};
+
+/// Trains depths 1..p_target over `g`, seeding each depth with the
+/// interpolated schedule of the previous one.
+InterpResult train_qaoa_interp(const graph::Graph& g, const MixerSpec& mixer,
+                               std::size_t p_target,
+                               const EnergyEvaluator& evaluator,
+                               const optim::Optimizer& optimizer,
+                               const TrainOptions& options = {});
+
+}  // namespace qarch::qaoa

@@ -1,0 +1,90 @@
+#include "qaoa/landscape.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "parallel/parallel_for.hpp"
+#include "qaoa/ansatz.hpp"
+
+namespace qarch::qaoa {
+
+double Landscape::at(std::size_t gamma_idx, std::size_t beta_idx) const {
+  QARCH_REQUIRE(gamma_idx < gammas.size() && beta_idx < betas.size(),
+                "landscape index out of range");
+  return values[gamma_idx * betas.size() + beta_idx];
+}
+
+Landscape::Peak Landscape::peak() const {
+  QARCH_REQUIRE(!values.empty(), "empty landscape");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i)
+    if (values[i] > values[best]) best = i;
+  Peak p;
+  p.gamma = gammas[best / betas.size()];
+  p.beta = betas[best % betas.size()];
+  p.value = values[best];
+  return p;
+}
+
+std::string Landscape::ascii(std::size_t max_cells) const {
+  QARCH_REQUIRE(!values.empty(), "empty landscape");
+  static const char kShades[] = " .:-=+*#%@";
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  const std::size_t gstep = std::max<std::size_t>(1, gammas.size() / max_cells);
+  const std::size_t bstep = std::max<std::size_t>(1, betas.size() / max_cells);
+
+  std::ostringstream os;
+  os << "<C>(γ,β): rows γ in [" << gammas.front() << ", " << gammas.back()
+     << "], cols β in [" << betas.front() << ", " << betas.back() << "]\n";
+  for (std::size_t i = 0; i < gammas.size(); i += gstep) {
+    for (std::size_t j = 0; j < betas.size(); j += bstep) {
+      const double t = (at(i, j) - lo) / span;
+      os << kShades[static_cast<std::size_t>(t * 9.0)];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Landscape scan_landscape(const graph::Graph& g, const MixerSpec& mixer,
+                         const EnergyEvaluator& evaluator,
+                         const LandscapeOptions& options) {
+  QARCH_REQUIRE(options.gamma_points >= 2 && options.beta_points >= 2,
+                "need at least a 2x2 grid");
+  Landscape land;
+  land.gammas.resize(options.gamma_points);
+  land.betas.resize(options.beta_points);
+  for (std::size_t i = 0; i < options.gamma_points; ++i)
+    land.gammas[i] = options.gamma_lo +
+                     (options.gamma_hi - options.gamma_lo) *
+                         static_cast<double>(i) /
+                         static_cast<double>(options.gamma_points - 1);
+  for (std::size_t j = 0; j < options.beta_points; ++j)
+    land.betas[j] = options.beta_lo +
+                    (options.beta_hi - options.beta_lo) *
+                        static_cast<double>(j) /
+                        static_cast<double>(options.beta_points - 1);
+
+  const circuit::Circuit ansatz = build_qaoa_circuit(g, 1, mixer);
+  land.values.resize(options.gamma_points * options.beta_points);
+  parallel::parallel_for(
+      0, options.gamma_points,
+      [&](std::size_t i) {
+        // One plan per row keeps contraction-order reuse without sharing
+        // mutable state across threads.
+        const auto plan = evaluator.make_plan(ansatz);
+        for (std::size_t j = 0; j < options.beta_points; ++j) {
+          const double theta[2] = {land.gammas[i], land.betas[j]};
+          land.values[i * options.beta_points + j] =
+              plan->energy(std::span<const double>(theta, 2));
+        }
+      },
+      options.workers);
+  return land;
+}
+
+}  // namespace qarch::qaoa

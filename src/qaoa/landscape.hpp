@@ -1,0 +1,54 @@
+// p=1 energy-landscape scanning.
+//
+// The 2-parameter p=1 surface <C>(γ, β) is the standard diagnostic for mixer
+// behaviour: it shows where the optimizer must land and how a mixer reshapes
+// the landscape. The scanner evaluates the energy on a (γ, β) grid and
+// reports the grid optimum.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qaoa/energy.hpp"
+#include "qaoa/mixer.hpp"
+
+namespace qarch::qaoa {
+
+/// A scanned grid of <C>(γ, β) values.
+struct Landscape {
+  std::vector<double> gammas;   ///< grid points along γ
+  std::vector<double> betas;    ///< grid points along β
+  std::vector<double> values;   ///< row-major: values[i * betas.size() + j]
+
+  [[nodiscard]] double at(std::size_t gamma_idx, std::size_t beta_idx) const;
+
+  /// Grid maximizer.
+  struct Peak {
+    double gamma = 0.0;
+    double beta = 0.0;
+    double value = 0.0;
+  };
+  [[nodiscard]] Peak peak() const;
+
+  /// Coarse ASCII heat map (one character per cell, '.' low … '#' high).
+  [[nodiscard]] std::string ascii(std::size_t max_cells = 32) const;
+};
+
+/// Scan configuration: symmetric grid over [lo, hi]^2.
+struct LandscapeOptions {
+  double gamma_lo = -3.14159265358979323846;
+  double gamma_hi = 3.14159265358979323846;
+  double beta_lo = -1.5707963267948966;
+  double beta_hi = 1.5707963267948966;
+  std::size_t gamma_points = 31;
+  std::size_t beta_points = 31;
+  std::size_t workers = 1;   ///< rows scan in parallel
+};
+
+/// Scans the p=1 landscape of `mixer` over `g`.
+Landscape scan_landscape(const graph::Graph& g, const MixerSpec& mixer,
+                         const EnergyEvaluator& evaluator,
+                         const LandscapeOptions& options = {});
+
+}  // namespace qarch::qaoa

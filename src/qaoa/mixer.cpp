@@ -1,0 +1,84 @@
+#include "qaoa/mixer.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qarch::qaoa {
+
+using circuit::GateKind;
+using circuit::ParamExpr;
+
+MixerSpec MixerSpec::parse(const std::string& text) {
+  MixerSpec spec;
+  std::string token;
+  auto flush = [&] {
+    if (!token.empty()) {
+      spec.gates.push_back(circuit::gate_from_name(token));
+      token.clear();
+    }
+  };
+  for (char c : text) {
+    if (c == ',' ) {
+      flush();
+    } else if (c == '(' || c == ')' || c == '\'' || c == '"' || c == ' ') {
+      continue;  // tolerate the paper's tuple rendering
+    } else {
+      token += c;
+    }
+  }
+  flush();
+  QARCH_REQUIRE(!spec.gates.empty(), "empty mixer spec: " + text);
+  return spec;
+}
+
+std::string MixerSpec::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (i) os << ", ";
+    os << '\'' << circuit::gate_name(gates[i]) << '\'';
+  }
+  os << ')';
+  return os.str();
+}
+
+void append_mixer_layer(circuit::Circuit& target, const MixerSpec& spec,
+                        std::size_t beta_param) {
+  QARCH_REQUIRE(!spec.gates.empty(), "mixer spec has no gates");
+  const std::size_t n = target.num_qubits();
+  for (GateKind kind : spec.gates) {
+    if (circuit::is_two_qubit(kind)) {
+      // Entangling-ring extension: gate(q, q+1) around the register.
+      QARCH_REQUIRE(n >= 2, "entangling mixer needs at least two qubits");
+      for (std::size_t q = 0; q < n; ++q) {
+        const std::size_t next = (q + 1) % n;
+        if (n == 2 && q == 1) break;  // avoid the duplicate (1, 0) edge
+        if (circuit::is_parameterized(kind)) {
+          target.append({kind, q, next, ParamExpr::symbol(beta_param, 2.0)});
+        } else {
+          target.append({kind, q, next, ParamExpr::none()});
+        }
+      }
+      continue;
+    }
+    for (std::size_t q = 0; q < n; ++q) {
+      if (circuit::is_parameterized(kind)) {
+        // Shared β with the paper's 2β angle convention.
+        target.append({kind, q, 0, ParamExpr::symbol(beta_param, 2.0)});
+      } else {
+        target.append({kind, q, 0, ParamExpr::none()});
+      }
+    }
+  }
+}
+
+circuit::Circuit build_mixer_circuit(std::size_t num_qubits,
+                                     const MixerSpec& spec) {
+  circuit::Circuit c(num_qubits);
+  const std::size_t beta = c.add_param();
+  append_mixer_layer(c, spec, beta);
+  return c;
+}
+
+}  // namespace qarch::qaoa

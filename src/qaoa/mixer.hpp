@@ -1,0 +1,58 @@
+// Mixer layers.
+//
+// The QAOA mixer operator B is the open design dimension QArchSearch
+// explores. A MixerSpec is an ordered sequence of gate kinds drawn from the
+// rotation-gate alphabet; the layer applies each gate of the sequence to
+// EVERY qubit, and all parameterized gates in the layer share one β with the
+// paper's 2β angle convention (Fig. 6: RX(2β)·RY(2β) on every qubit — one
+// parameter, no extra training cost; Fig. 7 caption states the sharing).
+//
+// Extension ("more complex models", paper §4): a TWO-qubit gate kind in the
+// sequence is applied as an entangling RING over the qubits — gate(q, q+1)
+// for every q (wrapping) — so alphabets like {rx, ry, cz, rzz} search over
+// entangling mixers too. Parameterized ring gates (RZZ) share the same β.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qarch::qaoa {
+
+/// An ordered gate sequence defining one mixer layer.
+struct MixerSpec {
+  std::vector<circuit::GateKind> gates;
+
+  /// Parses specs like "rx", "rx,ry", "('rx', 'ry')" — any comma-separated
+  /// list of alphabet mnemonics (quotes/parens/spaces ignored).
+  static MixerSpec parse(const std::string& text);
+
+  /// Canonical rendering in the paper's tuple style: ('rx', 'ry').
+  [[nodiscard]] std::string to_string() const;
+
+  /// The paper's baseline: the standard transverse-field mixer, RX on
+  /// every qubit.
+  static MixerSpec baseline() { return MixerSpec{{circuit::GateKind::RX}}; }
+
+  /// The circuit the paper's search discovers (Fig. 6): RX then RY.
+  static MixerSpec qnas() {
+    return MixerSpec{{circuit::GateKind::RX, circuit::GateKind::RY}};
+  }
+
+  friend bool operator==(const MixerSpec&, const MixerSpec&) = default;
+};
+
+/// Appends the mixer layer for `spec` to `target`: for each gate kind in the
+/// sequence, apply it to all `num_qubits` qubits; parameterized kinds get
+/// angle 2 * theta[beta_param].
+void append_mixer_layer(circuit::Circuit& target, const MixerSpec& spec,
+                        std::size_t beta_param);
+
+/// Builds just the mixer circuit on n qubits with one fresh β parameter
+/// (the BUILD_MIXER_CKT step of Algorithm 1).
+circuit::Circuit build_mixer_circuit(std::size_t num_qubits,
+                                     const MixerSpec& spec);
+
+}  // namespace qarch::qaoa

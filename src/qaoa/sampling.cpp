@@ -1,0 +1,54 @@
+#include "qaoa/sampling.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qarch::qaoa {
+
+std::size_t sample_basis_state(const sim::State& state, Rng& rng) {
+  // Inverse-CDF over |amplitude|^2. The state is normalized, but guard the
+  // tail against float drift by returning the last index.
+  double r = rng.uniform();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    const double p = std::norm(state[i]);
+    if (r < p) return i;
+    r -= p;
+  }
+  return state.size() - 1;
+}
+
+double cut_of_basis_state(const graph::Graph& g, std::size_t basis_index) {
+  double cut = 0.0;
+  for (const auto& e : g.edges()) {
+    const bool bu = (basis_index >> e.u) & 1ULL;
+    const bool bv = (basis_index >> e.v) & 1ULL;
+    if (bu != bv) cut += e.weight;
+  }
+  return cut;
+}
+
+double best_sampled_cut(const sim::State& state, const graph::Graph& g,
+                        std::size_t shots, Rng& rng) {
+  QARCH_REQUIRE(shots >= 1, "need at least one shot");
+  QARCH_REQUIRE(sim::state_qubits(state) == g.num_vertices(),
+                "state/graph size mismatch");
+  double best = 0.0;
+  for (std::size_t s = 0; s < shots; ++s)
+    best = std::max(best, cut_of_basis_state(g, sample_basis_state(state, rng)));
+  return best;
+}
+
+double expected_best_cut(const circuit::Circuit& ansatz,
+                         std::span<const double> theta, const graph::Graph& g,
+                         std::size_t shots, std::size_t trials, Rng& rng) {
+  QARCH_REQUIRE(trials >= 1, "need at least one trial");
+  const sim::StatevectorSimulator sv;
+  const sim::State state = sv.run_from_plus(ansatz, theta);
+  double total = 0.0;
+  for (std::size_t t = 0; t < trials; ++t)
+    total += best_sampled_cut(state, g, shots, rng);
+  return total / static_cast<double>(trials);
+}
+
+}  // namespace qarch::qaoa

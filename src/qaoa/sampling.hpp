@@ -1,0 +1,37 @@
+// Measurement sampling and the paper's approximation-ratio numerator.
+//
+// Eq. 3 defines r = <C_max> / C_classical where <C_max> is "the expected
+// energy of the largest cut discovered by the given quantum circuit": run the
+// circuit, measure `shots` bitstrings, keep the best cut among them; the
+// expectation is over repetitions of that procedure. We estimate it by Monte
+// Carlo over `trials` independent shot batches sampled from the exact output
+// distribution (the statevector gives us the exact distribution, so no
+// finite-shot bias beyond the intended max-of-shots statistic).
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "sim/statevector.hpp"
+
+namespace qarch::qaoa {
+
+/// Draws one computational-basis sample (bit q of the result = qubit q).
+std::size_t sample_basis_state(const sim::State& state, Rng& rng);
+
+/// Cut value of basis state `basis_index` on g.
+double cut_of_basis_state(const graph::Graph& g, std::size_t basis_index);
+
+/// Best cut among `shots` samples from `state`.
+double best_sampled_cut(const sim::State& state, const graph::Graph& g,
+                        std::size_t shots, Rng& rng);
+
+/// Monte-Carlo estimate of <C_max>: mean over `trials` batches of the best
+/// cut among `shots` samples of the circuit run from |+>^n with `theta`.
+double expected_best_cut(const circuit::Circuit& ansatz,
+                         std::span<const double> theta, const graph::Graph& g,
+                         std::size_t shots, std::size_t trials, Rng& rng);
+
+}  // namespace qarch::qaoa

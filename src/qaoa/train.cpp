@@ -1,0 +1,33 @@
+#include "qaoa/train.hpp"
+
+#include "common/error.hpp"
+
+namespace qarch::qaoa {
+
+TrainResult train_qaoa(const circuit::Circuit& ansatz,
+                       const EnergyEvaluator& evaluator,
+                       const optim::Optimizer& optimizer,
+                       const TrainOptions& options) {
+  QARCH_REQUIRE(ansatz.num_params() >= 1, "ansatz has no parameters");
+  // One plan for the whole run: the TN engine reuses its cached contraction
+  // orders across every optimizer step.
+  const std::unique_ptr<EnergyPlan> plan = evaluator.make_plan(ansatz);
+  const optim::Objective objective = [&](std::span<const double> theta) {
+    return -plan->energy(theta);  // maximize <C>
+  };
+  std::vector<double> x0(ansatz.num_params(), options.initial_value);
+  const optim::OptimResult r = optimizer.minimize(objective, std::move(x0));
+
+  TrainResult out;
+  out.theta = r.x;
+  out.energy = -r.value;
+  out.evaluations = r.evaluations;
+  return out;
+}
+
+double approximation_ratio(double energy, double classical_optimum) {
+  QARCH_REQUIRE(classical_optimum > 0.0, "classical optimum must be positive");
+  return energy / classical_optimum;
+}
+
+}  // namespace qarch::qaoa

@@ -1,0 +1,36 @@
+// Variational training of a QAOA ansatz and approximation-ratio scoring.
+#pragma once
+
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "optim/optimizer.hpp"
+#include "qaoa/ansatz.hpp"
+#include "qaoa/energy.hpp"
+
+namespace qarch::qaoa {
+
+/// Outcome of training one (graph, mixer, p) candidate.
+struct TrainResult {
+  std::vector<double> theta;     ///< trained parameters (γ, β interleaved)
+  double energy = 0.0;           ///< best <C> reached (maximized)
+  std::size_t evaluations = 0;   ///< objective calls used
+};
+
+/// Training configuration. The optimizer MINIMIZES, so the objective is
+/// -<C>; `initial_value` seeds every parameter (deterministic runs).
+struct TrainOptions {
+  double initial_value = 0.1;
+};
+
+/// Trains `ansatz` on the evaluator's graph with the given optimizer.
+TrainResult train_qaoa(const circuit::Circuit& ansatz,
+                       const EnergyEvaluator& evaluator,
+                       const optim::Optimizer& optimizer,
+                       const TrainOptions& options = {});
+
+/// Approximation ratio r = <C> / C_classical (Eq. 3). `classical_optimum`
+/// is the exact max-cut value of the same graph.
+double approximation_ratio(double energy, double classical_optimum);
+
+}  // namespace qarch::qaoa

@@ -1,0 +1,69 @@
+// Contraction backends.
+//
+// QTensor supports multiple tensor-contraction backends (NumPy on CPUs in
+// the paper; GPU backends as future work). We reproduce that seam: the
+// bucket-elimination contractor delegates its hot kernel — computing the
+// element-wise product of a bucket's tensors over the union of their labels —
+// to a Backend. Two implementations are provided:
+//
+//   * SerialCpuBackend   — plain loops (the paper's NumPy-on-CPU analogue)
+//   * ParallelCpuBackend — multithreaded over output blocks; this is our
+//                          stand-in "device" backend for the paper's GPU
+//                          integration (same interface, more lanes)
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qtensor/tensor.hpp"
+
+namespace qarch::qtensor {
+
+/// Abstract contraction kernel provider.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Computes the element-wise product of `factors` broadcast over the union
+  /// label set `out_labels` (every factor's labels must be a subset).
+  [[nodiscard]] virtual Tensor product(
+      const std::vector<const Tensor*>& factors,
+      const std::vector<VarId>& out_labels) const = 0;
+
+  /// Backend display name.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Single-threaded reference backend.
+class SerialCpuBackend final : public Backend {
+ public:
+  [[nodiscard]] Tensor product(
+      const std::vector<const Tensor*>& factors,
+      const std::vector<VarId>& out_labels) const override;
+  [[nodiscard]] std::string name() const override { return "serial-cpu"; }
+};
+
+/// Multithreaded backend: output range split across `workers` threads.
+/// Small products (below `parallel_threshold_rank`) fall back to serial.
+class ParallelCpuBackend final : public Backend {
+ public:
+  explicit ParallelCpuBackend(std::size_t workers = 0,
+                              std::size_t parallel_threshold_rank = 12);
+  [[nodiscard]] Tensor product(
+      const std::vector<const Tensor*>& factors,
+      const std::vector<VarId>& out_labels) const override;
+  [[nodiscard]] std::string name() const override { return "parallel-cpu"; }
+
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+
+ private:
+  std::size_t workers_;
+  std::size_t parallel_threshold_rank_;
+};
+
+/// Factory: "serial" or "parallel[:N]".
+std::unique_ptr<Backend> make_backend(const std::string& spec);
+
+}  // namespace qarch::qtensor

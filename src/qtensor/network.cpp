@@ -1,0 +1,187 @@
+#include "qtensor/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace qarch::qtensor {
+
+using circuit::Gate;
+using circuit::GateKind;
+
+std::vector<VarId> TensorNetwork::variables() const {
+  std::vector<VarId> vars;
+  for (const Tensor& t : tensors)
+    vars.insert(vars.end(), t.labels().begin(), t.labels().end());
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+std::size_t TensorNetwork::total_entries() const {
+  std::size_t s = 0;
+  for (const Tensor& t : tensors) s += t.size();
+  return s;
+}
+
+circuit::Circuit lightcone_circuit(const circuit::Circuit& circuit,
+                                   const std::vector<std::size_t>& targets,
+                                   std::set<std::size_t>* active_out) {
+  std::set<std::size_t> active(targets.begin(), targets.end());
+  const auto& gates = circuit.gates();
+  std::vector<bool> keep(gates.size(), false);
+  for (std::size_t i = gates.size(); i-- > 0;) {
+    const Gate& g = gates[i];
+    const bool touches = active.count(g.q0) > 0 ||
+                         (g.arity() == 2 && active.count(g.q1) > 0);
+    if (touches) {
+      keep[i] = true;
+      active.insert(g.q0);
+      if (g.arity() == 2) active.insert(g.q1);
+    }
+  }
+  circuit::Circuit out(circuit.num_qubits(), circuit.num_params());
+  for (std::size_t i = 0; i < gates.size(); ++i)
+    if (keep[i]) out.append(gates[i]);
+  if (active_out != nullptr) *active_out = std::move(active);
+  return out;
+}
+
+namespace {
+
+/// Incremental network builder tracking the current wire variable per qubit.
+class NetworkBuilder {
+ public:
+  NetworkBuilder(const std::vector<std::size_t>& qubits, bool diagonal_opt)
+      : diagonal_opt_(diagonal_opt) {
+    for (std::size_t q : qubits) current_var_[q] = fresh();
+  }
+
+  /// Adds the state cap |+> (or <+|) on qubit q's current variable.
+  void add_plus_cap(std::size_t q) {
+    const double amp = 1.0 / std::sqrt(2.0);
+    net_.tensors.emplace_back(std::vector<VarId>{var(q)},
+                              std::vector<cplx>{amp, amp});
+  }
+
+  /// Adds the basis cap <bit| on qubit q's current variable.
+  void add_basis_cap(std::size_t q, int bit) {
+    std::vector<cplx> data = bit == 0 ? std::vector<cplx>{1.0, 0.0}
+                                      : std::vector<cplx>{0.0, 1.0};
+    net_.tensors.emplace_back(std::vector<VarId>{var(q)}, std::move(data));
+  }
+
+  /// Adds a Pauli-Z observable factor (diagonal, never creates variables).
+  void add_z_observable(std::size_t q) {
+    net_.tensors.emplace_back(std::vector<VarId>{var(q)},
+                              std::vector<cplx>{1.0, -1.0});
+  }
+
+  /// Appends one gate tensor, threading wire variables.
+  void add_gate(const Gate& g, std::span<const double> theta) {
+    const linalg::Matrix m = g.matrix(theta);
+    if (g.arity() == 1) {
+      if (diagonal_opt_ && circuit::is_diagonal(g.kind)) {
+        net_.tensors.emplace_back(std::vector<VarId>{var(g.q0)},
+                                  std::vector<cplx>{m(0, 0), m(1, 1)});
+        return;
+      }
+      const VarId in = var(g.q0), out = fresh();
+      current_var_[g.q0] = out;
+      // labels [out, in]; data[o*2+i] = m(o, i)
+      net_.tensors.emplace_back(
+          std::vector<VarId>{out, in},
+          std::vector<cplx>{m(0, 0), m(0, 1), m(1, 0), m(1, 1)});
+      return;
+    }
+    if (diagonal_opt_ && circuit::is_diagonal(g.kind)) {
+      // Rank-2 diagonal tensor over the two current wire variables.
+      std::vector<cplx> diag(4);
+      for (std::size_t b = 0; b < 4; ++b) diag[b] = m(b, b);
+      net_.tensors.emplace_back(std::vector<VarId>{var(g.q0), var(g.q1)},
+                                std::move(diag));
+      return;
+    }
+    const VarId in0 = var(g.q0), in1 = var(g.q1);
+    const VarId out0 = fresh(), out1 = fresh();
+    current_var_[g.q0] = out0;
+    current_var_[g.q1] = out1;
+    // labels [out0, out1, in0, in1]; data[((o0*2+o1)*2+i0)*2+i1]
+    std::vector<cplx> data(16);
+    for (std::size_t o = 0; o < 4; ++o)
+      for (std::size_t i = 0; i < 4; ++i)
+        data[o * 4 + i] = m(o, i);
+    net_.tensors.emplace_back(std::vector<VarId>{out0, out1, in0, in1},
+                              std::move(data));
+  }
+
+  [[nodiscard]] VarId var(std::size_t q) const {
+    const auto it = current_var_.find(q);
+    QARCH_CHECK(it != current_var_.end(), "qubit has no wire variable");
+    return it->second;
+  }
+
+  TensorNetwork take() {
+    net_.num_vars = next_var_;
+    return std::move(net_);
+  }
+
+ private:
+  VarId fresh() { return next_var_++; }
+
+  bool diagonal_opt_;
+  std::map<std::size_t, VarId> current_var_;
+  VarId next_var_ = 0;
+  TensorNetwork net_;
+};
+
+}  // namespace
+
+TensorNetwork expectation_zz_network(const circuit::Circuit& circuit,
+                                     std::span<const double> theta,
+                                     std::size_t u, std::size_t v,
+                                     const NetworkOptions& options) {
+  QARCH_REQUIRE(u < circuit.num_qubits() && v < circuit.num_qubits() && u != v,
+                "bad ZZ pair");
+  circuit::Circuit effective = circuit;
+  std::set<std::size_t> active;
+  if (options.lightcone) {
+    effective = lightcone_circuit(circuit, {u, v}, &active);
+  } else {
+    for (std::size_t q = 0; q < circuit.num_qubits(); ++q) active.insert(q);
+  }
+  // Qubits outside the lightcone contribute <+|+> = 1 and are dropped.
+  active.insert(u);
+  active.insert(v);
+  std::vector<std::size_t> qubits(active.begin(), active.end());
+
+  NetworkBuilder b(qubits, options.diagonal_optimization);
+  for (std::size_t q : qubits) b.add_plus_cap(q);
+  for (const Gate& g : effective.gates()) b.add_gate(g, theta);
+  b.add_z_observable(u);
+  b.add_z_observable(v);
+  const circuit::Circuit adjoint = effective.inverse();
+  for (const Gate& g : adjoint.gates()) b.add_gate(g, theta);
+  for (std::size_t q : qubits) b.add_plus_cap(q);
+  return b.take();
+}
+
+TensorNetwork amplitude_network(const circuit::Circuit& circuit,
+                                std::span<const double> theta,
+                                std::span<const int> bits,
+                                const NetworkOptions& options) {
+  QARCH_REQUIRE(bits.size() == circuit.num_qubits(),
+                "amplitude: bit string length mismatch");
+  std::vector<std::size_t> qubits(circuit.num_qubits());
+  for (std::size_t q = 0; q < qubits.size(); ++q) qubits[q] = q;
+
+  NetworkBuilder b(qubits, options.diagonal_optimization);
+  for (std::size_t q : qubits) b.add_plus_cap(q);
+  for (const Gate& g : circuit.gates()) b.add_gate(g, theta);
+  for (std::size_t q : qubits) b.add_basis_cap(q, bits[q]);
+  return b.take();
+}
+
+}  // namespace qarch::qtensor

@@ -1,0 +1,63 @@
+// Tensor networks from quantum circuits.
+//
+// The network for <ψ|O|ψ> with |ψ> = U|+>^n is built directly from the gate
+// list: state caps, U's gate tensors, the observable's diagonal tensors, and
+// U†'s tensors, all closed (no open indices) so full contraction yields a
+// scalar. Two QTensor-specific optimizations are reproduced:
+//
+//   * Diagonal-gate rank reduction (Lykov & Alexeev 2021): a diagonal gate
+//     does not create new wire variables; its tensor is rank-1 (1-qubit) or
+//     rank-2 (2-qubit) holding just the diagonal.
+//   * Lightcone reduction: for O = Z_u Z_v only gates in the causal cone of
+//     {u, v} survive U†·O·U; everything else cancels.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "qtensor/tensor.hpp"
+
+namespace qarch::qtensor {
+
+/// Options controlling network construction.
+struct NetworkOptions {
+  bool diagonal_optimization = true;  ///< rank-reduced diagonal gate tensors
+  bool lightcone = true;              ///< causal-cone gate cancellation
+};
+
+/// A closed tensor network: contracting over every variable yields a scalar.
+struct TensorNetwork {
+  std::vector<Tensor> tensors;
+  std::size_t num_vars = 0;
+
+  /// All variables that occur in at least one tensor.
+  [[nodiscard]] std::vector<VarId> variables() const;
+
+  /// Total number of tensor entries (memory proxy).
+  [[nodiscard]] std::size_t total_entries() const;
+};
+
+/// Restricts `circuit` to the causal cone of `targets`: scanning the gate
+/// list backwards, a gate is kept iff it touches a currently active qubit,
+/// and then activates all its qubits. Returns the kept gates in original
+/// order; `active` receives the final active-qubit set.
+circuit::Circuit lightcone_circuit(const circuit::Circuit& circuit,
+                                   const std::vector<std::size_t>& targets,
+                                   std::set<std::size_t>* active = nullptr);
+
+/// Network for <+|^n U† (Z_u Z_v) U |+>^n with parameters bound to theta.
+TensorNetwork expectation_zz_network(const circuit::Circuit& circuit,
+                                     std::span<const double> theta,
+                                     std::size_t u, std::size_t v,
+                                     const NetworkOptions& options = {});
+
+/// Network for the amplitude <bits| U |+>^n (bits[q] in {0,1}).
+TensorNetwork amplitude_network(const circuit::Circuit& circuit,
+                                std::span<const double> theta,
+                                std::span<const int> bits,
+                                const NetworkOptions& options = {});
+
+}  // namespace qarch::qtensor

@@ -1,0 +1,170 @@
+#include "qtensor/ordering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace qarch::qtensor {
+
+LineGraph::LineGraph(const TensorNetwork& network)
+    : adj_(network.num_vars), present_(network.num_vars, false) {
+  for (const Tensor& t : network.tensors) {
+    const auto& ls = t.labels();
+    for (std::size_t a = 0; a < ls.size(); ++a) {
+      QARCH_REQUIRE(ls[a] < adj_.size(), "variable id out of range");
+      present_[ls[a]] = true;
+      for (std::size_t b = a + 1; b < ls.size(); ++b) connect(ls[a], ls[b]);
+    }
+  }
+}
+
+void LineGraph::connect(VarId a, VarId b) {
+  if (a == b) return;
+  if (std::find(adj_[a].begin(), adj_[a].end(), b) == adj_[a].end()) {
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+  }
+}
+
+const std::vector<VarId>& LineGraph::neighbors(VarId v) const {
+  QARCH_REQUIRE(v < adj_.size() && present_[v], "variable not in graph");
+  return adj_[v];
+}
+
+std::vector<VarId> LineGraph::active_vars() const {
+  std::vector<VarId> vars;
+  for (VarId v = 0; v < present_.size(); ++v)
+    if (present_[v]) vars.push_back(v);
+  return vars;
+}
+
+void LineGraph::eliminate(VarId v) {
+  QARCH_REQUIRE(v < adj_.size() && present_[v], "variable not in graph");
+  const std::vector<VarId> nbrs = adj_[v];
+  for (std::size_t a = 0; a < nbrs.size(); ++a)
+    for (std::size_t b = a + 1; b < nbrs.size(); ++b)
+      connect(nbrs[a], nbrs[b]);
+  for (VarId w : nbrs) {
+    auto& lst = adj_[w];
+    lst.erase(std::remove(lst.begin(), lst.end(), v), lst.end());
+  }
+  adj_[v].clear();
+  present_[v] = false;
+}
+
+std::size_t LineGraph::fill_cost(VarId v) const {
+  QARCH_REQUIRE(v < adj_.size() && present_[v], "variable not in graph");
+  const auto& nbrs = adj_[v];
+  std::size_t fill = 0;
+  for (std::size_t a = 0; a < nbrs.size(); ++a)
+    for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+      const auto& la = adj_[nbrs[a]];
+      if (std::find(la.begin(), la.end(), nbrs[b]) == la.end()) ++fill;
+    }
+  return fill;
+}
+
+std::size_t LineGraph::degree(VarId v) const {
+  QARCH_REQUIRE(v < adj_.size() && present_[v], "variable not in graph");
+  return adj_[v].size();
+}
+
+bool LineGraph::contains(VarId v) const {
+  return v < present_.size() && present_[v];
+}
+
+namespace {
+
+template <typename Score>
+std::vector<VarId> greedy_order(const TensorNetwork& network, Score score) {
+  LineGraph g(network);
+  std::vector<VarId> order;
+  std::vector<VarId> vars = g.active_vars();
+  order.reserve(vars.size());
+  while (true) {
+    VarId best = 0;
+    std::size_t best_score = std::numeric_limits<std::size_t>::max();
+    bool found = false;
+    for (VarId v : vars) {
+      if (!g.contains(v)) continue;
+      const std::size_t s = score(g, v);
+      // Tie-break on the variable id for determinism.
+      if (!found || s < best_score || (s == best_score && v < best)) {
+        best = v;
+        best_score = s;
+        found = true;
+      }
+    }
+    if (!found) break;
+    order.push_back(best);
+    g.eliminate(best);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<VarId> order_greedy_degree(const TensorNetwork& network) {
+  return greedy_order(network,
+                      [](const LineGraph& g, VarId v) { return g.degree(v); });
+}
+
+std::vector<VarId> order_greedy_fill(const TensorNetwork& network) {
+  return greedy_order(
+      network, [](const LineGraph& g, VarId v) { return g.fill_cost(v); });
+}
+
+std::vector<VarId> order_random(const TensorNetwork& network, Rng& rng) {
+  LineGraph g(network);
+  std::vector<VarId> vars = g.active_vars();
+  rng.shuffle(vars);
+  return vars;
+}
+
+std::vector<VarId> order_random_restart(const TensorNetwork& network,
+                                        std::size_t restarts, Rng& rng) {
+  QARCH_REQUIRE(restarts >= 1, "need at least one restart");
+  std::vector<VarId> best;
+  std::size_t best_width = std::numeric_limits<std::size_t>::max();
+  for (std::size_t r = 0; r < restarts; ++r) {
+    std::vector<VarId> order = order_random(network, rng);
+    const std::size_t w = contraction_width(network, order);
+    if (w < best_width) {
+      best_width = w;
+      best = std::move(order);
+    }
+  }
+  return best;
+}
+
+std::size_t contraction_width(const TensorNetwork& network,
+                              const std::vector<VarId>& order) {
+  // Symbolic bucket elimination over label sets only.
+  std::vector<std::set<VarId>> tensors;
+  tensors.reserve(network.tensors.size());
+  for (const Tensor& t : network.tensors)
+    tensors.emplace_back(t.labels().begin(), t.labels().end());
+
+  std::size_t width = 0;
+  for (VarId v : order) {
+    std::set<VarId> merged;
+    std::vector<std::set<VarId>> rest;
+    rest.reserve(tensors.size());
+    for (auto& s : tensors) {
+      if (s.count(v) > 0)
+        merged.insert(s.begin(), s.end());
+      else
+        rest.push_back(std::move(s));
+    }
+    if (merged.empty()) continue;
+    width = std::max(width, merged.size());
+    merged.erase(v);
+    rest.push_back(std::move(merged));
+    tensors = std::move(rest);
+  }
+  return width;
+}
+
+}  // namespace qarch::qtensor

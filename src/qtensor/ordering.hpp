@@ -1,0 +1,75 @@
+// Heuristic contraction-order (variable elimination order) optimizers.
+//
+// QTensor minimizes the contraction width of the elimination sequence using
+// heuristic ordering algorithms over the network's *line graph* — the
+// interaction graph whose nodes are wire variables, with an edge between two
+// variables that co-occur in some tensor. We provide the classic trio:
+//
+//   * greedy min-degree — eliminate the variable with fewest neighbours
+//   * greedy min-fill   — eliminate the variable adding fewest fill edges
+//   * random            — uniformly random order (ablation baseline)
+//
+// Width of an order = max rank of any intermediate bucket-product tensor;
+// contraction cost is exponential in it, so the optimizers matter (the
+// `abl_ordering` bench quantifies this).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qtensor/network.hpp"
+
+namespace qarch::qtensor {
+
+/// Adjacency-set interaction graph ("line graph") of a tensor network.
+class LineGraph {
+ public:
+  explicit LineGraph(const TensorNetwork& network);
+
+  /// Number of variables (graph nodes), including isolated ones.
+  [[nodiscard]] std::size_t num_vars() const { return adj_.size(); }
+
+  /// Current neighbour set of variable v.
+  [[nodiscard]] const std::vector<VarId>& neighbors(VarId v) const;
+
+  /// Variables present in the network (isolated nodes excluded).
+  [[nodiscard]] std::vector<VarId> active_vars() const;
+
+  /// Eliminates v: connects its neighbours pairwise (fill-in), removes v.
+  void eliminate(VarId v);
+
+  /// Number of fill edges elimination of v would create right now.
+  [[nodiscard]] std::size_t fill_cost(VarId v) const;
+
+  /// Degree of v.
+  [[nodiscard]] std::size_t degree(VarId v) const;
+
+  /// True if the variable still exists in the graph.
+  [[nodiscard]] bool contains(VarId v) const;
+
+ private:
+  void connect(VarId a, VarId b);
+  std::vector<std::vector<VarId>> adj_;
+  std::vector<bool> present_;
+};
+
+/// Elimination order minimizing degree greedily.
+std::vector<VarId> order_greedy_degree(const TensorNetwork& network);
+
+/// Elimination order minimizing fill-in greedily.
+std::vector<VarId> order_greedy_fill(const TensorNetwork& network);
+
+/// Uniformly random elimination order.
+std::vector<VarId> order_random(const TensorNetwork& network, Rng& rng);
+
+/// Best of `restarts` random orders by width (QTensor's random-restart mode).
+std::vector<VarId> order_random_restart(const TensorNetwork& network,
+                                        std::size_t restarts, Rng& rng);
+
+/// Contraction width of eliminating `order` on `network`: the maximum rank
+/// of any intermediate bucket-product tensor (before summation).
+std::size_t contraction_width(const TensorNetwork& network,
+                              const std::vector<VarId>& order);
+
+}  // namespace qarch::qtensor

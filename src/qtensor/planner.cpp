@@ -1,0 +1,79 @@
+#include "qtensor/planner.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace qarch::qtensor {
+
+PlanCost estimate_cost(const TensorNetwork& network,
+                       const std::vector<VarId>& order) {
+  // Mirror contract()'s bucket elimination symbolically: per bucket, the
+  // product over the union label set costs 2^|union| * (#factors) madds and
+  // materializes a 2^|union| intermediate.
+  std::vector<std::set<VarId>> tensors;
+  tensors.reserve(network.tensors.size());
+  for (const Tensor& t : network.tensors)
+    tensors.emplace_back(t.labels().begin(), t.labels().end());
+
+  PlanCost cost;
+  for (VarId v : order) {
+    std::set<VarId> merged;
+    std::size_t factors = 0;
+    std::vector<std::set<VarId>> rest;
+    rest.reserve(tensors.size());
+    for (auto& s : tensors) {
+      if (s.count(v) > 0) {
+        merged.insert(s.begin(), s.end());
+        ++factors;
+      } else {
+        rest.push_back(std::move(s));
+      }
+    }
+    if (factors == 0) continue;
+    const double entries = std::pow(2.0, static_cast<double>(merged.size()));
+    cost.flops += entries * static_cast<double>(factors);
+    cost.peak_entries = std::max(cost.peak_entries, entries);
+    cost.width = std::max(cost.width, merged.size());
+    merged.erase(v);
+    rest.push_back(std::move(merged));
+    tensors = std::move(rest);
+  }
+  return cost;
+}
+
+ContractionPlan plan_contraction(const TensorNetwork& network,
+                                 const PlannerOptions& options) {
+  QARCH_REQUIRE(options.try_greedy_degree || options.try_greedy_fill ||
+                    options.random_restarts > 0,
+                "planner has no heuristics enabled");
+
+  ContractionPlan best;
+  bool have_best = false;
+  auto consider = [&](std::vector<VarId> order, const std::string& name) {
+    PlanCost cost = estimate_cost(network, order);
+    const bool better =
+        !have_best || cost.flops < best.cost.flops ||
+        (cost.flops == best.cost.flops && cost.width < best.cost.width);
+    if (better) {
+      best.order = std::move(order);
+      best.cost = cost;
+      best.heuristic = name;
+      have_best = true;
+    }
+  };
+
+  if (options.try_greedy_degree)
+    consider(order_greedy_degree(network), "greedy-degree");
+  if (options.try_greedy_fill)
+    consider(order_greedy_fill(network), "greedy-fill");
+  if (options.random_restarts > 0) {
+    Rng rng(options.seed);
+    consider(order_random_restart(network, options.random_restarts, rng),
+             "random-restart");
+  }
+  return best;
+}
+
+}  // namespace qarch::qtensor

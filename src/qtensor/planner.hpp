@@ -1,0 +1,50 @@
+// Contraction planning: cost models and automatic heuristic selection.
+//
+// QTensor runs several ordering optimizers and keeps the cheapest plan. The
+// planner reproduces that: it scores candidate orders with a FLOP/memory
+// cost model (exact for bucket elimination over dimension-2 variables) and
+// returns the best, optionally considering sliced execution.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qtensor/network.hpp"
+#include "qtensor/ordering.hpp"
+
+namespace qarch::qtensor {
+
+/// Predicted cost of contracting a network along one order.
+struct PlanCost {
+  std::size_t width = 0;        ///< max intermediate rank
+  double flops = 0.0;           ///< multiply-adds across all buckets
+  double peak_entries = 0.0;    ///< largest single intermediate tensor
+};
+
+/// Exact symbolic cost of bucket elimination along `order`.
+PlanCost estimate_cost(const TensorNetwork& network,
+                       const std::vector<VarId>& order);
+
+/// A selected plan: the order, its cost, and which heuristic produced it.
+struct ContractionPlan {
+  std::vector<VarId> order;
+  PlanCost cost;
+  std::string heuristic;
+};
+
+/// Planner configuration: which heuristics compete.
+struct PlannerOptions {
+  bool try_greedy_degree = true;
+  bool try_greedy_fill = true;
+  std::size_t random_restarts = 8;  ///< 0 disables the random competitor
+  std::uint64_t seed = 17;
+};
+
+/// Runs every enabled heuristic and returns the plan with minimal flops
+/// (ties broken by width).
+ContractionPlan plan_contraction(const TensorNetwork& network,
+                                 const PlannerOptions& options = {});
+
+}  // namespace qarch::qtensor

@@ -1,0 +1,37 @@
+#include "search/alphabet.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qarch::search {
+
+using circuit::GateKind;
+
+GateAlphabet GateAlphabet::standard() {
+  return GateAlphabet{
+      {GateKind::RX, GateKind::RY, GateKind::RZ, GateKind::H, GateKind::P}};
+}
+
+GateAlphabet GateAlphabet::parse(const std::string& text) {
+  GateAlphabet a;
+  std::string token;
+  std::istringstream is(text);
+  while (std::getline(is, token, ','))
+    if (!token.empty()) a.gates.push_back(circuit::gate_from_name(token));
+  QARCH_REQUIRE(!a.gates.empty(), "empty gate alphabet");
+  for (GateKind k : a.gates)
+    QARCH_REQUIRE(!circuit::is_two_qubit(k), "alphabet gates are single-qubit");
+  return a;
+}
+
+std::string GateAlphabet::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (i) os << ',';
+    os << circuit::gate_name(gates[i]);
+  }
+  return os.str();
+}
+
+}  // namespace qarch::search

@@ -1,0 +1,33 @@
+// The rotation-gate alphabet A_R the search draws mixer gates from.
+//
+// The paper uses |A_R| = 5. The concrete alphabet is the set of single-qubit
+// gates appearing in its discovered circuits (Figs. 6-7): rx, ry, h, p plus
+// rz (the natural fifth rotation gate; any 5-element single-qubit alphabet
+// reproduces the combinatorics).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace qarch::search {
+
+/// Ordered gate alphabet. Order matters: predictor encodings are indices
+/// into this list.
+struct GateAlphabet {
+  std::vector<circuit::GateKind> gates;
+
+  /// The paper's 5-gate rotation alphabet.
+  static GateAlphabet standard();
+
+  /// Parses "rx,ry,rz,h,p"-style lists.
+  static GateAlphabet parse(const std::string& text);
+
+  [[nodiscard]] std::size_t size() const { return gates.size(); }
+
+  /// Mnemonic list like "rx,ry,rz,h,p".
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace qarch::search

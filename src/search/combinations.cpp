@@ -1,0 +1,94 @@
+#include "search/combinations.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qarch::search {
+
+using qaoa::MixerSpec;
+
+std::size_t combination_count(std::size_t alphabet_size, std::size_t k,
+                              CombinationMode mode) {
+  QARCH_REQUIRE(k >= 1, "sequence length must be >= 1");
+  std::size_t count = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t factor =
+        mode == CombinationMode::Product ? alphabet_size : alphabet_size - i;
+    QARCH_REQUIRE(mode == CombinationMode::Product || i < alphabet_size,
+                  "permutation length exceeds alphabet size");
+    count *= factor;
+  }
+  return count;
+}
+
+std::vector<MixerSpec> get_combinations(const GateAlphabet& alphabet,
+                                        std::size_t k, CombinationMode mode) {
+  QARCH_REQUIRE(k >= 1, "sequence length must be >= 1");
+  const std::size_t n = alphabet.size();
+  std::vector<MixerSpec> out;
+  out.reserve(combination_count(n, k, mode));
+
+  std::vector<std::size_t> idx(k, 0);
+  for (;;) {
+    // Emit idx if valid under the mode.
+    bool valid = true;
+    if (mode == CombinationMode::Permutation) {
+      std::vector<std::size_t> sorted = idx;
+      std::sort(sorted.begin(), sorted.end());
+      valid = std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+    }
+    if (valid) {
+      MixerSpec spec;
+      spec.gates.reserve(k);
+      for (std::size_t i : idx) spec.gates.push_back(alphabet.gates[i]);
+      out.push_back(std::move(spec));
+    }
+    // Odometer increment.
+    std::size_t pos = k;
+    while (pos-- > 0) {
+      if (++idx[pos] < n) break;
+      idx[pos] = 0;
+      if (pos == 0) return out;
+    }
+    if (pos == static_cast<std::size_t>(-1)) return out;
+  }
+}
+
+std::vector<MixerSpec> all_combinations(const GateAlphabet& alphabet,
+                                        std::size_t k_max,
+                                        CombinationMode mode) {
+  QARCH_REQUIRE(k_max >= 1, "k_max must be >= 1");
+  std::vector<MixerSpec> out;
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    if (mode == CombinationMode::Permutation && k > alphabet.size()) break;
+    auto combos = get_combinations(alphabet, k, mode);
+    out.insert(out.end(), std::make_move_iterator(combos.begin()),
+               std::make_move_iterator(combos.end()));
+  }
+  return out;
+}
+
+MixerSpec random_combination(const GateAlphabet& alphabet, std::size_t k_max,
+                             CombinationMode mode, Rng& rng) {
+  QARCH_REQUIRE(k_max >= 1, "k_max must be >= 1");
+  std::size_t k = 1 + rng.uniform_int(k_max);
+  if (mode == CombinationMode::Permutation)
+    k = std::min(k, alphabet.size());
+  MixerSpec spec;
+  spec.gates.reserve(k);
+  std::vector<std::size_t> available;
+  for (std::size_t i = 0; i < alphabet.size(); ++i) available.push_back(i);
+  for (std::size_t j = 0; j < k; ++j) {
+    if (mode == CombinationMode::Product) {
+      spec.gates.push_back(alphabet.gates[rng.uniform_int(alphabet.size())]);
+    } else {
+      const std::size_t pick = rng.uniform_int(available.size());
+      spec.gates.push_back(alphabet.gates[available[pick]]);
+      available.erase(available.begin() + static_cast<long>(pick));
+    }
+  }
+  return spec;
+}
+
+}  // namespace qarch::search

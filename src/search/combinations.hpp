@@ -1,0 +1,44 @@
+// GET_COMBINATIONS of Algorithm 1: gate sequences of length k over A_R.
+//
+// The paper enumerates "possible gate combinations" per (p, k); with
+// |A_R| = 5 and k = 1..4 it reports 2500 circuit combinations over the four
+// depths — i.e. ordered sequences with repetition (5^k per k, 625 at k = 4).
+// We support both enumeration semantics:
+//   * Product      — ordered sequences with repetition, 5^k   (paper count)
+//   * Permutation  — ordered sequences without repetition, P(5, k)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qaoa/mixer.hpp"
+#include "search/alphabet.hpp"
+
+namespace qarch::search {
+
+/// Enumeration semantics for GET_COMBINATIONS.
+enum class CombinationMode { Product, Permutation };
+
+/// Number of sequences of length k under the given mode.
+std::size_t combination_count(std::size_t alphabet_size, std::size_t k,
+                              CombinationMode mode);
+
+/// All gate sequences of length exactly k (GET_COMBINATIONS(A_R, k)).
+std::vector<qaoa::MixerSpec> get_combinations(const GateAlphabet& alphabet,
+                                              std::size_t k,
+                                              CombinationMode mode);
+
+/// All sequences of length 1..k_max, concatenated in (k, lexicographic)
+/// order — the full candidate space of one depth iteration of Algorithm 1.
+std::vector<qaoa::MixerSpec> all_combinations(const GateAlphabet& alphabet,
+                                              std::size_t k_max,
+                                              CombinationMode mode);
+
+/// A uniformly random sequence with length drawn uniformly from 1..k_max
+/// (random-search predictor's proposal distribution).
+qaoa::MixerSpec random_combination(const GateAlphabet& alphabet,
+                                   std::size_t k_max, CombinationMode mode,
+                                   Rng& rng);
+
+}  // namespace qarch::search

@@ -1,0 +1,77 @@
+#include "search/constraints.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qarch::search {
+
+MaxDepthConstraint::MaxDepthConstraint(std::size_t max_depth)
+    : max_depth_(max_depth) {
+  QARCH_REQUIRE(max_depth >= 1, "max depth must be >= 1");
+}
+
+bool MaxDepthConstraint::admits(const qaoa::MixerSpec&,
+                                const circuit::Circuit& layer) const {
+  return layer.depth() <= max_depth_;
+}
+
+std::string MaxDepthConstraint::name() const {
+  return "max-depth<=" + std::to_string(max_depth_);
+}
+
+bool TrainableConstraint::admits(const qaoa::MixerSpec& mixer,
+                                 const circuit::Circuit&) const {
+  return std::any_of(mixer.gates.begin(), mixer.gates.end(),
+                     circuit::is_parameterized);
+}
+
+bool NoImmediateRepeatConstraint::admits(const qaoa::MixerSpec& mixer,
+                                         const circuit::Circuit&) const {
+  for (std::size_t i = 1; i < mixer.gates.size(); ++i)
+    if (mixer.gates[i] == mixer.gates[i - 1]) return false;
+  return true;
+}
+
+ForbiddenGatesConstraint::ForbiddenGatesConstraint(
+    std::vector<circuit::GateKind> banned)
+    : banned_(std::move(banned)) {}
+
+bool ForbiddenGatesConstraint::admits(const qaoa::MixerSpec& mixer,
+                                      const circuit::Circuit&) const {
+  for (circuit::GateKind g : mixer.gates)
+    if (std::find(banned_.begin(), banned_.end(), g) != banned_.end())
+      return false;
+  return true;
+}
+
+PredicateConstraint::PredicateConstraint(std::string name, Fn fn)
+    : name_(std::move(name)), fn_(std::move(fn)) {
+  QARCH_REQUIRE(fn_ != nullptr, "predicate must be callable");
+}
+
+bool PredicateConstraint::admits(const qaoa::MixerSpec& mixer,
+                                 const circuit::Circuit& layer) const {
+  return fn_(mixer, layer);
+}
+
+ConstraintSet& ConstraintSet::add(
+    std::shared_ptr<const Constraint> constraint) {
+  QARCH_REQUIRE(constraint != nullptr, "null constraint");
+  constraints_.push_back(std::move(constraint));
+  return *this;
+}
+
+bool ConstraintSet::admits(const qaoa::MixerSpec& mixer,
+                           const circuit::Circuit& layer,
+                           std::string* rejected_by) const {
+  for (const auto& c : constraints_) {
+    if (!c->admits(mixer, layer)) {
+      if (rejected_by != nullptr) *rejected_by = c->name();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qarch::search

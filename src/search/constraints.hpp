@@ -1,0 +1,112 @@
+// Search-space constraints.
+//
+// The paper: "Our software can also incorporate arbitrary constraints in the
+// search procedure and thus deliver custom architectures." A Constraint is a
+// predicate over (mixer, built mixer circuit); the engine filters predictor
+// proposals through a ConstraintSet before spending evaluator budget, and
+// reports how many candidates each constraint rejected.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "qaoa/mixer.hpp"
+
+namespace qarch::search {
+
+/// Predicate over a candidate mixer. Stateless and thread-safe.
+class Constraint {
+ public:
+  virtual ~Constraint() = default;
+
+  /// True when the candidate may be evaluated.
+  [[nodiscard]] virtual bool admits(const qaoa::MixerSpec& mixer,
+                                    const circuit::Circuit& layer) const = 0;
+
+  /// Display name for rejection accounting.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Upper-bounds the mixer circuit's depth (per-qubit gate count here, since
+/// mixer layers are single-qubit towers).
+class MaxDepthConstraint final : public Constraint {
+ public:
+  explicit MaxDepthConstraint(std::size_t max_depth);
+  [[nodiscard]] bool admits(const qaoa::MixerSpec&,
+                            const circuit::Circuit& layer) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t max_depth_;
+};
+
+/// Requires at least one parameterized gate (an unparameterized mixer layer
+/// cannot be trained and wastes evaluator budget).
+class TrainableConstraint final : public Constraint {
+ public:
+  [[nodiscard]] bool admits(const qaoa::MixerSpec& mixer,
+                            const circuit::Circuit&) const override;
+  [[nodiscard]] std::string name() const override { return "trainable"; }
+};
+
+/// Forbids immediate repetition of the same gate (RX·RX is RX at a merged
+/// angle — a redundant point in the space).
+class NoImmediateRepeatConstraint final : public Constraint {
+ public:
+  [[nodiscard]] bool admits(const qaoa::MixerSpec& mixer,
+                            const circuit::Circuit&) const override;
+  [[nodiscard]] std::string name() const override { return "no-repeat"; }
+};
+
+/// Bans specific gate kinds from candidates (hardware basis restrictions).
+class ForbiddenGatesConstraint final : public Constraint {
+ public:
+  explicit ForbiddenGatesConstraint(std::vector<circuit::GateKind> banned);
+  [[nodiscard]] bool admits(const qaoa::MixerSpec& mixer,
+                            const circuit::Circuit&) const override;
+  [[nodiscard]] std::string name() const override { return "forbidden-gates"; }
+
+ private:
+  std::vector<circuit::GateKind> banned_;
+};
+
+/// Wraps an arbitrary predicate (the "arbitrary constraints" hook).
+class PredicateConstraint final : public Constraint {
+ public:
+  using Fn = std::function<bool(const qaoa::MixerSpec&,
+                                const circuit::Circuit&)>;
+  PredicateConstraint(std::string name, Fn fn);
+  [[nodiscard]] bool admits(const qaoa::MixerSpec& mixer,
+                            const circuit::Circuit& layer) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+/// An AND-composition of constraints with rejection accounting.
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  /// Adds a constraint; returns *this for chaining.
+  ConstraintSet& add(std::shared_ptr<const Constraint> constraint);
+
+  /// True when every constraint admits the candidate. When `rejected_by` is
+  /// non-null and the candidate is rejected, receives the constraint name.
+  [[nodiscard]] bool admits(const qaoa::MixerSpec& mixer,
+                            const circuit::Circuit& layer,
+                            std::string* rejected_by = nullptr) const;
+
+  [[nodiscard]] bool empty() const { return constraints_.empty(); }
+  [[nodiscard]] std::size_t size() const { return constraints_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const Constraint>> constraints_;
+};
+
+}  // namespace qarch::search

@@ -1,0 +1,78 @@
+#include "search/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "parallel/task_pool.hpp"
+
+namespace qarch::search {
+
+DatasetReport search_dataset(const std::vector<graph::Graph>& graphs,
+                             const DatasetSearchConfig& config) {
+  QARCH_REQUIRE(!graphs.empty(), "dataset must contain at least one graph");
+  QARCH_REQUIRE(config.node_slots >= 1, "need at least one node slot");
+
+  Timer timer;
+  const SearchEngine engine(config.engine);
+
+  // Node level: one graph's full search per slot.
+  DatasetReport report;
+  report.per_graph.resize(graphs.size());
+  if (config.node_slots == 1) {
+    for (std::size_t i = 0; i < graphs.size(); ++i)
+      report.per_graph[i] =
+          engine.run_exhaustive(graphs[i], config.k_max, config.mode);
+  } else {
+    parallel::TaskPool pool(config.node_slots);
+    std::vector<std::tuple<std::size_t>> idx;
+    for (std::size_t i = 0; i < graphs.size(); ++i) idx.emplace_back(i);
+    report.per_graph = pool.starmap_async(
+        [&](std::size_t i) {
+          return engine.run_exhaustive(graphs[i], config.k_max, config.mode);
+        },
+        idx).get();
+  }
+
+  // Aggregate: mean reward per (mixer, p) across all graphs.
+  struct Accumulator {
+    double ratio_sum = 0.0;
+    double sampled_sum = 0.0;
+    std::size_t count = 0;
+    qaoa::MixerSpec mixer;
+    std::size_t p = 0;
+  };
+  std::map<std::string, Accumulator> by_candidate;
+  for (const SearchReport& sr : report.per_graph) {
+    for (const CandidateResult& c : sr.evaluated) {
+      const std::string key =
+          c.mixer.to_string() + "@p" + std::to_string(c.p);
+      Accumulator& acc = by_candidate[key];
+      acc.ratio_sum += c.ratio;
+      acc.sampled_sum += c.sampled_ratio;
+      acc.mixer = c.mixer;
+      acc.p = c.p;
+      ++acc.count;
+    }
+  }
+
+  for (const auto& [_, acc] : by_candidate) {
+    DatasetCandidate d;
+    d.mixer = acc.mixer;
+    d.p = acc.p;
+    d.graphs = acc.count;
+    d.mean_ratio = acc.ratio_sum / static_cast<double>(acc.count);
+    d.mean_sampled_ratio = acc.sampled_sum / static_cast<double>(acc.count);
+    report.ranking.push_back(std::move(d));
+  }
+  std::sort(report.ranking.begin(), report.ranking.end(),
+            [](const DatasetCandidate& a, const DatasetCandidate& b) {
+              return a.mean_ratio > b.mean_ratio;
+            });
+  QARCH_CHECK(!report.ranking.empty(), "no candidates aggregated");
+  report.best = report.ranking.front();
+  report.seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace qarch::search

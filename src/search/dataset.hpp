@@ -1,0 +1,50 @@
+// Dataset-level search: the node-level (outer-outer) tier of Fig. 2.
+//
+// The paper's protocol searches over a DATASET of graphs (20 ER graphs for
+// profiling; 20 4-regular graphs for evaluation) and selects the circuit
+// that generalizes — on Polaris one graph's search runs per node. Here the
+// dataset driver fans graphs out across node-slots (thread groups), reuses
+// the per-graph SearchEngine inside each slot, and aggregates: a mixer's
+// dataset score is its mean reward over all graphs at its best depth.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "search/engine.hpp"
+
+namespace qarch::search {
+
+/// Aggregated cross-graph score of one mixer architecture.
+struct DatasetCandidate {
+  qaoa::MixerSpec mixer;
+  std::size_t p = 0;              ///< depth at which the score was achieved
+  double mean_ratio = 0.0;        ///< mean energy ratio across graphs
+  double mean_sampled_ratio = 0.0;
+  std::size_t graphs = 0;         ///< how many graphs scored this entry
+};
+
+/// Result of a dataset-level search.
+struct DatasetReport {
+  DatasetCandidate best;                      ///< highest mean_ratio
+  std::vector<DatasetCandidate> ranking;      ///< all candidates, descending
+  std::vector<SearchReport> per_graph;        ///< raw per-graph reports
+  double seconds = 0.0;
+};
+
+/// Configuration: per-graph engine settings plus the node-slot width.
+struct DatasetSearchConfig {
+  SearchConfig engine;        ///< per-graph search configuration
+  std::size_t node_slots = 1; ///< concurrent graph searches ("nodes")
+  std::size_t k_max = 2;      ///< candidate sequence length bound
+  CombinationMode mode = CombinationMode::Product;
+};
+
+/// Runs the exhaustive per-graph search on every graph and aggregates
+/// mixers by mean reward across the dataset.
+DatasetReport search_dataset(const std::vector<graph::Graph>& graphs,
+                             const DatasetSearchConfig& config);
+
+}  // namespace qarch::search

@@ -1,0 +1,111 @@
+#include "search/engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "parallel/task_pool.hpp"
+
+namespace qarch::search {
+
+const CandidateResult& SearchReport::best_at_depth(std::size_t p) const {
+  const CandidateResult* best = nullptr;
+  for (const CandidateResult& c : evaluated)
+    if (c.p == p && (best == nullptr || c.energy > best->energy)) best = &c;
+  QARCH_REQUIRE(best != nullptr, "no candidates evaluated at this depth");
+  return *best;
+}
+
+SearchEngine::SearchEngine(SearchConfig config) : config_(std::move(config)) {
+  QARCH_REQUIRE(config_.p_max >= 1, "p_max must be >= 1");
+  QARCH_REQUIRE(config_.outer_workers >= 1, "outer_workers must be >= 1");
+}
+
+SearchReport SearchEngine::run(const graph::Graph& g,
+                               Predictor& predictor) const {
+  Timer timer;
+  const Evaluator evaluator(g, config_.evaluator);
+  const QBuilder builder(config_.alphabet);
+  const std::size_t batch =
+      config_.batch > 0 ? config_.batch
+                        : std::max<std::size_t>(1, 4 * config_.outer_workers);
+
+  SearchReport report;
+  report.best.energy = -1.0;
+
+  // Optional worker pool; with outer_workers == 1 evaluation is strictly
+  // sequential (the serial search baseline of Fig. 4).
+  std::unique_ptr<parallel::TaskPool> pool;
+  if (config_.outer_workers > 1)
+    pool = std::make_unique<parallel::TaskPool>(config_.outer_workers);
+
+  for (std::size_t p = 1; p <= config_.p_max; ++p) {
+    predictor.reset();
+    while (!predictor.exhausted()) {
+      std::vector<Encoding> encodings = predictor.propose(batch);
+      if (encodings.empty()) break;
+
+      // Constraint filter: rejected candidates never reach the evaluator but
+      // do receive a zero reward so learning predictors avoid them.
+      if (!config_.constraints.empty()) {
+        std::vector<Encoding> admitted, rejected;
+        for (Encoding& enc : encodings) {
+          const qaoa::MixerSpec mixer = builder.decode(enc);
+          const circuit::Circuit layer =
+              qaoa::build_mixer_circuit(g.num_vertices(), mixer);
+          std::string rejected_by;
+          if (config_.constraints.admits(mixer, layer, &rejected_by)) {
+            admitted.push_back(std::move(enc));
+          } else {
+            ++report.rejections[rejected_by];
+            rejected.push_back(std::move(enc));
+          }
+        }
+        if (!rejected.empty())
+          predictor.feedback(rejected,
+                             std::vector<double>(rejected.size(), 0.0));
+        encodings = std::move(admitted);
+        if (encodings.empty()) continue;
+      }
+
+      std::vector<CandidateResult> results;
+      if (pool) {
+        auto handle = pool->map_async(
+            [&](const Encoding& enc) {
+              return evaluator.evaluate(builder.decode(enc), p);
+            },
+            encodings);
+        results = handle.get();
+      } else {
+        results.reserve(encodings.size());
+        for (const Encoding& enc : encodings)
+          results.push_back(evaluator.evaluate(builder.decode(enc), p));
+      }
+
+      std::vector<double> rewards;
+      rewards.reserve(results.size());
+      for (CandidateResult& r : results) {
+        rewards.push_back(r.ratio);
+        if (r.energy > report.best.energy) report.best = r;
+        report.evaluated.push_back(std::move(r));
+      }
+      predictor.feedback(encodings, rewards);
+    }
+    log::debug("depth p=", p, ": best-so-far <C>=", report.best.energy, " ",
+               report.best.mixer.to_string());
+  }
+
+  report.num_candidates = report.evaluated.size();
+  report.seconds = timer.seconds();
+  return report;
+}
+
+SearchReport SearchEngine::run_exhaustive(const graph::Graph& g,
+                                          std::size_t k_max,
+                                          CombinationMode mode) const {
+  ExhaustivePredictor predictor(config_.alphabet, k_max, mode);
+  return run(g, predictor);
+}
+
+}  // namespace qarch::search

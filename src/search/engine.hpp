@@ -1,0 +1,69 @@
+// SearchEngine: Algorithm 1 of the paper.
+//
+// For each depth p = 1..p_max the engine drains the predictor's proposals,
+// hands each encoding to the QBuilder + Evaluator, propagates rewards back,
+// and keeps the globally best mixer (SELECT_BEST). Candidate evaluations
+// within a round are independent, so the engine runs them either serially
+// (the paper's baseline profile) or on an `outer_workers`-wide task pool
+// (the starmap_async parallelization of Fig. 3).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "search/constraints.hpp"
+#include "search/evaluator.hpp"
+#include "search/predictor.hpp"
+#include "search/qbuilder.hpp"
+
+namespace qarch::search {
+
+/// Engine configuration (defaults follow the paper's profiling setup).
+struct SearchConfig {
+  std::size_t p_max = 4;              ///< QAOA depths searched: 1..p_max
+  std::size_t outer_workers = 1;      ///< 1 = serial search
+  std::size_t batch = 0;              ///< proposals per predictor round
+                                      ///< (0 = auto: max(1, 4*outer_workers))
+  GateAlphabet alphabet = GateAlphabet::standard();
+  EvaluatorOptions evaluator;
+  ConstraintSet constraints;          ///< candidates must pass before costing
+                                      ///< evaluator budget (may be empty)
+};
+
+/// Full log of one search run.
+struct SearchReport {
+  CandidateResult best;                    ///< U_B^best with <C^best>
+  std::vector<CandidateResult> evaluated;  ///< every candidate, in order
+  double seconds = 0.0;                    ///< wall-clock of the whole search
+  std::size_t num_candidates = 0;
+  std::map<std::string, std::size_t> rejections;  ///< per-constraint counts
+
+  /// Best candidate restricted to one depth (throws if none evaluated).
+  [[nodiscard]] const CandidateResult& best_at_depth(std::size_t p) const;
+};
+
+/// The QArchSearch driver.
+class SearchEngine {
+ public:
+  explicit SearchEngine(SearchConfig config = {});
+
+  /// Runs Algorithm 1 over `g`, drawing candidates from `predictor`.
+  /// The predictor is reset() at the start of every depth round.
+  [[nodiscard]] SearchReport run(const graph::Graph& g,
+                                 Predictor& predictor) const;
+
+  /// Convenience: exhaustive search with sequences up to length k_max
+  /// (the paper's profiled configuration: k_max = 4, |A_R| = 5).
+  [[nodiscard]] SearchReport run_exhaustive(
+      const graph::Graph& g, std::size_t k_max,
+      CombinationMode mode = CombinationMode::Product) const;
+
+  [[nodiscard]] const SearchConfig& config() const { return config_; }
+
+ private:
+  SearchConfig config_;
+};
+
+}  // namespace qarch::search

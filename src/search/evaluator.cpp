@@ -1,0 +1,43 @@
+#include "search/evaluator.hpp"
+
+#include "common/error.hpp"
+#include "graph/maxcut.hpp"
+#include "qaoa/ansatz.hpp"
+#include "qaoa/sampling.hpp"
+
+namespace qarch::search {
+
+Evaluator::Evaluator(const graph::Graph& g, EvaluatorOptions options)
+    : graph_(g),
+      options_(std::move(options)),
+      energy_(graph_, options_.energy),
+      cobyla_(options_.cobyla) {
+  QARCH_REQUIRE(g.num_edges() >= 1, "evaluation graph needs edges");
+  classical_optimum_ = graph::maxcut_exact(graph_).value;
+}
+
+CandidateResult Evaluator::evaluate(const qaoa::MixerSpec& mixer,
+                                    std::size_t p) const {
+  const circuit::Circuit ansatz = qaoa::build_qaoa_circuit(graph_, p, mixer);
+  const qaoa::TrainResult trained =
+      qaoa::train_qaoa(ansatz, energy_, cobyla_, options_.train);
+
+  CandidateResult r;
+  r.mixer = mixer;
+  r.p = p;
+  r.energy = trained.energy;
+  r.ratio = qaoa::approximation_ratio(trained.energy, classical_optimum_);
+  // Eq. 3 numerator: expected best cut among sampled measurements. Seeded
+  // per-candidate for determinism regardless of evaluation order.
+  Rng sample_rng(options_.sample_seed ^ (p * 0x9e3779b97f4a7c15ULL) ^
+                 mixer.gates.size());
+  const double best_cut =
+      qaoa::expected_best_cut(ansatz, trained.theta, graph_, options_.shots,
+                              options_.sample_trials, sample_rng);
+  r.sampled_ratio = qaoa::approximation_ratio(best_cut, classical_optimum_);
+  r.theta = trained.theta;
+  r.evaluations = trained.evaluations;
+  return r;
+}
+
+}  // namespace qarch::search

@@ -1,0 +1,68 @@
+// Evaluator module: trains a candidate circuit on the QAOA cost function and
+// produces the reward propagated back to the predictor.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "optim/cobyla.hpp"
+#include "qaoa/energy.hpp"
+#include "qaoa/mixer.hpp"
+#include "qaoa/train.hpp"
+
+namespace qarch::search {
+
+/// Everything known about one evaluated candidate.
+struct CandidateResult {
+  qaoa::MixerSpec mixer;
+  std::size_t p = 0;
+  double energy = 0.0;            ///< trained <C>
+  double ratio = 0.0;             ///< energy ratio <C> / C_classical
+                                  ///< (the search reward of Algorithm 1)
+  double sampled_ratio = 0.0;     ///< Eq. 3: <C_max> / C_classical, the
+                                  ///< expected-best-sampled-cut ratio the
+                                  ///< paper's Figs. 7-9 report
+  std::vector<double> theta;      ///< trained parameters
+  std::size_t evaluations = 0;    ///< objective calls spent training
+};
+
+/// Evaluation configuration: which engine simulates, which optimizer trains.
+struct EvaluatorOptions {
+  qaoa::EnergyOptions energy;             ///< simulator engine selection
+  optim::CobylaConfig cobyla;             ///< 200-eval COBYLA by default
+  qaoa::TrainOptions train;
+  std::size_t shots = 128;                ///< samples per <C_max> batch
+  std::size_t sample_trials = 8;          ///< batches averaged for <C_max>
+  std::uint64_t sample_seed = 99;         ///< sampling stream seed
+};
+
+/// Trains and scores candidate mixers for one fixed graph.
+///
+/// Thread-safe: evaluate() builds all per-candidate state locally, so one
+/// Evaluator can be shared by every worker of the parallel search.
+class Evaluator {
+ public:
+  Evaluator(const graph::Graph& g, EvaluatorOptions options = {});
+
+  /// Trains the (mixer, p) candidate and returns its scored result
+  /// (SIMULATE_QAOA + reward computation of Algorithm 1).
+  [[nodiscard]] CandidateResult evaluate(const qaoa::MixerSpec& mixer,
+                                         std::size_t p) const;
+
+  /// The exact classical max-cut of the evaluation graph.
+  [[nodiscard]] double classical_optimum() const { return classical_optimum_; }
+
+  [[nodiscard]] const graph::Graph& graph() const { return graph_; }
+  [[nodiscard]] const EvaluatorOptions& options() const { return options_; }
+
+ private:
+  graph::Graph graph_;
+  EvaluatorOptions options_;
+  qaoa::EnergyEvaluator energy_;
+  optim::Cobyla cobyla_;
+  double classical_optimum_ = 0.0;
+};
+
+}  // namespace qarch::search

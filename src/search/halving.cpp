@@ -1,0 +1,84 @@
+#include "search/halving.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "parallel/task_pool.hpp"
+
+namespace qarch::search {
+
+HalvingReport successive_halving(const graph::Graph& g,
+                                 std::vector<qaoa::MixerSpec> candidates,
+                                 const HalvingConfig& config) {
+  QARCH_REQUIRE(!candidates.empty(), "no candidates to halve");
+  QARCH_REQUIRE(config.keep_fraction > 0.0 && config.keep_fraction < 1.0,
+                "keep_fraction must be in (0, 1)");
+  QARCH_REQUIRE(config.budget_growth >= 1.0, "budget must not shrink");
+  QARCH_REQUIRE(config.initial_budget >= 5, "initial budget too small");
+
+  Timer timer;
+  HalvingReport report;
+  std::size_t budget = config.initial_budget;
+
+  while (true) {
+    // Evaluate the current cohort at the current budget.
+    EvaluatorOptions opts = config.evaluator;
+    opts.cobyla.max_evals = budget;
+    const Evaluator evaluator(g, opts);
+
+    std::vector<CandidateResult> results(candidates.size());
+    if (config.outer_workers > 1) {
+      parallel::TaskPool pool(config.outer_workers);
+      std::vector<std::tuple<std::size_t>> idx;
+      for (std::size_t i = 0; i < candidates.size(); ++i) idx.emplace_back(i);
+      results = pool.starmap_async(
+          [&](std::size_t i) {
+            return evaluator.evaluate(candidates[i], config.p);
+          },
+          idx).get();
+    } else {
+      for (std::size_t i = 0; i < candidates.size(); ++i)
+        results[i] = evaluator.evaluate(candidates[i], config.p);
+    }
+    for (const auto& r : results) report.total_evaluations += r.evaluations;
+
+    // Rank by trained energy, descending.
+    std::vector<std::size_t> order(results.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return results[a].energy > results[b].energy;
+    });
+
+    HalvingRound round;
+    round.budget = budget;
+    round.candidates_in = candidates.size();
+
+    if (candidates.size() == 1) {
+      round.candidates_out = 1;
+      report.rounds.push_back(round);
+      report.best = results[order[0]];
+      break;
+    }
+
+    const std::size_t keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(
+               config.keep_fraction * static_cast<double>(candidates.size()))));
+    round.candidates_out = keep;
+    report.rounds.push_back(round);
+
+    std::vector<qaoa::MixerSpec> survivors;
+    survivors.reserve(keep);
+    for (std::size_t k = 0; k < keep; ++k)
+      survivors.push_back(candidates[order[k]]);
+    candidates = std::move(survivors);
+    budget = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(budget) * config.budget_growth));
+  }
+
+  report.seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace qarch::search

@@ -1,0 +1,51 @@
+// Successive halving over candidate mixers.
+//
+// Random search with a fixed 200-eval budget per candidate (Algorithm 1)
+// spends most of its compute on hopeless candidates. Successive halving
+// (Jamieson & Talwalkar 2016 — the standard companion to the random-search
+// NAS baseline the paper cites) evaluates every candidate with a small
+// budget, keeps the top `keep_fraction`, multiplies the budget by
+// `budget_growth`, and repeats until one survivor remains. Total compute is
+// comparable to a single full-budget sweep while the final winner gets a
+// much deeper training run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "search/engine.hpp"
+
+namespace qarch::search {
+
+/// Halving schedule configuration.
+struct HalvingConfig {
+  std::size_t initial_budget = 25;   ///< COBYLA evals in round 0
+  double budget_growth = 2.0;        ///< budget multiplier per round
+  double keep_fraction = 0.5;        ///< surviving fraction per round
+  std::size_t p = 1;                 ///< ansatz depth
+  std::size_t outer_workers = 1;     ///< parallel candidate evaluation
+  EvaluatorOptions evaluator;        ///< engine; cobyla budget is overridden
+};
+
+/// One halving round's log.
+struct HalvingRound {
+  std::size_t budget = 0;
+  std::size_t candidates_in = 0;
+  std::size_t candidates_out = 0;
+};
+
+/// Final result plus per-round accounting.
+struct HalvingReport {
+  CandidateResult best;
+  std::vector<HalvingRound> rounds;
+  std::size_t total_evaluations = 0;  ///< objective calls across all rounds
+  double seconds = 0.0;
+};
+
+/// Runs successive halving over an explicit candidate list on one graph.
+HalvingReport successive_halving(const graph::Graph& g,
+                                 std::vector<qaoa::MixerSpec> candidates,
+                                 const HalvingConfig& config);
+
+}  // namespace qarch::search

@@ -1,0 +1,50 @@
+#include "search/predictor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qarch::search {
+
+ExhaustivePredictor::ExhaustivePredictor(const GateAlphabet& alphabet,
+                                         std::size_t k_max,
+                                         CombinationMode mode) {
+  const QBuilder builder(alphabet);
+  for (const qaoa::MixerSpec& spec : all_combinations(alphabet, k_max, mode))
+    encodings_.push_back(builder.encode(spec));
+}
+
+std::vector<Encoding> ExhaustivePredictor::propose(std::size_t max_batch) {
+  const std::size_t take =
+      std::min(max_batch, encodings_.size() - cursor_);
+  std::vector<Encoding> out(encodings_.begin() + static_cast<long>(cursor_),
+                            encodings_.begin() +
+                                static_cast<long>(cursor_ + take));
+  cursor_ += take;
+  return out;
+}
+
+RandomPredictor::RandomPredictor(const GateAlphabet& alphabet,
+                                 std::size_t k_max, std::size_t budget,
+                                 std::uint64_t seed, CombinationMode mode)
+    : alphabet_(alphabet),
+      k_max_(k_max),
+      budget_(budget),
+      mode_(mode),
+      rng_(seed),
+      builder_(alphabet) {
+  QARCH_REQUIRE(budget_ >= 1, "random predictor budget must be >= 1");
+}
+
+std::vector<Encoding> RandomPredictor::propose(std::size_t max_batch) {
+  const std::size_t take = std::min(max_batch, budget_ - proposed_);
+  std::vector<Encoding> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i)
+    out.push_back(builder_.encode(
+        random_combination(alphabet_, k_max_, mode_, rng_)));
+  proposed_ += take;
+  return out;
+}
+
+}  // namespace qarch::search

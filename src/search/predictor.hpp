@@ -1,0 +1,92 @@
+// Predictor module: proposes candidate circuit encodings and learns from
+// propagated rewards (Fig. 1 of the paper).
+//
+// Implementations:
+//   * ExhaustivePredictor — enumerates every gate combination (the loop of
+//     Algorithm 1; "random search" in the NAS sense of model-free search).
+//   * RandomPredictor     — samples a fixed budget of uniform candidates.
+//   * ReinforcePredictor  — the deep-neural-network controller trained with
+//     policy gradients (declared in rl_predictor.hpp; the paper's Fig.-1
+//     architecture and stated next version).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "search/combinations.hpp"
+#include "search/qbuilder.hpp"
+
+namespace qarch::search {
+
+/// Strategy interface for proposing encodings and absorbing rewards.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Proposes up to `max_batch` encodings (fewer near exhaustion; empty
+  /// when done for this round).
+  [[nodiscard]] virtual std::vector<Encoding> propose(std::size_t max_batch) = 0;
+
+  /// Receives the reward (approximation ratio) for each proposed encoding.
+  virtual void feedback(const std::vector<Encoding>& encodings,
+                        const std::vector<double>& rewards) = 0;
+
+  /// Restarts proposal for a new search round (new depth p).
+  virtual void reset() = 0;
+
+  /// True when the predictor has nothing more to propose this round.
+  [[nodiscard]] virtual bool exhausted() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Enumerates all_combinations(alphabet, k_max) exactly once per round.
+class ExhaustivePredictor final : public Predictor {
+ public:
+  ExhaustivePredictor(const GateAlphabet& alphabet, std::size_t k_max,
+                      CombinationMode mode = CombinationMode::Product);
+
+  [[nodiscard]] std::vector<Encoding> propose(std::size_t max_batch) override;
+  void feedback(const std::vector<Encoding>&,
+                const std::vector<double>&) override {}
+  void reset() override { cursor_ = 0; }
+  [[nodiscard]] bool exhausted() const override {
+    return cursor_ >= encodings_.size();
+  }
+  [[nodiscard]] std::string name() const override { return "exhaustive"; }
+
+  /// Total candidates enumerated per round.
+  [[nodiscard]] std::size_t space_size() const { return encodings_.size(); }
+
+ private:
+  std::vector<Encoding> encodings_;
+  std::size_t cursor_ = 0;
+};
+
+/// Samples `budget` uniformly random encodings per round.
+class RandomPredictor final : public Predictor {
+ public:
+  RandomPredictor(const GateAlphabet& alphabet, std::size_t k_max,
+                  std::size_t budget, std::uint64_t seed,
+                  CombinationMode mode = CombinationMode::Product);
+
+  [[nodiscard]] std::vector<Encoding> propose(std::size_t max_batch) override;
+  void feedback(const std::vector<Encoding>&,
+                const std::vector<double>&) override {}
+  void reset() override { proposed_ = 0; }
+  [[nodiscard]] bool exhausted() const override { return proposed_ >= budget_; }
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  GateAlphabet alphabet_;
+  std::size_t k_max_;
+  std::size_t budget_;
+  CombinationMode mode_;
+  Rng rng_;
+  QBuilder builder_;
+  std::size_t proposed_ = 0;
+};
+
+}  // namespace qarch::search

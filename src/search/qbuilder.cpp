@@ -1,0 +1,48 @@
+#include "search/qbuilder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "qaoa/mixer.hpp"
+
+namespace qarch::search {
+
+QBuilder::QBuilder(GateAlphabet alphabet) : alphabet_(std::move(alphabet)) {
+  QARCH_REQUIRE(alphabet_.size() >= 1, "alphabet must be non-empty");
+}
+
+qaoa::MixerSpec QBuilder::decode(const Encoding& encoding) const {
+  QARCH_REQUIRE(!encoding.empty(), "empty encoding");
+  qaoa::MixerSpec spec;
+  spec.gates.reserve(encoding.size());
+  for (std::size_t idx : encoding) {
+    QARCH_REQUIRE(idx < alphabet_.size(), "encoding index out of alphabet");
+    spec.gates.push_back(alphabet_.gates[idx]);
+  }
+  return spec;
+}
+
+Encoding QBuilder::encode(const qaoa::MixerSpec& spec) const {
+  Encoding enc;
+  enc.reserve(spec.gates.size());
+  for (circuit::GateKind k : spec.gates) {
+    const auto it =
+        std::find(alphabet_.gates.begin(), alphabet_.gates.end(), k);
+    QARCH_REQUIRE(it != alphabet_.gates.end(), "gate not in alphabet");
+    enc.push_back(static_cast<std::size_t>(it - alphabet_.gates.begin()));
+  }
+  return enc;
+}
+
+circuit::Circuit QBuilder::build_mixer(const Encoding& encoding,
+                                       std::size_t num_qubits) const {
+  return qaoa::build_mixer_circuit(num_qubits, decode(encoding));
+}
+
+circuit::Circuit QBuilder::build_qaoa(const Encoding& encoding,
+                                      const graph::Graph& g,
+                                      std::size_t p) const {
+  return qaoa::build_qaoa_circuit(g, p, decode(encoding));
+}
+
+}  // namespace qarch::search

@@ -1,0 +1,49 @@
+// QBuilder: the Quantum Builder module of QArchSearch.
+//
+// Accepts the predictor's encoded representation (a sequence of alphabet
+// indices) and materializes the concrete quantum circuits: the mixer layer
+// and the full QAOA ansatz for a graph (the paper generates Qiskit circuits;
+// our circuit IR plays that role).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "graph/graph.hpp"
+#include "qaoa/ansatz.hpp"
+#include "search/alphabet.hpp"
+
+namespace qarch::search {
+
+/// Predictor-side circuit encoding: indices into the gate alphabet.
+using Encoding = std::vector<std::size_t>;
+
+/// Builds circuits from predictor encodings against a fixed alphabet.
+class QBuilder {
+ public:
+  explicit QBuilder(GateAlphabet alphabet);
+
+  [[nodiscard]] const GateAlphabet& alphabet() const { return alphabet_; }
+
+  /// Decodes an index sequence into a MixerSpec (validates indices).
+  [[nodiscard]] qaoa::MixerSpec decode(const Encoding& encoding) const;
+
+  /// Encodes a MixerSpec back into alphabet indices (inverse of decode;
+  /// throws if a gate is not in the alphabet).
+  [[nodiscard]] Encoding encode(const qaoa::MixerSpec& spec) const;
+
+  /// BUILD_MIXER_CKT: the standalone mixer circuit on `num_qubits` qubits.
+  [[nodiscard]] circuit::Circuit build_mixer(const Encoding& encoding,
+                                             std::size_t num_qubits) const;
+
+  /// BUILD_QAOA_CKT: the p-layer ansatz for `g` with the decoded mixer.
+  [[nodiscard]] circuit::Circuit build_qaoa(const Encoding& encoding,
+                                            const graph::Graph& g,
+                                            std::size_t p) const;
+
+ private:
+  GateAlphabet alphabet_;
+};
+
+}  // namespace qarch::search

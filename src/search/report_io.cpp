@@ -1,0 +1,88 @@
+#include "search/report_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qarch::search {
+
+json::Value candidate_to_json(const CandidateResult& candidate) {
+  json::Value obj = json::Value::object();
+  json::Value gates = json::Value::array();
+  for (circuit::GateKind g : candidate.mixer.gates)
+    gates.push_back(circuit::gate_name(g));
+  obj.set("mixer", std::move(gates));
+  obj.set("p", candidate.p);
+  obj.set("energy", candidate.energy);
+  obj.set("ratio", candidate.ratio);
+  obj.set("sampled_ratio", candidate.sampled_ratio);
+  obj.set("evaluations", candidate.evaluations);
+  json::Value theta = json::Value::array();
+  for (double t : candidate.theta) theta.push_back(t);
+  obj.set("theta", std::move(theta));
+  return obj;
+}
+
+CandidateResult candidate_from_json(const json::Value& value) {
+  CandidateResult c;
+  const json::Value& gates = value.at("mixer");
+  for (std::size_t i = 0; i < gates.size(); ++i)
+    c.mixer.gates.push_back(circuit::gate_from_name(gates.at(i).as_string()));
+  c.p = static_cast<std::size_t>(value.at("p").as_number());
+  c.energy = value.at("energy").as_number();
+  c.ratio = value.at("ratio").as_number();
+  c.sampled_ratio = value.at("sampled_ratio").as_number();
+  c.evaluations =
+      static_cast<std::size_t>(value.at("evaluations").as_number());
+  const json::Value& theta = value.at("theta");
+  for (std::size_t i = 0; i < theta.size(); ++i)
+    c.theta.push_back(theta.at(i).as_number());
+  return c;
+}
+
+json::Value report_to_json(const SearchReport& report) {
+  json::Value obj = json::Value::object();
+  obj.set("best", candidate_to_json(report.best));
+  json::Value all = json::Value::array();
+  for (const CandidateResult& c : report.evaluated)
+    all.push_back(candidate_to_json(c));
+  obj.set("evaluated", std::move(all));
+  obj.set("seconds", report.seconds);
+  obj.set("num_candidates", report.num_candidates);
+  json::Value rej = json::Value::object();
+  for (const auto& [name, count] : report.rejections) rej.set(name, count);
+  obj.set("rejections", std::move(rej));
+  return obj;
+}
+
+SearchReport report_from_json(const json::Value& value) {
+  SearchReport r;
+  r.best = candidate_from_json(value.at("best"));
+  const json::Value& all = value.at("evaluated");
+  for (std::size_t i = 0; i < all.size(); ++i)
+    r.evaluated.push_back(candidate_from_json(all.at(i)));
+  r.seconds = value.at("seconds").as_number();
+  r.num_candidates =
+      static_cast<std::size_t>(value.at("num_candidates").as_number());
+  if (value.contains("rejections"))
+    for (const auto& [name, count] : value.at("rejections").items())
+      r.rejections[name] = static_cast<std::size_t>(count.as_number());
+  return r;
+}
+
+void save_report(const SearchReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("save_report: cannot open " + path);
+  out << report_to_json(report).dump(2) << '\n';
+}
+
+SearchReport load_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("load_report: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return report_from_json(json::parse(buffer.str()));
+}
+
+}  // namespace qarch::search

@@ -1,0 +1,33 @@
+// Search report persistence: JSON round-trip for SearchReport.
+//
+// Long HPC searches checkpoint their results; this module serializes every
+// evaluated candidate (mixer, depth, energies, trained parameters) so a
+// report can be reloaded for later analysis without re-running the search.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "search/engine.hpp"
+
+namespace qarch::search {
+
+/// Serializes a candidate to a JSON object.
+json::Value candidate_to_json(const CandidateResult& candidate);
+
+/// Parses a candidate from JSON (inverse of candidate_to_json).
+CandidateResult candidate_from_json(const json::Value& value);
+
+/// Serializes a whole report (best, all candidates, timings, rejections).
+json::Value report_to_json(const SearchReport& report);
+
+/// Parses a report from JSON (inverse of report_to_json).
+SearchReport report_from_json(const json::Value& value);
+
+/// Writes a report to `path` as pretty-printed JSON.
+void save_report(const SearchReport& report, const std::string& path);
+
+/// Loads a report previously written by save_report.
+SearchReport load_report(const std::string& path);
+
+}  // namespace qarch::search

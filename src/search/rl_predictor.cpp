@@ -1,0 +1,143 @@
+#include "search/rl_predictor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qarch::search {
+
+namespace {
+constexpr double kMaskValue = -1e9;
+}
+
+ReinforcePredictor::ReinforcePredictor(const GateAlphabet& alphabet,
+                                       ReinforceConfig config)
+    : alphabet_(alphabet),
+      config_(config),
+      rng_(config.seed),
+      policy_(
+          // prev-token one-hot (gates + START) ++ position one-hot.
+          {alphabet.size() + 1 + config.k_max, config.hidden,
+           alphabet.size() + 1},
+          {nn::Activation::Tanh, nn::Activation::Identity}, rng_),
+      adam_(policy_, nn::AdamConfig{config.learning_rate, 0.9, 0.999, 1e-8}) {
+  QARCH_REQUIRE(config_.k_max >= 1, "k_max must be >= 1");
+  QARCH_REQUIRE(config_.budget >= 1, "budget must be >= 1");
+}
+
+std::vector<double> ReinforcePredictor::features(std::size_t prev_action,
+                                                 std::size_t position) const {
+  // prev_action in [0, alphabet); value alphabet.size() encodes START.
+  std::vector<double> x(alphabet_.size() + 1 + config_.k_max, 0.0);
+  QARCH_CHECK(prev_action <= alphabet_.size(), "bad prev token");
+  QARCH_CHECK(position < config_.k_max, "bad position");
+  x[prev_action] = 1.0;
+  x[alphabet_.size() + 1 + position] = 1.0;
+  return x;
+}
+
+std::vector<double> ReinforcePredictor::action_logits(
+    std::size_t prev_action, std::size_t position,
+    nn::Mlp::Trace* trace) const {
+  std::vector<double> logits =
+      policy_.forward(features(prev_action, position), trace);
+  if (position == 0) logits[stop_action()] = kMaskValue;  // length >= 1
+  return logits;
+}
+
+std::vector<Encoding> ReinforcePredictor::propose(std::size_t max_batch) {
+  const std::size_t take = std::min(max_batch, config_.budget - proposed_);
+  std::vector<Encoding> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    Encoding enc;
+    std::size_t prev = alphabet_.size();  // START
+    for (std::size_t pos = 0; pos < config_.k_max; ++pos) {
+      const std::vector<double> probs =
+          nn::softmax(action_logits(prev, pos, nullptr));
+      // Inverse-CDF sampling.
+      double r = rng_.uniform();
+      std::size_t action = probs.size() - 1;
+      for (std::size_t a = 0; a < probs.size(); ++a) {
+        if (r < probs[a]) {
+          action = a;
+          break;
+        }
+        r -= probs[a];
+      }
+      if (action == stop_action()) break;
+      enc.push_back(action);
+      prev = action;
+    }
+    QARCH_CHECK(!enc.empty(), "controller emitted an empty sequence");
+    out.push_back(std::move(enc));
+  }
+  proposed_ += take;
+  return out;
+}
+
+void ReinforcePredictor::feedback(const std::vector<Encoding>& encodings,
+                                  const std::vector<double>& rewards) {
+  QARCH_REQUIRE(encodings.size() == rewards.size(),
+                "encoding/reward count mismatch");
+  if (encodings.empty()) return;
+
+  // Update the EMA baseline first (batch mean keeps it sampling-agnostic).
+  double batch_mean = 0.0;
+  for (double r : rewards) batch_mean += r;
+  batch_mean /= static_cast<double>(rewards.size());
+  if (!baseline_init_) {
+    baseline_ = batch_mean;
+    baseline_init_ = true;
+  } else {
+    baseline_ = config_.baseline_decay * baseline_ +
+                (1.0 - config_.baseline_decay) * batch_mean;
+  }
+
+  nn::MlpGradients grads = policy_.make_gradients();
+  for (std::size_t s = 0; s < encodings.size(); ++s) {
+    const Encoding& enc = encodings[s];
+    const double advantage = rewards[s] - baseline_;
+    if (advantage == 0.0) continue;
+
+    // Replay the sequence; REINFORCE gradient of -advantage * log π(a|s)
+    // w.r.t. logits is advantage * (softmax - onehot(a)).
+    std::size_t prev = alphabet_.size();  // START
+    for (std::size_t pos = 0; pos <= enc.size() && pos < config_.k_max;
+         ++pos) {
+      const bool is_stop_step = pos == enc.size();
+      const std::size_t action = is_stop_step ? stop_action() : enc[pos];
+      nn::Mlp::Trace trace;
+      const std::vector<double> probs =
+          nn::softmax(action_logits(prev, pos, &trace));
+      std::vector<double> dlogits(probs.size());
+      for (std::size_t a = 0; a < probs.size(); ++a)
+        dlogits[a] = advantage * (probs[a] - (a == action ? 1.0 : 0.0));
+      policy_.backward(trace, dlogits, grads);
+      if (is_stop_step) break;
+      prev = action;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(encodings.size());
+  nn::MlpGradients scaled = policy_.make_gradients();
+  scaled.add_scaled(grads, inv);
+  adam_.step(policy_, scaled);
+}
+
+Encoding ReinforcePredictor::greedy_decode() const {
+  Encoding enc;
+  std::size_t prev = alphabet_.size();
+  for (std::size_t pos = 0; pos < config_.k_max; ++pos) {
+    const std::vector<double> logits = action_logits(prev, pos, nullptr);
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < logits.size(); ++a)
+      if (logits[a] > logits[best]) best = a;
+    if (best == stop_action()) break;
+    enc.push_back(best);
+    prev = best;
+  }
+  QARCH_CHECK(!enc.empty(), "greedy decode emitted an empty sequence");
+  return enc;
+}
+
+}  // namespace qarch::search

@@ -1,0 +1,63 @@
+#include "sim/noise.hpp"
+
+#include "common/error.hpp"
+
+namespace qarch::sim {
+
+namespace {
+
+/// Applies a uniformly random Pauli error (X, Y, or Z) to one qubit.
+void inject_pauli(State& state, std::size_t qubit, Rng& rng,
+                  const StatevectorSimulator& sv) {
+  static const circuit::GateKind kErrors[3] = {
+      circuit::GateKind::X, circuit::GateKind::Y, circuit::GateKind::Z};
+  const circuit::Gate err{kErrors[rng.uniform_int(3)], qubit, 0,
+                          circuit::ParamExpr::none()};
+  sv.apply(state, err, {});
+}
+
+}  // namespace
+
+State noisy_trajectory(const circuit::Circuit& ansatz,
+                       std::span<const double> theta,
+                       const NoiseModel& noise, Rng& rng) {
+  QARCH_REQUIRE(noise.p1 >= 0.0 && noise.p1 <= 1.0 && noise.p2 >= 0.0 &&
+                    noise.p2 <= 1.0,
+                "error probabilities must be in [0, 1]");
+  const StatevectorSimulator sv;
+  State state = plus_state(ansatz.num_qubits());
+  for (const circuit::Gate& gate : ansatz.gates()) {
+    sv.apply(state, gate, theta);
+    if (gate.arity() == 1) {
+      if (noise.p1 > 0.0 && rng.bernoulli(noise.p1))
+        inject_pauli(state, gate.q0, rng, sv);
+    } else {
+      if (noise.p2 > 0.0 && rng.bernoulli(noise.p2))
+        inject_pauli(state, gate.q0, rng, sv);
+      if (noise.p2 > 0.0 && rng.bernoulli(noise.p2))
+        inject_pauli(state, gate.q1, rng, sv);
+    }
+  }
+  return state;
+}
+
+double noisy_cut_expectation(const circuit::Circuit& ansatz,
+                             std::span<const double> theta,
+                             const graph::Graph& g, const NoiseModel& noise,
+                             std::size_t trajectories, Rng& rng) {
+  QARCH_REQUIRE(trajectories >= 1, "need at least one trajectory");
+  QARCH_REQUIRE(g.num_vertices() == ansatz.num_qubits(),
+                "graph/ansatz size mismatch");
+  const std::size_t runs = noise.is_noiseless() ? 1 : trajectories;
+  double total = 0.0;
+  for (std::size_t t = 0; t < runs; ++t) {
+    const State state = noisy_trajectory(ansatz, theta, noise, rng);
+    double energy = 0.0;
+    for (const auto& e : g.edges())
+      energy += e.weight / 2.0 * (1.0 - expectation_zz(state, e.u, e.v));
+    total += energy;
+  }
+  return total / static_cast<double>(runs);
+}
+
+}  // namespace qarch::sim

@@ -1,0 +1,72 @@
+// Pauli strings and their expectation values.
+//
+// Generalizes the <Z_u Z_v> machinery: arbitrary tensor products of
+// {I, X, Y, Z} with real coefficients form the observables a cost function
+// can be built from. Used by tests as an independent oracle and by users who
+// want objectives beyond max-cut.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/statevector.hpp"
+
+namespace qarch::sim {
+
+/// Single-qubit Pauli operator label.
+enum class Pauli : char { I = 'I', X = 'X', Y = 'Y', Z = 'Z' };
+
+/// A Pauli string: one Pauli per qubit, e.g. "IZXZ" (qubit 0 is the first
+/// character), with an optional real coefficient.
+class PauliString {
+ public:
+  /// Identity string on n qubits.
+  explicit PauliString(std::size_t num_qubits, double coefficient = 1.0);
+
+  /// Parses "XIZY"-style text (qubit q = character q).
+  static PauliString parse(const std::string& text, double coefficient = 1.0);
+
+  [[nodiscard]] std::size_t num_qubits() const { return ops_.size(); }
+  [[nodiscard]] double coefficient() const { return coefficient_; }
+
+  /// Sets the operator on one qubit.
+  void set(std::size_t qubit, Pauli op);
+  [[nodiscard]] Pauli get(std::size_t qubit) const;
+
+  /// Number of non-identity factors.
+  [[nodiscard]] std::size_t weight() const;
+
+  /// Applies the string to a state (in place): |ψ> -> coeff · P|ψ>.
+  void apply(State& state) const;
+
+  /// <ψ| coeff · P |ψ>. Cost O(2^n · weight) without building matrices.
+  [[nodiscard]] double expectation(const State& state) const;
+
+  /// "ZIXY" text form (coefficient not included).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Pauli> ops_;
+  double coefficient_;
+};
+
+/// A real linear combination of Pauli strings (a Hermitian observable).
+class PauliSum {
+ public:
+  PauliSum() = default;
+
+  /// Adds a term; all terms must agree on qubit count.
+  void add(PauliString term);
+
+  [[nodiscard]] std::size_t num_terms() const { return terms_.size(); }
+  [[nodiscard]] const std::vector<PauliString>& terms() const { return terms_; }
+
+  /// Sum of the term expectations.
+  [[nodiscard]] double expectation(const State& state) const;
+
+ private:
+  std::vector<PauliString> terms_;
+};
+
+}  // namespace qarch::sim

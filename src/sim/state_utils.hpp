@@ -1,0 +1,28 @@
+// Statevector utilities: overlaps, fidelity, collapse, and distribution
+// diagnostics used by tests and analysis tooling.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "sim/statevector.hpp"
+
+namespace qarch::sim {
+
+/// <a|b> — complex overlap of two equal-size states.
+cplx overlap(const State& a, const State& b);
+
+/// |<a|b>|^2 — fidelity between pure states.
+double fidelity(const State& a, const State& b);
+
+/// Measures qubit q (in place): samples the outcome, collapses and
+/// renormalizes the state; returns the observed bit.
+int measure_qubit(State& state, std::size_t q, Rng& rng);
+
+/// Shannon entropy (bits) of the computational-basis distribution.
+double measurement_entropy(const State& state);
+
+/// Total variation distance between the basis distributions of two states.
+double total_variation_distance(const State& a, const State& b);
+
+}  // namespace qarch::sim

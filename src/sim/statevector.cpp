@@ -1,0 +1,152 @@
+#include "sim/statevector.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace qarch::sim {
+
+using linalg::Matrix;
+
+State zero_state(std::size_t num_qubits) {
+  QARCH_REQUIRE(num_qubits <= 30, "statevector limited to 30 qubits");
+  State s(std::size_t{1} << num_qubits, cplx{0.0, 0.0});
+  s[0] = 1.0;
+  return s;
+}
+
+State plus_state(std::size_t num_qubits) {
+  QARCH_REQUIRE(num_qubits <= 30, "statevector limited to 30 qubits");
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  const double amp = 1.0 / std::sqrt(static_cast<double>(dim));
+  return State(dim, cplx{amp, 0.0});
+}
+
+std::size_t state_qubits(const State& state) {
+  QARCH_REQUIRE(!state.empty() && (state.size() & (state.size() - 1)) == 0,
+                "state size must be a power of two");
+  std::size_t n = 0;
+  while ((std::size_t{1} << n) < state.size()) ++n;
+  return n;
+}
+
+StatevectorSimulator::StatevectorSimulator(std::size_t workers,
+                                           std::size_t parallel_threshold_qubits)
+    : workers_(workers == 0 ? 1 : workers),
+      parallel_threshold_qubits_(parallel_threshold_qubits) {}
+
+void StatevectorSimulator::apply(State& state, const circuit::Gate& gate,
+                                 std::span<const double> theta) const {
+  const Matrix m = gate.matrix(theta);
+  if (gate.arity() == 1) apply_single(state, gate.q0, m);
+  else apply_two(state, gate.q0, gate.q1, m);
+}
+
+void StatevectorSimulator::apply_single(State& state, std::size_t q,
+                                        const Matrix& m) const {
+  const std::size_t n = state_qubits(state);
+  QARCH_REQUIRE(q < n, "qubit out of range");
+  const std::size_t mask = std::size_t{1} << q;
+  const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+  const std::size_t pairs = state.size() / 2;
+
+  auto body = [&](std::size_t k) {
+    // Expand k to the index with bit q forced to 0.
+    const std::size_t low = k & (mask - 1);
+    const std::size_t i0 = ((k ^ low) << 1) | low;
+    const std::size_t i1 = i0 | mask;
+    const cplx a = state[i0], b = state[i1];
+    state[i0] = m00 * a + m01 * b;
+    state[i1] = m10 * a + m11 * b;
+  };
+
+  if (workers_ > 1 && n >= parallel_threshold_qubits_) {
+    parallel::parallel_for(0, pairs, body, workers_, 1024);
+  } else {
+    for (std::size_t k = 0; k < pairs; ++k) body(k);
+  }
+}
+
+void StatevectorSimulator::apply_two(State& state, std::size_t q0,
+                                     std::size_t q1, const Matrix& m) const {
+  const std::size_t n = state_qubits(state);
+  QARCH_REQUIRE(q0 < n && q1 < n && q0 != q1, "bad two-qubit target");
+  const std::size_t mask0 = std::size_t{1} << q0;  // high bit of the 4x4 basis
+  const std::size_t mask1 = std::size_t{1} << q1;  // low bit
+  const std::size_t lo_mask = std::min(mask0, mask1) - 1;
+  const std::size_t mid_mask =
+      (std::max(mask0, mask1) - 1) ^ lo_mask ^ std::min(mask0, mask1);
+  const std::size_t quads = state.size() / 4;
+
+  auto body = [&](std::size_t k) {
+    // Spread k across the two bit holes (q0 and q1 forced to 0).
+    const std::size_t low = k & lo_mask;
+    const std::size_t mid = (k << 1) & mid_mask;
+    const std::size_t high =
+        ((k << 2) & ~(lo_mask | mid_mask | mask0 | mask1));
+    const std::size_t base = high | mid | low;
+    const std::size_t i00 = base;
+    const std::size_t i01 = base | mask1;
+    const std::size_t i10 = base | mask0;
+    const std::size_t i11 = base | mask0 | mask1;
+    const cplx v0 = state[i00], v1 = state[i01], v2 = state[i10],
+               v3 = state[i11];
+    state[i00] = m(0, 0) * v0 + m(0, 1) * v1 + m(0, 2) * v2 + m(0, 3) * v3;
+    state[i01] = m(1, 0) * v0 + m(1, 1) * v1 + m(1, 2) * v2 + m(1, 3) * v3;
+    state[i10] = m(2, 0) * v0 + m(2, 1) * v1 + m(2, 2) * v2 + m(2, 3) * v3;
+    state[i11] = m(3, 0) * v0 + m(3, 1) * v1 + m(3, 2) * v2 + m(3, 3) * v3;
+  };
+
+  if (workers_ > 1 && n >= parallel_threshold_qubits_) {
+    parallel::parallel_for(0, quads, body, workers_, 512);
+  } else {
+    for (std::size_t k = 0; k < quads; ++k) body(k);
+  }
+}
+
+State StatevectorSimulator::run(const circuit::Circuit& circuit,
+                                std::span<const double> theta,
+                                State initial) const {
+  QARCH_REQUIRE(state_qubits(initial) == circuit.num_qubits(),
+                "initial state qubit count mismatch");
+  QARCH_REQUIRE(theta.size() >= circuit.num_params(),
+                "parameter vector too short for circuit");
+  for (const auto& g : circuit.gates()) apply(initial, g, theta);
+  return initial;
+}
+
+State StatevectorSimulator::run_from_plus(const circuit::Circuit& circuit,
+                                          std::span<const double> theta) const {
+  return run(circuit, theta, plus_state(circuit.num_qubits()));
+}
+
+double expectation_zz(const State& state, std::size_t u, std::size_t v) {
+  const std::size_t n = state_qubits(state);
+  QARCH_REQUIRE(u < n && v < n && u != v, "bad ZZ qubit pair");
+  const std::size_t mu = std::size_t{1} << u, mv = std::size_t{1} << v;
+  double e = 0.0;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    const bool bu = (i & mu) != 0, bv = (i & mv) != 0;
+    const double sign = (bu == bv) ? 1.0 : -1.0;
+    e += sign * std::norm(state[i]);
+  }
+  return e;
+}
+
+double expectation_z(const State& state, std::size_t q) {
+  const std::size_t n = state_qubits(state);
+  QARCH_REQUIRE(q < n, "qubit out of range");
+  const std::size_t mq = std::size_t{1} << q;
+  double e = 0.0;
+  for (std::size_t i = 0; i < state.size(); ++i)
+    e += ((i & mq) ? -1.0 : 1.0) * std::norm(state[i]);
+  return e;
+}
+
+double probability(const State& state, std::size_t basis_index) {
+  QARCH_REQUIRE(basis_index < state.size(), "basis index out of range");
+  return std::norm(state[basis_index]);
+}
+
+}  // namespace qarch::sim

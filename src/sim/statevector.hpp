@@ -1,0 +1,76 @@
+// Reference full-statevector simulator.
+//
+// The QTensor tensor-network backend is the paper's simulator; this
+// statevector engine is the ground-truth oracle we verify it against, and is
+// also the faster path for the paper's 10-qubit workloads. Kernels can run
+// multithreaded (the "inner" level of the two-level parallelization scheme).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qarch::sim {
+
+using linalg::cplx;
+
+/// A normalized pure state on n qubits, little-endian (bit q of the
+/// amplitude index is qubit q).
+using State = std::vector<cplx>;
+
+/// |0...0> on n qubits.
+State zero_state(std::size_t num_qubits);
+
+/// |+>^{⊗n} — the QAOA initial state |s>.
+State plus_state(std::size_t num_qubits);
+
+/// Full-state simulator with an optional thread budget for the kernels.
+class StatevectorSimulator {
+ public:
+  /// `workers` threads are used for gate kernels on states with at least
+  /// `parallel_threshold_qubits` qubits (smaller states run serially —
+  /// thread fork/join would dominate).
+  explicit StatevectorSimulator(std::size_t workers = 1,
+                                std::size_t parallel_threshold_qubits = 14);
+
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+
+  /// Applies one gate in place. theta resolves symbolic gate parameters.
+  void apply(State& state, const circuit::Gate& gate,
+             std::span<const double> theta) const;
+
+  /// Runs the whole circuit on `initial` and returns the final state.
+  [[nodiscard]] State run(const circuit::Circuit& circuit,
+                          std::span<const double> theta,
+                          State initial) const;
+
+  /// Runs the circuit on |+>^n (the QAOA convention).
+  [[nodiscard]] State run_from_plus(const circuit::Circuit& circuit,
+                                    std::span<const double> theta) const;
+
+ private:
+  void apply_single(State& state, std::size_t q,
+                    const linalg::Matrix& m) const;
+  void apply_two(State& state, std::size_t q0, std::size_t q1,
+                 const linalg::Matrix& m) const;
+
+  std::size_t workers_;
+  std::size_t parallel_threshold_qubits_;
+};
+
+/// <state| Z_u Z_v |state>.
+double expectation_zz(const State& state, std::size_t u, std::size_t v);
+
+/// <state| Z_q |state>.
+double expectation_z(const State& state, std::size_t q);
+
+/// Probability of measuring basis state `basis_index`.
+double probability(const State& state, std::size_t basis_index);
+
+/// Number of qubits of a state (log2 of its size); validates power of two.
+std::size_t state_qubits(const State& state);
+
+}  // namespace qarch::sim

@@ -1,0 +1,202 @@
+// Circuit optimizer pass tests: every simplification must preserve the
+// circuit's action on |+>^n exactly (up to global phase — validated through
+// ZZ expectations, which are phase-blind).
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "circuit/optimizer.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qarch;
+using circuit::Circuit;
+using circuit::GateKind;
+using circuit::OptimizeOptions;
+using circuit::OptimizeStats;
+using circuit::ParamExpr;
+
+/// Checks U|+> equality (exact amplitudes) between two circuits.
+void expect_same_action(const Circuit& a, const Circuit& b,
+                        std::span<const double> theta) {
+  const sim::StatevectorSimulator sv;
+  const auto sa = sv.run_from_plus(a, theta);
+  const auto sb = sv.run_from_plus(b, theta);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    EXPECT_NEAR(std::abs(sa[i] - sb[i]), 0.0, 1e-10) << "amplitude " << i;
+}
+
+TEST(Optimizer, MergesAdjacentSameAxisRotations) {
+  Circuit c(2, 1);
+  c.rx(0, ParamExpr::constant_angle(0.3));
+  c.rx(0, ParamExpr::constant_angle(0.4));
+  c.ry(1, ParamExpr::symbol(0, 2.0));
+  c.ry(1, ParamExpr::symbol(0, 2.0));
+
+  OptimizeStats stats;
+  const Circuit opt = circuit::optimize(c, {}, &stats);
+  EXPECT_EQ(opt.num_gates(), 2u);
+  EXPECT_EQ(stats.merged_rotations, 2u);
+  EXPECT_DOUBLE_EQ(opt.gates()[0].param.constant, 0.7);
+  EXPECT_DOUBLE_EQ(opt.gates()[1].param.scale, 4.0);
+  expect_same_action(c, opt, std::vector<double>{0.9});
+}
+
+TEST(Optimizer, DoesNotMergeDifferentSymbols) {
+  Circuit c(1, 2);
+  c.rx(0, ParamExpr::symbol(0));
+  c.rx(0, ParamExpr::symbol(1));
+  const Circuit opt = circuit::optimize(c);
+  EXPECT_EQ(opt.num_gates(), 2u);  // cannot prove angles equal
+}
+
+TEST(Optimizer, CancelsSelfInversePairs) {
+  Circuit c(2);
+  c.h(0);
+  c.h(0);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  c.x(1);
+  OptimizeStats stats;
+  const Circuit opt = circuit::optimize(c, {}, &stats);
+  EXPECT_EQ(opt.num_gates(), 1u);
+  EXPECT_EQ(opt.gates()[0].kind, GateKind::X);
+  EXPECT_EQ(stats.cancelled_pairs, 2u);
+}
+
+TEST(Optimizer, CancelsDualPairs) {
+  Circuit c(1);
+  c.s(0);
+  c.append({GateKind::Sdg, 0, 0, ParamExpr::none()});
+  c.t(0);
+  c.append({GateKind::Tdg, 0, 0, ParamExpr::none()});
+  const Circuit opt = circuit::optimize(c);
+  EXPECT_EQ(opt.num_gates(), 0u);
+}
+
+TEST(Optimizer, CancelsOppositeRotations) {
+  Circuit c(1);
+  c.rz(0, ParamExpr::constant_angle(1.2));
+  c.rz(0, ParamExpr::constant_angle(-1.2));
+  const Circuit opt = circuit::optimize(c);
+  EXPECT_EQ(opt.num_gates(), 0u);
+}
+
+TEST(Optimizer, DropsIdentitiesAndZeroRotations) {
+  Circuit c(2, 1);
+  c.append({GateKind::I, 0, 0, ParamExpr::none()});
+  c.rx(0, ParamExpr::constant_angle(0.0));
+  c.ry(1, ParamExpr::symbol(0, 0.0));
+  c.h(1);
+  OptimizeStats stats;
+  const Circuit opt = circuit::optimize(c, {}, &stats);
+  EXPECT_EQ(opt.num_gates(), 1u);
+  EXPECT_EQ(stats.removed_identities, 3u);
+}
+
+TEST(Optimizer, ScansPastDisjointGates) {
+  // rx(q0), h(q1), rx(q0): the h on q1 must not block the q0 merge.
+  Circuit c(2);
+  c.rx(0, ParamExpr::constant_angle(0.2));
+  c.h(1);
+  c.rx(0, ParamExpr::constant_angle(0.5));
+  const Circuit opt = circuit::optimize(c);
+  EXPECT_EQ(opt.num_gates(), 2u);
+  expect_same_action(c, opt, {});
+}
+
+TEST(Optimizer, BlockedByOverlappingGate) {
+  // rx(q0), cx(q0,q1), rx(q0): the cx touches q0, so no merge.
+  Circuit c(2);
+  c.rx(0, ParamExpr::constant_angle(0.2));
+  c.cx(0, 1);
+  c.rx(0, ParamExpr::constant_angle(0.5));
+  const Circuit opt = circuit::optimize(c);
+  EXPECT_EQ(opt.num_gates(), 3u);
+}
+
+TEST(Optimizer, SymmetricTwoQubitGateMatchingIsOrderFree) {
+  Circuit c(2);
+  c.rzz(0, 1, ParamExpr::constant_angle(0.4));
+  c.rzz(1, 0, ParamExpr::constant_angle(0.3));  // reversed qubit order
+  const Circuit opt = circuit::optimize(c);
+  EXPECT_EQ(opt.num_gates(), 1u);
+  expect_same_action(c, opt, {});
+}
+
+TEST(Optimizer, DirectionalCxRequiresExactOrder) {
+  Circuit c(2);
+  c.cx(0, 1);
+  c.cx(1, 0);  // NOT an inverse pair
+  const Circuit opt = circuit::optimize(c);
+  EXPECT_EQ(opt.num_gates(), 2u);
+}
+
+TEST(Optimizer, FixedPointOnCascades) {
+  // rx(a) rx(-a/2) rx(-a/2) requires two rounds to vanish completely.
+  Circuit c(1);
+  c.rx(0, ParamExpr::constant_angle(1.0));
+  c.rx(0, ParamExpr::constant_angle(-0.5));
+  c.rx(0, ParamExpr::constant_angle(-0.5));
+  const Circuit opt = circuit::optimize(c);
+  EXPECT_EQ(opt.num_gates(), 0u);
+}
+
+TEST(Optimizer, PreservesRandomCircuitSemantics) {
+  Rng rng(97);
+  const sim::StatevectorSimulator sv;
+  for (int trial = 0; trial < 8; ++trial) {
+    Circuit c(4);
+    const GateKind pool[] = {GateKind::H,  GateKind::RX, GateKind::RY,
+                             GateKind::RZ, GateKind::X,  GateKind::CX,
+                             GateKind::CZ, GateKind::RZZ, GateKind::S,
+                             GateKind::I};
+    for (int i = 0; i < 24; ++i) {
+      const GateKind k = pool[rng.uniform_int(10)];
+      ParamExpr param = circuit::is_parameterized(k)
+                            ? ParamExpr::constant_angle(rng.uniform(-2, 2))
+                            : ParamExpr::none();
+      if (circuit::is_two_qubit(k)) {
+        std::size_t a = rng.uniform_int(4), b = rng.uniform_int(4);
+        while (b == a) b = rng.uniform_int(4);
+        c.append({k, a, b, param});
+      } else {
+        c.append({k, rng.uniform_int(4), 0, param});
+      }
+    }
+    const Circuit opt = circuit::optimize(c);
+    EXPECT_LE(opt.num_gates(), c.num_gates());
+    expect_same_action(c, opt, {});
+  }
+}
+
+TEST(Optimizer, PassTogglesRespected) {
+  Circuit c(1);
+  c.h(0);
+  c.h(0);
+  c.rx(0, ParamExpr::constant_angle(0.1));
+  c.rx(0, ParamExpr::constant_angle(0.2));
+
+  OptimizeOptions no_cancel;
+  no_cancel.cancel_inverses = false;
+  EXPECT_EQ(circuit::optimize(c, no_cancel).num_gates(), 3u);
+
+  OptimizeOptions no_merge;
+  no_merge.merge_rotations = false;
+  EXPECT_EQ(circuit::optimize(c, no_merge).num_gates(), 2u);
+}
+
+TEST(Optimizer, StatsToStringMentionsCounts) {
+  Circuit c(1);
+  c.h(0);
+  c.h(0);
+  OptimizeStats stats;
+  circuit::optimize(c, {}, &stats);
+  const std::string s = stats.to_string();
+  EXPECT_NE(s.find("2 -> 0"), std::string::npos);
+}
+
+}  // namespace

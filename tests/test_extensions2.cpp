@@ -1,0 +1,314 @@
+// Tests for the second extension wave: graph families + edge-list IO,
+// multi-start optimization, successive halving, the contraction planner,
+// and the p=1 landscape scanner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/extra_generators.hpp"
+#include "graph/generators.hpp"
+#include "graph/maxcut.hpp"
+#include "optim/cobyla.hpp"
+#include "optim/multistart.hpp"
+#include "qaoa/ansatz.hpp"
+#include "qaoa/landscape.hpp"
+#include "qtensor/planner.hpp"
+#include "search/combinations.hpp"
+#include "search/halving.hpp"
+
+namespace {
+
+using namespace qarch;
+
+// ---------------------------------------------------------------------------
+// Graph families
+// ---------------------------------------------------------------------------
+
+TEST(GraphFamilies, CycleAndPath) {
+  const auto c5 = graph::cycle(5);
+  EXPECT_EQ(c5.num_edges(), 5u);
+  EXPECT_DOUBLE_EQ(graph::maxcut_exact(c5).value, 4.0);  // odd cycle: n-1
+  const auto c6 = graph::cycle(6);
+  EXPECT_DOUBLE_EQ(graph::maxcut_exact(c6).value, 6.0);  // even cycle: n
+  const auto p4 = graph::path(4);
+  EXPECT_EQ(p4.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(graph::maxcut_exact(p4).value, 3.0);
+  EXPECT_THROW(graph::cycle(2), Error);
+}
+
+TEST(GraphFamilies, CompleteAndBipartite) {
+  const auto k5 = graph::complete(5);
+  EXPECT_EQ(k5.num_edges(), 10u);
+  EXPECT_DOUBLE_EQ(graph::maxcut_exact(k5).value, 6.0);  // 2*3
+  const auto k23 = graph::complete_bipartite(2, 3);
+  EXPECT_DOUBLE_EQ(graph::maxcut_exact(k23).value, 6.0);  // all edges
+  const auto s6 = graph::star(6);
+  EXPECT_DOUBLE_EQ(graph::maxcut_exact(s6).value, 5.0);
+}
+
+TEST(GraphFamilies, GridIsBipartite) {
+  const auto g = graph::grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 17u);  // 3*3 + 2*4
+  EXPECT_DOUBLE_EQ(graph::maxcut_exact(g).value,
+                   static_cast<double>(g.num_edges()));
+}
+
+TEST(GraphFamilies, BarabasiAlbertDegreesAndSize) {
+  Rng rng(3);
+  const auto g = graph::barabasi_albert(30, 2, rng);
+  EXPECT_EQ(g.num_vertices(), 30u);
+  // Seed clique K3 (3 edges) + 27 vertices x 2 edges.
+  EXPECT_EQ(g.num_edges(), 3u + 27u * 2u);
+  EXPECT_TRUE(g.is_connected());
+  for (std::size_t v = 3; v < 30; ++v) EXPECT_GE(g.degree(v), 2u);
+  EXPECT_THROW(graph::barabasi_albert(3, 3, rng), Error);
+}
+
+TEST(GraphFamilies, RandomWeightsPreserveTopology) {
+  Rng rng(5);
+  const auto base = graph::cycle(6);
+  const auto weighted = graph::with_random_weights(base, 0.5, 2.0, rng);
+  EXPECT_EQ(weighted.num_edges(), base.num_edges());
+  for (const auto& e : weighted.edges()) {
+    EXPECT_GE(e.weight, 0.5);
+    EXPECT_LE(e.weight, 2.0);
+    EXPECT_TRUE(base.has_edge(e.u, e.v));
+  }
+}
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  Rng rng(7);
+  const auto g =
+      graph::with_random_weights(graph::random_regular(8, 3, rng), 0.1, 3.0,
+                                 rng);
+  const auto back = graph::from_edge_list(graph::to_edge_list(g));
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    EXPECT_EQ(back.edges()[i].u, g.edges()[i].u);
+    EXPECT_EQ(back.edges()[i].v, g.edges()[i].v);
+    EXPECT_DOUBLE_EQ(back.edges()[i].weight, g.edges()[i].weight);
+  }
+  EXPECT_THROW(graph::from_edge_list("3"), Error);
+  EXPECT_THROW(graph::from_edge_list("3 2\n0 1 1.0"), Error);  // truncated
+}
+
+// ---------------------------------------------------------------------------
+// Multi-start optimizer
+// ---------------------------------------------------------------------------
+
+double multimodal(std::span<const double> x) {
+  // Global optimum -2 at x ≈ 3.7; a local trap at x ≈ 0 with value ≈ -1.
+  const double a = x[0];
+  return -std::exp(-a * a) - 2.0 * std::exp(-(a - 3.7) * (a - 3.7));
+}
+
+TEST(MultiStart, EscapesLocalTrap) {
+  const optim::OptimizerFactory factory = [](std::size_t budget) {
+    optim::CobylaConfig c;
+    c.max_evals = budget;
+    c.rho_begin = 0.5;
+    return std::make_unique<optim::Cobyla>(c);
+  };
+  // Single run from the trap stays in it.
+  const auto single = factory(60)->minimize(multimodal, {0.0});
+  EXPECT_GT(single.value, -1.5);
+
+  optim::MultiStartConfig cfg;
+  cfg.restarts = 6;
+  cfg.total_evals = 360;
+  cfg.perturbation = 3.0;
+  cfg.seed = 11;
+  const optim::MultiStart ms(factory, cfg);
+  const auto multi = ms.minimize(multimodal, {0.0});
+  EXPECT_LT(multi.value, -1.9);  // found the global basin
+  EXPECT_LE(multi.evaluations, cfg.total_evals + cfg.restarts);
+}
+
+TEST(MultiStart, HistoryIsMonotoneAcrossRestarts) {
+  const optim::OptimizerFactory factory = [](std::size_t budget) {
+    optim::CobylaConfig c;
+    c.max_evals = budget;
+    return std::make_unique<optim::Cobyla>(c);
+  };
+  optim::MultiStartConfig cfg;
+  cfg.restarts = 3;
+  cfg.total_evals = 90;
+  const optim::MultiStart ms(factory, cfg);
+  const auto r = ms.minimize(
+      [](std::span<const double> x) { return x[0] * x[0]; }, {2.0});
+  for (std::size_t i = 1; i < r.history.size(); ++i)
+    EXPECT_LE(r.history[i], r.history[i - 1] + 1e-15);
+}
+
+TEST(MultiStart, ValidatesConfig) {
+  const optim::OptimizerFactory factory = [](std::size_t budget) {
+    optim::CobylaConfig c;
+    c.max_evals = budget;
+    return std::make_unique<optim::Cobyla>(c);
+  };
+  optim::MultiStartConfig bad;
+  bad.restarts = 0;
+  EXPECT_THROW(optim::MultiStart(factory, bad), Error);
+  EXPECT_THROW(optim::MultiStart(nullptr, {}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Successive halving
+// ---------------------------------------------------------------------------
+
+TEST(Halving, ConvergesToASingleSurvivor) {
+  Rng rng(13);
+  const auto g = graph::random_regular(8, 3, rng);
+  auto candidates = search::all_combinations(
+      search::GateAlphabet::standard(), 2, search::CombinationMode::Product);
+  search::HalvingConfig cfg;
+  cfg.initial_budget = 20;
+  cfg.outer_workers = 4;
+  cfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
+  const auto report = search::successive_halving(g, candidates, cfg);
+
+  ASSERT_FALSE(report.rounds.empty());
+  EXPECT_EQ(report.rounds.front().candidates_in, 30u);
+  EXPECT_EQ(report.rounds.back().candidates_in, 1u);
+  // Cohort shrinks strictly and budget grows per round.
+  for (std::size_t r = 1; r < report.rounds.size(); ++r) {
+    EXPECT_LT(report.rounds[r].candidates_in,
+              report.rounds[r - 1].candidates_in);
+    EXPECT_GE(report.rounds[r].budget, report.rounds[r - 1].budget);
+  }
+  EXPECT_GT(report.best.energy, 0.0);
+  EXPECT_GT(report.total_evaluations, 0u);
+}
+
+TEST(Halving, WinnerIsCompetitiveWithFullSweep) {
+  Rng rng(17);
+  const auto g = graph::random_regular(8, 3, rng);
+  auto candidates = search::all_combinations(
+      search::GateAlphabet::standard(), 2, search::CombinationMode::Product);
+
+  search::HalvingConfig cfg;
+  cfg.initial_budget = 20;
+  cfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
+  const auto halved = search::successive_halving(g, candidates, cfg);
+
+  // Full sweep at 100 evals per candidate (much more compute).
+  search::EvaluatorOptions full;
+  full.energy.engine = qaoa::EngineKind::Statevector;
+  full.cobyla.max_evals = 100;
+  const search::Evaluator evaluator(g, full);
+  double best_full = 0.0;
+  for (const auto& m : candidates)
+    best_full = std::max(best_full, evaluator.evaluate(m, 1).energy);
+
+  EXPECT_GE(halved.best.energy, 0.93 * best_full);
+}
+
+TEST(Halving, ValidatesConfig) {
+  Rng rng(19);
+  const auto g = graph::random_regular(6, 3, rng);
+  search::HalvingConfig bad;
+  bad.keep_fraction = 1.0;
+  EXPECT_THROW(
+      search::successive_halving(g, {qaoa::MixerSpec::baseline()}, bad),
+      Error);
+  EXPECT_THROW(search::successive_halving(g, {}, {}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Contraction planner
+// ---------------------------------------------------------------------------
+
+TEST(Planner, CostModelMatchesMeasuredWidth) {
+  Rng rng(23);
+  const auto g = graph::random_regular(8, 3, rng);
+  const auto c = qaoa::build_qaoa_circuit(g, 2, qaoa::MixerSpec::qnas());
+  const std::vector<double> theta(c.num_params(), 0.3);
+  const auto net = qtensor::expectation_zz_network(c, theta, g.edges()[0].u,
+                                                   g.edges()[0].v);
+  const auto order = qtensor::order_greedy_degree(net);
+  const auto cost = qtensor::estimate_cost(net, order);
+  EXPECT_EQ(cost.width, qtensor::contraction_width(net, order));
+  EXPECT_GT(cost.flops, 0.0);
+  EXPECT_NEAR(cost.peak_entries,
+              std::pow(2.0, static_cast<double>(cost.width)), 1e-9);
+}
+
+TEST(Planner, PicksTheCheapestHeuristic) {
+  Rng rng(29);
+  const auto g = graph::random_regular(8, 3, rng);
+  const auto c = qaoa::build_qaoa_circuit(g, 2, qaoa::MixerSpec::qnas());
+  const std::vector<double> theta(c.num_params(), 0.3);
+  const auto net = qtensor::expectation_zz_network(c, theta, g.edges()[0].u,
+                                                   g.edges()[0].v);
+  const auto plan = qtensor::plan_contraction(net);
+  EXPECT_FALSE(plan.order.empty());
+  // The winner must be at least as cheap as each individual heuristic.
+  const auto degree_cost =
+      qtensor::estimate_cost(net, qtensor::order_greedy_degree(net));
+  const auto fill_cost =
+      qtensor::estimate_cost(net, qtensor::order_greedy_fill(net));
+  EXPECT_LE(plan.cost.flops, degree_cost.flops);
+  EXPECT_LE(plan.cost.flops, fill_cost.flops);
+  EXPECT_FALSE(plan.heuristic.empty());
+
+  qtensor::PlannerOptions none;
+  none.try_greedy_degree = false;
+  none.try_greedy_fill = false;
+  none.random_restarts = 0;
+  EXPECT_THROW(qtensor::plan_contraction(net, none), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Landscape scanner
+// ---------------------------------------------------------------------------
+
+TEST(Landscape, PeakMatchesAnalyticOptimumOnCycle) {
+  // On the 4-cycle, <C> = 2 + 2 sin(4β) sin γ cos γ has max 4 at
+  // sin(4β) sin(2γ) = 2·(1/2)... precisely max value = 2 + 2·(1)·(1/2)·... —
+  // evaluate: max of sinγcosγ = 1/2 at γ=π/4, sin4β = 1 at β=π/8 → <C> = 3.
+  graph::Graph g = graph::cycle(4);
+  const qaoa::EnergyEvaluator ev(g, {});
+  qaoa::LandscapeOptions opts;
+  opts.gamma_points = 41;
+  opts.beta_points = 41;
+  opts.workers = 4;
+  const auto land =
+      qaoa::scan_landscape(g, qaoa::MixerSpec::baseline(), ev, opts);
+  const auto peak = land.peak();
+  EXPECT_NEAR(peak.value, 3.0, 0.05);
+  EXPECT_EQ(land.values.size(), 41u * 41u);
+}
+
+TEST(Landscape, SerialAndParallelScansMatch) {
+  Rng rng(31);
+  const auto g = graph::random_regular(6, 3, rng);
+  const qaoa::EnergyEvaluator ev(g, {});
+  qaoa::LandscapeOptions serial;
+  serial.gamma_points = 9;
+  serial.beta_points = 9;
+  qaoa::LandscapeOptions parallel = serial;
+  parallel.workers = 4;
+  const auto a = qaoa::scan_landscape(g, qaoa::MixerSpec::qnas(), ev, serial);
+  const auto b = qaoa::scan_landscape(g, qaoa::MixerSpec::qnas(), ev, parallel);
+  for (std::size_t i = 0; i < a.values.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.values[i], b.values[i]);
+}
+
+TEST(Landscape, AsciiRenderingHasOneRowPerGammaSample) {
+  graph::Graph g = graph::cycle(4);
+  const qaoa::EnergyEvaluator ev(g, {});
+  qaoa::LandscapeOptions opts;
+  opts.gamma_points = 8;
+  opts.beta_points = 8;
+  const auto land =
+      qaoa::scan_landscape(g, qaoa::MixerSpec::baseline(), ev, opts);
+  const std::string art = land.ascii();
+  // Header line + 8 rows.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 9);
+}
+
+}  // namespace

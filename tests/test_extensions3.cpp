@@ -1,0 +1,113 @@
+// Tests for MLP serialization and statevector utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/serialize.hpp"
+#include "search/rl_predictor.hpp"
+#include "sim/state_utils.hpp"
+
+namespace {
+
+using namespace qarch;
+using nn::Activation;
+using nn::Mlp;
+
+TEST(MlpSerialize, JsonRoundTripExactWeights) {
+  Rng rng(3);
+  Mlp original({3, 7, 2}, {Activation::Tanh, Activation::Identity}, rng);
+  const json::Value checkpoint = nn::mlp_to_json(original);
+
+  Rng rng2(99);  // different init — must be fully overwritten
+  Mlp restored({3, 7, 2}, {Activation::Tanh, Activation::Identity}, rng2);
+  nn::mlp_from_json(checkpoint, restored);
+
+  const std::vector<double> x{0.3, -0.4, 0.9};
+  const auto ya = original.forward(x);
+  const auto yb = restored.forward(x);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_DOUBLE_EQ(ya[i], yb[i]);
+}
+
+TEST(MlpSerialize, FileRoundTrip) {
+  Rng rng(5);
+  Mlp model({2, 4, 3}, {Activation::Relu, Activation::Identity}, rng);
+  const std::string path = "/tmp/qarch_mlp_test.json";
+  nn::save_mlp(model, path);
+  Rng rng2(6);
+  Mlp loaded({2, 4, 3}, {Activation::Relu, Activation::Identity}, rng2);
+  nn::load_mlp(path, loaded);
+  std::filesystem::remove(path);
+  EXPECT_EQ(model.forward({0.1, 0.2}), loaded.forward({0.1, 0.2}));
+}
+
+TEST(MlpSerialize, RejectsShapeMismatch) {
+  Rng rng(7);
+  const Mlp small({2, 3, 1}, {Activation::Tanh, Activation::Identity}, rng);
+  Mlp big({2, 5, 1}, {Activation::Tanh, Activation::Identity}, rng);
+  EXPECT_THROW(nn::mlp_from_json(nn::mlp_to_json(small), big), Error);
+  json::Value junk = json::Value::object();
+  junk.set("format", "other");
+  EXPECT_THROW(nn::mlp_from_json(junk, big), Error);
+}
+
+TEST(StateUtils, OverlapAndFidelity) {
+  const auto zero = sim::zero_state(2);
+  const auto plus = sim::plus_state(2);
+  EXPECT_NEAR(sim::fidelity(zero, zero), 1.0, 1e-12);
+  EXPECT_NEAR(sim::fidelity(zero, plus), 0.25, 1e-12);  // |<00|++>|^2
+  EXPECT_NEAR(std::abs(sim::overlap(plus, zero)), 0.5, 1e-12);
+}
+
+TEST(StateUtils, MeasureCollapsesAndNormalizes) {
+  // Bell state: measuring q0 forces q1 to the same value.
+  circuit::Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  const sim::StatevectorSimulator sv;
+  Rng rng(11);
+  int ones = 0;
+  for (int t = 0; t < 200; ++t) {
+    auto state = sv.run(c, {}, sim::zero_state(2));
+    const int b0 = sim::measure_qubit(state, 0, rng);
+    EXPECT_NEAR(linalg::norm(state), 1.0, 1e-12);
+    const int b1 = sim::measure_qubit(state, 1, rng);
+    EXPECT_EQ(b0, b1);  // perfectly correlated
+    ones += b0;
+  }
+  EXPECT_GT(ones, 60);   // both outcomes occur
+  EXPECT_LT(ones, 140);
+}
+
+TEST(StateUtils, EntropyExtremes) {
+  EXPECT_NEAR(sim::measurement_entropy(sim::zero_state(3)), 0.0, 1e-12);
+  EXPECT_NEAR(sim::measurement_entropy(sim::plus_state(3)), 3.0, 1e-12);
+}
+
+TEST(StateUtils, TotalVariationDistance) {
+  const auto zero = sim::zero_state(1);
+  sim::State one{{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_NEAR(sim::total_variation_distance(zero, one), 1.0, 1e-12);
+  EXPECT_NEAR(sim::total_variation_distance(zero, zero), 0.0, 1e-12);
+  const auto plus = sim::plus_state(1);
+  EXPECT_NEAR(sim::total_variation_distance(zero, plus), 0.5, 1e-12);
+}
+
+TEST(ControllerCheckpoint, WarmPolicySurvivesSaveLoadViaJson) {
+  // Train a controller on a bandit, checkpoint its policy conceptually by
+  // verifying the serialization layer handles a controller-size network.
+  Rng rng(13);
+  Mlp policy({10, 32, 6}, {Activation::Tanh, Activation::Identity}, rng);
+  const auto checkpoint = nn::mlp_to_json(policy);
+  EXPECT_EQ(checkpoint.at("layers").size(), 2u);
+  Rng rng2(14);
+  Mlp restored({10, 32, 6}, {Activation::Tanh, Activation::Identity}, rng2);
+  nn::mlp_from_json(checkpoint, restored);
+  const std::vector<double> probe(10, 0.1);
+  EXPECT_EQ(policy.forward(probe), restored.forward(probe));
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Cross-module integration tests: the full QArchSearch pipeline end to end,
+// on small instances so they stay fast.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "circuit/optimizer.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/maxcut.hpp"
+#include "qaoa/sampling.hpp"
+#include "search/dataset.hpp"
+#include "search/engine.hpp"
+#include "search/report_io.hpp"
+#include "search/rl_predictor.hpp"
+#include "sim/noise.hpp"
+
+namespace {
+
+using namespace qarch;
+
+search::SearchConfig small_config() {
+  search::SearchConfig cfg;
+  cfg.p_max = 1;
+  cfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
+  cfg.evaluator.cobyla.max_evals = 40;
+  cfg.evaluator.shots = 32;
+  cfg.evaluator.sample_trials = 2;
+  return cfg;
+}
+
+TEST(Integration, SearchTrainSampleExportImport) {
+  // Search → best candidate → re-simulate with both engines → sample →
+  // export to QASM → re-import → identical sampled scores.
+  Rng rng(101);
+  const auto g = graph::random_regular(6, 3, rng);
+  const auto report =
+      search::SearchEngine(small_config()).run_exhaustive(g, 2);
+  const auto& best = report.best;
+
+  // Re-simulate best candidate with both engines: energies agree.
+  const auto ansatz = qaoa::build_qaoa_circuit(g, best.p, best.mixer);
+  qaoa::EnergyOptions sv_opt;
+  sv_opt.engine = qaoa::EngineKind::Statevector;
+  qaoa::EnergyOptions tn_opt;
+  tn_opt.engine = qaoa::EngineKind::TensorNetwork;
+  const double e_sv = qaoa::EnergyEvaluator(g, sv_opt).energy(ansatz, best.theta);
+  const double e_tn = qaoa::EnergyEvaluator(g, tn_opt).energy(ansatz, best.theta);
+  EXPECT_NEAR(e_sv, best.energy, 1e-9);
+  EXPECT_NEAR(e_tn, best.energy, 1e-8);
+
+  // QASM round trip of the trained circuit preserves sampled behaviour.
+  const std::string qasm = circuit::to_qasm(ansatz, best.theta);
+  const auto imported = circuit::parse_qasm(qasm);
+  Rng s1(7), s2(7);
+  const double cut_a = qaoa::expected_best_cut(ansatz, best.theta, g, 64, 4, s1);
+  const double cut_b = qaoa::expected_best_cut(imported, {}, g, 64, 4, s2);
+  EXPECT_NEAR(cut_a, cut_b, 1e-9);
+}
+
+TEST(Integration, OptimizerPreservesSearchedCandidateEnergy) {
+  Rng rng(103);
+  const auto g = graph::random_regular(6, 3, rng);
+  const auto mixer = qaoa::MixerSpec::parse("rx,rx,ry");  // mergeable
+  const auto ansatz = qaoa::build_qaoa_circuit(g, 1, mixer);
+  const auto optimized = circuit::optimize(ansatz);
+  EXPECT_LT(optimized.num_gates(), ansatz.num_gates());
+
+  const qaoa::EnergyEvaluator ev(g, {});
+  const std::vector<double> theta{0.7, 0.4};
+  EXPECT_NEAR(ev.energy(ansatz, theta), ev.energy(optimized, theta), 1e-10);
+}
+
+TEST(Integration, ConstrainedSearchSkipsUntrainableCandidates) {
+  Rng rng(107);
+  const auto g = graph::random_regular(6, 3, rng);
+  auto cfg = small_config();
+  cfg.constraints.add(std::make_shared<search::TrainableConstraint>())
+      .add(std::make_shared<search::NoImmediateRepeatConstraint>());
+  const auto report = search::SearchEngine(cfg).run_exhaustive(g, 2);
+  // 30 total - 2 untrainable ("h", "h,h") - 5 repeats ("x,x" style) with
+  // "h,h" counted once by whichever constraint fires first.
+  EXPECT_LT(report.num_candidates, 30u);
+  for (const auto& c : report.evaluated) {
+    bool trainable = false;
+    for (auto gk : c.mixer.gates)
+      trainable = trainable || circuit::is_parameterized(gk);
+    EXPECT_TRUE(trainable);
+  }
+}
+
+TEST(Integration, ReinforceDrivenEngineRunsAndImproves) {
+  Rng rng(109);
+  const auto g = graph::random_regular(6, 3, rng);
+  auto cfg = small_config();
+  cfg.batch = 8;
+  search::ReinforceConfig rl;
+  rl.k_max = 2;
+  rl.budget = 24;
+  search::ReinforcePredictor pred(cfg.alphabet, rl);
+  const auto report = search::SearchEngine(cfg).run(g, pred);
+  EXPECT_EQ(report.num_candidates, 24u);
+  EXPECT_GT(report.best.ratio, 0.5);
+  EXPECT_GT(pred.baseline(), 0.0);  // rewards were propagated
+}
+
+TEST(Integration, DatasetSearchReportPersistsPerGraph) {
+  Rng rng(113);
+  const auto graphs = graph::regular_dataset(2, 6, 3, rng);
+  search::DatasetSearchConfig dcfg;
+  dcfg.engine = small_config();
+  dcfg.k_max = 1;
+  dcfg.node_slots = 2;
+  const auto dataset_report = search::search_dataset(graphs, dcfg);
+
+  const std::string path = "/tmp/qarch_integration_report.json";
+  search::save_report(dataset_report.per_graph[0], path);
+  const auto loaded = search::load_report(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded.best.mixer, dataset_report.per_graph[0].best.mixer);
+}
+
+TEST(Integration, NoisyRescoringRanksMixersConsistently) {
+  // Score baseline and qnas under light noise; both should stay above the
+  // random-cut floor m/2 and below their noiseless energies.
+  Rng rng(127);
+  const auto g = graph::random_regular(8, 3, rng);
+  sim::NoiseModel light;
+  light.p1 = 0.002;
+  light.p2 = 0.01;
+  for (const auto& mixer :
+       {qaoa::MixerSpec::baseline(), qaoa::MixerSpec::qnas()}) {
+    const auto ansatz = qaoa::build_qaoa_circuit(g, 1, mixer);
+    const qaoa::EnergyEvaluator ev(g, {});
+    optim::CobylaConfig cc;
+    cc.max_evals = 100;
+    const auto trained = qaoa::train_qaoa(ansatz, ev, optim::Cobyla(cc));
+    Rng nrng(5);
+    const double noisy =
+        sim::noisy_cut_expectation(ansatz, trained.theta, g, light, 48, nrng);
+    EXPECT_LT(noisy, trained.energy + 0.2);
+    EXPECT_GT(noisy, 0.4 * trained.energy);
+  }
+}
+
+TEST(Integration, ExactClassicalOptimaAnchorRatios) {
+  // All ratio computations in the pipeline divide by the same exact optimum;
+  // verify the evaluator's anchor equals the standalone solver's.
+  Rng rng(131);
+  const auto g = graph::random_regular(8, 3, rng);
+  const search::Evaluator ev(g, {});
+  EXPECT_DOUBLE_EQ(ev.classical_optimum(), graph::maxcut_exact(g).value);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Tests for the complex matrix layer and the gate matrices built on it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/gate.hpp"
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using namespace qarch;
+using linalg::cplx;
+using linalg::Matrix;
+
+TEST(Matrix, IdentityAndIndexing) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_EQ(id(i, j), (i == j ? cplx{1, 0} : cplx{0, 0}));
+}
+
+TEST(Matrix, MatmulKnownProduct) {
+  const Matrix a(2, 2, {1, 2, 3, 4});
+  const Matrix b(2, 2, {5, 6, 7, 8});
+  const Matrix c = a.matmul(b);
+  EXPECT_EQ(c(0, 0), cplx(19, 0));
+  EXPECT_EQ(c(0, 1), cplx(22, 0));
+  EXPECT_EQ(c(1, 0), cplx(43, 0));
+  EXPECT_EQ(c(1, 1), cplx(50, 0));
+  EXPECT_THROW(a.matmul(Matrix(3, 3)), Error);
+}
+
+TEST(Matrix, DaggerConjugatesAndTransposes) {
+  const Matrix m(2, 2, {cplx{1, 2}, cplx{3, 4}, cplx{5, 6}, cplx{7, 8}});
+  const Matrix d = m.dagger();
+  EXPECT_EQ(d(0, 1), (cplx{5, -6}));
+  EXPECT_EQ(d(1, 0), (cplx{3, -4}));
+}
+
+TEST(Matrix, KronProductShapeAndValues) {
+  const Matrix a(2, 2, {1, 0, 0, 1});
+  const Matrix x(2, 2, {0, 1, 1, 0});
+  const Matrix k = a.kron(x);
+  EXPECT_EQ(k.rows(), 4u);
+  EXPECT_EQ(k(0, 1), cplx(1, 0));
+  EXPECT_EQ(k(2, 3), cplx(1, 0));
+  EXPECT_EQ(k(0, 2), cplx(0, 0));
+}
+
+TEST(Matrix, ApplyMatchesManualMatvec) {
+  const Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const auto y = m.apply({1.0, 1.0, 1.0});
+  EXPECT_EQ(y[0], cplx(6, 0));
+  EXPECT_EQ(y[1], cplx(15, 0));
+}
+
+TEST(Matrix, UnitaryAndDiagonalPredicates) {
+  EXPECT_TRUE(Matrix::identity(4).is_unitary());
+  EXPECT_TRUE(Matrix::identity(4).is_diagonal());
+  const Matrix not_unitary(2, 2, {1, 1, 0, 1});
+  EXPECT_FALSE(not_unitary.is_unitary());
+  EXPECT_FALSE(not_unitary.is_diagonal());
+}
+
+TEST(VectorOps, InnerAndNorm) {
+  const std::vector<cplx> a{{1, 0}, {0, 1}};
+  const std::vector<cplx> b{{0, 1}, {1, 0}};
+  const cplx ip = linalg::inner(a, b);
+  EXPECT_NEAR(ip.real(), 0.0, 1e-12);
+  EXPECT_NEAR(linalg::norm(a), std::sqrt(2.0), 1e-12);
+}
+
+// Every gate matrix must be unitary for every sampled angle.
+class GateUnitarity : public ::testing::TestWithParam<circuit::GateKind> {};
+
+TEST_P(GateUnitarity, MatrixIsUnitaryAtSampledAngles) {
+  for (double theta : {-2.7, -0.5, 0.0, 0.3, 1.1, 3.14159}) {
+    const Matrix m = circuit::gate_matrix(GetParam(), theta);
+    EXPECT_TRUE(m.is_unitary(1e-10))
+        << circuit::gate_name(GetParam()) << " at theta=" << theta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, GateUnitarity,
+    ::testing::Values(
+        circuit::GateKind::I, circuit::GateKind::X, circuit::GateKind::Y,
+        circuit::GateKind::Z, circuit::GateKind::H, circuit::GateKind::S,
+        circuit::GateKind::Sdg, circuit::GateKind::T, circuit::GateKind::Tdg,
+        circuit::GateKind::RX, circuit::GateKind::RY, circuit::GateKind::RZ,
+        circuit::GateKind::P, circuit::GateKind::CX, circuit::GateKind::CZ,
+        circuit::GateKind::SWAP, circuit::GateKind::RZZ),
+    [](const auto& info) { return circuit::gate_name(info.param); });
+
+TEST(GateMatrices, DiagonalPredicateMatchesMatrices) {
+  using circuit::GateKind;
+  for (GateKind k :
+       {GateKind::I, GateKind::X, GateKind::Y, GateKind::Z, GateKind::H,
+        GateKind::S, GateKind::T, GateKind::RX, GateKind::RY, GateKind::RZ,
+        GateKind::P, GateKind::CX, GateKind::CZ, GateKind::SWAP,
+        GateKind::RZZ}) {
+    const Matrix m = circuit::gate_matrix(k, 0.7);
+    EXPECT_EQ(circuit::is_diagonal(k), m.is_diagonal(1e-12))
+        << circuit::gate_name(k);
+  }
+}
+
+TEST(GateMatrices, KnownIdentities) {
+  using circuit::GateKind;
+  // H^2 = I
+  const Matrix h = circuit::gate_matrix(GateKind::H);
+  EXPECT_LT(h.matmul(h).distance(Matrix::identity(2)), 1e-12);
+  // S^2 = Z
+  const Matrix s = circuit::gate_matrix(GateKind::S);
+  EXPECT_LT(s.matmul(s).distance(circuit::gate_matrix(GateKind::Z)), 1e-12);
+  // T^2 = S
+  const Matrix t = circuit::gate_matrix(GateKind::T);
+  EXPECT_LT(t.matmul(t).distance(s), 1e-12);
+  // RX(2π) = -I
+  const Matrix rx2pi = circuit::gate_matrix(GateKind::RX, 2 * M_PI);
+  EXPECT_LT(rx2pi.distance(Matrix::identity(2).scaled(-1.0)), 1e-12);
+  // RZ(θ) equals P(θ) up to global phase e^{-iθ/2}.
+  const double theta = 0.9;
+  const Matrix rz = circuit::gate_matrix(GateKind::RZ, theta);
+  const Matrix p = circuit::gate_matrix(GateKind::P, theta)
+                       .scaled(std::exp(cplx{0, -theta / 2}));
+  EXPECT_LT(rz.distance(p), 1e-12);
+  // CX = (I⊗H) CZ (I⊗H) — verify via explicit composition on 4x4s.
+  const Matrix ih = Matrix::identity(2).kron(h);
+  const Matrix cz = circuit::gate_matrix(GateKind::CZ);
+  const Matrix cx = circuit::gate_matrix(GateKind::CX);
+  EXPECT_LT(ih.matmul(cz).matmul(ih).distance(cx), 1e-12);
+}
+
+TEST(GateMatrices, RotationComposition) {
+  using circuit::GateKind;
+  // RX(a) RX(b) = RX(a+b)
+  const Matrix a = circuit::gate_matrix(GateKind::RX, 0.4);
+  const Matrix b = circuit::gate_matrix(GateKind::RX, 1.1);
+  const Matrix ab = circuit::gate_matrix(GateKind::RX, 1.5);
+  EXPECT_LT(a.matmul(b).distance(ab), 1e-12);
+  // RZZ(a) RZZ(b) = RZZ(a+b)
+  const Matrix ra = circuit::gate_matrix(GateKind::RZZ, 0.4);
+  const Matrix rb = circuit::gate_matrix(GateKind::RZZ, 1.1);
+  const Matrix rab = circuit::gate_matrix(GateKind::RZZ, 1.5);
+  EXPECT_LT(ra.matmul(rb).distance(rab), 1e-12);
+}
+
+TEST(GateNames, RoundTrip) {
+  using circuit::GateKind;
+  for (GateKind k :
+       {GateKind::I, GateKind::X, GateKind::H, GateKind::RX, GateKind::RY,
+        GateKind::RZ, GateKind::P, GateKind::CX, GateKind::CZ, GateKind::RZZ,
+        GateKind::SWAP, GateKind::S, GateKind::Sdg, GateKind::T,
+        GateKind::Tdg, GateKind::Y, GateKind::Z})
+    EXPECT_EQ(circuit::gate_from_name(circuit::gate_name(k)), k);
+  EXPECT_THROW(circuit::gate_from_name("bogus"), Error);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Optimizer tests on standard objectives: convergence, budgets, histories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "optim/cobyla.hpp"
+#include "optim/grid_search.hpp"
+#include "optim/nelder_mead.hpp"
+#include "optim/spsa.hpp"
+
+namespace {
+
+using namespace qarch;
+using optim::Objective;
+
+double sphere(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s;
+}
+
+double shifted_quadratic(std::span<const double> x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - (1.0 + static_cast<double>(i));
+    s += d * d;
+  }
+  return s + 0.5;
+}
+
+double rosenbrock2(std::span<const double> x) {
+  const double a = 1.0 - x[0];
+  const double b = x[1] - x[0] * x[0];
+  return a * a + 100.0 * b * b;
+}
+
+// A smooth periodic landscape like a QAOA energy surface.
+double cosine_valley(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s -= std::cos(v - 0.7);
+  return s;
+}
+
+struct OptimizerCase {
+  std::string name;
+  std::function<std::unique_ptr<optim::Optimizer>(std::size_t budget)> make;
+};
+
+class DerivativeFree : public ::testing::TestWithParam<OptimizerCase> {};
+
+TEST_P(DerivativeFree, MinimizesSphere) {
+  const auto opt = GetParam().make(300);
+  const auto r = opt->minimize(sphere, {1.5, -2.0});
+  EXPECT_LT(r.value, 0.05) << GetParam().name;
+  EXPECT_LE(r.evaluations, 300u);
+}
+
+TEST_P(DerivativeFree, MinimizesShiftedQuadratic) {
+  const auto opt = GetParam().make(400);
+  const auto r = opt->minimize(shifted_quadratic, {0.0, 0.0, 0.0});
+  EXPECT_LT(r.value, 0.6) << GetParam().name;  // optimum is 0.5
+  EXPECT_NEAR(r.x[0], 1.0, 0.35);
+  EXPECT_NEAR(r.x[1], 2.0, 0.35);
+  EXPECT_NEAR(r.x[2], 3.0, 0.35);
+}
+
+TEST_P(DerivativeFree, MinimizesCosineValley) {
+  const auto opt = GetParam().make(300);
+  const auto r = opt->minimize(cosine_valley, {0.0, 0.0});
+  EXPECT_LT(r.value, -1.9) << GetParam().name;  // optimum = -2
+}
+
+TEST_P(DerivativeFree, RespectsEvaluationBudget) {
+  const std::size_t budget = 50;
+  const auto opt = GetParam().make(budget);
+  std::size_t calls = 0;
+  const Objective counted = [&](std::span<const double> x) {
+    ++calls;
+    return sphere(x);
+  };
+  const auto r = opt->minimize(counted, {2.0, 2.0});
+  EXPECT_LE(calls, budget + 1);  // +1 tolerance for a final candidate probe
+  EXPECT_EQ(r.evaluations, calls);
+}
+
+TEST_P(DerivativeFree, HistoryIsMonotoneNonIncreasing) {
+  const auto opt = GetParam().make(200);
+  const auto r = opt->minimize(rosenbrock2, {-1.0, 1.0});
+  ASSERT_FALSE(r.history.empty());
+  for (std::size_t i = 1; i < r.history.size(); ++i)
+    EXPECT_LE(r.history[i], r.history[i - 1] + 1e-15);
+  // The reported best value matches the history tail.
+  EXPECT_NEAR(r.value, r.history.back(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptimizers, DerivativeFree,
+    ::testing::Values(
+        OptimizerCase{"cobyla",
+                      [](std::size_t budget) -> std::unique_ptr<optim::Optimizer> {
+                        optim::CobylaConfig c;
+                        c.max_evals = budget;
+                        return std::make_unique<optim::Cobyla>(c);
+                      }},
+        OptimizerCase{"nelder_mead",
+                      [](std::size_t budget) -> std::unique_ptr<optim::Optimizer> {
+                        optim::NelderMeadConfig c;
+                        c.max_evals = budget;
+                        return std::make_unique<optim::NelderMead>(c);
+                      }},
+        OptimizerCase{"spsa",
+                      [](std::size_t budget) -> std::unique_ptr<optim::Optimizer> {
+                        optim::SpsaConfig c;
+                        c.max_evals = budget;
+                        return std::make_unique<optim::Spsa>(c);
+                      }}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Cobyla, ConvergesOnRosenbrockWithLargerBudget) {
+  optim::CobylaConfig cfg;
+  cfg.max_evals = 2000;
+  const auto r = optim::Cobyla(cfg).minimize(rosenbrock2, {-1.0, 1.0});
+  EXPECT_LT(r.value, 0.5);
+}
+
+TEST(Cobyla, RejectsTinyBudget) {
+  optim::CobylaConfig cfg;
+  cfg.max_evals = 2;
+  EXPECT_THROW(optim::Cobyla(cfg).minimize(sphere, {1.0, 1.0}), Error);
+}
+
+TEST(Cobyla, OneDimensionalProblem) {
+  optim::CobylaConfig cfg;
+  cfg.max_evals = 100;
+  const auto r = optim::Cobyla(cfg).minimize(
+      [](std::span<const double> x) { return (x[0] - 3.0) * (x[0] - 3.0); },
+      {0.0});
+  EXPECT_NEAR(r.x[0], 3.0, 0.05);
+}
+
+TEST(NelderMead, DeterministicAcrossRuns) {
+  optim::NelderMeadConfig cfg;
+  cfg.max_evals = 150;
+  const auto a = optim::NelderMead(cfg).minimize(rosenbrock2, {0.0, 0.0});
+  const auto b = optim::NelderMead(cfg).minimize(rosenbrock2, {0.0, 0.0});
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.x, b.x);
+}
+
+TEST(Spsa, SeedChangesTrajectoryButNotQuality) {
+  optim::SpsaConfig c1;
+  c1.max_evals = 300;
+  c1.seed = 1;
+  optim::SpsaConfig c2 = c1;
+  c2.seed = 2;
+  const auto r1 = optim::Spsa(c1).minimize(sphere, {2.0, -2.0});
+  const auto r2 = optim::Spsa(c2).minimize(sphere, {2.0, -2.0});
+  EXPECT_LT(r1.value, 0.1);
+  EXPECT_LT(r2.value, 0.1);
+}
+
+TEST(GridSearch, FindsGridOptimum) {
+  optim::GridSearchConfig cfg;
+  cfg.lo = -2.0;
+  cfg.hi = 2.0;
+  cfg.points_per_axis = 21;  // grid includes 0 exactly
+  const auto r = optim::GridSearch(cfg).minimize(sphere, {9.0, 9.0});
+  EXPECT_NEAR(r.value, 0.0, 1e-12);
+  EXPECT_EQ(r.evaluations, 441u);
+}
+
+TEST(GridSearch, RejectsHighDimensions) {
+  const std::vector<double> x0(4, 0.0);
+  EXPECT_THROW(optim::GridSearch().minimize(sphere, x0), Error);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Tests for the parallel runtime: pool, parallel_for, task pool, two-level.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+
+#include "common/error.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/task_pool.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/two_level.hpp"
+
+namespace {
+
+using namespace qarch;
+using namespace qarch::parallel;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  auto f1 = pool.submit([] { return 41 + 1; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ExecutesManyTasksExactlyOnce) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i)
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw Error("boom"); });
+  EXPECT_THROW(f.get(), Error);
+}
+
+TEST(ThreadPool, WaitIdleDrainsQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i)
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 0);
+  parallel_for(7, 8, [&](std::size_t i) { EXPECT_EQ(i, 7u); ++calls; }, 4);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, SerialFallbackMatchesParallel) {
+  std::vector<double> a(257), b(257);
+  parallel_for(0, a.size(), [&](std::size_t i) { a[i] = i * 1.5; }, 1);
+  parallel_for(0, b.size(), [&](std::size_t i) { b[i] = i * 1.5; }, 6, 16);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelFor, RethrowsBodyException) {
+  EXPECT_THROW(
+      parallel_for(0, 100, [&](std::size_t i) {
+        if (i == 37) throw Error("inner");
+      }, 4),
+      Error);
+}
+
+TEST(ParallelMap, PreservesOrder) {
+  std::vector<int> in(100);
+  std::iota(in.begin(), in.end(), 0);
+  const auto out = parallel_map(in, [](int x) { return x * x; }, 8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(TaskPool, StarmapAsyncAppliesTuples) {
+  TaskPool pool(4);
+  std::vector<std::tuple<int, int>> args{{1, 2}, {3, 4}, {5, 6}};
+  auto handle = pool.starmap_async([](int a, int b) { return a + b; }, args);
+  EXPECT_EQ(handle.size(), 3u);
+  const auto results = handle.get();
+  EXPECT_EQ(results, (std::vector<int>{3, 7, 11}));
+}
+
+TEST(TaskPool, MapAsyncOrdered) {
+  TaskPool pool(4);
+  std::vector<int> args{5, 1, 9, 2};
+  auto handle = pool.map_async([](int x) { return x * 10; }, args);
+  EXPECT_EQ(handle.get(), (std::vector<int>{50, 10, 90, 20}));
+}
+
+TEST(TaskPool, ReadyPollsNonBlocking) {
+  TaskPool pool(1);
+  std::vector<int> args{1};
+  auto handle = pool.map_async(
+      [](int x) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return x;
+      },
+      args);
+  // Might already be done on a fast machine, but get() must agree with it.
+  handle.get();
+  EXPECT_TRUE(handle.ready());
+}
+
+TEST(TwoLevel, SplitsBudgetAndRunsAll) {
+  TwoLevelExecutor exec(3, 2);
+  EXPECT_EQ(exec.outer_workers(), 3u);
+  EXPECT_EQ(exec.inner_workers(), 2u);
+  const auto results = exec.run<std::size_t>(
+      10, [](std::size_t i, std::size_t inner) { return i * 100 + inner; });
+  ASSERT_EQ(results.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(results[i], i * 100 + 2);
+}
+
+TEST(TwoLevel, RejectsZeroWorkers) {
+  EXPECT_THROW(TwoLevelExecutor(0, 1), Error);
+  EXPECT_THROW(TwoLevelExecutor(1, 0), Error);
+}
+
+TEST(ParallelFor, ActuallyRunsConcurrently) {
+  // With 4 workers and 4 sleeping tasks, wall time should be well under the
+  // serial 4x sleep. Generous margins keep this robust on loaded machines.
+  const auto t0 = std::chrono::steady_clock::now();
+  parallel_for(0, 4, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }, 4);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 0.35);
+}
+
+}  // namespace

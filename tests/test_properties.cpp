@@ -1,0 +1,117 @@
+// Cross-family property sweeps (parameterized): invariants that must hold on
+// every graph family and mixer the library supports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/extra_generators.hpp"
+#include "graph/generators.hpp"
+#include "graph/maxcut.hpp"
+#include "optim/cobyla.hpp"
+#include "qaoa/ansatz.hpp"
+#include "qaoa/sampling.hpp"
+#include "qaoa/train.hpp"
+#include "sim/state_utils.hpp"
+
+namespace {
+
+using namespace qarch;
+
+graph::Graph make_family(const std::string& family, Rng& rng) {
+  if (family == "er") return graph::erdos_renyi_connected(7, 0.5, rng);
+  if (family == "regular") return graph::random_regular(8, 3, rng);
+  if (family == "cycle") return graph::cycle(7);
+  if (family == "complete") return graph::complete(6);
+  if (family == "bipartite") return graph::complete_bipartite(3, 4);
+  if (family == "grid") return graph::grid(2, 4);
+  if (family == "ba") return graph::barabasi_albert(9, 2, rng);
+  if (family == "weighted")
+    return graph::with_random_weights(graph::random_regular(8, 3, rng), 0.2,
+                                      2.0, rng);
+  throw qarch::Error("unknown family " + family);
+}
+
+class FamilyProperties : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FamilyProperties, EnergyBoundedByMaxCutEverywhere) {
+  Rng rng(std::hash<std::string>{}(GetParam()));
+  const graph::Graph g = make_family(GetParam(), rng);
+  const double cmax = graph::maxcut_exact(g).value;
+  const auto ansatz = qaoa::build_qaoa_circuit(g, 2, qaoa::MixerSpec::qnas());
+  const qaoa::EnergyEvaluator ev(g, {});
+  for (int t = 0; t < 3; ++t) {
+    std::vector<double> theta(ansatz.num_params());
+    for (auto& x : theta) x = rng.uniform(-3, 3);
+    const double e = ev.energy(ansatz, theta);
+    EXPECT_LE(e, cmax + 1e-9) << GetParam();
+    EXPECT_GE(e, -1e-9) << GetParam();
+  }
+}
+
+TEST_P(FamilyProperties, EnginesAgreeEverywhere) {
+  Rng rng(1 + std::hash<std::string>{}(GetParam()));
+  const graph::Graph g = make_family(GetParam(), rng);
+  const auto ansatz =
+      qaoa::build_qaoa_circuit(g, 1, qaoa::MixerSpec::baseline());
+  std::vector<double> theta{rng.uniform(-2, 2), rng.uniform(-2, 2)};
+  qaoa::EnergyOptions sv;
+  sv.engine = qaoa::EngineKind::Statevector;
+  qaoa::EnergyOptions tn;
+  tn.engine = qaoa::EngineKind::TensorNetwork;
+  EXPECT_NEAR(qaoa::EnergyEvaluator(g, sv).energy(ansatz, theta),
+              qaoa::EnergyEvaluator(g, tn).energy(ansatz, theta), 1e-8)
+      << GetParam();
+}
+
+TEST_P(FamilyProperties, TrainingNeverExceedsOptimumAndImproves) {
+  Rng rng(2 + std::hash<std::string>{}(GetParam()));
+  const graph::Graph g = make_family(GetParam(), rng);
+  const double cmax = graph::maxcut_exact(g).value;
+  const auto ansatz =
+      qaoa::build_qaoa_circuit(g, 1, qaoa::MixerSpec::baseline());
+  const qaoa::EnergyEvaluator ev(g, {});
+  qaoa::TrainOptions topt;
+  const double initial =
+      ev.energy(ansatz, std::vector<double>(2, topt.initial_value));
+  optim::CobylaConfig cc;
+  cc.max_evals = 60;
+  const auto trained = qaoa::train_qaoa(ansatz, ev, optim::Cobyla(cc), topt);
+  EXPECT_GE(trained.energy, initial - 1e-9) << GetParam();
+  EXPECT_LE(trained.energy, cmax + 1e-9) << GetParam();
+}
+
+TEST_P(FamilyProperties, SampledBestCutConsistent) {
+  Rng rng(3 + std::hash<std::string>{}(GetParam()));
+  const graph::Graph g = make_family(GetParam(), rng);
+  const double cmax = graph::maxcut_exact(g).value;
+  const auto ansatz = qaoa::build_qaoa_circuit(g, 1, qaoa::MixerSpec::qnas());
+  const std::vector<double> theta{0.4, 0.3};
+  Rng srng(9);
+  const double best = qaoa::expected_best_cut(ansatz, theta, g, 64, 4, srng);
+  EXPECT_LE(best, cmax + 1e-9) << GetParam();
+  EXPECT_GE(best, 0.0) << GetParam();
+  // Sampling from the simulated state keeps the state normalized.
+  const sim::StatevectorSimulator sv;
+  const auto state = sv.run_from_plus(ansatz, theta);
+  EXPECT_NEAR(linalg::norm(state), 1.0, 1e-10);
+}
+
+TEST_P(FamilyProperties, ExactSolverDominatesHeuristics) {
+  Rng rng(4 + std::hash<std::string>{}(GetParam()));
+  const graph::Graph g = make_family(GetParam(), rng);
+  const double exact = graph::maxcut_exact(g).value;
+  Rng hrng(5);
+  EXPECT_LE(graph::maxcut_greedy(g).value, exact + 1e-12) << GetParam();
+  EXPECT_LE(graph::maxcut_multistart(g, 10, hrng).value, exact + 1e-12)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyProperties,
+                         ::testing::Values("er", "regular", "cycle",
+                                           "complete", "bipartite", "grid",
+                                           "ba", "weighted"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace

@@ -1,0 +1,132 @@
+// OpenQASM 2.0 importer tests: round-trip with the exporter, angle grammar,
+// interchange constructs, and diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qarch;
+using circuit::Circuit;
+using circuit::GateKind;
+using circuit::ParamExpr;
+
+TEST(QasmParser, MinimalProgram) {
+  const Circuit c = circuit::parse_qasm(
+      "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx "
+      "q[0],q[1];\n");
+  EXPECT_EQ(c.num_qubits(), 2u);
+  ASSERT_EQ(c.num_gates(), 2u);
+  EXPECT_EQ(c.gates()[0].kind, GateKind::H);
+  EXPECT_EQ(c.gates()[1].kind, GateKind::CX);
+  EXPECT_EQ(c.gates()[1].q0, 0u);
+  EXPECT_EQ(c.gates()[1].q1, 1u);
+}
+
+TEST(QasmParser, AngleExpressions) {
+  const Circuit c = circuit::parse_qasm(
+      "OPENQASM 2.0;\nqreg q[1];\n"
+      "rx(pi/2) q[0];\nry(-pi) q[0];\nrz(3*pi/4) q[0];\np(0.25) q[0];\n"
+      "rx(2*(1+0.5)) q[0];\nry(1e-3) q[0];\n");
+  ASSERT_EQ(c.num_gates(), 6u);
+  EXPECT_NEAR(c.gates()[0].param.constant, M_PI / 2, 1e-12);
+  EXPECT_NEAR(c.gates()[1].param.constant, -M_PI, 1e-12);
+  EXPECT_NEAR(c.gates()[2].param.constant, 3 * M_PI / 4, 1e-12);
+  EXPECT_NEAR(c.gates()[3].param.constant, 0.25, 1e-12);
+  EXPECT_NEAR(c.gates()[4].param.constant, 3.0, 1e-12);
+  EXPECT_NEAR(c.gates()[5].param.constant, 1e-3, 1e-12);
+}
+
+TEST(QasmParser, CommentsBlankLinesAndMultiLineStatements) {
+  const Circuit c = circuit::parse_qasm(
+      "// header comment\nOPENQASM 2.0;\n\nqreg q[2]; // inline\n"
+      "h\nq[0];\n"   // statement split across lines
+      "cz q[0], q[1];\n");
+  EXPECT_EQ(c.num_gates(), 2u);
+}
+
+TEST(QasmParser, IgnoresClassicalConstructs) {
+  const Circuit c = circuit::parse_qasm(
+      "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\nbarrier q[0];\n"
+      "measure q[0] -> c[0];\n");
+  EXPECT_EQ(c.num_gates(), 1u);
+}
+
+TEST(QasmParser, RoundTripsWithExporter) {
+  Rng rng(3);
+  const sim::StatevectorSimulator sv;
+  for (int trial = 0; trial < 5; ++trial) {
+    Circuit c(3, 1);
+    c.h(0);
+    c.rx(1, ParamExpr::symbol(0, 2.0));
+    c.rzz(0, 2, ParamExpr::constant_angle(rng.uniform(-3, 3)));
+    c.cx(2, 1);
+    c.p(0, ParamExpr::constant_angle(rng.uniform(-3, 3)));
+    c.swap(0, 1);
+    const std::vector<double> theta{rng.uniform(-3, 3)};
+
+    const std::string qasm = circuit::to_qasm(c, theta);
+    const Circuit back = circuit::parse_qasm(qasm);
+    ASSERT_EQ(back.num_gates(), c.num_gates());
+    // The re-imported circuit has constants bound; actions must match.
+    const auto sa = sv.run_from_plus(c, theta);
+    const auto sb = sv.run_from_plus(back, {});
+    for (std::size_t i = 0; i < sa.size(); ++i)
+      EXPECT_NEAR(std::abs(sa[i] - sb[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(QasmParser, ErrorsCarryLineNumbers) {
+  try {
+    circuit::parse_qasm("OPENQASM 2.0;\nqreg q[2];\nbogus q[0];\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(QasmParser, RejectsMalformedPrograms) {
+  EXPECT_THROW(circuit::parse_qasm(""), Error);                       // empty
+  EXPECT_THROW(circuit::parse_qasm("qreg q[2];\nh q[0];\n"), Error);  // no header
+  EXPECT_THROW(circuit::parse_qasm("OPENQASM 3.0;\nqreg q[1];\n"), Error);
+  EXPECT_THROW(
+      circuit::parse_qasm("OPENQASM 2.0;\nh q[0];\nqreg q[1];\n"),
+      Error);  // gate before qreg
+  EXPECT_THROW(
+      circuit::parse_qasm("OPENQASM 2.0;\nqreg q[1];\nh q[5];\n"),
+      Error);  // out of range
+  EXPECT_THROW(
+      circuit::parse_qasm("OPENQASM 2.0;\nqreg q[1];\nrx q[0];\n"),
+      Error);  // missing angle
+  EXPECT_THROW(
+      circuit::parse_qasm("OPENQASM 2.0;\nqreg q[1];\nh(0.5) q[0];\n"),
+      Error);  // spurious angle
+  EXPECT_THROW(
+      circuit::parse_qasm("OPENQASM 2.0;\nqreg q[2];\ncx q[0];\n"),
+      Error);  // wrong operand count
+  EXPECT_THROW(
+      circuit::parse_qasm("OPENQASM 2.0;\nqreg q[1];\nh q[0]"),
+      Error);  // missing semicolon
+  EXPECT_THROW(
+      circuit::parse_qasm("OPENQASM 2.0;\nqreg q[1];\nrx(1/0) q[0];\n"),
+      Error);  // division by zero
+}
+
+TEST(QasmParser, CustomRegisterName) {
+  const Circuit c = circuit::parse_qasm(
+      "OPENQASM 2.0;\nqreg psi[3];\nh psi[2];\n");
+  EXPECT_EQ(c.num_qubits(), 3u);
+  EXPECT_EQ(c.gates()[0].q0, 2u);
+  EXPECT_THROW(
+      circuit::parse_qasm("OPENQASM 2.0;\nqreg psi[3];\nh other[0];\n"),
+      Error);
+}
+
+}  // namespace

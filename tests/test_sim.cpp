@@ -1,0 +1,214 @@
+// Statevector simulator tests: kernels vs dense-matrix oracle, expectations,
+// sampling, and multithreaded kernel agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "qaoa/sampling.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qarch;
+using circuit::Circuit;
+using circuit::GateKind;
+using circuit::ParamExpr;
+using linalg::cplx;
+using linalg::Matrix;
+
+TEST(States, ZeroAndPlus) {
+  const auto zero = sim::zero_state(3);
+  EXPECT_EQ(zero.size(), 8u);
+  EXPECT_EQ(zero[0], cplx(1, 0));
+  const auto plus = sim::plus_state(3);
+  for (const auto& a : plus) EXPECT_NEAR(std::abs(a), 1.0 / std::sqrt(8.0), 1e-12);
+  EXPECT_EQ(sim::state_qubits(plus), 3u);
+}
+
+TEST(States, RejectsBadSizes) {
+  sim::State bad(3, cplx{0, 0});
+  EXPECT_THROW(sim::state_qubits(bad), Error);
+}
+
+TEST(Statevector, BellStateFromHCx) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  const sim::StatevectorSimulator sv;
+  const auto state = sv.run(c, {}, sim::zero_state(2));
+  const double r = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(state[0] - cplx{r, 0}), 0.0, 1e-12);  // |00>
+  EXPECT_NEAR(std::abs(state[3] - cplx{r, 0}), 0.0, 1e-12);  // |11>
+  EXPECT_NEAR(std::abs(state[1]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(state[2]), 0.0, 1e-12);
+  EXPECT_NEAR(sim::expectation_zz(state, 0, 1), 1.0, 1e-12);
+}
+
+/// Dense-matrix oracle: builds the full 2^n unitary by kron products.
+Matrix full_unitary(const Circuit& c, std::span<const double> theta) {
+  const std::size_t n = c.num_qubits();
+  Matrix u = Matrix::identity(std::size_t{1} << n);
+  for (const auto& g : c.gates()) {
+    const Matrix gm = g.matrix(theta);
+    // Build the full-space matrix entry by entry (slow; n <= 4 in tests).
+    const std::size_t dim = std::size_t{1} << n;
+    Matrix full(dim, dim);
+    for (std::size_t col = 0; col < dim; ++col) {
+      for (std::size_t row = 0; row < dim; ++row) {
+        // check untouched bits identical
+        bool ok = true;
+        for (std::size_t q = 0; q < n; ++q) {
+          if (q == g.q0 || (g.arity() == 2 && q == g.q1)) continue;
+          if (((row >> q) & 1) != ((col >> q) & 1)) { ok = false; break; }
+        }
+        if (!ok) continue;
+        std::size_t gr, gc;
+        if (g.arity() == 1) {
+          gr = (row >> g.q0) & 1;
+          gc = (col >> g.q0) & 1;
+        } else {
+          gr = (((row >> g.q0) & 1) << 1) | ((row >> g.q1) & 1);
+          gc = (((col >> g.q0) & 1) << 1) | ((col >> g.q1) & 1);
+        }
+        full(row, col) = gm(gr, gc);
+      }
+    }
+    u = full.matmul(u);
+  }
+  return u;
+}
+
+TEST(Statevector, AgreesWithDenseMatrixOracleOnRandomCircuits) {
+  Rng rng(13);
+  const sim::StatevectorSimulator sv;
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 2 + rng.uniform_int(3);  // 2..4
+    Circuit c(n);
+    const GateKind pool[] = {GateKind::H,  GateKind::RX, GateKind::RY,
+                             GateKind::RZ, GateKind::P,  GateKind::CX,
+                             GateKind::CZ, GateKind::RZZ, GateKind::S};
+    for (int i = 0; i < 10; ++i) {
+      const GateKind k = pool[rng.uniform_int(9)];
+      ParamExpr param = circuit::is_parameterized(k)
+                            ? ParamExpr::constant_angle(rng.uniform(-3, 3))
+                            : ParamExpr::none();
+      if (circuit::is_two_qubit(k)) {
+        std::size_t a = rng.uniform_int(n), b = rng.uniform_int(n);
+        while (b == a) b = rng.uniform_int(n);
+        c.append({k, a, b, param});
+      } else {
+        c.append({k, rng.uniform_int(n), 0, param});
+      }
+    }
+    const auto got = sv.run_from_plus(c, {});
+    const auto expected = full_unitary(c, {}).apply(sim::plus_state(n));
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_NEAR(std::abs(got[i] - expected[i]), 0.0, 1e-10)
+          << "trial " << trial << " amp " << i;
+  }
+}
+
+TEST(Statevector, NormPreservedByLongCircuits) {
+  Rng rng(29);
+  const sim::StatevectorSimulator sv;
+  Circuit c(5);
+  for (int i = 0; i < 60; ++i) {
+    if (rng.bernoulli(0.3)) {
+      std::size_t a = rng.uniform_int(5), b = rng.uniform_int(5);
+      while (b == a) b = rng.uniform_int(5);
+      c.rzz(a, b, ParamExpr::constant_angle(rng.uniform(-3, 3)));
+    } else {
+      c.rx(rng.uniform_int(5), ParamExpr::constant_angle(rng.uniform(-3, 3)));
+    }
+  }
+  const auto state = sv.run_from_plus(c, {});
+  EXPECT_NEAR(linalg::norm(state), 1.0, 1e-10);
+}
+
+TEST(Statevector, MultithreadedKernelsMatchSerial) {
+  Rng rng(31);
+  Circuit c(10);
+  for (int i = 0; i < 30; ++i) {
+    if (rng.bernoulli(0.4)) {
+      std::size_t a = rng.uniform_int(10), b = rng.uniform_int(10);
+      while (b == a) b = rng.uniform_int(10);
+      c.cx(a, b);
+    } else {
+      c.ry(rng.uniform_int(10), ParamExpr::constant_angle(rng.uniform(-3, 3)));
+    }
+  }
+  const sim::StatevectorSimulator serial(1);
+  // Force the parallel path by lowering the threshold.
+  const sim::StatevectorSimulator parallel(8, /*parallel_threshold_qubits=*/2);
+  const auto a = serial.run_from_plus(c, {});
+  const auto b = parallel.run_from_plus(c, {});
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12);
+}
+
+TEST(Expectations, ZAndZZOnProductStates) {
+  // |0> has <Z> = +1; X|0> = |1> has <Z> = -1.
+  Circuit flip1(2);
+  flip1.x(1);
+  const sim::StatevectorSimulator sv;
+  const auto state = sv.run(flip1, {}, sim::zero_state(2));
+  EXPECT_NEAR(sim::expectation_z(state, 0), 1.0, 1e-12);
+  EXPECT_NEAR(sim::expectation_z(state, 1), -1.0, 1e-12);
+  EXPECT_NEAR(sim::expectation_zz(state, 0, 1), -1.0, 1e-12);
+  EXPECT_NEAR(sim::probability(state, 0b10), 1.0, 1e-12);
+}
+
+TEST(Expectations, PlusStateHasZeroZ) {
+  const auto plus = sim::plus_state(4);
+  for (std::size_t q = 0; q < 4; ++q)
+    EXPECT_NEAR(sim::expectation_z(plus, q), 0.0, 1e-12);
+  EXPECT_NEAR(sim::expectation_zz(plus, 0, 3), 0.0, 1e-12);
+}
+
+TEST(Sampling, MatchesDistributionOnBellState) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  const sim::StatevectorSimulator sv;
+  const auto state = sv.run(c, {}, sim::zero_state(2));
+  Rng rng(55);
+  int n00 = 0, n11 = 0, other = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t s = qaoa::sample_basis_state(state, rng);
+    if (s == 0) ++n00;
+    else if (s == 3) ++n11;
+    else ++other;
+  }
+  EXPECT_EQ(other, 0);
+  EXPECT_NEAR(static_cast<double>(n00) / 4000.0, 0.5, 0.05);
+}
+
+TEST(Sampling, BestSampledCutBoundedByExact) {
+  Rng rng(77);
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  // |+>^4 gives the uniform distribution over assignments.
+  const auto state = sim::plus_state(4);
+  const double best = qaoa::best_sampled_cut(state, g, 256, rng);
+  EXPECT_LE(best, 4.0);
+  EXPECT_GE(best, 3.0);  // with 256 shots the 4-cut is found w.h.p.
+}
+
+TEST(Sampling, CutOfBasisStateMatchesGraphCut) {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  // basis 0b001: vertex 0 on side 1, vertices 1,2 on side 0 → cuts edge (0,1).
+  EXPECT_DOUBLE_EQ(qaoa::cut_of_basis_state(g, 0b001), 2.0);
+  // basis 0b010: vertex 1 alone → cuts both edges.
+  EXPECT_DOUBLE_EQ(qaoa::cut_of_basis_state(g, 0b010), 5.0);
+}
+
+}  // namespace
