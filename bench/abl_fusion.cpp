@@ -1,34 +1,52 @@
-// Ablation: circuit simplification before simulation.
+// Ablation: gate fusion — symbolic (circuit::optimize) and numeric
+// (compiled-plan single-qubit fusion).
 //
-// Searched mixer sequences routinely contain mergeable structure (e.g.
-// rx·rx, or h·h around a phase). This bench measures gate counts and
+// Part 1 (the original study): searched mixer sequences routinely contain
+// mergeable structure (rx·rx, h·h around a phase). Measures gate counts and
 // energy-evaluation time for raw vs optimized candidate ansätze across the
-// k<=3 candidate space. Expected: a meaningful fraction of candidates
-// shrink, and simulation time drops proportionally to the removed gates.
+// k<=3 candidate space.
+//
+// Part 2: toggles sim::SimProgram's single-qubit run fusion on/off on a
+// larger statevector workload (diagonal kernels stay on in both variants) to
+// isolate what fusing adjacent 2x2s into one cached matrix buys.
+//
+// Both parts append to the machine-readable BENCH_sim_kernels.json (section
+// "fusion") shared with abl_diagonal_gates.
+//
+// Flags: --p (2) --reps (10) --qubits N (16) for part 2
+//        --out PATH (BENCH_sim_kernels.json)
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "circuit/optimizer.hpp"
-#include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
-#include "graph/generators.hpp"
 #include "qaoa/ansatz.hpp"
-#include "qaoa/energy.hpp"
-#include "search/combinations.hpp"
+#include "sim/sim_program.hpp"
 
 using namespace qarch;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const auto p = static_cast<std::size_t>(cli.get_int("p", 2));
-  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 20));
+  const auto reps =
+      std::max<std::size_t>(1, static_cast<std::size_t>(cli.get_int("reps", 10)));
+  const auto big_n = static_cast<std::size_t>(cli.get_int("qubits", 16));
+  const std::string out = cli.get("out", "BENCH_sim_kernels.json");
 
+  // -- part 1: symbolic optimizer across the candidate space ---------------
   Rng rng(23);
   const auto g = graph::random_regular(10, 4, rng);
   const auto candidates = search::all_combinations(
       search::GateAlphabet::standard(), 3, search::CombinationMode::Product);
 
-  const qaoa::EnergyEvaluator evaluator(g, {});
+  qaoa::EnergyOptions sv;
+  sv.engine = qaoa::EngineKind::Statevector;
+  // Part 1 times the SYMBOLIC optimizer's effect, so the compiled plan must
+  // not silently re-optimize the raw variant itself.
+  qaoa::EnergyOptions sv_no_presimplify = sv;
+  sv_no_presimplify.sv_plan.presimplify = false;
+  const qaoa::EnergyEvaluator evaluator(g, sv_no_presimplify);
   std::size_t shrunk = 0;
   std::vector<double> raw_gates, opt_gates, raw_ms, opt_ms;
   for (const auto& mixer : candidates) {
@@ -41,10 +59,12 @@ int main(int argc, char** argv) {
 
     const std::vector<double> theta(ansatz.num_params(), 0.4);
     Timer t1;
-    for (std::size_t r = 0; r < reps; ++r) evaluator.energy(ansatz, theta);
+    for (std::size_t r = 0; r < reps; ++r)
+      (void)evaluator.energy(ansatz, theta);
     raw_ms.push_back(t1.millis() / static_cast<double>(reps));
     Timer t2;
-    for (std::size_t r = 0; r < reps; ++r) evaluator.energy(optimized, theta);
+    for (std::size_t r = 0; r < reps; ++r)
+      (void)evaluator.energy(optimized, theta);
     opt_ms.push_back(t2.millis() / static_cast<double>(reps));
   }
 
@@ -58,5 +78,51 @@ int main(int argc, char** argv) {
               "(%.1f%% saved)\n",
               mean(raw_ms), mean(opt_ms),
               100.0 * (1.0 - mean(opt_ms) / mean(raw_ms)));
+
+  // -- part 2: compiled-plan single-qubit fusion toggle --------------------
+  Rng rng2(29);
+  const auto big = graph::random_regular(big_n, 4, rng2);
+  const auto ansatz = qaoa::build_qaoa_circuit(big, p, qaoa::MixerSpec::qnas());
+  const std::vector<double> theta(ansatz.num_params(), 0.37);
+
+  qaoa::EnergyOptions fused_opt = sv;
+  qaoa::EnergyOptions unfused_opt = sv;
+  unfused_opt.sv_plan.fuse_single_qubit = false;
+
+  const auto time_plan = [&](const qaoa::EnergyOptions& options) {
+    const qaoa::EnergyEvaluator ev(big, options);
+    const auto plan = ev.make_plan(ansatz);
+    plan->energy(theta);  // warm-up
+    Timer t;
+    for (std::size_t r = 0; r < reps; ++r) plan->energy(theta);
+    return t.millis() / static_cast<double>(reps);
+  };
+  const double fused_ms = time_plan(fused_opt);
+  const double unfused_ms = time_plan(unfused_opt);
+  const sim::SimProgram fused_prog(ansatz, fused_opt.sv_plan);
+  const sim::SimProgram unfused_prog(ansatz, unfused_opt.sv_plan);
+  std::printf("\nkernel fusion (%zu qubits, p=%zu): %.2f ms -> %.2f ms "
+              "(%.2fx), ops %zu -> %zu\n",
+              big_n, p, unfused_ms, fused_ms, unfused_ms / fused_ms,
+              unfused_prog.stats().ops, fused_prog.stats().ops);
+
+  json::Value section = json::Value::object();
+  section.set("candidates", candidates.size());
+  section.set("p", p);
+  section.set("shrunk_by_optimizer", shrunk);
+  section.set("mean_gates_raw", mean(raw_gates));
+  section.set("mean_gates_optimized", mean(opt_gates));
+  section.set("mean_ms_raw", mean(raw_ms));
+  section.set("mean_ms_optimized", mean(opt_ms));
+  json::Value kernel = json::Value::object();
+  kernel.set("qubits", big_n);
+  kernel.set("unfused_ms", unfused_ms);
+  kernel.set("fused_ms", fused_ms);
+  kernel.set("speedup_fusion", unfused_ms / fused_ms);
+  kernel.set("ops_unfused", unfused_prog.stats().ops);
+  kernel.set("ops_fused", fused_prog.stats().ops);
+  kernel.set("fused_gates", fused_prog.stats().fused_gates);
+  section.set("kernel_fusion", std::move(kernel));
+  bench::update_bench_json(out, "fusion", std::move(section));
   return 0;
 }

@@ -11,11 +11,14 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "qaoa/energy.hpp"
@@ -88,6 +91,32 @@ inline void banner(const char* figure, const char* description,
                                                           : "tensor-network",
               static_cast<unsigned long long>(cfg.seed));
   std::printf("================================================================\n");
+}
+
+/// Read-modify-write merge of one named section into a JSON report file, so
+/// several bench binaries can contribute to a single machine-readable
+/// summary (e.g. abl_diagonal_gates and abl_fusion both feed
+/// BENCH_sim_kernels.json). A malformed or missing file starts fresh.
+inline void update_bench_json(const std::string& path,
+                              const std::string& section, json::Value value) {
+  json::Value root = json::Value::object();
+  if (std::ifstream in(path); in) {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (!ss.str().empty()) {
+      try {
+        root = json::parse(ss.str());
+      } catch (...) {
+        root = json::Value::object();
+      }
+    }
+  }
+  if (root.type() != json::Value::Type::Object) root = json::Value::object();
+  root.set(section, std::move(value));
+  std::ofstream out(path);
+  out << root.dump(2) << "\n";
+  std::printf("(json section \"%s\" written to %s)\n", section.c_str(),
+              path.c_str());
 }
 
 /// Writes (x, series...) rows to CSV when a path was requested.

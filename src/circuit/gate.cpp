@@ -163,7 +163,28 @@ Matrix gate_matrix(GateKind kind, double theta) {
   throw InternalError("unhandled gate kind");
 }
 
+const Matrix& fixed_gate_matrix(GateKind kind) {
+  QARCH_REQUIRE(!is_parameterized(kind),
+                "fixed_gate_matrix called for a parameterized gate");
+  // One static table for all fixed kinds, built on first use (thread-safe
+  // per C++11 magic statics). Indexed by the enum value.
+  static const std::vector<Matrix> table = [] {
+    const GateKind fixed[] = {GateKind::I,   GateKind::X,    GateKind::Y,
+                              GateKind::Z,   GateKind::H,    GateKind::S,
+                              GateKind::Sdg, GateKind::T,    GateKind::Tdg,
+                              GateKind::CX,  GateKind::CZ,   GateKind::SWAP};
+    std::vector<Matrix> t(static_cast<std::size_t>(GateKind::RZZ) + 1);
+    for (const GateKind k : fixed)
+      t[static_cast<std::size_t>(k)] = gate_matrix(k);
+    return t;
+  }();
+  const Matrix& m = table.at(static_cast<std::size_t>(kind));
+  QARCH_CHECK(m.rows() != 0, "fixed_gate_matrix table misses a gate kind");
+  return m;
+}
+
 Matrix Gate::matrix(std::span<const double> theta) const {
+  if (!is_parameterized(kind)) return fixed_gate_matrix(kind);
   return gate_matrix(kind, param.value(theta));
 }
 

@@ -97,4 +97,10 @@ struct Gate {
 /// The unitary of `kind` at angle `theta` (ignored for fixed gates).
 linalg::Matrix gate_matrix(GateKind kind, double theta = 0.0);
 
+/// The unitary of a non-parameterized `kind`, cached: returns a reference to
+/// a lazily-built static matrix so hot simulation paths never re-allocate.
+/// Throws InvalidArgument for parameterized kinds (their matrix depends on
+/// the bound angle).
+const linalg::Matrix& fixed_gate_matrix(GateKind kind);
+
 }  // namespace qarch::circuit

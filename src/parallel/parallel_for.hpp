@@ -11,6 +11,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace qarch::parallel {
@@ -73,6 +74,46 @@ auto parallel_map(const std::vector<In>& inputs, Fn&& fn,
   parallel_for(
       0, inputs.size(), [&](std::size_t i) { out[i] = fn(inputs[i]); },
       workers);
+  return out;
+}
+
+/// Parallel reduction over contiguous blocks (OpenMP `reduction` idiom).
+///
+/// Splits [begin, end) into one contiguous block per worker (static schedule
+/// — intended for uniform per-element cost like statevector sweeps), runs
+/// `block(lo, hi)` on each, and folds the per-block partials IN INDEX ORDER
+/// with `combine` on the calling thread. Deterministic for a fixed worker
+/// count. Exceptions from blocks are rethrown after all workers join.
+template <typename T, typename BlockFn, typename CombineFn>
+T parallel_reduce(std::size_t begin, std::size_t end, T identity,
+                  const BlockFn& block, const CombineFn& combine,
+                  std::size_t workers = 0) {
+  if (begin >= end) return identity;
+  const std::size_t n = end - begin;
+  if (workers == 0)
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers = std::min(workers, n);
+
+  if (workers <= 1) return combine(std::move(identity), block(begin, end));
+
+  // One contiguous [lo, hi) block per worker; parallel_map supplies the
+  // thread pool, exception capture, and ordered results.
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  blocks.reserve(workers);
+  const std::size_t per = n / workers, extra = n % workers;
+  std::size_t lo = begin;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t hi = lo + per + (w < extra ? 1 : 0);
+    blocks.emplace_back(lo, hi);
+    lo = hi;
+  }
+  auto partials = parallel_map(
+      blocks, [&](const std::pair<std::size_t, std::size_t>& b) {
+        return block(b.first, b.second);
+      },
+      workers);
+  T out = std::move(identity);
+  for (auto& p : partials) out = combine(std::move(out), std::move(p));
   return out;
 }
 

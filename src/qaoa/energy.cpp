@@ -1,18 +1,36 @@
 #include "qaoa/energy.hpp"
 
+#include <optional>
+
 #include "common/error.hpp"
 #include "parallel/parallel_for.hpp"
 #include "qtensor/ordering.hpp"
+#include "sim/state_utils.hpp"
 
 namespace qarch::qaoa {
 
 namespace {
 
-/// Statevector plan: run the circuit once per call, read all <ZZ> off it.
+/// Statevector plan: the ansatz is compiled once into a SimProgram
+/// (specialized kernels, fused gates, cached matrices); every energy(theta)
+/// replays it and reads all <ZZ> off the final state in one batched sweep.
+/// `inner_workers` drives both the gate kernels and the sweep. The legacy
+/// per-gate / per-edge path stays reachable through the EnergyOptions
+/// toggles for the ablation benches.
 class StatevectorPlan final : public EnergyPlan {
  public:
-  StatevectorPlan(circuit::Circuit ansatz, const MaxCutHamiltonian& ham)
-      : ansatz_(std::move(ansatz)), ham_(ham), simulator_(/*workers=*/1) {}
+  StatevectorPlan(circuit::Circuit ansatz, const MaxCutHamiltonian& ham,
+                  const EnergyOptions& options)
+      : ansatz_(std::move(ansatz)),
+        ham_(ham),
+        options_(options),
+        simulator_(options.inner_workers,
+                   options.sv_plan.parallel_threshold_qubits) {
+    if (options_.sv_compile_plan)
+      program_.emplace(ansatz_, options_.sv_plan);
+    pairs_.reserve(ham_.terms().size());
+    for (const auto& t : ham_.terms()) pairs_.push_back({t.u, t.v});
+  }
 
   double energy(std::span<const double> theta) const override {
     return ham_.energy(zz_expectations(theta));
@@ -20,18 +38,27 @@ class StatevectorPlan final : public EnergyPlan {
 
   std::vector<double> zz_expectations(
       std::span<const double> theta) const override {
-    const sim::State state = simulator_.run_from_plus(ansatz_, theta);
-    const auto& terms = ham_.terms();
-    std::vector<double> zz(terms.size());
-    for (std::size_t k = 0; k < terms.size(); ++k)
-      zz[k] = sim::expectation_zz(state, terms[k].u, terms[k].v);
+    const sim::State state =
+        program_.has_value()
+            ? program_->run_from_plus(theta, options_.inner_workers)
+            : simulator_.run_from_plus(ansatz_, theta);
+    if (options_.sv_batch_expectations)
+      return sim::batched_expectation_zz(
+          state, pairs_, options_.inner_workers,
+          options_.sv_plan.parallel_threshold_qubits);
+    std::vector<double> zz(pairs_.size());
+    for (std::size_t k = 0; k < pairs_.size(); ++k)
+      zz[k] = sim::expectation_zz(state, pairs_[k].u, pairs_[k].v);
     return zz;
   }
 
  private:
   circuit::Circuit ansatz_;
   const MaxCutHamiltonian& ham_;
+  EnergyOptions options_;
   sim::StatevectorSimulator simulator_;
+  std::optional<sim::SimProgram> program_;
+  std::vector<sim::ZZPair> pairs_;
 };
 
 /// Tensor-network plan: per-edge elimination orders are computed once from
@@ -116,7 +143,7 @@ std::unique_ptr<EnergyPlan> EnergyEvaluator::make_plan(
   QARCH_REQUIRE(ansatz.num_qubits() == ham_.num_qubits(),
                 "ansatz/Hamiltonian qubit mismatch");
   if (options_.engine == EngineKind::Statevector)
-    return std::make_unique<StatevectorPlan>(ansatz, ham_);
+    return std::make_unique<StatevectorPlan>(ansatz, ham_, options_);
   return std::make_unique<TensorNetworkPlan>(ansatz, ham_, options_);
 }
 

@@ -1,7 +1,11 @@
 // QAOA energy evaluation (SIMULATE_QAOA of Algorithm 1).
 //
 // Two engines compute <γ,β| C |γ,β>:
-//   * Statevector — run the ansatz once, read every <Z_u Z_v> off the state.
+//   * Statevector — the ansatz is compiled ONCE into a sim::SimProgram
+//     (diagonal-phase kernels, fused single-qubit runs, cached matrices);
+//     each energy(theta) replays the program and reads every <Z_u Z_v> off
+//     the final state in one batched sweep. Kernels and the sweep use
+//     `inner_workers` threads.
 //   * TensorNetwork — contract one lightcone network per edge with the
 //     QTensor backend; per-edge contractions can run in parallel across
 //     `inner_workers` threads (the inner level of the two-level scheme).
@@ -15,6 +19,7 @@
 #include "graph/graph.hpp"
 #include "qaoa/hamiltonian.hpp"
 #include "qtensor/contraction.hpp"
+#include "sim/sim_program.hpp"
 #include "sim/statevector.hpp"
 
 namespace qarch::qaoa {
@@ -25,7 +30,11 @@ enum class EngineKind { Statevector, TensorNetwork };
 /// Evaluation configuration.
 struct EnergyOptions {
   EngineKind engine = EngineKind::TensorNetwork;
-  std::size_t inner_workers = 1;  ///< threads for per-edge TN contractions
+  std::size_t inner_workers = 1;  ///< threads for statevector kernels /
+                                  ///< batched sweeps / per-edge TN contractions
+  bool sv_compile_plan = true;    ///< false → legacy per-gate apply() path
+  bool sv_batch_expectations = true;  ///< false → one state pass per edge
+  sim::PlanOptions sv_plan;       ///< compiled-plan kernel toggles
   qtensor::QTensorOptions qtensor;
 };
 

@@ -1,5 +1,6 @@
 #include "search/evaluator.hpp"
 
+#include "circuit/optimizer.hpp"
 #include "common/error.hpp"
 #include "graph/maxcut.hpp"
 #include "qaoa/ansatz.hpp"
@@ -7,9 +8,21 @@
 
 namespace qarch::search {
 
+namespace {
+
+/// Avoids optimizing every candidate twice: when the evaluator already
+/// pre-simplifies, the compiled statevector plan must not re-run
+/// circuit::optimize on the result.
+search::EvaluatorOptions normalize(search::EvaluatorOptions options) {
+  if (options.simplify_circuit) options.energy.sv_plan.presimplify = false;
+  return options;
+}
+
+}  // namespace
+
 Evaluator::Evaluator(const graph::Graph& g, EvaluatorOptions options)
     : graph_(g),
-      options_(std::move(options)),
+      options_(normalize(std::move(options))),
       energy_(graph_, options_.energy),
       cobyla_(options_.cobyla) {
   QARCH_REQUIRE(g.num_edges() >= 1, "evaluation graph needs edges");
@@ -18,7 +31,11 @@ Evaluator::Evaluator(const graph::Graph& g, EvaluatorOptions options)
 
 CandidateResult Evaluator::evaluate(const qaoa::MixerSpec& mixer,
                                     std::size_t p) const {
-  const circuit::Circuit ansatz = qaoa::build_qaoa_circuit(graph_, p, mixer);
+  circuit::Circuit ansatz = qaoa::build_qaoa_circuit(graph_, p, mixer);
+  // Searched sequences routinely contain mergeable structure (rx·rx, h·h
+  // pairs); shrinking the candidate benefits every engine — the compiled
+  // statevector plan, the per-edge TN lightcones, and the sampling pass.
+  if (options_.simplify_circuit) ansatz = circuit::optimize(ansatz);
   const qaoa::TrainResult trained =
       qaoa::train_qaoa(ansatz, energy_, cobyla_, options_.train);
 

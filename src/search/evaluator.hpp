@@ -33,6 +33,9 @@ struct EvaluatorOptions {
   qaoa::EnergyOptions energy;             ///< simulator engine selection
   optim::CobylaConfig cobyla;             ///< 200-eval COBYLA by default
   qaoa::TrainOptions train;
+  bool simplify_circuit = true;           ///< run circuit::optimize on each
+                                          ///< candidate before simulating
+                                          ///< (action-preserving peepholes)
   std::size_t shots = 128;                ///< samples per <C_max> batch
   std::size_t sample_trials = 8;          ///< batches averaged for <C_max>
   std::uint64_t sample_seed = 99;         ///< sampling stream seed

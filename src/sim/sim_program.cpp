@@ -1,0 +1,524 @@
+#include "sim/sim_program.hpp"
+
+#include <bit>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "circuit/optimizer.hpp"
+#include "common/error.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace qarch::sim {
+
+using circuit::Gate;
+using circuit::GateKind;
+using linalg::Matrix;
+
+namespace {
+
+/// Diagonal entries (d0, d1) of a single-qubit diagonal gate — computed
+/// directly, no Matrix allocation.
+std::array<cplx, 2> diag1_entries(GateKind kind, double angle) {
+  const cplx i{0.0, 1.0};
+  constexpr double kPi = 3.14159265358979323846;
+  switch (kind) {
+    case GateKind::I:   return {cplx{1, 0}, cplx{1, 0}};
+    case GateKind::Z:   return {cplx{1, 0}, cplx{-1, 0}};
+    case GateKind::S:   return {cplx{1, 0}, i};
+    case GateKind::Sdg: return {cplx{1, 0}, -i};
+    case GateKind::T:   return {cplx{1, 0}, std::exp(i * (kPi / 4))};
+    case GateKind::Tdg: return {cplx{1, 0}, std::exp(-i * (kPi / 4))};
+    case GateKind::RZ:
+      return {std::exp(-i * (angle / 2)), std::exp(i * (angle / 2))};
+    case GateKind::P:   return {cplx{1, 0}, std::exp(i * angle)};
+    default:
+      throw InternalError("diag1_entries: gate is not single-qubit diagonal");
+  }
+}
+
+/// Diagonal entries of a two-qubit diagonal gate, indexed by
+/// (bit_q0 << 1) | bit_q1 in the GATE's own qubit orientation.
+std::array<cplx, 4> diag2_entries(GateKind kind, double angle) {
+  const cplx i{0.0, 1.0};
+  switch (kind) {
+    case GateKind::CZ:
+      return {cplx{1, 0}, cplx{1, 0}, cplx{1, 0}, cplx{-1, 0}};
+    case GateKind::RZZ: {
+      const cplx em = std::exp(-i * (angle / 2)), ep = std::exp(i * (angle / 2));
+      return {em, ep, ep, em};
+    }
+    default:
+      throw InternalError("diag2_entries: gate is not two-qubit diagonal");
+  }
+}
+
+/// Row-major 2x2 entries of any single-qubit gate — direct formulas for the
+/// parameterized kinds, the cached static matrix for fixed kinds.
+std::array<cplx, 4> single_entries(GateKind kind, double angle) {
+  const cplx i{0.0, 1.0};
+  switch (kind) {
+    case GateKind::RX: {
+      const double c = std::cos(angle / 2), s = std::sin(angle / 2);
+      return {cplx{c, 0}, -i * s, -i * s, cplx{c, 0}};
+    }
+    case GateKind::RY: {
+      const double c = std::cos(angle / 2), s = std::sin(angle / 2);
+      return {cplx{c, 0}, cplx{-s, 0}, cplx{s, 0}, cplx{c, 0}};
+    }
+    case GateKind::RZ: {
+      const auto d = diag1_entries(kind, angle);
+      return {d[0], cplx{0, 0}, cplx{0, 0}, d[1]};
+    }
+    case GateKind::P: {
+      const auto d = diag1_entries(kind, angle);
+      return {d[0], cplx{0, 0}, cplx{0, 0}, d[1]};
+    }
+    default: {
+      const Matrix& m = circuit::fixed_gate_matrix(kind);
+      return {m(0, 0), m(0, 1), m(1, 0), m(1, 1)};
+    }
+  }
+}
+
+/// Computes an op's coefficients for one theta. Used once at compile time
+/// for non-parameterized ops and per run() for parameterized ones.
+std::array<cplx, 16> bind_op(const CompiledOp& op,
+                             std::span<const double> theta) {
+  std::array<cplx, 16> out{};
+  switch (op.kind) {
+    case CompiledOp::Kind::DiagTable:
+      throw InternalError("DiagTable ops bind a per-class lookup, not coeffs");
+    case CompiledOp::Kind::Diag1: {
+      cplx d0{1, 0}, d1{1, 0};
+      for (const Gate& g : op.sources) {
+        const auto e = diag1_entries(g.kind, g.param.value(theta));
+        d0 *= e[0];
+        d1 *= e[1];
+      }
+      out[0] = d0;
+      out[1] = d1;
+      return out;
+    }
+    case CompiledOp::Kind::Diag2: {
+      out[0] = out[1] = out[2] = out[3] = cplx{1, 0};
+      for (const Gate& g : op.sources) {
+        auto e = diag2_entries(g.kind, g.param.value(theta));
+        // Remap when the source is oriented (q1, q0) relative to the op:
+        // swapping the qubits swaps the |01> and |10> entries.
+        if (g.q0 != op.q0) std::swap(e[1], e[2]);
+        for (std::size_t k = 0; k < 4; ++k) out[k] *= e[k];
+      }
+      return out;
+    }
+    case CompiledOp::Kind::Single: {
+      // Product m_last * ... * m_first of the fused run (2x2 matmuls).
+      std::array<cplx, 4> acc = {cplx{1, 0}, cplx{0, 0}, cplx{0, 0},
+                                 cplx{1, 0}};
+      for (const Gate& g : op.sources) {
+        const auto m = single_entries(g.kind, g.param.value(theta));
+        const std::array<cplx, 4> prev = acc;
+        acc[0] = m[0] * prev[0] + m[1] * prev[2];
+        acc[1] = m[0] * prev[1] + m[1] * prev[3];
+        acc[2] = m[2] * prev[0] + m[3] * prev[2];
+        acc[3] = m[2] * prev[1] + m[3] * prev[3];
+      }
+      for (std::size_t k = 0; k < 4; ++k) out[k] = acc[k];
+      return out;
+    }
+    case CompiledOp::Kind::Two: {
+      QARCH_CHECK(op.sources.size() == 1, "dense two-qubit op fuses nothing");
+      const Gate& g = op.sources.front();
+      if (!circuit::is_parameterized(g.kind)) {
+        const Matrix& m = circuit::fixed_gate_matrix(g.kind);
+        for (std::size_t k = 0; k < 16; ++k) out[k] = m.data()[k];
+      } else {
+        const Matrix m = g.matrix(theta);
+        for (std::size_t k = 0; k < 16; ++k) out[k] = m.data()[k];
+      }
+      return out;
+    }
+  }
+  throw InternalError("unhandled compiled-op kind");
+}
+
+bool any_symbolic(const std::vector<Gate>& gates) {
+  for (const Gate& g : gates)
+    if (g.param.kind == circuit::ParamExpr::Kind::Symbol) return true;
+  return false;
+}
+
+// -- phase-table folding -----------------------------------------------------
+//
+// Every diagonal gate here has unit-modulus entries whose phase ANGLE is
+// affine in the bound parameter: angle(sel) = factor(sel) * theta for
+// RZ/P/RZZ (no intercept) and a constant for Z/S/Sdg/T/Tdg/CZ/I. A run of
+// consecutive diagonal ops therefore applies, per amplitude i,
+//   state[i] *= exp(i * (base(i) + coef(i) * theta_sym))
+// where base/coef depend only on circuit structure. We bake the distinct
+// (base, coef) pairs into a per-amplitude class table once at compile time;
+// a new theta then costs one exp() per CLASS (e.g. 41 classes for a 40-edge
+// unweighted cost layer) plus a single streaming multiply pass.
+
+bool is_diag_op(const CompiledOp& op) {
+  return op.kind == CompiledOp::Kind::Diag1 ||
+         op.kind == CompiledOp::Kind::Diag2;
+}
+
+struct AngleKeyHash {
+  std::size_t operator()(const std::pair<double, double>& p) const {
+    const auto a = std::bit_cast<std::uint64_t>(p.first);
+    const auto b = std::bit_cast<std::uint64_t>(p.second);
+    std::uint64_t h = a * 0x9e3779b97f4a7c15ULL;
+    h ^= b + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Builds one DiagTable op replacing the diagonal ops in `run`, or nullopt
+/// when the run is ineligible (more than one distinct symbolic parameter,
+/// or more phase classes than the table can index).
+std::optional<CompiledOp> build_phase_table(
+    std::span<const CompiledOp> run, std::size_t num_qubits) {
+  bool has_sym = false;
+  std::size_t sym_index = 0;
+  for (const CompiledOp& op : run) {
+    for (const Gate& g : op.sources) {
+      if (g.param.kind != circuit::ParamExpr::Kind::Symbol) continue;
+      if (!has_sym) {
+        has_sym = true;
+        sym_index = g.param.index;
+      } else if (g.param.index != sym_index) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  std::vector<double> base(dim, 0.0), coef(dim, 0.0);
+  for (const CompiledOp& op : run) {
+    for (const Gate& g : op.sources) {
+      // Per-selector decomposition angle(sel) = bconst[sel] + bscale[sel]*θ.
+      double bconst[4] = {0, 0, 0, 0}, bscale[4] = {0, 0, 0, 0};
+      const std::size_t sels = g.arity() == 1 ? 2 : 4;
+      if (circuit::is_parameterized(g.kind)) {
+        double factor[4] = {0, 0, 0, 0};
+        if (g.arity() == 1) {
+          const auto e = diag1_entries(g.kind, 1.0);
+          factor[0] = std::arg(e[0]);
+          factor[1] = std::arg(e[1]);
+        } else {
+          const auto e = diag2_entries(g.kind, 1.0);
+          for (std::size_t s = 0; s < 4; ++s) factor[s] = std::arg(e[s]);
+        }
+        switch (g.param.kind) {
+          case circuit::ParamExpr::Kind::None:
+            break;  // angle 0 contributes nothing
+          case circuit::ParamExpr::Kind::Constant:
+            for (std::size_t s = 0; s < sels; ++s)
+              bconst[s] = factor[s] * g.param.constant;
+            break;
+          case circuit::ParamExpr::Kind::Symbol:
+            for (std::size_t s = 0; s < sels; ++s)
+              bscale[s] = factor[s] * g.param.scale;
+            break;
+        }
+      } else if (g.arity() == 1) {
+        const auto e = diag1_entries(g.kind, 0.0);
+        bconst[0] = std::arg(e[0]);
+        bconst[1] = std::arg(e[1]);
+      } else {
+        const auto e = diag2_entries(g.kind, 0.0);
+        for (std::size_t s = 0; s < 4; ++s) bconst[s] = std::arg(e[s]);
+      }
+
+      if (g.arity() == 1) {
+        const std::size_t q = g.q0;
+        for (std::size_t i = 0; i < dim; ++i) {
+          const std::size_t sel = (i >> q) & 1;
+          base[i] += bconst[sel];
+          coef[i] += bscale[sel];
+        }
+      } else {
+        const std::size_t q0 = g.q0, q1 = g.q1;
+        for (std::size_t i = 0; i < dim; ++i) {
+          const std::size_t sel = (((i >> q0) & 1) << 1) | ((i >> q1) & 1);
+          base[i] += bconst[sel];
+          coef[i] += bscale[sel];
+        }
+      }
+    }
+  }
+
+  CompiledOp out;
+  out.kind = CompiledOp::Kind::DiagTable;
+  out.has_symbol = has_sym;
+  out.symbol_index = sym_index;
+  out.parameterized = has_sym;
+  out.classes.resize(dim);
+  std::unordered_map<std::pair<double, double>, std::uint16_t, AngleKeyHash>
+      ids;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const std::pair<double, double> key{base[i], coef[i]};
+    auto it = ids.find(key);
+    if (it == ids.end()) {
+      if (ids.size() >= 65535) return std::nullopt;  // table cannot index
+      it = ids.emplace(key, static_cast<std::uint16_t>(ids.size())).first;
+      out.class_const.push_back(key.first);
+      out.class_scale.push_back(key.second);
+    }
+    out.classes[i] = it->second;
+  }
+  if (!has_sym) {
+    // Fully constant run: bake the per-class phases once at compile time.
+    out.lut.resize(out.class_const.size());
+    for (std::size_t c = 0; c < out.lut.size(); ++c)
+      out.lut[c] = std::polar(1.0, out.class_const[c]);
+  }
+  for (const CompiledOp& op : run)
+    out.sources.insert(out.sources.end(), op.sources.begin(),
+                       op.sources.end());
+  return out;
+}
+
+/// Replaces each eligible run of >= 2 diagonal ops with one DiagTable op.
+/// A run may extend past intervening non-diagonal ops on DISJOINT qubits
+/// (they commute, so the gathered diagonals legally move to the run's start);
+/// any op touching a qubit blocks it for the rest of the gather.
+std::vector<CompiledOp> fold_phase_tables(std::vector<CompiledOp> ops,
+                                          std::size_t num_qubits) {
+  std::vector<CompiledOp> out;
+  out.reserve(ops.size());
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    if (!is_diag_op(ops[i])) {
+      out.push_back(std::move(ops[i++]));
+      continue;
+    }
+    std::vector<CompiledOp> run, skipped;
+    std::vector<bool> blocked(num_qubits, false);
+    std::size_t free_qubits = num_qubits;
+    std::size_t j = i;
+    for (; j < ops.size() && free_qubits > 0; ++j) {
+      CompiledOp& op = ops[j];
+      const bool two = op.kind != CompiledOp::Kind::Diag1 &&
+                       op.kind != CompiledOp::Kind::Single;
+      const bool touches_blocked =
+          blocked[op.q0] || (two && blocked[op.q1]);
+      if (is_diag_op(op) && !touches_blocked) {
+        run.push_back(std::move(op));
+        continue;
+      }
+      // Every skipped op blocks its qubits: later gathered diagonals are
+      // disjoint from it and every earlier skipped op, so hoisting them to
+      // the run's start preserves the circuit's action.
+      if (!blocked[op.q0]) { blocked[op.q0] = true; --free_qubits; }
+      if (two && !blocked[op.q1]) { blocked[op.q1] = true; --free_qubits; }
+      skipped.push_back(std::move(op));
+    }
+    std::optional<CompiledOp> table;
+    if (run.size() >= 2)
+      table = build_phase_table(
+          std::span<const CompiledOp>(run.data(), run.size()), num_qubits);
+    if (table.has_value()) {
+      out.push_back(std::move(*table));
+    } else {
+      // Ineligible: keep the gathered diagonals as plain streaming ops.
+      // Emitting them before the skipped tail is still action-preserving —
+      // each gathered op is disjoint from every skipped op it moved past.
+      for (auto& op : run) out.push_back(std::move(op));
+    }
+    for (auto& op : skipped) out.push_back(std::move(op));
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+SimProgram::SimProgram(const circuit::Circuit& circuit, PlanOptions options)
+    : num_qubits_(circuit.num_qubits()),
+      num_params_(circuit.num_params()),
+      options_(options) {
+  circuit::Circuit simplified;
+  const circuit::Circuit* source = &circuit;
+  if (options_.presimplify) {
+    simplified = circuit::optimize(circuit);
+    source = &simplified;
+  }
+  stats_.source_gates = source->num_gates();
+
+  // Emits one op for a fused run of single-qubit gates on one wire.
+  const auto emit_single_run = [&](std::vector<Gate>& run) {
+    if (run.empty()) return;
+    CompiledOp op;
+    op.q0 = run.front().q0;
+    bool all_diagonal = true;
+    for (const Gate& g : run)
+      if (!circuit::is_diagonal(g.kind)) all_diagonal = false;
+    op.kind = (all_diagonal && options_.diagonal_kernels)
+                  ? CompiledOp::Kind::Diag1
+                  : CompiledOp::Kind::Single;
+    op.parameterized = any_symbolic(run);
+    op.sources = std::move(run);
+    run.clear();
+    if (!op.parameterized) op.coeffs = bind_op(op, {});
+    ops_.push_back(std::move(op));
+  };
+
+  std::vector<std::vector<Gate>> pending(num_qubits_);
+
+  for (const Gate& g : source->gates()) {
+    if (g.arity() == 1) {
+      if (options_.fuse_single_qubit) {
+        pending[g.q0].push_back(g);
+      } else {
+        std::vector<Gate> run{g};
+        emit_single_run(run);
+      }
+      continue;
+    }
+
+    if (circuit::is_diagonal(g.kind) && options_.diagonal_kernels &&
+        options_.phase_tables &&
+        num_qubits_ <= options_.phase_table_max_qubits) {
+      // Flush every pending single-qubit run, not just this gate's wires:
+      // a two-qubit diagonal gate usually starts a cost layer, and keeping
+      // that layer contiguous lets the phase-table fold absorb it whole.
+      // (Emitting a pending run early is always valid — it only moves
+      // across ops on disjoint wires.)
+      for (auto& run : pending) emit_single_run(run);
+    } else {
+      emit_single_run(pending[g.q0]);
+      emit_single_run(pending[g.q1]);
+    }
+
+    if (circuit::is_diagonal(g.kind) && options_.diagonal_kernels) {
+      // Consecutive diagonal gates on the same (unordered) pair merge into
+      // one streaming op — diagonal matrices commute and multiply entrywise.
+      if (!ops_.empty()) {
+        CompiledOp& back = ops_.back();
+        const bool same_pair =
+            back.kind == CompiledOp::Kind::Diag2 &&
+            ((back.q0 == g.q0 && back.q1 == g.q1) ||
+             (back.q0 == g.q1 && back.q1 == g.q0));
+        if (same_pair) {
+          back.sources.push_back(g);
+          back.parameterized = any_symbolic(back.sources);
+          if (!back.parameterized) back.coeffs = bind_op(back, {});
+          continue;
+        }
+      }
+      CompiledOp op;
+      op.kind = CompiledOp::Kind::Diag2;
+      op.q0 = g.q0;
+      op.q1 = g.q1;
+      op.parameterized = g.param.kind == circuit::ParamExpr::Kind::Symbol;
+      op.sources = {g};
+      if (!op.parameterized) op.coeffs = bind_op(op, {});
+      ops_.push_back(std::move(op));
+    } else {
+      CompiledOp op;
+      op.kind = CompiledOp::Kind::Two;
+      op.q0 = g.q0;
+      op.q1 = g.q1;
+      op.parameterized = g.param.kind == circuit::ParamExpr::Kind::Symbol;
+      op.sources = {g};
+      if (!op.parameterized) op.coeffs = bind_op(op, {});
+      ops_.push_back(std::move(op));
+    }
+  }
+
+  for (auto& run : pending) emit_single_run(run);
+
+  if (options_.diagonal_kernels && options_.phase_tables &&
+      num_qubits_ <= options_.phase_table_max_qubits) {
+    // Folding a run shrinks ops_, which can bring further diagonal ops into
+    // adjacency; iterate to a fixed point (a handful of rounds at most).
+    for (int round = 0; round < 4; ++round) {
+      const std::size_t before = ops_.size();
+      ops_ = fold_phase_tables(std::move(ops_), num_qubits_);
+      if (ops_.size() == before) break;
+    }
+  }
+
+  stats_.ops = ops_.size();
+  for (const CompiledOp& op : ops_) {
+    switch (op.kind) {
+      case CompiledOp::Kind::Diag1: ++stats_.diag1_ops; break;
+      case CompiledOp::Kind::Diag2: ++stats_.diag2_ops; break;
+      case CompiledOp::Kind::DiagTable: ++stats_.diag_table_ops; break;
+      case CompiledOp::Kind::Single: ++stats_.single_ops; break;
+      case CompiledOp::Kind::Two: ++stats_.two_ops; break;
+    }
+    if (op.sources.size() > 1) stats_.fused_gates += op.sources.size();
+  }
+}
+
+void SimProgram::apply_inplace(State& state, std::span<const double> theta,
+                               std::size_t workers) const {
+  QARCH_REQUIRE(state_qubits(state) == num_qubits_,
+                "state qubit count mismatch");
+  QARCH_REQUIRE(theta.size() >= num_params_,
+                "parameter vector too short for program");
+  if (workers == 0) workers = 1;
+  const std::size_t threshold = options_.parallel_threshold_qubits;
+
+  for (const CompiledOp& op : ops_) {
+    // Parameterized ops rebind a handful of scalars into a local buffer, so
+    // a shared program stays thread-safe and const. (DiagTable ops bind
+    // their own per-class lookup below.)
+    std::array<cplx, 16> local;
+    const cplx* cf = op.coeffs.data();
+    if (op.parameterized && op.kind != CompiledOp::Kind::DiagTable) {
+      local = bind_op(op, theta);
+      cf = local.data();
+    }
+    switch (op.kind) {
+      case CompiledOp::Kind::Diag1:
+        kernel_diag1(state, op.q0, cf[0], cf[1], workers, threshold);
+        break;
+      case CompiledOp::Kind::Diag2:
+        kernel_diag2(state, op.q0, op.q1, cf, workers, threshold);
+        break;
+      case CompiledOp::Kind::DiagTable: {
+        std::vector<cplx> bound;
+        if (op.has_symbol) {
+          const double t = theta[op.symbol_index];
+          bound.resize(op.class_const.size());
+          for (std::size_t c = 0; c < bound.size(); ++c)
+            bound[c] =
+                std::polar(1.0, op.class_const[c] + op.class_scale[c] * t);
+        }
+        const std::uint16_t* cls = op.classes.data();
+        const cplx* lp = op.has_symbol ? bound.data() : op.lut.data();
+        auto body = [&](std::size_t i) { state[i] *= lp[cls[i]]; };
+        if (workers > 1 && num_qubits_ >= threshold)
+          parallel::parallel_for(0, state.size(), body, workers, 4096);
+        else
+          for (std::size_t i = 0; i < state.size(); ++i) body(i);
+        break;
+      }
+      case CompiledOp::Kind::Single:
+        kernel_single(state, op.q0, cf, workers, threshold);
+        break;
+      case CompiledOp::Kind::Two:
+        kernel_two(state, op.q0, op.q1, cf, workers, threshold);
+        break;
+    }
+  }
+}
+
+State SimProgram::run(std::span<const double> theta, State initial,
+                      std::size_t workers) const {
+  apply_inplace(initial, theta, workers);
+  return initial;
+}
+
+State SimProgram::run_from_plus(std::span<const double> theta,
+                                std::size_t workers) const {
+  return run(theta, plus_state(num_qubits_), workers);
+}
+
+}  // namespace qarch::sim

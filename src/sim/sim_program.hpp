@@ -1,0 +1,136 @@
+// Compiled statevector simulation plans.
+//
+// A SimProgram pre-compiles a circuit::Circuit ONCE into a short sequence of
+// specialized ops, so that the thousands of per-candidate energy evaluations
+// of the architecture search pay circuit analysis once instead of per call:
+//
+//   * Diagonal gates (RZ/P/Z/S/T/CZ/RZZ — the QAOA cost layer is pure RZZ)
+//     compile to streaming phase kernels: ONE complex multiply per amplitude,
+//     no pair/quad index shuffling and no 2x2/4x4 matrix allocation. This is
+//     the statevector analogue of QTensor's diagonal-gate rank reduction
+//     (Lykov & Alexeev 2021), which the tensor backend already exploits.
+//   * Runs of adjacent single-qubit gates on the same wire fuse into one
+//     cached 2x2 matrix (the numeric counterpart of circuit::optimize's
+//     symbolic rotation merging, which runs first as a pre-pass).
+//   * Matrices of non-parameterized ops are computed at compile time;
+//     parameterized ops cache their source gates and rebind a handful of
+//     scalars per theta — never re-deriving the gate list.
+//
+// Every optimizer step, landscape scan, and search-engine call path inherits
+// the compiled path through qaoa::EnergyEvaluator (EngineKind::Statevector).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/statevector.hpp"
+
+namespace qarch::sim {
+
+/// Compilation toggles (all on by default; the abl_* benches switch them off
+/// to measure each specialization in isolation).
+struct PlanOptions {
+  bool diagonal_kernels = true;   ///< (a) streaming phase kernels
+  bool fuse_single_qubit = true;  ///< (b) merge adjacent 1q runs into one 2x2
+  bool presimplify = true;        ///< run circuit::optimize before compiling
+  /// Fold each run of consecutive diagonal ops sharing at most one symbolic
+  /// parameter (e.g. an entire QAOA cost layer) into ONE streaming pass: a
+  /// per-amplitude phase-class table baked at compile time plus a per-theta
+  /// phase lookup rebuilt from a handful of scalars. Requires
+  /// diagonal_kernels.
+  bool phase_tables = true;
+  std::size_t phase_table_max_qubits = 22;  ///< table memory guard
+  std::size_t parallel_threshold_qubits = 14;  ///< serial below this size
+
+  /// The generic configuration: per-gate dense kernels, no fusion — the
+  /// baseline the ablation benches compare against.
+  static PlanOptions generic() {
+    PlanOptions o;
+    o.diagonal_kernels = false;
+    o.fuse_single_qubit = false;
+    o.presimplify = false;
+    o.phase_tables = false;
+    return o;
+  }
+};
+
+/// One compiled operation. Non-parameterized ops carry their final
+/// coefficients; parameterized ops additionally keep the source gates they
+/// were fused from and recompute the coefficients per theta.
+struct CompiledOp {
+  enum class Kind {
+    Diag1,      ///< streaming diag(d0, d1) on q0       (coeffs[0..1])
+    Diag2,      ///< streaming 2q diagonal on (q0, q1)  (coeffs[0..3])
+    DiagTable,  ///< phase-class table for a whole diagonal run
+    Single,     ///< dense 2x2 on q0, row-major         (coeffs[0..3])
+    Two,        ///< dense 4x4 on (q0, q1), row-major, q0 = high basis bit
+  };
+
+  Kind kind = Kind::Single;
+  std::size_t q0 = 0;
+  std::size_t q1 = 0;
+  bool parameterized = false;
+  std::array<linalg::cplx, 16> coeffs{};
+  std::vector<circuit::Gate> sources;  ///< gates fused into this op
+
+  // DiagTable payload. The op applies state[i] *= exp(i * (class_const[c] +
+  // class_scale[c] * theta[symbol_index])) with c = classes[i]; the class
+  // table depends only on circuit structure, so a new theta costs one
+  // exp() per CLASS instead of per amplitude.
+  std::vector<std::uint16_t> classes;  ///< per-amplitude phase-class id
+  std::vector<double> class_const;     ///< per-class constant angle
+  std::vector<double> class_scale;     ///< per-class theta coefficient
+  std::vector<linalg::cplx> lut;       ///< baked phases when !has_symbol
+  bool has_symbol = false;
+  std::size_t symbol_index = 0;
+};
+
+/// Per-program compilation statistics (reported by the benches).
+struct ProgramStats {
+  std::size_t source_gates = 0;  ///< gates after the presimplify pass
+  std::size_t ops = 0;
+  std::size_t diag1_ops = 0;
+  std::size_t diag2_ops = 0;
+  std::size_t diag_table_ops = 0;
+  std::size_t single_ops = 0;
+  std::size_t two_ops = 0;
+  std::size_t fused_gates = 0;   ///< source gates absorbed into multi-gate ops
+};
+
+/// A circuit compiled against fixed structure, replayable for any theta.
+/// Thread-safe after construction: run() binds parameterized coefficients
+/// into locals, so one program may be shared across search workers.
+class SimProgram {
+ public:
+  explicit SimProgram(const circuit::Circuit& circuit, PlanOptions options = {});
+
+  [[nodiscard]] std::size_t num_qubits() const { return num_qubits_; }
+  [[nodiscard]] std::size_t num_params() const { return num_params_; }
+  [[nodiscard]] const std::vector<CompiledOp>& ops() const { return ops_; }
+  [[nodiscard]] const ProgramStats& stats() const { return stats_; }
+  [[nodiscard]] const PlanOptions& options() const { return options_; }
+
+  /// Replays the program on `state` in place with up to `workers` threads.
+  void apply_inplace(State& state, std::span<const double> theta,
+                     std::size_t workers = 1) const;
+
+  /// Runs on `initial` and returns the final state.
+  [[nodiscard]] State run(std::span<const double> theta, State initial,
+                          std::size_t workers = 1) const;
+
+  /// Runs on |+>^n (the QAOA convention).
+  [[nodiscard]] State run_from_plus(std::span<const double> theta,
+                                    std::size_t workers = 1) const;
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::size_t num_params_ = 0;
+  PlanOptions options_;
+  std::vector<CompiledOp> ops_;
+  ProgramStats stats_;
+};
+
+}  // namespace qarch::sim

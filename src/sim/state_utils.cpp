@@ -1,10 +1,55 @@
 #include "sim/state_utils.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace qarch::sim {
+
+std::vector<double> batched_expectation_zz(
+    const State& state, std::span<const ZZPair> pairs, std::size_t workers,
+    std::size_t parallel_threshold_qubits) {
+  const std::size_t n = state_qubits(state);
+  std::vector<std::size_t> masks(pairs.size());
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const auto [u, v] = pairs[k];
+    QARCH_REQUIRE(u < n && v < n && u != v, "bad ZZ qubit pair");
+    masks[k] = (std::size_t{1} << u) | (std::size_t{1} << v);
+  }
+  if (pairs.empty()) return {};
+  detail::note_expectation_sweep();
+
+  // <Z_u Z_v> = sum_i sign(i) |a_i|^2 with sign +1 when bits u and v agree,
+  // i.e. when popcount(i & (mu|mv)) is even.
+  const auto block = [&](std::size_t lo, std::size_t hi) {
+    const std::size_t m = masks.size();
+    const std::size_t* mk = masks.data();
+    std::vector<double> partial(m, 0.0);
+    double* acc = partial.data();
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double p = std::norm(state[i]);
+      // Branchless sign select: the parity pattern of i & mask is
+      // data-dependent per term, so a conditional would mispredict half the
+      // time across the sweep.
+      const double pm[2] = {p, -p};
+      for (std::size_t k = 0; k < m; ++k)
+        acc[k] += pm[std::popcount(i & mk[k]) & 1];
+    }
+    return partial;
+  };
+  const auto combine = [](std::vector<double> acc, std::vector<double> part) {
+    for (std::size_t k = 0; k < part.size(); ++k) acc[k] += part[k];
+    return acc;
+  };
+
+  if (workers <= 1 || n < parallel_threshold_qubits)
+    return block(0, state.size());
+  return parallel::parallel_reduce(0, state.size(),
+                                   std::vector<double>(masks.size(), 0.0),
+                                   block, combine, workers);
+}
 
 cplx overlap(const State& a, const State& b) {
   QARCH_REQUIRE(a.size() == b.size(), "state size mismatch");

@@ -1,13 +1,31 @@
-// Statevector utilities: overlaps, fidelity, collapse, and distribution
-// diagnostics used by tests and analysis tooling.
+// Statevector utilities: overlaps, fidelity, collapse, batched expectation
+// sweeps, and distribution diagnostics used by tests and analysis tooling.
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "sim/statevector.hpp"
 
 namespace qarch::sim {
+
+/// One Z_u Z_v observable for the batched expectation sweep.
+struct ZZPair {
+  std::size_t u = 0;
+  std::size_t v = 0;
+};
+
+/// All <Z_u Z_v> values in ONE pass over the state (vs one full-state pass
+/// per pair with expectation_zz). Each amplitude's probability is computed
+/// once and scattered into every term with a popcount-parity sign; with
+/// `workers` > 1 the state is split into contiguous blocks whose per-thread
+/// partial sums are combined in index order (deterministic). Returns values
+/// aligned with `pairs`.
+std::vector<double> batched_expectation_zz(
+    const State& state, std::span<const ZZPair> pairs, std::size_t workers = 1,
+    std::size_t parallel_threshold_qubits = 14);
 
 /// <a|b> — complex overlap of two equal-size states.
 cplx overlap(const State& a, const State& b);

@@ -1,5 +1,6 @@
 #include "sim/statevector.hpp"
 
+#include <atomic>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -31,24 +32,33 @@ std::size_t state_qubits(const State& state) {
   return n;
 }
 
-StatevectorSimulator::StatevectorSimulator(std::size_t workers,
-                                           std::size_t parallel_threshold_qubits)
-    : workers_(workers == 0 ? 1 : workers),
-      parallel_threshold_qubits_(parallel_threshold_qubits) {}
+namespace {
 
-void StatevectorSimulator::apply(State& state, const circuit::Gate& gate,
-                                 std::span<const double> theta) const {
-  const Matrix m = gate.matrix(theta);
-  if (gate.arity() == 1) apply_single(state, gate.q0, m);
-  else apply_two(state, gate.q0, gate.q1, m);
+std::atomic<std::uint64_t> g_expectation_sweeps{0};
+
+}  // namespace
+
+std::uint64_t expectation_sweep_count() {
+  return g_expectation_sweeps.load(std::memory_order_relaxed);
 }
 
-void StatevectorSimulator::apply_single(State& state, std::size_t q,
-                                        const Matrix& m) const {
+void reset_expectation_sweep_count() {
+  g_expectation_sweeps.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+void note_expectation_sweep() {
+  g_expectation_sweeps.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+void kernel_single(State& state, std::size_t q, const cplx* m,
+                   std::size_t workers,
+                   std::size_t parallel_threshold_qubits) {
   const std::size_t n = state_qubits(state);
   QARCH_REQUIRE(q < n, "qubit out of range");
   const std::size_t mask = std::size_t{1} << q;
-  const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+  const cplx m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
   const std::size_t pairs = state.size() / 2;
 
   auto body = [&](std::size_t k) {
@@ -61,15 +71,15 @@ void StatevectorSimulator::apply_single(State& state, std::size_t q,
     state[i1] = m10 * a + m11 * b;
   };
 
-  if (workers_ > 1 && n >= parallel_threshold_qubits_) {
-    parallel::parallel_for(0, pairs, body, workers_, 1024);
+  if (workers > 1 && n >= parallel_threshold_qubits) {
+    parallel::parallel_for(0, pairs, body, workers, 1024);
   } else {
     for (std::size_t k = 0; k < pairs; ++k) body(k);
   }
 }
 
-void StatevectorSimulator::apply_two(State& state, std::size_t q0,
-                                     std::size_t q1, const Matrix& m) const {
+void kernel_two(State& state, std::size_t q0, std::size_t q1, const cplx* m,
+                std::size_t workers, std::size_t parallel_threshold_qubits) {
   const std::size_t n = state_qubits(state);
   QARCH_REQUIRE(q0 < n && q1 < n && q0 != q1, "bad two-qubit target");
   const std::size_t mask0 = std::size_t{1} << q0;  // high bit of the 4x4 basis
@@ -92,17 +102,70 @@ void StatevectorSimulator::apply_two(State& state, std::size_t q0,
     const std::size_t i11 = base | mask0 | mask1;
     const cplx v0 = state[i00], v1 = state[i01], v2 = state[i10],
                v3 = state[i11];
-    state[i00] = m(0, 0) * v0 + m(0, 1) * v1 + m(0, 2) * v2 + m(0, 3) * v3;
-    state[i01] = m(1, 0) * v0 + m(1, 1) * v1 + m(1, 2) * v2 + m(1, 3) * v3;
-    state[i10] = m(2, 0) * v0 + m(2, 1) * v1 + m(2, 2) * v2 + m(2, 3) * v3;
-    state[i11] = m(3, 0) * v0 + m(3, 1) * v1 + m(3, 2) * v2 + m(3, 3) * v3;
+    state[i00] = m[0] * v0 + m[1] * v1 + m[2] * v2 + m[3] * v3;
+    state[i01] = m[4] * v0 + m[5] * v1 + m[6] * v2 + m[7] * v3;
+    state[i10] = m[8] * v0 + m[9] * v1 + m[10] * v2 + m[11] * v3;
+    state[i11] = m[12] * v0 + m[13] * v1 + m[14] * v2 + m[15] * v3;
   };
 
-  if (workers_ > 1 && n >= parallel_threshold_qubits_) {
-    parallel::parallel_for(0, quads, body, workers_, 512);
+  if (workers > 1 && n >= parallel_threshold_qubits) {
+    parallel::parallel_for(0, quads, body, workers, 512);
   } else {
     for (std::size_t k = 0; k < quads; ++k) body(k);
   }
+}
+
+void kernel_diag1(State& state, std::size_t q, cplx d0, cplx d1,
+                  std::size_t workers,
+                  std::size_t parallel_threshold_qubits) {
+  const std::size_t n = state_qubits(state);
+  QARCH_REQUIRE(q < n, "qubit out of range");
+  // Branchless phase select (a conditional on a state-dependent bit would
+  // mispredict constantly across the sweep).
+  const cplx dd[2] = {d0, d1};
+
+  auto body = [&](std::size_t i) { state[i] *= dd[(i >> q) & 1]; };
+
+  if (workers > 1 && n >= parallel_threshold_qubits) {
+    parallel::parallel_for(0, state.size(), body, workers, 4096);
+  } else {
+    for (std::size_t i = 0; i < state.size(); ++i) body(i);
+  }
+}
+
+void kernel_diag2(State& state, std::size_t q0, std::size_t q1, const cplx* d,
+                  std::size_t workers,
+                  std::size_t parallel_threshold_qubits) {
+  const std::size_t n = state_qubits(state);
+  QARCH_REQUIRE(q0 < n && q1 < n && q0 != q1, "bad two-qubit target");
+  const cplx dd[4] = {d[0], d[1], d[2], d[3]};
+
+  auto body = [&](std::size_t i) {
+    const std::size_t sel = (((i >> q0) & 1) << 1) | ((i >> q1) & 1);
+    state[i] *= dd[sel];
+  };
+
+  if (workers > 1 && n >= parallel_threshold_qubits) {
+    parallel::parallel_for(0, state.size(), body, workers, 4096);
+  } else {
+    for (std::size_t i = 0; i < state.size(); ++i) body(i);
+  }
+}
+
+StatevectorSimulator::StatevectorSimulator(std::size_t workers,
+                                           std::size_t parallel_threshold_qubits)
+    : workers_(workers == 0 ? 1 : workers),
+      parallel_threshold_qubits_(parallel_threshold_qubits) {}
+
+void StatevectorSimulator::apply(State& state, const circuit::Gate& gate,
+                                 std::span<const double> theta) const {
+  const Matrix m = gate.matrix(theta);
+  if (gate.arity() == 1)
+    kernel_single(state, gate.q0, m.data().data(), workers_,
+                  parallel_threshold_qubits_);
+  else
+    kernel_two(state, gate.q0, gate.q1, m.data().data(), workers_,
+               parallel_threshold_qubits_);
 }
 
 State StatevectorSimulator::run(const circuit::Circuit& circuit,
@@ -124,6 +187,7 @@ State StatevectorSimulator::run_from_plus(const circuit::Circuit& circuit,
 double expectation_zz(const State& state, std::size_t u, std::size_t v) {
   const std::size_t n = state_qubits(state);
   QARCH_REQUIRE(u < n && v < n && u != v, "bad ZZ qubit pair");
+  detail::note_expectation_sweep();
   const std::size_t mu = std::size_t{1} << u, mv = std::size_t{1} << v;
   double e = 0.0;
   for (std::size_t i = 0; i < state.size(); ++i) {
@@ -137,6 +201,7 @@ double expectation_zz(const State& state, std::size_t u, std::size_t v) {
 double expectation_z(const State& state, std::size_t q) {
   const std::size_t n = state_qubits(state);
   QARCH_REQUIRE(q < n, "qubit out of range");
+  detail::note_expectation_sweep();
   const std::size_t mq = std::size_t{1} << q;
   double e = 0.0;
   for (std::size_t i = 0; i < state.size(); ++i)

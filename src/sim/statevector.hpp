@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -52,14 +53,37 @@ class StatevectorSimulator {
                                     std::span<const double> theta) const;
 
  private:
-  void apply_single(State& state, std::size_t q,
-                    const linalg::Matrix& m) const;
-  void apply_two(State& state, std::size_t q0, std::size_t q1,
-                 const linalg::Matrix& m) const;
-
   std::size_t workers_;
   std::size_t parallel_threshold_qubits_;
 };
+
+// -- low-level gate kernels --------------------------------------------------
+//
+// Free functions shared by StatevectorSimulator (per-gate path) and
+// SimProgram (compiled-plan path). States with fewer than
+// `parallel_threshold_qubits` qubits always run serially — fork/join would
+// dominate the sweep.
+
+/// Applies a dense 2x2 matrix (row-major, 4 entries) to qubit q.
+void kernel_single(State& state, std::size_t q, const cplx* m,
+                   std::size_t workers, std::size_t parallel_threshold_qubits);
+
+/// Applies a dense 4x4 matrix (row-major, 16 entries; bit q0 is the HIGH bit
+/// of the 4x4 basis, bit q1 the low bit) to qubits (q0, q1).
+void kernel_two(State& state, std::size_t q0, std::size_t q1, const cplx* m,
+                std::size_t workers, std::size_t parallel_threshold_qubits);
+
+/// Streams diag(d0, d1) on qubit q: one complex multiply per amplitude, no
+/// index shuffling and no pair gathering.
+void kernel_diag1(State& state, std::size_t q, cplx d0, cplx d1,
+                  std::size_t workers, std::size_t parallel_threshold_qubits);
+
+/// Streams a two-qubit diagonal gate with entries d[(bit_q0 << 1) | bit_q1]
+/// (d has 4 entries): one complex multiply per amplitude.
+void kernel_diag2(State& state, std::size_t q0, std::size_t q1, const cplx* d,
+                  std::size_t workers, std::size_t parallel_threshold_qubits);
+
+// -- expectation values ------------------------------------------------------
 
 /// <state| Z_u Z_v |state>.
 double expectation_zz(const State& state, std::size_t u, std::size_t v);
@@ -72,5 +96,19 @@ double probability(const State& state, std::size_t basis_index);
 
 /// Number of qubits of a state (log2 of its size); validates power of two.
 std::size_t state_qubits(const State& state);
+
+// -- instrumentation ---------------------------------------------------------
+
+/// Number of full-state sweeps the expectation kernels have performed since
+/// the last reset (one per expectation_zz / expectation_z call, one per
+/// batched_expectation_zz call). Thread-safe; used by the bench harnesses to
+/// verify the one-pass-total claim of the batched sweep.
+std::uint64_t expectation_sweep_count();
+void reset_expectation_sweep_count();
+
+namespace detail {
+/// Records one full-state expectation sweep (internal instrumentation hook).
+void note_expectation_sweep();
+}  // namespace detail
 
 }  // namespace qarch::sim
