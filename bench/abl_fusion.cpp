@@ -42,8 +42,12 @@ int main(int argc, char** argv) {
 
   qaoa::EnergyOptions sv;
   sv.engine = qaoa::EngineKind::Statevector;
-  // Part 1 times the SYMBOLIC optimizer's effect, so the compiled plan must
-  // not silently re-optimize the raw variant itself.
+  // Part 1 times the SYMBOLIC optimizer's incremental win on the production
+  // engine, so the plan must not run circuit::optimize itself (presimplify
+  // off). The plan's NUMERIC specializations (single-qubit fusion, diagonal
+  // merging) stay on for both variants — they are part of the engine both
+  // candidates run through, which also means the raw-vs-optimized delta here
+  // is a lower bound on what the symbolic pass buys a weaker engine.
   qaoa::EnergyOptions sv_no_presimplify = sv;
   sv_no_presimplify.sv_plan.presimplify = false;
   const qaoa::EnergyEvaluator evaluator(g, sv_no_presimplify);
@@ -79,17 +83,17 @@ int main(int argc, char** argv) {
               mean(raw_ms), mean(opt_ms),
               100.0 * (1.0 - mean(opt_ms) / mean(raw_ms)));
 
-  // -- part 2: compiled-plan single-qubit fusion toggle --------------------
+  // -- part 2: compiled-plan toggles (fusion x simd x blocking) ------------
   Rng rng2(29);
   const auto big = graph::random_regular(big_n, 4, rng2);
   const auto ansatz = qaoa::build_qaoa_circuit(big, p, qaoa::MixerSpec::qnas());
   const std::vector<double> theta(ansatz.num_params(), 0.37);
 
-  qaoa::EnergyOptions fused_opt = sv;
-  qaoa::EnergyOptions unfused_opt = sv;
-  unfused_opt.sv_plan.fuse_single_qubit = false;
-
-  const auto time_plan = [&](const qaoa::EnergyOptions& options) {
+  const auto time_plan = [&](bool fuse, bool simd, bool blocking) {
+    qaoa::EnergyOptions options = sv;
+    options.sv_plan.fuse_single_qubit = fuse;
+    options.sv_plan.simd = simd;
+    options.sv_plan.cache_blocking = blocking;
     const qaoa::EnergyEvaluator ev(big, options);
     const auto plan = ev.make_plan(ansatz);
     plan->energy(theta);  // warm-up
@@ -97,14 +101,27 @@ int main(int argc, char** argv) {
     for (std::size_t r = 0; r < reps; ++r) plan->energy(theta);
     return t.millis() / static_cast<double>(reps);
   };
-  const double fused_ms = time_plan(fused_opt);
-  const double unfused_ms = time_plan(unfused_opt);
-  const sim::SimProgram fused_prog(ansatz, fused_opt.sv_plan);
-  const sim::SimProgram unfused_prog(ansatz, unfused_opt.sv_plan);
+  // Scalar/no-blocking isolates fusion; the simd and blocking columns show
+  // how much of their win survives on top of it.
+  const double unfused_ms = time_plan(false, false, false);
+  const double fused_ms = time_plan(true, false, false);
+  const double fused_simd_ms = time_plan(true, true, false);
+  const double fused_blocked_ms = time_plan(true, false, true);
+  const double fused_full_ms = time_plan(true, true, true);
+  sim::PlanOptions fused_plan, unfused_plan;
+  unfused_plan.fuse_single_qubit = false;
+  const sim::SimProgram fused_prog(ansatz, fused_plan);
+  const sim::SimProgram unfused_prog(ansatz, unfused_plan);
   std::printf("\nkernel fusion (%zu qubits, p=%zu): %.2f ms -> %.2f ms "
               "(%.2fx), ops %zu -> %zu\n",
               big_n, p, unfused_ms, fused_ms, unfused_ms / fused_ms,
               unfused_prog.stats().ops, fused_prog.stats().ops);
+  std::printf("  fused + simd:          %.2f ms (%.2fx)\n", fused_simd_ms,
+              fused_ms / fused_simd_ms);
+  std::printf("  fused + blocking:      %.2f ms (%.2fx)\n", fused_blocked_ms,
+              fused_ms / fused_blocked_ms);
+  std::printf("  fused + simd+blocking: %.2f ms (%.2fx)\n", fused_full_ms,
+              fused_ms / fused_full_ms);
 
   json::Value section = json::Value::object();
   section.set("candidates", candidates.size());
@@ -118,7 +135,13 @@ int main(int argc, char** argv) {
   kernel.set("qubits", big_n);
   kernel.set("unfused_ms", unfused_ms);
   kernel.set("fused_ms", fused_ms);
+  kernel.set("fused_simd_ms", fused_simd_ms);
+  kernel.set("fused_blocking_ms", fused_blocked_ms);
+  kernel.set("fused_simd_blocking_ms", fused_full_ms);
   kernel.set("speedup_fusion", unfused_ms / fused_ms);
+  kernel.set("speedup_simd", fused_ms / fused_simd_ms);
+  kernel.set("speedup_blocking", fused_ms / fused_blocked_ms);
+  kernel.set("speedup_simd_blocking", fused_ms / fused_full_ms);
   kernel.set("ops_unfused", unfused_prog.stats().ops);
   kernel.set("ops_fused", fused_prog.stats().ops);
   kernel.set("fused_gates", fused_prog.stats().fused_gates);

@@ -20,7 +20,9 @@
 #include "common/csv.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "graph/generators.hpp"
+#include "parallel/task_pool.hpp"
 #include "qaoa/energy.hpp"
 #include "search/combinations.hpp"
 #include "search/engine.hpp"
@@ -81,6 +83,41 @@ inline std::vector<qaoa::MixerSpec> candidate_subsample(
   return all;
 }
 
+/// Times one full candidate sweep through search::Evaluator — serially or
+/// fanned out over a TaskPool — under the two-level (outer candidate
+/// workers x inner simulator threads) split and the compiled-path toggle the
+/// fig4/fig5 scaling harnesses sweep. One definition so both figures always
+/// measure the same configuration.
+inline double timed_candidate_search(
+    const graph::Graph& g, const std::vector<qaoa::MixerSpec>& candidates,
+    std::size_t p, std::size_t outer_workers, std::size_t inner_workers,
+    bool compiled, qaoa::EngineKind engine) {
+  search::EvaluatorOptions opt;
+  opt.energy.engine = engine;
+  opt.energy.inner_workers = inner_workers;
+  opt.energy.sv_compile_plan = compiled;
+  opt.energy.sv_batch_expectations = compiled;
+  // compiled=false means the PRE-compilation legacy path: scalar per-gate
+  // kernels, matching abl_diagonal_gates' "generic" baseline.
+  opt.energy.sv_plan.simd = compiled;
+  opt.cobyla.max_evals = 200;
+  const search::Evaluator evaluator(g, opt);
+
+  Timer timer;
+  if (outer_workers <= 1) {
+    for (const auto& mixer : candidates) evaluator.evaluate(mixer, p);
+  } else {
+    parallel::TaskPool pool(outer_workers);
+    std::vector<std::tuple<std::size_t>> idx;
+    for (std::size_t i = 0; i < candidates.size(); ++i) idx.emplace_back(i);
+    pool.starmap_async(
+            [&](std::size_t i) { return evaluator.evaluate(candidates[i], p); },
+            idx)
+        .get();
+  }
+  return timer.seconds();
+}
+
 /// Pretty banner for a figure harness.
 inline void banner(const char* figure, const char* description,
                    const BenchConfig& cfg) {
@@ -115,6 +152,12 @@ inline void update_bench_json(const std::string& path,
   root.set(section, std::move(value));
   std::ofstream out(path);
   out << root.dump(2) << "\n";
+  out.flush();
+  if (!out) {
+    std::printf("ERROR: failed to write json section \"%s\" to %s\n",
+                section.c_str(), path.c_str());
+    return;
+  }
   std::printf("(json section \"%s\" written to %s)\n", section.c_str(),
               path.c_str());
 }

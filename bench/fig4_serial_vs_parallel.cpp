@@ -7,43 +7,20 @@
 // parallel search fans candidates out with starmap_async-style workers.
 // Expected shape: serial time grows superlinearly with p; parallel cuts it
 // by well over 50% at the larger depths.
+//
+// Every configuration now exercises the COMPILED statevector path (plan
+// compiled once per candidate, reused across all optimizer steps) alongside
+// the legacy per-gate path, and the parallel row runs the two-level scheme
+// with --inner simulator threads per candidate (inner_workers > 1).
+//
+// Flags: bench_util standards plus --pmax (4) --inner (2)
 #include <thread>
 
 #include "bench_util.hpp"
-#include "parallel/task_pool.hpp"
 #include "common/ascii_plot.hpp"
 #include "common/stats.hpp"
-#include "common/timer.hpp"
 
 using namespace qarch;
-
-namespace {
-
-double run_search(const graph::Graph& g,
-                  const std::vector<qaoa::MixerSpec>& candidates,
-                  std::size_t p, std::size_t workers,
-                  qaoa::EngineKind engine) {
-  search::EvaluatorOptions opt;
-  opt.energy.engine = engine;
-  opt.cobyla.max_evals = 200;
-  const search::Evaluator evaluator(g, opt);
-
-  Timer timer;
-  if (workers <= 1) {
-    for (const auto& mixer : candidates) evaluator.evaluate(mixer, p);
-  } else {
-    parallel::TaskPool pool(workers);
-    std::vector<std::tuple<std::size_t>> idx;
-    for (std::size_t i = 0; i < candidates.size(); ++i) idx.emplace_back(i);
-    pool.starmap_async(
-            [&](std::size_t i) { return evaluator.evaluate(candidates[i], p); },
-            idx)
-        .get();
-  }
-  return timer.seconds();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
@@ -53,42 +30,60 @@ int main(int argc, char** argv) {
   const std::size_t combos = cfg.combos_or(/*quick=*/16, /*full=*/780);
   const std::size_t runs = cfg.runs_or(/*quick=*/2, /*full=*/5);
   const std::size_t p_max = static_cast<std::size_t>(cli.get_int("pmax", 4));
-  const std::size_t workers = std::thread::hardware_concurrency();
+  const std::size_t inner =
+      std::max<std::size_t>(1, static_cast<std::size_t>(cli.get_int("inner", 2)));
+  const std::size_t hw = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
+  const std::size_t outer = std::max<std::size_t>(1, hw / inner);
 
   const auto candidates = bench::candidate_subsample(
       search::GateAlphabet::standard(), 4, combos, cfg.seed);
-  std::printf("candidates/depth=%zu runs=%zu workers(parallel)=%zu\n\n",
-              candidates.size(), runs, workers);
+  std::printf("candidates/depth=%zu runs=%zu parallel=%zux%zu "
+              "(outer x inner)\n\n",
+              candidates.size(), runs, outer, inner);
 
   Rng rng(cfg.seed);
   std::vector<std::vector<double>> csv_rows;
-  Series serial_series{"serial", {}, {}};
-  Series parallel_series{"parallel", {}, {}};
+  Series serial_pergate_series{"serial per-gate", {}, {}};
+  Series serial_compiled_series{"serial compiled", {}, {}};
+  Series parallel_series{"parallel compiled", {}, {}};
 
-  std::printf("%-4s %-14s %-14s %-10s\n", "p", "serial (s)", "parallel (s)",
-              "speedup");
+  std::printf("%-4s %-16s %-16s %-18s %-10s\n", "p", "serial/pergate",
+              "serial/compiled", "parallel/compiled", "speedup");
   for (std::size_t p = 1; p <= p_max; ++p) {
-    std::vector<double> serial_times, parallel_times;
+    std::vector<double> pergate_times, compiled_times, parallel_times;
     for (std::size_t run = 0; run < runs; ++run) {
       const graph::Graph g = graph::erdos_renyi_connected(
           10, rng.uniform(0.3, 0.7), rng);
-      serial_times.push_back(run_search(g, candidates, p, 1, cfg.engine));
-      parallel_times.push_back(
-          run_search(g, candidates, p, workers, cfg.engine));
+      pergate_times.push_back(
+          bench::timed_candidate_search(g, candidates, p, 1, 1, /*compiled=*/false, cfg.engine));
+      compiled_times.push_back(
+          bench::timed_candidate_search(g, candidates, p, 1, 1, /*compiled=*/true, cfg.engine));
+      // Two-level: outer candidate workers x inner simulator threads.
+      parallel_times.push_back(bench::timed_candidate_search(g, candidates, p, outer, inner,
+                                          /*compiled=*/true, cfg.engine));
     }
-    const double s = mean(serial_times), q = mean(parallel_times);
-    std::printf("%-4zu %-14.3f %-14.3f %-10.2fx\n", p, s, q, s / q);
-    serial_series.x.push_back(static_cast<double>(p));
-    serial_series.y.push_back(s);
+    const double sp = mean(pergate_times), sc = mean(compiled_times),
+                 q = mean(parallel_times);
+    std::printf("%-4zu %-16.3f %-16.3f %-18.3f %-10.2fx\n", p, sp, sc, q,
+                sp / q);
+    serial_pergate_series.x.push_back(static_cast<double>(p));
+    serial_pergate_series.y.push_back(sp);
+    serial_compiled_series.x.push_back(static_cast<double>(p));
+    serial_compiled_series.y.push_back(sc);
     parallel_series.x.push_back(static_cast<double>(p));
     parallel_series.y.push_back(q);
-    csv_rows.push_back({static_cast<double>(p), s, q});
+    csv_rows.push_back({static_cast<double>(p), sp, sc, q});
   }
 
   AsciiPlot plot("Fig 4: time to simulate vs p", "p", "seconds");
-  plot.add(serial_series);
+  plot.add(serial_pergate_series);
+  plot.add(serial_compiled_series);
   plot.add(parallel_series);
   std::printf("\n%s\n", plot.render().c_str());
-  bench::maybe_csv(cfg.csv_path, {"p", "serial_s", "parallel_s"}, csv_rows);
+  bench::maybe_csv(cfg.csv_path,
+                   {"p", "serial_pergate_s", "serial_compiled_s",
+                    "parallel_compiled_s"},
+                   csv_rows);
   return 0;
 }

@@ -6,41 +6,19 @@
 // decreases with the worker count until it saturates (beyond the physical
 // core count extra workers stop helping — our host has fewer than 64 cores,
 // which the output records, mirroring the paper's flattening tail).
+//
+// Both the legacy per-gate path and the compiled-plan path are timed at
+// every sweep point, and the compiled run splits each budget two-level as
+// (cores / inner) candidate workers x --inner simulator threads, exercising
+// inner_workers > 1 on the compiled kernels.
+//
+// Flags: bench_util standards plus --p (2) --inner (2)
 #include <thread>
 
 #include "bench_util.hpp"
-#include "parallel/task_pool.hpp"
 #include "common/ascii_plot.hpp"
-#include "common/timer.hpp"
 
 using namespace qarch;
-
-namespace {
-
-double timed_search(const graph::Graph& g,
-                    const std::vector<qaoa::MixerSpec>& candidates,
-                    std::size_t p, std::size_t workers,
-                    qaoa::EngineKind engine) {
-  search::EvaluatorOptions opt;
-  opt.energy.engine = engine;
-  opt.cobyla.max_evals = 200;
-  const search::Evaluator evaluator(g, opt);
-  Timer timer;
-  if (workers <= 1) {
-    for (const auto& mixer : candidates) evaluator.evaluate(mixer, p);
-  } else {
-    parallel::TaskPool pool(workers);
-    std::vector<std::tuple<std::size_t>> idx;
-    for (std::size_t i = 0; i < candidates.size(); ++i) idx.emplace_back(i);
-    pool.starmap_async(
-            [&](std::size_t i) { return evaluator.evaluate(candidates[i], p); },
-            idx)
-        .get();
-  }
-  return timer.seconds();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
@@ -49,37 +27,59 @@ int main(int argc, char** argv) {
 
   const std::size_t combos = cfg.combos_or(/*quick=*/32, /*full=*/780);
   const std::size_t p = static_cast<std::size_t>(cli.get_int("p", 2));
+  const std::size_t inner =
+      std::max<std::size_t>(1, static_cast<std::size_t>(cli.get_int("inner", 2)));
   const auto candidates = bench::candidate_subsample(
       search::GateAlphabet::standard(), 4, combos, cfg.seed);
 
   Rng rng(cfg.seed);
   const graph::Graph g = graph::erdos_renyi_connected(10, 0.5, rng);
-  std::printf("graph=%s candidates=%zu p=%zu physical cores=%u\n\n",
+  std::printf("graph=%s candidates=%zu p=%zu physical cores=%u inner=%zu\n\n",
               g.to_string().c_str(), candidates.size(), p,
-              std::thread::hardware_concurrency());
+              std::thread::hardware_concurrency(), inner);
 
-  const double serial = timed_search(g, candidates, p, 1, cfg.engine);
-  std::printf("serial baseline: %.3fs (dashed line)\n\n", serial);
-  std::printf("%-8s %-12s %-12s\n", "cores", "time (s)", "vs serial");
+  const double serial_pergate =
+      bench::timed_candidate_search(g, candidates, p, 1, 1, /*compiled=*/false, cfg.engine);
+  const double serial_compiled =
+      bench::timed_candidate_search(g, candidates, p, 1, 1, /*compiled=*/true, cfg.engine);
+  std::printf("serial baselines: per-gate %.3fs, compiled %.3fs "
+              "(dashed lines)\n\n",
+              serial_pergate, serial_compiled);
+  std::printf("%-8s %-14s %-20s %-12s\n", "cores", "per-gate (s)",
+              "compiled 2-level (s)", "vs serial");
 
-  Series parallel_series{"parallel", {}, {}};
-  Series serial_series{"serial (baseline)", {}, {}};
+  Series pergate_series{"per-gate parallel", {}, {}};
+  Series compiled_series{"compiled two-level", {}, {}};
+  Series serial_series{"serial compiled (baseline)", {}, {}};
   std::vector<std::vector<double>> csv_rows;
   for (std::size_t cores = 8; cores <= 64; cores += 8) {
-    const double t = timed_search(g, candidates, p, cores, cfg.engine);
-    std::printf("%-8zu %-12.3f %-12.2fx\n", cores, t, serial / t);
-    parallel_series.x.push_back(static_cast<double>(cores));
-    parallel_series.y.push_back(t);
+    const double t_pergate =
+        bench::timed_candidate_search(g, candidates, p, cores, 1, /*compiled=*/false,
+                     cfg.engine);
+    // Same core budget split two-level: candidates x simulator threads.
+    const double t_compiled =
+        bench::timed_candidate_search(g, candidates, p, std::max<std::size_t>(1, cores / inner),
+                     inner, /*compiled=*/true, cfg.engine);
+    std::printf("%-8zu %-14.3f %-20.3f %-12.2fx\n", cores, t_pergate,
+                t_compiled, serial_compiled / t_compiled);
+    pergate_series.x.push_back(static_cast<double>(cores));
+    pergate_series.y.push_back(t_pergate);
+    compiled_series.x.push_back(static_cast<double>(cores));
+    compiled_series.y.push_back(t_compiled);
     serial_series.x.push_back(static_cast<double>(cores));
-    serial_series.y.push_back(serial);
-    csv_rows.push_back({static_cast<double>(cores), t, serial});
+    serial_series.y.push_back(serial_compiled);
+    csv_rows.push_back(
+        {static_cast<double>(cores), t_pergate, t_compiled, serial_compiled});
   }
 
   AsciiPlot plot("Fig 5: time to simulate vs cores (p=2)", "cores", "seconds");
-  plot.add(parallel_series);
+  plot.add(pergate_series);
+  plot.add(compiled_series);
   plot.add(serial_series);
   std::printf("\n%s\n", plot.render().c_str());
-  bench::maybe_csv(cfg.csv_path, {"cores", "parallel_s", "serial_s"},
+  bench::maybe_csv(cfg.csv_path,
+                   {"cores", "pergate_parallel_s", "compiled_twolevel_s",
+                    "serial_compiled_s"},
                    csv_rows);
   return 0;
 }

@@ -5,6 +5,7 @@
 // threads inside one candidate evaluation.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <exception>
@@ -62,6 +63,35 @@ inline void parallel_for(std::size_t begin, std::size_t end,
   run();
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Runs body(lo, hi) over contiguous sub-ranges of [begin, end) of at most
+/// `block` elements each, distributed dynamically across `workers` threads.
+/// The range-based sibling of parallel_for: one callable invocation per
+/// BLOCK instead of per index, so vectorized loop bodies (SIMD statevector
+/// passes) keep their throughput under dynamic scheduling. Blocks start at
+/// begin + j*block, so a power-of-two `block` with an aligned `begin`
+/// guarantees aligned sub-ranges.
+inline void parallel_for_blocks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t workers = 0, std::size_t block = 4096) {
+  if (begin >= end) return;
+  if (block == 0) block = 1;
+  if (workers == 0)  // family convention: 0 = all hardware threads
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t num_blocks = (end - begin + block - 1) / block;
+  if (workers <= 1 || num_blocks <= 1) {
+    body(begin, end);
+    return;
+  }
+  parallel_for(
+      0, num_blocks,
+      [&](std::size_t j) {
+        const std::size_t lo = begin + j * block;
+        body(lo, std::min(end, lo + block));
+      },
+      workers, 1);
 }
 
 /// Parallel map: applies fn to each element of `inputs`, preserving order.

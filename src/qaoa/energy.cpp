@@ -1,6 +1,12 @@
 #include "qaoa/energy.hpp"
 
+#include <cmath>
+#include <cstring>
+#include <list>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "parallel/parallel_for.hpp"
@@ -25,7 +31,8 @@ class StatevectorPlan final : public EnergyPlan {
         ham_(ham),
         options_(options),
         simulator_(options.inner_workers,
-                   options.sv_plan.parallel_threshold_qubits) {
+                   options.sv_plan.parallel_threshold_qubits,
+                   options.sv_plan.simd) {
     if (options_.sv_compile_plan)
       program_.emplace(ansatz_, options_.sv_plan);
     pairs_.reserve(ham_.terms().size());
@@ -38,17 +45,34 @@ class StatevectorPlan final : public EnergyPlan {
 
   std::vector<double> zz_expectations(
       std::span<const double> theta) const override {
-    const sim::State state =
-        program_.has_value()
-            ? program_->run_from_plus(theta, options_.inner_workers)
-            : simulator_.run_from_plus(ansatz_, theta);
+    QARCH_REQUIRE(theta.size() >= ansatz_.num_params(),
+                  "parameter vector too short for ansatz");
+    // Per-thread scratch statevector: repeated energy(theta) calls (hundreds
+    // per training run) reuse one allocation instead of 2^n fresh complex
+    // doubles per call, and concurrent search workers each get their own
+    // buffer — no locks anywhere on the evaluation path.
+    static thread_local sim::State scratch;
+    const std::size_t dim = std::size_t{1} << ansatz_.num_qubits();
+    if (scratch.capacity() > dim * 4) {
+      // Don't let one large evaluation pin gigabytes to this thread after
+      // the workload moves back to small candidates.
+      sim::State released;
+      scratch.swap(released);
+    }
+    const double amp = 1.0 / std::sqrt(static_cast<double>(dim));
+    scratch.assign(dim, sim::cplx{amp, 0.0});
+    if (program_.has_value())
+      program_->apply_inplace(scratch, theta, options_.inner_workers);
+    else
+      for (const auto& g : ansatz_.gates())
+        simulator_.apply(scratch, g, theta);
     if (options_.sv_batch_expectations)
       return sim::batched_expectation_zz(
-          state, pairs_, options_.inner_workers,
-          options_.sv_plan.parallel_threshold_qubits);
+          scratch, pairs_, options_.inner_workers,
+          options_.sv_plan.parallel_threshold_qubits, options_.sv_plan.simd);
     std::vector<double> zz(pairs_.size());
     for (std::size_t k = 0; k < pairs_.size(); ++k)
-      zz[k] = sim::expectation_zz(state, pairs_[k].u, pairs_[k].v);
+      zz[k] = sim::expectation_zz(scratch, pairs_[k].u, pairs_[k].v);
     return zz;
   }
 
@@ -133,10 +157,47 @@ class TensorNetworkPlan final : public EnergyPlan {
   std::vector<std::vector<qtensor::VarId>> orders_;
 };
 
+/// Bit-exact structural key for one circuit: gate kinds, qubit wiring, and
+/// parameter expressions (double payloads byte-copied, so -0.0 vs 0.0 and
+/// NaN patterns never alias). Two circuits with equal fingerprints compile
+/// to identical programs.
+std::string circuit_fingerprint(const circuit::Circuit& c) {
+  std::string key;
+  key.reserve(16 + c.num_gates() * 32);
+  const auto put = [&key](const void* p, std::size_t n) {
+    key.append(static_cast<const char*>(p), n);
+  };
+  const std::uint64_t head[2] = {c.num_qubits(), c.num_params()};
+  put(head, sizeof(head));
+  for (const circuit::Gate& g : c.gates()) {
+    const std::uint64_t ids[4] = {static_cast<std::uint64_t>(g.kind), g.q0,
+                                  g.q1,
+                                  static_cast<std::uint64_t>(g.param.kind)};
+    put(ids, sizeof(ids));
+    const double vals[2] = {g.param.constant, g.param.scale};
+    put(vals, sizeof(vals));
+    const std::uint64_t idx = g.param.index;
+    put(&idx, sizeof(idx));
+  }
+  return key;
+}
+
 }  // namespace
 
+/// LRU map fingerprint → shared plan. Locked only in plan_for(), i.e. once
+/// per (candidate, training run) — never per energy(theta) call.
+struct EnergyEvaluator::PlanCache {
+  std::mutex mutex;
+  std::list<std::pair<std::string, std::shared_ptr<const EnergyPlan>>> order;
+  std::unordered_map<std::string, decltype(order)::iterator> by_key;
+};
+
 EnergyEvaluator::EnergyEvaluator(const graph::Graph& g, EnergyOptions options)
-    : ham_(g), options_(std::move(options)) {}
+    : ham_(g),
+      options_(std::move(options)),
+      cache_(std::make_unique<PlanCache>()) {}
+
+EnergyEvaluator::~EnergyEvaluator() = default;
 
 std::unique_ptr<EnergyPlan> EnergyEvaluator::make_plan(
     const circuit::Circuit& ansatz) const {
@@ -147,14 +208,42 @@ std::unique_ptr<EnergyPlan> EnergyEvaluator::make_plan(
   return std::make_unique<TensorNetworkPlan>(ansatz, ham_, options_);
 }
 
+std::shared_ptr<const EnergyPlan> EnergyEvaluator::plan_for(
+    const circuit::Circuit& ansatz) const {
+  if (options_.plan_cache_capacity == 0) return make_plan(ansatz);
+  const std::string key = circuit_fingerprint(ansatz);
+  {
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    const auto it = cache_->by_key.find(key);
+    if (it != cache_->by_key.end()) {
+      cache_->order.splice(cache_->order.begin(), cache_->order, it->second);
+      return it->second->second;
+    }
+  }
+  // Compile outside the lock so concurrent workers never serialize on each
+  // other's compilations; a racing duplicate is possible but harmless (one
+  // of the two plans simply wins the cache slot).
+  std::shared_ptr<const EnergyPlan> plan = make_plan(ansatz);
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  const auto it = cache_->by_key.find(key);
+  if (it != cache_->by_key.end()) return it->second->second;
+  cache_->order.emplace_front(key, plan);
+  cache_->by_key.emplace(key, cache_->order.begin());
+  while (cache_->order.size() > options_.plan_cache_capacity) {
+    cache_->by_key.erase(cache_->order.back().first);
+    cache_->order.pop_back();
+  }
+  return plan;
+}
+
 double EnergyEvaluator::energy(const circuit::Circuit& ansatz,
                                std::span<const double> theta) const {
-  return make_plan(ansatz)->energy(theta);
+  return plan_for(ansatz)->energy(theta);
 }
 
 std::vector<double> EnergyEvaluator::zz_expectations(
     const circuit::Circuit& ansatz, std::span<const double> theta) const {
-  return make_plan(ansatz)->zz_expectations(theta);
+  return plan_for(ansatz)->zz_expectations(theta);
 }
 
 }  // namespace qarch::qaoa

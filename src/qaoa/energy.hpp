@@ -36,6 +36,9 @@ struct EnergyOptions {
   bool sv_batch_expectations = true;  ///< false → one state pass per edge
   sim::PlanOptions sv_plan;       ///< compiled-plan kernel toggles
   qtensor::QTensorOptions qtensor;
+  /// Capacity of the evaluator's ansatz→plan LRU cache used by plan_for()
+  /// (0 disables caching: every plan_for call compiles fresh).
+  std::size_t plan_cache_capacity = 16;
 };
 
 /// A reusable evaluation plan bound to one ansatz STRUCTURE: repeated
@@ -55,17 +58,36 @@ class EnergyPlan {
       std::span<const double> theta) const = 0;
 };
 
-/// Stateless evaluator of <C> over a fixed graph.
+/// Evaluator of <C> over a fixed graph.
+///
+/// Plan-caching contract: plan_for() compiles at most once per distinct
+/// ansatz STRUCTURE (gate kinds, qubits, parameter wiring — a bit-exact
+/// fingerprint) and hands back a shared plan; new thetas rebind scalars at
+/// energy() time, never recompile. Cached plans are owned by the evaluator's
+/// LRU cache (plus whoever holds the returned shared_ptr) and reference this
+/// evaluator's Hamiltonian, so they must not outlive it. Rebinding
+/// invalidates nothing; only destroying the evaluator (or evicting under
+/// plan_cache_capacity pressure once every external reference drops) ends a
+/// plan's life. Thread-safe: the cache lock is taken once per plan_for()
+/// call — per-candidate, never per theta — and plans themselves are
+/// const/shareable with per-thread scratch statevectors.
 class EnergyEvaluator {
  public:
   explicit EnergyEvaluator(const graph::Graph& g, EnergyOptions options = {});
+  ~EnergyEvaluator();
 
-  /// Builds a reusable plan for an ansatz (preferred for training loops).
-  /// The plan references this evaluator's Hamiltonian and must not outlive it.
+  /// Builds an UNCACHED plan the caller exclusively owns. Prefer plan_for()
+  /// — this exists for benches that measure compilation itself.
   [[nodiscard]] std::unique_ptr<EnergyPlan> make_plan(
       const circuit::Circuit& ansatz) const;
 
-  /// One-shot convenience: <γ,β| C |γ,β> (builds a throwaway plan).
+  /// The cached plan for this ansatz structure: compiles on first sight,
+  /// returns the shared plan on every later call (training loops, multistart
+  /// restarts, landscape scans all hit the same compilation).
+  [[nodiscard]] std::shared_ptr<const EnergyPlan> plan_for(
+      const circuit::Circuit& ansatz) const;
+
+  /// One-shot convenience: <γ,β| C |γ,β> through the plan cache.
   [[nodiscard]] double energy(const circuit::Circuit& ansatz,
                               std::span<const double> theta) const;
 
@@ -79,6 +101,8 @@ class EnergyEvaluator {
  private:
   MaxCutHamiltonian ham_;
   EnergyOptions options_;
+  struct PlanCache;
+  std::unique_ptr<PlanCache> cache_;
 };
 
 }  // namespace qarch::qaoa

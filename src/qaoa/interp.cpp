@@ -54,7 +54,9 @@ InterpResult train_qaoa_interp(const graph::Graph& g, const MixerSpec& mixer,
   std::vector<double> seed;
   for (std::size_t p = 1; p <= p_target; ++p) {
     const circuit::Circuit ansatz = build_qaoa_circuit(g, p, mixer);
-    const std::unique_ptr<EnergyPlan> plan = evaluator.make_plan(ansatz);
+    // Cached: re-running interp (or a later train on the same structure)
+    // reuses each depth level's one compilation.
+    const std::shared_ptr<const EnergyPlan> plan = evaluator.plan_for(ansatz);
     const optim::Objective objective = [&](std::span<const double> theta) {
       return -plan->energy(theta);
     };

@@ -71,12 +71,13 @@ Landscape scan_landscape(const graph::Graph& g, const MixerSpec& mixer,
 
   const circuit::Circuit ansatz = build_qaoa_circuit(g, 1, mixer);
   land.values.resize(options.gamma_points * options.beta_points);
+  // Plans are const and thread-safe (per-thread scratch statevectors, cached
+  // contraction orders), so ONE cached plan serves every grid worker — the
+  // whole scan costs a single compilation.
+  const std::shared_ptr<const EnergyPlan> plan = evaluator.plan_for(ansatz);
   parallel::parallel_for(
       0, options.gamma_points,
       [&](std::size_t i) {
-        // One plan per row keeps contraction-order reuse without sharing
-        // mutable state across threads.
-        const auto plan = evaluator.make_plan(ansatz);
         for (std::size_t j = 0; j < options.beta_points; ++j) {
           const double theta[2] = {land.gammas[i], land.betas[j]};
           land.values[i * options.beta_points + j] =

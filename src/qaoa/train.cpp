@@ -9,9 +9,11 @@ TrainResult train_qaoa(const circuit::Circuit& ansatz,
                        const optim::Optimizer& optimizer,
                        const TrainOptions& options) {
   QARCH_REQUIRE(ansatz.num_params() >= 1, "ansatz has no parameters");
-  // One plan for the whole run: the TN engine reuses its cached contraction
-  // orders across every optimizer step.
-  const std::unique_ptr<EnergyPlan> plan = evaluator.make_plan(ansatz);
+  // One CACHED plan for the whole run: every optimizer step — including
+  // every restart of a multi-start wrapper, whose objective closure is this
+  // same plan — rebinds thetas against one compilation. Re-training the
+  // same ansatz structure later hits the evaluator's cache too.
+  const std::shared_ptr<const EnergyPlan> plan = evaluator.plan_for(ansatz);
   const optim::Objective objective = [&](std::span<const double> theta) {
     return -plan->energy(theta);  // maximize <C>
   };

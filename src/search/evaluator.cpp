@@ -3,29 +3,19 @@
 #include "circuit/optimizer.hpp"
 #include "common/error.hpp"
 #include "graph/maxcut.hpp"
+#include "optim/multistart.hpp"
 #include "qaoa/ansatz.hpp"
 #include "qaoa/sampling.hpp"
 
 namespace qarch::search {
 
-namespace {
-
-/// Avoids optimizing every candidate twice: when the evaluator already
-/// pre-simplifies, the compiled statevector plan must not re-run
-/// circuit::optimize on the result.
-search::EvaluatorOptions normalize(search::EvaluatorOptions options) {
-  if (options.simplify_circuit) options.energy.sv_plan.presimplify = false;
-  return options;
-}
-
-}  // namespace
-
 Evaluator::Evaluator(const graph::Graph& g, EvaluatorOptions options)
     : graph_(g),
-      options_(normalize(std::move(options))),
-      energy_(graph_, options_.energy),
+      options_(std::move(options)),
+      energy_(graph_, options_.effective_energy()),
       cobyla_(options_.cobyla) {
   QARCH_REQUIRE(g.num_edges() >= 1, "evaluation graph needs edges");
+  QARCH_REQUIRE(options_.restarts >= 1, "need at least one training start");
   classical_optimum_ = graph::maxcut_exact(graph_).value;
 }
 
@@ -36,8 +26,26 @@ CandidateResult Evaluator::evaluate(const qaoa::MixerSpec& mixer,
   // pairs); shrinking the candidate benefits every engine — the compiled
   // statevector plan, the per-edge TN lightcones, and the sampling pass.
   if (options_.simplify_circuit) ansatz = circuit::optimize(ansatz);
-  const qaoa::TrainResult trained =
-      qaoa::train_qaoa(ansatz, energy_, cobyla_, options_.train);
+  qaoa::TrainResult trained;
+  if (options_.restarts > 1) {
+    // Restarts split the COBYLA budget; train_qaoa's cached plan is the one
+    // objective every restart shares, so the candidate compiles exactly once.
+    optim::MultiStartConfig ms;
+    ms.restarts = options_.restarts;
+    ms.total_evals = options_.cobyla.max_evals;
+    ms.perturbation = options_.restart_perturbation;
+    ms.seed = options_.restart_seed;
+    const optim::MultiStart multistart(
+        [this](std::size_t budget) -> std::unique_ptr<optim::Optimizer> {
+          optim::CobylaConfig per_run = options_.cobyla;
+          per_run.max_evals = budget;
+          return std::make_unique<optim::Cobyla>(per_run);
+        },
+        ms);
+    trained = qaoa::train_qaoa(ansatz, energy_, multistart, options_.train);
+  } else {
+    trained = qaoa::train_qaoa(ansatz, energy_, cobyla_, options_.train);
+  }
 
   CandidateResult r;
   r.mixer = mixer;

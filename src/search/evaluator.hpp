@@ -36,9 +36,27 @@ struct EvaluatorOptions {
   bool simplify_circuit = true;           ///< run circuit::optimize on each
                                           ///< candidate before simulating
                                           ///< (action-preserving peepholes)
+  /// Multi-start training: > 1 splits the COBYLA budget across seeded
+  /// restarts (optim::MultiStart). All restarts of one candidate share the
+  /// SAME cached energy plan — one compilation per candidate, total.
+  std::size_t restarts = 1;
+  double restart_perturbation = 1.0;      ///< stddev of restart-point jitter
+  std::uint64_t restart_seed = 31;
   std::size_t shots = 128;                ///< samples per <C_max> batch
   std::size_t sample_trials = 8;          ///< batches averaged for <C_max>
   std::uint64_t sample_seed = 99;         ///< sampling stream seed
+
+  /// The energy options the evaluator actually runs with. The ONE place
+  /// where EvaluatorOptions and EnergyOptions are reconciled: when the
+  /// evaluator pre-simplifies candidates itself, the compiled statevector
+  /// plan must not re-run circuit::optimize on the result. Everything else
+  /// (inner_workers, sv_plan toggles, cache capacity) passes through
+  /// untouched, so callers' settings round-trip.
+  [[nodiscard]] qaoa::EnergyOptions effective_energy() const {
+    qaoa::EnergyOptions e = energy;
+    if (simplify_circuit) e.sv_plan.presimplify = false;
+    return e;
+  }
 };
 
 /// Trains and scores candidate mixers for one fixed graph.

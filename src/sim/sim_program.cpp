@@ -6,9 +6,12 @@
 #include <unordered_map>
 #include <utility>
 
+#include <atomic>
+
 #include "circuit/optimizer.hpp"
 #include "common/error.hpp"
 #include "parallel/parallel_for.hpp"
+#include "sim/simd.hpp"
 
 namespace qarch::sim {
 
@@ -67,10 +70,7 @@ std::array<cplx, 4> single_entries(GateKind kind, double angle) {
       const double c = std::cos(angle / 2), s = std::sin(angle / 2);
       return {cplx{c, 0}, cplx{-s, 0}, cplx{s, 0}, cplx{c, 0}};
     }
-    case GateKind::RZ: {
-      const auto d = diag1_entries(kind, angle);
-      return {d[0], cplx{0, 0}, cplx{0, 0}, d[1]};
-    }
+    case GateKind::RZ:
     case GateKind::P: {
       const auto d = diag1_entries(kind, angle);
       return {d[0], cplx{0, 0}, cplx{0, 0}, d[1]};
@@ -335,7 +335,35 @@ std::vector<CompiledOp> fold_phase_tables(std::vector<CompiledOp> ops,
   return out;
 }
 
+/// True when the op can run inside one 2^block_qubits-amplitude block
+/// without touching any other block: diagonal ops are elementwise (any
+/// qubits), dense ops only mix amplitudes within a block when every target
+/// bit lies below the block boundary.
+bool op_is_blockable(const CompiledOp& op, std::size_t block_qubits) {
+  switch (op.kind) {
+    case CompiledOp::Kind::Diag1:
+    case CompiledOp::Kind::Diag2:
+    case CompiledOp::Kind::DiagTable:
+      return true;
+    case CompiledOp::Kind::Single:
+      return op.q0 < block_qubits;
+    case CompiledOp::Kind::Two:
+      return op.q0 < block_qubits && op.q1 < block_qubits;
+  }
+  return false;
+}
+
+std::atomic<std::uint64_t> g_program_compiles{0};
+
 }  // namespace
+
+std::uint64_t program_compile_count() {
+  return g_program_compiles.load(std::memory_order_relaxed);
+}
+
+void reset_program_compile_count() {
+  g_program_compiles.store(0, std::memory_order_relaxed);
+}
 
 SimProgram::SimProgram(const circuit::Circuit& circuit, PlanOptions options)
     : num_qubits_(circuit.num_qubits()),
@@ -454,6 +482,34 @@ SimProgram::SimProgram(const circuit::Circuit& circuit, PlanOptions options)
     }
     if (op.sources.size() > 1) stats_.fused_gates += op.sources.size();
   }
+
+  // Partition the op list into replay groups. Blocking only pays when the
+  // state is bigger than a block; below that the whole state is one block
+  // and plain per-op sweeps are already cache-resident.
+  const bool blocking = options_.cache_blocking &&
+                        num_qubits_ > options_.block_qubits;
+  std::size_t i = 0;
+  while (i < ops_.size()) {
+    const bool can_block =
+        blocking && op_is_blockable(ops_[i], options_.block_qubits);
+    std::size_t j = i + 1;
+    while (j < ops_.size() &&
+           (blocking && op_is_blockable(ops_[j], options_.block_qubits)) ==
+               can_block)
+      ++j;
+    if (can_block && j - i >= 2) {
+      groups_.push_back({i, j, true});
+      stats_.blocked_ops += j - i;
+      ++stats_.memory_passes;
+    } else {
+      groups_.push_back({i, j, false});
+      stats_.memory_passes += j - i;
+    }
+    i = j;
+  }
+  stats_.exec_groups = groups_.size();
+
+  g_program_compiles.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SimProgram::apply_inplace(State& state, std::span<const double> theta,
@@ -464,48 +520,130 @@ void SimProgram::apply_inplace(State& state, std::span<const double> theta,
                 "parameter vector too short for program");
   if (workers == 0) workers = 1;
   const std::size_t threshold = options_.parallel_threshold_qubits;
+  const bool use_simd = options_.simd;
+  const bool parallel = workers > 1 && num_qubits_ >= threshold;
 
+  // -- bind phase ------------------------------------------------------------
+  // Every parameterized op rebinds its handful of scalars ONCE per call into
+  // per-thread scratch (a shared program stays thread-safe and const, and
+  // the hot loop — hundreds of energy(theta) calls per candidate — reuses
+  // the buffers instead of reallocating). Binding must precede replay: a
+  // blocked group revisits each op once per block.
+  struct BindScratch {
+    std::vector<std::array<cplx, 16>> coeffs;
+    std::vector<std::vector<cplx>> luts;
+    std::vector<const cplx*> cf;
+    std::vector<const cplx*> lut;
+  };
+  static thread_local BindScratch scratch;
+  scratch.coeffs.clear();
+  scratch.cf.assign(ops_.size(), nullptr);
+  scratch.lut.assign(ops_.size(), nullptr);
+  std::size_t num_sym_tables = 0;
   for (const CompiledOp& op : ops_) {
-    // Parameterized ops rebind a handful of scalars into a local buffer, so
-    // a shared program stays thread-safe and const. (DiagTable ops bind
-    // their own per-class lookup below.)
-    std::array<cplx, 16> local;
-    const cplx* cf = op.coeffs.data();
-    if (op.parameterized && op.kind != CompiledOp::Kind::DiagTable) {
-      local = bind_op(op, theta);
-      cf = local.data();
+    if (op.kind == CompiledOp::Kind::DiagTable) {
+      if (!op.has_symbol) continue;
+      if (scratch.luts.size() <= num_sym_tables) scratch.luts.emplace_back();
+      std::vector<cplx>& bound = scratch.luts[num_sym_tables++];
+      const double t = theta[op.symbol_index];
+      bound.resize(op.class_const.size());
+      for (std::size_t c = 0; c < bound.size(); ++c)
+        bound[c] = std::polar(1.0, op.class_const[c] + op.class_scale[c] * t);
+    } else if (op.parameterized) {
+      scratch.coeffs.push_back(bind_op(op, theta));
     }
+  }
+  const std::vector<const cplx*>& cf = scratch.cf;
+  const std::vector<const cplx*>& lut = scratch.lut;
+  {
+    std::size_t nc = 0, nl = 0;
+    for (std::size_t oi = 0; oi < ops_.size(); ++oi) {
+      const CompiledOp& op = ops_[oi];
+      if (op.kind == CompiledOp::Kind::DiagTable)
+        scratch.lut[oi] =
+            op.has_symbol ? scratch.luts[nl++].data() : op.lut.data();
+      else
+        scratch.cf[oi] = op.parameterized ? scratch.coeffs[nc++].data()
+                                          : op.coeffs.data();
+    }
+  }
+
+  // -- replay phase ----------------------------------------------------------
+  // Runs one op on one contiguous slice [base, base + len) of the state.
+  const auto apply_slice = [&](std::size_t oi, cplx* z, std::size_t len,
+                               std::size_t base) {
+    const CompiledOp& op = ops_[oi];
     switch (op.kind) {
       case CompiledOp::Kind::Diag1:
-        kernel_diag1(state, op.q0, cf[0], cf[1], workers, threshold);
+        simd::diag1_slice(z, len, base, op.q0, cf[oi][0], cf[oi][1], use_simd);
         break;
       case CompiledOp::Kind::Diag2:
-        kernel_diag2(state, op.q0, op.q1, cf, workers, threshold);
+        simd::diag2_slice(z, len, base, op.q0, op.q1, cf[oi], use_simd);
         break;
-      case CompiledOp::Kind::DiagTable: {
-        std::vector<cplx> bound;
-        if (op.has_symbol) {
-          const double t = theta[op.symbol_index];
-          bound.resize(op.class_const.size());
-          for (std::size_t c = 0; c < bound.size(); ++c)
-            bound[c] =
-                std::polar(1.0, op.class_const[c] + op.class_scale[c] * t);
-        }
-        const std::uint16_t* cls = op.classes.data();
-        const cplx* lp = op.has_symbol ? bound.data() : op.lut.data();
-        auto body = [&](std::size_t i) { state[i] *= lp[cls[i]]; };
-        if (workers > 1 && num_qubits_ >= threshold)
-          parallel::parallel_for(0, state.size(), body, workers, 4096);
-        else
-          for (std::size_t i = 0; i < state.size(); ++i) body(i);
+      case CompiledOp::Kind::DiagTable:
+        simd::table_slice(z, op.classes.data() + base, lut[oi], len, use_simd);
         break;
-      }
       case CompiledOp::Kind::Single:
-        kernel_single(state, op.q0, cf, workers, threshold);
+        // Valid because base is aligned to the block size and q0 lies below
+        // the block boundary, so local pair indices equal global ones.
+        simd::single_pair_range(z, op.q0, cf[oi], 0, len / 2, use_simd);
         break;
       case CompiledOp::Kind::Two:
-        kernel_two(state, op.q0, op.q1, cf, workers, threshold);
+        simd::two_quad_range(z, op.q0, op.q1, cf[oi], 0, len / 4);
         break;
+    }
+  };
+
+  for (const ExecGroup& grp : groups_) {
+    if (grp.blocked) {
+      // One memory pass for the whole group: each L2-resident block streams
+      // through every op before the next block is touched. Blocks are
+      // independent (all ops act within a block), so they parallelize.
+      const std::size_t bs = std::size_t{1} << options_.block_qubits;
+      const std::size_t num_blocks = state.size() / bs;
+      const auto run_block = [&](std::size_t b) {
+        const std::size_t base = b * bs;
+        for (std::size_t oi = grp.begin; oi < grp.end; ++oi)
+          apply_slice(oi, state.data() + base, bs, base);
+      };
+      if (parallel)
+        parallel::parallel_for(0, num_blocks, run_block, workers, 1);
+      else
+        for (std::size_t b = 0; b < num_blocks; ++b) run_block(b);
+      continue;
+    }
+    for (std::size_t oi = grp.begin; oi < grp.end; ++oi) {
+      const CompiledOp& op = ops_[oi];
+      switch (op.kind) {
+        case CompiledOp::Kind::Diag1:
+          kernel_diag1(state, op.q0, cf[oi][0], cf[oi][1], workers, threshold,
+                       use_simd);
+          break;
+        case CompiledOp::Kind::Diag2:
+          kernel_diag2(state, op.q0, op.q1, cf[oi], workers, threshold,
+                       use_simd);
+          break;
+        case CompiledOp::Kind::DiagTable:
+          if (parallel)
+            parallel::parallel_for_blocks(
+                0, state.size(),
+                [&](std::size_t lo, std::size_t hi) {
+                  simd::table_slice(state.data() + lo,
+                                    op.classes.data() + lo, lut[oi], hi - lo,
+                                    use_simd);
+                },
+                workers, 4096);
+          else
+            simd::table_slice(state.data(), op.classes.data(), lut[oi],
+                              state.size(), use_simd);
+          break;
+        case CompiledOp::Kind::Single:
+          kernel_single(state, op.q0, cf[oi], workers, threshold, use_simd);
+          break;
+        case CompiledOp::Kind::Two:
+          kernel_two(state, op.q0, op.q1, cf[oi], workers, threshold);
+          break;
+      }
     }
   }
 }

@@ -22,6 +22,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -44,15 +45,29 @@ struct PlanOptions {
   bool phase_tables = true;
   std::size_t phase_table_max_qubits = 22;  ///< table memory guard
   std::size_t parallel_threshold_qubits = 14;  ///< serial below this size
+  /// Use the AVX2/FMA streaming bodies when the build and CPU support them
+  /// (sim::simd); false forces the scalar fallback everywhere in this plan.
+  bool simd = true;
+  /// Cache-blocked replay: runs of consecutive ops that act within (or
+  /// diagonally across) a 2^block_qubits-amplitude block are replayed block
+  /// by block, streaming each L2-resident block through the WHOLE run per
+  /// memory pass instead of sweeping the full state once per op.
+  bool cache_blocking = true;
+  std::size_t block_qubits = 15;  ///< 2^15 amplitudes = 512 KiB per block
 
-  /// The generic configuration: per-gate dense kernels, no fusion — the
-  /// baseline the ablation benches compare against.
+  /// The fully de-specialized configuration: per-gate dense kernels, no
+  /// fusion, scalar bodies, no blocking. The compiled-plan machinery with
+  /// none of its optimizations — equivalence tests replay it against the
+  /// specialized program. (The abl_* benches' "generic" variant goes
+  /// further and bypasses SimProgram entirely via sv_compile_plan=false.)
   static PlanOptions generic() {
     PlanOptions o;
     o.diagonal_kernels = false;
     o.fuse_single_qubit = false;
     o.presimplify = false;
     o.phase_tables = false;
+    o.simd = false;
+    o.cache_blocking = false;
     return o;
   }
 };
@@ -98,7 +113,17 @@ struct ProgramStats {
   std::size_t single_ops = 0;
   std::size_t two_ops = 0;
   std::size_t fused_gates = 0;   ///< source gates absorbed into multi-gate ops
+  std::size_t exec_groups = 0;   ///< replay groups (see cache_blocking)
+  std::size_t blocked_ops = 0;   ///< ops replayed block-by-block
+  std::size_t memory_passes = 0; ///< full-state sweeps per replay (groups
+                                 ///< count once; the blocking win metric)
 };
+
+/// Number of SimProgram compilations since the last reset. Thread-safe. The
+/// plan-reuse benches and tests use this to prove that a whole training run
+/// (multistart restarts included) costs exactly one compilation.
+std::uint64_t program_compile_count();
+void reset_program_compile_count();
 
 /// A circuit compiled against fixed structure, replayable for any theta.
 /// Thread-safe after construction: run() binds parameterized coefficients
@@ -126,10 +151,20 @@ class SimProgram {
                                     std::size_t workers = 1) const;
 
  private:
+  /// One replay unit: ops [begin, end). Blocked groups stream every
+  /// 2^block_qubits-amplitude block of the state through all their ops in
+  /// one memory pass; unblocked groups sweep the full state once per op.
+  struct ExecGroup {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    bool blocked = false;
+  };
+
   std::size_t num_qubits_ = 0;
   std::size_t num_params_ = 0;
   PlanOptions options_;
   std::vector<CompiledOp> ops_;
+  std::vector<ExecGroup> groups_;
   ProgramStats stats_;
 };
 

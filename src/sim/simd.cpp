@@ -1,0 +1,485 @@
+#include "sim/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <vector>
+
+// The AVX2 bodies are gated three ways:
+//   * compile time — x86-64 with GCC/Clang (per-function target attributes
+//     let us emit AVX2 code without -mavx2 on the whole build), unless the
+//     QARCH_DISABLE_AVX2 definition (CMake -DQARCH_ENABLE_AVX2=OFF) forces
+//     the portable scalar build;
+//   * run time (CPU) — __builtin_cpu_supports("avx2"/"fma"), checked once;
+//   * run time (policy) — QARCH_SIMD=0 in the environment or
+//     set_runtime_enabled(false).
+#if !defined(QARCH_DISABLE_AVX2) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define QARCH_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define QARCH_SIMD_X86 0
+#endif
+
+namespace qarch::sim::simd {
+
+namespace {
+
+bool env_allows_simd() {
+  const char* v = std::getenv("QARCH_SIMD");
+  if (v == nullptr) return true;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool>& runtime_flag() {
+  static std::atomic<bool> flag{env_allows_simd()};
+  return flag;
+}
+
+}  // namespace
+
+bool compiled_with_avx2() { return QARCH_SIMD_X86 != 0; }
+
+bool cpu_has_avx2() {
+#if QARCH_SIMD_X86
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+void set_runtime_enabled(bool enabled) {
+  runtime_flag().store(enabled, std::memory_order_relaxed);
+}
+
+bool runtime_enabled() {
+  return runtime_flag().load(std::memory_order_relaxed);
+}
+
+bool active() {
+  return compiled_with_avx2() && cpu_has_avx2() && runtime_enabled();
+}
+
+// -- scalar bodies ------------------------------------------------------------
+//
+// The scalar and AVX2 variants of the multiplicative passes perform the SAME
+// floating-point operations in the same order per amplitude
+// ((zr*wr - zi*wi, zi*wr + zr*wi), each product rounded before the add/sub —
+// the AVX2 bodies never use FMA). This file is built with -ffp-contract=off
+// so the default build agrees bit-for-bit across the toggle; under a global
+// -mfma build GCC's complex-multiply vectorization can still contract the
+// scalar bodies (addsub+mul -> vfmaddsub ignores fp-contract), leaving
+// last-ulp differences. zz_accumulate additionally keeps four running lanes
+// per mask, so its partial sums associate differently (equal within
+// rounding).
+
+namespace {
+
+void scale_run_scalar(cplx* z, std::size_t n, cplx w) {
+  for (std::size_t i = 0; i < n; ++i) z[i] *= w;
+}
+
+void mul_pattern2_scalar(cplx* z, std::size_t n, cplx w0, cplx w1) {
+  for (std::size_t i = 0; i < n; ++i) z[i] *= (i & 1) ? w1 : w0;
+}
+
+void table_slice_scalar(cplx* z, const std::uint16_t* cls, const cplx* lut,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) z[i] *= lut[cls[i]];
+}
+
+void single_pairs_scalar(cplx* a, cplx* b, std::size_t n, const cplx* m) {
+  const cplx m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
+  for (std::size_t i = 0; i < n; ++i) {
+    const cplx va = a[i], vb = b[i];
+    a[i] = m00 * va + m01 * vb;
+    b[i] = m10 * va + m11 * vb;
+  }
+}
+
+void zz_accumulate_scalar(const cplx* state, std::size_t lo, std::size_t hi,
+                          const std::size_t* masks, std::size_t num_masks,
+                          double* acc) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double p = std::norm(state[i]);
+    // Branchless sign select: the parity of i & mask is data-dependent per
+    // term, so a conditional would mispredict half the time.
+    const double pm[2] = {p, -p};
+    for (std::size_t k = 0; k < num_masks; ++k)
+      acc[k] += pm[std::popcount(i & masks[k]) & 1];
+  }
+}
+
+}  // namespace
+
+// -- AVX2 bodies --------------------------------------------------------------
+
+#if QARCH_SIMD_X86
+
+#define QARCH_AVX2_FN __attribute__((target("avx2,fma")))
+
+namespace {
+
+/// One 256-bit register holds two interleaved complex doubles
+/// [z0.re, z0.im, z1.re, z1.im]. Multiply both by the broadcast constant
+/// (wr, wi): mul + addsub, matching the scalar rounding exactly.
+QARCH_AVX2_FN inline __m256d cmul_bcast(__m256d z, __m256d wr, __m256d wi) {
+  const __m256d t0 = _mm256_mul_pd(z, wr);
+  const __m256d zs = _mm256_permute_pd(z, 0x5);  // swap re/im per lane pair
+  const __m256d t1 = _mm256_mul_pd(zs, wi);
+  return _mm256_addsub_pd(t0, t1);  // (zr*wr - zi*wi, zi*wr + zr*wi)
+}
+
+/// Lane-wise complex multiply: w carries a DISTINCT multiplier per complex
+/// lane, [w0.re, w0.im, w1.re, w1.im].
+QARCH_AVX2_FN inline __m256d cmul_lane(__m256d z, __m256d w) {
+  const __m256d wr = _mm256_movedup_pd(w);       // [w0r, w0r, w1r, w1r]
+  const __m256d wi = _mm256_permute_pd(w, 0xF);  // [w0i, w0i, w1i, w1i]
+  return cmul_bcast(z, wr, wi);
+}
+
+// NOTE every *_avx2 body below only touches COMPLETE vector groups (the
+// dispatcher trims the byte count first and runs the remainder through the
+// scalar helpers). A scalar loop inside these functions would be compiled
+// under target("avx2,fma") and could FMA-contract, silently breaking the
+// bit-identity contract with the scalar fallback.
+
+/// n must be a multiple of 2.
+QARCH_AVX2_FN void scale_run_avx2(cplx* z, std::size_t n, cplx w) {
+  double* d = reinterpret_cast<double*>(z);
+  const __m256d wr = _mm256_set1_pd(w.real());
+  const __m256d wi = _mm256_set1_pd(w.imag());
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d a = _mm256_loadu_pd(d + 2 * i);
+    const __m256d b = _mm256_loadu_pd(d + 2 * i + 4);
+    _mm256_storeu_pd(d + 2 * i, cmul_bcast(a, wr, wi));
+    _mm256_storeu_pd(d + 2 * i + 4, cmul_bcast(b, wr, wi));
+  }
+  for (; i < n; i += 2)
+    _mm256_storeu_pd(d + 2 * i,
+                     cmul_bcast(_mm256_loadu_pd(d + 2 * i), wr, wi));
+}
+
+/// n must be a multiple of 2.
+QARCH_AVX2_FN void mul_pattern2_avx2(cplx* z, std::size_t n, cplx w0,
+                                     cplx w1) {
+  double* d = reinterpret_cast<double*>(z);
+  // One register covers one (w0, w1) period.
+  const __m256d w = _mm256_setr_pd(w0.real(), w0.imag(), w1.real(), w1.imag());
+  for (std::size_t i = 0; i < n; i += 2)
+    _mm256_storeu_pd(d + 2 * i, cmul_lane(_mm256_loadu_pd(d + 2 * i), w));
+}
+
+/// n must be a multiple of 4.
+QARCH_AVX2_FN void table_slice_avx2(cplx* z, const std::uint16_t* cls,
+                                    const cplx* lut, std::size_t n) {
+  double* d = reinterpret_cast<double*>(z);
+  const double* lp = reinterpret_cast<const double*>(lut);
+  // 16-byte loads from the lut + a 128-lane merge beat AVX2 gathers here:
+  // class ids repeat heavily, so the lut lines stay in L1.
+  for (std::size_t i = 0; i < n; i += 4) {
+    const __m128d l0 = _mm_loadu_pd(lp + 2 * cls[i]);
+    const __m128d l1 = _mm_loadu_pd(lp + 2 * cls[i + 1]);
+    const __m128d l2 = _mm_loadu_pd(lp + 2 * cls[i + 2]);
+    const __m128d l3 = _mm_loadu_pd(lp + 2 * cls[i + 3]);
+    const __m256d w01 = _mm256_set_m128d(l1, l0);
+    const __m256d w23 = _mm256_set_m128d(l3, l2);
+    const __m256d z01 = _mm256_loadu_pd(d + 2 * i);
+    const __m256d z23 = _mm256_loadu_pd(d + 2 * i + 4);
+    _mm256_storeu_pd(d + 2 * i, cmul_lane(z01, w01));
+    _mm256_storeu_pd(d + 2 * i + 4, cmul_lane(z23, w23));
+  }
+}
+
+/// n must be a multiple of 2.
+QARCH_AVX2_FN void single_pairs_avx2(cplx* a, cplx* b, std::size_t n,
+                                     const cplx* m) {
+  double* da = reinterpret_cast<double*>(a);
+  double* db = reinterpret_cast<double*>(b);
+  const __m256d m00r = _mm256_set1_pd(m[0].real()),
+                m00i = _mm256_set1_pd(m[0].imag());
+  const __m256d m01r = _mm256_set1_pd(m[1].real()),
+                m01i = _mm256_set1_pd(m[1].imag());
+  const __m256d m10r = _mm256_set1_pd(m[2].real()),
+                m10i = _mm256_set1_pd(m[2].imag());
+  const __m256d m11r = _mm256_set1_pd(m[3].real()),
+                m11i = _mm256_set1_pd(m[3].imag());
+  for (std::size_t i = 0; i < n; i += 2) {
+    const __m256d za = _mm256_loadu_pd(da + 2 * i);
+    const __m256d zb = _mm256_loadu_pd(db + 2 * i);
+    const __m256d na =
+        _mm256_add_pd(cmul_bcast(za, m00r, m00i), cmul_bcast(zb, m01r, m01i));
+    const __m256d nb =
+        _mm256_add_pd(cmul_bcast(za, m10r, m10i), cmul_bcast(zb, m11r, m11i));
+    _mm256_storeu_pd(da + 2 * i, na);
+    _mm256_storeu_pd(db + 2 * i, nb);
+  }
+}
+
+/// q = 0 pair walk: amplitudes interleave as a0 b0 a1 b1 ...; two pairs load
+/// as two registers that deinterleave with 128-bit lane permutes.
+/// khi - klo must be a multiple of 2.
+QARCH_AVX2_FN void single_q0_avx2(cplx* z, const cplx* m, std::size_t klo,
+                                  std::size_t khi) {
+  double* d = reinterpret_cast<double*>(z);
+  const __m256d m00r = _mm256_set1_pd(m[0].real()),
+                m00i = _mm256_set1_pd(m[0].imag());
+  const __m256d m01r = _mm256_set1_pd(m[1].real()),
+                m01i = _mm256_set1_pd(m[1].imag());
+  const __m256d m10r = _mm256_set1_pd(m[2].real()),
+                m10i = _mm256_set1_pd(m[2].imag());
+  const __m256d m11r = _mm256_set1_pd(m[3].real()),
+                m11i = _mm256_set1_pd(m[3].imag());
+  for (std::size_t k = klo; k < khi; k += 2) {
+    const __m256d v0 = _mm256_loadu_pd(d + 4 * k);      // [a0, b0]
+    const __m256d v1 = _mm256_loadu_pd(d + 4 * k + 4);  // [a1, b1]
+    const __m256d za = _mm256_permute2f128_pd(v0, v1, 0x20);  // [a0, a1]
+    const __m256d zb = _mm256_permute2f128_pd(v0, v1, 0x31);  // [b0, b1]
+    const __m256d na =
+        _mm256_add_pd(cmul_bcast(za, m00r, m00i), cmul_bcast(zb, m01r, m01i));
+    const __m256d nb =
+        _mm256_add_pd(cmul_bcast(za, m10r, m10i), cmul_bcast(zb, m11r, m11i));
+    _mm256_storeu_pd(d + 4 * k, _mm256_permute2f128_pd(na, nb, 0x20));
+    _mm256_storeu_pd(d + 4 * k + 4, _mm256_permute2f128_pd(na, nb, 0x31));
+  }
+}
+
+/// lo and hi must both be multiples of 4 (the dispatcher trims and runs the
+/// unaligned head/tail through the scalar body): the per-group parity of
+/// i & mask then splits into (group parity) xor (lane parity), with the lane
+/// part baked into per-mask sign patterns.
+QARCH_AVX2_FN void zz_accumulate_avx2(const cplx* state, std::size_t lo,
+                                      std::size_t hi,
+                                      const std::size_t* masks,
+                                      std::size_t num_masks, double* acc) {
+  const double* d = reinterpret_cast<const double*>(state);
+  // hadd of the two squared registers yields probabilities in lane order
+  // [p0, p2, p1, p3]; the patterns below use the same order. Patterns and
+  // running lanes live in plain double storage (a std::vector<__m256d>
+  // would not be guaranteed 32-byte aligned) — all L1-resident.
+  std::vector<double> pattern(8 * num_masks);  // [mask][group parity][lane]
+  std::vector<double> vacc(4 * num_masks, 0.0);
+  for (std::size_t k = 0; k < num_masks; ++k) {
+    const std::size_t low = masks[k] & 3;
+    double s[4];
+    for (std::size_t j = 0; j < 4; ++j)
+      s[j] = (std::popcount(j & low) & 1) ? -1.0 : 1.0;
+    const double lanes[4] = {s[0], s[2], s[1], s[3]};
+    for (std::size_t l = 0; l < 4; ++l) {
+      pattern[8 * k + l] = lanes[l];
+      pattern[8 * k + 4 + l] = -lanes[l];
+    }
+  }
+  for (std::size_t i = lo; i < hi; i += 4) {
+    const __m256d z0 = _mm256_loadu_pd(d + 2 * i);
+    const __m256d z1 = _mm256_loadu_pd(d + 2 * i + 4);
+    const __m256d p =
+        _mm256_hadd_pd(_mm256_mul_pd(z0, z0), _mm256_mul_pd(z1, z1));
+    for (std::size_t k = 0; k < num_masks; ++k) {
+      const std::size_t hi_par = std::popcount(i & masks[k]) & 1;
+      const __m256d pat = _mm256_loadu_pd(&pattern[8 * k + 4 * hi_par]);
+      const __m256d va = _mm256_loadu_pd(&vacc[4 * k]);
+      _mm256_storeu_pd(&vacc[4 * k], _mm256_fmadd_pd(p, pat, va));
+    }
+  }
+  for (std::size_t k = 0; k < num_masks; ++k)
+    acc[k] +=
+        vacc[4 * k] + vacc[4 * k + 1] + vacc[4 * k + 2] + vacc[4 * k + 3];
+}
+
+}  // namespace
+
+#endif  // QARCH_SIMD_X86
+
+// -- dispatched entry points --------------------------------------------------
+
+void scale_run(cplx* z, std::size_t n, cplx w, bool use_simd) {
+#if QARCH_SIMD_X86
+  if (use_simd && active()) {
+    const std::size_t vec = n & ~std::size_t{1};
+    scale_run_avx2(z, vec, w);
+    z += vec;
+    n -= vec;
+  }
+#endif
+  (void)use_simd;
+  scale_run_scalar(z, n, w);
+}
+
+void mul_pattern2(cplx* z, std::size_t n, cplx w0, cplx w1, bool use_simd) {
+#if QARCH_SIMD_X86
+  if (use_simd && active()) {
+    const std::size_t vec = n & ~std::size_t{1};
+    mul_pattern2_avx2(z, vec, w0, w1);
+    z += vec;
+    n -= vec;  // at most one trailing element — an even index, so w0 first
+  }
+#endif
+  (void)use_simd;
+  mul_pattern2_scalar(z, n, w0, w1);
+}
+
+void diag1_slice(cplx* z, std::size_t n, std::size_t base, std::size_t q,
+                 cplx d0, cplx d1, bool use_simd) {
+  if (q == 0) {
+    // The selector alternates every amplitude; fold the slice's parity into
+    // the pattern's leading element.
+    const bool odd = (base & 1) != 0;
+    mul_pattern2(z, n, odd ? d1 : d0, odd ? d0 : d1, use_simd);
+    return;
+  }
+  // Bit q is constant across each aligned 2^q run; stream run by run.
+  const std::size_t stride = std::size_t{1} << q;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t gi = base + i;
+    const std::size_t run_end = (gi | (stride - 1)) + 1;
+    const std::size_t len = std::min(n - i, run_end - gi);
+    scale_run(z + i, len, ((gi >> q) & 1) ? d1 : d0, use_simd);
+    i += len;
+  }
+}
+
+void diag2_slice(cplx* z, std::size_t n, std::size_t base, std::size_t q0,
+                 std::size_t q1, const cplx* d, bool use_simd) {
+  const std::size_t qa = std::min(q0, q1);
+  const auto sel_of = [&](std::size_t gi) {
+    return (((gi >> q0) & 1) << 1) | ((gi >> q1) & 1);
+  };
+  if (qa == 0) {
+    // One selector bit flips every amplitude; the other is constant across
+    // each aligned 2^qb run, so each run is a strict 2-periodic pattern.
+    const std::size_t qb = std::max(q0, q1);
+    const std::size_t stride = std::size_t{1} << qb;
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t gi = base + i;
+      const std::size_t run_end = (gi | (stride - 1)) + 1;
+      const std::size_t len = std::min(n - i, run_end - gi);
+      mul_pattern2(z + i, len, d[sel_of(gi)], d[sel_of(gi + 1)], use_simd);
+      i += len;
+    }
+    return;
+  }
+  // Both bits constant across each aligned 2^qa run.
+  const std::size_t stride = std::size_t{1} << qa;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t gi = base + i;
+    const std::size_t run_end = (gi | (stride - 1)) + 1;
+    const std::size_t len = std::min(n - i, run_end - gi);
+    scale_run(z + i, len, d[sel_of(gi)], use_simd);
+    i += len;
+  }
+}
+
+void table_slice(cplx* z, const std::uint16_t* cls, const cplx* lut,
+                 std::size_t n, bool use_simd) {
+#if QARCH_SIMD_X86
+  if (use_simd && active()) {
+    const std::size_t vec = n & ~std::size_t{3};
+    table_slice_avx2(z, cls, lut, vec);
+    z += vec;
+    cls += vec;
+    n -= vec;
+  }
+#endif
+  (void)use_simd;
+  table_slice_scalar(z, cls, lut, n);
+}
+
+void single_pairs(cplx* a, cplx* b, std::size_t n, const cplx* m,
+                  bool use_simd) {
+#if QARCH_SIMD_X86
+  if (use_simd && active()) {
+    const std::size_t vec = n & ~std::size_t{1};
+    single_pairs_avx2(a, b, vec, m);
+    a += vec;
+    b += vec;
+    n -= vec;
+  }
+#endif
+  (void)use_simd;
+  single_pairs_scalar(a, b, n, m);
+}
+
+void single_pair_range(cplx* z, std::size_t q, const cplx* m, std::size_t klo,
+                       std::size_t khi, bool use_simd) {
+  if (q == 0) {
+#if QARCH_SIMD_X86
+    if (use_simd && active()) {
+      const std::size_t kvec = klo + ((khi - klo) & ~std::size_t{1});
+      single_q0_avx2(z, m, klo, kvec);
+      klo = kvec;
+    }
+#endif
+    for (std::size_t k = klo; k < khi; ++k) {
+      const cplx va = z[2 * k], vb = z[2 * k + 1];
+      z[2 * k] = m[0] * va + m[1] * vb;
+      z[2 * k + 1] = m[2] * va + m[3] * vb;
+    }
+    return;
+  }
+  // Pair index k walks bit-q=0 amplitudes in order; consecutive k within one
+  // 2^q run map to CONTIGUOUS i0, so the walk decomposes into paired
+  // contiguous segments.
+  const std::size_t half = std::size_t{1} << q;
+  std::size_t k = klo;
+  while (k < khi) {
+    const std::size_t off = k & (half - 1);
+    const std::size_t i0 = ((k >> q) << (q + 1)) | off;
+    const std::size_t len = std::min(khi - k, half - off);
+    single_pairs(z + i0, z + i0 + half, len, m, use_simd);
+    k += len;
+  }
+}
+
+void two_quad_range(cplx* z, std::size_t q0, std::size_t q1, const cplx* m,
+                    std::size_t klo, std::size_t khi) {
+  const std::size_t mask0 = std::size_t{1} << q0;  // high bit of the 4x4 basis
+  const std::size_t mask1 = std::size_t{1} << q1;  // low bit
+  const std::size_t lo_mask = std::min(mask0, mask1) - 1;
+  const std::size_t mid_mask =
+      (std::max(mask0, mask1) - 1) ^ lo_mask ^ std::min(mask0, mask1);
+  for (std::size_t k = klo; k < khi; ++k) {
+    // Spread k across the two bit holes (q0 and q1 forced to 0).
+    const std::size_t low = k & lo_mask;
+    const std::size_t mid = (k << 1) & mid_mask;
+    const std::size_t high = (k << 2) & ~(lo_mask | mid_mask | mask0 | mask1);
+    const std::size_t base = high | mid | low;
+    const std::size_t i00 = base;
+    const std::size_t i01 = base | mask1;
+    const std::size_t i10 = base | mask0;
+    const std::size_t i11 = base | mask0 | mask1;
+    const cplx v0 = z[i00], v1 = z[i01], v2 = z[i10], v3 = z[i11];
+    z[i00] = m[0] * v0 + m[1] * v1 + m[2] * v2 + m[3] * v3;
+    z[i01] = m[4] * v0 + m[5] * v1 + m[6] * v2 + m[7] * v3;
+    z[i10] = m[8] * v0 + m[9] * v1 + m[10] * v2 + m[11] * v3;
+    z[i11] = m[12] * v0 + m[13] * v1 + m[14] * v2 + m[15] * v3;
+  }
+}
+
+void zz_accumulate(const cplx* state, std::size_t lo, std::size_t hi,
+                   const std::size_t* masks, std::size_t num_masks,
+                   double* acc, bool use_simd) {
+#if QARCH_SIMD_X86
+  if (use_simd && active()) {
+    // Scalar head/tail bring the vector body onto 4-aligned groups.
+    const std::size_t alo = std::min(hi, (lo + 3) & ~std::size_t{3});
+    const std::size_t ahi = std::max(alo, hi & ~std::size_t{3});
+    if (alo > lo) zz_accumulate_scalar(state, lo, alo, masks, num_masks, acc);
+    if (ahi > alo)
+      zz_accumulate_avx2(state, alo, ahi, masks, num_masks, acc);
+    if (hi > ahi) zz_accumulate_scalar(state, ahi, hi, masks, num_masks, acc);
+    return;
+  }
+#endif
+  (void)use_simd;
+  zz_accumulate_scalar(state, lo, hi, masks, num_masks, acc);
+}
+
+}  // namespace qarch::sim::simd

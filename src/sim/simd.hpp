@@ -1,0 +1,109 @@
+// SIMD streaming passes for the statevector kernels.
+//
+// Every hot loop of the compiled simulation path — the Diag1/Diag2 phase
+// streams, the DiagTable per-class lookup, the fused 2x2 Single kernel, and
+// the batched <Z_u Z_v> sweep — reduces to a handful of contiguous
+// complex-double passes. This header names those passes once; the
+// implementation provides an AVX2/FMA variant (interleaved re/im lanes, two
+// complex doubles per 256-bit register) and a portable scalar fallback with
+// identical semantics.
+//
+// Dispatch: the AVX2 bodies are compiled with per-function target attributes
+// (`target("avx2,fma")`), so the library builds WITHOUT -mavx2 and still
+// ships the vector paths; at runtime `active()` checks, once, that (a) the
+// build had the x86 paths enabled (QARCH_ENABLE_AVX2, on by default), (b)
+// the CPU reports avx2+fma, and (c) neither the QARCH_SIMD=0 environment
+// override nor set_runtime_enabled(false) turned them off. Every pass also
+// takes a per-call `use_simd` flag so a compiled plan (PlanOptions::simd)
+// can opt out for ablation without flipping global state.
+//
+// Slice passes take the slice's GLOBAL base index so the cache-blocked
+// replay can run any op on any aligned sub-range of the state: selector
+// bits are always computed against base + local offset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace qarch::sim::simd {
+
+using linalg::cplx;
+
+// -- capability & dispatch ----------------------------------------------------
+
+/// True when this build contains the AVX2 code paths at all.
+bool compiled_with_avx2();
+
+/// True when the executing CPU reports AVX2 and FMA.
+bool cpu_has_avx2();
+
+/// Process-wide override (default on; QARCH_SIMD=0 in the environment turns
+/// it off at startup). Benches and the CI scalar leg use this to force the
+/// fallback without rebuilding.
+void set_runtime_enabled(bool enabled);
+bool runtime_enabled();
+
+/// The actual dispatch decision: compiled_with_avx2() && cpu_has_avx2() &&
+/// runtime_enabled(). Cheap (one relaxed atomic load) — called per pass.
+bool active();
+
+// -- streaming passes ---------------------------------------------------------
+//
+// All passes mutate `z[0..n)` in place. `use_simd=false` forces the scalar
+// body regardless of active(). Both variants perform the same per-amplitude
+// operations in the same order (the AVX2 bodies use explicit mul+addsub, no
+// FMA), so results agree bit-for-bit unless the COMPILER contracts the
+// scalar bodies (global -mfma builds), and always to within an ulp or two;
+// zz_accumulate additionally reassociates its partial sums (rounding-level
+// differences). Toggling mid-run is safe.
+
+/// z[i] *= w.
+void scale_run(cplx* z, std::size_t n, cplx w, bool use_simd = true);
+
+/// z[i] *= (i even ? w0 : w1) — the qubit-0 diagonal pattern.
+void mul_pattern2(cplx* z, std::size_t n, cplx w0, cplx w1,
+                  bool use_simd = true);
+
+/// Single-qubit diagonal on a slice: z[i] *= ((base+i)>>q & 1 ? d1 : d0).
+void diag1_slice(cplx* z, std::size_t n, std::size_t base, std::size_t q,
+                 cplx d0, cplx d1, bool use_simd = true);
+
+/// Two-qubit diagonal on a slice with entries d[((gi>>q0)&1)<<1 | (gi>>q1)&1]
+/// for gi = base + i (d has 4 entries).
+void diag2_slice(cplx* z, std::size_t n, std::size_t base, std::size_t q0,
+                 std::size_t q1, const cplx* d, bool use_simd = true);
+
+/// Phase-table lookup: z[i] *= lut[cls[i]] (cls already offset to the slice).
+void table_slice(cplx* z, const std::uint16_t* cls, const cplx* lut,
+                 std::size_t n, bool use_simd = true);
+
+/// Fused 2x2 on two contiguous runs: (a[i], b[i]) <- M (a[i], b[i])^T with
+/// row-major m[4]. The Single kernel's inner loop for target qubit q >= 1,
+/// where the bit-q=0 and bit-q=1 amplitudes form runs of length 2^q.
+void single_pairs(cplx* a, cplx* b, std::size_t n, const cplx* m,
+                  bool use_simd = true);
+
+/// Fused 2x2 over a PAIR-INDEX range [klo, khi): pair k expands to
+/// i0 = ((k >> q) << (q+1)) | (k & (2^q - 1)), i1 = i0 | 2^q, exactly the
+/// index walk of the legacy kernel. Works for q = 0 (interleaved pairs) and
+/// arbitrary unaligned [klo, khi) splits, so both the serial full-state
+/// kernel and any parallel chunking share one body.
+void single_pair_range(cplx* z, std::size_t q, const cplx* m, std::size_t klo,
+                       std::size_t khi, bool use_simd = true);
+
+/// Dense 4x4 over a QUAD-INDEX range [klo, khi) (scalar only — the dense
+/// two-qubit op never appears in QAOA plans; kept for completeness). Quad k
+/// spreads across the two bit holes exactly like the legacy kernel.
+void two_quad_range(cplx* z, std::size_t q0, std::size_t q1, const cplx* m,
+                    std::size_t klo, std::size_t khi);
+
+/// Batched <Z_u Z_v> partial sums over state[lo, hi): for each mask m_k,
+/// acc[k] += sum_i parity(i & m_k) ? -|z_i|^2 : +|z_i|^2. `acc` must hold
+/// num_masks entries and is accumulated into (not cleared).
+void zz_accumulate(const cplx* state, std::size_t lo, std::size_t hi,
+                   const std::size_t* masks, std::size_t num_masks,
+                   double* acc, bool use_simd = true);
+
+}  // namespace qarch::sim::simd

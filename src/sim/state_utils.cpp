@@ -5,12 +5,13 @@
 
 #include "common/error.hpp"
 #include "parallel/parallel_for.hpp"
+#include "sim/simd.hpp"
 
 namespace qarch::sim {
 
 std::vector<double> batched_expectation_zz(
     const State& state, std::span<const ZZPair> pairs, std::size_t workers,
-    std::size_t parallel_threshold_qubits) {
+    std::size_t parallel_threshold_qubits, bool use_simd) {
   const std::size_t n = state_qubits(state);
   std::vector<std::size_t> masks(pairs.size());
   for (std::size_t k = 0; k < pairs.size(); ++k) {
@@ -22,21 +23,12 @@ std::vector<double> batched_expectation_zz(
   detail::note_expectation_sweep();
 
   // <Z_u Z_v> = sum_i sign(i) |a_i|^2 with sign +1 when bits u and v agree,
-  // i.e. when popcount(i & (mu|mv)) is even.
+  // i.e. when popcount(i & (mu|mv)) is even. The per-block accumulation is
+  // one SIMD pass scattering every amplitude's probability into all terms.
   const auto block = [&](std::size_t lo, std::size_t hi) {
-    const std::size_t m = masks.size();
-    const std::size_t* mk = masks.data();
-    std::vector<double> partial(m, 0.0);
-    double* acc = partial.data();
-    for (std::size_t i = lo; i < hi; ++i) {
-      const double p = std::norm(state[i]);
-      // Branchless sign select: the parity pattern of i & mask is
-      // data-dependent per term, so a conditional would mispredict half the
-      // time across the sweep.
-      const double pm[2] = {p, -p};
-      for (std::size_t k = 0; k < m; ++k)
-        acc[k] += pm[std::popcount(i & mk[k]) & 1];
-    }
+    std::vector<double> partial(masks.size(), 0.0);
+    simd::zz_accumulate(state.data(), lo, hi, masks.data(), masks.size(),
+                        partial.data(), use_simd);
     return partial;
   };
   const auto combine = [](std::vector<double> acc, std::vector<double> part) {

@@ -23,9 +23,10 @@ struct ZZPair {
 /// `workers` > 1 the state is split into contiguous blocks whose per-thread
 /// partial sums are combined in index order (deterministic). Returns values
 /// aligned with `pairs`.
+/// `use_simd = false` forces the scalar accumulation body (ablation/CI).
 std::vector<double> batched_expectation_zz(
     const State& state, std::span<const ZZPair> pairs, std::size_t workers = 1,
-    std::size_t parallel_threshold_qubits = 14);
+    std::size_t parallel_threshold_qubits = 14, bool use_simd = true);
 
 /// <a|b> — complex overlap of two equal-size states.
 cplx overlap(const State& a, const State& b);

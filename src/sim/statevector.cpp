@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "parallel/parallel_for.hpp"
+#include "sim/simd.hpp"
 
 namespace qarch::sim {
 
@@ -53,28 +54,23 @@ void note_expectation_sweep() {
 }  // namespace detail
 
 void kernel_single(State& state, std::size_t q, const cplx* m,
-                   std::size_t workers,
-                   std::size_t parallel_threshold_qubits) {
+                   std::size_t workers, std::size_t parallel_threshold_qubits,
+                   bool use_simd) {
   const std::size_t n = state_qubits(state);
   QARCH_REQUIRE(q < n, "qubit out of range");
-  const std::size_t mask = std::size_t{1} << q;
-  const cplx m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
   const std::size_t pairs = state.size() / 2;
-
-  auto body = [&](std::size_t k) {
-    // Expand k to the index with bit q forced to 0.
-    const std::size_t low = k & (mask - 1);
-    const std::size_t i0 = ((k ^ low) << 1) | low;
-    const std::size_t i1 = i0 | mask;
-    const cplx a = state[i0], b = state[i1];
-    state[i0] = m00 * a + m01 * b;
-    state[i1] = m10 * a + m11 * b;
-  };
+  cplx* z = state.data();
 
   if (workers > 1 && n >= parallel_threshold_qubits) {
-    parallel::parallel_for(0, pairs, body, workers, 1024);
+    // Pair-index blocks; single_pair_range handles unaligned splits.
+    parallel::parallel_for_blocks(
+        0, pairs,
+        [&](std::size_t klo, std::size_t khi) {
+          simd::single_pair_range(z, q, m, klo, khi, use_simd);
+        },
+        workers, 2048);
   } else {
-    for (std::size_t k = 0; k < pairs; ++k) body(k);
+    simd::single_pair_range(z, q, m, 0, pairs, use_simd);
   }
 }
 
@@ -82,87 +78,72 @@ void kernel_two(State& state, std::size_t q0, std::size_t q1, const cplx* m,
                 std::size_t workers, std::size_t parallel_threshold_qubits) {
   const std::size_t n = state_qubits(state);
   QARCH_REQUIRE(q0 < n && q1 < n && q0 != q1, "bad two-qubit target");
-  const std::size_t mask0 = std::size_t{1} << q0;  // high bit of the 4x4 basis
-  const std::size_t mask1 = std::size_t{1} << q1;  // low bit
-  const std::size_t lo_mask = std::min(mask0, mask1) - 1;
-  const std::size_t mid_mask =
-      (std::max(mask0, mask1) - 1) ^ lo_mask ^ std::min(mask0, mask1);
   const std::size_t quads = state.size() / 4;
-
-  auto body = [&](std::size_t k) {
-    // Spread k across the two bit holes (q0 and q1 forced to 0).
-    const std::size_t low = k & lo_mask;
-    const std::size_t mid = (k << 1) & mid_mask;
-    const std::size_t high =
-        ((k << 2) & ~(lo_mask | mid_mask | mask0 | mask1));
-    const std::size_t base = high | mid | low;
-    const std::size_t i00 = base;
-    const std::size_t i01 = base | mask1;
-    const std::size_t i10 = base | mask0;
-    const std::size_t i11 = base | mask0 | mask1;
-    const cplx v0 = state[i00], v1 = state[i01], v2 = state[i10],
-               v3 = state[i11];
-    state[i00] = m[0] * v0 + m[1] * v1 + m[2] * v2 + m[3] * v3;
-    state[i01] = m[4] * v0 + m[5] * v1 + m[6] * v2 + m[7] * v3;
-    state[i10] = m[8] * v0 + m[9] * v1 + m[10] * v2 + m[11] * v3;
-    state[i11] = m[12] * v0 + m[13] * v1 + m[14] * v2 + m[15] * v3;
-  };
+  cplx* z = state.data();
 
   if (workers > 1 && n >= parallel_threshold_qubits) {
-    parallel::parallel_for(0, quads, body, workers, 512);
+    parallel::parallel_for_blocks(
+        0, quads,
+        [&](std::size_t klo, std::size_t khi) {
+          simd::two_quad_range(z, q0, q1, m, klo, khi);
+        },
+        workers, 1024);
   } else {
-    for (std::size_t k = 0; k < quads; ++k) body(k);
+    simd::two_quad_range(z, q0, q1, m, 0, quads);
   }
 }
 
 void kernel_diag1(State& state, std::size_t q, cplx d0, cplx d1,
-                  std::size_t workers,
-                  std::size_t parallel_threshold_qubits) {
+                  std::size_t workers, std::size_t parallel_threshold_qubits,
+                  bool use_simd) {
   const std::size_t n = state_qubits(state);
   QARCH_REQUIRE(q < n, "qubit out of range");
-  // Branchless phase select (a conditional on a state-dependent bit would
-  // mispredict constantly across the sweep).
-  const cplx dd[2] = {d0, d1};
-
-  auto body = [&](std::size_t i) { state[i] *= dd[(i >> q) & 1]; };
+  cplx* z = state.data();
 
   if (workers > 1 && n >= parallel_threshold_qubits) {
-    parallel::parallel_for(0, state.size(), body, workers, 4096);
+    parallel::parallel_for_blocks(
+        0, state.size(),
+        [&](std::size_t lo, std::size_t hi) {
+          simd::diag1_slice(z + lo, hi - lo, lo, q, d0, d1, use_simd);
+        },
+        workers, 4096);
   } else {
-    for (std::size_t i = 0; i < state.size(); ++i) body(i);
+    simd::diag1_slice(z, state.size(), 0, q, d0, d1, use_simd);
   }
 }
 
 void kernel_diag2(State& state, std::size_t q0, std::size_t q1, const cplx* d,
-                  std::size_t workers,
-                  std::size_t parallel_threshold_qubits) {
+                  std::size_t workers, std::size_t parallel_threshold_qubits,
+                  bool use_simd) {
   const std::size_t n = state_qubits(state);
   QARCH_REQUIRE(q0 < n && q1 < n && q0 != q1, "bad two-qubit target");
-  const cplx dd[4] = {d[0], d[1], d[2], d[3]};
-
-  auto body = [&](std::size_t i) {
-    const std::size_t sel = (((i >> q0) & 1) << 1) | ((i >> q1) & 1);
-    state[i] *= dd[sel];
-  };
+  cplx* z = state.data();
 
   if (workers > 1 && n >= parallel_threshold_qubits) {
-    parallel::parallel_for(0, state.size(), body, workers, 4096);
+    parallel::parallel_for_blocks(
+        0, state.size(),
+        [&](std::size_t lo, std::size_t hi) {
+          simd::diag2_slice(z + lo, hi - lo, lo, q0, q1, d, use_simd);
+        },
+        workers, 4096);
   } else {
-    for (std::size_t i = 0; i < state.size(); ++i) body(i);
+    simd::diag2_slice(z, state.size(), 0, q0, q1, d, use_simd);
   }
 }
 
 StatevectorSimulator::StatevectorSimulator(std::size_t workers,
-                                           std::size_t parallel_threshold_qubits)
+                                           std::size_t parallel_threshold_qubits,
+                                           bool use_simd)
     : workers_(workers == 0 ? 1 : workers),
-      parallel_threshold_qubits_(parallel_threshold_qubits) {}
+      parallel_threshold_qubits_(parallel_threshold_qubits),
+      use_simd_(use_simd) {}
 
 void StatevectorSimulator::apply(State& state, const circuit::Gate& gate,
                                  std::span<const double> theta) const {
   const Matrix m = gate.matrix(theta);
   if (gate.arity() == 1)
     kernel_single(state, gate.q0, m.data().data(), workers_,
-                  parallel_threshold_qubits_);
+                  parallel_threshold_qubits_, use_simd_);
   else
     kernel_two(state, gate.q0, gate.q1, m.data().data(), workers_,
                parallel_threshold_qubits_);

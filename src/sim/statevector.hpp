@@ -33,9 +33,11 @@ class StatevectorSimulator {
  public:
   /// `workers` threads are used for gate kernels on states with at least
   /// `parallel_threshold_qubits` qubits (smaller states run serially —
-  /// thread fork/join would dominate).
+  /// thread fork/join would dominate). `use_simd=false` forces the scalar
+  /// kernel bodies (ablation baselines).
   explicit StatevectorSimulator(std::size_t workers = 1,
-                                std::size_t parallel_threshold_qubits = 14);
+                                std::size_t parallel_threshold_qubits = 14,
+                                bool use_simd = true);
 
   [[nodiscard]] std::size_t workers() const { return workers_; }
 
@@ -55,6 +57,7 @@ class StatevectorSimulator {
  private:
   std::size_t workers_;
   std::size_t parallel_threshold_qubits_;
+  bool use_simd_;
 };
 
 // -- low-level gate kernels --------------------------------------------------
@@ -62,11 +65,14 @@ class StatevectorSimulator {
 // Free functions shared by StatevectorSimulator (per-gate path) and
 // SimProgram (compiled-plan path). States with fewer than
 // `parallel_threshold_qubits` qubits always run serially — fork/join would
-// dominate the sweep.
+// dominate the sweep. Inner loops stream through sim::simd (AVX2/FMA when
+// available, scalar otherwise); `use_simd = false` forces the scalar bodies
+// for ablation and fallback testing.
 
 /// Applies a dense 2x2 matrix (row-major, 4 entries) to qubit q.
 void kernel_single(State& state, std::size_t q, const cplx* m,
-                   std::size_t workers, std::size_t parallel_threshold_qubits);
+                   std::size_t workers, std::size_t parallel_threshold_qubits,
+                   bool use_simd = true);
 
 /// Applies a dense 4x4 matrix (row-major, 16 entries; bit q0 is the HIGH bit
 /// of the 4x4 basis, bit q1 the low bit) to qubits (q0, q1).
@@ -76,12 +82,14 @@ void kernel_two(State& state, std::size_t q0, std::size_t q1, const cplx* m,
 /// Streams diag(d0, d1) on qubit q: one complex multiply per amplitude, no
 /// index shuffling and no pair gathering.
 void kernel_diag1(State& state, std::size_t q, cplx d0, cplx d1,
-                  std::size_t workers, std::size_t parallel_threshold_qubits);
+                  std::size_t workers, std::size_t parallel_threshold_qubits,
+                  bool use_simd = true);
 
 /// Streams a two-qubit diagonal gate with entries d[(bit_q0 << 1) | bit_q1]
 /// (d has 4 entries): one complex multiply per amplitude.
 void kernel_diag2(State& state, std::size_t q0, std::size_t q1, const cplx* d,
-                  std::size_t workers, std::size_t parallel_threshold_qubits);
+                  std::size_t workers, std::size_t parallel_threshold_qubits,
+                  bool use_simd = true);
 
 // -- expectation values ------------------------------------------------------
 

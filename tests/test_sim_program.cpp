@@ -11,6 +11,7 @@
 #include "graph/generators.hpp"
 #include "qaoa/ansatz.hpp"
 #include "qaoa/energy.hpp"
+#include "search/evaluator.hpp"
 #include "sim/sim_program.hpp"
 #include "sim/state_utils.hpp"
 #include "sim/statevector.hpp"
@@ -88,6 +89,14 @@ TEST(SimProgram, CompiledPlanMatchesNaivePerGateApply) {
                           "trial " + std::to_string(trial) + " workers " +
                               std::to_string(workers));
     }
+    // The fully de-specialized plan configuration replays the same circuit
+    // through per-gate dense scalar kernels — identical unitary.
+    const sim::SimProgram plain(c, sim::PlanOptions::generic());
+    EXPECT_EQ(plain.stats().diag1_ops + plain.stats().diag2_ops +
+                  plain.stats().diag_table_ops,
+              0u);
+    expect_states_close(plain.run_from_plus(theta), expected, 1e-10,
+                        "generic trial " + std::to_string(trial));
   }
 }
 
@@ -273,6 +282,142 @@ TEST(EnergyPlan, CompiledStatevectorPlanMatchesLegacyPath) {
         EXPECT_NEAR(fz[k], sz[k], 1e-10) << "term " << k;
     }
   }
+}
+
+TEST(SimProgram, CacheBlockedReplayMatchesUnblocked) {
+  // Tiny block_qubits force real multi-block replay on small states; every
+  // op class (diagonal tables, streaming diagonals, fused singles, dense
+  // twos) must land in the right slice with the right global base.
+  Rng rng(808);
+  for (int trial = 0; trial < 16; ++trial) {
+    const std::size_t n = 4 + rng.uniform_int(7);  // 4..10
+    const auto c = random_circuit(rng, n, 35, 2, kFullPool);
+    const std::vector<double> theta = {rng.uniform(-3.0, 3.0),
+                                       rng.uniform(-3.0, 3.0)};
+
+    sim::PlanOptions blocked;
+    blocked.block_qubits = 2 + rng.uniform_int(3);  // 2..4
+    blocked.parallel_threshold_qubits = 2;
+    sim::PlanOptions unblocked = blocked;
+    unblocked.cache_blocking = false;
+
+    const sim::SimProgram a(c, blocked);
+    const sim::SimProgram b(c, unblocked);
+    EXPECT_GE(a.stats().memory_passes, 1u);
+    EXPECT_LE(a.stats().memory_passes, b.stats().memory_passes);
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{4}})
+      expect_states_close(a.run_from_plus(theta, workers),
+                          b.run_from_plus(theta, 1), 1e-10,
+                          "trial " + std::to_string(trial) + " workers " +
+                              std::to_string(workers));
+  }
+}
+
+TEST(SimProgram, SimdToggleLeavesReplayEquivalent) {
+  // The scalar and AVX2 multiplicative bodies share operation order, so a
+  // whole compiled replay agrees across the toggle to compiler-contraction
+  // noise (bit-for-bit on builds where the scalar bodies are not
+  // FMA-contracted, e.g. the default no -mfma build).
+  Rng rng(909);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 2 + rng.uniform_int(9);
+    const auto c = random_circuit(rng, n, 30, 2, kFullPool);
+    const std::vector<double> theta = {0.9, -0.2};
+    sim::PlanOptions simd_on;
+    sim::PlanOptions simd_off = simd_on;
+    simd_off.simd = false;
+    const sim::SimProgram a(c, simd_on);
+    const sim::SimProgram b(c, simd_off);
+    expect_states_close(a.run_from_plus(theta), b.run_from_plus(theta), 1e-12,
+                        "simd toggle trial " + std::to_string(trial));
+  }
+}
+
+TEST(PlanReuse, EvaluatorCachesOneCompilationPerStructure) {
+  Rng rng(111);
+  const auto g = graph::random_regular(8, 3, rng);
+  qaoa::EnergyOptions opt;
+  opt.engine = qaoa::EngineKind::Statevector;
+  const qaoa::EnergyEvaluator ev(g, opt);
+  const auto ansatz = qaoa::build_qaoa_circuit(g, 2, qaoa::MixerSpec::qnas());
+
+  sim::reset_program_compile_count();
+  const auto p1 = ev.plan_for(ansatz);
+  const auto p2 = ev.plan_for(ansatz);
+  EXPECT_EQ(p1.get(), p2.get());  // same shared plan, not a copy
+  EXPECT_EQ(sim::program_compile_count(), 1u);
+
+  // A structurally different ansatz compiles separately...
+  const auto other = qaoa::build_qaoa_circuit(g, 1, qaoa::MixerSpec::baseline());
+  const auto p3 = ev.plan_for(other);
+  EXPECT_NE(p3.get(), p1.get());
+  EXPECT_EQ(sim::program_compile_count(), 2u);
+  // ...and re-requesting the first structure still hits the cache.
+  (void)ev.plan_for(ansatz);
+  EXPECT_EQ(sim::program_compile_count(), 2u);
+
+  // One-shot energies run through the cache too (landscape-scan pattern).
+  const std::vector<double> theta(ansatz.num_params(), 0.4);
+  (void)ev.energy(ansatz, theta);
+  (void)ev.energy(ansatz, theta);
+  EXPECT_EQ(sim::program_compile_count(), 2u);
+}
+
+TEST(PlanReuse, MultistartRestartsShareOnePlanAndStayDeterministic) {
+  Rng rng(222);
+  const auto g = graph::random_regular(8, 3, rng);
+  search::EvaluatorOptions opt;
+  opt.energy.engine = qaoa::EngineKind::Statevector;
+  opt.cobyla.max_evals = 40;
+  opt.restarts = 3;
+  const search::Evaluator evaluator(g, opt);
+
+  sim::reset_program_compile_count();
+  const auto r1 = evaluator.evaluate(qaoa::MixerSpec::qnas(), 2);
+  EXPECT_EQ(sim::program_compile_count(), 1u)
+      << "all multistart restarts must share one compilation";
+
+  // Bit-identical energies on re-evaluation: the cached plan plus the seeded
+  // restart stream make the whole training run deterministic.
+  const auto r2 = evaluator.evaluate(qaoa::MixerSpec::qnas(), 2);
+  EXPECT_EQ(r1.energy, r2.energy);
+  ASSERT_EQ(r1.theta.size(), r2.theta.size());
+  for (std::size_t i = 0; i < r1.theta.size(); ++i)
+    EXPECT_EQ(r1.theta[i], r2.theta[i]) << "theta " << i;
+  // The shared budget was respected (restarts may converge a step early).
+  EXPECT_GT(r1.evaluations, 0u);
+  EXPECT_LE(r1.evaluations, 40u);
+}
+
+TEST(PlanReuse, EvaluatorOptionsRoundTripThroughEffectiveEnergy) {
+  search::EvaluatorOptions opt;
+  opt.energy.inner_workers = 3;
+  opt.energy.sv_plan.block_qubits = 12;
+  opt.energy.sv_plan.simd = false;
+  opt.energy.plan_cache_capacity = 5;
+
+  // The ONE reconciliation: evaluator-level presimplify wins...
+  opt.simplify_circuit = true;
+  const auto eff = opt.effective_energy();
+  EXPECT_FALSE(eff.sv_plan.presimplify);
+  // ...everything else passes through untouched.
+  EXPECT_EQ(eff.inner_workers, 3u);
+  EXPECT_EQ(eff.sv_plan.block_qubits, 12u);
+  EXPECT_FALSE(eff.sv_plan.simd);
+  EXPECT_EQ(eff.plan_cache_capacity, 5u);
+
+  // Without evaluator pre-simplification the plan toggle survives as set.
+  opt.simplify_circuit = false;
+  opt.energy.sv_plan.presimplify = true;
+  EXPECT_TRUE(opt.effective_energy().sv_plan.presimplify);
+
+  // And the stored options are what the caller set, not a normalized copy.
+  Rng rng(333);
+  const auto g = graph::random_regular(6, 3, rng);
+  opt.simplify_circuit = true;
+  const search::Evaluator evaluator(g, opt);
+  EXPECT_TRUE(evaluator.options().energy.sv_plan.presimplify);
+  EXPECT_EQ(evaluator.options().energy.inner_workers, 3u);
 }
 
 TEST(EnergyPlan, EmptyEdgeCasesAreHandled) {

@@ -1,0 +1,216 @@
+// SIMD streaming passes: randomized equivalence of the AVX2/FMA bodies
+// against the scalar fallback on deliberately awkward shapes — lengths below
+// the vector width, odd lengths, unaligned slice bases, and every qubit
+// target including q = 0 where complex lanes interleave inside one register.
+// On a scalar build (QARCH_ENABLE_AVX2=OFF) or a non-AVX2 CPU both paths run
+// the same body and the tests simply pin the fallback's semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <iterator>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/simd.hpp"
+#include "sim/state_utils.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qarch;
+using sim::simd::cplx;
+
+std::vector<cplx> random_state(Rng& rng, std::size_t n) {
+  std::vector<cplx> z(n);
+  for (auto& a : z) a = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return z;
+}
+
+cplx random_phase(Rng& rng) {
+  return std::polar(1.0, rng.uniform(-3.14, 3.14));
+}
+
+/// The multiplicative passes perform the same operations per amplitude in
+/// both bodies, so scalar/SIMD results agree to the last ulp or two: the
+/// only permitted divergence is compiler FMA-contraction of the scalar body
+/// on -mfma builds (the AVX2 body never contracts). 1e-14 is ~50 ulp at
+/// |z| <= 2 — far below any algorithmic difference, far above contraction
+/// noise.
+void expect_ulp_close(const std::vector<cplx>& a, const std::vector<cplx>& b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), 1e-14) << what << " re @" << i;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), 1e-14) << what << " im @" << i;
+  }
+}
+
+// Sizes straddling every vector-width boundary: below one register (1..3),
+// odd, prime, and page-ish.
+constexpr std::size_t kOddSizes[] = {1, 2, 3, 5, 7, 9, 15, 17, 31, 63, 257};
+
+TEST(Simd, ScaleRunMatchesScalarOnOddSizes) {
+  Rng rng(11);
+  for (const std::size_t n : kOddSizes) {
+    const auto src = random_state(rng, n);
+    const cplx w = random_phase(rng);
+    auto a = src, b = src;
+    sim::simd::scale_run(a.data(), n, w, /*use_simd=*/true);
+    sim::simd::scale_run(b.data(), n, w, /*use_simd=*/false);
+    expect_ulp_close(a, b, "scale_run");
+  }
+}
+
+TEST(Simd, Pattern2MatchesScalarOnOddSizes) {
+  Rng rng(12);
+  for (const std::size_t n : kOddSizes) {
+    const auto src = random_state(rng, n);
+    const cplx w0 = random_phase(rng), w1 = random_phase(rng);
+    auto a = src, b = src;
+    sim::simd::mul_pattern2(a.data(), n, w0, w1, true);
+    sim::simd::mul_pattern2(b.data(), n, w0, w1, false);
+    expect_ulp_close(a, b, "mul_pattern2");
+  }
+}
+
+TEST(Simd, Diag1SliceMatchesScalarOnUnalignedBases) {
+  Rng rng(13);
+  for (const std::size_t n : kOddSizes) {
+    for (const std::size_t base : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{6}, std::size_t{129}}) {
+      for (std::size_t q = 0; q < 9; ++q) {
+        const auto src = random_state(rng, n);
+        const cplx d0 = random_phase(rng), d1 = random_phase(rng);
+        auto a = src, b = src;
+        sim::simd::diag1_slice(a.data(), n, base, q, d0, d1, true);
+        sim::simd::diag1_slice(b.data(), n, base, q, d0, d1, false);
+        expect_ulp_close(a, b, "diag1_slice");
+      }
+    }
+  }
+}
+
+TEST(Simd, Diag2SliceMatchesScalarOnUnalignedBases) {
+  Rng rng(14);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = kOddSizes[rng.uniform_int(std::size(kOddSizes))];
+    const std::size_t base = rng.uniform_int(200);
+    std::size_t q0 = rng.uniform_int(8), q1 = rng.uniform_int(8);
+    while (q1 == q0) q1 = rng.uniform_int(8);
+    const auto src = random_state(rng, n);
+    const cplx d[4] = {random_phase(rng), random_phase(rng),
+                       random_phase(rng), random_phase(rng)};
+    auto a = src, b = src;
+    sim::simd::diag2_slice(a.data(), n, base, q0, q1, d, true);
+    sim::simd::diag2_slice(b.data(), n, base, q0, q1, d, false);
+    expect_ulp_close(a, b, "diag2_slice");
+  }
+}
+
+TEST(Simd, TableSliceMatchesScalar) {
+  Rng rng(15);
+  for (const std::size_t n : kOddSizes) {
+    const std::size_t classes = 1 + rng.uniform_int(17);
+    std::vector<cplx> lut(classes);
+    for (auto& w : lut) w = random_phase(rng);
+    std::vector<std::uint16_t> cls(n);
+    for (auto& c : cls) c = static_cast<std::uint16_t>(rng.uniform_int(classes));
+    const auto src = random_state(rng, n);
+    auto a = src, b = src;
+    sim::simd::table_slice(a.data(), cls.data(), lut.data(), n, true);
+    sim::simd::table_slice(b.data(), cls.data(), lut.data(), n, false);
+    expect_ulp_close(a, b, "table_slice");
+  }
+}
+
+TEST(Simd, SinglePairRangeMatchesScalarOnAllTargets) {
+  Rng rng(16);
+  for (std::size_t nq = 1; nq <= 7; ++nq) {
+    const std::size_t dim = std::size_t{1} << nq;
+    for (std::size_t q = 0; q < nq; ++q) {
+      // Random (non-unitary is fine — the kernel is plain linear algebra).
+      cplx m[4];
+      for (auto& c : m) c = cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      // Unaligned pair sub-ranges, including a 1-pair range.
+      const std::size_t pairs = dim / 2;
+      const std::size_t klo = rng.uniform_int(pairs);
+      const std::size_t khi = klo + 1 + rng.uniform_int(pairs - klo);
+      const auto src = random_state(rng, dim);
+      auto a = src, b = src;
+      sim::simd::single_pair_range(a.data(), q, m, klo, khi, true);
+      sim::simd::single_pair_range(b.data(), q, m, klo, khi, false);
+      expect_ulp_close(a, b, "single_pair_range");
+    }
+  }
+}
+
+TEST(Simd, ZzAccumulateMatchesScalarWithinRounding) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t nq = 2 + rng.uniform_int(8);  // 2..9 qubits
+    const std::size_t dim = std::size_t{1} << nq;
+    const auto state = random_state(rng, dim);
+    std::vector<std::size_t> masks;
+    for (std::size_t k = 0; k < 1 + rng.uniform_int(10); ++k) {
+      std::size_t u = rng.uniform_int(nq), v = rng.uniform_int(nq);
+      while (v == u) v = rng.uniform_int(nq);
+      masks.push_back((std::size_t{1} << u) | (std::size_t{1} << v));
+    }
+    // Unaligned [lo, hi) exercises the vector body's scalar head/tail.
+    const std::size_t lo = rng.uniform_int(dim);
+    const std::size_t hi = lo + rng.uniform_int(dim - lo + 1);
+    std::vector<double> acc_simd(masks.size(), 0.0);
+    std::vector<double> acc_scalar(masks.size(), 0.0);
+    sim::simd::zz_accumulate(state.data(), lo, hi, masks.data(), masks.size(),
+                             acc_simd.data(), true);
+    sim::simd::zz_accumulate(state.data(), lo, hi, masks.data(), masks.size(),
+                             acc_scalar.data(), false);
+    // The vector body associates its partial sums differently (four running
+    // lanes per mask), so equality holds to rounding, not bit-for-bit.
+    for (std::size_t k = 0; k < masks.size(); ++k)
+      EXPECT_NEAR(acc_simd[k], acc_scalar[k], 1e-12) << "mask " << k;
+  }
+}
+
+TEST(Simd, KernelsMatchAcrossSimdToggleOnSmallStates) {
+  // End-to-end: full kernels on states BELOW the vector width (1-2 qubits)
+  // and on every target qubit of a mid-size state.
+  Rng rng(18);
+  for (std::size_t nq = 1; nq <= 6; ++nq) {
+    const std::size_t dim = std::size_t{1} << nq;
+    for (std::size_t q = 0; q < nq; ++q) {
+      const auto src = random_state(rng, dim);
+      const cplx d0 = random_phase(rng), d1 = random_phase(rng);
+      sim::State a = src, b = src;
+      sim::kernel_diag1(a, q, d0, d1, 1, 14, true);
+      sim::kernel_diag1(b, q, d0, d1, 1, 14, false);
+      expect_ulp_close(a, b, "kernel_diag1");
+
+      cplx m[4];
+      for (auto& c : m) c = cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      a = src;
+      b = src;
+      sim::kernel_single(a, q, m, 1, 14, true);
+      sim::kernel_single(b, q, m, 1, 14, false);
+      expect_ulp_close(a, b, "kernel_single");
+    }
+  }
+}
+
+TEST(Simd, RuntimeToggleForcesScalarPath) {
+  // set_runtime_enabled(false) must force active() off; kernels stay correct.
+  const bool was = sim::simd::runtime_enabled();
+  sim::simd::set_runtime_enabled(false);
+  EXPECT_FALSE(sim::simd::active());
+  Rng rng(19);
+  auto z = random_state(rng, 9);
+  auto ref = z;
+  const cplx w = random_phase(rng);
+  sim::simd::scale_run(z.data(), z.size(), w, true);
+  sim::simd::scale_run(ref.data(), ref.size(), w, false);
+  expect_ulp_close(z, ref, "scale_run under disabled runtime");
+  sim::simd::set_runtime_enabled(was);
+}
+
+}  // namespace
