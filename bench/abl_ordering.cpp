@@ -5,12 +5,18 @@
 // on the QAOA expectation networks the search actually contracts.
 // Expected: greedy heuristics beat plain random ordering on width and time;
 // random-restart closes most of the gap at extra ordering cost.
+//
+// The Compiled* cases benchmark the compiled-plan leg: every heuristic case
+// above re-plans per call, while a qtensor::ContractionProgram pays
+// planning once (CompiledProgramBuild) and then replays a rebind+schedule
+// (CompiledReplay) — the per-theta cost the search pipeline actually sees.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "qaoa/ansatz.hpp"
 #include "qtensor/contraction.hpp"
+#include "qtensor/program.hpp"
 
 using namespace qarch;
 
@@ -57,6 +63,26 @@ void BM_RandomRestart(benchmark::State& state) {
   run_case(state, qtensor::OrderingAlgo::RandomRestart);
 }
 
+void BM_CompiledProgramBuild(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const Workload w = make_workload(p);
+  for (auto _ : state) {
+    const qtensor::ContractionProgram program(w.ansatz, w.u, w.v);
+    benchmark::DoNotOptimize(&program);
+  }
+}
+
+void BM_CompiledReplay(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const Workload w = make_workload(p);
+  const qtensor::ContractionProgram program(w.ansatz, w.u, w.v);
+  const qtensor::SerialCpuBackend backend;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(program.expectation_zz(w.theta, backend));
+  }
+  state.counters["width"] = static_cast<double>(program.stats().width);
+}
+
 }  // namespace
 
 BENCHMARK(BM_GreedyDegree)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
@@ -66,5 +92,7 @@ BENCHMARK(BM_GreedyFill)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 // counters already tell the story.
 BENCHMARK(BM_Random)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RandomRestart)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompiledProgramBuild)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompiledReplay)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

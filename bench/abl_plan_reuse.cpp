@@ -14,10 +14,19 @@
 // EnergyEvaluator::energy(ansatz, theta) repeatedly): the ansatz→plan LRU
 // cache turns N compilations into one.
 //
-// Results append to BENCH_sim_kernels.json (section "plan_reuse").
+// A third section repeats the probe on backend=qtensor: a full evaluate()
+// (multistart restarts included) must build each edge's tensor network
+// exactly ONCE — qtensor::network_build_count() is the qtensor analogue of
+// the compile counter — and the compiled per-edge ContractionPrograms are
+// timed against the legacy rebuild-per-theta plan and the replan-per-call
+// facade.
+//
+// Results append to BENCH_sim_kernels.json (section "plan_reuse") and
+// BENCH_qtensor.json (section "qtensor_plan_reuse").
 //
 // Flags: --qubits N (16) --degree D (4) --p P (2) --restarts R (4)
 //        --evals E (100) --scan-calls S (24) --out PATH
+//        --tn-qubits N (12) --tn-evals E (40) --tn-out PATH
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -26,6 +35,7 @@
 #include "optim/multistart.hpp"
 #include "qaoa/ansatz.hpp"
 #include "qaoa/train.hpp"
+#include "qtensor/network.hpp"
 #include "search/evaluator.hpp"
 #include "sim/sim_program.hpp"
 
@@ -173,5 +183,116 @@ int main(int argc, char** argv) {
               static_cast<std::size_t>(compiles_uncached));
   section.set("scan_speedup", uncached_ms / cached_ms);
   bench::update_bench_json(out, "plan_reuse", std::move(section));
+
+  // -- 3. the same contract on backend=qtensor ------------------------------
+  const auto tn_n = static_cast<std::size_t>(cli.get_int("tn-qubits", 12));
+  const auto tn_evals =
+      static_cast<std::size_t>(cli.get_int("tn-evals", 40));
+  const std::string tn_out = cli.get("tn-out", "BENCH_qtensor.json");
+
+  Rng tn_rng(7);
+  const auto tn_g = graph::random_regular(tn_n, 3, tn_rng);
+  std::printf("\nqtensor plan reuse: %zu qubits, 3-regular (%zu edges), "
+              "p=%zu, %zu restarts\n",
+              tn_n, tn_g.num_edges(), p, restarts);
+
+  // End-to-end evaluate(): every COBYLA step of every restart replays the
+  // per-edge compiled programs; the network is built once per edge, period.
+  search::EvaluatorOptions tn_opt;
+  tn_opt.energy.engine = qaoa::EngineKind::TensorNetwork;
+  tn_opt.cobyla.max_evals = evals;
+  tn_opt.restarts = restarts;
+  const search::Evaluator tn_evaluator(tn_g, tn_opt);
+
+  qtensor::reset_network_build_count();
+  Timer t_tn_eval;
+  const auto tn_result = tn_evaluator.evaluate(mixer, p);
+  const double tn_evaluate_ms = t_tn_eval.millis();
+  const auto tn_builds = qtensor::network_build_count();
+  // One build per edge is the compile itself; anything beyond that is a
+  // rebuild and breaks the reuse contract.
+  const auto tn_rebuilds =
+      tn_builds > tn_g.num_edges() ? tn_builds - tn_g.num_edges() : 0;
+  std::printf("evaluate() with %zu restarts: %.1f ms, %llu network build(s) "
+              "for %zu edges, %llu rebuild(s), <C>=%.4f\n",
+              restarts, tn_evaluate_ms,
+              static_cast<unsigned long long>(tn_builds), tn_g.num_edges(),
+              static_cast<unsigned long long>(tn_rebuilds), tn_result.energy);
+
+  // Energy benchmark: compiled replay vs the legacy rebuild-per-theta plan
+  // (cached per-edge orders, networks rebuilt every call) vs the facade that
+  // additionally re-plans the order per call.
+  auto tn_ansatz = qaoa::build_qaoa_circuit(tn_g, p, mixer);
+  tn_ansatz = circuit::optimize(tn_ansatz);
+  std::vector<double> tn_theta(tn_ansatz.num_params(), 0.4);
+
+  qaoa::EnergyOptions tn_compiled_opt = tn_opt.effective_energy();
+  qaoa::EnergyOptions tn_rebuild_opt = tn_compiled_opt;
+  tn_rebuild_opt.qtensor.compile_programs = false;
+  const qaoa::EnergyEvaluator tn_compiled(tn_g, tn_compiled_opt);
+  const qaoa::EnergyEvaluator tn_rebuild(tn_g, tn_rebuild_opt);
+  const auto tn_compiled_plan = tn_compiled.plan_for(tn_ansatz);
+  const auto tn_rebuild_plan = tn_rebuild.plan_for(tn_ansatz);
+  (void)tn_compiled_plan->energy(tn_theta);  // warm scratch pools
+  (void)tn_rebuild_plan->energy(tn_theta);
+
+  qtensor::reset_network_build_count();
+  Timer t_tn_c;
+  for (std::size_t i = 0; i < tn_evals; ++i) {
+    tn_theta[0] = 0.3 + 0.01 * static_cast<double>(i);
+    (void)tn_compiled_plan->energy(tn_theta);
+  }
+  const double tn_compiled_ms = t_tn_c.millis();
+  const auto tn_compiled_builds = qtensor::network_build_count();
+
+  Timer t_tn_r;
+  for (std::size_t i = 0; i < tn_evals; ++i) {
+    tn_theta[0] = 0.3 + 0.01 * static_cast<double>(i);
+    (void)tn_rebuild_plan->energy(tn_theta);
+  }
+  const double tn_rebuild_ms = t_tn_r.millis();
+
+  const qtensor::QTensorSimulator tn_facade;
+  const std::size_t facade_evals = std::max<std::size_t>(1, tn_evals / 4);
+  Timer t_tn_f;
+  for (std::size_t i = 0; i < facade_evals; ++i) {
+    tn_theta[0] = 0.3 + 0.01 * static_cast<double>(i);
+    for (const auto& e : tn_g.edges())
+      (void)tn_facade.expectation_zz(tn_ansatz, tn_theta, e.u, e.v);
+  }
+  const double tn_facade_ms =
+      t_tn_f.millis() * static_cast<double>(tn_evals) /
+      static_cast<double>(facade_evals);
+
+  std::printf("%zu energy() calls: compiled %.1f ms (%llu rebuilds) | "
+              "rebuild-per-theta %.1f ms | replan-per-call %.1f ms\n",
+              tn_evals, tn_compiled_ms,
+              static_cast<unsigned long long>(tn_compiled_builds),
+              tn_rebuild_ms, tn_facade_ms);
+  std::printf("compiled speedup: %.2fx vs rebuild, %.2fx vs replan\n",
+              tn_rebuild_ms / tn_compiled_ms, tn_facade_ms / tn_compiled_ms);
+
+  json::Value tn_section = json::Value::object();
+  tn_section.set("qubits", tn_n);
+  tn_section.set("edges", tn_g.num_edges());
+  tn_section.set("p", p);
+  tn_section.set("restarts", restarts);
+  tn_section.set("evaluate_ms", tn_evaluate_ms);
+  tn_section.set("evaluate_network_builds",
+                 static_cast<std::size_t>(tn_builds));
+  tn_section.set("evaluate_network_rebuilds",
+                 static_cast<std::size_t>(tn_rebuilds));
+  tn_section.set("energy_calls", tn_evals);
+  tn_section.set("compiled_ms", tn_compiled_ms);
+  tn_section.set("compiled_network_rebuilds",
+                 static_cast<std::size_t>(tn_compiled_builds));
+  tn_section.set("rebuild_per_theta_ms", tn_rebuild_ms);
+  tn_section.set("replan_per_call_ms", tn_facade_ms);
+  tn_section.set("compiled_vs_rebuild_speedup",
+                 tn_rebuild_ms / tn_compiled_ms);
+  tn_section.set("compiled_vs_replan_speedup",
+                 tn_facade_ms / tn_compiled_ms);
+  bench::update_bench_json(tn_out, "qtensor_plan_reuse",
+                           std::move(tn_section));
   return 0;
 }

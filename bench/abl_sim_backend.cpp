@@ -2,32 +2,73 @@
 // parallel "device" contraction backend.
 //
 // Times one full QAOA energy evaluation (all |E| <ZZ> terms) per engine
-// as the qubit count grows. Expected: statevector wins at small n but its
-// cost doubles per qubit; the TN-lightcone path depends on circuit
-// structure rather than n, so the crossover moves in its favour as n grows
-// (at p=1 the lightcone is constant-size for regular graphs). The parallel
-// backend/inner-worker rows show the intra-candidate parallelism seam.
+// as the qubit count grows, and reports each engine's compile/build counts
+// (sim::program_compile_count for the statevector plans,
+// qtensor::network_build_count for the tensor networks) so plan reuse is
+// visible: compiled engines pay their builds once at plan time and ZERO per
+// theta. Expected timings: statevector wins at small n but its cost doubles
+// per qubit; the TN-lightcone path depends on circuit structure rather than
+// n, so the crossover moves in its favour as n grows (at p=1 the lightcone
+// is constant-size for regular graphs). The parallel backend/inner-worker
+// rows show the intra-candidate parallelism seam.
+//
+// Emits BENCH_qtensor.json section "sim_backend".
+//
+// Flags: --p P (1) --reps R (10) --out PATH (BENCH_qtensor.json)
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/timer.hpp"
 #include "graph/generators.hpp"
 #include "qaoa/ansatz.hpp"
 #include "qaoa/energy.hpp"
+#include "qtensor/network.hpp"
+#include "sim/sim_program.hpp"
 
 using namespace qarch;
 
 namespace {
 
-double time_energy(const graph::Graph& g, const circuit::Circuit& c,
-                   const qaoa::EnergyOptions& opt, std::size_t reps) {
+struct EngineRun {
+  double ms = 0.0;              ///< per-evaluation time, steady state
+  std::size_t plan_builds = 0;  ///< compiles/builds during make_plan
+  std::size_t replay_builds = 0;  ///< builds during the timed replays (the
+                                  ///< reuse check: must be 0 when compiled)
+};
+
+std::size_t engine_builds(const qaoa::EnergyOptions& opt) {
+  return opt.engine == qaoa::EngineKind::Statevector
+             ? static_cast<std::size_t>(sim::program_compile_count())
+             : static_cast<std::size_t>(qtensor::network_build_count());
+}
+
+EngineRun time_energy(const graph::Graph& g, const circuit::Circuit& c,
+                      const qaoa::EnergyOptions& opt, std::size_t reps) {
   const qaoa::EnergyEvaluator ev(g, opt);
+  sim::reset_program_compile_count();
+  qtensor::reset_network_build_count();
   const auto plan = ev.make_plan(c);
+  EngineRun run;
+  run.plan_builds = engine_builds(opt);
+
   const std::vector<double> theta(c.num_params(), 0.4);
-  plan->energy(theta);  // warm-up / order-cache build
+  plan->energy(theta);  // warm-up: scratch pools, legacy order caches
+  sim::reset_program_compile_count();
+  qtensor::reset_network_build_count();
   Timer t;
   for (std::size_t i = 0; i < reps; ++i) plan->energy(theta);
-  return t.seconds() / static_cast<double>(reps);
+  run.ms = t.millis() / static_cast<double>(reps);
+  run.replay_builds = engine_builds(opt);
+  return run;
+}
+
+void add_run(json::Value& row, const char* key, const EngineRun& run) {
+  json::Value v = json::Value::object();
+  v.set("ms", run.ms);
+  v.set("plan_builds", run.plan_builds);
+  v.set("replay_builds", run.replay_builds);
+  row.set(key, std::move(v));
 }
 
 }  // namespace
@@ -36,11 +77,17 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const auto p = static_cast<std::size_t>(cli.get_int("p", 1));
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 10));
+  const std::string out = cli.get("out", "BENCH_qtensor.json");
 
-  std::printf("engine ablation: one full <C> evaluation, p=%zu, 3-regular\n\n",
+  std::printf("engine ablation: one full <C> evaluation, p=%zu, 3-regular\n",
               p);
-  std::printf("%-4s %-16s %-16s %-20s\n", "n", "statevector (ms)",
-              "tn serial (ms)", "tn 8 workers (ms)");
+  std::printf("build counts are compile-time/replay-time: compiled engines "
+              "must replay with 0\n\n");
+  std::printf("%-4s %-22s %-22s %-22s %-22s\n", "n",
+              "statevector (ms|b)", "tn compiled (ms|b)",
+              "tn rebuild (ms|b)", "tn par 8w (ms|b)");
+
+  json::Value rows = json::Value::array();
   for (std::size_t n : {8, 10, 12, 14, 16}) {
     Rng rng(5);
     const auto g = graph::random_regular(n, 3, rng);
@@ -50,17 +97,46 @@ int main(int argc, char** argv) {
     sv.engine = qaoa::EngineKind::Statevector;
     qaoa::EnergyOptions tn;
     tn.engine = qaoa::EngineKind::TensorNetwork;
+    qaoa::EnergyOptions tn_rebuild = tn;
+    tn_rebuild.qtensor.compile_programs = false;
     qaoa::EnergyOptions tn_par = tn;
     tn_par.inner_workers = 8;
     tn_par.qtensor.backend = "parallel:4";
 
-    std::printf("%-4zu %-16.3f %-16.3f %-20.3f\n", n,
-                time_energy(g, c, sv, reps) * 1e3,
-                time_energy(g, c, tn, reps) * 1e3,
-                time_energy(g, c, tn_par, reps) * 1e3);
+    const EngineRun r_sv = time_energy(g, c, sv, reps);
+    const EngineRun r_tn = time_energy(g, c, tn, reps);
+    const EngineRun r_rb = time_energy(g, c, tn_rebuild, reps);
+    const EngineRun r_par = time_energy(g, c, tn_par, reps);
+
+    auto cell = [](const EngineRun& r) {
+      char s[64];
+      std::snprintf(s, sizeof(s), "%8.3f | %zu/%zu", r.ms, r.plan_builds,
+                    r.replay_builds);
+      return std::string(s);
+    };
+    std::printf("%-4zu %-22s %-22s %-22s %-22s\n", n, cell(r_sv).c_str(),
+                cell(r_tn).c_str(), cell(r_rb).c_str(), cell(r_par).c_str());
+
+    json::Value row = json::Value::object();
+    row.set("n", n);
+    row.set("edges", g.num_edges());
+    add_run(row, "statevector", r_sv);
+    add_run(row, "tn_compiled", r_tn);
+    add_run(row, "tn_rebuild", r_rb);
+    add_run(row, "tn_parallel", r_par);
+    rows.push_back(std::move(row));
   }
   std::printf(
-      "\nNote: at p=1 the TN lightcone is constant-size on regular graphs,\n"
-      "so its cost stays flat while the statevector doubles per qubit.\n");
+      "\nNotes: b = engine builds at plan time / during the timed replays\n"
+      "(sim::program_compile_count or qtensor::network_build_count).\n"
+      "At p=1 the TN lightcone is constant-size on regular graphs, so its\n"
+      "cost stays flat while the statevector doubles per qubit; the\n"
+      "tn-rebuild column pays one network build per edge per energy call.\n");
+
+  json::Value section = json::Value::object();
+  section.set("p", p);
+  section.set("reps", reps);
+  section.set("rows", std::move(rows));
+  bench::update_bench_json(out, "sim_backend", std::move(section));
   return 0;
 }

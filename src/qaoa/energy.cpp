@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "parallel/parallel_for.hpp"
 #include "qtensor/ordering.hpp"
+#include "qtensor/program.hpp"
 #include "sim/state_utils.hpp"
 
 namespace qarch::qaoa {
@@ -85,9 +86,22 @@ class StatevectorPlan final : public EnergyPlan {
   std::vector<sim::ZZPair> pairs_;
 };
 
-/// Tensor-network plan: per-edge elimination orders are computed once from
-/// the network STRUCTURE (wire variables depend only on the gate list, never
-/// on parameter values) and reused for every subsequent theta.
+/// Tensor-network plan. Two modes, selected by
+/// QTensorOptions::compile_programs:
+///
+///   * compiled (default): each edge's lightcone contraction is compiled
+///     ONCE into a qtensor::ContractionProgram — network built once, order
+///     planned once, slicing decided once, intermediate buffers
+///     preallocated — and every energy(theta) only rebinds the handful of
+///     parameterized gate tensors and replays. The qtensor mirror of the
+///     compiled statevector path (sim::SimProgram).
+///   * legacy: per-edge elimination orders are still computed once from the
+///     network STRUCTURE, but the network itself (and every intermediate
+///     allocation) is rebuilt per theta.
+///
+/// Per-edge replays fan out over parallel::parallel_for (inner_workers);
+/// each program leases per-thread scratch from its internal pool, so a
+/// shared plan runs lock-free on the contraction hot path.
 class TensorNetworkPlan final : public EnergyPlan {
  public:
   TensorNetworkPlan(circuit::Circuit ansatz, const MaxCutHamiltonian& ham,
@@ -96,9 +110,17 @@ class TensorNetworkPlan final : public EnergyPlan {
         ham_(ham),
         options_(options),
         backend_(qtensor::make_backend(options.qtensor.backend)) {
+    const auto& terms = ham_.terms();
+    if (options_.qtensor.compile_programs) {
+      const qtensor::ProgramOptions po = options_.qtensor.program_options();
+      programs_.reserve(terms.size());
+      for (const auto& t : terms)
+        programs_.push_back(std::make_unique<qtensor::ContractionProgram>(
+            ansatz_, t.u, t.v, po));
+      return;
+    }
     // Probe parameters: any values produce the same network structure.
     const std::vector<double> probe(ansatz_.num_params(), 0.1);
-    const auto& terms = ham_.terms();
     orders_.resize(terms.size());
     for (std::size_t k = 0; k < terms.size(); ++k) {
       const auto net = qtensor::expectation_zz_network(
@@ -118,6 +140,10 @@ class TensorNetworkPlan final : public EnergyPlan {
     parallel::parallel_for(
         0, terms.size(),
         [&](std::size_t k) {
+          if (!programs_.empty()) {
+            zz[k] = programs_[k]->expectation_zz(theta, *backend_);
+            return;
+          }
           const auto net = qtensor::expectation_zz_network(
               ansatz_, theta, terms[k].u, terms[k].v, options_.qtensor.network);
           const auto r = qtensor::contract(net, orders_[k], *backend_);
@@ -154,6 +180,9 @@ class TensorNetworkPlan final : public EnergyPlan {
   const MaxCutHamiltonian& ham_;
   EnergyOptions options_;
   std::shared_ptr<const qtensor::Backend> backend_;
+  /// Compiled mode: one program per Hamiltonian term, index-aligned.
+  std::vector<std::unique_ptr<qtensor::ContractionProgram>> programs_;
+  /// Legacy mode: cached per-edge elimination orders.
   std::vector<std::vector<qtensor::VarId>> orders_;
 };
 

@@ -1,13 +1,17 @@
 // QAOA energy evaluation (SIMULATE_QAOA of Algorithm 1).
 //
-// Two engines compute <γ,β| C |γ,β>:
+// Two engines compute <γ,β| C |γ,β>, and BOTH compile once per ansatz
+// structure and rebind per theta (see plan_for's contract below):
 //   * Statevector — the ansatz is compiled ONCE into a sim::SimProgram
 //     (diagonal-phase kernels, fused single-qubit runs, cached matrices);
 //     each energy(theta) replays the program and reads every <Z_u Z_v> off
 //     the final state in one batched sweep. Kernels and the sweep use
 //     `inner_workers` threads.
-//   * TensorNetwork — contract one lightcone network per edge with the
-//     QTensor backend; per-edge contractions can run in parallel across
+//   * TensorNetwork — one lightcone network per edge, compiled ONCE into a
+//     qtensor::ContractionProgram (network built once, contraction order
+//     planned once, slicing decided once, fused product+fold schedule over
+//     pooled scratch); each energy(theta) rebinds the parameterized gate
+//     tensors and replays. Per-edge replays run in parallel across
 //     `inner_workers` threads (the inner level of the two-level scheme).
 #pragma once
 
@@ -27,14 +31,32 @@ namespace qarch::qaoa {
 /// Which simulator computes expectation values.
 enum class EngineKind { Statevector, TensorNetwork };
 
-/// Evaluation configuration.
+/// Evaluation configuration — the full toggle surface of both engines.
+/// `sv_*` fields affect EngineKind::Statevector only, `qtensor` affects
+/// EngineKind::TensorNetwork only; everything else is engine-agnostic.
 struct EnergyOptions {
+  /// Which simulator computes <Z_u Z_v>. TensorNetwork (the paper's choice)
+  /// scales with circuit structure (lightcone contraction width);
+  /// Statevector scales with 2^n and wins at small n or large p.
   EngineKind engine = EngineKind::TensorNetwork;
-  std::size_t inner_workers = 1;  ///< threads for statevector kernels /
-                                  ///< batched sweeps / per-edge TN contractions
-  bool sv_compile_plan = true;    ///< false → legacy per-gate apply() path
-  bool sv_batch_expectations = true;  ///< false → one state pass per edge
-  sim::PlanOptions sv_plan;       ///< compiled-plan kernel toggles
+  /// Threads INSIDE one energy(theta) call — statevector kernels + batched
+  /// expectation sweeps, or concurrent per-edge tensor contractions. This
+  /// is the inner level of the paper's two-level scheme; the outer level
+  /// (concurrent candidates) lives in parallel::TaskPool.
+  std::size_t inner_workers = 1;
+  /// Compile each ansatz into a sim::SimProgram (specialized kernels,
+  /// fusion, per-theta scalar rebinds). false → the legacy per-gate
+  /// StatevectorSimulator::apply path (the ablation baseline).
+  bool sv_compile_plan = true;
+  /// Read all <Z_u Z_v> off the final state in ONE sweep
+  /// (sim::batched_expectation_zz). false → one state pass per edge.
+  bool sv_batch_expectations = true;
+  /// Statevector compiled-plan kernel toggles (diagonal kernels, fusion,
+  /// phase tables, SIMD, cache blocking) — see sim::PlanOptions.
+  sim::PlanOptions sv_plan;
+  /// Tensor-network engine configuration: compiled contraction programs
+  /// (compile_programs, planner, slicing) and the bucket-product backend —
+  /// see qtensor::QTensorOptions.
   qtensor::QTensorOptions qtensor;
   /// Capacity of the evaluator's ansatz→plan LRU cache used by plan_for()
   /// (0 disables caching: every plan_for call compiles fresh).
@@ -43,9 +65,11 @@ struct EnergyOptions {
 
 /// A reusable evaluation plan bound to one ansatz STRUCTURE: repeated
 /// energy(theta) calls share precomputed state. The tensor-network plan
-/// caches the per-edge contraction ORDER (which depends only on the network
-/// structure, not on parameter values), so a 200-step training run pays for
-/// ordering once — the same contraction-tree reuse QTensor performs.
+/// holds one compiled qtensor::ContractionProgram per edge (network,
+/// contraction order, slicing, and scratch layout all depend only on the
+/// network structure, not on parameter values), so a 200-step training run
+/// pays for building and ordering once — the same contraction-tree reuse
+/// QTensor performs, plus buffer reuse across steps.
 class EnergyPlan {
  public:
   virtual ~EnergyPlan() = default;

@@ -78,19 +78,93 @@ void product_range(const std::vector<const Tensor*>& factors,
   }
 }
 
+/// Fused variant of product_range: walks the REDUCED index space (the
+/// eliminated variable — position 0 of the full label set — dropped) and
+/// writes lo+hi directly, where hi offsets each factor by its stride of the
+/// eliminated variable (0 for factors not carrying it, which cannot happen
+/// in a bucket, but broadcasting keeps the code uniform).
+void product_sum_range(const std::vector<const Tensor*>& factors,
+                       const std::vector<std::vector<std::size_t>>& strides,
+                       std::size_t out_rank, std::size_t begin,
+                       std::size_t end, cplx* out) {
+  const std::size_t num_factors = factors.size();
+  const std::size_t reduced_rank = out_rank - 1;
+  if (begin >= end) return;
+
+  std::vector<std::vector<std::ptrdiff_t>> delta(num_factors);
+  std::vector<const cplx*> data(num_factors);
+  std::vector<std::size_t> idx(num_factors);
+  std::vector<std::size_t> v_stride(num_factors);
+  for (std::size_t f = 0; f < num_factors; ++f) {
+    const auto& st = strides[f];
+    v_stride[f] = st[0];
+    // Reduced strides: positions 1..out_rank-1 keep their full-space stride;
+    // the odometer walk is identical to product_range's, one bit shorter.
+    auto& d = delta[f];
+    d.resize(reduced_rank);
+    std::ptrdiff_t prefix = 0;
+    for (std::size_t t = 0; t < reduced_rank; ++t) {
+      const auto s = static_cast<std::ptrdiff_t>(st[out_rank - 1 - t]);
+      d[t] = s - prefix;
+      prefix += s;
+    }
+    data[f] = factors[f]->data().data();
+    std::size_t i0 = 0;
+    for (std::size_t p = 0; p < reduced_rank; ++p)
+      if ((begin >> (reduced_rank - 1 - p)) & 1) i0 += st[p + 1];
+    idx[f] = i0;
+  }
+
+  for (std::size_t i = begin;;) {
+    cplx lo = data[0][idx[0]];
+    cplx hi = data[0][idx[0] + v_stride[0]];
+    for (std::size_t f = 1; f < num_factors; ++f) {
+      lo *= data[f][idx[f]];
+      hi *= data[f][idx[f] + v_stride[f]];
+    }
+    out[i] = lo + hi;
+    if (++i >= end) break;
+    const int t = std::countr_zero(i);
+    for (std::size_t f = 0; f < num_factors; ++f)
+      idx[f] = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(idx[f]) +
+                                        delta[f][static_cast<std::size_t>(t)]);
+  }
+}
+
 }  // namespace
 
-Tensor SerialCpuBackend::product(const std::vector<const Tensor*>& factors,
-                                 const std::vector<VarId>& out_labels) const {
+Tensor Backend::product(const std::vector<const Tensor*>& factors,
+                        const std::vector<VarId>& out_labels) const {
+  std::vector<cplx> out(std::size_t{1} << out_labels.size());
+  product_into(factors, out_labels, out.data());
+  return Tensor(out_labels, std::move(out));
+}
+
+void SerialCpuBackend::product_into(const std::vector<const Tensor*>& factors,
+                                    const std::vector<VarId>& out_labels,
+                                    cplx* out) const {
   QARCH_REQUIRE(!factors.empty(), "product of zero factors");
   const std::size_t out_rank = out_labels.size();
   std::vector<std::vector<std::size_t>> strides;
   strides.reserve(factors.size());
   for (const Tensor* f : factors)
     strides.push_back(factor_strides(*f, out_labels));
-  std::vector<cplx> out(std::size_t{1} << out_rank);
-  product_range(factors, strides, out_rank, 0, out.size(), out.data());
-  return Tensor(out_labels, std::move(out));
+  product_range(factors, strides, out_rank, 0, std::size_t{1} << out_rank,
+                out);
+}
+
+void SerialCpuBackend::product_sum_into(
+    const std::vector<const Tensor*>& factors,
+    const std::vector<VarId>& out_labels, cplx* out) const {
+  QARCH_REQUIRE(!factors.empty(), "product of zero factors");
+  QARCH_REQUIRE(!out_labels.empty(), "product_sum_into needs a variable");
+  const std::size_t out_rank = out_labels.size();
+  std::vector<std::vector<std::size_t>> strides;
+  strides.reserve(factors.size());
+  for (const Tensor* f : factors)
+    strides.push_back(factor_strides(*f, out_labels));
+  product_sum_range(factors, strides, out_rank, 0,
+                    std::size_t{1} << (out_rank - 1), out);
 }
 
 ParallelCpuBackend::ParallelCpuBackend(std::size_t workers,
@@ -100,20 +174,22 @@ ParallelCpuBackend::ParallelCpuBackend(std::size_t workers,
                    : workers),
       parallel_threshold_rank_(parallel_threshold_rank) {}
 
-Tensor ParallelCpuBackend::product(const std::vector<const Tensor*>& factors,
-                                   const std::vector<VarId>& out_labels) const {
+void ParallelCpuBackend::product_into(
+    const std::vector<const Tensor*>& factors,
+    const std::vector<VarId>& out_labels, cplx* out) const {
   QARCH_REQUIRE(!factors.empty(), "product of zero factors");
   const std::size_t out_rank = out_labels.size();
-  if (workers_ <= 1 || out_rank < parallel_threshold_rank_)
-    return SerialCpuBackend{}.product(factors, out_labels);
+  if (workers_ <= 1 || out_rank < parallel_threshold_rank_) {
+    SerialCpuBackend{}.product_into(factors, out_labels, out);
+    return;
+  }
 
   std::vector<std::vector<std::size_t>> strides;
   strides.reserve(factors.size());
   for (const Tensor* f : factors)
     strides.push_back(factor_strides(*f, out_labels));
-  std::vector<cplx> out(std::size_t{1} << out_rank);
 
-  const std::size_t total = out.size();
+  const std::size_t total = std::size_t{1} << out_rank;
   const std::size_t chunk = std::max<std::size_t>(1024, total / (workers_ * 8));
   const std::size_t num_chunks = (total + chunk - 1) / chunk;
   parallel::parallel_for(
@@ -121,10 +197,38 @@ Tensor ParallelCpuBackend::product(const std::vector<const Tensor*>& factors,
       [&](std::size_t c) {
         const std::size_t lo = c * chunk;
         const std::size_t hi = std::min(total, lo + chunk);
-        product_range(factors, strides, out_rank, lo, hi, out.data());
+        product_range(factors, strides, out_rank, lo, hi, out);
       },
       workers_);
-  return Tensor(out_labels, std::move(out));
+}
+
+void ParallelCpuBackend::product_sum_into(
+    const std::vector<const Tensor*>& factors,
+    const std::vector<VarId>& out_labels, cplx* out) const {
+  QARCH_REQUIRE(!factors.empty(), "product of zero factors");
+  QARCH_REQUIRE(!out_labels.empty(), "product_sum_into needs a variable");
+  const std::size_t out_rank = out_labels.size();
+  if (workers_ <= 1 || out_rank < parallel_threshold_rank_) {
+    SerialCpuBackend{}.product_sum_into(factors, out_labels, out);
+    return;
+  }
+
+  std::vector<std::vector<std::size_t>> strides;
+  strides.reserve(factors.size());
+  for (const Tensor* f : factors)
+    strides.push_back(factor_strides(*f, out_labels));
+
+  const std::size_t total = std::size_t{1} << (out_rank - 1);
+  const std::size_t chunk = std::max<std::size_t>(1024, total / (workers_ * 8));
+  const std::size_t num_chunks = (total + chunk - 1) / chunk;
+  parallel::parallel_for(
+      0, num_chunks,
+      [&](std::size_t c) {
+        const std::size_t lo = c * chunk;
+        const std::size_t hi = std::min(total, lo + chunk);
+        product_sum_range(factors, strides, out_rank, lo, hi, out);
+      },
+      workers_);
 }
 
 std::unique_ptr<Backend> make_backend(const std::string& spec) {

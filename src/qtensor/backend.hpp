@@ -28,9 +28,23 @@ class Backend {
 
   /// Computes the element-wise product of `factors` broadcast over the union
   /// label set `out_labels` (every factor's labels must be a subset).
-  [[nodiscard]] virtual Tensor product(
-      const std::vector<const Tensor*>& factors,
-      const std::vector<VarId>& out_labels) const = 0;
+  [[nodiscard]] Tensor product(const std::vector<const Tensor*>& factors,
+                               const std::vector<VarId>& out_labels) const;
+
+  /// Same product written into caller-provided storage of size
+  /// 2^|out_labels| — the allocation-free kernel variant.
+  virtual void product_into(const std::vector<const Tensor*>& factors,
+                            const std::vector<VarId>& out_labels,
+                            cplx* out) const = 0;
+
+  /// Fused bucket-elimination step: the product over `out_labels` — whose
+  /// FIRST label is the eliminated variable — summed over that variable
+  /// directly into `out` (size 2^(|out_labels|-1)). The compiled contraction
+  /// plans replay this kernel; fusing the fold skips materializing the full
+  /// product (one write of half the entries instead of write+read+write).
+  virtual void product_sum_into(const std::vector<const Tensor*>& factors,
+                                const std::vector<VarId>& out_labels,
+                                cplx* out) const = 0;
 
   /// Backend display name.
   [[nodiscard]] virtual std::string name() const = 0;
@@ -39,9 +53,12 @@ class Backend {
 /// Single-threaded reference backend.
 class SerialCpuBackend final : public Backend {
  public:
-  [[nodiscard]] Tensor product(
-      const std::vector<const Tensor*>& factors,
-      const std::vector<VarId>& out_labels) const override;
+  void product_into(const std::vector<const Tensor*>& factors,
+                    const std::vector<VarId>& out_labels,
+                    cplx* out) const override;
+  void product_sum_into(const std::vector<const Tensor*>& factors,
+                        const std::vector<VarId>& out_labels,
+                        cplx* out) const override;
   [[nodiscard]] std::string name() const override { return "serial-cpu"; }
 };
 
@@ -51,9 +68,12 @@ class ParallelCpuBackend final : public Backend {
  public:
   explicit ParallelCpuBackend(std::size_t workers = 0,
                               std::size_t parallel_threshold_rank = 12);
-  [[nodiscard]] Tensor product(
-      const std::vector<const Tensor*>& factors,
-      const std::vector<VarId>& out_labels) const override;
+  void product_into(const std::vector<const Tensor*>& factors,
+                    const std::vector<VarId>& out_labels,
+                    cplx* out) const override;
+  void product_sum_into(const std::vector<const Tensor*>& factors,
+                        const std::vector<VarId>& out_labels,
+                        cplx* out) const override;
   [[nodiscard]] std::string name() const override { return "parallel-cpu"; }
 
   [[nodiscard]] std::size_t workers() const { return workers_; }

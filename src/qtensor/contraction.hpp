@@ -12,6 +12,8 @@
 #include "qtensor/backend.hpp"
 #include "qtensor/network.hpp"
 #include "qtensor/ordering.hpp"
+#include "qtensor/planner.hpp"
+#include "qtensor/program.hpp"
 
 namespace qarch::qtensor {
 
@@ -34,13 +36,39 @@ enum class OrderingAlgo { GreedyDegree, GreedyFill, Random, RandomRestart };
 /// Parses "greedy-degree", "greedy-fill", "random", "random-restart".
 OrderingAlgo ordering_from_name(const std::string& name);
 
-/// Configuration for the QTensor simulator facade.
+/// Configuration for the QTensor simulator facade AND the qtensor energy
+/// engine selected through qaoa::EnergyOptions (engine=TensorNetwork).
 struct QTensorOptions {
   NetworkOptions network;                       ///< diagonal/lightcone opts
+  /// Ordering heuristic of the NON-compiled paths (the one-shot facade and
+  /// compile_programs=false energy plans). The compiled path ignores this
+  /// and lets `planner` compete every enabled heuristic instead.
   OrderingAlgo ordering = OrderingAlgo::GreedyDegree;
   std::size_t random_restarts = 16;             ///< for RandomRestart
   std::uint64_t ordering_seed = 7;              ///< for Random/RandomRestart
   std::string backend = "serial";               ///< make_backend spec
+  /// Compile per-edge ContractionPrograms inside qaoa energy plans — the
+  /// qtensor analogue of EnergyOptions::sv_compile_plan. false restores the
+  /// legacy rebuild-per-theta path (network rebuilt and strides recomputed
+  /// every energy(theta) call, per-edge orders still cached).
+  bool compile_programs = true;
+  PlannerOptions planner;        ///< heuristics competing at program compile
+  /// Compile-time slicing decision of the compiled path: slice when the
+  /// planned width exceeds this (0 disables; see ProgramOptions).
+  std::size_t slice_above_width = 30;
+  std::size_t max_slice_vars = 4;
+
+  /// The ProgramOptions a compiled path derives from these fields — the ONE
+  /// reconciliation point, so new program knobs cannot silently diverge
+  /// from the energy-plan wiring.
+  [[nodiscard]] ProgramOptions program_options() const {
+    ProgramOptions po;
+    po.network = network;
+    po.planner = planner;
+    po.slice_above_width = slice_above_width;
+    po.max_slice_vars = max_slice_vars;
+    return po;
+  }
 };
 
 /// High-level tensor-network simulator: the C++ stand-in for QTensor.

@@ -1,6 +1,7 @@
 #include "qtensor/network.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 
@@ -10,6 +11,46 @@ namespace qarch::qtensor {
 
 using circuit::Gate;
 using circuit::GateKind;
+
+namespace {
+std::atomic<std::uint64_t> g_network_build_count{0};
+}  // namespace
+
+std::uint64_t network_build_count() {
+  return g_network_build_count.load(std::memory_order_relaxed);
+}
+
+void reset_network_build_count() {
+  g_network_build_count.store(0, std::memory_order_relaxed);
+}
+
+std::size_t gate_tensor_data(const Gate& g, std::span<const double> theta,
+                             bool diagonal, std::span<cplx> out) {
+  const linalg::Matrix m = g.matrix(theta);
+  if (g.arity() == 1) {
+    if (diagonal) {
+      QARCH_REQUIRE(out.size() >= 2, "gate_tensor_data: buffer too small");
+      out[0] = m(0, 0);
+      out[1] = m(1, 1);
+      return 2;
+    }
+    QARCH_REQUIRE(out.size() >= 4, "gate_tensor_data: buffer too small");
+    out[0] = m(0, 0);
+    out[1] = m(0, 1);
+    out[2] = m(1, 0);
+    out[3] = m(1, 1);
+    return 4;
+  }
+  if (diagonal) {
+    QARCH_REQUIRE(out.size() >= 4, "gate_tensor_data: buffer too small");
+    for (std::size_t b = 0; b < 4; ++b) out[b] = m(b, b);
+    return 4;
+  }
+  QARCH_REQUIRE(out.size() >= 16, "gate_tensor_data: buffer too small");
+  for (std::size_t o = 0; o < 4; ++o)
+    for (std::size_t i = 0; i < 4; ++i) out[o * 4 + i] = m(o, i);
+  return 16;
+}
 
 std::vector<VarId> TensorNetwork::variables() const {
   std::vector<VarId> vars;
@@ -54,8 +95,9 @@ namespace {
 /// Incremental network builder tracking the current wire variable per qubit.
 class NetworkBuilder {
  public:
-  NetworkBuilder(const std::vector<std::size_t>& qubits, bool diagonal_opt)
-      : diagonal_opt_(diagonal_opt) {
+  NetworkBuilder(const std::vector<std::size_t>& qubits, bool diagonal_opt,
+                 std::vector<GateBinding>* bindings = nullptr)
+      : diagonal_opt_(diagonal_opt), bindings_(bindings) {
     for (std::size_t q : qubits) current_var_[q] = fresh();
   }
 
@@ -79,42 +121,37 @@ class NetworkBuilder {
                               std::vector<cplx>{1.0, -1.0});
   }
 
-  /// Appends one gate tensor, threading wire variables.
+  /// Appends one gate tensor, threading wire variables. Data layout is
+  /// delegated to gate_tensor_data so the per-theta rebind path writes the
+  /// exact same bytes the builder does.
   void add_gate(const Gate& g, std::span<const double> theta) {
-    const linalg::Matrix m = g.matrix(theta);
+    const bool diagonal = diagonal_opt_ && circuit::is_diagonal(g.kind);
+    std::vector<VarId> labels;
     if (g.arity() == 1) {
-      if (diagonal_opt_ && circuit::is_diagonal(g.kind)) {
-        net_.tensors.emplace_back(std::vector<VarId>{var(g.q0)},
-                                  std::vector<cplx>{m(0, 0), m(1, 1)});
-        return;
+      if (diagonal) {
+        labels = {var(g.q0)};
+      } else {
+        const VarId in = var(g.q0), out = fresh();
+        current_var_[g.q0] = out;
+        labels = {out, in};  // data[o*2+i] = m(o, i)
       }
-      const VarId in = var(g.q0), out = fresh();
-      current_var_[g.q0] = out;
-      // labels [out, in]; data[o*2+i] = m(o, i)
-      net_.tensors.emplace_back(
-          std::vector<VarId>{out, in},
-          std::vector<cplx>{m(0, 0), m(0, 1), m(1, 0), m(1, 1)});
-      return;
-    }
-    if (diagonal_opt_ && circuit::is_diagonal(g.kind)) {
+    } else if (diagonal) {
       // Rank-2 diagonal tensor over the two current wire variables.
-      std::vector<cplx> diag(4);
-      for (std::size_t b = 0; b < 4; ++b) diag[b] = m(b, b);
-      net_.tensors.emplace_back(std::vector<VarId>{var(g.q0), var(g.q1)},
-                                std::move(diag));
-      return;
+      labels = {var(g.q0), var(g.q1)};
+    } else {
+      const VarId in0 = var(g.q0), in1 = var(g.q1);
+      const VarId out0 = fresh(), out1 = fresh();
+      current_var_[g.q0] = out0;
+      current_var_[g.q1] = out1;
+      // labels [out0, out1, in0, in1]; data[((o0*2+o1)*2+i0)*2+i1]
+      labels = {out0, out1, in0, in1};
     }
-    const VarId in0 = var(g.q0), in1 = var(g.q1);
-    const VarId out0 = fresh(), out1 = fresh();
-    current_var_[g.q0] = out0;
-    current_var_[g.q1] = out1;
-    // labels [out0, out1, in0, in1]; data[((o0*2+o1)*2+i0)*2+i1]
-    std::vector<cplx> data(16);
-    for (std::size_t o = 0; o < 4; ++o)
-      for (std::size_t i = 0; i < 4; ++i)
-        data[o * 4 + i] = m(o, i);
-    net_.tensors.emplace_back(std::vector<VarId>{out0, out1, in0, in1},
-                              std::move(data));
+    std::vector<cplx> data(std::size_t{1} << labels.size());
+    gate_tensor_data(g, theta, diagonal, data);
+    if (bindings_ != nullptr &&
+        g.param.kind == circuit::ParamExpr::Kind::Symbol)
+      bindings_->push_back({net_.tensors.size(), g, diagonal});
+    net_.tensors.emplace_back(std::move(labels), std::move(data));
   }
 
   [[nodiscard]] VarId var(std::size_t q) const {
@@ -132,6 +169,7 @@ class NetworkBuilder {
   VarId fresh() { return next_var_++; }
 
   bool diagonal_opt_;
+  std::vector<GateBinding>* bindings_;
   std::map<std::size_t, VarId> current_var_;
   VarId next_var_ = 0;
   TensorNetwork net_;
@@ -142,9 +180,11 @@ class NetworkBuilder {
 TensorNetwork expectation_zz_network(const circuit::Circuit& circuit,
                                      std::span<const double> theta,
                                      std::size_t u, std::size_t v,
-                                     const NetworkOptions& options) {
+                                     const NetworkOptions& options,
+                                     std::vector<GateBinding>* bindings) {
   QARCH_REQUIRE(u < circuit.num_qubits() && v < circuit.num_qubits() && u != v,
                 "bad ZZ pair");
+  g_network_build_count.fetch_add(1, std::memory_order_relaxed);
   circuit::Circuit effective = circuit;
   std::set<std::size_t> active;
   if (options.lightcone) {
@@ -157,7 +197,7 @@ TensorNetwork expectation_zz_network(const circuit::Circuit& circuit,
   active.insert(v);
   std::vector<std::size_t> qubits(active.begin(), active.end());
 
-  NetworkBuilder b(qubits, options.diagonal_optimization);
+  NetworkBuilder b(qubits, options.diagonal_optimization, bindings);
   for (std::size_t q : qubits) b.add_plus_cap(q);
   for (const Gate& g : effective.gates()) b.add_gate(g, theta);
   b.add_z_observable(u);
@@ -171,13 +211,15 @@ TensorNetwork expectation_zz_network(const circuit::Circuit& circuit,
 TensorNetwork amplitude_network(const circuit::Circuit& circuit,
                                 std::span<const double> theta,
                                 std::span<const int> bits,
-                                const NetworkOptions& options) {
+                                const NetworkOptions& options,
+                                std::vector<GateBinding>* bindings) {
   QARCH_REQUIRE(bits.size() == circuit.num_qubits(),
                 "amplitude: bit string length mismatch");
+  g_network_build_count.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::size_t> qubits(circuit.num_qubits());
   for (std::size_t q = 0; q < qubits.size(); ++q) qubits[q] = q;
 
-  NetworkBuilder b(qubits, options.diagonal_optimization);
+  NetworkBuilder b(qubits, options.diagonal_optimization, bindings);
   for (std::size_t q : qubits) b.add_plus_cap(q);
   for (const Gate& g : circuit.gates()) b.add_gate(g, theta);
   for (std::size_t q : qubits) b.add_basis_cap(q, bits[q]);

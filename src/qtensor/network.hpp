@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <set>
 #include <span>
 #include <vector>
@@ -21,6 +22,15 @@
 #include "qtensor/tensor.hpp"
 
 namespace qarch::qtensor {
+
+/// Number of tensor networks built (expectation_zz_network +
+/// amplitude_network calls) since the last reset. Thread-safe. The compiled
+/// contraction plans (qtensor::ContractionProgram) build each network once
+/// and rebind tensors afterwards; benches and tests use this probe to prove
+/// that training runs and multistart restarts never rebuild — the qtensor
+/// analogue of sim::program_compile_count().
+std::uint64_t network_build_count();
+void reset_network_build_count();
 
 /// Options controlling network construction.
 struct NetworkOptions {
@@ -48,16 +58,44 @@ circuit::Circuit lightcone_circuit(const circuit::Circuit& circuit,
                                    const std::vector<std::size_t>& targets,
                                    std::set<std::size_t>* active = nullptr);
 
+/// Ties one network tensor to the SYMBOL-parameterized gate whose matrix
+/// fills it. Caps, observables, and fixed/constant-angle gates evaluate to
+/// the same data for every theta and are baked at build time; only the
+/// tensors listed in a binding vector need their data recomputed when theta
+/// changes. `gate` is the effective gate the builder placed (for the U†
+/// half of an expectation network it is already the inverse gate), and
+/// `diagonal` records whether the rank-reduced diagonal layout was used.
+struct GateBinding {
+  std::size_t tensor_index = 0;  ///< index into TensorNetwork::tensors
+  circuit::Gate gate;            ///< effective (possibly adjoint) gate
+  bool diagonal = false;         ///< rank-reduced diagonal tensor layout
+};
+
+/// Fills `out` with the tensor data of gate `g` at `theta`, in the layout
+/// the network builder uses: diagonal → the 2 (1q) or 4 (2q) diagonal
+/// entries; dense → row-major 2x2 (labels [out, in]) or 4x4 (labels
+/// [out0, out1, in0, in1]). Returns the number of entries written; `out`
+/// must hold at least that many. This is the per-theta rebind kernel of the
+/// compiled contraction plans.
+std::size_t gate_tensor_data(const circuit::Gate& g,
+                             std::span<const double> theta, bool diagonal,
+                             std::span<cplx> out);
+
 /// Network for <+|^n U† (Z_u Z_v) U |+>^n with parameters bound to theta.
+/// When `bindings` is non-null it receives one GateBinding per
+/// symbol-parameterized gate tensor, enabling per-theta rebinds.
 TensorNetwork expectation_zz_network(const circuit::Circuit& circuit,
                                      std::span<const double> theta,
                                      std::size_t u, std::size_t v,
-                                     const NetworkOptions& options = {});
+                                     const NetworkOptions& options = {},
+                                     std::vector<GateBinding>* bindings =
+                                         nullptr);
 
 /// Network for the amplitude <bits| U |+>^n (bits[q] in {0,1}).
 TensorNetwork amplitude_network(const circuit::Circuit& circuit,
                                 std::span<const double> theta,
                                 std::span<const int> bits,
-                                const NetworkOptions& options = {});
+                                const NetworkOptions& options = {},
+                                std::vector<GateBinding>* bindings = nullptr);
 
 }  // namespace qarch::qtensor

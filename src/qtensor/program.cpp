@@ -1,0 +1,268 @@
+#include "qtensor/program.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "qtensor/slicing.hpp"
+
+namespace qarch::qtensor {
+
+struct ContractionProgram::Scratch {
+  bool ready = false;
+  std::vector<Tensor> slots;     ///< inputs_ copies + step intermediates
+  std::vector<Tensor> full;      ///< unprojected slice-carrying inputs,
+                                 ///< parallel to sliced_inputs_
+  std::vector<const Tensor*> factors;  ///< reusable factor-pointer list
+};
+
+/// RAII pool lease: scratch workspaces persist across replays (buffer reuse
+/// is the point of compiling) and across threads (the pool grows to the
+/// peak replay concurrency, then stabilizes).
+struct ContractionProgram::ScratchLease {
+  const ContractionProgram* program;
+  std::unique_ptr<Scratch> scratch;
+
+  ScratchLease(const ContractionProgram* p, std::unique_ptr<Scratch> s)
+      : program(p), scratch(std::move(s)) {}
+  ScratchLease(ScratchLease&&) = default;
+  ScratchLease(const ScratchLease&) = delete;
+  ~ScratchLease() {
+    if (scratch == nullptr) return;
+    std::lock_guard<std::mutex> lock(program->pool_mutex_);
+    program->pool_.push_back(std::move(scratch));
+  }
+};
+
+ContractionProgram::ContractionProgram(const circuit::Circuit& circuit,
+                                       std::size_t u, std::size_t v,
+                                       const ProgramOptions& options)
+    : options_(options), num_params_(circuit.num_params()) {
+  compile(circuit, u, v);
+}
+
+ContractionProgram::~ContractionProgram() = default;
+
+void ContractionProgram::compile(const circuit::Circuit& circuit,
+                                 std::size_t u, std::size_t v) {
+  // The ONE network build of this program's lifetime. Any probe theta
+  // produces the same structure; zeros keep the baked data deterministic.
+  const std::vector<double> probe(num_params_, 0.0);
+  TensorNetwork net = expectation_zz_network(circuit, probe, u, v,
+                                             options_.network, &bindings_);
+
+  // Contraction order: the planner competes the ordering heuristics under
+  // the exact bucket-elimination cost model and keeps the cheapest.
+  ContractionPlan plan = plan_contraction(net, options_.planner);
+
+  // Slicing decision (step-dependent parallelization): if the planned width
+  // blows the budget, fix greedy max-degree variables one at a time and
+  // re-plan the projected structure until it fits. The projected copy is
+  // only materialized when slicing actually triggers; the common path
+  // schedules against `net` directly.
+  TensorNetwork projected;
+  const TensorNetwork* scheduled = &net;
+  if (options_.slice_above_width > 0 &&
+      plan.cost.width > options_.slice_above_width) {
+    for (std::size_t s = 1; s <= options_.max_slice_vars; ++s) {
+      slice_vars_ = choose_slice_vars(net, s);
+      // Projection is structural: every assignment removes the same labels,
+      // so assignment 0 stands in for all 2^s of them.
+      projected = project_network(net, slice_vars_, 0);
+      scheduled = &projected;
+      plan = plan_contraction(projected, options_.planner);
+      if (plan.cost.width <= options_.slice_above_width) break;
+    }
+  }
+
+  for (std::size_t i = 0; i < net.tensors.size(); ++i) {
+    const auto& labels = net.tensors[i].labels();
+    const bool carries = std::any_of(
+        slice_vars_.begin(), slice_vars_.end(), [&](VarId sv) {
+          return std::find(labels.begin(), labels.end(), sv) != labels.end();
+        });
+    if (carries) sliced_inputs_.push_back(i);
+  }
+
+  // Flatten bucket elimination over the scheduled structure into a static
+  // step list. Mirrors contract(): per eliminated variable, the bucket is
+  // every live slot carrying it; the product spans the union label set with
+  // the variable first, so the post-product sum is a halves fold.
+  struct Live {
+    std::size_t slot;
+    std::vector<VarId> labels;
+  };
+  std::vector<Live> live;
+  live.reserve(scheduled->tensors.size());
+  QARCH_CHECK(scheduled->tensors.size() == net.tensors.size(),
+              "projection changed the tensor count");
+  for (std::size_t i = 0; i < scheduled->tensors.size(); ++i)
+    live.push_back({i, scheduled->tensors[i].labels()});
+  num_slots_ = net.tensors.size();
+
+  {
+    // The planner's order must cover exactly the scheduled structure.
+    std::set<VarId> in_order(plan.order.begin(), plan.order.end());
+    QARCH_CHECK(in_order.size() == plan.order.size(),
+                "compiled order repeats a variable");
+    for (VarId var : scheduled->variables())
+      QARCH_CHECK(in_order.count(var) > 0,
+                  "compiled order misses a network variable");
+  }
+
+  for (VarId var : plan.order) {
+    std::vector<Live> rest;
+    rest.reserve(live.size());
+    Step step;
+    std::set<VarId> union_set;
+    for (Live& l : live) {
+      if (std::find(l.labels.begin(), l.labels.end(), var) != l.labels.end()) {
+        step.factors.push_back(l.slot);
+        union_set.insert(l.labels.begin(), l.labels.end());
+      } else {
+        rest.push_back(std::move(l));
+      }
+    }
+    if (step.factors.empty()) {
+      live = std::move(rest);
+      continue;
+    }
+    step.out_labels.reserve(union_set.size());
+    step.out_labels.push_back(var);
+    for (VarId w : union_set)
+      if (w != var) step.out_labels.push_back(w);
+    step.entries = std::size_t{1} << step.out_labels.size();
+    step.out_slot = num_slots_++;
+    stats_.width = std::max(stats_.width, step.out_labels.size());
+
+    Live produced;
+    produced.slot = step.out_slot;
+    produced.labels.assign(step.out_labels.begin() + 1,
+                           step.out_labels.end());
+    rest.push_back(std::move(produced));
+    steps_.push_back(std::move(step));
+    live = std::move(rest);
+  }
+
+  for (const Live& l : live) {
+    QARCH_CHECK(l.labels.empty(),
+                "compiled schedule left a non-scalar tensor");
+    final_slots_.push_back(l.slot);
+  }
+
+  // Inputs keep the UNPROJECTED tensors: rebinding happens against the full
+  // gate tensors, projection (if any) happens per replay assignment.
+  inputs_ = std::move(net.tensors);
+
+  stats_.tensors = inputs_.size();
+  stats_.bound_tensors = bindings_.size();
+  stats_.steps = steps_.size();
+  stats_.est_flops = plan.cost.flops;
+  stats_.slice_vars = slice_vars_.size();
+  stats_.heuristic = plan.heuristic;
+  // Intermediate slot entries only: the fused product_sum_into kernel never
+  // materializes a full bucket product.
+  stats_.scratch_entries = 0;
+  for (const Step& s : steps_) stats_.scratch_entries += s.entries / 2;
+}
+
+void ContractionProgram::init_scratch(Scratch& s) const {
+  s.slots.clear();
+  s.slots.reserve(num_slots_);
+  s.full.clear();
+  for (std::size_t i = 0; i < inputs_.size(); ++i) s.slots.push_back(inputs_[i]);
+  for (std::size_t i : sliced_inputs_) {
+    s.full.push_back(inputs_[i]);
+    // Shape the slot to the projected layout (values filled per assignment).
+    Tensor projected = inputs_[i];
+    for (VarId sv : slice_vars_)
+      projected = project(projected, sv, 0);
+    s.slots[i] = std::move(projected);
+  }
+  for (const Step& st : steps_) {
+    std::vector<VarId> labels(st.out_labels.begin() + 1, st.out_labels.end());
+    s.slots.emplace_back(std::move(labels),
+                         std::vector<cplx>(st.entries / 2));
+  }
+  s.ready = true;
+}
+
+void ContractionProgram::rebind(Scratch& s,
+                                std::span<const double> theta) const {
+  for (const GateBinding& b : bindings_) {
+    // Slice-carrying tensors are rebound in their FULL form; the projection
+    // into the slot happens per assignment inside contract().
+    const auto it = std::find(sliced_inputs_.begin(), sliced_inputs_.end(),
+                              b.tensor_index);
+    Tensor& target = it == sliced_inputs_.end()
+                         ? s.slots[b.tensor_index]
+                         : s.full[static_cast<std::size_t>(
+                               it - sliced_inputs_.begin())];
+    gate_tensor_data(b.gate, theta, b.diagonal, target.data());
+  }
+}
+
+cplx ContractionProgram::run_schedule(Scratch& s,
+                                      const Backend& backend) const {
+  for (const Step& st : steps_) {
+    s.factors.clear();
+    for (std::size_t f : st.factors) s.factors.push_back(&s.slots[f]);
+    // Fused bucket step: the product over out_labels summed over the
+    // eliminated (first) variable, written straight into the output slot —
+    // the full product tensor is never materialized.
+    backend.product_sum_into(s.factors, st.out_labels,
+                             s.slots[st.out_slot].data().data());
+  }
+  cplx value{1.0, 0.0};
+  for (std::size_t slot : final_slots_) value *= s.slots[slot].scalar_value();
+  return value;
+}
+
+ContractionProgram::ScratchLease ContractionProgram::lease() const {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_.empty()) {
+      std::unique_ptr<Scratch> s = std::move(pool_.back());
+      pool_.pop_back();
+      return {this, std::move(s)};
+    }
+  }
+  return {this, std::make_unique<Scratch>()};
+}
+
+cplx ContractionProgram::contract(std::span<const double> theta,
+                                  const Backend& backend) const {
+  QARCH_REQUIRE(theta.size() >= num_params_,
+                "parameter vector too short for compiled program");
+  ScratchLease l = lease();
+  Scratch& s = *l.scratch;
+  if (!s.ready) init_scratch(s);
+  rebind(s, theta);
+  if (slice_vars_.empty()) return run_schedule(s, backend);
+
+  cplx total{0.0, 0.0};
+  const std::size_t num_slices = std::size_t{1} << slice_vars_.size();
+  for (std::size_t assignment = 0; assignment < num_slices; ++assignment) {
+    for (std::size_t j = 0; j < sliced_inputs_.size(); ++j) {
+      Tensor projected = s.full[j];
+      for (std::size_t k = 0; k < slice_vars_.size(); ++k)
+        projected = project(projected, slice_vars_[k],
+                            static_cast<int>((assignment >> k) & 1));
+      s.slots[sliced_inputs_[j]].data() = std::move(projected.data());
+    }
+    total += run_schedule(s, backend);
+  }
+  return total;
+}
+
+double ContractionProgram::expectation_zz(std::span<const double> theta,
+                                          const Backend& backend) const {
+  const cplx value = contract(theta, backend);
+  QARCH_CHECK(std::abs(value.imag()) < 1e-8,
+              "Hermitian expectation has a large imaginary part");
+  return value.real();
+}
+
+}  // namespace qarch::qtensor

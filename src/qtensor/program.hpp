@@ -1,0 +1,132 @@
+// Compiled contraction plans — the qtensor analogue of sim::SimProgram.
+//
+// A ContractionProgram compiles one (circuit, Z_u Z_v lightcone) pair ONCE:
+//
+//   * the tensor network is built a single time (topology, simplified
+//     lightcone, diagonal rank reduction) and its tensors baked, except the
+//     handful whose gates carry symbolic parameters;
+//   * the contraction order comes from the planner (planner.cpp competing
+//     the ordering.cpp heuristics under the exact FLOP cost model);
+//   * the slicing decision is taken at compile time: if the planned width
+//     exceeds the budget, slice variables are chosen and the schedule is
+//     compiled against the projected structure;
+//   * bucket elimination is flattened into a static schedule of product+sum
+//     steps over preallocated scratch buffers.
+//
+// A new theta then costs only a per-symbol-gate rebind (a few trig calls)
+// plus the replay — no network rebuild, no ordering, no per-step set algebra,
+// no intermediate allocations. Replays are const and thread-safe: concurrent
+// callers lease per-thread scratch workspaces from an internal pool, so one
+// program can be shared across search workers and per-edge parallel_for
+// lanes. qaoa::EnergyEvaluator keys programs into its plan_for fingerprint
+// cache, giving `backend=qtensor` the same one-compile-per-candidate
+// contract the statevector engine has (probe: network_build_count()).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "qtensor/backend.hpp"
+#include "qtensor/network.hpp"
+#include "qtensor/planner.hpp"
+
+namespace qarch::qtensor {
+
+/// Compile-time configuration of a ContractionProgram.
+struct ProgramOptions {
+  NetworkOptions network;   ///< lightcone / diagonal rank-reduction toggles
+  PlannerOptions planner;   ///< which ordering heuristics compete
+  /// Slicing decision: when the planned contraction width exceeds this,
+  /// slice variables are chosen (greedy max-degree, re-planning after each)
+  /// until the projected width fits or max_slice_vars is reached. The
+  /// threshold is a width (intermediate-tensor rank): 30 ≈ 16 GiB, far above
+  /// any QAOA lightcone this repo contracts, so slicing is effectively a
+  /// safety valve by default. 0 disables slicing entirely.
+  std::size_t slice_above_width = 30;
+  std::size_t max_slice_vars = 4;  ///< at most 2^this sub-contractions
+};
+
+/// Compile-time facts about one program (reported by benches/tests).
+struct ProgramStats {
+  std::size_t tensors = 0;        ///< network tensors (inputs)
+  std::size_t bound_tensors = 0;  ///< tensors rebound per theta
+  std::size_t steps = 0;          ///< bucket-elimination steps
+  std::size_t width = 0;          ///< max intermediate rank of the schedule
+  double est_flops = 0.0;         ///< planner cost model, per slice
+  std::size_t slice_vars = 0;     ///< 0 = unsliced
+  std::size_t scratch_entries = 0;  ///< preallocated cplx entries per lease
+  std::string heuristic;          ///< winning ordering heuristic
+};
+
+/// One <Z_u Z_v> expectation compiled against fixed circuit structure,
+/// replayable for any theta.
+class ContractionProgram {
+ public:
+  ContractionProgram(const circuit::Circuit& circuit, std::size_t u,
+                     std::size_t v, const ProgramOptions& options = {});
+  ~ContractionProgram();
+
+  // Non-copyable and non-movable (the scratch pool is address-stable);
+  // containers hold programs through unique_ptr.
+  ContractionProgram(const ContractionProgram&) = delete;
+  ContractionProgram& operator=(const ContractionProgram&) = delete;
+
+  /// Rebinds the parameterized gate tensors to `theta` and replays the
+  /// compiled schedule. Thread-safe; `backend` provides the bucket-product
+  /// kernel (see Backend::product_into).
+  [[nodiscard]] cplx contract(std::span<const double> theta,
+                              const Backend& backend) const;
+
+  /// contract() with the Hermitian-expectation check applied: the imaginary
+  /// part is asserted ~0 and the real part returned.
+  [[nodiscard]] double expectation_zz(std::span<const double> theta,
+                                      const Backend& backend) const;
+
+  [[nodiscard]] const ProgramStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t num_params() const { return num_params_; }
+
+ private:
+  /// One flattened bucket-elimination step: Backend::product_sum_into
+  /// multiplies `factors` over `out_labels` (eliminated variable first) and
+  /// folds out that variable as it produces, writing the 2^(rank-1)-entry
+  /// result straight into slot `out_slot` — the full product is never
+  /// materialized.
+  struct Step {
+    std::vector<std::size_t> factors;   ///< input slot ids
+    std::vector<VarId> out_labels;      ///< union labels, eliminated var first
+    std::size_t out_slot = 0;
+    std::size_t entries = 0;            ///< 2^|out_labels|
+  };
+
+  /// Per-replay workspace: slot tensors (inputs + intermediates) and
+  /// unprojected copies of slice-carrying inputs.
+  struct Scratch;
+  struct ScratchLease;
+
+  void compile(const circuit::Circuit& circuit, std::size_t u, std::size_t v);
+  void init_scratch(Scratch& s) const;
+  void rebind(Scratch& s, std::span<const double> theta) const;
+  [[nodiscard]] cplx run_schedule(Scratch& s, const Backend& backend) const;
+  [[nodiscard]] ScratchLease lease() const;
+
+  ProgramOptions options_;
+  std::size_t num_params_ = 0;
+  std::vector<Tensor> inputs_;          ///< baked network tensors (unprojected)
+  std::vector<GateBinding> bindings_;   ///< theta-dependent inputs
+  std::vector<VarId> slice_vars_;
+  std::vector<std::size_t> sliced_inputs_;  ///< inputs carrying a slice var
+  std::vector<Step> steps_;
+  std::vector<std::size_t> final_slots_;    ///< rank-0 slots left at the end
+  std::size_t num_slots_ = 0;
+  ProgramStats stats_;
+
+  mutable std::mutex pool_mutex_;
+  mutable std::vector<std::unique_ptr<Scratch>> pool_;
+};
+
+}  // namespace qarch::qtensor

@@ -29,7 +29,10 @@ CandidateResult Evaluator::evaluate(const qaoa::MixerSpec& mixer,
   qaoa::TrainResult trained;
   if (options_.restarts > 1) {
     // Restarts split the COBYLA budget; train_qaoa's cached plan is the one
-    // objective every restart shares, so the candidate compiles exactly once.
+    // objective every restart shares, so the candidate compiles exactly once
+    // on EITHER engine: one SimProgram (statevector) or one per-edge set of
+    // ContractionPrograms (qtensor) — probes: sim::program_compile_count()
+    // and qtensor::network_build_count().
     optim::MultiStartConfig ms;
     ms.restarts = options_.restarts;
     ms.total_evals = options_.cobyla.max_evals;

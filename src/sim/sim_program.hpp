@@ -32,11 +32,21 @@
 namespace qarch::sim {
 
 /// Compilation toggles (all on by default; the abl_* benches switch them off
-/// to measure each specialization in isolation).
+/// to measure each specialization in isolation). This is the statevector
+/// half of the compiled-plan toggle surface reached through
+/// qaoa::EnergyOptions::sv_plan; the tensor-network analogue is
+/// qtensor::QTensorOptions (compile_programs / planner / slicing).
 struct PlanOptions {
-  bool diagonal_kernels = true;   ///< (a) streaming phase kernels
-  bool fuse_single_qubit = true;  ///< (b) merge adjacent 1q runs into one 2x2
-  bool presimplify = true;        ///< run circuit::optimize before compiling
+  /// Compile diagonal gates (RZ/P/Z/S/T/CZ/RZZ) to streaming phase kernels:
+  /// one complex multiply per amplitude, no pair/quad index shuffling.
+  bool diagonal_kernels = true;
+  /// Merge each run of adjacent single-qubit gates on one wire into a
+  /// single cached 2x2 matrix.
+  bool fuse_single_qubit = true;
+  /// Run circuit::optimize before compiling. search::Evaluator turns this
+  /// off when it already pre-simplified the candidate
+  /// (EvaluatorOptions::effective_energy).
+  bool presimplify = true;
   /// Fold each run of consecutive diagonal ops sharing at most one symbolic
   /// parameter (e.g. an entire QAOA cost layer) into ONE streaming pass: a
   /// per-amplitude phase-class table baked at compile time plus a per-theta

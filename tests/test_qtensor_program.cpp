@@ -1,0 +1,317 @@
+// Compiled contraction plans (qtensor::ContractionProgram): randomized
+// statevector-vs-qtensor energy equivalence across mixers, graph families,
+// and depths — on the compiled path — plus the rebind-per-theta contract,
+// the slicing decision, concurrent replays, and the network_build_count
+// plan-reuse probe.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/extra_generators.hpp"
+#include "graph/generators.hpp"
+#include "parallel/parallel_for.hpp"
+#include "qaoa/ansatz.hpp"
+#include "qaoa/energy.hpp"
+#include "qaoa/train.hpp"
+#include "qtensor/backend.hpp"
+#include "qtensor/contraction.hpp"
+#include "qtensor/network.hpp"
+#include "qtensor/program.hpp"
+#include "search/evaluator.hpp"
+
+namespace {
+
+using namespace qarch;
+using circuit::GateKind;
+using linalg::cplx;
+using qtensor::Tensor;
+using qtensor::VarId;
+
+/// Random circuit with SYMBOL-parameterized gates so the program's
+/// rebind-per-theta path is exercised (constant-angle circuits would bake
+/// every tensor and rebind nothing).
+circuit::Circuit random_symbolic_circuit(std::size_t n, std::size_t gates,
+                                         std::size_t params, Rng& rng) {
+  circuit::Circuit c(n);
+  for (std::size_t i = 0; i < params; ++i) c.add_param();
+  const GateKind one_q[] = {GateKind::H,  GateKind::X,  GateKind::RX,
+                            GateKind::RY, GateKind::RZ, GateKind::P,
+                            GateKind::S,  GateKind::T};
+  const GateKind two_q[] = {GateKind::CX, GateKind::CZ, GateKind::RZZ};
+  auto param_for = [&](GateKind k) {
+    if (!circuit::is_parameterized(k)) return circuit::ParamExpr::none();
+    if (rng.bernoulli(0.7))
+      return circuit::ParamExpr::symbol(rng.uniform_int(params),
+                                        rng.uniform(-2.0, 2.0));
+    return circuit::ParamExpr::constant_angle(rng.uniform(-3.0, 3.0));
+  };
+  for (std::size_t i = 0; i < gates; ++i) {
+    if (n >= 2 && rng.bernoulli(0.35)) {
+      const GateKind k = two_q[rng.uniform_int(3)];
+      std::size_t a = rng.uniform_int(n), b = rng.uniform_int(n);
+      while (b == a) b = rng.uniform_int(n);
+      c.append({k, a, b, param_for(k)});
+    } else {
+      const GateKind k = one_q[rng.uniform_int(8)];
+      c.append({k, rng.uniform_int(n), 0, param_for(k)});
+    }
+  }
+  return c;
+}
+
+std::vector<double> random_theta(std::size_t params, Rng& rng) {
+  std::vector<double> theta(params);
+  for (double& t : theta) t = rng.uniform(-2.0, 2.0);
+  return theta;
+}
+
+// ---------------------------------------------------------------------------
+// Program vs the rebuild-per-call simulator, across thetas (rebind contract).
+// ---------------------------------------------------------------------------
+
+TEST(ContractionProgram, MatchesSimulatorAcrossThetas) {
+  Rng rng(19);
+  const qtensor::QTensorSimulator reference;
+  const qtensor::SerialCpuBackend backend;
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 3 + rng.uniform_int(3);
+    const circuit::Circuit c = random_symbolic_circuit(n, 14, 3, rng);
+    const std::size_t u = rng.uniform_int(n);
+    std::size_t v = rng.uniform_int(n);
+    while (v == u) v = rng.uniform_int(n);
+
+    const qtensor::ContractionProgram program(c, u, v);
+    // One compilation, many thetas: every replay must match a from-scratch
+    // network build + contraction at the same parameters.
+    for (int step = 0; step < 4; ++step) {
+      const auto theta = random_theta(3, rng);
+      const double compiled = program.expectation_zz(theta, backend);
+      const double rebuilt = reference.expectation_zz(c, theta, u, v);
+      EXPECT_NEAR(compiled, rebuilt, 1e-9)
+          << "trial " << trial << " step " << step;
+    }
+  }
+}
+
+TEST(ContractionProgram, RepeatedReplaySameThetaIsStable) {
+  // Scratch buffers are reused across replays; stale state would show up as
+  // a drifting value.
+  Rng rng(23);
+  const circuit::Circuit c = random_symbolic_circuit(4, 12, 2, rng);
+  const qtensor::ContractionProgram program(c, 0, 2);
+  const qtensor::SerialCpuBackend backend;
+  const std::vector<double> theta{0.3, -1.1};
+  const double first = program.expectation_zz(theta, backend);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(program.expectation_zz(theta, backend), first);
+}
+
+TEST(ContractionProgram, ConcurrentReplaysAgree) {
+  Rng rng(29);
+  const circuit::Circuit c = random_symbolic_circuit(5, 16, 2, rng);
+  const qtensor::ContractionProgram program(c, 1, 3);
+  const qtensor::SerialCpuBackend backend;
+  const std::vector<double> theta{0.7, 0.2};
+  const double expected = program.expectation_zz(theta, backend);
+  std::vector<double> got(16, 0.0);
+  parallel::parallel_for(
+      0, got.size(),
+      [&](std::size_t i) { got[i] = program.expectation_zz(theta, backend); },
+      4);
+  for (double g : got) EXPECT_EQ(g, expected);
+}
+
+TEST(ContractionProgram, SlicedScheduleMatchesUnsliced) {
+  Rng rng(31);
+  const qtensor::SerialCpuBackend backend;
+  for (int trial = 0; trial < 4; ++trial) {
+    const circuit::Circuit c = random_symbolic_circuit(5, 16, 2, rng);
+    qtensor::ProgramOptions sliced;
+    sliced.slice_above_width = 2;  // force the slicing decision
+    sliced.max_slice_vars = 3;
+    const qtensor::ContractionProgram with(c, 0, 3, sliced);
+    const qtensor::ContractionProgram without(c, 0, 3);
+    EXPECT_GE(with.stats().slice_vars, 1u);
+    EXPECT_EQ(without.stats().slice_vars, 0u);
+    for (int step = 0; step < 3; ++step) {
+      const auto theta = random_theta(2, rng);
+      EXPECT_NEAR(with.expectation_zz(theta, backend),
+                  without.expectation_zz(theta, backend), 1e-9)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(ContractionProgram, StatsReflectCompilation) {
+  Rng rng(3);
+  const auto g = graph::random_regular(8, 3, rng);
+  const auto c = qaoa::build_qaoa_circuit(g, 1, qaoa::MixerSpec::qnas());
+  const auto& e = g.edges()[0];
+  const qtensor::ContractionProgram program(c, e.u, e.v);
+  const auto& st = program.stats();
+  EXPECT_GT(st.tensors, 0u);
+  EXPECT_GT(st.bound_tensors, 0u);  // QAOA gates are symbol-parameterized
+  EXPECT_GT(st.steps, 0u);
+  EXPECT_GT(st.width, 0u);
+  EXPECT_GT(st.est_flops, 0.0);
+  EXPECT_FALSE(st.heuristic.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Backend product_into (the allocation-free kernel the replay uses).
+// ---------------------------------------------------------------------------
+
+TEST(Backend, ProductIntoMatchesProduct) {
+  Rng rng(41);
+  auto random_tensor = [&](std::vector<VarId> labels) {
+    std::vector<cplx> data(std::size_t{1} << labels.size());
+    for (auto& x : data) x = cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    return Tensor(std::move(labels), std::move(data));
+  };
+  const Tensor t1 = random_tensor({0, 1, 2});
+  const Tensor t2 = random_tensor({2, 3});
+  const std::vector<VarId> out_labels = {3, 0, 1, 2};
+  const qtensor::SerialCpuBackend serial;
+  const qtensor::ParallelCpuBackend par(4, /*parallel_threshold_rank=*/0);
+  const Tensor expected = serial.product({&t1, &t2}, out_labels);
+  // The fused kernel must equal "materialize the product, then fold the
+  // first (eliminated) variable" exactly.
+  const Tensor folded = expected.sum_over(out_labels[0]);
+  for (const qtensor::Backend* b :
+       {static_cast<const qtensor::Backend*>(&serial),
+        static_cast<const qtensor::Backend*>(&par)}) {
+    std::vector<cplx> out(expected.size(), cplx{9.0, 9.0});
+    b->product_into({&t1, &t2}, out_labels, out.data());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_LT(std::abs(out[i] - expected.data()[i]), 1e-12) << b->name();
+
+    std::vector<cplx> summed(folded.size(), cplx{9.0, 9.0});
+    b->product_sum_into({&t1, &t2}, out_labels, summed.data());
+    for (std::size_t i = 0; i < summed.size(); ++i)
+      EXPECT_LT(std::abs(summed[i] - folded.data()[i]), 1e-12) << b->name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized statevector-vs-qtensor ENERGY equivalence across mixers, graph
+// families, and p — compiled and legacy tensor-network paths.
+// ---------------------------------------------------------------------------
+
+struct EnergyCase {
+  const char* name;
+  qaoa::MixerSpec mixer;
+};
+
+class EnergyEquivalence : public ::testing::TestWithParam<EnergyCase> {};
+
+TEST_P(EnergyEquivalence, AllEnginesAgreeAcrossGraphFamiliesAndDepth) {
+  const qaoa::MixerSpec mixer = GetParam().mixer;
+  Rng rng(57);
+  std::vector<graph::Graph> graphs;
+  graphs.push_back(graph::random_regular(8, 3, rng));
+  graphs.push_back(graph::erdos_renyi_connected(7, 0.4, rng));
+  graphs.push_back(graph::complete(5));
+
+  for (const auto& g : graphs) {
+    for (std::size_t p : {std::size_t{1}, std::size_t{2}}) {
+      const auto ansatz = qaoa::build_qaoa_circuit(g, p, mixer);
+      const auto theta = random_theta(ansatz.num_params(), rng);
+
+      qaoa::EnergyOptions sv;
+      sv.engine = qaoa::EngineKind::Statevector;
+      qaoa::EnergyOptions tn_compiled;
+      tn_compiled.engine = qaoa::EngineKind::TensorNetwork;
+      qaoa::EnergyOptions tn_legacy = tn_compiled;
+      tn_legacy.qtensor.compile_programs = false;
+
+      const qaoa::EnergyEvaluator ev_sv(g, sv);
+      const qaoa::EnergyEvaluator ev_c(g, tn_compiled);
+      const qaoa::EnergyEvaluator ev_l(g, tn_legacy);
+
+      const double e_sv = ev_sv.energy(ansatz, theta);
+      const double e_c = ev_c.energy(ansatz, theta);
+      const double e_l = ev_l.energy(ansatz, theta);
+      EXPECT_NEAR(e_c, e_sv, 1e-8)
+          << GetParam().name << " n=" << g.num_vertices() << " p=" << p;
+      EXPECT_NEAR(e_l, e_sv, 1e-8)
+          << GetParam().name << " n=" << g.num_vertices() << " p=" << p;
+
+      // Per-term expectations must agree index-by-index too.
+      const auto zz_sv = ev_sv.zz_expectations(ansatz, theta);
+      const auto zz_c = ev_c.zz_expectations(ansatz, theta);
+      ASSERT_EQ(zz_sv.size(), zz_c.size());
+      for (std::size_t k = 0; k < zz_sv.size(); ++k)
+        EXPECT_NEAR(zz_c[k], zz_sv[k], 1e-8) << "term " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixers, EnergyEquivalence,
+    ::testing::Values(
+        EnergyCase{"baseline_rx", qaoa::MixerSpec::baseline()},
+        EnergyCase{"qnas_rx_ry", qaoa::MixerSpec::qnas()},
+        EnergyCase{"entangling_rx_rzz",
+                   qaoa::MixerSpec{{GateKind::RX, GateKind::RZZ}}},
+        EnergyCase{"entangling_ry_cx",
+                   qaoa::MixerSpec{{GateKind::RY, GateKind::CX}}}),
+    [](const ::testing::TestParamInfo<EnergyCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Plan-reuse contract on backend=qtensor: one network build per edge per
+// candidate, zero rebuilds across thetas / plan_for hits / restarts.
+// ---------------------------------------------------------------------------
+
+TEST(PlanReuse, EnergyCallsNeverRebuildNetworks) {
+  Rng rng(71);
+  const auto g = graph::random_regular(8, 3, rng);
+  const auto ansatz = qaoa::build_qaoa_circuit(g, 2, qaoa::MixerSpec::qnas());
+
+  qaoa::EnergyOptions opt;
+  opt.engine = qaoa::EngineKind::TensorNetwork;
+  const qaoa::EnergyEvaluator evaluator(g, opt);
+
+  qtensor::reset_network_build_count();
+  const auto plan = evaluator.plan_for(ansatz);
+  const std::uint64_t after_compile = qtensor::network_build_count();
+  EXPECT_EQ(after_compile, g.num_edges());  // exactly one build per edge
+
+  for (int i = 0; i < 5; ++i) {
+    std::vector<double> theta(ansatz.num_params(), 0.1 * (i + 1));
+    (void)plan->energy(theta);
+  }
+  EXPECT_EQ(qtensor::network_build_count(), after_compile);
+
+  // Cache hit: the same structure never compiles twice.
+  (void)evaluator.plan_for(ansatz);
+  std::vector<double> theta(ansatz.num_params(), 0.5);
+  (void)evaluator.energy(ansatz, theta);
+  EXPECT_EQ(qtensor::network_build_count(), after_compile);
+}
+
+TEST(PlanReuse, MultistartRestartsShareOneCompilation) {
+  Rng rng(73);
+  const auto g = graph::random_regular(6, 3, rng);
+
+  search::EvaluatorOptions opt;
+  opt.energy.engine = qaoa::EngineKind::TensorNetwork;
+  opt.cobyla.max_evals = 12;
+  opt.restarts = 3;
+  opt.shots = 8;
+  opt.sample_trials = 1;
+  const search::Evaluator evaluator(g, opt);
+
+  qtensor::reset_network_build_count();
+  const auto result = evaluator.evaluate(qaoa::MixerSpec::baseline(), 1);
+  // The whole candidate — every COBYLA step of every restart, plus the
+  // sampling pass (statevector-based) — builds each edge network once.
+  EXPECT_EQ(qtensor::network_build_count(), g.num_edges());
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+}  // namespace

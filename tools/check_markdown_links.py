@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Validate relative links in the repo's markdown files.
+
+Walks every *.md outside build directories, extracts [text](target) links,
+and checks that each relative target resolves to an existing file or
+directory. External links (http/https/mailto) are ignored on purpose: this
+job must never flake on network state. Exits non-zero listing every broken
+link so README/doc cross-references stay valid as files move.
+"""
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {"build", "build-asan", ".git"}
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = []
+    checked = 0
+    for md in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in md.relative_to(root).parts):
+            continue
+        text = md.read_text(encoding="utf-8")
+        for target in LINK_RE.findall(text):
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, ...
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue  # pure in-page anchor
+            checked += 1
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(root)}: {target}")
+    if broken:
+        print("broken markdown links:")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"ok: {checked} relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
