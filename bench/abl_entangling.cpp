@@ -23,9 +23,9 @@ double best_ratio_over(const std::vector<graph::Graph>& graphs,
   search::SearchConfig cfg;
   cfg.p_max = 1;
   cfg.alphabet = alphabet;
-  cfg.outer_workers = std::thread::hardware_concurrency();
-  cfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
-  cfg.evaluator.cobyla.max_evals = 150;
+  cfg.session.workers = std::thread::hardware_concurrency();
+  cfg.session.backend = BackendChoice::Statevector;
+  cfg.session.training_evals = 150;
   cfg.constraints.add(std::make_shared<search::TrainableConstraint>());
   const search::SearchEngine engine(cfg);
 

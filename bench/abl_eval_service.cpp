@@ -1,0 +1,205 @@
+// Ablation: the shared evaluation service vs the old per-driver loops.
+//
+// Four sections, all on one graph + candidate cohort:
+//   1. Parity + compile-once probe: two concurrent SearchEngine clients
+//      share one EvalService; their best candidate must match the old-style
+//      private loop (one Evaluator, serial sweep) bit for bit, while
+//      sim::program_compile_count() proves each (candidate, graph) plan
+//      compiled exactly ONCE service-wide (the acceptance criterion of the
+//      service API).
+//   2. Throughput vs client count: N client threads submitting the same
+//      cohort; candidates/second and the result-cache hit rate as dedup
+//      absorbs the duplicate load.
+//   3. Queue accounting: mean queue-wait vs evaluation latency off the
+//      service-side ticket timestamps.
+//   4. backend=Auto pick counts on a small (statevector) and a large sparse
+//      (tensor-network) instance.
+//
+// Results land in BENCH_eval_service.json (section "eval_service").
+//
+// Flags: --qubits N (8) --degree D (3) --p P (1) --kmax K (2) --evals E (60)
+//        --workers W (4) --max-clients C (4) --out PATH
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "search/eval_service.hpp"
+#include "sim/sim_program.hpp"
+
+using namespace qarch;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("qubits", 8));
+  const auto degree = static_cast<std::size_t>(cli.get_int("degree", 3));
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 1));
+  const auto k_max = static_cast<std::size_t>(cli.get_int("kmax", 2));
+  const auto evals = static_cast<std::size_t>(cli.get_int("evals", 60));
+  const auto workers = static_cast<std::size_t>(cli.get_int("workers", 4));
+  const auto max_clients =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   cli.get_int("max-clients", 4)));
+  const std::string out = cli.get("out", "BENCH_eval_service.json");
+
+  Rng rng(7);
+  const auto g = graph::random_regular(n, degree, rng);
+  const auto cohort = search::all_combinations(
+      search::GateAlphabet::standard(), k_max,
+      search::CombinationMode::Product);
+
+  SessionConfig session;
+  session.backend = BackendChoice::Statevector;
+  session.training_evals = evals;
+  session.workers = workers;
+
+  std::printf("eval-service ablation: %s, %zu candidates (k<=%zu), p=%zu, "
+              "%zu evals, %zu workers\n\n",
+              g.to_string().c_str(), cohort.size(), k_max, p, evals, workers);
+  json::Value section = json::Value::object();
+  section.set("qubits", n);
+  section.set("p", p);
+  section.set("candidates", cohort.size());
+  section.set("evals", evals);
+  section.set("workers", workers);
+
+  // -- 1. parity + compile-once: old private loop vs two service clients ----
+  const search::Evaluator old_style(
+      g, session.evaluator_options(qaoa::EngineKind::Statevector));
+  sim::reset_program_compile_count();
+  Timer t_old;
+  search::CandidateResult old_best;
+  old_best.energy = -1.0;
+  for (const auto& mixer : cohort) {
+    auto r = old_style.evaluate(mixer, p);
+    if (r.energy > old_best.energy) old_best = std::move(r);
+  }
+  const double old_seconds = t_old.seconds();
+  const auto old_compiles = sim::program_compile_count();
+
+  search::SearchConfig scfg;
+  scfg.p_max = p;
+  scfg.session = session;
+  const search::SearchEngine engine(scfg);
+  search::EvalService shared(session);
+  sim::reset_program_compile_count();
+  Timer t_shared;
+  std::vector<search::SearchReport> reports(2);
+  {
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < 2; ++c)
+      clients.emplace_back([&, c] {
+        reports[c] = engine.run_exhaustive(shared, g, k_max);
+      });
+    for (auto& t : clients) t.join();
+  }
+  const double shared_seconds = t_shared.seconds();
+  const auto shared_compiles = sim::program_compile_count();
+
+  const bool parity = reports[0].best.mixer == old_best.mixer &&
+                      reports[1].best.mixer == old_best.mixer &&
+                      reports[0].best.energy == old_best.energy &&
+                      reports[1].best.energy == old_best.energy;
+  std::printf("old private loop:   best %-18s <C>=%.6f  %zu compiles  %.2fs\n",
+              old_best.mixer.to_string().c_str(), old_best.energy,
+              static_cast<std::size_t>(old_compiles), old_seconds);
+  std::printf("2 service clients:  best %-18s <C>=%.6f  %zu compiles  %.2fs\n",
+              reports[0].best.mixer.to_string().c_str(),
+              reports[0].best.energy,
+              static_cast<std::size_t>(shared_compiles), shared_seconds);
+  std::printf("best-candidate parity: %s, duplicate compiles: %zu\n\n",
+              parity ? "YES" : "NO",
+              static_cast<std::size_t>(shared_compiles > old_compiles
+                                           ? shared_compiles - old_compiles
+                                           : 0));
+  section.set("old_loop_seconds", old_seconds);
+  section.set("old_loop_compiles", static_cast<std::size_t>(old_compiles));
+  section.set("two_client_seconds", shared_seconds);
+  section.set("two_client_compiles",
+              static_cast<std::size_t>(shared_compiles));
+  section.set("best_parity", parity);
+
+  // -- 2. throughput vs client count ----------------------------------------
+  std::printf("%-8s %-10s %-12s %-10s %-10s\n", "clients", "seconds",
+              "cand/s", "hits", "misses");
+  json::Value throughput = json::Value::array();
+  for (std::size_t clients = 1; clients <= max_clients; clients *= 2) {
+    search::EvalService service(session);
+    Timer timer;
+    std::vector<std::thread> pool;
+    for (std::size_t c = 0; c < clients; ++c)
+      pool.emplace_back([&] {
+        (void)service.collect(service.submit_batch(g, cohort, p));
+      });
+    for (auto& t : pool) t.join();
+    const double seconds = timer.seconds();
+    const auto stats = service.stats();
+    const double rate =
+        static_cast<double>(clients * cohort.size()) / seconds;
+    std::printf("%-8zu %-10.2f %-12.1f %-10zu %-10zu\n", clients, seconds,
+                rate, stats.cache_hits, stats.cache_misses);
+    json::Value row = json::Value::object();
+    row.set("clients", clients);
+    row.set("seconds", seconds);
+    row.set("candidates_per_second", rate);
+    row.set("cache_hits", stats.cache_hits);
+    row.set("cache_misses", stats.cache_misses);
+    row.set("hit_rate", static_cast<double>(stats.cache_hits) /
+                            static_cast<double>(clients * cohort.size()));
+    throughput.push_back(std::move(row));
+  }
+  section.set("throughput", std::move(throughput));
+
+  // -- 3. queue accounting off the service-side timestamps ------------------
+  {
+    search::EvalService service(session);
+    const auto tickets = service.submit_batch(g, cohort, p);
+    const auto results = service.collect(tickets);
+    double queue_sum = 0.0, eval_sum = 0.0;
+    for (const auto& r : results) {
+      queue_sum += r.queue_seconds;
+      eval_sum += r.eval_seconds;
+    }
+    const double mean_queue = queue_sum / static_cast<double>(results.size());
+    const double mean_eval = eval_sum / static_cast<double>(results.size());
+    std::printf("\nper-candidate latency (1 client, %zu workers): "
+                "%.1f ms queued, %.1f ms evaluating\n",
+                workers, mean_queue * 1e3, mean_eval * 1e3);
+    section.set("mean_queue_seconds", mean_queue);
+    section.set("mean_eval_seconds", mean_eval);
+  }
+
+  // -- 4. backend=Auto pick counts ------------------------------------------
+  {
+    SessionConfig auto_session = session;
+    auto_session.backend = BackendChoice::Auto;
+    auto_session.training_evals = 15;
+    search::EvalService service(auto_session);
+    Rng big_rng(11);
+    const auto big = graph::random_regular(
+        std::max<std::size_t>(16, auto_session.auto_statevector_qubits + 2),
+        3, big_rng);
+    const auto small_tickets =
+        service.submit_batch(g, {qaoa::MixerSpec::baseline(),
+                                 qaoa::MixerSpec::qnas()}, 1);
+    const auto big_tickets =
+        service.submit_batch(big, {qaoa::MixerSpec::baseline(),
+                                   qaoa::MixerSpec::qnas()}, 1);
+    (void)service.collect(small_tickets);
+    (void)service.collect(big_tickets);
+    const auto stats = service.stats();
+    std::printf("backend=auto picks: %zu statevector (n=%zu), "
+                "%zu tensor-network (n=%zu)\n",
+                stats.picked_statevector, g.num_vertices(),
+                stats.picked_tensornetwork, big.num_vertices());
+    json::Value auto_section = json::Value::object();
+    auto_section.set("small_qubits", g.num_vertices());
+    auto_section.set("large_qubits", big.num_vertices());
+    auto_section.set("picked_statevector", stats.picked_statevector);
+    auto_section.set("picked_tensornetwork", stats.picked_tensornetwork);
+    section.set("auto_backend", std::move(auto_section));
+  }
+
+  bench::update_bench_json(out, "eval_service", std::move(section));
+  return 0;
+}

@@ -29,9 +29,9 @@ int main(int argc, char** argv) {
   // Full sweep: every candidate gets the paper's 200 evaluations.
   search::SearchConfig full_cfg;
   full_cfg.p_max = 1;
-  full_cfg.outer_workers = workers;
-  full_cfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
-  full_cfg.evaluator.cobyla.max_evals = 200;
+  full_cfg.session.workers = workers;
+  full_cfg.session.backend = BackendChoice::Statevector;
+  full_cfg.session.training_evals = 200;
   Timer t_full;
   const auto full = search::SearchEngine(full_cfg).run_exhaustive(g, 2);
   std::size_t full_evals = 0;
@@ -40,8 +40,8 @@ int main(int argc, char** argv) {
   // Successive halving over the same cohort.
   search::HalvingConfig hcfg;
   hcfg.initial_budget = 25;
-  hcfg.outer_workers = workers;
-  hcfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
+  hcfg.session.workers = workers;
+  hcfg.session.backend = BackendChoice::Statevector;
   Timer t_halving;
   const auto halved = search::successive_halving(g, candidates, hcfg);
 

@@ -26,6 +26,7 @@
 #include "qaoa/energy.hpp"
 #include "search/combinations.hpp"
 #include "search/engine.hpp"
+#include "session.hpp"
 
 namespace qarch::bench {
 
@@ -67,6 +68,14 @@ struct BenchConfig {
     if (runs != 0) return runs;
     return full ? full_value : quick;
   }
+
+  /// The --engine flag as a session-level BackendChoice (never Auto: the
+  /// figure harnesses compare the two engines explicitly).
+  [[nodiscard]] BackendChoice backend() const {
+    return engine == qaoa::EngineKind::Statevector
+               ? BackendChoice::Statevector
+               : BackendChoice::TensorNetwork;
+  }
 };
 
 /// A seeded subsample of the full candidate space (paper alphabet, k<=k_max).
@@ -105,7 +114,7 @@ inline double timed_candidate_search(
 
   Timer timer;
   if (outer_workers <= 1) {
-    for (const auto& mixer : candidates) evaluator.evaluate(mixer, p);
+    for (const auto& mixer : candidates) (void)evaluator.evaluate(mixer, p);
   } else {
     parallel::TaskPool pool(outer_workers);
     std::vector<std::tuple<std::size_t>> idx;

@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
   const graph::Graph search_graph = graph::erdos_renyi_connected(10, 0.5, rng);
   search::SearchConfig scfg;
   scfg.p_max = 1;
-  scfg.outer_workers = workers;
-  scfg.evaluator.energy.engine = cfg.engine;
-  scfg.evaluator.cobyla.max_evals = 200;
+  scfg.session.workers = workers;
+  scfg.session.backend = cfg.backend();
+  scfg.session.training_evals = 200;
   const auto report = search::SearchEngine(scfg).run_exhaustive(search_graph,
                                                                 k_max);
   std::printf("stage 1: searched %zu candidates on %s in %.1fs\n",

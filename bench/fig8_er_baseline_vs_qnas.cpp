@@ -6,7 +6,7 @@
 #include "bench_util.hpp"
 #include "common/ascii_plot.hpp"
 #include "common/stats.hpp"
-#include "parallel/task_pool.hpp"
+#include "search/eval_service.hpp"
 
 using namespace qarch;
 
@@ -20,15 +20,17 @@ int main(int argc, char** argv) {
   Rng rng(cfg.seed);
   const auto graphs = graph::er_dataset(num_graphs, 10, 0.3, 0.7, rng);
 
-  search::EvaluatorOptions opt;
-  opt.energy.engine = cfg.engine;
-  opt.cobyla.max_evals = 200;
+  SessionConfig session;
+  session.backend = cfg.backend();
+  session.training_evals = 200;
+  session.workers = 0;  // all cores
+  session.evaluator_cache = num_graphs;  // one shared evaluator per graph
+  search::EvalService service(session);
 
   const std::vector<std::pair<std::string, qaoa::MixerSpec>> mixers = {
       {"baseline", qaoa::MixerSpec::baseline()},
       {"qnas", qaoa::MixerSpec::qnas()}};
 
-  parallel::TaskPool pool;
   std::vector<std::pair<std::string, double>> bars;
   std::vector<std::vector<double>> csv_rows;
   std::printf("graphs=%zu, r averaged over p=1..%zu per graph\n\n", num_graphs,
@@ -36,19 +38,19 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-10s %-10s %-10s %-10s\n", "mixer", "mean r", "std r",
               "min r", "max r");
   for (const auto& [name, mixer] : mixers) {
-    // One task per (graph, p); ratios averaged over p within a graph.
+    // One submission per (graph, p); ratios averaged over p within a graph.
     std::vector<std::tuple<std::size_t, std::size_t>> jobs;
+    std::vector<search::EvalTicket> tickets;
     for (std::size_t i = 0; i < graphs.size(); ++i)
-      for (std::size_t p = 1; p <= p_max; ++p) jobs.emplace_back(i, p);
-    const auto results = pool.starmap_async(
-        [&, &mixer = mixer](std::size_t i, std::size_t p) {
-          const search::Evaluator ev(graphs[i], opt);
-          return ev.evaluate(mixer, p).sampled_ratio;
-        },
-        jobs).get();
+      for (std::size_t p = 1; p <= p_max; ++p) {
+        jobs.emplace_back(i, p);
+        tickets.push_back(service.submit(graphs[i], mixer, p));
+      }
+    const auto results = service.collect(tickets);
     std::vector<double> per_graph(graphs.size(), 0.0);
     for (std::size_t j = 0; j < jobs.size(); ++j)
-      per_graph[std::get<0>(jobs[j])] += results[j] / static_cast<double>(p_max);
+      per_graph[std::get<0>(jobs[j])] +=
+          results[j].sampled_ratio / static_cast<double>(p_max);
 
     std::printf("%-10s %-10.4f %-10.4f %-10.4f %-10.4f\n", name.c_str(),
                 mean(per_graph), stddev(per_graph), min_value(per_graph),

@@ -6,7 +6,7 @@
 #include "bench_util.hpp"
 #include "common/ascii_plot.hpp"
 #include "common/stats.hpp"
-#include "parallel/task_pool.hpp"
+#include "search/eval_service.hpp"
 
 using namespace qarch;
 
@@ -20,29 +20,28 @@ int main(int argc, char** argv) {
   Rng rng(cfg.seed);
   const auto graphs = graph::regular_dataset(num_graphs, 10, 4, rng);
 
-  search::EvaluatorOptions opt;
-  opt.energy.engine = cfg.engine;
-  opt.cobyla.max_evals = 200;
+  SessionConfig session;
+  session.backend = cfg.backend();
+  session.training_evals = 200;
+  session.workers = 0;  // all cores
+  session.evaluator_cache = num_graphs;  // one shared evaluator per graph
+  search::EvalService service(session);
 
   const std::vector<std::pair<std::string, qaoa::MixerSpec>> mixers = {
       {"baseline", qaoa::MixerSpec::baseline()},
       {"qnas", qaoa::MixerSpec::qnas()}};
 
-  parallel::TaskPool pool;
   std::vector<std::pair<std::string, double>> bars;
   std::vector<std::vector<double>> csv_rows;
   std::printf("graphs=%zu\n\n", num_graphs);
   std::printf("%-4s %-10s %-10s %-10s\n", "p", "mixer", "mean r", "std r");
   for (std::size_t p = 1; p <= 3; ++p) {
     for (const auto& [name, mixer] : mixers) {
-      std::vector<std::tuple<std::size_t>> idx;
-      for (std::size_t i = 0; i < graphs.size(); ++i) idx.emplace_back(i);
-      const auto ratios = pool.starmap_async(
-          [&, &mixer = mixer](std::size_t i) {
-            const search::Evaluator ev(graphs[i], opt);
-            return ev.evaluate(mixer, p).sampled_ratio;
-          },
-          idx).get();
+      std::vector<search::EvalTicket> tickets;
+      for (const auto& g : graphs) tickets.push_back(service.submit(g, mixer, p));
+      std::vector<double> ratios;
+      for (const auto& r : service.collect(tickets))
+        ratios.push_back(r.sampled_ratio);
       std::printf("%-4zu %-10s %-10.4f %-10.4f\n", p, name.c_str(),
                   mean(ratios), stddev(ratios));
       bars.emplace_back("p=" + std::to_string(p) + " " + name, mean(ratios));

@@ -26,10 +26,10 @@ int main(int argc, char** argv) {
 
   search::SearchConfig cfg;
   cfg.p_max = p;
-  cfg.outer_workers = 1;  // sequential so the controller learns online
+  cfg.session.workers = 1;  // sequential so the controller learns online
   cfg.batch = 10;
-  cfg.evaluator.cobyla.max_evals = 120;
-  cfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
+  cfg.session.training_evals = 120;
+  cfg.session.backend = BackendChoice::Statevector;
   const search::SearchEngine engine(cfg);
 
   search::ReinforceConfig rl;

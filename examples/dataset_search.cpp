@@ -30,8 +30,10 @@ int main(int argc, char** argv) {
 
   search::DatasetSearchConfig cfg;
   cfg.engine.p_max = 1;
-  cfg.engine.evaluator.energy.engine = qaoa::EngineKind::Statevector;
-  cfg.engine.evaluator.cobyla.max_evals = 120;
+  cfg.engine.session.backend = BackendChoice::Statevector;
+  cfg.engine.session.training_evals = 120;
+  // node_slots client searches share one service; search_dataset widens the
+  // pool to node_slots × session.workers, so one worker per slot suffices.
   // Constraints: trainable candidates only, no redundant repeats.
   cfg.engine.constraints
       .add(std::make_shared<search::TrainableConstraint>())

@@ -1,11 +1,14 @@
 // Full QArchSearch run (Algorithm 1): exhaustive mixer search over the
-// rotation-gate alphabet with the parallel evaluator, printing the best
-// mixer per depth and the discovered circuit.
+// rotation-gate alphabet through the shared evaluation service, printing the
+// best mixer per depth and the discovered circuit.
 //
 //   ./mixer_search [--n 10] [--degree 4] [--pmax 2] [--kmax 2]
 //                  [--workers 0(=all cores)] [--evals 200] [--seed 3]
+//                  [--engine sv|tn|auto] [--small]
+//
+// --small shrinks everything (CI smoke-test profile: 6 qubits, p=1, k<=1,
+// 30 evaluations).
 #include <cstdio>
-#include <thread>
 
 #include "common/cli.hpp"
 #include "graph/generators.hpp"
@@ -16,12 +19,14 @@ using namespace qarch;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 10));
-  const auto degree = static_cast<std::size_t>(cli.get_int("degree", 4));
-  const auto p_max = static_cast<std::size_t>(cli.get_int("pmax", 2));
-  const auto k_max = static_cast<std::size_t>(cli.get_int("kmax", 2));
-  auto workers = static_cast<std::size_t>(cli.get_int("workers", 0));
-  if (workers == 0) workers = std::thread::hardware_concurrency();
+  const bool small = cli.has("small");
+  const auto n = static_cast<std::size_t>(cli.get_int("n", small ? 6 : 10));
+  const auto degree =
+      static_cast<std::size_t>(cli.get_int("degree", small ? 3 : 4));
+  const auto p_max =
+      static_cast<std::size_t>(cli.get_int("pmax", small ? 1 : 2));
+  const auto k_max =
+      static_cast<std::size_t>(cli.get_int("kmax", small ? 1 : 2));
 
   Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 3)));
   const graph::Graph g = graph::random_regular(n, degree, rng);
@@ -30,16 +35,22 @@ int main(int argc, char** argv) {
 
   search::SearchConfig cfg;
   cfg.p_max = p_max;
-  cfg.outer_workers = workers;
-  cfg.evaluator.cobyla.max_evals =
-      static_cast<std::size_t>(cli.get_int("evals", 200));
-  cfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
+  cfg.session.backend = backend_from_name(cli.get("engine", "sv"));
+  cfg.session.workers =
+      static_cast<std::size_t>(cli.get_int("workers", 0));  // 0 = all cores
+  cfg.session.training_evals =
+      static_cast<std::size_t>(cli.get_int("evals", small ? 30 : 200));
 
+  // One service; the engine is a pure client. A second engine (or thread)
+  // could share `service` and its caches.
+  search::EvalService service(cfg.session);
   const search::SearchEngine engine(cfg);
-  const search::SearchReport report = engine.run_exhaustive(g, k_max);
+  const search::SearchReport report = engine.run_exhaustive(service, g, k_max);
 
-  std::printf("evaluated %zu candidates in %.2fs on %zu workers\n\n",
-              report.num_candidates, report.seconds, workers);
+  std::printf("evaluated %zu candidates in %.2fs on %zu workers "
+              "(%zu cache hits / %zu misses)\n\n",
+              report.num_candidates, report.seconds, service.workers(),
+              report.cache_hits, report.cache_misses);
   for (std::size_t p = 1; p <= p_max; ++p) {
     const auto& best = report.best_at_depth(p);
     std::printf("p=%zu best mixer %-22s  <C>=%.4f  r=%.4f  r_sampled=%.4f\n",

@@ -1,17 +1,19 @@
-// Quickstart: build a QAOA circuit for a random max-cut instance, train it
-// with COBYLA, and print the energy, approximation ratios, and the circuit.
+// Quickstart: evaluate a QAOA mixer candidate on a random max-cut instance
+// through the evaluation-service API — one SessionConfig, one EvalService,
+// one submit/wait round trip — and print the energy, approximation ratios,
+// and the circuit.
 //
-//   ./quickstart [--n 10] [--degree 4] [--p 2] [--seed 7] [--engine sv|tn]
+//   ./quickstart [--n 10] [--degree 4] [--p 2] [--seed 7]
+//                [--engine sv|tn|auto] [--evals 200]
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "graph/generators.hpp"
 #include "graph/maxcut.hpp"
-#include "optim/cobyla.hpp"
 #include "qaoa/ansatz.hpp"
-#include "qaoa/energy.hpp"
-#include "qaoa/sampling.hpp"
-#include "qaoa/train.hpp"
+#include "qaoa/mixer.hpp"
+#include "search/eval_service.hpp"
+#include "session.hpp"
 
 using namespace qarch;
 
@@ -21,7 +23,6 @@ int main(int argc, char** argv) {
   const auto degree = static_cast<std::size_t>(cli.get_int("degree", 4));
   const auto p = static_cast<std::size_t>(cli.get_int("p", 2));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-  const std::string engine = cli.get("engine", "sv");
 
   // 1. Problem instance: a random d-regular graph, as in the paper's eval.
   Rng rng(seed);
@@ -30,33 +31,35 @@ int main(int argc, char** argv) {
   std::printf("instance: %s, exact max-cut = %.1f\n", g.to_string().c_str(),
               cmax);
 
-  // 2. Ansatz: p alternating layers with the searched (rx, ry) mixer.
+  // 2. Session: the ONE config struct. backend=auto picks statevector vs
+  //    tensor-network per candidate; the training budget, sampling, and
+  //    parallelism knobs all live here.
+  SessionConfig session;
+  session.backend = backend_from_name(cli.get("engine", "auto"));
+  session.training_evals =
+      static_cast<std::size_t>(cli.get_int("evals", 200));
+
+  // 3. Evaluation service: submit the candidate, wait for the ticket. The
+  //    service trains the ansatz (200 COBYLA steps), scores both ratio
+  //    flavours, and stamps queue/evaluation timings.
   const qaoa::MixerSpec mixer = qaoa::MixerSpec::qnas();
-  const circuit::Circuit ansatz = qaoa::build_qaoa_circuit(g, p, mixer);
-  std::printf("ansatz: p=%zu mixer=%s params=%zu gates=%zu depth=%zu\n", p,
-              mixer.to_string().c_str(), ansatz.num_params(),
-              ansatz.num_gates(), ansatz.depth());
+  search::EvalService service(session);
+  search::EvalTicket ticket = service.submit(g, mixer, p);
+  const search::CandidateResult& r = ticket.wait();
 
-  // 3. Train 200 COBYLA steps against the chosen simulator engine.
-  qaoa::EnergyOptions eopt;
-  eopt.engine = engine == "tn" ? qaoa::EngineKind::TensorNetwork
-                               : qaoa::EngineKind::Statevector;
-  const qaoa::EnergyEvaluator evaluator(g, eopt);
-  optim::CobylaConfig copt;  // 200 evaluations, the paper's budget
-  const qaoa::TrainResult trained =
-      qaoa::train_qaoa(ansatz, evaluator, optim::Cobyla(copt));
+  std::printf("candidate: p=%zu mixer=%s\n", p, mixer.to_string().c_str());
+  std::printf("trained <C> = %.4f  (energy ratio %.4f)\n", r.energy, r.ratio);
+  std::printf("expected best-of-%zu sampled cut ratio (Eq. 3) = %.4f\n",
+              session.shots, r.sampled_ratio);
+  std::printf("objective evaluations: %zu  (%.1f ms evaluation, "
+              "%.1f ms queued)\n",
+              r.evaluations, r.eval_seconds * 1e3, r.queue_seconds * 1e3);
+  const auto stats = service.stats();
+  std::printf("engine picked: %s\n\n",
+              stats.picked_tensornetwork > 0 ? "tensor-network"
+                                             : "statevector");
 
-  // 4. Report both ratio flavours.
-  Rng sample_rng(seed + 1);
-  const double best_cut =
-      qaoa::expected_best_cut(ansatz, trained.theta, g, 128, 8, sample_rng);
-  std::printf("trained <C> = %.4f  (energy ratio %.4f)\n", trained.energy,
-              trained.energy / cmax);
-  std::printf("expected best-of-128 sampled cut = %.4f  (Eq. 3 ratio %.4f)\n",
-              best_cut, best_cut / cmax);
-  std::printf("objective evaluations: %zu\n\n", trained.evaluations);
-
-  // 5. Show the mixer layer the way the paper draws Fig. 6.
+  // 4. Show the mixer layer the way the paper draws Fig. 6.
   std::printf("mixer layer (one shared beta):\n%s\n",
               circuit::draw(qaoa::build_mixer_circuit(n, mixer)).c_str());
   return 0;

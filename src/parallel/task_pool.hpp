@@ -79,6 +79,13 @@ class TaskPool {
     return MapResult<R>(std::move(futures));
   }
 
+  /// Submits one callable asynchronously (Pool.apply_async). The evaluation
+  /// service feeds its job queue through this single-task entry point.
+  template <typename Fn>
+  auto apply_async(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    return pool_.submit(std::move(fn));
+  }
+
   /// Direct access to the underlying pool for single submissions.
   ThreadPool& raw() { return pool_; }
 

@@ -1,10 +1,14 @@
 #include "search/dataset.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
-#include "parallel/task_pool.hpp"
+#include "search/eval_service.hpp"
 
 namespace qarch::search {
 
@@ -14,24 +18,55 @@ DatasetReport search_dataset(const std::vector<graph::Graph>& graphs,
   QARCH_REQUIRE(config.node_slots >= 1, "need at least one node slot");
 
   Timer timer;
+  const std::size_t clients = std::min(config.node_slots, graphs.size());
+  // One shared service for the whole dataset. Every graph needs its own
+  // evaluator — up to two under backend=Auto, which can resolve different
+  // candidates of one graph to different engines — so make sure interleaved
+  // clients cannot thrash the LRU. The pool must also be wide enough to
+  // actually serve `clients` concurrent searches: node_slots used to mean
+  // node_slots private worker pools, so the shared pool gets
+  // clients × workers threads (0 already means all cores).
+  SessionConfig session = config.engine.session;
+  session.evaluator_cache =
+      std::max(session.evaluator_cache, 2 * graphs.size());
+  if (session.workers != 0) session.workers *= clients;
+  EvalService service(session);
   const SearchEngine engine(config.engine);
 
-  // Node level: one graph's full search per slot.
   DatasetReport report;
   report.per_graph.resize(graphs.size());
-  if (config.node_slots == 1) {
+  if (clients <= 1) {
     for (std::size_t i = 0; i < graphs.size(); ++i)
       report.per_graph[i] =
-          engine.run_exhaustive(graphs[i], config.k_max, config.mode);
+          engine.run_exhaustive(service, graphs[i], config.k_max, config.mode);
   } else {
-    parallel::TaskPool pool(config.node_slots);
-    std::vector<std::tuple<std::size_t>> idx;
-    for (std::size_t i = 0; i < graphs.size(); ++i) idx.emplace_back(i);
-    report.per_graph = pool.starmap_async(
-        [&](std::size_t i) {
-          return engine.run_exhaustive(graphs[i], config.k_max, config.mode);
-        },
-        idx).get();
+    // Client threads drain the graph list; all submissions land in the one
+    // shared service pool (this is the multi-client deployment the service
+    // exists for — NOT a second worker pool: clients mostly block in
+    // collect()).
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= graphs.size()) return;
+          try {
+            report.per_graph[i] = engine.run_exhaustive(
+                service, graphs[i], config.k_max, config.mode);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
   }
 
   // Aggregate: mean reward per (mixer, p) across all graphs.

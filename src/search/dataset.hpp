@@ -3,8 +3,10 @@
 // The paper's protocol searches over a DATASET of graphs (20 ER graphs for
 // profiling; 20 4-regular graphs for evaluation) and selects the circuit
 // that generalizes — on Polaris one graph's search runs per node. Here the
-// dataset driver fans graphs out across node-slots (thread groups), reuses
-// the per-graph SearchEngine inside each slot, and aggregates: a mixer's
+// dataset driver spins up ONE shared search::EvalService and runs each
+// graph's search as a CLIENT: `node_slots` client threads drain the graph
+// list concurrently, all submitting into the same worker pool, evaluator
+// LRU, and candidate-result cache. Aggregation is unchanged: a mixer's
 // dataset score is its mean reward over all graphs at its best depth.
 #pragma once
 
@@ -34,16 +36,18 @@ struct DatasetReport {
   double seconds = 0.0;
 };
 
-/// Configuration: per-graph engine settings plus the node-slot width.
+/// Configuration: per-graph engine settings plus the client-thread width.
 struct DatasetSearchConfig {
-  SearchConfig engine;        ///< per-graph search configuration
-  std::size_t node_slots = 1; ///< concurrent graph searches ("nodes")
+  SearchConfig engine;        ///< per-graph search configuration; its
+                              ///< `session` configures the shared service
+  std::size_t node_slots = 1; ///< concurrent per-graph search CLIENTS
   std::size_t k_max = 2;      ///< candidate sequence length bound
   CombinationMode mode = CombinationMode::Product;
 };
 
-/// Runs the exhaustive per-graph search on every graph and aggregates
-/// mixers by mean reward across the dataset.
+/// Runs the exhaustive per-graph search on every graph through one shared
+/// evaluation service and aggregates mixers by mean reward across the
+/// dataset.
 DatasetReport search_dataset(const std::vector<graph::Graph>& graphs,
                              const DatasetSearchConfig& config);
 

@@ -1,11 +1,10 @@
 #include "search/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
-#include "common/timer.hpp"
-#include "parallel/task_pool.hpp"
 
 namespace qarch::search {
 
@@ -19,26 +18,19 @@ const CandidateResult& SearchReport::best_at_depth(std::size_t p) const {
 
 SearchEngine::SearchEngine(SearchConfig config) : config_(std::move(config)) {
   QARCH_REQUIRE(config_.p_max >= 1, "p_max must be >= 1");
-  QARCH_REQUIRE(config_.outer_workers >= 1, "outer_workers must be >= 1");
 }
 
-SearchReport SearchEngine::run(const graph::Graph& g,
+SearchReport SearchEngine::run(EvalService& service, const graph::Graph& g,
                                Predictor& predictor) const {
-  Timer timer;
-  const Evaluator evaluator(g, config_.evaluator);
   const QBuilder builder(config_.alphabet);
   const std::size_t batch =
       config_.batch > 0 ? config_.batch
-                        : std::max<std::size_t>(1, 4 * config_.outer_workers);
+                        : std::max<std::size_t>(1, 4 * service.workers());
 
   SearchReport report;
   report.best.energy = -1.0;
-
-  // Optional worker pool; with outer_workers == 1 evaluation is strictly
-  // sequential (the serial search baseline of Fig. 4).
-  std::unique_ptr<parallel::TaskPool> pool;
-  if (config_.outer_workers > 1)
-    pool = std::make_unique<parallel::TaskPool>(config_.outer_workers);
+  double first_submit = std::numeric_limits<double>::infinity();
+  double last_finish = 0.0;
 
   for (std::size_t p = 1; p <= config_.p_max; ++p) {
     predictor.reset();
@@ -46,7 +38,7 @@ SearchReport SearchEngine::run(const graph::Graph& g,
       std::vector<Encoding> encodings = predictor.propose(batch);
       if (encodings.empty()) break;
 
-      // Constraint filter: rejected candidates never reach the evaluator but
+      // Constraint filter: rejected candidates never reach the service but
       // do receive a zero reward so learning predictors avoid them.
       if (!config_.constraints.empty()) {
         std::vector<Encoding> admitted, rejected;
@@ -69,18 +61,24 @@ SearchReport SearchEngine::run(const graph::Graph& g,
         if (encodings.empty()) continue;
       }
 
-      std::vector<CandidateResult> results;
-      if (pool) {
-        auto handle = pool->map_async(
-            [&](const Encoding& enc) {
-              return evaluator.evaluate(builder.decode(enc), p);
-            },
-            encodings);
-        results = handle.get();
-      } else {
-        results.reserve(encodings.size());
-        for (const Encoding& enc : encodings)
-          results.push_back(evaluator.evaluate(builder.decode(enc), p));
+      // One submission per candidate; the service runs them on its shared
+      // pool while this client blocks in collect(). Results come back in
+      // submission order, so reward propagation and SELECT_BEST are
+      // deterministic regardless of the service's worker count.
+      std::vector<qaoa::MixerSpec> mixers;
+      mixers.reserve(encodings.size());
+      for (const Encoding& enc : encodings)
+        mixers.push_back(builder.decode(enc));
+      const std::vector<EvalTicket> tickets =
+          service.submit_batch(g, mixers, p);
+      std::vector<CandidateResult> results = service.collect(tickets);
+      for (const EvalTicket& t : tickets) {
+        first_submit = std::min(first_submit, t.submitted_at());
+        last_finish = std::max(last_finish, t.finished_at());
+        if (t.cache_hit())
+          ++report.cache_hits;
+        else
+          ++report.cache_misses;
       }
 
       std::vector<double> rewards;
@@ -97,8 +95,23 @@ SearchReport SearchEngine::run(const graph::Graph& g,
   }
 
   report.num_candidates = report.evaluated.size();
-  report.seconds = timer.seconds();
+  report.seconds =
+      report.evaluated.empty() ? 0.0 : last_finish - first_submit;
   return report;
+}
+
+SearchReport SearchEngine::run(const graph::Graph& g,
+                               Predictor& predictor) const {
+  EvalService service(config_.session);
+  return run(service, g, predictor);
+}
+
+SearchReport SearchEngine::run_exhaustive(EvalService& service,
+                                          const graph::Graph& g,
+                                          std::size_t k_max,
+                                          CombinationMode mode) const {
+  ExhaustivePredictor predictor(config_.alphabet, k_max, mode);
+  return run(service, g, predictor);
 }
 
 SearchReport SearchEngine::run_exhaustive(const graph::Graph& g,

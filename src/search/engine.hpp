@@ -1,11 +1,15 @@
-// SearchEngine: Algorithm 1 of the paper.
+// SearchEngine: Algorithm 1 of the paper, as a CLIENT of the evaluation
+// service.
 //
 // For each depth p = 1..p_max the engine drains the predictor's proposals,
-// hands each encoding to the QBuilder + Evaluator, propagates rewards back,
-// and keeps the globally best mixer (SELECT_BEST). Candidate evaluations
-// within a round are independent, so the engine runs them either serially
-// (the paper's baseline profile) or on an `outer_workers`-wide task pool
-// (the starmap_async parallelization of Fig. 3).
+// hands each encoding to the QBuilder, submits the candidates to a shared
+// search::EvalService (one submit per candidate, collected in submission
+// order), propagates rewards back, and keeps the globally best mixer
+// (SELECT_BEST). The engine owns NO worker pool of its own: concurrency,
+// backend selection (including BackendChoice::Auto), evaluator sharing, and
+// the candidate-result cache all live in the service, so several concurrent
+// searches — other SearchEngine clients, successive halving, the dataset
+// driver — share plan caches and workers instead of each reinventing them.
 #pragma once
 
 #include <cstddef>
@@ -14,20 +18,24 @@
 
 #include "graph/graph.hpp"
 #include "search/constraints.hpp"
+#include "search/eval_service.hpp"
 #include "search/evaluator.hpp"
 #include "search/predictor.hpp"
 #include "search/qbuilder.hpp"
+#include "session.hpp"
 
 namespace qarch::search {
 
 /// Engine configuration (defaults follow the paper's profiling setup).
 struct SearchConfig {
   std::size_t p_max = 4;              ///< QAOA depths searched: 1..p_max
-  std::size_t outer_workers = 1;      ///< 1 = serial search
   std::size_t batch = 0;              ///< proposals per predictor round
-                                      ///< (0 = auto: max(1, 4*outer_workers))
+                                      ///< (0 = auto: max(1, 4*workers))
   GateAlphabet alphabet = GateAlphabet::standard();
-  EvaluatorOptions evaluator;
+  /// Backend / budget / parallelism knobs. Used to spin up a private
+  /// EvalService by the run() overloads that are not handed one; ignored
+  /// (except for batch sizing fallbacks) when an external service is passed.
+  SessionConfig session;
   ConstraintSet constraints;          ///< candidates must pass before costing
                                       ///< evaluator budget (may be empty)
 };
@@ -36,8 +44,13 @@ struct SearchConfig {
 struct SearchReport {
   CandidateResult best;                    ///< U_B^best with <C^best>
   std::vector<CandidateResult> evaluated;  ///< every candidate, in order
-  double seconds = 0.0;                    ///< wall-clock of the whole search
+  /// Wall-clock of the whole search, measured on the SERVICE clock: first
+  /// submission to last completion (0.0 when nothing was evaluated).
+  double seconds = 0.0;
   std::size_t num_candidates = 0;
+  std::size_t cache_hits = 0;    ///< submissions served from the service's
+                                 ///< result cache / in-flight duplicates
+  std::size_t cache_misses = 0;  ///< submissions that ran a fresh evaluation
   std::map<std::string, std::size_t> rejections;  ///< per-constraint counts
 
   /// Best candidate restricted to one depth (throws if none evaluated).
@@ -49,13 +62,24 @@ class SearchEngine {
  public:
   explicit SearchEngine(SearchConfig config = {});
 
-  /// Runs Algorithm 1 over `g`, drawing candidates from `predictor`.
+  /// Runs Algorithm 1 over `g` against a SHARED evaluation service (the
+  /// multi-client deployment: concurrent searches submit into one pool).
   /// The predictor is reset() at the start of every depth round.
+  [[nodiscard]] SearchReport run(EvalService& service, const graph::Graph& g,
+                                 Predictor& predictor) const;
+
+  /// Convenience single-client form: spins up a private EvalService from
+  /// config().session and runs against it.
   [[nodiscard]] SearchReport run(const graph::Graph& g,
                                  Predictor& predictor) const;
 
-  /// Convenience: exhaustive search with sequences up to length k_max
-  /// (the paper's profiled configuration: k_max = 4, |A_R| = 5).
+  /// Exhaustive search with sequences up to length k_max against a shared
+  /// service (the paper's profiled configuration: k_max = 4, |A_R| = 5).
+  [[nodiscard]] SearchReport run_exhaustive(
+      EvalService& service, const graph::Graph& g, std::size_t k_max,
+      CombinationMode mode = CombinationMode::Product) const;
+
+  /// Exhaustive search against a private service.
   [[nodiscard]] SearchReport run_exhaustive(
       const graph::Graph& g, std::size_t k_max,
       CombinationMode mode = CombinationMode::Product) const;

@@ -1,0 +1,534 @@
+#include "search/eval_service.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <list>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qarch::search {
+
+namespace detail {
+
+/// One submitted (graph, mixer, p, budget) evaluation. Several tickets may
+/// attach to one job (concurrent duplicate submissions); the job runs once.
+struct EvalJob {
+  enum class Status { Queued, Running, Done, Cancelled, Failed };
+
+  // Immutable after construction.
+  std::string key;            ///< result-cache key
+  std::string graph_key;      ///< graph-fingerprint prefix of `key`
+  graph::Graph graph;
+  qaoa::MixerSpec mixer;
+  std::size_t p = 1;
+  std::size_t training_evals = 0;  ///< resolved budget (never 0)
+  std::shared_ptr<ServiceState> service;
+
+  // Guarded by `mutex`.
+  std::mutex mutex;
+  std::condition_variable cv;
+  Status status = Status::Queued;
+  std::size_t waiters = 1;    ///< live (un-cancelled) tickets attached
+  CandidateResult result;
+  std::string error;
+  double submitted_at = 0.0;  ///< service-clock seconds
+  double started_at = 0.0;
+  double finished_at = 0.0;
+};
+
+/// Per-submission view of a job: cancellation is a property of the TICKET
+/// (this submission no longer wants the result), not of the shared job, and
+/// a ticket attached to another client's in-flight job keeps its OWN
+/// submission timestamp (the shared job records the original submitter's).
+struct TicketHandle {
+  std::shared_ptr<EvalJob> job;
+  std::atomic<bool> abandoned{false};
+  bool hit = false;  ///< served from cache / attached to an in-flight run
+  double submitted_at = 0.0;  ///< service-clock time of THIS submission
+};
+
+/// Everything the workers and tickets share. Owned jointly by the service,
+/// the in-flight worker tasks, and every outstanding job, so destruction
+/// order never dangles.
+struct ServiceState {
+  SessionConfig config;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::atomic<bool> stopping{false};
+
+  std::mutex mutex;  // guards everything below
+  EvalService::Stats stats;
+  // Result cache: key → CandidateResult, LRU-bounded by config.result_cache.
+  std::list<std::pair<std::string, CandidateResult>> done_order;
+  std::unordered_map<std::string,
+                     decltype(done_order)::iterator> done_by_key;
+  // In-flight dedup: key → queued/running job.
+  std::unordered_map<std::string, std::weak_ptr<EvalJob>> inflight;
+  // Evaluator LRU: (graph fp, engine, budget) → construction slot. The slot
+  // indirection lets workers build evaluators OUTSIDE this mutex (an
+  // Evaluator constructor runs the exponential maxcut_exact solver) while
+  // still guaranteeing one construction per key: racing requesters block on
+  // the slot's once-flag, not on the whole service.
+  struct EvaluatorSlot {
+    std::once_flag once;
+    std::shared_ptr<const Evaluator> evaluator;
+  };
+  std::list<std::pair<std::string, std::shared_ptr<EvaluatorSlot>>>
+      eval_order;
+  std::unordered_map<std::string,
+                     decltype(eval_order)::iterator> eval_by_key;
+
+  [[nodiscard]] double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  }
+};
+
+namespace {
+
+/// Shared-evaluator lookup. Two workers racing to build the same evaluator
+/// must not each get a private plan cache (candidate plans would compile
+/// twice, breaking the one-compile-per-(candidate, graph) contract), so a
+/// key's first requester constructs inside the slot's call_once while later
+/// requesters block on that SLOT only — the service mutex is never held
+/// across construction (which runs the exponential maxcut_exact solver).
+std::shared_ptr<const Evaluator> evaluator_for(ServiceState& state,
+                                               const std::string& graph_key,
+                                               const graph::Graph& g,
+                                               qaoa::EngineKind engine,
+                                               std::size_t training_evals) {
+  const std::string key =
+      graph_key + '\x1f' +
+      (engine == qaoa::EngineKind::Statevector ? "sv" : "tn") + '\x1f' +
+      std::to_string(training_evals);
+  std::shared_ptr<ServiceState::EvaluatorSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (const auto it = state.eval_by_key.find(key);
+        it != state.eval_by_key.end()) {
+      state.eval_order.splice(state.eval_order.begin(), state.eval_order,
+                              it->second);
+      slot = it->second->second;
+    } else {
+      slot = std::make_shared<ServiceState::EvaluatorSlot>();
+      state.eval_order.emplace_front(key, slot);
+      state.eval_by_key[key] = state.eval_order.begin();
+      const std::size_t capacity =
+          std::max<std::size_t>(1, state.config.evaluator_cache);
+      while (state.eval_order.size() > capacity) {
+        state.eval_by_key.erase(state.eval_order.back().first);
+        state.eval_order.pop_back();  // builders hold their own slot ref
+      }
+    }
+  }
+  bool built = false;
+  std::call_once(slot->once, [&] {
+    slot->evaluator = std::make_shared<const Evaluator>(
+        g, state.config.evaluator_options(engine, training_evals));
+    built = true;
+  });
+  if (built) {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    ++state.stats.evaluators_built;
+  }
+  return slot->evaluator;
+}
+
+void finish_cancelled(ServiceState& state, const std::shared_ptr<EvalJob>& job) {
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    // Erase by identity, not by key: a duplicate resubmission may already
+    // have replaced this key's in-flight entry with a fresh job.
+    const auto it = state.inflight.find(job->key);
+    if (it != state.inflight.end() && it->second.lock() == job)
+      state.inflight.erase(it);
+    ++state.stats.cancelled;
+  }
+  job->cv.notify_all();
+}
+
+/// Worker body: runs one job end to end. `state` is captured by shared_ptr
+/// so a draining pool can outlive the EvalService front-end.
+void run_job(const std::shared_ptr<ServiceState>& state,
+             const std::shared_ptr<EvalJob>& job) {
+  {
+    std::unique_lock<std::mutex> lock(job->mutex);
+    if (job->status != EvalJob::Status::Queued) return;
+    if (state->stopping.load()) {
+      job->status = EvalJob::Status::Cancelled;
+      job->finished_at = state->now();
+      lock.unlock();
+      finish_cancelled(*state, job);
+      return;
+    }
+    job->status = EvalJob::Status::Running;
+    job->started_at = state->now();
+  }
+
+  CandidateResult result;
+  qaoa::EngineKind engine = qaoa::EngineKind::Statevector;
+  bool failed = false;
+  std::string error;
+  try {
+    switch (state->config.backend) {
+      case BackendChoice::Statevector:
+        engine = qaoa::EngineKind::Statevector;
+        break;
+      case BackendChoice::TensorNetwork:
+        engine = qaoa::EngineKind::TensorNetwork;
+        break;
+      case BackendChoice::Auto:
+        engine = auto_engine_choice(state->config, job->graph, job->mixer,
+                                    job->p);
+        break;
+    }
+    const auto evaluator = evaluator_for(*state, job->graph_key, job->graph,
+                                         engine, job->training_evals);
+    result = evaluator->evaluate(job->mixer, job->p);
+    result.queue_seconds = job->started_at - job->submitted_at;
+    result.eval_seconds = state->now() - job->started_at;
+  } catch (const std::exception& e) {
+    failed = true;
+    error = e.what();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->inflight.erase(job->key);
+    if (failed) {
+      ++state->stats.failed;
+    } else {
+      ++state->stats.completed;
+      if (engine == qaoa::EngineKind::Statevector)
+        ++state->stats.picked_statevector;
+      else
+        ++state->stats.picked_tensornetwork;
+      if (state->config.result_cache > 0) {
+        state->done_order.emplace_front(job->key, result);
+        state->done_by_key[job->key] = state->done_order.begin();
+        while (state->done_order.size() > state->config.result_cache) {
+          state->done_by_key.erase(state->done_order.back().first);
+          state->done_order.pop_back();
+        }
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    job->finished_at = state->now();
+    if (failed) {
+      job->status = EvalJob::Status::Failed;
+      job->error = std::move(error);
+    } else {
+      job->status = EvalJob::Status::Done;
+      job->result = std::move(result);
+    }
+  }
+  job->cv.notify_all();
+}
+
+}  // namespace
+}  // namespace detail
+
+std::string graph_fingerprint(const graph::Graph& g) {
+  std::string key;
+  key.reserve(16 + g.num_edges() * 24);
+  const auto put = [&key](const void* p, std::size_t n) {
+    key.append(static_cast<const char*>(p), n);
+  };
+  const std::uint64_t head[2] = {g.num_vertices(), g.num_edges()};
+  put(head, sizeof(head));
+  for (const graph::Edge& e : g.edges()) {
+    const std::uint64_t uv[2] = {e.u, e.v};
+    put(uv, sizeof(uv));
+    put(&e.weight, sizeof(e.weight));
+  }
+  return key;
+}
+
+qaoa::EngineKind auto_engine_choice(const SessionConfig& config,
+                                    const graph::Graph& g,
+                                    const qaoa::MixerSpec& mixer,
+                                    std::size_t p) {
+  // Small instances: 2^n is cheap and the statevector engine amortizes every
+  // edge into one batched sweep.
+  if (g.num_vertices() <= config.auto_statevector_qubits)
+    return qaoa::EngineKind::Statevector;
+  // An entangling mixer (ring two-qubit gates on every qubit) spreads each
+  // edge's causal cone across the whole register per layer — no narrow
+  // lightcone to exploit.
+  for (circuit::GateKind k : mixer.gates)
+    if (circuit::is_two_qubit(k)) return qaoa::EngineKind::Statevector;
+  // Single-qubit mixers: each of the p cost layers widens an edge's causal
+  // cone by exactly one graph hop (diagonal ZZ terms commute), so the
+  // lightcone of Z_u Z_v is the p-hop neighbourhood of its WORST edge (max
+  // endpoint-degree sum). Contraction cost scales with that, not with n.
+  const graph::Edge* worst = nullptr;
+  std::size_t worst_degree = 0;
+  for (const graph::Edge& e : g.edges()) {
+    const std::size_t d = g.degree(e.u) + g.degree(e.v);
+    if (worst == nullptr || d > worst_degree) {
+      worst = &e;
+      worst_degree = d;
+    }
+  }
+  QARCH_CHECK(worst != nullptr, "auto_engine_choice on an edgeless graph");
+  std::set<std::size_t> cone{worst->u, worst->v};
+  std::vector<std::size_t> frontier{worst->u, worst->v};
+  for (std::size_t hop = 0; hop < p && !frontier.empty(); ++hop) {
+    std::vector<std::size_t> next;
+    for (std::size_t q : frontier)
+      for (std::size_t nb : g.neighbors(q))
+        if (cone.insert(nb).second) next.push_back(nb);
+    frontier = std::move(next);
+  }
+  return cone.size() <= config.auto_lightcone_qubits
+             ? qaoa::EngineKind::TensorNetwork
+             : qaoa::EngineKind::Statevector;
+}
+
+// ---------------------------------------------------------------------------
+// EvalTicket
+// ---------------------------------------------------------------------------
+
+const CandidateResult& EvalTicket::wait() const {
+  QARCH_REQUIRE(handle_ != nullptr, "wait() on an empty EvalTicket");
+  detail::EvalJob& job = *handle_->job;
+  std::unique_lock<std::mutex> lock(job.mutex);
+  // The abandoned flag is part of the predicate: a concurrent cancel() of a
+  // ticket copy must wake and fail a waiter already parked here even when
+  // other clients keep the shared job itself alive.
+  job.cv.wait(lock, [this, &job] {
+    return handle_->abandoned.load() ||
+           (job.status != detail::EvalJob::Status::Queued &&
+            job.status != detail::EvalJob::Status::Running);
+  });
+  if (handle_->abandoned.load()) throw Error("EvalTicket was cancelled");
+  switch (job.status) {
+    case detail::EvalJob::Status::Done:
+      return job.result;
+    case detail::EvalJob::Status::Failed:
+      throw Error("candidate evaluation failed: " + job.error);
+    default:
+      throw Error("candidate evaluation was cancelled");
+  }
+}
+
+bool EvalTicket::ready() const {
+  QARCH_REQUIRE(handle_ != nullptr, "ready() on an empty EvalTicket");
+  if (handle_->abandoned.load()) return true;
+  detail::EvalJob& job = *handle_->job;
+  std::lock_guard<std::mutex> lock(job.mutex);
+  return job.status != detail::EvalJob::Status::Queued &&
+         job.status != detail::EvalJob::Status::Running;
+}
+
+bool EvalTicket::cancel() {
+  QARCH_REQUIRE(handle_ != nullptr, "cancel() on an empty EvalTicket");
+  if (handle_->abandoned.load()) return true;
+  const std::shared_ptr<detail::EvalJob>& job = handle_->job;
+  bool withdrew_job = false;
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (job->status == detail::EvalJob::Status::Running ||
+        job->status == detail::EvalJob::Status::Done ||
+        job->status == detail::EvalJob::Status::Failed)
+      return false;
+    handle_->abandoned.store(true);
+    if (job->waiters > 0) --job->waiters;
+    if (job->status == detail::EvalJob::Status::Queued &&
+        job->waiters == 0) {
+      job->status = detail::EvalJob::Status::Cancelled;
+      job->finished_at = job->service->now();
+      withdrew_job = true;
+    }
+  }
+  if (withdrew_job)
+    detail::finish_cancelled(*job->service, job);
+  else
+    job->cv.notify_all();  // wake waiters parked on this now-abandoned handle
+  return true;
+}
+
+bool EvalTicket::cancelled() const {
+  return handle_ != nullptr && handle_->abandoned.load();
+}
+
+bool EvalTicket::cache_hit() const {
+  return handle_ != nullptr && handle_->hit;
+}
+
+double EvalTicket::submitted_at() const {
+  QARCH_REQUIRE(handle_ != nullptr, "submitted_at() on an empty EvalTicket");
+  return handle_->submitted_at;
+}
+
+double EvalTicket::finished_at() const {
+  QARCH_REQUIRE(handle_ != nullptr, "finished_at() on an empty EvalTicket");
+  std::lock_guard<std::mutex> lock(handle_->job->mutex);
+  return handle_->job->finished_at;
+}
+
+// ---------------------------------------------------------------------------
+// EvalService
+// ---------------------------------------------------------------------------
+
+EvalService::EvalService(SessionConfig config)
+    : state_(std::make_shared<detail::ServiceState>()),
+      pool_(config.workers) {
+  state_->config = std::move(config);
+}
+
+EvalService::~EvalService() {
+  // Pending queued jobs resolve as Cancelled instead of running to
+  // completion; the pool (destroyed after this body) drains them fast.
+  state_->stopping.store(true);
+}
+
+const SessionConfig& EvalService::config() const { return state_->config; }
+
+double EvalService::now() const { return state_->now(); }
+
+EvalTicket EvalService::submit(const graph::Graph& g,
+                               const qaoa::MixerSpec& mixer, std::size_t p,
+                               const JobOptions& options) {
+  QARCH_REQUIRE(p >= 1, "candidate depth p must be >= 1");
+  QARCH_REQUIRE(g.num_edges() >= 1, "evaluation graph needs edges");
+  const std::size_t evals = options.training_evals > 0
+                                ? options.training_evals
+                                : state_->config.training_evals;
+  const std::string graph_key = graph_fingerprint(g);
+  const std::string key = graph_key + '\x1e' + mixer.to_string() + "@p" +
+                          std::to_string(p) + "@e" + std::to_string(evals);
+
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    ++state_->stats.submitted;
+  }
+  // Built lazily OUTSIDE the service lock (it deep-copies the graph) and
+  // reused across retries; dropped if a racing duplicate wins the caches.
+  std::shared_ptr<detail::EvalJob> fresh;
+  for (;;) {
+    std::shared_ptr<detail::EvalJob> attach;
+    bool published = false;
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      // 1. Completed-result cache.
+      if (const auto it = state_->done_by_key.find(key);
+          it != state_->done_by_key.end()) {
+        state_->done_order.splice(state_->done_order.begin(),
+                                  state_->done_order, it->second);
+        ++state_->stats.cache_hits;
+        auto job = std::make_shared<detail::EvalJob>();
+        job->key = key;
+        job->service = state_;
+        job->status = detail::EvalJob::Status::Done;
+        job->result = it->second->second;
+        job->result.from_cache = true;
+        job->submitted_at = job->finished_at = state_->now();
+        auto handle = std::make_shared<detail::TicketHandle>();
+        handle->submitted_at = job->submitted_at;
+        handle->job = std::move(job);
+        handle->hit = true;
+        return EvalTicket(std::move(handle));
+      }
+      // 2. In-flight duplicate.
+      if (const auto it = state_->inflight.find(key);
+          it != state_->inflight.end()) {
+        attach = it->second.lock();
+        if (!attach) state_->inflight.erase(it);
+      }
+      // 3. Fresh job — publish only if one was prepared on a prior pass.
+      if (!attach && fresh) {
+        fresh->submitted_at = state_->now();
+        state_->inflight[key] = fresh;
+        ++state_->stats.cache_misses;
+        published = true;
+      }
+    }
+    if (attach) {
+      bool attached = false;
+      {
+        std::lock_guard<std::mutex> lock(attach->mutex);
+        if (attach->status != detail::EvalJob::Status::Cancelled) {
+          ++attach->waiters;
+          attached = true;
+        }
+      }
+      if (!attached) {
+        // Lost a cancellation race: drop the stale in-flight entry (the
+        // canceller may not have reached it yet) and resubmit fresh.
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        const auto it = state_->inflight.find(key);
+        if (it != state_->inflight.end() &&
+            it->second.lock() == attach)
+          state_->inflight.erase(it);
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        ++state_->stats.cache_hits;
+      }
+      auto handle = std::make_shared<detail::TicketHandle>();
+      handle->submitted_at = state_->now();
+      handle->job = std::move(attach);
+      handle->hit = true;
+      return EvalTicket(std::move(handle));
+    }
+    if (!published) {
+      fresh = std::make_shared<detail::EvalJob>();
+      fresh->key = key;
+      fresh->graph_key = graph_key;
+      fresh->graph = g;
+      fresh->mixer = mixer;
+      fresh->p = p;
+      fresh->training_evals = evals;
+      fresh->service = state_;
+      continue;  // retry the cache checks with the job ready to publish
+    }
+    auto state = state_;
+    auto job = fresh;
+    (void)pool_.apply_async([state, job] { detail::run_job(state, job); });
+    auto handle = std::make_shared<detail::TicketHandle>();
+    handle->submitted_at = fresh->submitted_at;
+    handle->job = std::move(fresh);
+    return EvalTicket(std::move(handle));
+  }
+}
+
+std::vector<EvalTicket> EvalService::submit_batch(
+    const graph::Graph& g, const std::vector<qaoa::MixerSpec>& mixers,
+    std::size_t p, const JobOptions& options) {
+  std::vector<EvalTicket> tickets;
+  tickets.reserve(mixers.size());
+  for (const qaoa::MixerSpec& mixer : mixers)
+    tickets.push_back(submit(g, mixer, p, options));
+  return tickets;
+}
+
+std::vector<CandidateResult> EvalService::collect(
+    const std::vector<EvalTicket>& tickets) const {
+  std::vector<CandidateResult> results;
+  results.reserve(tickets.size());
+  for (const EvalTicket& t : tickets) {
+    results.push_back(t.wait());
+    // Per-submission accounting on the caller's copy: a ticket that attached
+    // to an in-flight duplicate shares the job's result (whose own flag only
+    // covers the done-cache path) but did not trigger this evaluation.
+    results.back().from_cache = t.cache_hit();
+  }
+  return results;
+}
+
+EvalService::Stats EvalService::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->stats;
+}
+
+}  // namespace qarch::search

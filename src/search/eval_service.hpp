@@ -1,0 +1,176 @@
+// EvalService: the asynchronous candidate-evaluation service every search
+// driver is a client of.
+//
+// The paper's scalability story (Fig. 3's starmap_async parallel search) used
+// to be approximated by each driver — SearchEngine, successive halving, the
+// dataset search, the fig8/fig9 studies — privately wiring a task pool around
+// Evaluator::evaluate(). EvalService replaces those per-driver loops with ONE
+// shared, thread-safe submit/future surface:
+//
+//   EvalService service(session);                 // one pool, shared caches
+//   EvalTicket t = service.submit(g, mixer, p);   // enqueue, don't block
+//   ...                                           // submit more, any thread
+//   const CandidateResult& r = t.wait();          // collect when needed
+//
+// Behind the front-end sit
+//   * one parallel::TaskPool (`session.workers` wide) running candidates,
+//   * a cross-graph LRU of search::Evaluator instances keyed by
+//     (graph fingerprint, engine, budget) — concurrent searches over the same
+//     graph share one evaluator and therefore its compiled-plan cache,
+//   * a candidate-result cache keyed by (graph fingerprint, mixer encoding,
+//     p, budget): duplicate proposals return the cached CandidateResult
+//     instead of retraining, and concurrent duplicates attach to the one
+//     in-flight evaluation (each (candidate, graph) plan compiles exactly
+//     once service-wide — probe with sim::program_compile_count() /
+//     qtensor::network_build_count(), see bench/abl_eval_service),
+//   * the BackendChoice::Auto per-candidate engine decision
+//     (auto_engine_choice below).
+//
+// Tickets carry service-side timestamps (submit / start / finish on the
+// service clock), so drivers report queue-wait and evaluation latency without
+// re-implementing timing.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "parallel/task_pool.hpp"
+#include "qaoa/mixer.hpp"
+#include "search/evaluator.hpp"
+#include "session.hpp"
+
+namespace qarch::search {
+
+namespace detail {
+struct EvalJob;
+struct ServiceState;
+struct TicketHandle;
+}  // namespace detail
+
+/// Structural identity of a graph (vertex count + exact edge list with
+/// weights, byte-exact). Two graphs with equal fingerprints share Evaluator
+/// instances and cached candidate results inside the service.
+std::string graph_fingerprint(const graph::Graph& g);
+
+/// The BackendChoice::Auto decision rule, exposed for tests and benches:
+/// statevector when the instance is small (2^n cheap), otherwise
+/// tensor-network iff the widest edge-lightcone of the candidate's ansatz
+/// touches few enough qubits for the contraction to stay narrow.
+qaoa::EngineKind auto_engine_choice(const SessionConfig& config,
+                                    const graph::Graph& g,
+                                    const qaoa::MixerSpec& mixer,
+                                    std::size_t p);
+
+/// Per-job overrides applied on top of the service's SessionConfig.
+struct JobOptions {
+  /// COBYLA budget for this job (0 = the session's training_evals).
+  /// Successive halving submits the same candidates at growing budgets.
+  std::size_t training_evals = 0;
+};
+
+/// Future-like handle for one submitted candidate evaluation.
+///
+/// Copyable and cheap; all copies refer to the same submission. A ticket
+/// whose candidate was already in flight (submitted concurrently by another
+/// client) or already cached resolves from the shared evaluation — see
+/// cache_hit().
+class EvalTicket {
+ public:
+  EvalTicket() = default;
+
+  /// False for a default-constructed ticket.
+  [[nodiscard]] bool valid() const { return handle_ != nullptr; }
+
+  /// Blocks until the evaluation finished and returns its result. Throws
+  /// Error if this ticket was cancelled or the evaluation failed.
+  const CandidateResult& wait() const;
+
+  /// Non-blocking: true once wait() would not block (done, failed, or
+  /// cancelled).
+  [[nodiscard]] bool ready() const;
+
+  /// Cancels a still-queued evaluation. Returns true when this ticket is now
+  /// cancelled (wait() will throw); false when the evaluation already
+  /// started or finished. The underlying job is only withdrawn from the
+  /// queue once every ticket attached to it cancelled.
+  bool cancel();
+
+  /// True when cancel() succeeded on this ticket.
+  [[nodiscard]] bool cancelled() const;
+
+  /// True when the result came from the service's candidate cache or an
+  /// in-flight duplicate rather than a fresh evaluation of this submission.
+  [[nodiscard]] bool cache_hit() const;
+
+  /// Service-clock timestamps in seconds (monotonic, 0 = service creation).
+  [[nodiscard]] double submitted_at() const;
+  [[nodiscard]] double finished_at() const;
+
+ private:
+  friend class EvalService;
+  explicit EvalTicket(std::shared_ptr<detail::TicketHandle> handle)
+      : handle_(std::move(handle)) {}
+
+  std::shared_ptr<detail::TicketHandle> handle_;
+};
+
+/// The shared evaluation service. Thread-safe: any number of client threads
+/// may submit and wait concurrently; one instance is meant to be shared by
+/// every concurrent search of a process.
+class EvalService {
+ public:
+  explicit EvalService(SessionConfig config = {});
+  ~EvalService();
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  /// Enqueues one (graph, mixer, p) candidate evaluation.
+  EvalTicket submit(const graph::Graph& g, const qaoa::MixerSpec& mixer,
+                    std::size_t p, const JobOptions& options = {});
+
+  /// Enqueues one evaluation per mixer; tickets align with `mixers`.
+  std::vector<EvalTicket> submit_batch(
+      const graph::Graph& g, const std::vector<qaoa::MixerSpec>& mixers,
+      std::size_t p, const JobOptions& options = {});
+
+  /// Blocks until every ticket resolved; results in ticket order. Throws if
+  /// any ticket was cancelled or failed.
+  std::vector<CandidateResult> collect(
+      const std::vector<EvalTicket>& tickets) const;
+
+  /// Service-lifetime accounting (monotonic counters).
+  struct Stats {
+    std::size_t submitted = 0;          ///< submit() calls accepted
+    std::size_t completed = 0;          ///< evaluations run to completion
+    std::size_t cancelled = 0;          ///< jobs withdrawn before running
+    std::size_t failed = 0;             ///< evaluations that threw
+    std::size_t cache_hits = 0;         ///< submissions served without a run
+    std::size_t cache_misses = 0;       ///< submissions that scheduled a run
+    std::size_t picked_statevector = 0;    ///< per-run resolved engine counts
+    std::size_t picked_tensornetwork = 0;  ///< (Auto decision accounting)
+    std::size_t evaluators_built = 0;   ///< Evaluator LRU misses
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Worker threads in the service pool.
+  [[nodiscard]] std::size_t workers() const { return pool_.size(); }
+
+  [[nodiscard]] const SessionConfig& config() const;
+
+  /// Seconds since service creation on the service clock (the time base of
+  /// EvalTicket::submitted_at / finished_at).
+  [[nodiscard]] double now() const;
+
+ private:
+  // state_ is shared with worker tasks and outstanding tickets, so the pool
+  // (declared last, destroyed first) can drain safely during destruction and
+  // tickets stay valid after the service is gone.
+  std::shared_ptr<detail::ServiceState> state_;
+  parallel::TaskPool pool_;
+};
+
+}  // namespace qarch::search

@@ -2,6 +2,7 @@
 
 #include "circuit/optimizer.hpp"
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "graph/maxcut.hpp"
 #include "optim/multistart.hpp"
 #include "qaoa/ansatz.hpp"
@@ -21,6 +22,7 @@ Evaluator::Evaluator(const graph::Graph& g, EvaluatorOptions options)
 
 CandidateResult Evaluator::evaluate(const qaoa::MixerSpec& mixer,
                                     std::size_t p) const {
+  Timer timer;
   circuit::Circuit ansatz = qaoa::build_qaoa_circuit(graph_, p, mixer);
   // Searched sequences routinely contain mergeable structure (rx·rx, h·h
   // pairs); shrinking the candidate benefits every engine — the compiled
@@ -65,6 +67,9 @@ CandidateResult Evaluator::evaluate(const qaoa::MixerSpec& mixer,
   r.sampled_ratio = qaoa::approximation_ratio(best_cut, classical_optimum_);
   r.theta = trained.theta;
   r.evaluations = trained.evaluations;
+  // The service overwrites this with its own timestamps; direct callers get
+  // the training+sampling wall-clock of this call.
+  r.eval_seconds = timer.seconds();
   return r;
 }
 

@@ -26,6 +26,13 @@ struct CandidateResult {
                                   ///< paper's Figs. 7-9 report
   std::vector<double> theta;      ///< trained parameters
   std::size_t evaluations = 0;    ///< objective calls spent training
+  // Per-candidate accounting stamped by the evaluation service (EvalService):
+  double queue_seconds = 0.0;     ///< wait between submission and start
+  double eval_seconds = 0.0;      ///< evaluation wall-clock (also set by
+                                  ///< Evaluator::evaluate for direct calls)
+  bool from_cache = false;        ///< this submission was served from the
+                                  ///< service's caches (result cache or an
+                                  ///< in-flight duplicate), not a fresh run
 };
 
 /// Evaluation configuration: which engine simulates, which optimizer trains.
@@ -46,12 +53,14 @@ struct EvaluatorOptions {
   std::size_t sample_trials = 8;          ///< batches averaged for <C_max>
   std::uint64_t sample_seed = 99;         ///< sampling stream seed
 
-  /// The energy options the evaluator actually runs with. The ONE place
-  /// where EvaluatorOptions and EnergyOptions are reconciled: when the
+  /// The energy options the evaluator actually runs with. The low-level
+  /// reconciliation between EvaluatorOptions and EnergyOptions: when the
   /// evaluator pre-simplifies candidates itself, the compiled statevector
   /// plan must not re-run circuit::optimize on the result. Everything else
   /// (inner_workers, sv_plan toggles, cache capacity) passes through
-  /// untouched, so callers' settings round-trip.
+  /// untouched, so callers' settings round-trip. Most callers should not
+  /// wire this directly any more — qarch::SessionConfig::energy_options()
+  /// is the session-level facade that absorbs this contract.
   [[nodiscard]] qaoa::EnergyOptions effective_energy() const {
     qaoa::EnergyOptions e = energy;
     if (simplify_circuit) e.sv_plan.presimplify = false;

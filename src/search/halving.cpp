@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
-#include "common/timer.hpp"
-#include "parallel/task_pool.hpp"
 
 namespace qarch::search {
 
-HalvingReport successive_halving(const graph::Graph& g,
+HalvingReport successive_halving(EvalService& service, const graph::Graph& g,
                                  std::vector<qaoa::MixerSpec> candidates,
                                  const HalvingConfig& config) {
   QARCH_REQUIRE(!candidates.empty(), "no candidates to halve");
@@ -18,29 +17,22 @@ HalvingReport successive_halving(const graph::Graph& g,
   QARCH_REQUIRE(config.budget_growth >= 1.0, "budget must not shrink");
   QARCH_REQUIRE(config.initial_budget >= 5, "initial budget too small");
 
-  Timer timer;
   HalvingReport report;
   std::size_t budget = config.initial_budget;
+  double first_submit = std::numeric_limits<double>::infinity();
+  double last_finish = 0.0;
 
   while (true) {
-    // Evaluate the current cohort at the current budget.
-    EvaluatorOptions opts = config.evaluator;
-    opts.cobyla.max_evals = budget;
-    const Evaluator evaluator(g, opts);
-
-    std::vector<CandidateResult> results(candidates.size());
-    if (config.outer_workers > 1) {
-      parallel::TaskPool pool(config.outer_workers);
-      std::vector<std::tuple<std::size_t>> idx;
-      for (std::size_t i = 0; i < candidates.size(); ++i) idx.emplace_back(i);
-      results = pool.starmap_async(
-          [&](std::size_t i) {
-            return evaluator.evaluate(candidates[i], config.p);
-          },
-          idx).get();
-    } else {
-      for (std::size_t i = 0; i < candidates.size(); ++i)
-        results[i] = evaluator.evaluate(candidates[i], config.p);
+    // Evaluate the current cohort at the current budget: one service
+    // submission per candidate, with the round's budget riding along.
+    JobOptions job;
+    job.training_evals = budget;
+    const std::vector<EvalTicket> tickets =
+        service.submit_batch(g, candidates, config.p, job);
+    const std::vector<CandidateResult> results = service.collect(tickets);
+    for (const EvalTicket& t : tickets) {
+      first_submit = std::min(first_submit, t.submitted_at());
+      last_finish = std::max(last_finish, t.finished_at());
     }
     for (const auto& r : results) report.total_evaluations += r.evaluations;
 
@@ -77,8 +69,15 @@ HalvingReport successive_halving(const graph::Graph& g,
         std::ceil(static_cast<double>(budget) * config.budget_growth));
   }
 
-  report.seconds = timer.seconds();
+  report.seconds = last_finish - first_submit;
   return report;
+}
+
+HalvingReport successive_halving(const graph::Graph& g,
+                                 std::vector<qaoa::MixerSpec> candidates,
+                                 const HalvingConfig& config) {
+  EvalService service(config.session);
+  return successive_halving(service, g, std::move(candidates), config);
 }
 
 }  // namespace qarch::search

@@ -8,6 +8,11 @@
 // `budget_growth`, and repeats until one survivor remains. Total compute is
 // comparable to a single full-budget sweep while the final winner gets a
 // much deeper training run.
+//
+// Like every search driver, halving is a CLIENT of search::EvalService: each
+// round submits the surviving cohort with a per-job training budget
+// (JobOptions::training_evals) and collects the tickets; the driver owns no
+// worker pool of its own.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +20,8 @@
 
 #include "graph/graph.hpp"
 #include "search/engine.hpp"
+#include "search/eval_service.hpp"
+#include "session.hpp"
 
 namespace qarch::search {
 
@@ -24,8 +31,10 @@ struct HalvingConfig {
   double budget_growth = 2.0;        ///< budget multiplier per round
   double keep_fraction = 0.5;        ///< surviving fraction per round
   std::size_t p = 1;                 ///< ansatz depth
-  std::size_t outer_workers = 1;     ///< parallel candidate evaluation
-  EvaluatorOptions evaluator;        ///< engine; cobyla budget is overridden
+  /// Backend / parallelism knobs for the private-service overload. The
+  /// session's training_evals is irrelevant here: every submission carries
+  /// its round's budget explicitly.
+  SessionConfig session;
 };
 
 /// One halving round's log.
@@ -40,10 +49,17 @@ struct HalvingReport {
   CandidateResult best;
   std::vector<HalvingRound> rounds;
   std::size_t total_evaluations = 0;  ///< objective calls across all rounds
+  /// Service-clock wall time: first submission to last completion.
   double seconds = 0.0;
 };
 
-/// Runs successive halving over an explicit candidate list on one graph.
+/// Runs successive halving over an explicit candidate list on one graph,
+/// submitting every round into a SHARED evaluation service.
+HalvingReport successive_halving(EvalService& service, const graph::Graph& g,
+                                 std::vector<qaoa::MixerSpec> candidates,
+                                 const HalvingConfig& config);
+
+/// Convenience single-client form: private service from config.session.
 HalvingReport successive_halving(const graph::Graph& g,
                                  std::vector<qaoa::MixerSpec> candidates,
                                  const HalvingConfig& config);

@@ -18,6 +18,9 @@ json::Value candidate_to_json(const CandidateResult& candidate) {
   obj.set("ratio", candidate.ratio);
   obj.set("sampled_ratio", candidate.sampled_ratio);
   obj.set("evaluations", candidate.evaluations);
+  obj.set("queue_seconds", candidate.queue_seconds);
+  obj.set("eval_seconds", candidate.eval_seconds);
+  obj.set("from_cache", candidate.from_cache);
   json::Value theta = json::Value::array();
   for (double t : candidate.theta) theta.push_back(t);
   obj.set("theta", std::move(theta));
@@ -35,6 +38,13 @@ CandidateResult candidate_from_json(const json::Value& value) {
   c.sampled_ratio = value.at("sampled_ratio").as_number();
   c.evaluations =
       static_cast<std::size_t>(value.at("evaluations").as_number());
+  // Accounting fields postdate the original schema; absent in old reports.
+  if (value.contains("queue_seconds"))
+    c.queue_seconds = value.at("queue_seconds").as_number();
+  if (value.contains("eval_seconds"))
+    c.eval_seconds = value.at("eval_seconds").as_number();
+  if (value.contains("from_cache"))
+    c.from_cache = value.at("from_cache").as_bool();
   const json::Value& theta = value.at("theta");
   for (std::size_t i = 0; i < theta.size(); ++i)
     c.theta.push_back(theta.at(i).as_number());
@@ -50,6 +60,8 @@ json::Value report_to_json(const SearchReport& report) {
   obj.set("evaluated", std::move(all));
   obj.set("seconds", report.seconds);
   obj.set("num_candidates", report.num_candidates);
+  obj.set("cache_hits", report.cache_hits);
+  obj.set("cache_misses", report.cache_misses);
   json::Value rej = json::Value::object();
   for (const auto& [name, count] : report.rejections) rej.set(name, count);
   obj.set("rejections", std::move(rej));
@@ -65,6 +77,12 @@ SearchReport report_from_json(const json::Value& value) {
   r.seconds = value.at("seconds").as_number();
   r.num_candidates =
       static_cast<std::size_t>(value.at("num_candidates").as_number());
+  if (value.contains("cache_hits"))
+    r.cache_hits =
+        static_cast<std::size_t>(value.at("cache_hits").as_number());
+  if (value.contains("cache_misses"))
+    r.cache_misses =
+        static_cast<std::size_t>(value.at("cache_misses").as_number());
   if (value.contains("rejections"))
     for (const auto& [name, count] : value.at("rejections").items())
       r.rejections[name] = static_cast<std::size_t>(count.as_number());

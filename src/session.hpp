@@ -1,0 +1,98 @@
+// SessionConfig: the single front-end configuration facade of the library.
+//
+// Callers used to thread four overlapping option structs — qaoa::EnergyOptions,
+// sim::PlanOptions, qtensor::QTensorOptions, and search::EvaluatorOptions — to
+// reach the compiled-plan fast paths, each wired slightly differently by every
+// driver. SessionConfig owns the backend / optimizer / budget knobs in ONE
+// place and derives the fully reconciled per-engine option structs from them:
+//
+//   SessionConfig cfg;                 // top-level knobs only
+//   cfg.backend = BackendChoice::Auto; // per-candidate engine selection
+//   cfg.workers = 8;                   // service worker pool width
+//   cfg.training_evals = 200;          // COBYLA budget per candidate
+//   search::EvalService service(cfg);  // every search driver is a client
+//
+// `evaluator_options()` / `energy_options()` are the only reconciliation
+// points: they absorb the old EvaluatorOptions::effective_energy() contract
+// (evaluator-level pre-simplification wins over the plan-level toggle) so the
+// four structs can never silently diverge again. Deep engine toggles
+// (sv_plan.*, qtensor.*, restart jitter) remain reachable through `base`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "search/evaluator.hpp"
+
+namespace qarch {
+
+/// Which simulation engine evaluates candidates. Unlike qaoa::EngineKind this
+/// includes Auto: the evaluation service picks statevector vs tensor-network
+/// PER CANDIDATE from the qubit count and an edge-lightcone size estimate
+/// (see search::auto_engine_choice).
+enum class BackendChoice { Statevector, TensorNetwork, Auto };
+
+/// Parses "sv"/"statevector", "tn"/"qtensor"/"tensor-network", "auto".
+BackendChoice backend_from_name(const std::string& name);
+
+/// Canonical short name: "sv", "tn", or "auto".
+std::string backend_name(BackendChoice backend);
+
+/// The one configuration struct every search driver and example wires.
+struct SessionConfig {
+  // -- backend selection -----------------------------------------------------
+  BackendChoice backend = BackendChoice::Auto;
+  /// Auto: instances with at most this many qubits always run on the
+  /// statevector engine (2^n is small; README documents the crossover n≈14).
+  std::size_t auto_statevector_qubits = 14;
+  /// Auto: above the qubit cutoff, the tensor-network engine is chosen when
+  /// the widest edge-lightcone touches at most this many qubits (contraction
+  /// cost scales with lightcone width, not with n); otherwise statevector.
+  std::size_t auto_lightcone_qubits = 12;
+
+  // -- parallelism (the paper's two-level scheme) ----------------------------
+  /// Outer level: evaluation-service worker threads running whole candidates
+  /// concurrently (0 = hardware concurrency).
+  std::size_t workers = 1;
+  /// Inner level: threads inside one energy(theta) call — statevector
+  /// kernels / batched sweeps, or concurrent per-edge contractions.
+  std::size_t inner_workers = 1;
+
+  // -- training budget -------------------------------------------------------
+  std::size_t training_evals = 200;  ///< COBYLA objective calls per candidate
+  std::size_t restarts = 1;          ///< multistart splits of that budget
+  bool simplify_circuit = true;      ///< peephole-optimize each candidate
+
+  // -- Eq. 3 sampled scoring -------------------------------------------------
+  std::size_t shots = 128;           ///< samples per <C_max> batch
+  std::size_t sample_trials = 8;     ///< batches averaged for <C_max>
+
+  // -- evaluation-service caches ---------------------------------------------
+  /// Capacity of the service's (graph, engine, budget) → Evaluator LRU.
+  std::size_t evaluator_cache = 16;
+  /// Capacity of the candidate-result cache keyed by (graph fingerprint,
+  /// mixer encoding, p, budget); duplicate proposals return the cached
+  /// CandidateResult instead of retraining. 0 disables result caching.
+  std::size_t result_cache = 4096;
+
+  // -- escape hatch ----------------------------------------------------------
+  /// Deep engine toggles (sv_plan.*, qtensor.*, optimizer details, restart
+  /// jitter) start from this base; the named knobs above override the
+  /// corresponding fields in evaluator_options().
+  search::EvaluatorOptions base;
+
+  /// The fully wired EvaluatorOptions for one resolved engine. `training`
+  /// overrides `training_evals` when non-zero (successive halving varies the
+  /// budget per round through the same reconciliation).
+  [[nodiscard]] search::EvaluatorOptions evaluator_options(
+      qaoa::EngineKind engine, std::size_t training = 0) const;
+
+  /// The reconciled EnergyOptions the engine actually simulates with — the
+  /// session-level home of the old EvaluatorOptions::effective_energy()
+  /// contract (pre-simplified candidates must not re-run circuit::optimize
+  /// inside the compiled statevector plan).
+  [[nodiscard]] qaoa::EnergyOptions energy_options(
+      qaoa::EngineKind engine) const;
+};
+
+}  // namespace qarch

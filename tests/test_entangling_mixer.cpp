@@ -79,8 +79,8 @@ TEST(EntanglingMixer, SearchOverExtendedAlphabet) {
   cfg.p_max = 1;
   cfg.alphabet = search::GateAlphabet{{GateKind::RX, GateKind::RY,
                                        GateKind::CZ, GateKind::RZZ}};
-  cfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
-  cfg.evaluator.cobyla.max_evals = 40;
+  cfg.session.backend = BackendChoice::Statevector;
+  cfg.session.training_evals = 40;
   cfg.constraints.add(std::make_shared<search::TrainableConstraint>());
   const auto report = search::SearchEngine(cfg).run_exhaustive(g, 2);
   // 4 + 16 = 20 sequences minus untrainable ones ({cz}, {cz,cz}).

@@ -1,0 +1,382 @@
+// EvalService tests: the submit/ticket surface, concurrent multi-client
+// usage, cancellation mid-queue, the candidate-result cache, determinism of
+// SearchReport.best across worker counts, backend=Auto agreement with the
+// forced engines, and the SessionConfig reconciliation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "search/combinations.hpp"
+#include "search/engine.hpp"
+#include "search/eval_service.hpp"
+#include "search/halving.hpp"
+#include "session.hpp"
+#include "sim/sim_program.hpp"
+
+namespace {
+
+using namespace qarch;
+
+SessionConfig fast_session() {
+  SessionConfig s;
+  s.backend = BackendChoice::Statevector;
+  s.training_evals = 30;
+  s.shots = 32;
+  s.sample_trials = 2;
+  return s;
+}
+
+graph::Graph test_graph(std::uint64_t seed, std::size_t n = 6,
+                        std::size_t degree = 3) {
+  Rng rng(seed);
+  return graph::random_regular(n, degree, rng);
+}
+
+TEST(EvalService, SubmitMatchesDirectEvaluator) {
+  const auto g = test_graph(11);
+  const SessionConfig session = fast_session();
+
+  search::EvalService service(session);
+  auto ticket = service.submit(g, qaoa::MixerSpec::qnas(), 1);
+  const auto& r = ticket.wait();
+
+  // The service wires the SAME EvaluatorOptions a direct client would build
+  // through the session facade, so results are bit-identical.
+  const search::Evaluator direct(
+      g, session.evaluator_options(qaoa::EngineKind::Statevector));
+  const auto expected = direct.evaluate(qaoa::MixerSpec::qnas(), 1);
+  EXPECT_EQ(r.energy, expected.energy);
+  EXPECT_EQ(r.sampled_ratio, expected.sampled_ratio);
+  EXPECT_EQ(r.theta, expected.theta);
+
+  EXPECT_TRUE(ticket.ready());
+  EXPECT_FALSE(ticket.cache_hit());
+  EXPECT_GE(r.queue_seconds, 0.0);
+  EXPECT_GT(r.eval_seconds, 0.0);
+  EXPECT_GE(ticket.finished_at(), ticket.submitted_at());
+}
+
+TEST(EvalService, ConcurrentMultiClientSubmitsAgreeWithSerial) {
+  const auto g = test_graph(13);
+  const auto cohort = search::all_combinations(
+      search::GateAlphabet::standard(), 2, search::CombinationMode::Product);
+
+  // Serial reference.
+  const search::Evaluator direct(
+      g, fast_session().evaluator_options(qaoa::EngineKind::Statevector));
+  std::vector<double> expected;
+  for (const auto& m : cohort) expected.push_back(direct.evaluate(m, 1).energy);
+
+  // Four client threads hammer one shared 4-worker service with the same
+  // cohort concurrently.
+  SessionConfig session = fast_session();
+  session.workers = 4;
+  search::EvalService service(session);
+  constexpr std::size_t kClients = 4;
+  std::vector<std::vector<double>> energies(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const auto tickets = service.submit_batch(g, cohort, 1);
+      for (const auto& r : service.collect(tickets))
+        energies[c].push_back(r.energy);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (std::size_t c = 0; c < kClients; ++c) EXPECT_EQ(energies[c], expected);
+
+  // Dedup across clients: every candidate ran at most once service-wide.
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, kClients * cohort.size());
+  EXPECT_EQ(stats.completed, cohort.size());
+  EXPECT_EQ(stats.cache_misses, cohort.size());
+  EXPECT_EQ(stats.cache_hits, (kClients - 1) * cohort.size());
+}
+
+TEST(EvalService, DuplicateSubmissionHitsResultCache) {
+  const auto g = test_graph(17);
+  search::EvalService service(fast_session());
+
+  auto first = service.submit(g, qaoa::MixerSpec::qnas(), 1);
+  const auto r1 = first.wait();
+  auto second = service.submit(g, qaoa::MixerSpec::qnas(), 1);
+  const auto r2 = second.wait();
+
+  EXPECT_FALSE(first.cache_hit());
+  EXPECT_TRUE(second.cache_hit());
+  EXPECT_FALSE(r1.from_cache);
+  EXPECT_TRUE(r2.from_cache);
+  EXPECT_EQ(r1.energy, r2.energy);
+  EXPECT_EQ(r1.theta, r2.theta);
+
+  // A different budget is a different candidate as far as the cache goes.
+  search::JobOptions deeper;
+  deeper.training_evals = 60;
+  auto third = service.submit(g, qaoa::MixerSpec::qnas(), 1, deeper);
+  (void)third.wait();
+  EXPECT_FALSE(third.cache_hit());
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+}
+
+TEST(EvalService, ResultCacheCanBeDisabled) {
+  const auto g = test_graph(17);
+  SessionConfig session = fast_session();
+  session.result_cache = 0;
+  search::EvalService service(session);
+
+  (void)service.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  auto second = service.submit(g, qaoa::MixerSpec::qnas(), 1);
+  (void)second.wait();
+  EXPECT_FALSE(second.cache_hit());
+  EXPECT_EQ(service.stats().completed, 2u);
+}
+
+TEST(EvalService, CancellationMidQueue) {
+  const auto g = test_graph(19, 8, 3);
+  SessionConfig session = fast_session();
+  session.workers = 1;           // one worker → everything else queues
+  session.training_evals = 200;  // keep the blocker busy
+  search::EvalService service(session);
+
+  // The blocker occupies the single worker; the rest sit in the queue.
+  auto blocker = service.submit(g, qaoa::MixerSpec::baseline(), 1);
+  const auto cohort = search::all_combinations(
+      search::GateAlphabet::standard(), 1, search::CombinationMode::Product);
+  auto queued = service.submit_batch(g, cohort, 2);
+
+  std::size_t cancelled = 0;
+  for (auto& t : queued)
+    if (t.cancel()) ++cancelled;
+  EXPECT_GT(cancelled, 0u);
+
+  for (auto& t : queued) {
+    if (t.cancelled()) {
+      EXPECT_TRUE(t.ready());
+      EXPECT_THROW((void)t.wait(), Error);
+    } else {
+      (void)t.wait();  // raced into Running before the cancel — completes
+    }
+  }
+
+  // The blocker itself is not cancellable once done.
+  (void)blocker.wait();
+  EXPECT_FALSE(blocker.cancel());
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cancelled, cancelled);
+  EXPECT_EQ(stats.completed + stats.cancelled, 1u + cohort.size());
+}
+
+TEST(EvalService, SearchBestIsDeterministicAcrossWorkerCounts) {
+  const auto g = test_graph(23);
+  search::SearchConfig cfg;
+  cfg.p_max = 1;
+  cfg.session = fast_session();
+
+  cfg.session.workers = 1;
+  const auto serial = search::SearchEngine(cfg).run_exhaustive(g, 2);
+  cfg.session.workers = 4;
+  const auto parallel = search::SearchEngine(cfg).run_exhaustive(g, 2);
+
+  EXPECT_EQ(serial.best.mixer, parallel.best.mixer);
+  EXPECT_EQ(serial.best.energy, parallel.best.energy);
+  ASSERT_EQ(serial.evaluated.size(), parallel.evaluated.size());
+  for (std::size_t i = 0; i < serial.evaluated.size(); ++i)
+    EXPECT_EQ(serial.evaluated[i].energy, parallel.evaluated[i].energy);
+}
+
+TEST(EvalService, SearchReportCountsCacheHitsAndServiceTime) {
+  const auto g = test_graph(29);
+  search::SearchConfig cfg;
+  cfg.p_max = 1;
+  cfg.session = fast_session();
+  // 40 random proposals over the 5 length-1 mixers guarantee duplicates.
+  search::RandomPredictor pred(cfg.alphabet, 1, 40, /*seed=*/5);
+  const auto report = search::SearchEngine(cfg).run(g, pred);
+
+  EXPECT_EQ(report.num_candidates, 40u);
+  EXPECT_EQ(report.cache_hits + report.cache_misses, 40u);
+  EXPECT_LE(report.cache_misses, 5u);
+  EXPECT_GT(report.cache_hits, 0u);
+  EXPECT_GT(report.seconds, 0.0);
+  for (const auto& c : report.evaluated) {
+    EXPECT_GE(c.queue_seconds, 0.0);
+    EXPECT_GE(c.eval_seconds, 0.0);
+  }
+}
+
+TEST(EvalService, AutoPicksStatevectorOnSmallInstances) {
+  const auto g = test_graph(31);  // 6 qubits << auto_statevector_qubits
+  SessionConfig session = fast_session();
+  EXPECT_EQ(search::auto_engine_choice(session, g, qaoa::MixerSpec::qnas(), 1),
+            qaoa::EngineKind::Statevector);
+
+  session.backend = BackendChoice::Auto;
+  search::EvalService auto_service(session);
+  const auto r_auto =
+      auto_service.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  EXPECT_EQ(auto_service.stats().picked_statevector, 1u);
+  EXPECT_EQ(auto_service.stats().picked_tensornetwork, 0u);
+
+  session.backend = BackendChoice::Statevector;
+  search::EvalService sv_service(session);
+  const auto r_sv = sv_service.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  EXPECT_EQ(r_auto.energy, r_sv.energy);
+  EXPECT_EQ(r_auto.theta, r_sv.theta);
+}
+
+TEST(EvalService, AutoPicksTensorNetworkOnLargeSparseInstances) {
+  // 16 qubits, 3-regular, p=1: past the statevector cutoff with a narrow
+  // per-edge lightcone — exactly the regime the paper ran QTensor in.
+  const auto g = test_graph(37, 16, 3);
+  SessionConfig session = fast_session();
+  session.training_evals = 15;
+  EXPECT_EQ(search::auto_engine_choice(session, g, qaoa::MixerSpec::qnas(), 1),
+            qaoa::EngineKind::TensorNetwork);
+
+  session.backend = BackendChoice::Auto;
+  search::EvalService auto_service(session);
+  const auto r_auto =
+      auto_service.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  EXPECT_EQ(auto_service.stats().picked_tensornetwork, 1u);
+
+  session.backend = BackendChoice::TensorNetwork;
+  search::EvalService tn_service(session);
+  const auto r_tn = tn_service.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  EXPECT_EQ(r_auto.energy, r_tn.energy);
+  EXPECT_EQ(r_auto.theta, r_tn.theta);
+
+  // Dense lightcones push Auto back to the statevector engine.
+  session.auto_lightcone_qubits = 2;
+  EXPECT_EQ(search::auto_engine_choice(session, g, qaoa::MixerSpec::qnas(), 1),
+            qaoa::EngineKind::Statevector);
+}
+
+TEST(EvalService, ForcedEnginesAgreeNumerically) {
+  // The two engines compute the same <C>; trained energies track closely
+  // (same deterministic optimizer on numerically identical objectives).
+  const auto g = test_graph(41);
+  SessionConfig session = fast_session();
+  search::EvalService sv(session);
+  session.backend = BackendChoice::TensorNetwork;
+  search::EvalService tn(session);
+  const auto r_sv = sv.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  const auto r_tn = tn.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  EXPECT_NEAR(r_sv.energy, r_tn.energy, 1e-6);
+}
+
+TEST(EvalService, SharedServiceCompilesEachCandidatePlanOnce) {
+  const auto g = test_graph(43);
+  const auto cohort = search::all_combinations(
+      search::GateAlphabet::standard(), 1, search::CombinationMode::Product);
+
+  SessionConfig session = fast_session();
+  session.workers = 2;
+  search::EvalService service(session);
+
+  sim::reset_program_compile_count();
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 2; ++c)
+    clients.emplace_back([&] {
+      (void)service.collect(service.submit_batch(g, cohort, 1));
+    });
+  for (auto& t : clients) t.join();
+  const auto compiles_shared = sim::program_compile_count();
+
+  // Reference: one client, fresh service → the per-candidate baseline.
+  search::EvalService reference(session);
+  sim::reset_program_compile_count();
+  (void)reference.collect(reference.submit_batch(g, cohort, 1));
+  EXPECT_EQ(compiles_shared, sim::program_compile_count())
+      << "two clients sharing a service must not duplicate compilations";
+}
+
+TEST(EvalService, HalvingSharesTheServiceAndBudgetsPerRound) {
+  const auto g = test_graph(47);
+  auto cohort = search::all_combinations(
+      search::GateAlphabet::standard(), 1, search::CombinationMode::Product);
+
+  SessionConfig session = fast_session();
+  search::EvalService service(session);
+  search::HalvingConfig cfg;
+  cfg.initial_budget = 10;
+  cfg.session = session;  // only backend/width matter for the shared form
+  const auto report = search::successive_halving(service, g, cohort, cfg);
+
+  EXPECT_EQ(report.rounds.front().candidates_in, cohort.size());
+  EXPECT_EQ(report.rounds.back().candidates_in, 1u);
+  EXPECT_GT(report.best.energy, 0.0);
+  EXPECT_GT(report.seconds, 0.0);
+  // Rounds ran at distinct budgets through JobOptions, so nothing hit the
+  // result cache... except the final round re-scoring a survivor at a
+  // budget it already ran (growth can repeat a budget only if it stalls,
+  // which it doesn't here).
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+}
+
+TEST(SessionConfig, ReconciliationAbsorbsEffectiveEnergy) {
+  SessionConfig s;
+  s.backend = BackendChoice::Auto;
+  s.inner_workers = 3;
+  s.training_evals = 77;
+  s.restarts = 2;
+  s.shots = 64;
+  s.sample_trials = 4;
+  s.base.energy.sv_plan.block_qubits = 12;
+  s.base.energy.plan_cache_capacity = 5;
+
+  const auto opt = s.evaluator_options(qaoa::EngineKind::Statevector);
+  EXPECT_EQ(opt.energy.engine, qaoa::EngineKind::Statevector);
+  EXPECT_EQ(opt.energy.inner_workers, 3u);
+  EXPECT_EQ(opt.cobyla.max_evals, 77u);
+  EXPECT_EQ(opt.restarts, 2u);
+  EXPECT_EQ(opt.shots, 64u);
+  EXPECT_EQ(opt.sample_trials, 4u);
+  // Deep toggles pass through from base untouched.
+  EXPECT_EQ(opt.energy.sv_plan.block_qubits, 12u);
+  EXPECT_EQ(opt.energy.plan_cache_capacity, 5u);
+
+  // Per-job budget override (the halving path).
+  EXPECT_EQ(s.evaluator_options(qaoa::EngineKind::Statevector, 9)
+                .cobyla.max_evals,
+            9u);
+
+  // energy_options() absorbs the effective_energy() contract: evaluator-side
+  // pre-simplification turns the plan-level presimplify off.
+  EXPECT_TRUE(s.simplify_circuit);
+  EXPECT_FALSE(s.energy_options(qaoa::EngineKind::Statevector)
+                   .sv_plan.presimplify);
+
+  EXPECT_EQ(backend_from_name("auto"), BackendChoice::Auto);
+  EXPECT_EQ(backend_from_name("sv"), BackendChoice::Statevector);
+  EXPECT_EQ(backend_from_name("tn"), BackendChoice::TensorNetwork);
+  EXPECT_EQ(backend_name(BackendChoice::Auto), "auto");
+  EXPECT_THROW(backend_from_name("qpu"), Error);
+}
+
+TEST(GraphFingerprint, DistinguishesStructureNotIdentity) {
+  const auto g1 = test_graph(53);
+  const auto g2 = test_graph(53);  // same seed → same structure
+  const auto g3 = test_graph(59);
+  EXPECT_EQ(search::graph_fingerprint(g1), search::graph_fingerprint(g2));
+  EXPECT_NE(search::graph_fingerprint(g1), search::graph_fingerprint(g3));
+
+  graph::Graph w1(3), w2(3);
+  w1.add_edge(0, 1, 1.0);
+  w1.add_edge(1, 2, 2.0);
+  w2.add_edge(0, 1, 1.0);
+  w2.add_edge(1, 2, 2.5);  // weight differs
+  EXPECT_NE(search::graph_fingerprint(w1), search::graph_fingerprint(w2));
+}
+
+}  // namespace

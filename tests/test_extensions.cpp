@@ -81,8 +81,8 @@ TEST(Constraints, EngineFiltersAndAccounts) {
   const auto g = graph::random_regular(6, 3, rng);
   search::SearchConfig cfg;
   cfg.p_max = 1;
-  cfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
-  cfg.evaluator.cobyla.max_evals = 30;
+  cfg.session.backend = BackendChoice::Statevector;
+  cfg.session.training_evals = 30;
   cfg.constraints.add(std::make_shared<search::TrainableConstraint>());
   const auto report = search::SearchEngine(cfg).run_exhaustive(g, 2);
   // Sequences over {rx,ry,rz,h,p} of length <=2 without any parameterized
@@ -101,8 +101,8 @@ TEST(ReportIo, JsonRoundTrip) {
   const auto g = graph::random_regular(6, 3, rng);
   search::SearchConfig cfg;
   cfg.p_max = 1;
-  cfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
-  cfg.evaluator.cobyla.max_evals = 30;
+  cfg.session.backend = BackendChoice::Statevector;
+  cfg.session.training_evals = 30;
   const auto report = search::SearchEngine(cfg).run_exhaustive(g, 1);
 
   const std::string path = "/tmp/qarch_report_test.json";
@@ -130,8 +130,8 @@ TEST(DatasetSearch, AggregatesAcrossGraphs) {
   const auto graphs = graph::regular_dataset(3, 6, 3, rng);
   search::DatasetSearchConfig cfg;
   cfg.engine.p_max = 1;
-  cfg.engine.evaluator.energy.engine = qaoa::EngineKind::Statevector;
-  cfg.engine.evaluator.cobyla.max_evals = 30;
+  cfg.engine.session.backend = BackendChoice::Statevector;
+  cfg.engine.session.training_evals = 30;
   cfg.k_max = 1;  // 5 candidates
   cfg.node_slots = 3;
   const auto report = search::search_dataset(graphs, cfg);
@@ -150,8 +150,8 @@ TEST(DatasetSearch, SerialAndParallelSlotsAgree) {
   const auto graphs = graph::regular_dataset(2, 6, 3, rng);
   search::DatasetSearchConfig cfg;
   cfg.engine.p_max = 1;
-  cfg.engine.evaluator.energy.engine = qaoa::EngineKind::Statevector;
-  cfg.engine.evaluator.cobyla.max_evals = 25;
+  cfg.engine.session.backend = BackendChoice::Statevector;
+  cfg.engine.session.training_evals = 25;
   cfg.k_max = 1;
   cfg.node_slots = 1;
   const auto serial = search::search_dataset(graphs, cfg);

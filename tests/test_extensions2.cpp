@@ -167,8 +167,8 @@ TEST(Halving, ConvergesToASingleSurvivor) {
       search::GateAlphabet::standard(), 2, search::CombinationMode::Product);
   search::HalvingConfig cfg;
   cfg.initial_budget = 20;
-  cfg.outer_workers = 4;
-  cfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
+  cfg.session.workers = 4;
+  cfg.session.backend = BackendChoice::Statevector;
   const auto report = search::successive_halving(g, candidates, cfg);
 
   ASSERT_FALSE(report.rounds.empty());
@@ -192,7 +192,7 @@ TEST(Halving, WinnerIsCompetitiveWithFullSweep) {
 
   search::HalvingConfig cfg;
   cfg.initial_budget = 20;
-  cfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
+  cfg.session.backend = BackendChoice::Statevector;
   const auto halved = search::successive_halving(g, candidates, cfg);
 
   // Full sweep at 100 evals per candidate (much more compute).

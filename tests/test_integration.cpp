@@ -23,10 +23,10 @@ using namespace qarch;
 search::SearchConfig small_config() {
   search::SearchConfig cfg;
   cfg.p_max = 1;
-  cfg.evaluator.energy.engine = qaoa::EngineKind::Statevector;
-  cfg.evaluator.cobyla.max_evals = 40;
-  cfg.evaluator.shots = 32;
-  cfg.evaluator.sample_trials = 2;
+  cfg.session.backend = BackendChoice::Statevector;
+  cfg.session.training_evals = 40;
+  cfg.session.shots = 32;
+  cfg.session.sample_trials = 2;
   return cfg;
 }
 

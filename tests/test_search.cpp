@@ -31,6 +31,15 @@ search::EvaluatorOptions fast_options() {
   return opt;
 }
 
+SessionConfig fast_session() {
+  SessionConfig s;
+  s.backend = BackendChoice::Statevector;
+  s.training_evals = 40;
+  s.shots = 32;
+  s.sample_trials = 2;
+  return s;
+}
+
 TEST(Alphabet, StandardHasFiveSingleQubitGates) {
   const GateAlphabet a = GateAlphabet::standard();
   EXPECT_EQ(a.size(), 5u);  // |A_R| = 5 in the paper
@@ -164,13 +173,13 @@ TEST(Engine, SerialAndParallelFindTheSameBest) {
 
   search::SearchConfig serial_cfg;
   serial_cfg.p_max = 1;
-  serial_cfg.outer_workers = 1;
-  serial_cfg.evaluator = fast_options();
+  serial_cfg.session = fast_session();
+  serial_cfg.session.workers = 1;
   const auto serial =
       search::SearchEngine(serial_cfg).run_exhaustive(g, 2);
 
   search::SearchConfig par_cfg = serial_cfg;
-  par_cfg.outer_workers = 6;
+  par_cfg.session.workers = 6;
   const auto parallel =
       search::SearchEngine(par_cfg).run_exhaustive(g, 2);
 
@@ -193,7 +202,7 @@ TEST(Engine, BestIsArgmaxOfEvaluated) {
   const auto g = graph::random_regular(6, 3, rng);
   search::SearchConfig cfg;
   cfg.p_max = 1;
-  cfg.evaluator = fast_options();
+  cfg.session = fast_session();
   const auto report = search::SearchEngine(cfg).run_exhaustive(g, 2);
   double best = -1.0;
   for (const auto& c : report.evaluated) best = std::max(best, c.energy);
@@ -206,7 +215,7 @@ TEST(Engine, DeeperSearchNeverHurtsBestEnergy) {
   const auto g = graph::random_regular(6, 3, rng);
   search::SearchConfig cfg1;
   cfg1.p_max = 1;
-  cfg1.evaluator = fast_options();
+  cfg1.session = fast_session();
   search::SearchConfig cfg2 = cfg1;
   cfg2.p_max = 2;
   const auto r1 = search::SearchEngine(cfg1).run_exhaustive(g, 1);
@@ -220,13 +229,13 @@ TEST(Engine, BestAtDepthFiltersCorrectly) {
   const auto g = graph::random_regular(6, 3, rng);
   search::SearchConfig cfg;
   cfg.p_max = 2;
-  cfg.evaluator = fast_options();
+  cfg.session = fast_session();
   const auto report = search::SearchEngine(cfg).run_exhaustive(g, 1);
   const auto& b1 = report.best_at_depth(1);
   const auto& b2 = report.best_at_depth(2);
   EXPECT_EQ(b1.p, 1u);
   EXPECT_EQ(b2.p, 2u);
-  EXPECT_THROW(report.best_at_depth(9), Error);
+  EXPECT_THROW((void)report.best_at_depth(9), Error);
 }
 
 TEST(Engine, RandomPredictorIntegrates) {
@@ -234,7 +243,7 @@ TEST(Engine, RandomPredictorIntegrates) {
   const auto g = graph::random_regular(6, 3, rng);
   search::SearchConfig cfg;
   cfg.p_max = 1;
-  cfg.evaluator = fast_options();
+  cfg.session = fast_session();
   search::RandomPredictor pred(cfg.alphabet, 3, 12, /*seed=*/9);
   const auto report = search::SearchEngine(cfg).run(g, pred);
   EXPECT_EQ(report.num_candidates, 12u);
