@@ -1,6 +1,6 @@
 // Ablation: the shared evaluation service vs the old per-driver loops.
 //
-// Four sections, all on one graph + candidate cohort:
+// Six sections, all on one graph + candidate cohort:
 //   1. Parity + compile-once probe: two concurrent SearchEngine clients
 //      share one EvalService; their best candidate must match the old-style
 //      private loop (one Evaluator, serial sweep) bit for bit, while
@@ -14,11 +14,19 @@
 //      service-side ticket timestamps.
 //   4. backend=Auto pick counts on a small (statevector) and a large sparse
 //      (tensor-network) instance.
+//   5. Fairness: a greedy client floods the service while an interactive
+//      client submits small batches; per-client makespans and the max/min
+//      client-latency ratio, FIFO (one shared default queue) vs fair-share
+//      (per-client registered queues).
+//   6. Warm start: the same cohort through a cache_path-backed service
+//      twice; the second service must serve ≥ 90% from the persisted cache
+//      with zero plan recompiles.
 //
 // Results land in BENCH_eval_service.json (section "eval_service").
 //
 // Flags: --qubits N (8) --degree D (3) --p P (1) --kmax K (2) --evals E (60)
 //        --workers W (4) --max-clients C (4) --out PATH
+#include <algorithm>
 #include <cstdio>
 #include <thread>
 
@@ -198,6 +206,133 @@ int main(int argc, char** argv) {
     auto_section.set("picked_statevector", stats.picked_statevector);
     auto_section.set("picked_tensornetwork", stats.picked_tensornetwork);
     section.set("auto_backend", std::move(auto_section));
+  }
+
+  // -- 5. fairness: greedy vs interactive client, FIFO vs fair-share --------
+  {
+    // The greedy client floods the whole cohort at 8x budget; the
+    // interactive client submits 3-candidate batches at 1x and waits for
+    // each. Two workers keep the pool saturated: under FIFO (both clients
+    // in the default queue) every interactive batch parks behind the whole
+    // remaining flood; with registered queues the scheduler alternates
+    // budget-fairly.
+    SessionConfig contended = session;
+    contended.workers = 2;
+    const auto run_leg = [&](bool fair, json::Value& leg) {
+      search::EvalService service(contended);
+      const std::size_t batches =
+          std::max<std::size_t>(2, cohort.size() / 6);
+      double greedy_span = 0.0, interactive_span = 0.0;
+      double interactive_batch_mean = 0.0;
+      std::thread greedy([&] {
+        search::EvalClient me;
+        search::JobOptions job;
+        job.training_evals = 8 * evals;
+        if (fair) {
+          me = service.register_client("greedy");
+          job.client = me.id();
+        }
+        const auto tickets = service.submit_batch(g, cohort, p, job);
+        (void)service.collect(tickets);
+        double first = tickets.front().submitted_at(), last = 0.0;
+        for (const auto& t : tickets) last = std::max(last, t.finished_at());
+        greedy_span = last - first;
+      });
+      std::thread interactive([&] {
+        search::EvalClient me;
+        // +1 eval: unique keys, so nothing dedups against the greedy flood.
+        search::JobOptions job;
+        job.training_evals = evals + 1;
+        if (fair) {
+          me = service.register_client("interactive");
+          job.client = me.id();
+        }
+        double first = -1.0, last = 0.0, batch_sum = 0.0;
+        for (std::size_t b = 0; b < batches; ++b) {
+          std::vector<qaoa::MixerSpec> batch(
+              cohort.begin() + static_cast<std::ptrdiff_t>(
+                                   (3 * b) % (cohort.size() - 2)),
+              cohort.begin() + static_cast<std::ptrdiff_t>(
+                                   (3 * b) % (cohort.size() - 2) + 3));
+          job.training_evals = evals + 1 + b;  // fresh work every batch
+          const auto tickets = service.submit_batch(g, batch, p, job);
+          (void)service.collect(tickets);
+          if (first < 0.0) first = tickets.front().submitted_at();
+          double batch_last = 0.0;
+          for (const auto& t : tickets)
+            batch_last = std::max(batch_last, t.finished_at());
+          batch_sum += batch_last - tickets.front().submitted_at();
+          last = std::max(last, batch_last);
+        }
+        interactive_span = last - first;
+        interactive_batch_mean = batch_sum / static_cast<double>(batches);
+      });
+      greedy.join();
+      interactive.join();
+      // The client-latency metric is the interactive client's mean BATCH
+      // turnaround — what a human at a prompt feels. (A max/min ratio of
+      // total spans would reward FIFO for holding the light client hostage
+      // until the flood drains: both "finish together" then.)
+      leg.set("greedy_span_seconds", greedy_span);
+      leg.set("interactive_span_seconds", interactive_span);
+      leg.set("interactive_mean_batch_seconds", interactive_batch_mean);
+      return interactive_batch_mean;
+    };
+    json::Value fifo = json::Value::object(), fair = json::Value::object();
+    const double fifo_batch = run_leg(false, fifo);
+    const double fair_batch = run_leg(true, fair);
+    std::printf("\nfairness (greedy flood vs interactive batches):\n"
+                "  fifo:       interactive batch %.1f ms\n"
+                "  fair-share: interactive batch %.1f ms  (%.1fx better)\n",
+                fifo_batch * 1e3, fair_batch * 1e3,
+                fifo_batch / std::max(1e-9, fair_batch));
+    json::Value fairness = json::Value::object();
+    fairness.set("fifo", std::move(fifo));
+    fairness.set("fair_share", std::move(fair));
+    fairness.set("interactive_batch_speedup",
+                 fifo_batch / std::max(1e-9, fair_batch));
+    section.set("fairness", std::move(fairness));
+  }
+
+  // -- 6. persistent cache: cold run, then warm start from disk -------------
+  {
+    const std::string cache_file = out + ".cache";
+    std::remove(cache_file.c_str());
+    SessionConfig persisted = session;
+    persisted.cache_path = cache_file;
+    double cold_seconds = 0.0, warm_seconds = 0.0;
+    {
+      search::EvalService cold(persisted);
+      Timer t;
+      (void)cold.collect(cold.submit_batch(g, cohort, p));
+      cold_seconds = t.seconds();
+    }  // destructor persists the result cache
+    sim::reset_program_compile_count();
+    std::size_t warm_hits = 0, warm_loaded = 0;
+    {
+      search::EvalService warm(persisted);
+      warm_loaded = warm.stats().cache_loaded;
+      Timer t;
+      (void)warm.collect(warm.submit_batch(g, cohort, p));
+      warm_seconds = t.seconds();
+      warm_hits = warm.stats().cache_hits;
+    }
+    const auto warm_compiles =
+        static_cast<std::size_t>(sim::program_compile_count());
+    const double hit_rate =
+        static_cast<double>(warm_hits) / static_cast<double>(cohort.size());
+    std::printf("\nwarm start via %s: cold %.2fs -> warm %.3fs, "
+                "%zu/%zu cache hits (%.0f%%), %zu loaded, %zu recompiles\n",
+                cache_file.c_str(), cold_seconds, warm_seconds, warm_hits,
+                cohort.size(), hit_rate * 100.0, warm_loaded, warm_compiles);
+    json::Value warm_section = json::Value::object();
+    warm_section.set("cold_seconds", cold_seconds);
+    warm_section.set("warm_seconds", warm_seconds);
+    warm_section.set("warm_hit_rate", hit_rate);
+    warm_section.set("cache_loaded", warm_loaded);
+    warm_section.set("warm_plan_recompiles", warm_compiles);
+    section.set("warm_start", std::move(warm_section));
+    std::remove(cache_file.c_str());
   }
 
   bench::update_bench_json(out, "eval_service", std::move(section));

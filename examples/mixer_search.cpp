@@ -4,10 +4,12 @@
 //
 //   ./mixer_search [--n 10] [--degree 4] [--pmax 2] [--kmax 2]
 //                  [--workers 0(=all cores)] [--evals 200] [--seed 3]
-//                  [--engine sv|tn|auto] [--small]
+//                  [--engine sv|tn|auto] [--small] [--cache PATH]
 //
 // --small shrinks everything (CI smoke-test profile: 6 qubits, p=1, k<=1,
-// 30 evaluations).
+// 30 evaluations). --cache persists the service's candidate-result cache to
+// PATH: re-running the same search warm-starts from disk instead of
+// retraining (the second run reports its cache hits).
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -40,10 +42,15 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("workers", 0));  // 0 = all cores
   cfg.session.training_evals =
       static_cast<std::size_t>(cli.get_int("evals", small ? 30 : 200));
+  cfg.session.cache_path = cli.get("cache", "");
 
   // One service; the engine is a pure client. A second engine (or thread)
-  // could share `service` and its caches.
+  // could share `service` and its caches — fairly, since every run registers
+  // its own scheduler queue.
   search::EvalService service(cfg.session);
+  if (!cfg.session.cache_path.empty())
+    std::printf("warm start: loaded %zu cached results from %s\n",
+                service.stats().cache_loaded, cfg.session.cache_path.c_str());
   const search::SearchEngine engine(cfg);
   const search::SearchReport report = engine.run_exhaustive(service, g, k_max);
 

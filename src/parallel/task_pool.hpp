@@ -81,9 +81,12 @@ class TaskPool {
 
   /// Submits one callable asynchronously (Pool.apply_async). The evaluation
   /// service feeds its job queue through this single-task entry point.
+  /// Higher `priority` tasks jump the pool queue (FIFO among equals); the
+  /// bulk starmap/map entry points always submit at the default priority 0.
   template <typename Fn>
-  auto apply_async(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
-    return pool_.submit(std::move(fn));
+  auto apply_async(Fn fn, int priority = 0)
+      -> std::future<std::invoke_result_t<Fn>> {
+    return pool_.submit(std::move(fn), priority);
   }
 
   /// Direct access to the underlying pool for single submissions.

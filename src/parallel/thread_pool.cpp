@@ -33,7 +33,9 @@ void ThreadPool::worker_loop() {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
+      // priority_queue::top() is const; moving out right before pop() is
+      // safe (the element is discarded either way).
+      task = std::move(const_cast<Task&>(queue_.top()).fn);
       queue_.pop();
       ++active_;
     }

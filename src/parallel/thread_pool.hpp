@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -18,7 +19,9 @@
 
 namespace qarch::parallel {
 
-/// A fixed pool of worker threads executing submitted tasks FIFO.
+/// A fixed pool of worker threads. Tasks are dispatched by priority (higher
+/// first), FIFO among tasks of equal priority — a plain FIFO pool when
+/// everything is submitted at the default priority 0.
 class ThreadPool {
  public:
   /// Spawns `workers` threads (defaults to hardware concurrency, min 1).
@@ -33,16 +36,18 @@ class ThreadPool {
   /// Number of worker threads.
   [[nodiscard]] std::size_t size() const { return threads_.size(); }
 
-  /// Submits a callable; returns a future for its result.
+  /// Submits a callable; returns a future for its result. Higher `priority`
+  /// tasks are picked up before lower ones; equal priorities run FIFO.
   template <typename F>
-  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+  auto submit(F&& fn, int priority = 0)
+      -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
+      queue_.push(Task{priority, next_seq_++, [task] { (*task)(); }});
     }
     cv_.notify_one();
     return fut;
@@ -52,10 +57,25 @@ class ThreadPool {
   void wait_idle();
 
  private:
+  /// One queued task: priority beats sequence; sequence restores FIFO among
+  /// equal priorities.
+  struct Task {
+    int priority = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  struct TaskOrder {
+    bool operator()(const Task& a, const Task& b) const {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;  // earlier submissions first
+    }
+  };
+
   void worker_loop();
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
+  std::priority_queue<Task, std::vector<Task>, TaskOrder> queue_;
+  std::uint64_t next_seq_ = 0;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;

@@ -25,7 +25,10 @@ DatasetReport search_dataset(const std::vector<graph::Graph>& graphs,
   // clients cannot thrash the LRU. The pool must also be wide enough to
   // actually serve `clients` concurrent searches: node_slots used to mean
   // node_slots private worker pools, so the shared pool gets
-  // clients × workers threads (0 already means all cores).
+  // clients × workers threads (0 already means all cores). Fair-share
+  // scheduling is per dataset NODE for free: each engine.run_exhaustive
+  // below registers its own weighted queue (SearchConfig::client_weight) on
+  // the service, so a node searching a big graph cannot starve the others.
   SessionConfig session = config.engine.session;
   session.evaluator_cache =
       std::max(session.evaluator_cache, 2 * graphs.size());

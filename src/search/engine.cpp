@@ -32,6 +32,13 @@ SearchReport SearchEngine::run(EvalService& service, const graph::Graph& g,
   double first_submit = std::numeric_limits<double>::infinity();
   double last_finish = 0.0;
 
+  // This run is one fair-share client: its own scheduler queue keeps a
+  // concurrent wide client (another engine, a halving sweep) from starving
+  // this search, and vice versa.
+  EvalClient client = service.register_client("search", config_.client_weight);
+  JobOptions job;
+  job.client = client.id();
+
   for (std::size_t p = 1; p <= config_.p_max; ++p) {
     predictor.reset();
     while (!predictor.exhausted()) {
@@ -70,7 +77,7 @@ SearchReport SearchEngine::run(EvalService& service, const graph::Graph& g,
       for (const Encoding& enc : encodings)
         mixers.push_back(builder.decode(enc));
       const std::vector<EvalTicket> tickets =
-          service.submit_batch(g, mixers, p);
+          service.submit_batch(g, mixers, p, job);
       std::vector<CandidateResult> results = service.collect(tickets);
       for (const EvalTicket& t : tickets) {
         first_submit = std::min(first_submit, t.submitted_at());

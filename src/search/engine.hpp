@@ -36,6 +36,11 @@ struct SearchConfig {
   /// EvalService by the run() overloads that are not handed one; ignored
   /// (except for batch sizing fallbacks) when an external service is passed.
   SessionConfig session;
+  /// Fair-share weight of this engine's submissions: every run() registers
+  /// its own scheduler queue on the service, so concurrent searches sharing
+  /// one EvalService receive compute proportional to their weights instead
+  /// of queueing FIFO behind whoever submitted first.
+  double client_weight = 1.0;
   ConstraintSet constraints;          ///< candidates must pass before costing
                                       ///< evaluator budget (may be empty)
 };

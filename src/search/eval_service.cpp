@@ -1,19 +1,31 @@
 #include "search/eval_service.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <iterator>
 #include <list>
+#include <map>
 #include <mutex>
 #include <set>
 #include <unordered_map>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "search/report_io.hpp"
 
 namespace qarch::search {
 
 namespace detail {
+
+/// Bumped whenever evaluation semantics change (optimizer, scoring, plan
+/// numerics): a persisted result cache written under a different version is
+/// ignored wholesale, because its results are no longer reproducible by a
+/// fresh run.
+constexpr const char* kCacheCodeVersion = "qarch-eval-v5";
 
 /// One submitted (graph, mixer, p, budget) evaluation. Several tickets may
 /// attach to one job (concurrent duplicate submissions); the job runs once.
@@ -28,6 +40,12 @@ struct EvalJob {
   std::size_t p = 1;
   std::size_t training_evals = 0;  ///< resolved budget (never 0)
   std::shared_ptr<ServiceState> service;
+
+  // Scheduler coordinates, fixed when the job is published (guarded by the
+  // SERVICE mutex like the queues they index into).
+  std::size_t client_id = 0;  ///< fair-share queue this job sits in
+  int priority = 0;           ///< intra-client ordering (higher first)
+  std::uint64_t seq = 0;      ///< FIFO tiebreak among equal priorities
 
   // Guarded by `mutex`.
   std::mutex mutex;
@@ -63,12 +81,51 @@ struct ServiceState {
 
   std::mutex mutex;  // guards everything below
   EvalService::Stats stats;
-  // Result cache: key → CandidateResult, LRU-bounded by config.result_cache.
-  std::list<std::pair<std::string, CandidateResult>> done_order;
+  // Result cache: key → result + provenance, LRU-bounded by
+  // config.result_cache. graph_fp / training_evals / engine ride along so
+  // entries can be persisted without re-parsing the composite key.
+  struct CachedResult {
+    CandidateResult result;
+    std::string graph_fp;
+    std::size_t training_evals = 0;
+    std::string engine;  ///< resolved engine the run used ("sv" / "tn")
+  };
+  std::list<std::pair<std::string, CachedResult>> done_order;
   std::unordered_map<std::string,
                      decltype(done_order)::iterator> done_by_key;
+  // Persisted entries this service cannot hold in done_order — another
+  // engine's results (backend gate), over-capacity leftovers, LRU
+  // evictions. Carried so a cache_write shutdown rewrites the WHOLE file
+  // instead of destroying warm starts other runs rely on. Deduplicated on
+  // insert by (candidate key, engine), so memory tracks the number of
+  // DISTINCT persisted candidates, not the eviction churn.
+  std::vector<CacheEntry> foreign_entries;
+  std::unordered_map<std::string, std::size_t> foreign_by_identity;
+  // Stash bound for NEW entries added by LRU eviction: what the file held
+  // at load (foreign_floor) plus one result_cache's worth of extras. Keeps
+  // rewrite durability for everything that was on disk while capping a long
+  // run's memory at O(file + 2 × result_cache) instead of O(evictions).
+  std::size_t foreign_floor = 0;
   // In-flight dedup: key → queued/running job.
   std::unordered_map<std::string, std::weak_ptr<EvalJob>> inflight;
+  // -- fair-share scheduler --------------------------------------------------
+  // Every published job waits in its client's queue; pool workers run
+  // generic drainer tasks that pick the next job by deficit-weighted round
+  // robin over the active (non-empty) queues, with training_evals as the
+  // cost unit. Client 0 is the always-present default queue.
+  struct ClientQueue {
+    std::string name;
+    double weight = 1.0;
+    double deficit = 0.0;    ///< budget units this queue may spend
+    bool closed = false;     ///< handle destroyed; reclaim once drained
+    // (−priority, seq) → job: pop order is priority desc, FIFO among equals.
+    std::map<std::pair<int, std::uint64_t>, std::shared_ptr<EvalJob>> jobs;
+  };
+  std::unordered_map<std::size_t, ClientQueue> clients;
+  std::vector<std::size_t> rr_order;  ///< ids with non-empty queues
+  std::size_t rr_cursor = 0;          ///< round-robin position in rr_order
+  bool rr_granted = false;  ///< cursor's queue already drew this visit's quantum
+  std::uint64_t next_seq = 0;
   // Evaluator LRU: (graph fp, engine, budget) → construction slot. The slot
   // indirection lets workers build evaluators OUTSIDE this mutex (an
   // Evaluator constructor runs the exponential maxcut_exact solver) while
@@ -91,6 +148,39 @@ struct ServiceState {
 };
 
 namespace {
+
+/// The composite result-cache key. Every byte of candidate identity that
+/// affects the result is in here; the code version gating the PERSISTED form
+/// lives at the file level (kCacheCodeVersion).
+std::string result_key(const std::string& graph_key,
+                       const qaoa::MixerSpec& mixer, std::size_t p,
+                       std::size_t evals) {
+  return graph_key + '\x1e' + mixer.to_string() + "@p" + std::to_string(p) +
+         "@e" + std::to_string(evals);
+}
+
+/// Identity of a persisted entry: the result key plus the engine that
+/// produced it (one candidate may have an sv and a tn twin on disk).
+std::string cache_identity(const CacheEntry& e) {
+  return result_key(e.graph_fp, e.result.mixer, e.result.p,
+                    e.training_evals) +
+         '\x1f' + e.engine;
+}
+
+/// Adds (or refreshes) one entry in the to-be-persisted overflow set:
+/// entries the in-memory cache cannot hold but the next rewrite must keep.
+/// Deduplicated by identity so eviction churn cannot grow it. Requires
+/// state.mutex held.
+void stash_foreign(ServiceState& state, CacheEntry entry) {
+  const std::string id = cache_identity(entry);
+  if (const auto it = state.foreign_by_identity.find(id);
+      it != state.foreign_by_identity.end()) {
+    state.foreign_entries[it->second] = std::move(entry);
+  } else {
+    state.foreign_by_identity.emplace(id, state.foreign_entries.size());
+    state.foreign_entries.push_back(std::move(entry));
+  }
+}
 
 /// Shared-evaluator lookup. Two workers racing to build the same evaluator
 /// must not each get a private plan cache (candidate plans would compile
@@ -140,6 +230,79 @@ std::shared_ptr<const Evaluator> evaluator_for(ServiceState& state,
   return slot->evaluator;
 }
 
+/// Removes `id` from the round-robin rotation (its queue just drained) and
+/// reclaims the queue entirely when its handle was already destroyed.
+/// Requires state.mutex held.
+void deactivate_client(ServiceState& state, std::size_t id) {
+  const auto pos =
+      std::find(state.rr_order.begin(), state.rr_order.end(), id);
+  if (pos != state.rr_order.end()) {
+    const auto index =
+        static_cast<std::size_t>(pos - state.rr_order.begin());
+    state.rr_order.erase(pos);
+    // The cursor keeps pointing at the next not-yet-visited queue; a fresh
+    // visit starts there, so the stale grant flag must not carry over.
+    if (index < state.rr_cursor)
+      --state.rr_cursor;
+    else if (index == state.rr_cursor)
+      state.rr_granted = false;
+  }
+  const auto cit = state.clients.find(id);
+  if (cit != state.clients.end()) {
+    cit->second.deficit = 0.0;  // no banking credit across idle periods
+    if (cit->second.closed && id != 0) state.clients.erase(cit);
+  }
+}
+
+/// Inserts a published job into its client's fair-share queue. Requires
+/// state.mutex held; the caller resolved client_id/priority/seq already.
+void enqueue_job(ServiceState& state, const std::shared_ptr<EvalJob>& job) {
+  ServiceState::ClientQueue& queue = state.clients[job->client_id];
+  const bool was_empty = queue.jobs.empty();
+  queue.jobs.emplace(std::make_pair(-job->priority, job->seq), job);
+  if (was_empty) state.rr_order.push_back(job->client_id);
+}
+
+/// Deficit-weighted round robin over the client queues: each visit grants
+/// the queue weight × quantum budget units (quantum = the widest head job
+/// currently queued, so every rotation lets someone dispatch); a queue keeps
+/// dispatching while its deficit covers its head job's training budget, then
+/// the cursor moves on. Returns nullptr when nothing is queued — drainers
+/// whose job was cancelled (or served by the result cache on resubmission)
+/// outnumber the remaining jobs and just retire.
+std::shared_ptr<EvalJob> pop_next(ServiceState& state) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.rr_order.empty()) return nullptr;
+  double quantum = 1.0;
+  for (const std::size_t id : state.rr_order) {
+    const ServiceState::ClientQueue& q = state.clients[id];
+    quantum = std::max(
+        quantum,
+        static_cast<double>(q.jobs.begin()->second->training_evals));
+  }
+  for (;;) {
+    if (state.rr_cursor >= state.rr_order.size()) state.rr_cursor = 0;
+    const std::size_t id = state.rr_order[state.rr_cursor];
+    ServiceState::ClientQueue& queue = state.clients[id];
+    const auto head = queue.jobs.begin();
+    const double cost = static_cast<double>(head->second->training_evals);
+    if (queue.deficit < cost && !state.rr_granted) {
+      queue.deficit += queue.weight * quantum;
+      state.rr_granted = true;
+    }
+    if (queue.deficit < cost) {  // grant spent: next queue's turn
+      ++state.rr_cursor;
+      state.rr_granted = false;
+      continue;
+    }
+    queue.deficit -= cost;
+    std::shared_ptr<EvalJob> job = head->second;
+    queue.jobs.erase(head);
+    if (queue.jobs.empty()) deactivate_client(state, id);
+    return job;
+  }
+}
+
 void finish_cancelled(ServiceState& state, const std::shared_ptr<EvalJob>& job) {
   {
     std::lock_guard<std::mutex> lock(state.mutex);
@@ -149,6 +312,13 @@ void finish_cancelled(ServiceState& state, const std::shared_ptr<EvalJob>& job) 
     if (it != state.inflight.end() && it->second.lock() == job)
       state.inflight.erase(it);
     ++state.stats.cancelled;
+    // Withdraw from the scheduler so no drainer picks the job up (a no-op
+    // when a drainer already popped it — run_job rechecks the status).
+    const auto cit = state.clients.find(job->client_id);
+    if (cit != state.clients.end()) {
+      cit->second.jobs.erase(std::make_pair(-job->priority, job->seq));
+      if (cit->second.jobs.empty()) deactivate_client(state, job->client_id);
+    }
   }
   job->cv.notify_all();
 }
@@ -210,9 +380,36 @@ void run_job(const std::shared_ptr<ServiceState>& state,
       else
         ++state->stats.picked_tensornetwork;
       if (state->config.result_cache > 0) {
-        state->done_order.emplace_front(job->key, result);
+        ServiceState::CachedResult cached;
+        cached.result = result;
+        cached.graph_fp = job->graph_key;
+        cached.training_evals = job->training_evals;
+        cached.engine =
+            engine == qaoa::EngineKind::Statevector ? "sv" : "tn";
+        state->done_order.emplace_front(job->key, std::move(cached));
         state->done_by_key[job->key] = state->done_order.begin();
         while (state->done_order.size() > state->config.result_cache) {
+          // When a rewrite is coming, LRU-evicted results stay eligible for
+          // persistence (dropping them would erase warm starts from the
+          // shared cache file); without one, hoarding them would just grow
+          // memory past the LRU bound for nothing. The stash itself is
+          // bounded (foreign_floor + result_cache): a run that churns far
+          // past its capacity sheds the excess instead of growing without
+          // limit, though refreshing an already-stashed identity is always
+          // allowed (it replaces in place).
+          ServiceState::CachedResult& old = state->done_order.back().second;
+          if (!state->config.cache_path.empty() &&
+              state->config.cache_write) {
+            CacheEntry evicted;  // moving is fine: `old` is dropped below
+            evicted.graph_fp = std::move(old.graph_fp);
+            evicted.training_evals = old.training_evals;
+            evicted.engine = std::move(old.engine);
+            evicted.result = std::move(old.result);
+            if (state->foreign_entries.size() <
+                    state->foreign_floor + state->config.result_cache ||
+                state->foreign_by_identity.count(cache_identity(evicted)) > 0)
+              stash_foreign(*state, std::move(evicted));
+          }
           state->done_by_key.erase(state->done_order.back().first);
           state->done_order.pop_back();
         }
@@ -231,6 +428,15 @@ void run_job(const std::shared_ptr<ServiceState>& state,
     }
   }
   job->cv.notify_all();
+}
+
+/// Drainer body executed by the pool. One drainer is enqueued per published
+/// job, but a drainer runs whatever job the fair-share scheduler serves
+/// next, not "its own" — surplus drainers (their job was cancelled) find an
+/// empty scheduler and retire.
+void run_next(const std::shared_ptr<ServiceState>& state) {
+  if (const std::shared_ptr<EvalJob> job = pop_next(*state))
+    run_job(state, job);
 }
 
 }  // namespace
@@ -340,7 +546,10 @@ bool EvalTicket::cancel() {
         job->status == detail::EvalJob::Status::Done ||
         job->status == detail::EvalJob::Status::Failed)
       return false;
-    handle_->abandoned.store(true);
+    // exchange, not store: two threads cancelling copies of the SAME handle
+    // both pass the lock-free abandoned check above, and a double decrement
+    // here would withdraw a job other live tickets still wait on.
+    if (handle_->abandoned.exchange(true)) return true;
     if (job->waiters > 0) --job->waiters;
     if (job->status == detail::EvalJob::Status::Queued &&
         job->waiters == 0) {
@@ -383,12 +592,159 @@ EvalService::EvalService(SessionConfig config)
     : state_(std::make_shared<detail::ServiceState>()),
       pool_(config.workers) {
   state_->config = std::move(config);
+  auto& fallback = state_->clients[0];  // the anonymous-submission queue
+  fallback.name = "default";
+  fallback.weight = 1.0;
+  if (!state_->config.cache_path.empty() && state_->config.result_cache > 0) {
+    const auto entries =
+        load_result_cache(state_->config.cache_path,
+                          detail::kCacheCodeVersion);
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    // A read-only service (cache_write = false) never rewrites the file, so
+    // stashing unloadable entries for re-persistence would be dead memory.
+    const bool keep_for_rewrite = state_->config.cache_write;
+    for (const CacheEntry& e : entries) {
+      // Engine gate: a forced-engine service must not warm-start from
+      // results another engine trained (processes sharing one cache file
+      // may run different backends). Auto accepts both — whichever engine
+      // produced an entry, it is a valid evaluation of that candidate.
+      // Filtered entries are kept aside so save_cache() re-persists them
+      // instead of erasing the other engine's warm starts.
+      if ((state_->config.backend == BackendChoice::Statevector &&
+           e.engine != "sv") ||
+          (state_->config.backend == BackendChoice::TensorNetwork &&
+           e.engine != "tn")) {
+        if (keep_for_rewrite) detail::stash_foreign(*state_, e);
+        continue;
+      }
+      if (state_->done_order.size() >= state_->config.result_cache) {
+        // Beyond this service's in-memory bound, but still someone else's
+        // warm start: preserved across the rewrite like engine-filtered
+        // entries.
+        if (keep_for_rewrite) detail::stash_foreign(*state_, e);
+        continue;
+      }
+      const std::string key = detail::result_key(
+          e.graph_fp, e.result.mixer, e.result.p, e.training_evals);
+      if (state_->done_by_key.count(key) > 0) {
+        // Same candidate from the other engine (Auto accepted the first
+        // twin): not loaded, but preserved across this service's rewrite.
+        if (keep_for_rewrite) detail::stash_foreign(*state_, e);
+        continue;
+      }
+      detail::ServiceState::CachedResult cached;
+      cached.result = e.result;
+      cached.graph_fp = e.graph_fp;
+      cached.training_evals = e.training_evals;
+      cached.engine = e.engine;
+      state_->done_order.emplace_back(key, std::move(cached));
+      state_->done_by_key[key] = std::prev(state_->done_order.end());
+      ++state_->stats.cache_loaded;
+    }
+    state_->foreign_floor = state_->foreign_entries.size();
+  }
 }
 
 EvalService::~EvalService() {
   // Pending queued jobs resolve as Cancelled instead of running to
-  // completion; the pool (destroyed after this body) drains them fast.
+  // completion; in-flight evaluations finish and land in the result cache.
   state_->stopping.store(true);
+  pool_.raw().wait_idle();
+  // result_cache == 0 never loaded the file (nothing to merge back), so
+  // writing would truncate a shared cache to nothing — leave it alone.
+  if (state_->config.cache_write && !state_->config.cache_path.empty() &&
+      state_->config.result_cache > 0) {
+    try {
+      save_cache();
+    } catch (const std::exception& e) {
+      log::warn("result cache not persisted: ", e.what());
+    }
+  }
+}
+
+std::size_t EvalService::save_cache() const {
+  if (state_->config.cache_path.empty()) return 0;
+  std::vector<CacheEntry> entries;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    entries.reserve(state_->done_order.size() +
+                    state_->foreign_entries.size());
+    std::set<std::string> seen;
+    // done_order is most-recently-used first; persist in that order so a
+    // smaller result_cache on reload keeps the hottest entries.
+    for (const auto& [key, cached] : state_->done_order) {
+      CacheEntry e;
+      e.graph_fp = cached.graph_fp;
+      e.training_evals = cached.training_evals;
+      e.engine = cached.engine;
+      e.result = cached.result;
+      e.result.from_cache = false;  // provenance is per-submission, not disk
+      seen.insert(detail::cache_identity(e));
+      entries.push_back(std::move(e));
+    }
+    // Re-persist what this service could not hold itself — other-backend
+    // entries, over-capacity leftovers, LRU evictions (deduplicated on
+    // insert). An identity done_order also holds means the candidate was
+    // freshly re-evaluated after its eviction: the new result shadows the
+    // stale stash.
+    for (const CacheEntry& e : state_->foreign_entries)
+      if (seen.insert(detail::cache_identity(e)).second) entries.push_back(e);
+  }
+  save_result_cache(entries, state_->config.cache_path,
+                    detail::kCacheCodeVersion);
+  return entries.size();
+}
+
+EvalClient EvalService::register_client(const std::string& name,
+                                        double weight) {
+  // The lower bound also bounds the scheduler: pop_next grants
+  // weight × quantum per rotation, so dispatching one job takes at most
+  // ~1/weight rotations of the (mutex-held) round-robin loop.
+  QARCH_REQUIRE(weight >= 1e-3 && weight <= 1e3 && std::isfinite(weight),
+                "client weight must be in [0.001, 1000]");
+  // Ids are unique process-wide, not per service: a stale id — or one from
+  // ANOTHER service — can then never collide with a registered client here,
+  // so the documented fallback to the default queue actually holds.
+  static std::atomic<std::size_t> next_client_id{1};
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const std::size_t id = next_client_id.fetch_add(1);
+  auto& client = state_->clients[id];
+  client.name = name;
+  client.weight = weight;
+  ++state_->stats.clients_registered;
+  return EvalClient(state_, id);
+}
+
+// ---------------------------------------------------------------------------
+// EvalClient
+// ---------------------------------------------------------------------------
+
+EvalClient::~EvalClient() {
+  if (!state_) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const auto it = state_->clients.find(id_);
+  if (it == state_->clients.end()) return;
+  if (it->second.jobs.empty())
+    state_->clients.erase(it);
+  else
+    it->second.closed = true;  // reclaimed by the scheduler once drained
+}
+
+EvalClient::EvalClient(EvalClient&& other) noexcept
+    : state_(std::move(other.state_)), id_(other.id_) {
+  other.state_ = nullptr;
+  other.id_ = 0;
+}
+
+EvalClient& EvalClient::operator=(EvalClient&& other) noexcept {
+  if (this != &other) {
+    EvalClient released(std::move(*this));  // unregister current, if any
+    state_ = std::move(other.state_);
+    id_ = other.id_;
+    other.state_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
 }
 
 const SessionConfig& EvalService::config() const { return state_->config; }
@@ -404,8 +760,7 @@ EvalTicket EvalService::submit(const graph::Graph& g,
                                 ? options.training_evals
                                 : state_->config.training_evals;
   const std::string graph_key = graph_fingerprint(g);
-  const std::string key = graph_key + '\x1e' + mixer.to_string() + "@p" +
-                          std::to_string(p) + "@e" + std::to_string(evals);
+  const std::string key = detail::result_key(graph_key, mixer, p, evals);
 
   {
     std::lock_guard<std::mutex> lock(state_->mutex);
@@ -429,7 +784,7 @@ EvalTicket EvalService::submit(const graph::Graph& g,
         job->key = key;
         job->service = state_;
         job->status = detail::EvalJob::Status::Done;
-        job->result = it->second->second;
+        job->result = it->second->second.result;
         job->result.from_cache = true;
         job->submitted_at = job->finished_at = state_->now();
         auto handle = std::make_shared<detail::TicketHandle>();
@@ -444,11 +799,21 @@ EvalTicket EvalService::submit(const graph::Graph& g,
         attach = it->second.lock();
         if (!attach) state_->inflight.erase(it);
       }
-      // 3. Fresh job — publish only if one was prepared on a prior pass.
+      // 3. Fresh job — publish only if one was prepared on a prior pass:
+      //    into the in-flight index for dedup AND into its client's
+      //    fair-share queue for dispatch.
       if (!attach && fresh) {
         fresh->submitted_at = state_->now();
         state_->inflight[key] = fresh;
         ++state_->stats.cache_misses;
+        const auto cit = state_->clients.find(options.client);
+        fresh->client_id =
+            (cit != state_->clients.end() && !cit->second.closed)
+                ? options.client
+                : 0;  // unknown / unregistered ids share the default queue
+        fresh->priority = options.priority;
+        fresh->seq = state_->next_seq++;
+        detail::enqueue_job(*state_, fresh);
         published = true;
       }
     }
@@ -492,9 +857,13 @@ EvalTicket EvalService::submit(const graph::Graph& g,
       fresh->service = state_;
       continue;  // retry the cache checks with the job ready to publish
     }
+    // A generic drainer, not this job's closure: the fair-share scheduler
+    // decides which queued job the freed worker actually picks up. The
+    // pool-level priority only influences how soon A drainer runs when the
+    // raw pool is shared with other work.
     auto state = state_;
-    auto job = fresh;
-    (void)pool_.apply_async([state, job] { detail::run_job(state, job); });
+    (void)pool_.apply_async([state] { detail::run_next(state); },
+                            options.priority);
     auto handle = std::make_shared<detail::TicketHandle>();
     handle->submitted_at = fresh->submitted_at;
     handle->job = std::move(fresh);
@@ -517,7 +886,18 @@ std::vector<CandidateResult> EvalService::collect(
   std::vector<CandidateResult> results;
   results.reserve(tickets.size());
   for (const EvalTicket& t : tickets) {
-    results.push_back(t.wait());
+    // A cancelled ticket is a withdrawn REQUEST, not a batch failure: skip
+    // it instead of throwing away every completed result in the batch.
+    if (t.cancelled()) continue;
+    try {
+      results.push_back(t.wait());
+    } catch (const Error&) {
+      // Cancelled concurrently between the check above and wait(): still a
+      // skip, not a batch failure. Real evaluation failures (and jobs
+      // cancelled by service shutdown) propagate.
+      if (t.cancelled()) continue;
+      throw;
+    }
     // Per-submission accounting on the caller's copy: a ticket that attached
     // to an in-flight duplicate shares the job's result (whose own flag only
     // covers the done-cache path) but did not trigger this evaluation.

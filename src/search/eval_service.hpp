@@ -14,15 +14,30 @@
 //
 // Behind the front-end sit
 //   * one parallel::TaskPool (`session.workers` wide) running candidates,
+//   * a fair-share scheduler: every client (a SearchEngine run, a halving
+//     round, a dataset node) registers a weighted queue (register_client),
+//     and workers pick the next job by deficit-weighted round robin over
+//     those queues — budget units (training_evals) are the cost currency, so
+//     one greedy client submitting a wide cohort cannot starve an
+//     interactive search. JobOptions::priority orders jobs INSIDE one
+//     client's queue (and bumps the pool-level drain). Unregistered
+//     submissions share the default weight-1 queue, which reproduces the
+//     old FIFO behaviour exactly,
 //   * a cross-graph LRU of search::Evaluator instances keyed by
 //     (graph fingerprint, engine, budget) — concurrent searches over the same
 //     graph share one evaluator and therefore its compiled-plan cache,
 //   * a candidate-result cache keyed by (graph fingerprint, mixer encoding,
 //     p, budget): duplicate proposals return the cached CandidateResult
 //     instead of retraining, and concurrent duplicates attach to the one
-//     in-flight evaluation (each (candidate, graph) plan compiles exactly
-//     once service-wide — probe with sim::program_compile_count() /
-//     qtensor::network_build_count(), see bench/abl_eval_service),
+//     in-flight evaluation (each (candidate, graph, budget) plan compiles
+//     exactly once service-wide — probe with sim::program_compile_count() /
+//     qtensor::network_build_count(), see bench/abl_eval_service). With
+//     SessionConfig::cache_path set the cache is loaded from disk at
+//     construction and atomically rewritten at shutdown, so repeated studies
+//     warm-start across processes. Entries record the resolved engine and
+//     the cache code version: stale-version files invalidate wholesale, and
+//     a forced-engine service only loads entries its own engine produced
+//     (backend=Auto accepts both). Corrupt files are ignored, never fatal,
 //   * the BackendChoice::Auto per-candidate engine decision
 //     (auto_engine_choice below).
 //
@@ -69,6 +84,41 @@ struct JobOptions {
   /// COBYLA budget for this job (0 = the session's training_evals).
   /// Successive halving submits the same candidates at growing budgets.
   std::size_t training_evals = 0;
+  /// Fair-share queue this job belongs to (EvalClient::id()). 0 — or a
+  /// client that has since unregistered — lands in the default weight-1
+  /// queue shared by every anonymous submission.
+  std::size_t client = 0;
+  /// Ordering INSIDE the client's queue: higher runs first, FIFO among
+  /// equals (cross-client fairness is the scheduler's job, not this
+  /// knob's). Also forwarded as the pool-level drain priority, which
+  /// matters when the raw pool is shared with non-service work.
+  int priority = 0;
+};
+
+/// RAII registration of one fair-share scheduler queue. Move-only; the queue
+/// unregisters when the handle is destroyed (jobs already queued under it
+/// still run, then the queue is reclaimed). Obtained from
+/// EvalService::register_client.
+class EvalClient {
+ public:
+  EvalClient() = default;
+  ~EvalClient();
+  EvalClient(EvalClient&& other) noexcept;
+  EvalClient& operator=(EvalClient&& other) noexcept;
+  EvalClient(const EvalClient&) = delete;
+  EvalClient& operator=(const EvalClient&) = delete;
+
+  /// The id to put in JobOptions::client. 0 for a default-constructed
+  /// (unregistered) handle — submissions then use the default queue.
+  [[nodiscard]] std::size_t id() const { return id_; }
+
+ private:
+  friend class EvalService;
+  EvalClient(std::shared_ptr<detail::ServiceState> state, std::size_t id)
+      : state_(std::move(state)), id_(id) {}
+
+  std::shared_ptr<detail::ServiceState> state_;
+  std::size_t id_ = 0;
 };
 
 /// Future-like handle for one submitted candidate evaluation.
@@ -137,10 +187,19 @@ class EvalService {
       const graph::Graph& g, const std::vector<qaoa::MixerSpec>& mixers,
       std::size_t p, const JobOptions& options = {});
 
-  /// Blocks until every ticket resolved; results in ticket order. Throws if
-  /// any ticket was cancelled or failed.
+  /// Blocks until every ticket resolved; results in ticket order. Tickets
+  /// that were CANCELLED are skipped (the surviving results still come back
+  /// in ticket order), so one withdrawn submission does not discard a whole
+  /// batch. Evaluation FAILURES still throw.
   std::vector<CandidateResult> collect(
       const std::vector<EvalTicket>& tickets) const;
+
+  /// Registers a weighted fair-share queue. Workers serve queues by
+  /// deficit-weighted round robin with training_evals as the cost unit: over
+  /// time each busy client receives compute proportional to its weight.
+  /// `name` is for diagnostics only; `weight` must be in [0.001, 1000] (the
+  /// lower bound caps the scheduler's per-dispatch rotation count).
+  EvalClient register_client(const std::string& name, double weight = 1.0);
 
   /// Service-lifetime accounting (monotonic counters).
   struct Stats {
@@ -153,8 +212,16 @@ class EvalService {
     std::size_t picked_statevector = 0;    ///< per-run resolved engine counts
     std::size_t picked_tensornetwork = 0;  ///< (Auto decision accounting)
     std::size_t evaluators_built = 0;   ///< Evaluator LRU misses
+    std::size_t cache_loaded = 0;       ///< results warm-started from disk
+    std::size_t clients_registered = 0; ///< register_client() calls
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Writes the candidate-result cache to SessionConfig::cache_path (atomic
+  /// tmp-file + rename; no-op when the path is empty). Called automatically
+  /// at destruction when cache_write is set; exposed for mid-run
+  /// checkpointing. Returns the number of entries written.
+  std::size_t save_cache() const;
 
   /// Worker threads in the service pool.
   [[nodiscard]] std::size_t workers() const { return pool_.size(); }

@@ -22,19 +22,42 @@ HalvingReport successive_halving(EvalService& service, const graph::Graph& g,
   double first_submit = std::numeric_limits<double>::infinity();
   double last_finish = 0.0;
 
+  // One fair-share queue for the whole halving sweep: the scheduler's
+  // deficit round robin is what keeps other clients' floods from starving
+  // it (and vice versa). Rounds also ride at a rising JobOptions::priority —
+  // inert while this client's rounds stay strictly sequential, but it keeps
+  // late (small, deep) rounds ahead of earlier leftovers if the queue ever
+  // holds more than one round (e.g. a pipelined submit_batch variant), and
+  // it orders the service's drainers against other work sharing the raw
+  // pool.
+  EvalClient client = service.register_client("halving", config.client_weight);
+  int round_index = 0;
+
   while (true) {
     // Evaluate the current cohort at the current budget: one service
     // submission per candidate, with the round's budget riding along.
     JobOptions job;
     job.training_evals = budget;
+    job.client = client.id();
+    job.priority = round_index++;
     const std::vector<EvalTicket> tickets =
         service.submit_batch(g, candidates, config.p, job);
     const std::vector<CandidateResult> results = service.collect(tickets);
+    // The ranking below pairs results[i] with candidates[i] positionally;
+    // collect() skips cancelled tickets, so a shorter result vector would
+    // silently mis-attribute every survivor after the gap. Nobody can
+    // cancel these driver-owned tickets today — keep it that way loudly.
+    QARCH_CHECK(results.size() == candidates.size(),
+                "halving round lost results (cancelled mid-round?)");
     for (const EvalTicket& t : tickets) {
       first_submit = std::min(first_submit, t.submitted_at());
       last_finish = std::max(last_finish, t.finished_at());
     }
-    for (const auto& r : results) report.total_evaluations += r.evaluations;
+    // Only FRESH runs spend compute: a cache-served survivor (warm-started
+    // process, or a budget_growth == 1.0 round re-scoring at an unchanged
+    // budget) must not re-add its original objective calls to the bill.
+    for (const auto& r : results)
+      if (!r.from_cache) report.total_evaluations += r.evaluations;
 
     // Rank by trained energy, descending.
     std::vector<std::size_t> order(results.size());

@@ -35,6 +35,8 @@ struct HalvingConfig {
   /// session's training_evals is irrelevant here: every submission carries
   /// its round's budget explicitly.
   SessionConfig session;
+  /// Fair-share weight of this sweep's scheduler queue on the service.
+  double client_weight = 1.0;
 };
 
 /// One halving round's log.
@@ -48,7 +50,9 @@ struct HalvingRound {
 struct HalvingReport {
   CandidateResult best;
   std::vector<HalvingRound> rounds;
-  std::size_t total_evaluations = 0;  ///< objective calls across all rounds
+  std::size_t total_evaluations = 0;  ///< objective calls FRESHLY spent
+                                      ///< across all rounds (cache-served
+                                      ///< results cost nothing)
   /// Service-clock wall time: first submission to last completion.
   double seconds = 0.0;
 };

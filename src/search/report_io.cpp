@@ -1,11 +1,48 @@
 #include "search/report_io.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 
 namespace qarch::search {
+
+namespace {
+
+// Graph fingerprints are raw bytes (packed integers + doubles), not UTF-8;
+// they cross the JSON boundary hex-encoded.
+std::string hex_encode(const std::string& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xf]);
+  }
+  return out;
+}
+
+std::string hex_decode(const std::string& hex) {
+  QARCH_REQUIRE(hex.size() % 2 == 0, "odd-length hex string");
+  const auto nibble = [](char c) -> unsigned {
+    if (c >= '0' && c <= '9') return static_cast<unsigned>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<unsigned>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F') return static_cast<unsigned>(c - 'A' + 10);
+    throw InvalidArgument("invalid hex digit");
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2)
+    out.push_back(static_cast<char>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  return out;
+}
+
+}  // namespace
 
 json::Value candidate_to_json(const CandidateResult& candidate) {
   json::Value obj = json::Value::object();
@@ -101,6 +138,98 @@ SearchReport load_report(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return report_from_json(json::parse(buffer.str()));
+}
+
+json::Value result_cache_to_json(const std::vector<CacheEntry>& entries,
+                                 const std::string& code_version) {
+  json::Value obj = json::Value::object();
+  obj.set("format", "qarch-result-cache");
+  obj.set("code_version", code_version);
+  json::Value list = json::Value::array();
+  for (const CacheEntry& e : entries) {
+    json::Value entry = json::Value::object();
+    entry.set("graph_fp", hex_encode(e.graph_fp));
+    entry.set("training_evals", e.training_evals);
+    entry.set("engine", e.engine);
+    entry.set("result", candidate_to_json(e.result));
+    list.push_back(std::move(entry));
+  }
+  obj.set("entries", std::move(list));
+  return obj;
+}
+
+std::vector<CacheEntry> result_cache_from_json(
+    const json::Value& value, const std::string& code_version) {
+  std::vector<CacheEntry> entries;
+  if (!value.contains("format") ||
+      value.at("format").as_string() != "qarch-result-cache")
+    return entries;
+  if (!value.contains("code_version") ||
+      value.at("code_version").as_string() != code_version)
+    return entries;  // stale semantics: results are not comparable
+  if (!value.contains("entries")) return entries;
+  const json::Value& list = value.at("entries");
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    try {
+      const json::Value& item = list.at(i);
+      CacheEntry e;
+      e.graph_fp = hex_decode(item.at("graph_fp").as_string());
+      e.training_evals = static_cast<std::size_t>(
+          item.at("training_evals").as_number());
+      e.engine = item.at("engine").as_string();
+      e.result = candidate_from_json(item.at("result"));
+      entries.push_back(std::move(e));
+    } catch (const std::exception&) {
+      // One mangled entry must not poison the rest of the warm start.
+    }
+  }
+  return entries;
+}
+
+void save_result_cache(const std::vector<CacheEntry>& entries,
+                       const std::string& path,
+                       const std::string& code_version) {
+  // Unique tmp name (pid + process-wide counter): concurrent writers
+  // sharing one cache_path — other processes AND other services in this
+  // process — never interleave into the same scratch file, so the last
+  // rename wins whole.
+  static std::atomic<unsigned> save_counter{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) +
+                          "." + std::to_string(save_counter.fetch_add(1));
+  {
+    std::ofstream out(tmp);
+    if (!out) throw Error("save_result_cache: cannot open " + tmp);
+    out << result_cache_to_json(entries, code_version).dump(2) << '\n';
+    // Flush-and-check BEFORE the rename: buffered data can still fail at
+    // close (ENOSPC), and renaming a truncated tmp over a valid cache would
+    // break the whole-file-or-nothing guarantee.
+    out.close();
+    if (out.fail()) {
+      std::remove(tmp.c_str());
+      throw Error("save_result_cache: write failed for " + tmp);
+    }
+  }
+  // Atomic publish: readers see either the old complete file or the new one,
+  // never a torn write.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("save_result_cache: cannot rename " + tmp + " to " + path);
+  }
+}
+
+std::vector<CacheEntry> load_result_cache(const std::string& path,
+                                          const std::string& code_version) {
+  std::ifstream in(path);
+  if (!in) return {};  // no cache yet: every run starts cold once
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return result_cache_from_json(json::parse(buffer.str()), code_version);
+  } catch (const std::exception& e) {
+    log::warn("ignoring corrupt result cache ", path, ": ", e.what());
+    return {};
+  }
 }
 
 }  // namespace qarch::search

@@ -30,4 +30,39 @@ void save_report(const SearchReport& report, const std::string& path);
 /// Loads a report previously written by save_report.
 SearchReport load_report(const std::string& path);
 
+// -- EvalService persistent result cache -------------------------------------
+
+/// One persisted candidate-result cache entry. Together with the mixer and
+/// depth riding inside `result`, the on-disk key is (graph fingerprint,
+/// mixer encoding, p, training budget, engine, cache code version) — the
+/// fingerprint is raw bytes here and hex-encoded on disk.
+struct CacheEntry {
+  std::string graph_fp;             ///< raw graph_fingerprint() bytes
+  std::size_t training_evals = 0;   ///< COBYLA budget the result was run at
+  std::string engine;               ///< resolved engine ("sv" / "tn")
+  CandidateResult result;
+};
+
+/// Serializes cache entries under the given cache code version.
+json::Value result_cache_to_json(const std::vector<CacheEntry>& entries,
+                                 const std::string& code_version);
+
+/// Parses cache entries. A file written under a DIFFERENT code version
+/// yields no entries (results are not comparable across evaluation-semantics
+/// changes); individually malformed entries are skipped, not fatal.
+std::vector<CacheEntry> result_cache_from_json(const json::Value& value,
+                                               const std::string& code_version);
+
+/// Atomically rewrites `path` (tmp file + rename) with the given entries.
+/// Throws Error when the file cannot be written.
+void save_result_cache(const std::vector<CacheEntry>& entries,
+                       const std::string& path,
+                       const std::string& code_version);
+
+/// Loads a cache file. Corruption-tolerant: a missing, unparsable, or
+/// version-mismatched file yields an empty vector (warm starts are an
+/// optimization, never a correctness requirement).
+std::vector<CacheEntry> load_result_cache(const std::string& path,
+                                          const std::string& code_version);
+
 }  // namespace qarch::search

@@ -74,6 +74,16 @@ struct SessionConfig {
   /// mixer encoding, p, budget); duplicate proposals return the cached
   /// CandidateResult instead of retraining. 0 disables result caching.
   std::size_t result_cache = 4096;
+  /// On-disk home of the candidate-result cache (JSON). When non-empty the
+  /// service loads it at construction — repeated fig8/fig9 or dataset runs
+  /// warm-start instead of retraining identical candidates — and rewrites it
+  /// atomically at shutdown. Corrupt, missing, or stale files (older cache
+  /// code version) are ignored, never fatal. Empty disables persistence.
+  std::string cache_path;
+  /// Write the (possibly grown) result cache back to cache_path when the
+  /// service shuts down. false = read-only warm start: load but never touch
+  /// the file (useful for concurrent processes sharing one cache).
+  bool cache_write = true;
 
   // -- escape hatch ----------------------------------------------------------
   /// Deep engine toggles (sv_plan.*, qtensor.*, optimizer details, restart

@@ -5,6 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -15,6 +19,7 @@
 #include "search/engine.hpp"
 #include "search/eval_service.hpp"
 #include "search/halving.hpp"
+#include "search/report_io.hpp"
 #include "session.hpp"
 #include "sim/sim_program.hpp"
 
@@ -362,6 +367,613 @@ TEST(SessionConfig, ReconciliationAbsorbsEffectiveEnergy) {
   EXPECT_EQ(backend_from_name("tn"), BackendChoice::TensorNetwork);
   EXPECT_EQ(backend_name(BackendChoice::Auto), "auto");
   EXPECT_THROW(backend_from_name("qpu"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Fair-share scheduling
+// ---------------------------------------------------------------------------
+
+TEST(EvalService, FairShareInterleavesConcurrentClients) {
+  // One worker; a heavy blocker holds it while two registered clients queue
+  // up, so the dispatch order below is decided purely by the scheduler.
+  const auto blocker_graph = test_graph(61, 10, 3);
+  const auto g = test_graph(62);
+  const auto cohort = search::all_combinations(
+      search::GateAlphabet::standard(), 1, search::CombinationMode::Product);
+  SessionConfig session = fast_session();
+  session.workers = 1;
+  search::EvalService service(session);
+
+  search::JobOptions heavy;
+  heavy.training_evals = 500;
+  auto blocker =
+      service.submit(blocker_graph, qaoa::MixerSpec::baseline(), 2, heavy);
+
+  auto wide = service.register_client("wide", 1.0);
+  auto interactive = service.register_client("interactive", 1.0);
+  std::vector<search::EvalTicket> wide_tickets, inter_tickets;
+  for (const auto& m : cohort) {  // 5 jobs for the wide client
+    search::JobOptions job;
+    job.training_evals = 60;
+    job.client = wide.id();
+    wide_tickets.push_back(service.submit(g, m, 1, job));
+  }
+  for (std::size_t i = 0; i < 3; ++i) {  // 3 near-equal-cost jobs after it
+    search::JobOptions job;
+    job.training_evals = 61;
+    job.client = interactive.id();
+    inter_tickets.push_back(service.submit(g, cohort[i], 1, job));
+  }
+  (void)blocker.wait();
+  (void)service.collect(wide_tickets);
+  (void)service.collect(inter_tickets);
+
+  double inter_last = 0.0;
+  for (const auto& t : inter_tickets)
+    inter_last = std::max(inter_last, t.finished_at());
+  std::size_t wide_before = 0;
+  for (const auto& t : wide_tickets)
+    if (t.finished_at() < inter_last) ++wide_before;
+  // FIFO would finish all 5 wide jobs before the later-submitted interactive
+  // cohort (wide_before == 5); deficit-weighted round robin alternates the
+  // two equal-weight queues (exactly 3 in a race-free run).
+  EXPECT_LE(wide_before, 4u);
+  EXPECT_EQ(service.stats().clients_registered, 2u);
+}
+
+TEST(EvalService, FairShareHonorsClientWeights) {
+  const auto blocker_graph = test_graph(63, 10, 3);
+  const auto g = test_graph(64);
+  const auto cohort = search::all_combinations(
+      search::GateAlphabet::standard(), 1, search::CombinationMode::Product);
+  SessionConfig session = fast_session();
+  session.workers = 1;
+  search::EvalService service(session);
+
+  search::JobOptions heavy;
+  heavy.training_evals = 500;
+  auto blocker =
+      service.submit(blocker_graph, qaoa::MixerSpec::baseline(), 2, heavy);
+
+  auto light = service.register_client("light", 1.0);
+  auto favored = service.register_client("favored", 4.0);
+  std::vector<search::EvalTicket> light_tickets, favored_tickets;
+  for (const auto& m : cohort) {
+    search::JobOptions job;
+    job.training_evals = 60;
+    job.client = light.id();
+    light_tickets.push_back(service.submit(g, m, 1, job));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    search::JobOptions job;
+    job.training_evals = 61;
+    job.client = favored.id();
+    favored_tickets.push_back(service.submit(g, cohort[i], 1, job));
+  }
+  (void)blocker.wait();
+  (void)service.collect(light_tickets);
+  (void)service.collect(favored_tickets);
+
+  double favored_last = 0.0;
+  for (const auto& t : favored_tickets)
+    favored_last = std::max(favored_last, t.finished_at());
+  std::size_t light_before = 0;
+  for (const auto& t : light_tickets)
+    if (t.finished_at() < favored_last) ++light_before;
+  // Weight 4 lets the favored client drain its whole queue on one visit's
+  // quantum (1 light job slips in race-free); equal weights would alternate
+  // to ~4.
+  EXPECT_LE(light_before, 2u);
+}
+
+TEST(EvalService, JobPriorityOrdersWithinOneClient) {
+  const auto blocker_graph = test_graph(65, 10, 3);
+  const auto g = test_graph(66);
+  const auto cohort = search::all_combinations(
+      search::GateAlphabet::standard(), 1, search::CombinationMode::Product);
+  SessionConfig session = fast_session();
+  session.workers = 1;
+  search::EvalService service(session);
+
+  search::JobOptions heavy;
+  heavy.training_evals = 500;
+  auto blocker =
+      service.submit(blocker_graph, qaoa::MixerSpec::baseline(), 2, heavy);
+
+  auto client = service.register_client("prioritized", 1.0);
+  std::vector<search::EvalTicket> tickets;
+  for (std::size_t i = 0; i < 3; ++i) {
+    search::JobOptions job;
+    job.training_evals = 40;
+    job.client = client.id();
+    job.priority = i == 2 ? 7 : 0;  // the LAST submission outranks the rest
+    tickets.push_back(service.submit(g, cohort[i], 1, job));
+  }
+  (void)blocker.wait();
+  (void)service.collect(tickets);
+  EXPECT_LT(tickets[2].finished_at(), tickets[0].finished_at());
+  EXPECT_LT(tickets[2].finished_at(), tickets[1].finished_at());
+}
+
+TEST(EvalService, RegisterClientRejectsBadWeights) {
+  search::EvalService service(fast_session());
+  EXPECT_THROW((void)service.register_client("bad", 0.0), Error);
+  EXPECT_THROW((void)service.register_client("bad", -1.0), Error);
+  // A vanishing weight would make the scheduler spin ~1/weight rotations
+  // inside the service mutex per dispatch, so it is rejected outright.
+  EXPECT_THROW((void)service.register_client("bad", 1e-9), Error);
+  EXPECT_THROW((void)service.register_client("bad", 1e9), Error);
+}
+
+TEST(EvalService, CrossServiceClientIdFallsBackToDefaultQueue) {
+  // Client ids are process-wide unique, so an id minted by one service can
+  // never be mistaken for another service's registered client — it takes
+  // the documented default-queue fallback instead.
+  search::EvalService a(fast_session());
+  search::EvalService b(fast_session());
+  const auto ca = a.register_client("a");
+  const auto cb = b.register_client("b");
+  EXPECT_NE(ca.id(), cb.id());
+
+  const auto g = test_graph(103);
+  search::JobOptions job;
+  job.client = ca.id();  // foreign id on service b
+  EXPECT_NO_THROW((void)b.submit(g, qaoa::MixerSpec::qnas(), 1, job).wait());
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation semantics
+// ---------------------------------------------------------------------------
+
+TEST(EvalService, CollectSkipsCancelledTickets) {
+  const auto blocker_graph = test_graph(67, 10, 3);
+  const auto g = test_graph(68);
+  const auto cohort = search::all_combinations(
+      search::GateAlphabet::standard(), 1, search::CombinationMode::Product);
+  SessionConfig session = fast_session();
+  session.workers = 1;
+  search::EvalService service(session);
+
+  search::JobOptions heavy;
+  heavy.training_evals = 400;
+  auto blocker =
+      service.submit(blocker_graph, qaoa::MixerSpec::baseline(), 2, heavy);
+  auto tickets = service.submit_batch(g, cohort, 1);
+  ASSERT_TRUE(tickets[1].cancel());  // queued behind the blocker: must succeed
+  ASSERT_TRUE(tickets[3].cancel());
+
+  // One cancelled ticket must not discard the rest of the batch.
+  const auto results = service.collect(tickets);
+  ASSERT_EQ(results.size(), cohort.size() - 2);
+  std::vector<std::string> got, expected;
+  for (const auto& r : results) got.push_back(r.mixer.to_string());
+  for (std::size_t i = 0; i < cohort.size(); ++i)
+    if (i != 1 && i != 3) expected.push_back(cohort[i].to_string());
+  EXPECT_EQ(got, expected);  // surviving results keep ticket order
+  (void)blocker.wait();
+}
+
+TEST(EvalService, ConcurrentCancelOfOneTicketReleasesOneWaiterOnly) {
+  // Two copies of ONE handle cancelled from two threads while a third ticket
+  // (a separate submission of the same candidate) still wants the result: a
+  // double waiter decrement would withdraw the shared job and lose it.
+  const auto blocker_graph = test_graph(69, 10, 3);
+  const auto g = test_graph(70);
+  SessionConfig session = fast_session();
+  session.workers = 1;
+  for (int iter = 0; iter < 20; ++iter) {
+    search::EvalService service(session);
+    search::JobOptions heavy;
+    heavy.training_evals = 300;
+    auto blocker =
+        service.submit(blocker_graph, qaoa::MixerSpec::baseline(), 2, heavy);
+    auto doomed = service.submit(g, qaoa::MixerSpec::qnas(), 1);
+    auto survivor = service.submit(g, qaoa::MixerSpec::qnas(), 1);
+    ASSERT_TRUE(survivor.cache_hit());  // attached to the same in-flight job
+
+    search::EvalTicket doomed_copy = doomed;
+    std::thread racer([&doomed_copy] { (void)doomed_copy.cancel(); });
+    (void)doomed.cancel();
+    racer.join();
+
+    EXPECT_TRUE(doomed.cancelled());
+    EXPECT_THROW((void)doomed.wait(), Error);
+    // The survivor's waiter must still be counted: the job runs and
+    // resolves normally once the blocker frees the worker.
+    EXPECT_NO_THROW((void)survivor.wait());
+    (void)blocker.wait();
+  }
+}
+
+TEST(EvalService, CancelResubmitStressKeepsAccountsConsistent) {
+  // Hammer concurrent cancel() + duplicate submit() of ONE candidate key.
+  // result_cache = 0 keeps every post-completion submission publishing a
+  // fresh job, so the cancellation window stays open the whole test.
+  const auto g = test_graph(71);
+  SessionConfig session = fast_session();
+  session.workers = 2;
+  session.result_cache = 0;
+  session.training_evals = 6;
+  search::EvalService service(session);
+
+  const search::Evaluator reference(
+      g, session.evaluator_options(qaoa::EngineKind::Statevector, 6));
+  const double expected_energy =
+      reference.evaluate(qaoa::MixerSpec::qnas(), 1).energy;
+
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kIters = 40;
+  std::atomic<std::size_t> resolved{0}, withdrawn{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        auto ticket = service.submit(g, qaoa::MixerSpec::qnas(), 1);
+        if ((t + i) % 3 == 0) {
+          search::EvalTicket copy = ticket;
+          std::thread racer([&copy] { (void)copy.cancel(); });
+          const bool mine = ticket.cancel();
+          racer.join();
+          if (ticket.cancelled()) {
+            EXPECT_TRUE(mine);
+            EXPECT_THROW((void)ticket.wait(), Error);
+            ++withdrawn;
+            continue;
+          }
+        }
+        // No result may be lost: an un-cancelled ticket always resolves,
+        // and always to the deterministic energy.
+        EXPECT_EQ(ticket.wait().energy, expected_energy);
+        ++resolved;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(resolved + withdrawn, kThreads * kIters);
+  EXPECT_EQ(stats.submitted, kThreads * kIters);
+  // Every submission was accounted exactly once...
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.submitted);
+  // ...and every published job either ran exactly once or was withdrawn
+  // exactly once — the no-lost-result / no-double-run invariant.
+  EXPECT_EQ(stats.completed + stats.cancelled, stats.cache_misses);
+  EXPECT_EQ(stats.failed, 0u);
+
+  // The service stays fully functional after the storm.
+  auto after = service.submit(g, qaoa::MixerSpec::baseline(), 1);
+  EXPECT_NO_THROW((void)after.wait());
+}
+
+// ---------------------------------------------------------------------------
+// Persistent result cache
+// ---------------------------------------------------------------------------
+
+namespace persist {
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+}  // namespace persist
+
+TEST(ReportIo, ResultCacheRoundTripsEntries) {
+  search::CacheEntry e;
+  e.graph_fp = std::string("\x00\xff\x1e\x7f raw", 8);  // arbitrary bytes
+  e.training_evals = 42;
+  e.engine = "sv";
+  e.result.mixer = qaoa::MixerSpec::qnas();
+  e.result.p = 2;
+  e.result.energy = 3.25;
+  e.result.ratio = 0.8125;
+  e.result.sampled_ratio = 0.9375;
+  e.result.theta = {0.1234567891234567, -2.5};
+  e.result.evaluations = 37;
+
+  const auto doc = search::result_cache_to_json({e}, "vX");
+  const auto parsed = json::parse(doc.dump(2));
+  const auto loaded = search::result_cache_from_json(parsed, "vX");
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].graph_fp, e.graph_fp);
+  EXPECT_EQ(loaded[0].training_evals, 42u);
+  EXPECT_EQ(loaded[0].engine, "sv");
+  EXPECT_EQ(loaded[0].result.mixer, e.result.mixer);
+  EXPECT_EQ(loaded[0].result.p, 2u);
+  EXPECT_EQ(loaded[0].result.energy, e.result.energy);
+  EXPECT_EQ(loaded[0].result.theta, e.result.theta);
+
+  // A different cache code version invalidates the whole file.
+  EXPECT_TRUE(search::result_cache_from_json(parsed, "vY").empty());
+}
+
+TEST(EvalService, PersistentCacheWarmStartsAcrossServices) {
+  const std::string path = persist::temp_path("qarch_warm_start.json");
+  std::remove(path.c_str());
+  const auto g = test_graph(73);
+  SessionConfig session = fast_session();
+  session.cache_path = path;
+
+  search::CandidateResult first;
+  {
+    search::EvalService cold(session);
+    EXPECT_EQ(cold.stats().cache_loaded, 0u);
+    first = cold.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  }  // destructor persists the cache
+
+  {
+    search::EvalService warm(session);
+    EXPECT_EQ(warm.stats().cache_loaded, 1u);
+    auto ticket = warm.submit(g, qaoa::MixerSpec::qnas(), 1);
+    const auto& r = ticket.wait();
+    EXPECT_TRUE(ticket.cache_hit());
+    EXPECT_TRUE(r.from_cache);
+    EXPECT_EQ(r.energy, first.energy);
+    EXPECT_EQ(r.theta, first.theta);  // %.17g JSON doubles round-trip exactly
+    EXPECT_EQ(warm.stats().completed, 0u);  // nothing retrained
+
+    // A different budget is still a cold candidate.
+    search::JobOptions deeper;
+    deeper.training_evals = 60;
+    auto miss = warm.submit(g, qaoa::MixerSpec::qnas(), 1, deeper);
+    (void)miss.wait();
+    EXPECT_FALSE(miss.cache_hit());
+  }
+
+  // The second shutdown re-persisted the grown cache (2 entries now).
+  search::EvalService third(session);
+  EXPECT_EQ(third.stats().cache_loaded, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(EvalService, PersistentCacheIsGatedByResolvedEngine) {
+  // Processes with different forced backends may share one cache file; a
+  // tensor-network service must not warm-start from statevector-trained
+  // entries (and vice versa). backend=Auto accepts either engine's results.
+  const std::string path = persist::temp_path("qarch_engine_gate.json");
+  std::remove(path.c_str());
+  const auto g = test_graph(101);
+  SessionConfig session = fast_session();  // backend = Statevector
+  session.cache_path = path;
+  {
+    search::EvalService sv(session);
+    (void)sv.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  }
+
+  SessionConfig tn_session = session;
+  tn_session.backend = BackendChoice::TensorNetwork;
+  {
+    search::EvalService tn(tn_session);
+    EXPECT_EQ(tn.stats().cache_loaded, 0u);  // sv entry filtered out
+    auto ticket = tn.submit(g, qaoa::MixerSpec::qnas(), 1);
+    (void)ticket.wait();
+    EXPECT_FALSE(ticket.cache_hit());  // retrained on its own engine
+    EXPECT_EQ(tn.stats().picked_tensornetwork, 1u);
+  }  // cache_write on: rewrites the file WITHOUT erasing the sv entry
+
+  {
+    search::EvalService sv_again(session);
+    EXPECT_EQ(sv_again.stats().cache_loaded, 1u);  // sv entry survived
+    auto ticket = sv_again.submit(g, qaoa::MixerSpec::qnas(), 1);
+    (void)ticket.wait();
+    EXPECT_TRUE(ticket.cache_hit());
+  }
+
+  // Both engines' entries coexist in the file; an Auto service accepts
+  // either, so the same-key twin dedups to one in-memory load.
+  {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::size_t sv_entries = 0, tn_entries = 0;
+    const auto doc = json::parse(buf.str());
+    const auto& list = doc.at("entries");
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const std::string& engine = list.at(i).at("engine").as_string();
+      sv_entries += engine == "sv" ? 1 : 0;
+      tn_entries += engine == "tn" ? 1 : 0;
+    }
+    EXPECT_EQ(sv_entries, 1u);
+    EXPECT_EQ(tn_entries, 1u);
+  }
+  SessionConfig auto_session = session;
+  auto_session.backend = BackendChoice::Auto;
+  auto_session.cache_write = false;
+  search::EvalService any(auto_session);
+  EXPECT_EQ(any.stats().cache_loaded, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EvalService, SmallOrDisabledCacheDoesNotTruncateSharedFile) {
+  // A service with a smaller in-memory bound — or caching disabled — must
+  // not shrink a shared cache file it could not fully load.
+  const std::string path = persist::temp_path("qarch_truncate_guard.json");
+  std::remove(path.c_str());
+  const auto g = test_graph(107);
+  SessionConfig session = fast_session();
+  session.cache_path = path;
+  {
+    search::EvalService writer(session);
+    (void)writer.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+    (void)writer.submit(g, qaoa::MixerSpec::baseline(), 1).wait();
+  }  // 2 entries on disk
+
+  SessionConfig tiny = session;
+  tiny.result_cache = 1;
+  {
+    search::EvalService bounded(tiny);
+    EXPECT_EQ(bounded.stats().cache_loaded, 1u);  // LRU bound respected
+    // A fresh third candidate evicts the loaded entry from the 1-slot LRU;
+    // the eviction must not cost the file that entry either.
+    search::JobOptions deeper;
+    deeper.training_evals = 45;
+    (void)bounded.submit(g, qaoa::MixerSpec::qnas(), 1, deeper).wait();
+  }  // rewrite carries the unloaded AND the evicted entries through
+
+  SessionConfig disabled = session;
+  disabled.result_cache = 0;
+  { search::EvalService off(disabled); }  // must not truncate the file
+
+  search::EvalService reloaded(session);
+  EXPECT_EQ(reloaded.stats().cache_loaded, 3u);  // nothing was lost
+  std::remove(path.c_str());
+}
+
+TEST(EvalService, PersistentCacheToleratesCorruptFiles) {
+  const std::string path = persist::temp_path("qarch_corrupt_cache.json");
+  {
+    std::ofstream out(path);
+    out << "{ this is ] not json \x01\x02";
+  }
+  const auto g = test_graph(79);
+  SessionConfig session = fast_session();
+  session.cache_path = path;
+  {
+    search::EvalService service(session);  // must not throw
+    EXPECT_EQ(service.stats().cache_loaded, 0u);
+    (void)service.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  }
+  // The corrupt file was atomically replaced with a valid cache.
+  search::EvalService reloaded(session);
+  EXPECT_EQ(reloaded.stats().cache_loaded, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EvalService, CacheWriteOffIsReadOnlyWarmStart) {
+  const std::string path = persist::temp_path("qarch_readonly_cache.json");
+  std::remove(path.c_str());
+  const auto g = test_graph(83);
+  SessionConfig session = fast_session();
+  session.cache_path = path;
+  {
+    search::EvalService writer(session);
+    (void)writer.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  }
+  std::string before;
+  {
+    std::ifstream in(path);
+    before.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_FALSE(before.empty());
+
+  session.cache_write = false;
+  {
+    search::EvalService reader(session);
+    EXPECT_EQ(reader.stats().cache_loaded, 1u);
+    (void)reader.submit(g, qaoa::MixerSpec::baseline(), 1).wait();  // new entry
+  }
+  std::string after;
+  {
+    std::ifstream in(path);
+    after.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  EXPECT_EQ(before, after);  // file untouched by the read-only service
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Halving accounting
+// ---------------------------------------------------------------------------
+
+TEST(Halving, WarmCacheRunSpendsNoNewEvaluations) {
+  const auto g = test_graph(89);
+  const auto cohort = search::all_combinations(
+      search::GateAlphabet::standard(), 1, search::CombinationMode::Product);
+  SessionConfig session = fast_session();
+  search::EvalService service(session);
+  search::HalvingConfig cfg;
+  cfg.initial_budget = 10;
+  cfg.session = session;
+
+  const auto cold = search::successive_halving(service, g, cohort, cfg);
+  EXPECT_GT(cold.total_evaluations, 0u);
+
+  // Same sweep against the warm service: every round is served from the
+  // result cache, so zero NEW objective calls are billed.
+  const auto warm = search::successive_halving(service, g, cohort, cfg);
+  EXPECT_EQ(warm.total_evaluations, 0u);
+  EXPECT_EQ(warm.best.energy, cold.best.energy);
+  EXPECT_EQ(warm.best.mixer, cold.best.mixer);
+}
+
+TEST(Halving, StagnantBudgetRoundsDoNotDoubleCount) {
+  // budget_growth == 1.0 re-scores survivors at an unchanged budget: those
+  // rounds are cache hits and must not re-bill their original evaluations.
+  const auto g = test_graph(97);
+  const auto cohort = search::all_combinations(
+      search::GateAlphabet::standard(), 1, search::CombinationMode::Product);
+  SessionConfig session = fast_session();
+  search::HalvingConfig cfg;
+  cfg.initial_budget = 10;
+  cfg.budget_growth = 1.0;
+  cfg.session = session;
+  const auto report = search::successive_halving(g, cohort, cfg);
+  ASSERT_GT(report.rounds.size(), 1u);  // the re-scoring rounds exist
+
+  // Exact bill: one fresh run per unique candidate, nothing else.
+  const search::Evaluator direct(
+      g, session.evaluator_options(qaoa::EngineKind::Statevector, 10));
+  std::size_t fresh = 0;
+  for (const auto& m : cohort) fresh += direct.evaluate(m, 1).evaluations;
+  EXPECT_EQ(report.total_evaluations, fresh);
+}
+
+// ---------------------------------------------------------------------------
+// SessionConfig::base precedence
+// ---------------------------------------------------------------------------
+
+TEST(SessionConfig, BaseDeepTogglesSurviveReconciliation) {
+  SessionConfig s;
+  s.inner_workers = 2;
+  s.training_evals = 77;
+  s.simplify_circuit = false;
+  // Deep engine toggles only reachable through the escape hatch:
+  s.base.energy.sv_compile_plan = false;
+  s.base.energy.sv_batch_expectations = false;
+  s.base.energy.sv_plan.simd = false;
+  s.base.energy.sv_plan.phase_tables = false;
+  s.base.energy.sv_plan.fuse_single_qubit = false;
+  s.base.energy.qtensor.compile_programs = false;
+  s.base.energy.qtensor.slice_above_width = 20;
+  s.base.energy.qtensor.random_restarts = 3;
+  s.base.energy.plan_cache_capacity = 2;
+  s.base.cobyla.rho_begin = 0.25;
+  s.base.cobyla.rho_end = 1e-4;
+  s.base.restart_perturbation = 2.5;
+  s.base.restart_seed = 123;
+  s.base.sample_seed = 321;
+
+  const auto opt = s.evaluator_options(qaoa::EngineKind::TensorNetwork, 33);
+  // Named knobs win where both exist...
+  EXPECT_EQ(opt.energy.engine, qaoa::EngineKind::TensorNetwork);
+  EXPECT_EQ(opt.energy.inner_workers, 2u);
+  EXPECT_EQ(opt.cobyla.max_evals, 33u);
+  EXPECT_FALSE(opt.simplify_circuit);
+  // ...but every deep toggle must survive the merge untouched.
+  EXPECT_FALSE(opt.energy.sv_compile_plan);
+  EXPECT_FALSE(opt.energy.sv_batch_expectations);
+  EXPECT_FALSE(opt.energy.sv_plan.simd);
+  EXPECT_FALSE(opt.energy.sv_plan.phase_tables);
+  EXPECT_FALSE(opt.energy.sv_plan.fuse_single_qubit);
+  EXPECT_FALSE(opt.energy.qtensor.compile_programs);
+  EXPECT_EQ(opt.energy.qtensor.slice_above_width, 20u);
+  EXPECT_EQ(opt.energy.qtensor.random_restarts, 3u);
+  EXPECT_EQ(opt.energy.plan_cache_capacity, 2u);
+  EXPECT_EQ(opt.cobyla.rho_begin, 0.25);
+  EXPECT_EQ(opt.cobyla.rho_end, 1e-4);
+  EXPECT_EQ(opt.restart_perturbation, 2.5);
+  EXPECT_EQ(opt.restart_seed, 123u);
+  EXPECT_EQ(opt.sample_seed, 321u);
+
+  // The same toggles survive through energy_options(); with the evaluator
+  // NOT pre-simplifying, the plan-level presimplify keeps base's value.
+  const auto en = s.energy_options(qaoa::EngineKind::Statevector);
+  EXPECT_FALSE(en.sv_compile_plan);
+  EXPECT_FALSE(en.sv_plan.simd);
+  EXPECT_TRUE(en.sv_plan.presimplify);
+
+  // Named-knob precedence over a conflicting base value is part of the
+  // contract, not an accident: the facade's budget beats base.cobyla's.
+  s.base.cobyla.max_evals = 999;
+  EXPECT_EQ(s.evaluator_options(qaoa::EngineKind::Statevector).cobyla.max_evals,
+            77u);
 }
 
 TEST(GraphFingerprint, DistinguishesStructureNotIdentity) {

@@ -90,6 +90,60 @@ TEST(ParallelMap, PreservesOrder) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
 }
 
+TEST(ThreadPool, PriorityOrdersDispatchHighestFirst) {
+  ThreadPool pool(1);
+  // Park the single worker so every subsequent submission queues; release
+  // only after the whole mixed-priority batch is enqueued.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  auto blocker = pool.submit([opened] { opened.wait(); });
+
+  std::vector<int> order;
+  std::mutex order_mutex;
+  std::vector<std::future<void>> tasks;
+  const auto record = [&](int tag) {
+    return [&, tag] {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(tag);
+    };
+  };
+  tasks.push_back(pool.submit(record(0)));         // default priority
+  tasks.push_back(pool.submit(record(51), 5));     // first of the 5s
+  tasks.push_back(pool.submit(record(1), 1));
+  tasks.push_back(pool.submit(record(52), 5));     // FIFO among equals
+  tasks.push_back(pool.submit(record(-1), -1));    // below default
+
+  gate.set_value();
+  blocker.get();
+  for (auto& t : tasks) t.get();
+  EXPECT_EQ(order, (std::vector<int>{51, 52, 1, 0, -1}));
+}
+
+TEST(TaskPool, ApplyAsyncForwardsPriority) {
+  TaskPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  auto blocker = pool.apply_async([opened] { opened.wait(); });
+
+  std::vector<int> order;
+  std::mutex order_mutex;
+  auto low = pool.apply_async([&] {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(0);
+  });
+  auto high = pool.apply_async(
+      [&] {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(9);
+      },
+      9);
+  gate.set_value();
+  blocker.get();
+  low.get();
+  high.get();
+  EXPECT_EQ(order, (std::vector<int>{9, 0}));
+}
+
 TEST(TaskPool, StarmapAsyncAppliesTuples) {
   TaskPool pool(4);
   std::vector<std::tuple<int, int>> args{{1, 2}, {3, 4}, {5, 6}};
