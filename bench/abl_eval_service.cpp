@@ -32,6 +32,7 @@
 
 #include "bench_util.hpp"
 #include "common/timer.hpp"
+#include "qtensor/planner.hpp"
 #include "search/eval_service.hpp"
 #include "sim/sim_program.hpp"
 
@@ -333,6 +334,59 @@ int main(int argc, char** argv) {
     warm_section.set("warm_plan_recompiles", warm_compiles);
     section.set("warm_start", std::move(warm_section));
     std::remove(cache_file.c_str());
+  }
+
+  // -- 7. plan-cache tier: a RETRAINING run still skips the planner ---------
+  // Unlike the result cache above, the contraction-plan cache pays off even
+  // when every candidate is new: with cache_path EMPTY the second service
+  // retrains the whole cohort, yet compiles every tensor-network program
+  // from persisted elimination orders — zero planner invocations.
+  {
+    const std::string plan_file = out + ".plans";
+    std::remove(plan_file.c_str());
+    SessionConfig planned = session;
+    planned.backend = BackendChoice::TensorNetwork;
+    planned.cache_path.clear();
+    planned.plan_cache_path = plan_file;
+    std::vector<qaoa::MixerSpec> tn_cohort(
+        cohort.begin(), cohort.begin() + std::min<std::size_t>(4, cohort.size()));
+    double cold_seconds = 0.0, warm_seconds = 0.0;
+    qtensor::reset_planner_invocation_count();
+    {
+      search::EvalService cold(planned);
+      Timer t;
+      (void)cold.collect(cold.submit_batch(g, tn_cohort, p));
+      cold_seconds = t.seconds();
+    }  // destructor persists the plan cache
+    const auto cold_plans =
+        static_cast<std::size_t>(qtensor::planner_invocation_count());
+    qtensor::reset_planner_invocation_count();
+    std::size_t plans_loaded = 0;
+    {
+      search::EvalService warm(planned);
+      plans_loaded = warm.stats().plans_loaded;
+      Timer t;
+      (void)warm.collect(warm.submit_batch(g, tn_cohort, p));
+      warm_seconds = t.seconds();
+    }
+    const auto warm_plans =
+        static_cast<std::size_t>(qtensor::planner_invocation_count());
+    std::printf("\nplan-cache tier via %s (results NOT cached — both runs "
+                "retrain):\n"
+                "  cold %.2fs, %zu planner invocations -> warm %.2fs, "
+                "%zu invocations (%zu plans loaded)\n",
+                plan_file.c_str(), cold_seconds, cold_plans, warm_seconds,
+                warm_plans, plans_loaded);
+    if (warm_plans != 0)
+      std::printf("ERROR: warm run invoked the planner!\n");
+    json::Value plan_section = json::Value::object();
+    plan_section.set("cold_seconds", cold_seconds);
+    plan_section.set("warm_seconds", warm_seconds);
+    plan_section.set("cold_planner_invocations", cold_plans);
+    plan_section.set("warm_planner_invocations", warm_plans);
+    plan_section.set("plans_loaded", plans_loaded);
+    section.set("plan_cache", std::move(plan_section));
+    std::remove(plan_file.c_str());
   }
 
   bench::update_bench_json(out, "eval_service", std::move(section));

@@ -1,98 +1,277 @@
-// Ablation: contraction-order optimizers (google-benchmark).
+// Ablation: contraction planning — serial bake-off vs the parallel,
+// shape-deduplicated planner.
 //
-// Measures the contraction width achieved and the end-to-end <ZZ>
-// contraction time of the QTensor simulator under each ordering heuristic,
-// on the QAOA expectation networks the search actually contracts.
-// Expected: greedy heuristics beat plain random ordering on width and time;
-// random-restart closes most of the gap at extra ordering cost.
+// Three legs, all on the QAOA <Z_u Z_v> lightcone networks the search
+// actually contracts (3-regular graph, QNAS ansatz):
 //
-// The Compiled* cases benchmark the compiled-plan leg: every heuristic case
-// above re-plans per call, while a qtensor::ContractionProgram pays
-// planning once (CompiledProgramBuild) and then replays a rebind+schedule
-// (CompiledReplay) — the per-theta cost the search pipeline actually sees.
-#include <benchmark/benchmark.h>
+//   1. planning time: the OLD serial bake-off (each heuristic rebuilding its
+//      own line graph, every candidate order costed by set-based symbolic
+//      replay — faithfully re-implemented below as the reference) against
+//      plan_contraction's hoisted line-graph/cost-model bitset planner with
+//      speculative competitors fanned out over N workers,
+//   2. shape dedup: distinct compiled programs == distinct lightcone shapes
+//      (far below the edge count on regular graphs) via EnergyPlan::info(),
+//   3. warm start: a plan-cache round trip through save/load_plan_cache —
+//      the warm compile must invoke the planner ZERO times.
+//
+// Emits BENCH_qtensor.json section "planning".
+//
+// Flags: --n N (20) --degree D (3) --p P (2) --reps R (3) --workers W (8)
+//        --restarts K (8) --out PATH (BENCH_qtensor.json)
+//        --plan-cache-file PATH (bench_plan_cache.json scratch file)
+#include <cstdio>
+#include <set>
 
-#include "common/rng.hpp"
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/timer.hpp"
 #include "graph/generators.hpp"
 #include "qaoa/ansatz.hpp"
-#include "qtensor/contraction.hpp"
-#include "qtensor/program.hpp"
+#include "qaoa/energy.hpp"
+#include "qtensor/network.hpp"
+#include "qtensor/ordering.hpp"
+#include "qtensor/plan_cache.hpp"
+#include "qtensor/planner.hpp"
+#include "search/report_io.hpp"
 
 using namespace qarch;
 
 namespace {
 
+/// The seed's set-based symbolic cost replay, kept verbatim as the serial
+/// reference (plan_contraction now costs orders with the bitset CostModel).
+qtensor::PlanCost reference_estimate_cost(const qtensor::TensorNetwork& net,
+                                          const std::vector<qtensor::VarId>& order) {
+  std::vector<std::set<qtensor::VarId>> tensors;
+  tensors.reserve(net.tensors.size());
+  for (const qtensor::Tensor& t : net.tensors)
+    tensors.emplace_back(t.labels().begin(), t.labels().end());
+
+  qtensor::PlanCost cost;
+  for (qtensor::VarId v : order) {
+    std::set<qtensor::VarId> merged;
+    std::size_t factors = 0;
+    std::vector<std::set<qtensor::VarId>> rest;
+    rest.reserve(tensors.size());
+    for (auto& s : tensors) {
+      if (s.count(v) > 0) {
+        merged.insert(s.begin(), s.end());
+        ++factors;
+      } else {
+        rest.push_back(std::move(s));
+      }
+    }
+    if (factors == 0) continue;
+    const double entries = std::pow(2.0, static_cast<double>(merged.size()));
+    cost.flops += entries * static_cast<double>(factors);
+    cost.peak_entries = std::max(cost.peak_entries, entries);
+    cost.width = std::max(cost.width, merged.size());
+    merged.erase(v);
+    rest.push_back(std::move(merged));
+    tensors = std::move(rest);
+  }
+  return cost;
+}
+
+/// The seed's plan_contraction: serial bake-off, each heuristic building its
+/// own line graph from the network and every order costed by the set-based
+/// replay (order_random_restart additionally replays contraction_width per
+/// restart — also set-based).
+qtensor::ContractionPlan serial_bakeoff(const qtensor::TensorNetwork& net,
+                                        std::size_t restarts,
+                                        std::uint64_t seed) {
+  qtensor::ContractionPlan best;
+  bool have_best = false;
+  auto consider = [&](std::vector<qtensor::VarId> order,
+                      const std::string& name) {
+    const qtensor::PlanCost cost = reference_estimate_cost(net, order);
+    const bool better =
+        !have_best || cost.flops < best.cost.flops ||
+        (cost.flops == best.cost.flops && cost.width < best.cost.width);
+    if (better) {
+      best.order = std::move(order);
+      best.cost = cost;
+      best.heuristic = name;
+      have_best = true;
+    }
+  };
+  consider(qtensor::order_greedy_degree(net), "greedy-degree");
+  consider(qtensor::order_greedy_fill(net), "greedy-fill");
+  Rng rng(seed);
+  consider(qtensor::order_random_restart(net, restarts, rng),
+           "random-restart");
+  return best;
+}
+
 struct Workload {
-  circuit::Circuit ansatz;
+  graph::Graph g;
+  /// QNAS entangling-mixer ansatz: the planner stress workload (its mixer
+  /// entangles along the qubit-index ring, so every edge cone is wide AND
+  /// structurally distinct — planning cost dominates, no dedup help).
+  circuit::Circuit qnas_ansatz;
+  /// Baseline RX-mixer ansatz: the dedup workload. A qubit-local mixer makes
+  /// each cone a function of the edge's local problem-graph neighbourhood
+  /// only; on a random regular graph those collapse to a handful of shapes.
+  circuit::Circuit rx_ansatz;
   std::vector<double> theta;
-  std::size_t u, v;
+  std::vector<qtensor::TensorNetwork> networks;  ///< one per edge, qnas
 };
 
-Workload make_workload(std::size_t p) {
+Workload make_workload(std::size_t n, std::size_t degree, std::size_t p) {
   Rng rng(7);
-  const auto g = graph::random_regular(10, 4, rng);
-  auto c = qaoa::build_qaoa_circuit(g, p, qaoa::MixerSpec::qnas());
-  std::vector<double> theta(c.num_params(), 0.37);
-  return {std::move(c), std::move(theta), g.edges()[0].u, g.edges()[0].v};
-}
-
-void run_case(benchmark::State& state, qtensor::OrderingAlgo algo) {
-  const auto p = static_cast<std::size_t>(state.range(0));
-  const Workload w = make_workload(p);
-  qtensor::QTensorOptions opt;
-  opt.ordering = algo;
-  const qtensor::QTensorSimulator sim(opt);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        sim.expectation_zz(w.ansatz, w.theta, w.u, w.v));
+  Workload w{graph::random_regular(n, degree, rng), {}, {}, {}, {}};
+  w.qnas_ansatz = qaoa::build_qaoa_circuit(w.g, p, qaoa::MixerSpec::qnas());
+  w.rx_ansatz = qaoa::build_qaoa_circuit(w.g, p, qaoa::MixerSpec::baseline());
+  w.theta.assign(w.qnas_ansatz.num_params(), 0.37);
+  for (const auto& e : w.g.edges()) {
+    const auto cone = qtensor::lightcone_circuit(w.qnas_ansatz, {e.u, e.v});
+    w.networks.push_back(
+        qtensor::expectation_zz_network(cone, w.theta, e.u, e.v));
   }
-  state.counters["width"] = static_cast<double>(
-      sim.zz_width(w.ansatz, w.theta, w.u, w.v));
-}
-
-void BM_GreedyDegree(benchmark::State& state) {
-  run_case(state, qtensor::OrderingAlgo::GreedyDegree);
-}
-void BM_GreedyFill(benchmark::State& state) {
-  run_case(state, qtensor::OrderingAlgo::GreedyFill);
-}
-void BM_Random(benchmark::State& state) {
-  run_case(state, qtensor::OrderingAlgo::Random);
-}
-void BM_RandomRestart(benchmark::State& state) {
-  run_case(state, qtensor::OrderingAlgo::RandomRestart);
-}
-
-void BM_CompiledProgramBuild(benchmark::State& state) {
-  const auto p = static_cast<std::size_t>(state.range(0));
-  const Workload w = make_workload(p);
-  for (auto _ : state) {
-    const qtensor::ContractionProgram program(w.ansatz, w.u, w.v);
-    benchmark::DoNotOptimize(&program);
-  }
-}
-
-void BM_CompiledReplay(benchmark::State& state) {
-  const auto p = static_cast<std::size_t>(state.range(0));
-  const Workload w = make_workload(p);
-  const qtensor::ContractionProgram program(w.ansatz, w.u, w.v);
-  const qtensor::SerialCpuBackend backend;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(program.expectation_zz(w.theta, backend));
-  }
-  state.counters["width"] = static_cast<double>(program.stats().width);
+  return w;
 }
 
 }  // namespace
 
-BENCHMARK(BM_GreedyDegree)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_GreedyFill)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
-// Plain random ordering reaches width ~26 on the p=2 network (a ~1 GiB
-// intermediate tensor), so the random variants run at p=1 only — the width
-// counters already tell the story.
-BENCHMARK(BM_Random)->Arg(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_RandomRestart)->Arg(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_CompiledProgramBuild)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_CompiledReplay)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 20));
+  const auto degree = static_cast<std::size_t>(cli.get_int("degree", 3));
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 2));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 3));
+  const auto workers = static_cast<std::size_t>(cli.get_int("workers", 8));
+  const auto restarts = static_cast<std::size_t>(cli.get_int("restarts", 8));
+  const std::string out = cli.get("out", "BENCH_qtensor.json");
+  const std::string cache_file =
+      cli.get("plan-cache-file", "bench_plan_cache.json");
 
-BENCHMARK_MAIN();
+  const Workload w = make_workload(n, degree, p);
+  std::printf("planning ablation: %zu-regular n=%zu p=%zu — %zu edge "
+              "networks, %zu restarts\n\n",
+              degree, n, p, w.networks.size(), restarts);
+
+  // -- leg 1: serial bake-off vs parallel planner ---------------------------
+  qtensor::PlannerOptions opt;
+  opt.random_restarts = restarts;
+  opt.workers = workers;
+
+  double serial_ms = 1e300, parallel_ms = 1e300;
+  std::size_t serial_width = 0, parallel_width = 0;
+  double serial_flops = 0.0, parallel_flops = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    Timer ts;
+    serial_width = 0;
+    serial_flops = 0.0;
+    for (const auto& net : w.networks) {
+      const auto plan = serial_bakeoff(net, restarts, opt.seed);
+      serial_width = std::max(serial_width, plan.cost.width);
+      serial_flops += plan.cost.flops;
+    }
+    serial_ms = std::min(serial_ms, ts.millis());
+
+    Timer tp;
+    parallel_width = 0;
+    parallel_flops = 0.0;
+    for (const auto& net : w.networks) {
+      const auto plan = qtensor::plan_contraction(net, opt);
+      parallel_width = std::max(parallel_width, plan.cost.width);
+      parallel_flops += plan.cost.flops;
+    }
+    parallel_ms = std::min(parallel_ms, tp.millis());
+  }
+  const double speedup = serial_ms / parallel_ms;
+  std::printf("serial bake-off    %9.3f ms  (max width %zu)\n", serial_ms,
+              serial_width);
+  std::printf("parallel planner   %9.3f ms  (max width %zu, %zu workers)\n",
+              parallel_ms, parallel_width, workers);
+  std::printf("speedup            %9.2fx\n\n", speedup);
+
+  // -- leg 2: shape-deduplicated compilation --------------------------------
+  // On RX-mixer ansatze: a qubit-local mixer means symmetric edges share
+  // lightcone shapes, so per-edge programs deduplicate to the count of
+  // distinct local neighbourhoods — down to ONE on the fully symmetric ring.
+  // (The QNAS ring mixer above makes every cone distinct — dedup honestly
+  // reports |E| shapes there, which is why the planner still matters.)
+  qaoa::EnergyOptions tn;
+  tn.engine = qaoa::EngineKind::TensorNetwork;
+  struct DedupRow {
+    const char* label;
+    graph::Graph g;
+    std::size_t depth;
+  };
+  std::vector<DedupRow> dedup_rows;
+  dedup_rows.push_back({"regular p=1", w.g, 1});
+  dedup_rows.push_back({"regular p=2", w.g, p});
+  dedup_rows.push_back({"ring p=2", graph::ring(n), p});
+  json::Value dedup = json::Value::array();
+  qaoa::EnergyPlanInfo info;  // last row reported in the summary line
+  for (const DedupRow& row : dedup_rows) {
+    const auto ansatz =
+        qaoa::build_qaoa_circuit(row.g, row.depth, qaoa::MixerSpec::baseline());
+    const qaoa::EnergyEvaluator ev(row.g, tn);
+    info = ev.make_plan(ansatz)->info();
+    std::printf("shape dedup        %-12s %3zu terms -> %3zu programs "
+                "(%zu distinct shapes)\n",
+                row.label, info.terms, info.compiled_programs,
+                info.distinct_shapes);
+    json::Value jr = json::Value::object();
+    jr.set("workload", std::string(row.label));
+    jr.set("terms", info.terms);
+    jr.set("compiled_programs", info.compiled_programs);
+    jr.set("distinct_shapes", info.distinct_shapes);
+    dedup.push_back(std::move(jr));
+  }
+  std::printf("\n");
+
+  // -- leg 3: plan-cache warm start -----------------------------------------
+  const char* kVersion = "bench-plan";
+  auto cold_cache = std::make_shared<qtensor::PlanCache>();
+  qaoa::EnergyOptions tn_cached = tn;
+  tn_cached.qtensor.plan_cache = cold_cache;
+  qtensor::reset_planner_invocation_count();
+  Timer tc;
+  (void)qaoa::EnergyEvaluator(w.g, tn_cached).make_plan(w.qnas_ansatz);
+  const double cold_ms = tc.millis();
+  const std::size_t cold_invocations = qtensor::planner_invocation_count();
+
+  search::save_plan_cache(cold_cache->snapshot(), cache_file, kVersion);
+  auto warm_cache = std::make_shared<qtensor::PlanCache>();
+  warm_cache->merge(search::load_plan_cache(cache_file, kVersion));
+  tn_cached.qtensor.plan_cache = warm_cache;
+  qtensor::reset_planner_invocation_count();
+  Timer tw;
+  (void)qaoa::EnergyEvaluator(w.g, tn_cached).make_plan(w.qnas_ansatz);
+  const double warm_ms = tw.millis();
+  const std::size_t warm_invocations = qtensor::planner_invocation_count();
+  std::remove(cache_file.c_str());
+
+  std::printf("cold compile       %9.3f ms  (%zu planner invocations)\n",
+              cold_ms, cold_invocations);
+  std::printf("warm compile       %9.3f ms  (%zu planner invocations — must "
+              "be 0)\n",
+              warm_ms, warm_invocations);
+  if (warm_invocations != 0)
+    std::printf("ERROR: warm compile re-planned!\n");
+
+  json::Value section = json::Value::object();
+  section.set("n", n);
+  section.set("degree", degree);
+  section.set("p", p);
+  section.set("edges", w.g.num_edges());
+  section.set("restarts", restarts);
+  section.set("workers", workers);
+  section.set("serial_bakeoff_ms", serial_ms);
+  section.set("parallel_ms", parallel_ms);
+  section.set("parallel_speedup", speedup);
+  section.set("serial_width", serial_width);
+  section.set("parallel_width", parallel_width);
+  section.set("serial_flops", serial_flops);
+  section.set("parallel_flops", parallel_flops);
+  section.set("dedup", std::move(dedup));
+  section.set("cold_compile_ms", cold_ms);
+  section.set("cold_planner_invocations", cold_invocations);
+  section.set("warm_compile_ms", warm_ms);
+  section.set("warm_planner_invocations", warm_invocations);
+  bench::update_bench_json(out, "planning", std::move(section));
+  return warm_invocations == 0 ? 0 : 1;
+}

@@ -5,16 +5,21 @@
 //   ./mixer_search [--n 10] [--degree 4] [--pmax 2] [--kmax 2]
 //                  [--workers 0(=all cores)] [--evals 200] [--seed 3]
 //                  [--engine sv|tn|auto] [--small] [--cache PATH]
+//                  [--plan-cache PATH]
 //
 // --small shrinks everything (CI smoke-test profile: 6 qubits, p=1, k<=1,
 // 30 evaluations). --cache persists the service's candidate-result cache to
 // PATH: re-running the same search warm-starts from disk instead of
-// retraining (the second run reports its cache hits).
+// retraining (the second run reports its cache hits). --plan-cache persists
+// the tensor-network contraction-plan cache: with --engine tn a second run
+// compiles every candidate's networks from stored elimination orders and
+// never invokes the planner.
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "graph/generators.hpp"
 #include "qaoa/mixer.hpp"
+#include "qtensor/planner.hpp"
 #include "search/engine.hpp"
 
 using namespace qarch;
@@ -43,6 +48,7 @@ int main(int argc, char** argv) {
   cfg.session.training_evals =
       static_cast<std::size_t>(cli.get_int("evals", small ? 30 : 200));
   cfg.session.cache_path = cli.get("cache", "");
+  cfg.session.plan_cache_path = cli.get("plan-cache", "");
 
   // One service; the engine is a pure client. A second engine (or thread)
   // could share `service` and its caches — fairly, since every run registers
@@ -51,8 +57,15 @@ int main(int argc, char** argv) {
   if (!cfg.session.cache_path.empty())
     std::printf("warm start: loaded %zu cached results from %s\n",
                 service.stats().cache_loaded, cfg.session.cache_path.c_str());
+  if (!cfg.session.plan_cache_path.empty())
+    std::printf("plan warm start: loaded %zu contraction plans from %s\n",
+                service.stats().plans_loaded,
+                cfg.session.plan_cache_path.c_str());
   const search::SearchEngine engine(cfg);
   const search::SearchReport report = engine.run_exhaustive(service, g, k_max);
+  if (!cfg.session.plan_cache_path.empty())
+    std::printf("planner invocations: %zu\n",
+                qtensor::planner_invocation_count());
 
   std::printf("evaluated %zu candidates in %.2fs on %zu workers "
               "(%zu cache hits / %zu misses)\n\n",

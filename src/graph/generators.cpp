@@ -24,6 +24,13 @@ Graph erdos_renyi_connected(std::size_t n, double p, Rng& rng,
   throw Error("erdos_renyi_connected: no connected sample found");
 }
 
+Graph ring(std::size_t n) {
+  QARCH_REQUIRE(n >= 3, "ring needs at least 3 vertices");
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
 Graph random_regular(std::size_t n, std::size_t d, Rng& rng) {
   QARCH_REQUIRE(d < n, "degree must be < n");
   QARCH_REQUIRE((n * d) % 2 == 0, "n*d must be even");

@@ -25,6 +25,11 @@ Graph erdos_renyi_connected(std::size_t n, double p, Rng& rng,
 /// (pairing) model with restarts. Requires n*d even and d < n.
 Graph random_regular(std::size_t n, std::size_t d, Rng& rng);
 
+/// The cycle graph C_n (deterministic, 2-regular, n >= 3): the maximally
+/// symmetric regular instance — every edge sees the same neighbourhood, so
+/// all <Z_u Z_v> lightcone shapes coincide (the shape-dedup showcase).
+Graph ring(std::size_t n);
+
 /// The paper's profiling dataset: `count` Erdős–Rényi graphs on `n` nodes
 /// with "varying degrees of connectivity" — edge probability is drawn
 /// uniformly from [p_lo, p_hi] per graph.

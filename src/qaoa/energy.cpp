@@ -5,6 +5,7 @@
 #include <list>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 
@@ -12,6 +13,7 @@
 #include "parallel/parallel_for.hpp"
 #include "qtensor/ordering.hpp"
 #include "qtensor/program.hpp"
+#include "qtensor/shape.hpp"
 #include "sim/state_utils.hpp"
 
 namespace qarch::qaoa {
@@ -112,11 +114,54 @@ class TensorNetworkPlan final : public EnergyPlan {
         backend_(qtensor::make_backend(options.qtensor.backend)) {
     const auto& terms = ham_.terms();
     if (options_.qtensor.compile_programs) {
-      const qtensor::ProgramOptions po = options_.qtensor.program_options();
-      programs_.reserve(terms.size());
-      for (const auto& t : terms)
-        programs_.push_back(std::make_unique<qtensor::ContractionProgram>(
-            ansatz_, t.u, t.v, po));
+      // Shape deduplication: group terms whose lightcones are isomorphic
+      // and compile ONE program per group. The canonical shape key buckets
+      // candidates cheaply; an exact isomorphism check against the group's
+      // representative guards against key collisions, so members of one
+      // group have literally equal <Z_u Z_v> for every theta.
+      term_group_.resize(terms.size());
+      std::unordered_map<std::string, std::vector<std::size_t>> by_key;
+      for (std::size_t k = 0; k < terms.size(); ++k) {
+        if (!options_.qtensor.dedup_shapes) {
+          groups_.push_back({k, ""});
+          term_group_[k] = groups_.size() - 1;
+          continue;
+        }
+        const auto shape =
+            qtensor::lightcone_shape(ansatz_, terms[k].u, terms[k].v);
+        std::size_t gid = groups_.size();
+        for (std::size_t cand : by_key[shape.key]) {
+          const auto& rep = terms[groups_[cand].rep_term];
+          if (qtensor::lightcone_equivalent(ansatz_, rep.u, rep.v, terms[k].u,
+                                            terms[k].v)) {
+            gid = cand;
+            break;
+          }
+        }
+        if (gid == groups_.size()) {
+          groups_.push_back({k, shape.key});
+          by_key[shape.key].push_back(gid);
+        }
+        term_group_[k] = gid;
+      }
+
+      // Compile the group representatives — speculatively parallel across
+      // groups; with a single group the planner itself fans its heuristic
+      // competitors across the inner workers instead.
+      qtensor::ProgramOptions po = options_.qtensor.program_options();
+      if (groups_.size() == 1 && po.planner.workers <= 1)
+        po.planner.workers = std::max<std::size_t>(1, options_.inner_workers);
+      programs_.resize(groups_.size());
+      parallel::parallel_for(
+          0, groups_.size(),
+          [&](std::size_t g) {
+            qtensor::ProgramOptions local = po;
+            local.shape_key = groups_[g].key;
+            const auto& rep = terms[groups_[g].rep_term];
+            programs_[g] = std::make_unique<qtensor::ContractionProgram>(
+                ansatz_, rep.u, rep.v, local);
+          },
+          options_.inner_workers);
       return;
     }
     // Probe parameters: any values produce the same network structure.
@@ -137,13 +182,23 @@ class TensorNetworkPlan final : public EnergyPlan {
       std::span<const double> theta) const override {
     const auto& terms = ham_.terms();
     std::vector<double> zz(terms.size());
+    if (!programs_.empty()) {
+      // One replay per GROUP, broadcast to every member edge — symmetric
+      // edges share both the compilation and the runtime contraction.
+      std::vector<double> group_value(programs_.size());
+      parallel::parallel_for(
+          0, programs_.size(),
+          [&](std::size_t g) {
+            group_value[g] = programs_[g]->expectation_zz(theta, *backend_);
+          },
+          options_.inner_workers);
+      for (std::size_t k = 0; k < terms.size(); ++k)
+        zz[k] = group_value[term_group_[k]];
+      return zz;
+    }
     parallel::parallel_for(
         0, terms.size(),
         [&](std::size_t k) {
-          if (!programs_.empty()) {
-            zz[k] = programs_[k]->expectation_zz(theta, *backend_);
-            return;
-          }
           const auto net = qtensor::expectation_zz_network(
               ansatz_, theta, terms[k].u, terms[k].v, options_.qtensor.network);
           const auto r = qtensor::contract(net, orders_[k], *backend_);
@@ -153,6 +208,16 @@ class TensorNetworkPlan final : public EnergyPlan {
         },
         options_.inner_workers);
     return zz;
+  }
+
+  EnergyPlanInfo info() const override {
+    EnergyPlanInfo i;
+    i.terms = ham_.terms().size();
+    i.compiled_programs = programs_.size();
+    std::set<std::string> keys;
+    for (const ShapeGroup& g : groups_) keys.insert(g.key);
+    i.distinct_shapes = keys.size();
+    return i;
   }
 
  private:
@@ -176,12 +241,20 @@ class TensorNetworkPlan final : public EnergyPlan {
     throw InternalError("unhandled ordering algorithm");
   }
 
+  /// One lightcone-shape equivalence class of Hamiltonian terms.
+  struct ShapeGroup {
+    std::size_t rep_term = 0;  ///< index of the compiled representative
+    std::string key;           ///< canonical shape key ("" when dedup is off)
+  };
+
   circuit::Circuit ansatz_;
   const MaxCutHamiltonian& ham_;
   EnergyOptions options_;
   std::shared_ptr<const qtensor::Backend> backend_;
-  /// Compiled mode: one program per Hamiltonian term, index-aligned.
+  /// Compiled mode: one program per shape group, aligned with groups_.
   std::vector<std::unique_ptr<qtensor::ContractionProgram>> programs_;
+  std::vector<ShapeGroup> groups_;
+  std::vector<std::size_t> term_group_;  ///< term index -> group index
   /// Legacy mode: cached per-edge elimination orders.
   std::vector<std::vector<qtensor::VarId>> orders_;
 };

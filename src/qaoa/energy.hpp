@@ -63,13 +63,24 @@ struct EnergyOptions {
   std::size_t plan_cache_capacity = 16;
 };
 
+/// Compile-time facts about one plan (probed by tests and benches).
+/// `compiled_programs`/`distinct_shapes` are tensor-network-plan notions;
+/// both stay 0 for statevector plans and the legacy uncompiled path.
+struct EnergyPlanInfo {
+  std::size_t terms = 0;              ///< Hamiltonian terms served
+  std::size_t compiled_programs = 0;  ///< ContractionPrograms actually built
+  std::size_t distinct_shapes = 0;    ///< distinct lightcone shape keys
+};
+
 /// A reusable evaluation plan bound to one ansatz STRUCTURE: repeated
 /// energy(theta) calls share precomputed state. The tensor-network plan
-/// holds one compiled qtensor::ContractionProgram per edge (network,
-/// contraction order, slicing, and scratch layout all depend only on the
-/// network structure, not on parameter values), so a 200-step training run
-/// pays for building and ordering once — the same contraction-tree reuse
-/// QTensor performs, plus buffer reuse across steps.
+/// holds one compiled qtensor::ContractionProgram per lightcone-shape
+/// EQUIVALENCE CLASS of edges (network, contraction order, slicing, and
+/// scratch layout all depend only on the network structure, not on
+/// parameter values; symmetric edges have provably equal <Z_u Z_v>), so a
+/// 200-step training run pays for building and ordering once per distinct
+/// shape — the same contraction-tree reuse QTensor performs, plus buffer
+/// reuse across steps and edges.
 class EnergyPlan {
  public:
   virtual ~EnergyPlan() = default;
@@ -80,6 +91,9 @@ class EnergyPlan {
   /// Per-term <Z_u Z_v>, aligned with the evaluator's hamiltonian().terms().
   [[nodiscard]] virtual std::vector<double> zz_expectations(
       std::span<const double> theta) const = 0;
+
+  /// Compile-time facts (shape dedup accounting); zeros by default.
+  [[nodiscard]] virtual EnergyPlanInfo info() const { return {}; }
 };
 
 /// Evaluator of <C> over a fixed graph.

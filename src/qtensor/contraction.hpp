@@ -57,6 +57,15 @@ struct QTensorOptions {
   /// planned width exceeds this (0 disables; see ProgramOptions).
   std::size_t slice_above_width = 30;
   std::size_t max_slice_vars = 4;
+  /// Group Hamiltonian terms by canonical lightcone shape and compile ONE
+  /// program per equivalence class (exact isomorphism verified) instead of
+  /// one per edge; the shared value is broadcast to every member edge.
+  bool dedup_shapes = true;
+  /// Shared store of planned orders, consulted before every program compile
+  /// and fed by every live plan. Injected by search::EvalService (which
+  /// also persists it when SessionConfig::plan_cache_path is set); null
+  /// disables plan reuse across programs.
+  std::shared_ptr<PlanCache> plan_cache;
 
   /// The ProgramOptions a compiled path derives from these fields — the ONE
   /// reconciliation point, so new program knobs cannot silently diverge
@@ -67,6 +76,7 @@ struct QTensorOptions {
     po.planner = planner;
     po.slice_above_width = slice_above_width;
     po.max_slice_vars = max_slice_vars;
+    po.plan_cache = plan_cache;
     return po;
   }
 };

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
 #include <set>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -78,8 +80,8 @@ bool LineGraph::contains(VarId v) const {
 namespace {
 
 template <typename Score>
-std::vector<VarId> greedy_order(const TensorNetwork& network, Score score) {
-  LineGraph g(network);
+std::vector<VarId> greedy_order(const LineGraph& base, Score score) {
+  LineGraph g = base;  // each run mutates a private copy
   std::vector<VarId> order;
   std::vector<VarId> vars = g.active_vars();
   order.reserve(vars.size());
@@ -104,21 +106,74 @@ std::vector<VarId> greedy_order(const TensorNetwork& network, Score score) {
   return order;
 }
 
+// Combined contraction priority: degree dominates (it bounds the rank of the
+// bucket product this elimination materializes), fill breaks ties (fewer
+// fill edges keeps the residual graph sparse for later picks). Packed into
+// one word so heap entries stay POD.
+std::uint64_t priority_score(const LineGraph& g, VarId v) {
+  const std::uint64_t deg = g.degree(v);
+  const std::uint64_t fill =
+      std::min<std::size_t>(g.fill_cost(v), (1u << 24) - 1);
+  return (deg << 24) | fill;
+}
+
 }  // namespace
 
 std::vector<VarId> order_greedy_degree(const TensorNetwork& network) {
-  return greedy_order(network,
+  return order_greedy_degree(LineGraph(network));
+}
+
+std::vector<VarId> order_greedy_degree(const LineGraph& base) {
+  return greedy_order(base,
                       [](const LineGraph& g, VarId v) { return g.degree(v); });
 }
 
 std::vector<VarId> order_greedy_fill(const TensorNetwork& network) {
+  return order_greedy_fill(LineGraph(network));
+}
+
+std::vector<VarId> order_greedy_fill(const LineGraph& base) {
   return greedy_order(
-      network, [](const LineGraph& g, VarId v) { return g.fill_cost(v); });
+      base, [](const LineGraph& g, VarId v) { return g.fill_cost(v); });
+}
+
+std::vector<VarId> order_priority(const TensorNetwork& network) {
+  return order_priority(LineGraph(network));
+}
+
+std::vector<VarId> order_priority(const LineGraph& base) {
+  LineGraph g = base;  // private working copy: per-call heap AND scratch
+  // Min-heap of (score, var). Entries are never updated in place; they go
+  // stale as neighbouring eliminations change degrees and fills.
+  using Entry = std::pair<std::uint64_t, VarId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<VarId> order;
+  for (VarId v : g.active_vars()) heap.push({priority_score(g, v), v});
+  order.reserve(heap.size());
+  while (!heap.empty()) {
+    const auto [queued, v] = heap.top();
+    heap.pop();
+    if (!g.contains(v)) continue;  // duplicate of an eliminated node
+    // Lazy re-evaluation: rescore on pop. If the node got WORSE than the
+    // next queue head since it was pushed, re-insert with the fresh score
+    // and try the head instead — the OSRM "is independent?" retry.
+    const std::uint64_t fresh = priority_score(g, v);
+    if (fresh > queued && !heap.empty() && fresh > heap.top().first) {
+      heap.push({fresh, v});
+      continue;
+    }
+    order.push_back(v);
+    g.eliminate(v);
+  }
+  return order;
 }
 
 std::vector<VarId> order_random(const TensorNetwork& network, Rng& rng) {
-  LineGraph g(network);
-  std::vector<VarId> vars = g.active_vars();
+  return order_random(LineGraph(network), rng);
+}
+
+std::vector<VarId> order_random(const LineGraph& base, Rng& rng) {
+  std::vector<VarId> vars = base.active_vars();
   rng.shuffle(vars);
   return vars;
 }

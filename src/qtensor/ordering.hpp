@@ -3,15 +3,23 @@
 // QTensor minimizes the contraction width of the elimination sequence using
 // heuristic ordering algorithms over the network's *line graph* — the
 // interaction graph whose nodes are wire variables, with an edge between two
-// variables that co-occur in some tensor. We provide the classic trio:
+// variables that co-occur in some tensor. We provide the classic trio plus a
+// priority-queue contractor:
 //
 //   * greedy min-degree — eliminate the variable with fewest neighbours
 //   * greedy min-fill   — eliminate the variable adding fewest fill edges
+//   * priority          — lazy priority-queue contraction (see order_priority)
 //   * random            — uniformly random order (ablation baseline)
 //
 // Width of an order = max rank of any intermediate bucket-product tensor;
 // contraction cost is exponential in it, so the optimizers matter (the
 // `abl_ordering` bench quantifies this).
+//
+// Every optimizer has two entry points: the original TensorNetwork overload
+// (builds a fresh LineGraph) and a `const LineGraph&` overload that COPIES a
+// caller-provided base graph. The planner builds the line graph once and
+// hands the same base to every competing heuristic, so competing N
+// heuristics no longer pays N network traversals.
 #pragma once
 
 #include <cstddef>
@@ -56,12 +64,26 @@ class LineGraph {
 
 /// Elimination order minimizing degree greedily.
 std::vector<VarId> order_greedy_degree(const TensorNetwork& network);
+std::vector<VarId> order_greedy_degree(const LineGraph& base);
 
 /// Elimination order minimizing fill-in greedily.
 std::vector<VarId> order_greedy_fill(const TensorNetwork& network);
+std::vector<VarId> order_greedy_fill(const LineGraph& base);
+
+/// Priority-queue contraction order (the OSRM GraphContractor pattern): a
+/// binary min-heap keyed by a combined (degree, fill) score with LAZY
+/// re-evaluation — eliminating a variable does not touch its neighbours'
+/// queued entries; instead each popped entry is re-scored, and a node whose
+/// fresh score fell behind the next queue head is re-inserted rather than
+/// contracted. This does the work of greedy min-fill at a fraction of the
+/// rescoring cost on large networks, and each call owns its heap and scratch
+/// so competitors can run on parallel threads without sharing state.
+std::vector<VarId> order_priority(const TensorNetwork& network);
+std::vector<VarId> order_priority(const LineGraph& base);
 
 /// Uniformly random elimination order.
 std::vector<VarId> order_random(const TensorNetwork& network, Rng& rng);
+std::vector<VarId> order_random(const LineGraph& base, Rng& rng);
 
 /// Best of `restarts` random orders by width (QTensor's random-restart mode).
 std::vector<VarId> order_random_restart(const TensorNetwork& network,

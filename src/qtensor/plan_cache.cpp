@@ -1,0 +1,53 @@
+#include "qtensor/plan_cache.hpp"
+
+#include <algorithm>
+
+namespace qarch::qtensor {
+
+std::string PlanCache::map_key(const std::string& shape_key,
+                               std::uint64_t structure_hash) {
+  return shape_key + '\x1f' + std::to_string(structure_hash);
+}
+
+std::optional<CachedPlan> PlanCache::find(const std::string& shape_key,
+                                          std::uint64_t structure_hash) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = plans_.find(map_key(shape_key, structure_hash));
+  if (it == plans_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PlanCache::insert(CachedPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_[map_key(plan.shape_key, plan.structure_hash)] = std::move(plan);
+}
+
+void PlanCache::merge(std::vector<CachedPlan> plans) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (CachedPlan& p : plans) {
+    const std::string key = map_key(p.shape_key, p.structure_hash);
+    plans_.emplace(key, std::move(p));  // keep the in-memory entry on clash
+  }
+}
+
+std::vector<CachedPlan> PlanCache::snapshot() const {
+  std::vector<CachedPlan> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(plans_.size());
+    for (const auto& [key, plan] : plans_) out.push_back(plan);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CachedPlan& a, const CachedPlan& b) {
+              if (a.shape_key != b.shape_key) return a.shape_key < b.shape_key;
+              return a.structure_hash < b.structure_hash;
+            });
+  return out;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+}  // namespace qarch::qtensor

@@ -1,79 +1,184 @@
 #include "qtensor/planner.hpp"
 
+#include <atomic>
+#include <bit>
 #include <cmath>
-#include <set>
+#include <functional>
 
 #include "common/error.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace qarch::qtensor {
 
-PlanCost estimate_cost(const TensorNetwork& network,
-                       const std::vector<VarId>& order) {
+namespace {
+
+std::atomic<std::size_t> g_planner_invocations{0};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t planner_invocation_count() {
+  return g_planner_invocations.load(std::memory_order_relaxed);
+}
+
+void reset_planner_invocation_count() {
+  g_planner_invocations.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t network_structure_hash(const TensorNetwork& network) {
+  // FNV-1a over the label structure. Tensor order matters (it is part of
+  // how an order maps onto buckets deterministically), label VALUES matter,
+  // tensor data does not.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(network.num_vars);
+  mix(network.tensors.size());
+  for (const Tensor& t : network.tensors) {
+    mix(t.labels().size());
+    for (VarId v : t.labels()) mix(v);
+  }
+  return h;
+}
+
+CostModel::CostModel(const TensorNetwork& network)
+    : num_vars_(network.num_vars),
+      words_((network.num_vars + 63) / 64),
+      num_tensors_(network.tensors.size()) {
+  bits_.assign(num_tensors_ * words_, 0);
+  for (std::size_t t = 0; t < num_tensors_; ++t) {
+    std::uint64_t* row = bits_.data() + t * words_;
+    for (VarId v : network.tensors[t].labels()) {
+      QARCH_REQUIRE(v < num_vars_, "variable id out of range");
+      row[v / 64] |= std::uint64_t{1} << (v % 64);
+    }
+  }
+}
+
+PlanCost CostModel::cost(const std::vector<VarId>& order) const {
   // Mirror contract()'s bucket elimination symbolically: per bucket, the
   // product over the union label set costs 2^|union| * (#factors) madds and
-  // materializes a 2^|union| intermediate.
-  std::vector<std::set<VarId>> tensors;
-  tensors.reserve(network.tensors.size());
-  for (const Tensor& t : network.tensors)
-    tensors.emplace_back(t.labels().begin(), t.labels().end());
+  // materializes a 2^|union| intermediate. Label sets live in per-call
+  // scratch bitsets; the shared model is read-only, so many competitors can
+  // score orders concurrently.
+  std::vector<std::uint64_t> live = bits_;           // mutable tensor rows
+  std::vector<std::size_t> alive(num_tensors_);
+  for (std::size_t t = 0; t < num_tensors_; ++t) alive[t] = t;
+  std::vector<std::uint64_t> merged(words_);
+  std::size_t extra_rows = 0;  // intermediates appended past the originals
 
   PlanCost cost;
   for (VarId v : order) {
-    std::set<VarId> merged;
+    const std::size_t word = v / 64;
+    const std::uint64_t bit = std::uint64_t{1} << (v % 64);
+    std::fill(merged.begin(), merged.end(), 0);
     std::size_t factors = 0;
-    std::vector<std::set<VarId>> rest;
-    rest.reserve(tensors.size());
-    for (auto& s : tensors) {
-      if (s.count(v) > 0) {
-        merged.insert(s.begin(), s.end());
+    std::size_t w = 0;
+    while (w < alive.size()) {
+      const std::uint64_t* row = live.data() + alive[w] * words_;
+      if (row[word] & bit) {
+        for (std::size_t k = 0; k < words_; ++k) merged[k] |= row[k];
         ++factors;
+        alive[w] = alive.back();  // swap-pop: bucket absorbs this tensor
+        alive.pop_back();
       } else {
-        rest.push_back(std::move(s));
+        ++w;
       }
     }
     if (factors == 0) continue;
-    const double entries = std::pow(2.0, static_cast<double>(merged.size()));
+    std::size_t rank = 0;
+    for (std::size_t k = 0; k < words_; ++k) rank += std::popcount(merged[k]);
+    const double entries = std::pow(2.0, static_cast<double>(rank));
     cost.flops += entries * static_cast<double>(factors);
     cost.peak_entries = std::max(cost.peak_entries, entries);
-    cost.width = std::max(cost.width, merged.size());
-    merged.erase(v);
-    rest.push_back(std::move(merged));
-    tensors = std::move(rest);
+    cost.width = std::max(cost.width, rank);
+    merged[word] &= ~bit;
+    // Append the summed intermediate as a fresh row.
+    live.insert(live.end(), merged.begin(), merged.end());
+    alive.push_back(num_tensors_ + extra_rows);
+    ++extra_rows;
   }
   return cost;
+}
+
+PlanCost estimate_cost(const TensorNetwork& network,
+                       const std::vector<VarId>& order) {
+  return CostModel(network).cost(order);
 }
 
 ContractionPlan plan_contraction(const TensorNetwork& network,
                                  const PlannerOptions& options) {
   QARCH_REQUIRE(options.try_greedy_degree || options.try_greedy_fill ||
-                    options.random_restarts > 0,
+                    options.try_priority || options.random_restarts > 0,
                 "planner has no heuristics enabled");
+  g_planner_invocations.fetch_add(1, std::memory_order_relaxed);
 
-  ContractionPlan best;
-  bool have_best = false;
-  auto consider = [&](std::vector<VarId> order, const std::string& name) {
-    PlanCost cost = estimate_cost(network, order);
-    const bool better =
-        !have_best || cost.flops < best.cost.flops ||
-        (cost.flops == best.cost.flops && cost.width < best.cost.width);
-    if (better) {
-      best.order = std::move(order);
-      best.cost = cost;
-      best.heuristic = name;
-      have_best = true;
-    }
+  // Shared read-only setup, built once: the line graph every heuristic
+  // copies from, and the cost model every competitor scores against.
+  const LineGraph base(network);
+  const CostModel model(network);
+
+  const std::uint64_t effective_seed =
+      options.seed_from_structure
+          ? options.seed ^ splitmix64(network_structure_hash(network))
+          : options.seed;
+
+  // One entry per speculative competitor. Each owns its heuristic run AND
+  // the scoring of its order, so the fan-out has no sequential tail beyond
+  // the final argmin.
+  struct Competitor {
+    std::string name;
+    std::function<std::vector<VarId>()> run;
   };
-
+  std::vector<Competitor> competitors;
   if (options.try_greedy_degree)
-    consider(order_greedy_degree(network), "greedy-degree");
+    competitors.push_back(
+        {"greedy-degree", [&] { return order_greedy_degree(base); }});
   if (options.try_greedy_fill)
-    consider(order_greedy_fill(network), "greedy-fill");
-  if (options.random_restarts > 0) {
-    Rng rng(options.seed);
-    consider(order_random_restart(network, options.random_restarts, rng),
-             "random-restart");
+    competitors.push_back(
+        {"greedy-fill", [&] { return order_greedy_fill(base); }});
+  if (options.try_priority)
+    competitors.push_back({"priority", [&] { return order_priority(base); }});
+  for (std::size_t r = 0; r < options.random_restarts; ++r) {
+    // Every restart is its own competitor with a private, index-derived
+    // stream: the same orders appear no matter which thread runs which
+    // restart or in what sequence.
+    competitors.push_back({"random-restart", [&base, effective_seed, r] {
+                             Rng rng(splitmix64(effective_seed + r + 1));
+                             return order_random(base, rng);
+                           }});
   }
-  return best;
+
+  std::vector<ContractionPlan> plans(competitors.size());
+  parallel::parallel_for(
+      0, competitors.size(),
+      [&](std::size_t i) {
+        ContractionPlan p;
+        p.order = competitors[i].run();
+        p.cost = model.cost(p.order);
+        p.heuristic = competitors[i].name;
+        plans[i] = std::move(p);
+      },
+      options.workers);
+
+  // Deterministic winner: (flops, width, competitor index). Independent of
+  // execution order, so any worker count yields the identical plan.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    const PlanCost& c = plans[i].cost;
+    const PlanCost& b = plans[best].cost;
+    if (c.flops < b.flops || (c.flops == b.flops && c.width < b.width))
+      best = i;
+  }
+  return std::move(plans[best]);
 }
 
 }  // namespace qarch::qtensor

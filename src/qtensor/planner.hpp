@@ -4,6 +4,13 @@
 // planner reproduces that: it scores candidate orders with a FLOP/memory
 // cost model (exact for bucket elimination over dimension-2 variables) and
 // returns the best, optionally considering sliced execution.
+//
+// The bake-off is parallel and speculative: the shared line graph and cost
+// model are built ONCE per network, every enabled heuristic (greedy-degree,
+// greedy-fill, the lazy priority contractor, and each random restart) runs
+// as an independent competitor — in parallel when `workers > 1` — and the
+// winner is chosen by a deterministic (flops, width, competitor index)
+// comparison, so the selected plan is identical at every worker count.
 #pragma once
 
 #include <cstddef>
@@ -23,7 +30,31 @@ struct PlanCost {
   double peak_entries = 0.0;    ///< largest single intermediate tensor
 };
 
+/// Shared symbolic cost model for one network: tensor label sets as packed
+/// bitsets, built once and scored against many candidate orders. Replaces
+/// the old per-call set-of-sets replay — competing N heuristics used to pay
+/// N network traversals plus allocation-heavy std::set unions; now they
+/// share one immutable CostModel and each `cost()` call is word-parallel
+/// bit arithmetic over per-call scratch.
+class CostModel {
+ public:
+  explicit CostModel(const TensorNetwork& network);
+
+  /// Exact symbolic cost of bucket elimination along `order`.
+  [[nodiscard]] PlanCost cost(const std::vector<VarId>& order) const;
+
+  [[nodiscard]] std::size_t num_vars() const { return num_vars_; }
+
+ private:
+  std::size_t num_vars_ = 0;
+  std::size_t words_ = 0;                  ///< 64-bit words per label bitset
+  std::vector<std::uint64_t> bits_;        ///< tensors * words_, row-major
+  std::size_t num_tensors_ = 0;
+};
+
 /// Exact symbolic cost of bucket elimination along `order`.
+/// Convenience wrapper: builds a throwaway CostModel. Callers scoring many
+/// orders against one network should hold a CostModel instead.
 PlanCost estimate_cost(const TensorNetwork& network,
                        const std::vector<VarId>& order);
 
@@ -34,17 +65,37 @@ struct ContractionPlan {
   std::string heuristic;
 };
 
-/// Planner configuration: which heuristics compete.
+/// Planner configuration: which heuristics compete and how.
 struct PlannerOptions {
   bool try_greedy_degree = true;
   bool try_greedy_fill = true;
+  bool try_priority = true;         ///< lazy priority-queue contractor
   std::size_t random_restarts = 8;  ///< 0 disables the random competitor
   std::uint64_t seed = 17;
+  /// Mix the seed with a structural hash of the network, so random restarts
+  /// are reproducible per lightcone shape rather than correlated across
+  /// every edge of a problem, and stable across runs and worker counts.
+  bool seed_from_structure = true;
+  /// Competitors run speculatively on this many threads (1 = inline). The
+  /// chosen plan never depends on this value.
+  std::size_t workers = 1;
 };
 
 /// Runs every enabled heuristic and returns the plan with minimal flops
-/// (ties broken by width).
+/// (ties broken by width, then by a fixed competitor order).
 ContractionPlan plan_contraction(const TensorNetwork& network,
                                  const PlannerOptions& options = {});
+
+/// Structural fingerprint of a network: variable count plus every tensor's
+/// label list, order-sensitive. Two networks with equal hashes have the
+/// same elimination-order search space (tensor DATA is ignored — any order
+/// valid for one is valid, and equally costly, for the other). Seeds the
+/// planner RNG and guards persistent plan-cache entries.
+std::uint64_t network_structure_hash(const TensorNetwork& network);
+
+/// Process-wide count of plan_contraction invocations. The persistent plan
+/// cache is validated by this probe: a warm run must plan nothing.
+std::size_t planner_invocation_count();
+void reset_planner_invocation_count();
 
 }  // namespace qarch::qtensor

@@ -6,9 +6,27 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "qtensor/shape.hpp"
 #include "qtensor/slicing.hpp"
 
 namespace qarch::qtensor {
+
+namespace {
+
+/// A cached order is applicable iff it repeats nothing and covers every
+/// variable of the network. The structure-hash guard should guarantee this;
+/// validating anyway turns hash collisions and corrupt cache entries into a
+/// silent replan instead of a failed compile.
+bool order_applicable(const TensorNetwork& net,
+                      const std::vector<VarId>& order) {
+  std::set<VarId> seen(order.begin(), order.end());
+  if (seen.size() != order.size()) return false;
+  for (VarId v : net.variables())
+    if (seen.count(v) == 0) return false;
+  return true;
+}
+
+}  // namespace
 
 struct ContractionProgram::Scratch {
   bool ready = false;
@@ -53,9 +71,35 @@ void ContractionProgram::compile(const circuit::Circuit& circuit,
   TensorNetwork net = expectation_zz_network(circuit, probe, u, v,
                                              options_.network, &bindings_);
 
-  // Contraction order: the planner competes the ordering heuristics under
-  // the exact bucket-elimination cost model and keeps the cheapest.
-  ContractionPlan plan = plan_contraction(net, options_.planner);
+  // Contraction order: a plan-cache hit (keyed by canonical lightcone shape
+  // + exact structure hash) replays a previously chosen order with zero
+  // planner work; otherwise the planner competes the ordering heuristics
+  // under the exact bucket-elimination cost model, keeps the cheapest, and
+  // records it for every later program of the same shape.
+  ContractionPlan plan;
+  bool plan_cached = false;
+  std::uint64_t structure = 0;
+  std::string shape_key = options_.shape_key;
+  if (options_.plan_cache != nullptr) {
+    if (shape_key.empty())
+      shape_key = lightcone_shape(circuit, u, v).key;
+    structure = network_structure_hash(net);
+    if (auto hit = options_.plan_cache->find(shape_key, structure);
+        hit.has_value() && order_applicable(net, hit->order)) {
+      plan.order = std::move(hit->order);
+      plan.cost = CostModel(net).cost(plan.order);
+      plan.heuristic = hit->heuristic + "+cached";
+      plan_cached = true;
+    }
+  }
+  if (!plan_cached) {
+    plan = plan_contraction(net, options_.planner);
+    if (options_.plan_cache != nullptr)
+      options_.plan_cache->insert(
+          {shape_key, structure, plan.order, plan.heuristic});
+  }
+  stats_.plan_cached = plan_cached;
+  stats_.shape_key = shape_key;
 
   // Slicing decision (step-dependent parallelization): if the planned width
   // blows the budget, fix greedy max-degree variables one at a time and

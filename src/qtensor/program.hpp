@@ -33,6 +33,7 @@
 #include "circuit/circuit.hpp"
 #include "qtensor/backend.hpp"
 #include "qtensor/network.hpp"
+#include "qtensor/plan_cache.hpp"
 #include "qtensor/planner.hpp"
 
 namespace qarch::qtensor {
@@ -49,6 +50,15 @@ struct ProgramOptions {
   /// safety valve by default. 0 disables slicing entirely.
   std::size_t slice_above_width = 30;
   std::size_t max_slice_vars = 4;  ///< at most 2^this sub-contractions
+  /// When set, compile() consults this shared store before invoking the
+  /// planner (keyed by lightcone shape + network structure hash) and
+  /// records the winning order after a live plan. Cached orders skip
+  /// planning entirely — the warm-run path of the persistent plan cache.
+  std::shared_ptr<PlanCache> plan_cache;
+  /// Canonical lightcone shape key of (circuit, u, v) when the caller has
+  /// already computed it (energy.cpp's dedup pass has); empty = compute on
+  /// demand when a plan_cache is attached.
+  std::string shape_key;
 };
 
 /// Compile-time facts about one program (reported by benches/tests).
@@ -61,6 +71,8 @@ struct ProgramStats {
   std::size_t slice_vars = 0;     ///< 0 = unsliced
   std::size_t scratch_entries = 0;  ///< preallocated cplx entries per lease
   std::string heuristic;          ///< winning ordering heuristic
+  bool plan_cached = false;       ///< order came from the plan cache
+  std::string shape_key;          ///< canonical lightcone shape (if computed)
 };
 
 /// One <Z_u Z_v> expectation compiled against fixed circuit structure,

@@ -1,0 +1,421 @@
+#include "qtensor/shape.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "qtensor/network.hpp"
+
+namespace qarch::qtensor {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ULL;
+  return h;
+}
+
+constexpr std::uint64_t kFnvBasis = 1469598103934665603ULL;
+
+/// For symmetric two-qubit gates the two wires are interchangeable; giving
+/// both the same role lets the isomorphism search swap them.
+bool symmetric_two_qubit(circuit::GateKind kind) {
+  using circuit::GateKind;
+  return kind == GateKind::CZ || kind == GateKind::SWAP ||
+         kind == GateKind::RZZ;
+}
+
+std::uint64_t param_sig(const circuit::ParamExpr& p) {
+  std::uint64_t h = kFnvBasis;
+  h = fnv_mix(h, static_cast<std::uint64_t>(p.kind));
+  h = fnv_mix(h, std::bit_cast<std::uint64_t>(p.constant));
+  h = fnv_mix(h, p.index);
+  h = fnv_mix(h, std::bit_cast<std::uint64_t>(p.scale));
+  return h;
+}
+
+/// One gate occurrence on one wire of the cone.
+///
+/// `tier` is the event's position in the wire's DEPENDENCY order, not its
+/// raw chronological position: consecutive DIAGONAL events on a wire (no
+/// non-diagonal event on that wire in between) all commute — with each other
+/// and with every gate touching neither of their wires — so they share one
+/// tier and are unordered within it. Every non-diagonal event gets a tier of
+/// its own. Two circuits whose wires carry the same tier structure are
+/// linear extensions of isomorphic gate-dependency posets, and adjacent
+/// incomparable gates always commute (same-tier diagonals are both diagonal;
+/// cross-wire incomparables share no qubit), so their unitaries are EQUAL.
+/// This is what lets the cost layer's RZZ gates — emitted in arbitrary
+/// edge-list order — deduplicate across symmetric edges.
+struct Event {
+  std::uint64_t sig = 0;            ///< kind + param expr + wire role
+  std::size_t tier = 0;             ///< dependency tier on THIS wire
+  std::size_t partner = kNone;      ///< dense index of the other wire's qubit
+  std::size_t partner_tier = kNone; ///< the paired event's tier over there
+};
+
+/// A lightcone flattened to per-qubit tiered event sequences.
+struct Cone {
+  std::vector<std::size_t> qubits;      ///< original ids, sorted
+  std::vector<std::vector<Event>> seq;  ///< by dense qubit index, tier order
+  std::vector<std::size_t> tiers;       ///< tier count by dense qubit index
+  std::vector<char> is_root;            ///< by dense qubit index
+  std::size_t gates = 0;
+};
+
+/// Drops the cone gates that cancel inside <+| U† (Z_u Z_v) U |+>.
+///
+/// lightcone_circuit is a SYNTACTIC backward cone: once a qubit activates,
+/// every earlier gate touching it is kept, which cascades along the
+/// edge-list-ordered cost layer and drags in gates that contribute nothing.
+/// Which junk a cone picks up depends on the GLOBAL gate order, so without
+/// this strip two symmetric edges rarely look alike.
+///
+/// The scan walks back to front tracking the observable conjugated through
+/// the KEPT gates, O' = A† (Z_u Z_v) A, via two per-wire flags: `support`
+/// (O' may act on this wire) and `nd` (O' may be non-diagonal on it).
+/// Invariant: O' is block-diagonal in the computational basis of every
+/// support wire with nd=false (O' = Σ_z |z><z| ⊗ A_z over those wires).
+/// Gate G then cancels against its adjoint (G† O' G = O') when
+///   * wires(G) ∩ support = ∅ — disjoint operators commute — or
+///   * G is diagonal and every wire it touches has nd=false: G is a phase
+///     per block, Σ_z phase(z) |z><z| ⊗ I, and commutes with O'.
+/// A kept gate adds its wires to `support`; a kept NON-diagonal gate also
+/// raises `nd` there (conjugating by a diagonal gate preserves every block
+/// structure, so nd survives diagonal keeps). The roots start in `support`
+/// with nd=false — the observable itself is diagonal.
+std::vector<circuit::Gate> stripped_cone_gates(const circuit::Circuit& cone,
+                                               std::size_t u, std::size_t v) {
+  std::vector<char> support(cone.num_qubits(), 0);
+  std::vector<char> nd(cone.num_qubits(), 0);
+  support[u] = 1;
+  support[v] = 1;
+  std::vector<circuit::Gate> kept;
+  kept.reserve(cone.num_gates());
+  const auto& gates = cone.gates();
+  for (std::size_t i = gates.size(); i-- > 0;) {
+    const circuit::Gate& g = gates[i];
+    const bool two = g.arity() == 2;
+    const bool touches = support[g.q0] || (two && support[g.q1]);
+    if (!touches) continue;
+    const bool diag = circuit::is_diagonal(g.kind);
+    const bool any_nd = nd[g.q0] || (two && nd[g.q1]);
+    if (diag && !any_nd) continue;
+    support[g.q0] = 1;
+    if (two) support[g.q1] = 1;
+    if (!diag) {
+      nd[g.q0] = 1;
+      if (two) nd[g.q1] = 1;
+    }
+    kept.push_back(g);
+  }
+  std::reverse(kept.begin(), kept.end());
+  return kept;
+}
+
+Cone build_cone(const circuit::Circuit& circuit, std::size_t u,
+                std::size_t v) {
+  std::set<std::size_t> active;
+  const circuit::Circuit cone =
+      lightcone_circuit(circuit, {u, v}, &active);
+  const std::vector<circuit::Gate> kept = stripped_cone_gates(cone, u, v);
+  // Re-derive the qubit set from the surviving gates: stripping can orphan
+  // whole qubits the syntactic cone had activated.
+  active.clear();
+  for (const circuit::Gate& g : kept) {
+    active.insert(g.q0);
+    if (g.arity() == 2) active.insert(g.q1);
+  }
+  active.insert(u);
+  active.insert(v);
+
+  Cone c;
+  c.qubits.assign(active.begin(), active.end());
+  c.gates = kept.size();
+  std::unordered_map<std::size_t, std::size_t> dense;
+  for (std::size_t i = 0; i < c.qubits.size(); ++i) dense[c.qubits[i]] = i;
+  c.seq.resize(c.qubits.size());
+  c.tiers.assign(c.qubits.size(), 0);
+  c.is_root.assign(c.qubits.size(), 0);
+  c.is_root[dense[u]] = 1;
+  c.is_root[dense[v]] = 1;
+
+  // open_diag[w]: the wire's latest tier is a still-growing diagonal tier.
+  std::vector<char> open_diag(c.qubits.size(), 0);
+  auto place = [&](std::size_t w, bool diagonal) -> std::size_t {
+    if (diagonal && open_diag[w]) return c.tiers[w] - 1;
+    open_diag[w] = diagonal ? 1 : 0;
+    return c.tiers[w]++;
+  };
+
+  for (const circuit::Gate& g : kept) {
+    std::uint64_t base = kFnvBasis;
+    base = fnv_mix(base, static_cast<std::uint64_t>(g.kind));
+    base = fnv_mix(base, param_sig(g.param));
+    const bool diag = circuit::is_diagonal(g.kind);
+    if (g.arity() == 1) {
+      const std::size_t w = dense[g.q0];
+      c.seq[w].push_back({fnv_mix(base, 0), place(w, diag), kNone, kNone});
+      continue;
+    }
+    const std::size_t a = dense[g.q0];
+    const std::size_t b = dense[g.q1];
+    const bool sym = symmetric_two_qubit(g.kind);
+    const std::size_t ta = place(a, diag);
+    const std::size_t tb = place(b, diag);
+    c.seq[a].push_back({fnv_mix(base, sym ? 0 : 1), ta, b, tb});
+    c.seq[b].push_back({fnv_mix(base, sym ? 0 : 2), tb, a, ta});
+  }
+  return c;
+}
+
+/// Deterministic fold of an UNORDERED set of per-event hashes within one
+/// tier: sort, then mix in order, bracketed by the tier size.
+std::uint64_t fold_tier(std::uint64_t h, std::vector<std::uint64_t>& scratch) {
+  std::sort(scratch.begin(), scratch.end());
+  h = fnv_mix(h, scratch.size());
+  for (std::uint64_t e : scratch) h = fnv_mix(h, e);
+  scratch.clear();
+  return h;
+}
+
+/// Walks one wire tier by tier (events are already grouped: tiers are
+/// assigned monotonically during the build), folding f(event) hashes per
+/// tier in dependency order.
+template <typename F>
+std::uint64_t fold_wire(const Cone& c, std::size_t q, std::uint64_t h, F f) {
+  std::vector<std::uint64_t> scratch;
+  std::size_t current = kNone;
+  for (const Event& e : c.seq[q]) {
+    if (e.tier != current) {
+      if (current != kNone) h = fold_tier(h, scratch);
+      current = e.tier;
+    }
+    scratch.push_back(f(e));
+  }
+  if (current != kNone) h = fold_tier(h, scratch);
+  return h;
+}
+
+/// Initial WL color: the root flag plus the wire's tiered event signatures
+/// (no neighbourhood information yet).
+std::vector<std::uint64_t> initial_colors(const Cone& c) {
+  std::vector<std::uint64_t> colors(c.qubits.size());
+  for (std::size_t q = 0; q < c.qubits.size(); ++q) {
+    std::uint64_t h = kFnvBasis;
+    h = fnv_mix(h, c.is_root[q] ? 2 : 1);
+    h = fnv_mix(h, c.tiers[q]);
+    colors[q] = fold_wire(c, q, h, [](const Event& e) { return e.sig; });
+  }
+  return colors;
+}
+
+/// One WL refinement round: fold each event's partner color and partner tier
+/// into the qubit's color. Tier ORDER is part of the structure (unlike plain
+/// graph WL), membership WITHIN a tier is not.
+std::vector<std::uint64_t> refine(const Cone& c,
+                                  const std::vector<std::uint64_t>& colors) {
+  std::vector<std::uint64_t> next(colors.size());
+  for (std::size_t q = 0; q < colors.size(); ++q) {
+    const std::uint64_t h = fnv_mix(kFnvBasis, colors[q]);
+    next[q] = fold_wire(c, q, h, [&](const Event& e) {
+      std::uint64_t eh = fnv_mix(kFnvBasis, e.sig);
+      if (e.partner == kNone) {
+        eh = fnv_mix(eh, 0x517cc1b727220a95ULL);
+      } else {
+        eh = fnv_mix(eh, colors[e.partner]);
+        eh = fnv_mix(eh, e.partner_tier);
+      }
+      return eh;
+    });
+  }
+  return next;
+}
+
+std::size_t distinct_count(std::vector<std::uint64_t> colors) {
+  std::sort(colors.begin(), colors.end());
+  return static_cast<std::size_t>(
+      std::unique(colors.begin(), colors.end()) - colors.begin());
+}
+
+std::vector<std::uint64_t> stable_colors(const Cone& c) {
+  std::vector<std::uint64_t> colors = initial_colors(c);
+  std::size_t classes = distinct_count(colors);
+  for (std::size_t round = 0; round < c.qubits.size(); ++round) {
+    std::vector<std::uint64_t> next = refine(c, colors);
+    const std::size_t next_classes = distinct_count(next);
+    colors = std::move(next);
+    if (next_classes == classes && round > 0) break;
+    classes = next_classes;
+  }
+  return colors;
+}
+
+/// Backtracking isomorphism search over WL color classes. Bounded: gives up
+/// (returns false) after `budget` assignment attempts, which is conservative
+/// — an exhausted search only means two cones get separate programs.
+class IsoSearch {
+ public:
+  IsoSearch(const Cone& a, const Cone& b) : a_(a), b_(b) {}
+
+  bool run() {
+    const std::size_t n = a_.qubits.size();
+    if (n != b_.qubits.size() || a_.gates != b_.gates) return false;
+    const auto ca = stable_colors(a_);
+    const auto cb = stable_colors(b_);
+    {
+      auto sa = ca;
+      auto sb = cb;
+      std::sort(sa.begin(), sa.end());
+      std::sort(sb.begin(), sb.end());
+      if (sa != sb) return false;
+    }
+    // Candidate sets: same WL color AND same local tier signature.
+    candidates_.resize(n);
+    for (std::size_t qa = 0; qa < n; ++qa) {
+      for (std::size_t qb = 0; qb < n; ++qb) {
+        if (ca[qa] != cb[qb]) continue;
+        if (a_.is_root[qa] != b_.is_root[qb]) continue;
+        if (!same_local(qa, qb)) continue;
+        candidates_[qa].push_back(qb);
+      }
+      if (candidates_[qa].empty()) return false;
+    }
+    // Most-constrained-first assignment order.
+    order_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) order_[i] = i;
+    std::sort(order_.begin(), order_.end(), [this](std::size_t x,
+                                                   std::size_t y) {
+      return candidates_[x].size() < candidates_[y].size();
+    });
+    phi_.assign(n, kNone);
+    used_.assign(n, 0);
+    return assign(0);
+  }
+
+ private:
+  /// (sig, partner-or-marker, partner tier): the matchable identity of one
+  /// event inside its tier. Events with equal keys are interchangeable.
+  using EventKey = std::tuple<std::uint64_t, std::size_t, std::size_t>;
+
+  /// Tier-wise local comparability: same tier count, and per tier the same
+  /// multiset of (sig, has-partner, partner tier) — within a tier events
+  /// are unordered, so compare sorted.
+  bool same_local(std::size_t qa, std::size_t qb) const {
+    if (a_.tiers[qa] != b_.tiers[qb]) return false;
+    const auto& sa = a_.seq[qa];
+    const auto& sb = b_.seq[qb];
+    if (sa.size() != sb.size()) return false;
+    auto keys = [](const std::vector<Event>& seq) {
+      std::vector<std::tuple<std::size_t, std::uint64_t, std::size_t,
+                             std::size_t>> k;
+      k.reserve(seq.size());
+      for (const Event& e : seq)
+        k.emplace_back(e.tier, e.sig, e.partner == kNone ? 0u : 1u,
+                       e.partner_tier);
+      std::sort(k.begin(), k.end());
+      return k;
+    };
+    return keys(sa) == keys(sb);
+  }
+
+  /// All pairing constraints involving qa and already-assigned partners:
+  /// per tier, every a-event whose partner is mapped must find its own
+  /// (sig, mapped partner, partner tier) supply among b's same-tier events
+  /// — a counting match, since equal-key events are interchangeable.
+  bool consistent(std::size_t qa, std::size_t qb) const {
+    std::map<std::pair<std::size_t, EventKey>, long> balance;
+    for (const Event& e : a_.seq[qa]) {
+      if (e.partner == kNone) continue;
+      const std::size_t pa = phi_[e.partner];
+      if (pa == kNone) continue;
+      ++balance[{e.tier, {e.sig, pa, e.partner_tier}}];
+    }
+    if (balance.empty()) return true;
+    for (const Event& e : b_.seq[qb]) {
+      if (e.partner == kNone) continue;
+      const auto it =
+          balance.find({e.tier, {e.sig, e.partner, e.partner_tier}});
+      if (it != balance.end()) --it->second;
+    }
+    for (const auto& [key, count] : balance)
+      if (count > 0) return false;
+    return true;
+  }
+
+  bool assign(std::size_t depth) {
+    if (depth == order_.size()) return true;
+    const std::size_t qa = order_[depth];
+    for (std::size_t qb : candidates_[qa]) {
+      if (used_[qb]) continue;
+      if (++attempts_ > kBudget) return false;
+      if (!consistent(qa, qb)) continue;
+      phi_[qa] = qb;
+      used_[qb] = 1;
+      if (assign(depth + 1)) return true;
+      phi_[qa] = kNone;
+      used_[qb] = 0;
+    }
+    return false;
+  }
+
+  static constexpr std::size_t kBudget = 1u << 17;
+  const Cone& a_;
+  const Cone& b_;
+  std::vector<std::vector<std::size_t>> candidates_;
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> phi_;
+  std::vector<char> used_;
+  std::size_t attempts_ = 0;
+};
+
+std::string to_hex(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 0; i < 16; ++i)
+    out[15 - i] = digits[(v >> (4 * i)) & 0xf];
+  return out;
+}
+
+}  // namespace
+
+LightconeShape lightcone_shape(const circuit::Circuit& circuit, std::size_t u,
+                               std::size_t v) {
+  QARCH_REQUIRE(u < circuit.num_qubits() && v < circuit.num_qubits(),
+                "lightcone_shape: qubit out of range");
+  const Cone cone = build_cone(circuit, u, v);
+  std::vector<std::uint64_t> colors = stable_colors(cone);
+  std::sort(colors.begin(), colors.end());
+  std::uint64_t h = kFnvBasis;
+  h = fnv_mix(h, cone.qubits.size());
+  h = fnv_mix(h, cone.gates);
+  for (std::uint64_t c : colors) h = fnv_mix(h, c);
+
+  LightconeShape shape;
+  shape.qubits = cone.qubits.size();
+  shape.gates = cone.gates;
+  shape.key = "lc2:" + to_hex(h) + ":" + std::to_string(shape.qubits) + "q" +
+              std::to_string(shape.gates) + "g";
+  return shape;
+}
+
+bool lightcone_equivalent(const circuit::Circuit& circuit, std::size_t u1,
+                          std::size_t v1, std::size_t u2, std::size_t v2) {
+  if ((u1 == u2 && v1 == v2) || (u1 == v2 && v1 == u2)) return true;
+  const Cone a = build_cone(circuit, u1, v1);
+  const Cone b = build_cone(circuit, u2, v2);
+  IsoSearch search(a, b);
+  return search.run();
+}
+
+}  // namespace qarch::qtensor

@@ -1,0 +1,72 @@
+// Canonical lightcone shapes: which <Z_u Z_v> terms share a contraction.
+//
+// On regular (and many irregular) graphs most edges are *symmetric*: the
+// causal cone of edge (u, v) is isomorphic — same gates, same parameter
+// expressions, same wiring — to the cone of many other edges, so their
+// <Z_u Z_v> expectations are literally equal for every theta and one
+// compiled ContractionProgram can serve all of them. This header computes
+//
+//   * a canonical SHAPE KEY per edge lightcone (a Weisfeiler–Leman style
+//     hash over per-qubit TIERED gate-event sequences), equal for
+//     isomorphic cones, and
+//   * an EXACT isomorphism check (backtracking over WL color classes) that
+//     certifies two cones really are relabelings of each other.
+//
+// Keys group candidates cheaply; the exact check guards against hash/WL
+// collisions before two edges are allowed to share a program, so dedup is
+// sound: a shared program is only ever replayed for edges whose expectation
+// value provably equals the representative's.
+//
+// Two normalizations make symmetric edges actually coincide despite the
+// arbitrary global gate order the circuit builder emits:
+//   * CANCELLATION STRIP — the syntactic backward cone keeps order-dependent
+//     junk gates that cancel against their adjoints inside U† (Z_u Z_v) U;
+//     a support/diagonality sweep removes them first (see
+//     stripped_cone_gates in shape.cpp for the commutation argument), and
+//   * COMMUTING TIERS — consecutive diagonal events on a wire mutually
+//     commute, so within a wire they form unordered tiers rather than a
+//     strict sequence; cost-layer RZZ gates emitted in edge-list order
+//     land in one tier regardless of that order.
+//
+// The shape is computed from the lightcone CIRCUIT, not from the problem
+// graph: mixer layers may entangle qubits outside the edge's graph
+// neighbourhood (the two-qubit mixer gates run over a qubit-index ring), so
+// graph-local heuristics would mis-group edges the circuit distinguishes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qarch::qtensor {
+
+/// Canonical shape of one edge lightcone.
+struct LightconeShape {
+  std::string key;           ///< canonical hash key (equal => likely isomorphic)
+  std::size_t qubits = 0;    ///< active qubits in the cone
+  std::size_t gates = 0;     ///< gates in the cone
+};
+
+/// Shape of the lightcone of <Z_u Z_v> under `circuit` (cancellation-
+/// stripped; `qubits`/`gates` count the surviving cone). Isomorphic cones
+/// (in the lightcone_equivalent sense) always produce equal keys; unequal
+/// cones produce different keys except for rare hash collisions, which the
+/// exact check below screens out.
+LightconeShape lightcone_shape(const circuit::Circuit& circuit, std::size_t u,
+                               std::size_t v);
+
+/// True iff the (stripped) lightcones of (u1, v1) and (u2, v2) are
+/// relabelings of each other: some qubit bijection mapping {u1, v1} onto
+/// {u2, v2} carries every gate of one cone — kind, parameter expression,
+/// qubit roles, and per-qubit dependency tier — onto the other. Equivalent
+/// cones have identical <Z_u Z_v> for every theta (the circuits are linear
+/// extensions of isomorphic gate-dependency posets whose incomparable
+/// elements commute, and Z_u Z_v is symmetric under swapping u and v).
+/// Conservative under search-budget exhaustion: may return false for
+/// equivalent cones of pathological symmetry, never true for inequivalent
+/// ones.
+bool lightcone_equivalent(const circuit::Circuit& circuit, std::size_t u1,
+                          std::size_t v1, std::size_t u2, std::size_t v2);
+
+}  // namespace qarch::qtensor

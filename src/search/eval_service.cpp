@@ -27,6 +27,13 @@ namespace detail {
 /// fresh run.
 constexpr const char* kCacheCodeVersion = "qarch-eval-v5";
 
+/// Version gate of the persisted contraction-plan cache. Independent of the
+/// result-cache version: planning decisions stay valid across evaluation-
+/// semantics changes (an order is sound for any tensor data), but must be
+/// invalidated when the planner's cost model or the network builder's
+/// structure changes.
+constexpr const char* kPlanCacheCodeVersion = "qarch-plan-v1";
+
 /// One submitted (graph, mixer, p, budget) evaluation. Several tickets may
 /// attach to one job (concurrent duplicate submissions); the job runs once.
 struct EvalJob {
@@ -78,6 +85,14 @@ struct ServiceState {
   std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
   std::atomic<bool> stopping{false};
+
+  // Shared store of planned contraction orders, injected into every
+  // evaluator this service builds (all tensor-network programs of all
+  // clients deduplicate planning through it). Internally synchronized —
+  // accessed OUTSIDE `mutex`. Loaded from / persisted to
+  // config.plan_cache_path when set.
+  std::shared_ptr<qtensor::PlanCache> plan_cache =
+      std::make_shared<qtensor::PlanCache>();
 
   std::mutex mutex;  // guards everything below
   EvalService::Stats stats;
@@ -219,8 +234,12 @@ std::shared_ptr<const Evaluator> evaluator_for(ServiceState& state,
   }
   bool built = false;
   std::call_once(slot->once, [&] {
-    slot->evaluator = std::make_shared<const Evaluator>(
-        g, state.config.evaluator_options(engine, training_evals));
+    auto options = state.config.evaluator_options(engine, training_evals);
+    // Every evaluator shares the service's plan store: tensor-network
+    // programs reuse orders across candidates, clients, and (when
+    // plan_cache_path is set) across processes.
+    options.energy.qtensor.plan_cache = state.plan_cache;
+    slot->evaluator = std::make_shared<const Evaluator>(g, options);
     built = true;
   });
   if (built) {
@@ -643,6 +662,15 @@ EvalService::EvalService(SessionConfig config)
     }
     state_->foreign_floor = state_->foreign_entries.size();
   }
+  if (!state_->config.plan_cache_path.empty()) {
+    auto plans = load_plan_cache(state_->config.plan_cache_path,
+                                 detail::kPlanCacheCodeVersion);
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      state_->stats.plans_loaded = plans.size();
+    }
+    state_->plan_cache->merge(std::move(plans));
+  }
 }
 
 EvalService::~EvalService() {
@@ -652,18 +680,27 @@ EvalService::~EvalService() {
   pool_.raw().wait_idle();
   // result_cache == 0 never loaded the file (nothing to merge back), so
   // writing would truncate a shared cache to nothing — leave it alone.
-  if (state_->config.cache_write && !state_->config.cache_path.empty() &&
-      state_->config.result_cache > 0) {
+  const bool write_results = !state_->config.cache_path.empty() &&
+                             state_->config.result_cache > 0;
+  const bool write_plans = !state_->config.plan_cache_path.empty();
+  if (state_->config.cache_write && (write_results || write_plans)) {
     try {
       save_cache();
     } catch (const std::exception& e) {
-      log::warn("result cache not persisted: ", e.what());
+      log::warn("cache not persisted: ", e.what());
     }
   }
 }
 
 std::size_t EvalService::save_cache() const {
-  if (state_->config.cache_path.empty()) return 0;
+  // Plan cache first: cheap, and useful even when result persistence is off.
+  if (!state_->config.plan_cache_path.empty())
+    save_plan_cache(state_->plan_cache->snapshot(),
+                    state_->config.plan_cache_path,
+                    detail::kPlanCacheCodeVersion);
+  if (state_->config.cache_path.empty() ||
+      state_->config.result_cache == 0)
+    return 0;
   std::vector<CacheEntry> entries;
   {
     std::lock_guard<std::mutex> lock(state_->mutex);

@@ -38,6 +38,12 @@
 //     the cache code version: stale-version files invalidate wholesale, and
 //     a forced-engine service only loads entries its own engine produced
 //     (backend=Auto accepts both). Corrupt files are ignored, never fatal,
+//   * a shared qtensor::PlanCache injected into every evaluator: planned
+//     contraction orders are reused across candidates and clients by
+//     (lightcone shape, structure hash), and with
+//     SessionConfig::plan_cache_path set they persist across processes —
+//     a warm run compiles its programs with ZERO planner invocations
+//     (probe: qtensor::planner_invocation_count()),
 //   * the BackendChoice::Auto per-candidate engine decision
 //     (auto_engine_choice below).
 //
@@ -213,6 +219,7 @@ class EvalService {
     std::size_t picked_tensornetwork = 0;  ///< (Auto decision accounting)
     std::size_t evaluators_built = 0;   ///< Evaluator LRU misses
     std::size_t cache_loaded = 0;       ///< results warm-started from disk
+    std::size_t plans_loaded = 0;       ///< contraction plans loaded from disk
     std::size_t clients_registered = 0; ///< register_client() calls
   };
   [[nodiscard]] Stats stats() const;

@@ -42,6 +42,35 @@ std::string hex_decode(const std::string& hex) {
   return out;
 }
 
+// Whole-file-or-nothing JSON publish shared by every persistent cache:
+// write to a unique tmp name (pid + process-wide counter, so concurrent
+// writers — other processes AND other services in this process — never
+// interleave into the same scratch file), flush-and-check BEFORE the rename
+// (buffered data can still fail at close, e.g. ENOSPC, and renaming a
+// truncated tmp over a valid cache would break atomicity), then rename so
+// readers see either the old complete file or the new one.
+void atomic_write_json(const json::Value& value, const std::string& path,
+                       const char* what) {
+  static std::atomic<unsigned> save_counter{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) +
+                          "." + std::to_string(save_counter.fetch_add(1));
+  {
+    std::ofstream out(tmp);
+    if (!out) throw Error(std::string(what) + ": cannot open " + tmp);
+    out << value.dump(2) << '\n';
+    out.close();
+    if (out.fail()) {
+      std::remove(tmp.c_str());
+      throw Error(std::string(what) + ": write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error(std::string(what) + ": cannot rename " + tmp + " to " + path);
+  }
+}
+
 }  // namespace
 
 json::Value candidate_to_json(const CandidateResult& candidate) {
@@ -189,33 +218,8 @@ std::vector<CacheEntry> result_cache_from_json(
 void save_result_cache(const std::vector<CacheEntry>& entries,
                        const std::string& path,
                        const std::string& code_version) {
-  // Unique tmp name (pid + process-wide counter): concurrent writers
-  // sharing one cache_path — other processes AND other services in this
-  // process — never interleave into the same scratch file, so the last
-  // rename wins whole.
-  static std::atomic<unsigned> save_counter{0};
-  const std::string tmp = path + ".tmp." +
-                          std::to_string(static_cast<long>(::getpid())) +
-                          "." + std::to_string(save_counter.fetch_add(1));
-  {
-    std::ofstream out(tmp);
-    if (!out) throw Error("save_result_cache: cannot open " + tmp);
-    out << result_cache_to_json(entries, code_version).dump(2) << '\n';
-    // Flush-and-check BEFORE the rename: buffered data can still fail at
-    // close (ENOSPC), and renaming a truncated tmp over a valid cache would
-    // break the whole-file-or-nothing guarantee.
-    out.close();
-    if (out.fail()) {
-      std::remove(tmp.c_str());
-      throw Error("save_result_cache: write failed for " + tmp);
-    }
-  }
-  // Atomic publish: readers see either the old complete file or the new one,
-  // never a torn write.
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw Error("save_result_cache: cannot rename " + tmp + " to " + path);
-  }
+  atomic_write_json(result_cache_to_json(entries, code_version), path,
+                    "save_result_cache");
 }
 
 std::vector<CacheEntry> load_result_cache(const std::string& path,
@@ -228,6 +232,78 @@ std::vector<CacheEntry> load_result_cache(const std::string& path,
     return result_cache_from_json(json::parse(buffer.str()), code_version);
   } catch (const std::exception& e) {
     log::warn("ignoring corrupt result cache ", path, ": ", e.what());
+    return {};
+  }
+}
+
+json::Value plan_cache_to_json(const std::vector<qtensor::CachedPlan>& plans,
+                               const std::string& code_version) {
+  json::Value obj = json::Value::object();
+  obj.set("format", "qarch-plan-cache");
+  obj.set("code_version", code_version);
+  json::Value list = json::Value::array();
+  for (const qtensor::CachedPlan& p : plans) {
+    json::Value entry = json::Value::object();
+    entry.set("shape_key", p.shape_key);
+    // 64-bit hashes do not round-trip through JSON doubles; go via string.
+    entry.set("structure_hash", std::to_string(p.structure_hash));
+    entry.set("heuristic", p.heuristic);
+    json::Value order = json::Value::array();
+    for (qtensor::VarId v : p.order) order.push_back(v);
+    entry.set("order", std::move(order));
+    list.push_back(std::move(entry));
+  }
+  obj.set("entries", std::move(list));
+  return obj;
+}
+
+std::vector<qtensor::CachedPlan> plan_cache_from_json(
+    const json::Value& value, const std::string& code_version) {
+  std::vector<qtensor::CachedPlan> plans;
+  if (!value.contains("format") ||
+      value.at("format").as_string() != "qarch-plan-cache")
+    return plans;
+  if (!value.contains("code_version") ||
+      value.at("code_version").as_string() != code_version)
+    return plans;  // planner semantics changed: replan rather than trust
+  if (!value.contains("entries")) return plans;
+  const json::Value& list = value.at("entries");
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    try {
+      const json::Value& item = list.at(i);
+      qtensor::CachedPlan p;
+      p.shape_key = item.at("shape_key").as_string();
+      p.structure_hash = std::stoull(item.at("structure_hash").as_string());
+      p.heuristic = item.at("heuristic").as_string();
+      const json::Value& order = item.at("order");
+      for (std::size_t k = 0; k < order.size(); ++k)
+        p.order.push_back(
+            static_cast<qtensor::VarId>(order.at(k).as_number()));
+      plans.push_back(std::move(p));
+    } catch (const std::exception&) {
+      // One mangled entry must not poison the rest of the warm start.
+    }
+  }
+  return plans;
+}
+
+void save_plan_cache(const std::vector<qtensor::CachedPlan>& plans,
+                     const std::string& path,
+                     const std::string& code_version) {
+  atomic_write_json(plan_cache_to_json(plans, code_version), path,
+                    "save_plan_cache");
+}
+
+std::vector<qtensor::CachedPlan> load_plan_cache(
+    const std::string& path, const std::string& code_version) {
+  std::ifstream in(path);
+  if (!in) return {};  // no cache yet: the first run plans cold once
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return plan_cache_from_json(json::parse(buffer.str()), code_version);
+  } catch (const std::exception& e) {
+    log::warn("ignoring corrupt plan cache ", path, ": ", e.what());
     return {};
   }
 }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/json.hpp"
+#include "qtensor/plan_cache.hpp"
 #include "search/engine.hpp"
 
 namespace qarch::search {
@@ -64,5 +65,31 @@ void save_result_cache(const std::vector<CacheEntry>& entries,
 /// optimization, never a correctness requirement).
 std::vector<CacheEntry> load_result_cache(const std::string& path,
                                           const std::string& code_version);
+
+// -- persistent contraction-plan cache ----------------------------------------
+//
+// Same file discipline as the result cache — atomic tmp+rename writes,
+// corruption-tolerant version-gated loads — but for qtensor planning
+// decisions: (lightcone shape key, network structure hash) -> elimination
+// order. Reloading an order is sound regardless of tensor data; the guard
+// hash only protects against applying an order to a structurally different
+// network.
+
+/// Serializes plan-cache entries under the given cache code version.
+json::Value plan_cache_to_json(const std::vector<qtensor::CachedPlan>& plans,
+                               const std::string& code_version);
+
+/// Parses plan-cache entries; version mismatch yields no entries and
+/// individually malformed entries are skipped.
+std::vector<qtensor::CachedPlan> plan_cache_from_json(
+    const json::Value& value, const std::string& code_version);
+
+/// Atomically rewrites `path` (tmp file + rename) with the given plans.
+void save_plan_cache(const std::vector<qtensor::CachedPlan>& plans,
+                     const std::string& path, const std::string& code_version);
+
+/// Loads a plan-cache file; missing/corrupt/mismatched files yield {}.
+std::vector<qtensor::CachedPlan> load_plan_cache(
+    const std::string& path, const std::string& code_version);
 
 }  // namespace qarch::search

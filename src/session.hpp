@@ -84,6 +84,17 @@ struct SessionConfig {
   /// service shuts down. false = read-only warm start: load but never touch
   /// the file (useful for concurrent processes sharing one cache).
   bool cache_write = true;
+  /// On-disk home of the qtensor contraction-plan cache (JSON): planned
+  /// elimination orders keyed by (lightcone shape, network structure hash).
+  /// When non-empty the service loads it at construction — a warm run
+  /// compiles its programs with ZERO planner invocations — and rewrites it
+  /// atomically at shutdown (gated by `cache_write`, like the result
+  /// cache). Corrupt/missing/stale files are ignored. Orthogonal to
+  /// cache_path: the result cache skips retraining identical CANDIDATES,
+  /// the plan cache skips re-planning identical lightcone SHAPES, which
+  /// pays off even when every candidate is new. Empty disables persistence
+  /// (in-process plan sharing stays on).
+  std::string plan_cache_path;
 
   // -- escape hatch ----------------------------------------------------------
   /// Deep engine toggles (sv_plan.*, qtensor.*, optimizer details, restart

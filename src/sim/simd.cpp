@@ -100,6 +100,15 @@ void single_pairs_scalar(cplx* a, cplx* b, std::size_t n, const cplx* m) {
   }
 }
 
+void cplx_mul_runs_scalar(cplx* acc, const cplx* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] *= x[i];
+}
+
+void cplx_add_runs_scalar(cplx* out, const cplx* a, const cplx* b,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
 void zz_accumulate_scalar(const cplx* state, std::size_t lo, std::size_t hi,
                           const std::size_t* masks, std::size_t num_masks,
                           double* acc) {
@@ -291,6 +300,36 @@ QARCH_AVX2_FN void zz_accumulate_avx2(const cplx* state, std::size_t lo,
         vacc[4 * k] + vacc[4 * k + 1] + vacc[4 * k + 2] + vacc[4 * k + 3];
 }
 
+/// n must be a multiple of 2.
+QARCH_AVX2_FN void cplx_mul_runs_avx2(cplx* acc, const cplx* x,
+                                      std::size_t n) {
+  double* da = reinterpret_cast<double*>(acc);
+  const double* dx = reinterpret_cast<const double*>(x);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d a0 = _mm256_loadu_pd(da + 2 * i);
+    const __m256d a1 = _mm256_loadu_pd(da + 2 * i + 4);
+    const __m256d x0 = _mm256_loadu_pd(dx + 2 * i);
+    const __m256d x1 = _mm256_loadu_pd(dx + 2 * i + 4);
+    _mm256_storeu_pd(da + 2 * i, cmul_lane(a0, x0));
+    _mm256_storeu_pd(da + 2 * i + 4, cmul_lane(a1, x1));
+  }
+  for (; i < n; i += 2)
+    _mm256_storeu_pd(da + 2 * i, cmul_lane(_mm256_loadu_pd(da + 2 * i),
+                                           _mm256_loadu_pd(dx + 2 * i)));
+}
+
+/// n must be a multiple of 2.
+QARCH_AVX2_FN void cplx_add_runs_avx2(cplx* out, const cplx* a, const cplx* b,
+                                      std::size_t n) {
+  double* dout = reinterpret_cast<double*>(out);
+  const double* da = reinterpret_cast<const double*>(a);
+  const double* db = reinterpret_cast<const double*>(b);
+  for (std::size_t i = 0; i < n; i += 2)
+    _mm256_storeu_pd(dout + 2 * i, _mm256_add_pd(_mm256_loadu_pd(da + 2 * i),
+                                                 _mm256_loadu_pd(db + 2 * i)));
+}
+
 }  // namespace
 
 #endif  // QARCH_SIMD_X86
@@ -480,6 +519,36 @@ void zz_accumulate(const cplx* state, std::size_t lo, std::size_t hi,
 #endif
   (void)use_simd;
   zz_accumulate_scalar(state, lo, hi, masks, num_masks, acc);
+}
+
+void cplx_mul_runs(cplx* acc, const cplx* x, std::size_t n, bool use_simd) {
+#if QARCH_SIMD_X86
+  if (use_simd && active()) {
+    const std::size_t vec = n & ~std::size_t{1};
+    cplx_mul_runs_avx2(acc, x, vec);
+    acc += vec;
+    x += vec;
+    n -= vec;
+  }
+#endif
+  (void)use_simd;
+  cplx_mul_runs_scalar(acc, x, n);
+}
+
+void cplx_add_runs(cplx* out, const cplx* a, const cplx* b, std::size_t n,
+                   bool use_simd) {
+#if QARCH_SIMD_X86
+  if (use_simd && active()) {
+    const std::size_t vec = n & ~std::size_t{1};
+    cplx_add_runs_avx2(out, a, b, vec);
+    out += vec;
+    a += vec;
+    b += vec;
+    n -= vec;
+  }
+#endif
+  (void)use_simd;
+  cplx_add_runs_scalar(out, a, b, n);
 }
 
 }  // namespace qarch::sim::simd

@@ -106,4 +106,19 @@ void zz_accumulate(const cplx* state, std::size_t lo, std::size_t hi,
                    const std::size_t* masks, std::size_t num_masks,
                    double* acc, bool use_simd = true);
 
+// -- contiguous-run passes (qtensor bucket kernels) ---------------------------
+//
+// The fused product+sum contraction kernel gathers factor values into
+// contiguous scratch runs and chains them through these two passes; they
+// follow the same contract as the passes above (mul+addsub multiplies, no
+// FMA, remainder handled scalar by the dispatcher).
+
+/// acc[i] *= x[i] — elementwise complex multiply of two contiguous runs.
+void cplx_mul_runs(cplx* acc, const cplx* x, std::size_t n,
+                   bool use_simd = true);
+
+/// out[i] = a[i] + b[i] — elementwise complex add of two contiguous runs.
+void cplx_add_runs(cplx* out, const cplx* a, const cplx* b, std::size_t n,
+                   bool use_simd = true);
+
 }  // namespace qarch::sim::simd

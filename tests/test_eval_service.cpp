@@ -15,6 +15,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
+#include "qtensor/planner.hpp"
 #include "search/combinations.hpp"
 #include "search/engine.hpp"
 #include "search/eval_service.hpp"
@@ -865,6 +866,101 @@ TEST(EvalService, CacheWriteOffIsReadOnlyWarmStart) {
     after.assign(std::istreambuf_iterator<char>(in), {});
   }
   EXPECT_EQ(before, after);  // file untouched by the read-only service
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Persistent contraction-plan cache (the tier below the result cache)
+// ---------------------------------------------------------------------------
+
+SessionConfig tn_plan_session(const std::string& plan_path) {
+  SessionConfig s = fast_session();
+  s.backend = BackendChoice::TensorNetwork;
+  s.training_evals = 10;
+  s.cache_path.clear();  // results NOT cached: every run retrains
+  s.plan_cache_path = plan_path;
+  return s;
+}
+
+TEST(EvalService, PlanCacheWarmStartSkipsThePlanner) {
+  const std::string path = persist::temp_path("qarch_plan_warm.json");
+  std::remove(path.c_str());
+  const auto g = test_graph(113);
+  const SessionConfig session = tn_plan_session(path);
+
+  qtensor::reset_planner_invocation_count();
+  search::CandidateResult first;
+  {
+    search::EvalService cold(session);
+    EXPECT_EQ(cold.stats().plans_loaded, 0u);
+    first = cold.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  }  // destructor persists the planned orders
+  EXPECT_GT(qtensor::planner_invocation_count(), 0u);
+
+  qtensor::reset_planner_invocation_count();
+  {
+    search::EvalService warm(session);
+    EXPECT_GT(warm.stats().plans_loaded, 0u);
+    auto ticket = warm.submit(g, qaoa::MixerSpec::qnas(), 1);
+    const auto& r = ticket.wait();
+    // Unlike the result cache, the candidate IS retrained — plan reuse is
+    // orthogonal to result reuse — but compiling its programs planned
+    // nothing: every elimination order came from disk.
+    EXPECT_FALSE(ticket.cache_hit());
+    EXPECT_NEAR(r.energy, first.energy, 1e-8);
+  }
+  EXPECT_EQ(qtensor::planner_invocation_count(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(EvalService, PlanCacheToleratesCorruptFiles) {
+  const std::string path = persist::temp_path("qarch_plan_corrupt.json");
+  {
+    std::ofstream out(path);
+    out << "]] not a plan cache {";
+  }
+  const auto g = test_graph(127);
+  const SessionConfig session = tn_plan_session(path);
+  {
+    search::EvalService service(session);  // must not throw
+    EXPECT_EQ(service.stats().plans_loaded, 0u);
+    (void)service.submit(g, qaoa::MixerSpec::baseline(), 1).wait();
+  }
+  // The corrupt file was atomically replaced with a valid plan cache.
+  search::EvalService reloaded(session);
+  EXPECT_GT(reloaded.stats().plans_loaded, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(EvalService, PlanCacheWriteOffLeavesFileUntouched) {
+  const std::string path = persist::temp_path("qarch_plan_readonly.json");
+  std::remove(path.c_str());
+  const auto g = test_graph(131);
+  SessionConfig session = tn_plan_session(path);
+  {
+    search::EvalService writer(session);
+    (void)writer.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  }
+  std::string before;
+  {
+    std::ifstream in(path);
+    before.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_FALSE(before.empty());
+
+  session.cache_write = false;
+  {
+    search::EvalService reader(session);
+    EXPECT_GT(reader.stats().plans_loaded, 0u);
+    // A new candidate shape plans in memory but must not touch the file.
+    (void)reader.submit(g, qaoa::MixerSpec::baseline(), 1).wait();
+  }
+  std::string after;
+  {
+    std::ifstream in(path);
+    after.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  EXPECT_EQ(before, after);
   std::remove(path.c_str());
 }
 

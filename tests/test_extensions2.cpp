@@ -258,6 +258,7 @@ TEST(Planner, PicksTheCheapestHeuristic) {
   qtensor::PlannerOptions none;
   none.try_greedy_degree = false;
   none.try_greedy_fill = false;
+  none.try_priority = false;
   none.random_restarts = 0;
   EXPECT_THROW(qtensor::plan_contraction(net, none), Error);
 }

@@ -279,7 +279,14 @@ TEST(PlanReuse, EnergyCallsNeverRebuildNetworks) {
   qtensor::reset_network_build_count();
   const auto plan = evaluator.plan_for(ansatz);
   const std::uint64_t after_compile = qtensor::network_build_count();
-  EXPECT_EQ(after_compile, g.num_edges());  // exactly one build per edge
+  // Exactly one build per compiled program: shape dedup compiles one
+  // representative per distinct lightcone shape, never more than one per
+  // edge and at least one overall.
+  const auto info = plan->info();
+  EXPECT_EQ(after_compile, info.compiled_programs);
+  EXPECT_EQ(info.compiled_programs, info.distinct_shapes);
+  EXPECT_LE(info.compiled_programs, g.num_edges());
+  EXPECT_GE(info.compiled_programs, 1u);
 
   for (int i = 0; i < 5; ++i) {
     std::vector<double> theta(ansatz.num_params(), 0.1 * (i + 1));
@@ -292,6 +299,79 @@ TEST(PlanReuse, EnergyCallsNeverRebuildNetworks) {
   std::vector<double> theta(ansatz.num_params(), 0.5);
   (void)evaluator.energy(ansatz, theta);
   EXPECT_EQ(qtensor::network_build_count(), after_compile);
+}
+
+// ---------------------------------------------------------------------------
+// Lightcone-shape dedup: symmetric edges share one compiled program.
+// ---------------------------------------------------------------------------
+
+TEST(ShapeDedup, RingGraphCompilesOneProgram) {
+  // On a cycle every edge lightcone is a rotation of every other: one
+  // compiled program must serve all 10 terms — and still match statevector.
+  const graph::Graph g = graph::ring(10);
+  const auto ansatz =
+      qaoa::build_qaoa_circuit(g, 2, qaoa::MixerSpec::baseline());
+
+  qaoa::EnergyOptions opt;
+  opt.engine = qaoa::EngineKind::TensorNetwork;
+  const qaoa::EnergyEvaluator ev(g, opt);
+  const auto plan = ev.plan_for(ansatz);
+  const auto info = plan->info();
+  EXPECT_EQ(info.terms, g.num_edges());
+  EXPECT_EQ(info.distinct_shapes, 1u);
+  EXPECT_EQ(info.compiled_programs, 1u);
+
+  qaoa::EnergyOptions sv;
+  sv.engine = qaoa::EngineKind::Statevector;
+  const qaoa::EnergyEvaluator ev_sv(g, sv);
+  const std::vector<double> theta(ansatz.num_params(), 0.4);
+  EXPECT_NEAR(plan->energy(theta), ev_sv.energy(ansatz, theta), 1e-8);
+}
+
+TEST(ShapeDedup, RegularGraphSharesPrograms) {
+  Rng rng(83);
+  const auto g = graph::random_regular(10, 3, rng);
+  const auto ansatz =
+      qaoa::build_qaoa_circuit(g, 1, qaoa::MixerSpec::baseline());
+
+  qaoa::EnergyOptions opt;
+  opt.engine = qaoa::EngineKind::TensorNetwork;
+  const qaoa::EnergyEvaluator ev(g, opt);
+  const auto info = ev.plan_for(ansatz)->info();
+  EXPECT_EQ(info.terms, g.num_edges());
+  EXPECT_EQ(info.compiled_programs, info.distinct_shapes);
+  // Degree-regular p=1 cones differ only by local cycle structure: far
+  // fewer classes than edges.
+  EXPECT_LT(info.compiled_programs, g.num_edges());
+  EXPECT_GE(info.compiled_programs, 1u);
+}
+
+TEST(ShapeDedup, DedupOffCompilesPerEdgeAndAgrees) {
+  Rng rng(89);
+  const auto g = graph::random_regular(8, 3, rng);
+  const auto ansatz = qaoa::build_qaoa_circuit(g, 1, qaoa::MixerSpec::qnas());
+  const std::vector<double> theta(ansatz.num_params(), -0.7);
+
+  qaoa::EnergyOptions on;
+  on.engine = qaoa::EngineKind::TensorNetwork;
+  qaoa::EnergyOptions off = on;
+  off.qtensor.dedup_shapes = false;
+
+  const qaoa::EnergyEvaluator ev_on(g, on);
+  const qaoa::EnergyEvaluator ev_off(g, off);
+  const auto plan_on = ev_on.plan_for(ansatz);
+  const auto plan_off = ev_off.plan_for(ansatz);
+
+  // The ablation path compiles one program per edge; dedup compiles one per
+  // shape class. Both evaluate to the same energy and per-term values.
+  EXPECT_EQ(plan_off->info().compiled_programs, g.num_edges());
+  EXPECT_LE(plan_on->info().compiled_programs, g.num_edges());
+  EXPECT_NEAR(plan_on->energy(theta), plan_off->energy(theta), 1e-9);
+  const auto zz_on = plan_on->zz_expectations(theta);
+  const auto zz_off = plan_off->zz_expectations(theta);
+  ASSERT_EQ(zz_on.size(), zz_off.size());
+  for (std::size_t k = 0; k < zz_on.size(); ++k)
+    EXPECT_NEAR(zz_on[k], zz_off[k], 1e-9) << "term " << k;
 }
 
 TEST(PlanReuse, MultistartRestartsShareOneCompilation) {
@@ -309,8 +389,10 @@ TEST(PlanReuse, MultistartRestartsShareOneCompilation) {
   qtensor::reset_network_build_count();
   const auto result = evaluator.evaluate(qaoa::MixerSpec::baseline(), 1);
   // The whole candidate — every COBYLA step of every restart, plus the
-  // sampling pass (statevector-based) — builds each edge network once.
-  EXPECT_EQ(qtensor::network_build_count(), g.num_edges());
+  // sampling pass (statevector-based) — builds at most one network per edge
+  // (one per distinct lightcone shape, with dedup typically far fewer).
+  EXPECT_LE(qtensor::network_build_count(), g.num_edges());
+  EXPECT_GE(qtensor::network_build_count(), 1u);
   EXPECT_GT(result.evaluations, 0u);
 }
 

@@ -74,6 +74,32 @@ TEST(Simd, Pattern2MatchesScalarOnOddSizes) {
   }
 }
 
+TEST(Simd, CplxMulRunsMatchesScalarOnOddSizes) {
+  Rng rng(13);
+  for (const std::size_t n : kOddSizes) {
+    const auto acc0 = random_state(rng, n);
+    const auto x = random_state(rng, n);
+    auto a = acc0, b = acc0;
+    sim::simd::cplx_mul_runs(a.data(), x.data(), n, true);
+    sim::simd::cplx_mul_runs(b.data(), x.data(), n, false);
+    expect_ulp_close(a, b, "cplx_mul_runs");
+  }
+}
+
+TEST(Simd, CplxAddRunsMatchesScalarOnOddSizes) {
+  Rng rng(14);
+  for (const std::size_t n : kOddSizes) {
+    const auto x = random_state(rng, n);
+    const auto y = random_state(rng, n);
+    std::vector<cplx> a(n), b(n);
+    sim::simd::cplx_add_runs(a.data(), x.data(), y.data(), n, true);
+    sim::simd::cplx_add_runs(b.data(), x.data(), y.data(), n, false);
+    expect_ulp_close(a, b, "cplx_add_runs");
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(b[i], x[i] + y[i]) << "scalar add @" << i;
+  }
+}
+
 TEST(Simd, Diag1SliceMatchesScalarOnUnalignedBases) {
   Rng rng(13);
   for (const std::size_t n : kOddSizes) {
