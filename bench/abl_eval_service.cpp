@@ -1,6 +1,6 @@
 // Ablation: the shared evaluation service vs the old per-driver loops.
 //
-// Six sections, all on one graph + candidate cohort:
+// Eight sections, all on one graph + candidate cohort:
 //   1. Parity + compile-once probe: two concurrent SearchEngine clients
 //      share one EvalService; their best candidate must match the old-style
 //      private loop (one Evaluator, serial sweep) bit for bit, while
@@ -21,6 +21,12 @@
 //   6. Warm start: the same cohort through a cache_path-backed service
 //      twice; the second service must serve ≥ 90% from the persisted cache
 //      with zero plan recompiles.
+//   7. Plan-cache tier: a retraining run (results deliberately not cached)
+//      still reloads every contraction plan and never invokes the planner.
+//   8. Preemption: interactive p50/p99 single-candidate latency under a
+//      batch flood — FIFO vs fair-share vs fair-share + a 2 ms preemption
+//      quantum (running batch evaluations park at a safe point instead of
+//      holding a worker for their whole training run).
 //
 // Results land in BENCH_eval_service.json (section "eval_service").
 //
@@ -387,6 +393,90 @@ int main(int argc, char** argv) {
     plan_section.set("plans_loaded", plans_loaded);
     section.set("plan_cache", std::move(plan_section));
     std::remove(plan_file.c_str());
+  }
+
+  // -- 8. preemption: interactive tail latency under a batch flood ----------
+  {
+    // A batch client floods the whole cohort at 8x budget while an
+    // interactive client submits singles and waits for each one. Fair-share
+    // alone only reorders the QUEUES — an interactive single can still sit
+    // behind a full 8x training run already holding both workers. With a
+    // preemption quantum the running batch evaluation parks at its next
+    // safe point, the interactive job borrows the worker, and the batch
+    // job later resumes from its in-memory checkpoint.
+    SessionConfig contended = session;
+    contended.workers = 2;
+    const std::size_t singles = 24;
+    const auto run_leg = [&](bool fair, double quantum, json::Value& leg) {
+      SessionConfig cfg = contended;
+      cfg.preempt_quantum_seconds = quantum;
+      search::EvalService service(cfg);
+      std::vector<double> latencies;
+      latencies.reserve(singles);
+      std::thread batch([&] {
+        search::EvalClient me;
+        search::JobOptions job;
+        // 200x budget: each flood job runs for many quanta, so without
+        // preemption an interactive single waits for a WHOLE training run
+        // to finish even under fair-share queue ordering.
+        job.training_evals = 200 * evals;
+        if (fair) {
+          me = service.register_client("batch");
+          job.client = me.id();
+        }
+        // Deeper circuits (p+1): the flood's training runs are long enough
+        // to span many quanta even when COBYLA converges early.
+        (void)service.collect(service.submit_batch(g, cohort, p + 1, job));
+      });
+      std::thread interactive([&] {
+        search::EvalClient me;
+        search::JobOptions job;
+        if (fair) {
+          me = service.register_client("interactive");
+          job.client = me.id();
+        }
+        for (std::size_t i = 0; i < singles; ++i) {
+          // Unique budget per single: nothing dedups against the flood.
+          job.training_evals = evals + 1 + i;
+          auto ticket = service.submit(g, cohort[i % cohort.size()], p, job);
+          (void)ticket.wait();
+          latencies.push_back(ticket.finished_at() - ticket.submitted_at());
+        }
+      });
+      batch.join();
+      interactive.join();
+      std::sort(latencies.begin(), latencies.end());
+      const double p50 = latencies[latencies.size() / 2];
+      const double p99 = latencies[std::min(latencies.size() - 1,
+                                            latencies.size() * 99 / 100)];
+      const auto stats = service.stats();
+      leg.set("interactive_p50_seconds", p50);
+      leg.set("interactive_p99_seconds", p99);
+      leg.set("parked", stats.parked);
+      leg.set("resumed", stats.resumed);
+      return p99;
+    };
+    json::Value fifo = json::Value::object();
+    json::Value fair = json::Value::object();
+    json::Value preempt = json::Value::object();
+    const double fifo_p99 = run_leg(false, 0.0, fifo);
+    const double fair_p99 = run_leg(true, 0.0, fair);
+    const double preempt_p99 = run_leg(true, 0.002, preempt);
+    std::printf("\npreemption (interactive p99 under a batch flood):\n"
+                "  fifo:                 p99 %.1f ms\n"
+                "  fair-share:           p99 %.1f ms\n"
+                "  fair-share + preempt: p99 %.1f ms  (%.1fx better than "
+                "fifo, %zu parks)\n",
+                fifo_p99 * 1e3, fair_p99 * 1e3, preempt_p99 * 1e3,
+                fifo_p99 / std::max(1e-9, preempt_p99),
+                static_cast<std::size_t>(preempt.at("parked").as_number()));
+    json::Value preemption = json::Value::object();
+    preemption.set("fifo", std::move(fifo));
+    preemption.set("fair_share", std::move(fair));
+    preemption.set("fair_share_preempt", std::move(preempt));
+    preemption.set("interactive_p99_speedup_vs_fifo",
+                   fifo_p99 / std::max(1e-9, preempt_p99));
+    section.set("preemption", std::move(preemption));
   }
 
   bench::update_bench_json(out, "eval_service", std::move(section));

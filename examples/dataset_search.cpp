@@ -5,15 +5,61 @@
 //
 //   ./dataset_search [--graphs 6] [--n 8] [--slots 3] [--kmax 2]
 //                    [--out /tmp/qarch_dataset]
+//                    [--cache PATH] [--checkpoint PATH] [--ckpt-evals 0]
+//                    [--quantum 0] [--retries 0]
+//
+// --checkpoint + --cache turn on crash-safe durability: in-flight training
+// checkpoints persist to --checkpoint (cadence --ckpt-evals objective calls)
+// and completed results flush to --cache as they finish, so a killed run
+// restarted on the same paths resumes mid-training instead of from step 0
+// (the restart reports its "checkpoint resumes"). SIGINT/SIGTERM drain the
+// service gracefully: running evaluations park at their next safe point,
+// checkpoints and caches hit disk, then the process exits 130.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "common/cli.hpp"
 #include "graph/generators.hpp"
 #include "search/constraints.hpp"
 #include "search/dataset.hpp"
+#include "search/eval_service.hpp"
 #include "search/report_io.hpp"
 
 using namespace qarch;
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+void on_signal(int) { g_interrupted.store(true); }
+
+/// Installs SIGINT/SIGTERM handlers and starts a watchdog that drains the
+/// service and exits once a signal lands. Joined via `done` at normal exit.
+std::thread start_drain_watchdog(search::EvalService& service,
+                                 std::atomic<bool>& done) {
+  struct sigaction action = {};
+  action.sa_handler = on_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  return std::thread([&service, &done] {
+    while (!done.load()) {
+      if (g_interrupted.load()) {
+        std::fprintf(stderr,
+                     "\ninterrupted: draining service (parking running "
+                     "evaluations, persisting checkpoints)...\n");
+        const std::size_t parked = service.drain(5.0);
+        std::fprintf(stderr, "drained: %zu evaluations parked\n", parked);
+        std::_Exit(130);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
@@ -31,8 +77,9 @@ int main(int argc, char** argv) {
   search::DatasetSearchConfig cfg;
   cfg.engine.p_max = 1;
   cfg.engine.session.backend = BackendChoice::Statevector;
-  cfg.engine.session.training_evals = 120;
-  // node_slots client searches share one service; search_dataset widens the
+  cfg.engine.session.training_evals =
+      static_cast<std::size_t>(cli.get_int("evals", 120));
+  // node_slots client searches share one service; dataset_session widens the
   // pool to node_slots × session.workers, so one worker per slot suffices.
   // Constraints: trainable candidates only, no redundant repeats.
   cfg.engine.constraints
@@ -40,8 +87,28 @@ int main(int argc, char** argv) {
       .add(std::make_shared<search::NoImmediateRepeatConstraint>());
   cfg.k_max = k_max;
   cfg.node_slots = slots;
+  // Robustness knobs: checkpoint cadence + paths for crash-safe restarts.
+  cfg.engine.session.cache_path = cli.get("cache", "");
+  cfg.engine.session.checkpoint_path = cli.get("checkpoint", "");
+  cfg.engine.session.checkpoint_evals =
+      static_cast<std::size_t>(cli.get_int("ckpt-evals", 0));
+  cfg.engine.session.preempt_quantum_seconds = cli.get_double("quantum", 0.0);
+  cfg.engine.session.eval_retries = static_cast<int>(cli.get_int("retries", 0));
 
-  const auto report = search::search_dataset(graphs, cfg);
+  // Own the service (instead of letting search_dataset build one) so the
+  // signal watchdog can drain it: evaluations park at a safe point and their
+  // checkpoints land on disk before the process exits.
+  search::EvalService service(search::dataset_session(graphs, cfg));
+  if (!cfg.engine.session.cache_path.empty())
+    std::printf("warm start: loaded %zu cached results\n",
+                service.stats().cache_loaded);
+  if (!cfg.engine.session.checkpoint_path.empty())
+    std::printf("checkpoint warm start: loaded %zu in-flight checkpoints\n",
+                service.stats().checkpoints_loaded);
+  std::atomic<bool> done{false};
+  std::thread watchdog = start_drain_watchdog(service, done);
+
+  const auto report = search::search_dataset(graphs, cfg, service);
 
   std::printf("searched in %.2fs; top architectures across the dataset:\n\n",
               report.seconds);
@@ -63,5 +130,14 @@ int main(int argc, char** argv) {
   std::printf("winner: %s (mean r %.4f over %zu graphs)\n",
               report.best.mixer.to_string().c_str(), report.best.mean_ratio,
               report.best.graphs);
+
+  const auto stats = service.stats();
+  std::printf("robustness: %zu parked / %zu retried / %zu expired\n",
+              stats.parked, stats.retried, stats.deadline_expired);
+  std::printf("checkpoint resumes: %zu\n", stats.resumed);
+  std::printf("checkpoint discards: %zu\n", stats.checkpoints_discarded);
+
+  done.store(true);
+  watchdog.join();
   return 0;
 }

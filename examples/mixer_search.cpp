@@ -5,7 +5,7 @@
 //   ./mixer_search [--n 10] [--degree 4] [--pmax 2] [--kmax 2]
 //                  [--workers 0(=all cores)] [--evals 200] [--seed 3]
 //                  [--engine sv|tn|auto] [--small] [--cache PATH]
-//                  [--plan-cache PATH]
+//                  [--plan-cache PATH] [--checkpoint PATH] [--retries 0]
 //
 // --small shrinks everything (CI smoke-test profile: 6 qubits, p=1, k<=1,
 // 30 evaluations). --cache persists the service's candidate-result cache to
@@ -13,8 +13,17 @@
 // retraining (the second run reports its cache hits). --plan-cache persists
 // the tensor-network contraction-plan cache: with --engine tn a second run
 // compiles every candidate's networks from stored elimination orders and
-// never invokes the planner.
+// never invokes the planner. --checkpoint persists in-flight training
+// checkpoints (crash-safe resume); --retries bounds reruns of failed
+// evaluations (exercised by the QARCH_FAULT injection harness in CI).
+// SIGINT/SIGTERM drain the service — running evaluations park at a safe
+// point, caches and checkpoints hit disk — then exit 130.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "common/cli.hpp"
 #include "graph/generators.hpp"
@@ -23,6 +32,36 @@
 #include "search/engine.hpp"
 
 using namespace qarch;
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+void on_signal(int) { g_interrupted.store(true); }
+
+/// Installs SIGINT/SIGTERM handlers and starts a watchdog that drains the
+/// service and exits once a signal lands. Joined via `done` at normal exit.
+std::thread start_drain_watchdog(search::EvalService& service,
+                                 std::atomic<bool>& done) {
+  struct sigaction action = {};
+  action.sa_handler = on_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  return std::thread([&service, &done] {
+    while (!done.load()) {
+      if (g_interrupted.load()) {
+        std::fprintf(stderr,
+                     "\ninterrupted: draining service (parking running "
+                     "evaluations, persisting checkpoints)...\n");
+        const std::size_t parked = service.drain(5.0);
+        std::fprintf(stderr, "drained: %zu evaluations parked\n", parked);
+        std::_Exit(130);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
@@ -49,6 +88,10 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("evals", small ? 30 : 200));
   cfg.session.cache_path = cli.get("cache", "");
   cfg.session.plan_cache_path = cli.get("plan-cache", "");
+  cfg.session.checkpoint_path = cli.get("checkpoint", "");
+  cfg.session.checkpoint_evals =
+      static_cast<std::size_t>(cli.get_int("ckpt-evals", 0));
+  cfg.session.eval_retries = static_cast<int>(cli.get_int("retries", 0));
 
   // One service; the engine is a pure client. A second engine (or thread)
   // could share `service` and its caches — fairly, since every run registers
@@ -61,6 +104,11 @@ int main(int argc, char** argv) {
     std::printf("plan warm start: loaded %zu contraction plans from %s\n",
                 service.stats().plans_loaded,
                 cfg.session.plan_cache_path.c_str());
+  if (!cfg.session.checkpoint_path.empty())
+    std::printf("checkpoint warm start: loaded %zu in-flight checkpoints\n",
+                service.stats().checkpoints_loaded);
+  std::atomic<bool> done{false};
+  std::thread watchdog = start_drain_watchdog(service, done);
   const search::SearchEngine engine(cfg);
   const search::SearchReport report = engine.run_exhaustive(service, g, k_max);
   if (!cfg.session.plan_cache_path.empty())
@@ -84,5 +132,11 @@ int main(int argc, char** argv) {
   std::printf("%s\n",
               circuit::draw(qaoa::build_mixer_circuit(n, report.best.mixer))
                   .c_str());
+  const auto stats = service.stats();
+  if (stats.retried > 0 || stats.parked > 0 || stats.resumed > 0)
+    std::printf("robustness: %zu retried / %zu parked / %zu resumed\n",
+                stats.retried, stats.parked, stats.resumed);
+  done.store(true);
+  watchdog.join();
   return 0;
 }

@@ -96,4 +96,14 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 Rng Rng::split() { return Rng((*this)() ^ 0xa5a5a5a5deadbeefULL); }
 
+RngState Rng::state() const {
+  return RngState{state_, cached_normal_, has_cached_normal_};
+}
+
+void Rng::restore(const RngState& s) {
+  state_ = s.words;
+  cached_normal_ = s.cached_normal;
+  has_cached_normal_ = s.has_cached_normal;
+}
+
 }  // namespace qarch

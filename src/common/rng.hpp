@@ -13,6 +13,16 @@
 
 namespace qarch {
 
+/// Complete serializable snapshot of an Rng: the xoshiro words plus the
+/// Box–Muller cache. Restoring it continues the exact variate stream —
+/// including a pending cached normal — which is what makes SPSA/multistart
+/// training runs resumable bit-for-bit after a preemption checkpoint.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 /// xoshiro256** 1.0 — a fast, high-quality 64-bit PRNG with 256-bit state.
 class Rng {
  public:
@@ -59,6 +69,12 @@ class Rng {
 
   /// Derives an independent child generator (for per-thread streams).
   Rng split();
+
+  /// Snapshots the full generator state (words + Box–Muller cache).
+  [[nodiscard]] RngState state() const;
+
+  /// Restores a snapshot taken by state(); the stream continues exactly.
+  void restore(const RngState& s);
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -38,12 +38,22 @@ bool solve_linear(std::vector<std::vector<double>> a, std::vector<double> b,
 
 }  // namespace
 
-OptimResult Cobyla::minimize(const Objective& f,
-                             std::vector<double> x0) const {
+OptimResult Cobyla::minimize(const Objective& f, std::vector<double> x0,
+                             OptimState& state, PreemptToken* preempt) const {
   const std::size_t n = x0.size();
   QARCH_REQUIRE(n >= 1, "cobyla needs at least one parameter");
   QARCH_REQUIRE(config_.max_evals >= n + 2,
                 "evaluation budget too small for the initial simplex");
+  // State layout: numbers = [rho, best_so_far, values (n+1), points
+  // flattened ((n+1) x n, row major)].
+  const std::size_t state_numbers = 2 + (n + 1) + (n + 1) * n;
+  const bool resuming = !state.fresh();
+  if (resuming) {
+    QARCH_REQUIRE(state.optimizer == name(),
+                  "optim state belongs to a different optimizer");
+    QARCH_REQUIRE(state.numbers.size() == state_numbers,
+                  "cobyla state has the wrong shape");
+  }
 
   OptimResult result;
   result.history.reserve(config_.max_evals);
@@ -76,7 +86,20 @@ OptimResult Cobyla::minimize(const Objective& f,
     return true;
   };
 
-  rebuild_simplex(x0, 0.0, false);
+  std::size_t evals_at_entry = 0;
+  if (resuming) {
+    evals_at_entry = state.evaluations;
+    result.evaluations = state.evaluations;
+    result.history = state.history;
+    std::size_t at = 0;
+    rho = state.numbers[at++];
+    best_so_far = state.numbers[at++];
+    for (std::size_t i = 0; i <= n; ++i) values[i] = state.numbers[at++];
+    for (std::size_t i = 0; i <= n; ++i)
+      for (std::size_t j = 0; j < n; ++j) points[i][j] = state.numbers[at++];
+  } else {
+    rebuild_simplex(x0, 0.0, false);
+  }
 
   auto best_index = [&] {
     std::size_t bi = 0;
@@ -85,7 +108,33 @@ OptimResult Cobyla::minimize(const Objective& f,
     return bi;
   };
 
+  auto pack = [&] {
+    state.optimizer = name();
+    state.evaluations = result.evaluations;
+    state.history = result.history;
+    state.numbers.clear();
+    state.numbers.reserve(state_numbers);
+    state.numbers.push_back(rho);
+    state.numbers.push_back(best_so_far);
+    for (std::size_t i = 0; i <= n; ++i) state.numbers.push_back(values[i]);
+    for (std::size_t i = 0; i <= n; ++i)
+      for (std::size_t j = 0; j < n; ++j) state.numbers.push_back(points[i][j]);
+    state.words.clear();
+    state.child.clear();
+  };
+
   while (result.evaluations < config_.max_evals && rho > config_.rho_end) {
+    // Preemption safe point: the simplex is complete and consistent here.
+    // Guaranteed progress — never park before this slice made an eval.
+    if (preempt && result.evaluations > evals_at_entry &&
+        preempt->should_stop(result.evaluations)) {
+      pack();
+      const std::size_t bi = best_index();
+      result.x = points[bi];
+      result.value = values[bi];
+      result.preempted = true;
+      return result;
+    }
     // Affine interpolation: f(x) ≈ values[0] + g·(x - points[0]).
     std::vector<std::vector<double>> a(n, std::vector<double>(n));
     std::vector<double> rhs(n);
@@ -156,6 +205,7 @@ OptimResult Cobyla::minimize(const Objective& f,
   const std::size_t bi = best_index();
   result.x = points[bi];
   result.value = values[bi];
+  state.clear();
   return result;
 }
 

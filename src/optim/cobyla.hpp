@@ -7,6 +7,9 @@
 // the model, and shrink the trust radius when the model stops producing
 // improvement. Termination on either the evaluation budget (`max_evals`,
 // 200 in every paper experiment) or trust radius reaching `rho_end`.
+//
+// Resumable: the OptimState packs the trust radius plus the full simplex
+// (points + values), so a preempted run continues bit-identically.
 #pragma once
 
 #include "optim/optimizer.hpp"
@@ -25,8 +28,10 @@ class Cobyla final : public Optimizer {
  public:
   explicit Cobyla(CobylaConfig config = {}) : config_(config) {}
 
-  [[nodiscard]] OptimResult minimize(const Objective& f,
-                                     std::vector<double> x0) const override;
+  using Optimizer::minimize;
+  [[nodiscard]] OptimResult minimize(const Objective& f, std::vector<double> x0,
+                                     OptimState& state,
+                                     PreemptToken* preempt) const override;
   [[nodiscard]] std::string name() const override { return "cobyla"; }
 
   [[nodiscard]] const CobylaConfig& config() const { return config_; }

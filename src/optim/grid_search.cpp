@@ -7,11 +7,20 @@
 
 namespace qarch::optim {
 
-OptimResult GridSearch::minimize(const Objective& f,
-                                 std::vector<double> x0) const {
+OptimResult GridSearch::minimize(const Objective& f, std::vector<double> x0,
+                                 OptimState& state,
+                                 PreemptToken* preempt) const {
   const std::size_t n = x0.size();
   QARCH_REQUIRE(n >= 1 && n <= 3, "grid search limited to 1-3 dimensions");
   QARCH_REQUIRE(config_.points_per_axis >= 2, "need at least 2 grid points");
+  // State layout: words = [flat cursor]; numbers = [best value, best x (n)].
+  const bool resuming = !state.fresh();
+  if (resuming) {
+    QARCH_REQUIRE(state.optimizer == name(),
+                  "optim state belongs to a different optimizer");
+    QARCH_REQUIRE(state.numbers.size() == 1 + n && state.words.size() == 1,
+                  "grid state has the wrong shape");
+  }
 
   const std::size_t ppa = config_.points_per_axis;
   std::size_t total = 1;
@@ -19,8 +28,33 @@ OptimResult GridSearch::minimize(const Objective& f,
 
   OptimResult result;
   result.value = std::numeric_limits<double>::infinity();
+  std::size_t flat_start = 0;
+  if (resuming) {
+    flat_start = static_cast<std::size_t>(state.words[0]);
+    result.evaluations = state.evaluations;
+    result.history = state.history;
+    result.value = state.numbers[0];
+    result.x.assign(state.numbers.begin() + 1, state.numbers.end());
+  }
+  const std::size_t evals_at_entry = result.evaluations;
+
   std::vector<double> x(n);
-  for (std::size_t flat = 0; flat < total; ++flat) {
+  for (std::size_t flat = flat_start; flat < total; ++flat) {
+    // Preemption safe point between grid points.
+    if (preempt && result.evaluations > evals_at_entry &&
+        preempt->should_stop(result.evaluations)) {
+      state.optimizer = name();
+      state.evaluations = result.evaluations;
+      state.history = result.history;
+      state.numbers.clear();
+      state.numbers.push_back(result.value);
+      state.numbers.insert(state.numbers.end(), result.x.begin(),
+                           result.x.end());
+      state.words = {static_cast<std::uint64_t>(flat)};
+      state.child.clear();
+      result.preempted = true;
+      return result;
+    }
     std::size_t rem = flat;
     for (std::size_t j = 0; j < n; ++j) {
       const std::size_t k = rem % ppa;
@@ -37,6 +71,7 @@ OptimResult GridSearch::minimize(const Objective& f,
     }
     result.history.push_back(result.value);
   }
+  state.clear();
   return result;
 }
 

@@ -1,5 +1,8 @@
 // Exhaustive grid search over a box; exact baseline for low dimensions
 // (QAOA p=1 has just two parameters, so a fine grid is feasible).
+//
+// Resumable: the OptimState packs the flat grid cursor and the incumbent,
+// so a preempted sweep continues from the next unvisited grid point.
 #pragma once
 
 #include "optim/optimizer.hpp"
@@ -19,8 +22,10 @@ class GridSearch final : public Optimizer {
  public:
   explicit GridSearch(GridSearchConfig config = {}) : config_(config) {}
 
-  [[nodiscard]] OptimResult minimize(const Objective& f,
-                                     std::vector<double> x0) const override;
+  using Optimizer::minimize;
+  [[nodiscard]] OptimResult minimize(const Objective& f, std::vector<double> x0,
+                                     OptimState& state,
+                                     PreemptToken* preempt) const override;
   [[nodiscard]] std::string name() const override { return "grid"; }
 
  private:

@@ -1,5 +1,6 @@
 #include "optim/multistart.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/error.hpp"
@@ -15,8 +16,9 @@ MultiStart::MultiStart(OptimizerFactory factory, MultiStartConfig config)
                 "budget smaller than restart count");
 }
 
-OptimResult MultiStart::minimize(const Objective& f,
-                                 std::vector<double> x0) const {
+OptimResult MultiStart::minimize(const Objective& f, std::vector<double> x0,
+                                 OptimState& state,
+                                 PreemptToken* preempt) const {
   const std::size_t per_run = config_.total_evals / config_.restarts;
   Rng rng(config_.seed);
 
@@ -24,26 +26,89 @@ OptimResult MultiStart::minimize(const Objective& f,
   best.value = std::numeric_limits<double>::infinity();
   OptimResult combined;
 
-  for (std::size_t r = 0; r < config_.restarts; ++r) {
+  // State layout: words = [restart cursor, has_cached_normal, rng words
+  // (4)]; numbers = [best value, cached_normal, best x (dimension implied)];
+  // child = the in-progress restart's own state. `evaluations`/`history`
+  // cover the COMPLETED restarts only — the partial restart's share lives
+  // in the child.
+  std::size_t r_start = 0;
+  OptimState inner;
+  const bool resuming = !state.fresh();
+  if (resuming) {
+    QARCH_REQUIRE(state.optimizer == name(),
+                  "optim state belongs to a different optimizer");
+    QARCH_REQUIRE(state.words.size() == 6 && state.numbers.size() >= 2 &&
+                      state.child.size() <= 1,
+                  "multi-start state has the wrong shape");
+    r_start = static_cast<std::size_t>(state.words[0]);
+    RngState rs;
+    rs.words = {state.words[2], state.words[3], state.words[4],
+                state.words[5]};
+    rs.cached_normal = state.numbers[1];
+    rs.has_cached_normal = state.words[1] != 0;
+    rng.restore(rs);
+    best.value = state.numbers[0];
+    best.x.assign(state.numbers.begin() + 2, state.numbers.end());
+    combined.evaluations = state.evaluations;
+    combined.history = state.history;
+    if (!state.child.empty()) inner = state.child[0];
+  }
+
+  auto stitch = [&](OptimResult& into, const OptimResult& run) {
+    into.evaluations += run.evaluations;
+    // Stitch the best-so-far history across restarts.
+    const double floor = into.history.empty()
+                             ? std::numeric_limits<double>::infinity()
+                             : into.history.back();
+    for (double h : run.history)
+      into.history.push_back(std::min(h, floor));
+  };
+
+  for (std::size_t r = r_start; r < config_.restarts; ++r) {
     std::vector<double> start = x0;
-    if (r > 0)  // first run keeps the caller's initial point
+    // The first run keeps the caller's initial point. A restart resumed
+    // mid-run (non-fresh inner state) already consumed its jitter draws
+    // before it was parked — the packed RNG stream reflects that.
+    if (r > 0 && inner.fresh())
       for (double& x : start) x += rng.normal(0.0, config_.perturbation);
 
     const std::unique_ptr<Optimizer> base = factory_(per_run);
-    const OptimResult run = base->minimize(f, std::move(start));
+    const OptimResult run = base->minimize(f, std::move(start), inner, preempt);
 
-    combined.evaluations += run.evaluations;
-    // Stitch the best-so-far history across restarts.
-    const double floor = combined.history.empty()
-                             ? std::numeric_limits<double>::infinity()
-                             : combined.history.back();
-    for (double h : run.history)
-      combined.history.push_back(std::min(h, floor));
+    if (run.preempted) {
+      const RngState rs = rng.state();
+      state.optimizer = name();
+      state.evaluations = combined.evaluations;
+      state.history = combined.history;
+      state.words = {static_cast<std::uint64_t>(r),
+                     rs.has_cached_normal ? 1ULL : 0ULL,
+                     rs.words[0], rs.words[1], rs.words[2], rs.words[3]};
+      state.numbers.clear();
+      state.numbers.push_back(best.value);
+      state.numbers.push_back(rs.cached_normal);
+      state.numbers.insert(state.numbers.end(), best.x.begin(), best.x.end());
+      state.child.assign(1, inner);
+
+      OptimResult partial = combined;
+      stitch(partial, run);
+      if (run.value < best.value) {
+        partial.x = run.x;
+        partial.value = run.value;
+      } else {
+        partial.x = best.x;
+        partial.value = best.value;
+      }
+      partial.preempted = true;
+      return partial;
+    }
+
+    stitch(combined, run);
     if (run.value < best.value) best = run;
   }
 
   combined.x = best.x;
   combined.value = best.value;
+  state.clear();
   return combined;
 }
 

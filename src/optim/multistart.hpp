@@ -4,6 +4,11 @@
 // QAOA landscapes are non-convex with symmetric local optima; multi-start is
 // the standard mitigation when a single 200-eval run stalls. The wrapper
 // divides the total budget evenly across restarts and returns the best run.
+//
+// Resumable: the OptimState packs the restart cursor, the incumbent, the
+// jitter RNG stream, and the in-progress restart's own state as a nested
+// child — so preemption composes through the wrapper to whatever base
+// optimizer the factory builds.
 #pragma once
 
 #include <cstdint>
@@ -30,8 +35,10 @@ class MultiStart final : public Optimizer {
  public:
   MultiStart(OptimizerFactory factory, MultiStartConfig config = {});
 
-  [[nodiscard]] OptimResult minimize(const Objective& f,
-                                     std::vector<double> x0) const override;
+  using Optimizer::minimize;
+  [[nodiscard]] OptimResult minimize(const Objective& f, std::vector<double> x0,
+                                     OptimState& state,
+                                     PreemptToken* preempt) const override;
   [[nodiscard]] std::string name() const override { return "multi-start"; }
 
  private:

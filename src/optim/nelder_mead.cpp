@@ -9,11 +9,23 @@
 
 namespace qarch::optim {
 
-OptimResult NelderMead::minimize(const Objective& f,
-                                 std::vector<double> x0) const {
+OptimResult NelderMead::minimize(const Objective& f, std::vector<double> x0,
+                                 OptimState& state,
+                                 PreemptToken* preempt) const {
   const std::size_t n = x0.size();
   QARCH_REQUIRE(n >= 1, "nelder-mead needs at least one parameter");
   QARCH_REQUIRE(config_.max_evals >= n + 2, "budget too small for simplex");
+  // State layout: numbers = [best_so_far, vals (n+1), pts flattened
+  // ((n+1) x n)]; words = idx permutation (n+1).
+  const std::size_t state_numbers = 1 + (n + 1) + (n + 1) * n;
+  const bool resuming = !state.fresh();
+  if (resuming) {
+    QARCH_REQUIRE(state.optimizer == name(),
+                  "optim state belongs to a different optimizer");
+    QARCH_REQUIRE(state.numbers.size() == state_numbers &&
+                      state.words.size() == n + 1,
+                  "nelder-mead state has the wrong shape");
+  }
 
   OptimResult result;
   double best_so_far = std::numeric_limits<double>::infinity();
@@ -29,16 +41,60 @@ OptimResult NelderMead::minimize(const Objective& f,
   // Initial simplex around x0.
   std::vector<std::vector<double>> pts(n + 1, x0);
   std::vector<double> vals(n + 1);
-  vals[0] = eval(pts[0]);
-  for (std::size_t i = 0; i < n && budget_left(); ++i) {
-    pts[i + 1][i] += config_.initial_step;
-    vals[i + 1] = eval(pts[i + 1]);
+  std::vector<std::size_t> idx(n + 1);
+  std::size_t evals_at_entry = 0;
+  if (resuming) {
+    evals_at_entry = state.evaluations;
+    result.evaluations = state.evaluations;
+    result.history = state.history;
+    std::size_t at = 0;
+    best_so_far = state.numbers[at++];
+    for (std::size_t i = 0; i <= n; ++i) vals[i] = state.numbers[at++];
+    for (std::size_t i = 0; i <= n; ++i)
+      for (std::size_t j = 0; j < n; ++j) pts[i][j] = state.numbers[at++];
+    for (std::size_t i = 0; i <= n; ++i)
+      idx[i] = static_cast<std::size_t>(state.words[i]);
+  } else {
+    vals[0] = eval(pts[0]);
+    for (std::size_t i = 0; i < n && budget_left(); ++i) {
+      pts[i + 1][i] += config_.initial_step;
+      vals[i + 1] = eval(pts[i + 1]);
+    }
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
   }
 
-  std::vector<std::size_t> idx(n + 1);
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  auto pack = [&] {
+    state.optimizer = name();
+    state.evaluations = result.evaluations;
+    state.history = result.history;
+    state.numbers.clear();
+    state.numbers.reserve(state_numbers);
+    state.numbers.push_back(best_so_far);
+    for (std::size_t i = 0; i <= n; ++i) state.numbers.push_back(vals[i]);
+    for (std::size_t i = 0; i <= n; ++i)
+      for (std::size_t j = 0; j < n; ++j) state.numbers.push_back(pts[i][j]);
+    state.words.assign(idx.begin(), idx.end());
+    state.child.clear();
+  };
+
+  auto final_best = [&] {
+    std::size_t bi = 0;
+    for (std::size_t i = 1; i <= n; ++i)
+      if (vals[i] < vals[bi]) bi = i;
+    return bi;
+  };
 
   while (budget_left()) {
+    // Preemption safe point: simplex complete, nothing half-applied.
+    if (preempt && result.evaluations > evals_at_entry &&
+        preempt->should_stop(result.evaluations)) {
+      pack();
+      const std::size_t bi = final_best();
+      result.x = pts[bi];
+      result.value = vals[bi];
+      result.preempted = true;
+      return result;
+    }
     std::sort(idx.begin(), idx.end(),
               [&](std::size_t a, std::size_t b) { return vals[a] < vals[b]; });
     const std::size_t best = idx[0], worst = idx[n];
@@ -103,11 +159,10 @@ OptimResult NelderMead::minimize(const Objective& f,
     }
   }
 
-  std::size_t bi = 0;
-  for (std::size_t i = 1; i <= n; ++i)
-    if (vals[i] < vals[bi]) bi = i;
+  const std::size_t bi = final_best();
   result.x = pts[bi];
   result.value = vals[bi];
+  state.clear();
   return result;
 }
 

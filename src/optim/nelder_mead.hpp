@@ -1,4 +1,8 @@
 // Nelder–Mead downhill simplex (ablation alternative to COBYLA).
+//
+// Resumable: the OptimState packs the simplex (points + values) and the
+// current index permutation, so a preempted run continues bit-identically
+// (the permutation matters because std::sort is not stable under ties).
 #pragma once
 
 #include "optim/optimizer.hpp"
@@ -21,8 +25,10 @@ class NelderMead final : public Optimizer {
  public:
   explicit NelderMead(NelderMeadConfig config = {}) : config_(config) {}
 
-  [[nodiscard]] OptimResult minimize(const Objective& f,
-                                     std::vector<double> x0) const override;
+  using Optimizer::minimize;
+  [[nodiscard]] OptimResult minimize(const Objective& f, std::vector<double> x0,
+                                     OptimState& state,
+                                     PreemptToken* preempt) const override;
   [[nodiscard]] std::string name() const override { return "nelder-mead"; }
 
  private:

@@ -3,8 +3,25 @@
 // The paper trains every candidate circuit for 200 steps of COBYLA; the
 // evaluator takes any Optimizer so ablations can swap in Nelder–Mead, SPSA,
 // or grid search (see bench/abl_optimizers).
+//
+// Every optimizer is RESUMABLE: minimize() takes an opaque OptimState plus an
+// optional PreemptToken, polled at the loop-top safe points of the optimizer
+// (every iteration, i.e. at most ~dim objective calls apart). When the token
+// fires, the optimizer packs its complete loop state — simplex/trust region
+// (COBYLA), simplex (Nelder–Mead), iteration counter + RNG stream (SPSA),
+// grid cursor, restart cursor + nested state (multi-start) — into the
+// OptimState and returns with `preempted = true`. Passing that state back in
+// (to a fresh optimizer instance with the same configuration) continues the
+// run EXACTLY where it stopped: the final x / value / evaluations / history
+// are bit-identical to an uninterrupted run, no matter how often it was
+// preempted. OptimState is plain data (doubles + integers + a nested child),
+// serializable to JSON via search::optim_state_to_json — the evaluation
+// service persists it as the in-flight training checkpoint that makes parked
+// jobs and killed processes resumable.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
@@ -15,12 +32,60 @@ namespace qarch::optim {
 /// Objective: maps a parameter vector to a scalar to be MINIMIZED.
 using Objective = std::function<double(std::span<const double>)>;
 
+/// Opaque, serializable snapshot of an interrupted minimize() run. Treat the
+/// contents as the producing optimizer's private business: the only public
+/// contract is that a default-constructed state means "start fresh" and that
+/// a packed state resumes the run that packed it (same optimizer name and
+/// configuration).
+struct OptimState {
+  std::string optimizer;   ///< producer's name(); empty = fresh start
+  std::size_t evaluations = 0;     ///< objective calls consumed so far
+  std::vector<double> history;     ///< best-so-far value after each call
+  std::vector<double> numbers;     ///< optimizer-specific real internals
+  std::vector<std::uint64_t> words;  ///< optimizer-specific integer internals
+                                     ///< (counters, RNG words)
+  std::vector<OptimState> child;   ///< nested state (multi-start: the
+                                   ///< in-progress restart), 0 or 1 entries
+
+  [[nodiscard]] bool fresh() const { return optimizer.empty(); }
+  void clear() { *this = OptimState(); }
+};
+
+/// Cooperative-preemption hook polled by every optimizer at its loop-top
+/// safe points. Implementations decide WHY to stop (a scheduler quantum
+/// expired, a checkpoint is due, a deadline passed); the optimizer only
+/// guarantees that when should_stop returns true it packs its state and
+/// returns promptly — and that it makes at least one objective call of
+/// progress per minimize() invocation before polling, so a token that always
+/// fires still terminates.
+class PreemptToken {
+ public:
+  virtual ~PreemptToken() = default;
+
+  /// `evaluations` is the calling optimizer's own objective-call counter —
+  /// informational (it resets across multi-start restarts).
+  [[nodiscard]] virtual bool should_stop(std::size_t evaluations) = 0;
+};
+
+/// The trivial token: fires once requested (tests, manual interruption).
+class ManualPreempt final : public PreemptToken {
+ public:
+  void request_stop() { stop_.store(true); }
+  void reset() { stop_.store(false); }
+  [[nodiscard]] bool should_stop(std::size_t) override { return stop_.load(); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
 /// Result of an optimization run.
 struct OptimResult {
   std::vector<double> x;          ///< best parameters found
   double value = 0.0;             ///< objective at x
   std::size_t evaluations = 0;    ///< objective calls consumed
   std::vector<double> history;    ///< best-so-far value after each call
+  bool preempted = false;         ///< stopped by the PreemptToken; the
+                                  ///< OptimState resumes the run
 };
 
 /// Abstract derivative-free minimizer.
@@ -29,8 +94,21 @@ class Optimizer {
   virtual ~Optimizer() = default;
 
   /// Minimizes f starting at x0 within the optimizer's evaluation budget.
+  [[nodiscard]] OptimResult minimize(const Objective& f,
+                                     std::vector<double> x0) const {
+    OptimState scratch;
+    return minimize(f, std::move(x0), scratch, nullptr);
+  }
+
+  /// Resumable form. A fresh `state` starts from x0; a state packed by a
+  /// previous preempted run of the same optimizer continues it (x0 is then
+  /// only consulted for its dimension). When `preempt` fires, the partial
+  /// result comes back with `preempted = true` and `state` holds everything
+  /// needed to continue. On normal completion `state` is cleared.
   [[nodiscard]] virtual OptimResult minimize(const Objective& f,
-                                             std::vector<double> x0) const = 0;
+                                             std::vector<double> x0,
+                                             OptimState& state,
+                                             PreemptToken* preempt) const = 0;
 
   /// Display name ("cobyla", "nelder-mead", ...).
   [[nodiscard]] virtual std::string name() const = 0;

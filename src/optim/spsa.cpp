@@ -9,10 +9,21 @@
 
 namespace qarch::optim {
 
-OptimResult Spsa::minimize(const Objective& f, std::vector<double> x0) const {
+OptimResult Spsa::minimize(const Objective& f, std::vector<double> x0,
+                           OptimState& state, PreemptToken* preempt) const {
   const std::size_t n = x0.size();
   QARCH_REQUIRE(n >= 1, "spsa needs at least one parameter");
   QARCH_REQUIRE(config_.max_evals >= 3, "budget too small");
+  // State layout: numbers = [best_so_far, cached_normal, x (n), best_x (n)];
+  // words = [k, has_cached_normal, rng words (4)].
+  const bool resuming = !state.fresh();
+  if (resuming) {
+    QARCH_REQUIRE(state.optimizer == name(),
+                  "optim state belongs to a different optimizer");
+    QARCH_REQUIRE(
+        state.numbers.size() == 2 + 2 * n && state.words.size() == 6,
+        "spsa state has the wrong shape");
+  }
 
   Rng rng(config_.seed);
   OptimResult result;
@@ -31,10 +42,54 @@ OptimResult Spsa::minimize(const Objective& f, std::vector<double> x0) const {
   };
 
   std::vector<double> x = std::move(x0);
-  eval(x);
+  std::size_t k = 0;
+  std::size_t evals_at_entry = 0;
+  if (resuming) {
+    evals_at_entry = state.evaluations;
+    result.evaluations = state.evaluations;
+    result.history = state.history;
+    best_so_far = state.numbers[0];
+    for (std::size_t j = 0; j < n; ++j) x[j] = state.numbers[2 + j];
+    for (std::size_t j = 0; j < n; ++j) best_x[j] = state.numbers[2 + n + j];
+    k = static_cast<std::size_t>(state.words[0]);
+    RngState rs;
+    rs.words = {state.words[2], state.words[3], state.words[4],
+                state.words[5]};
+    rs.cached_normal = state.numbers[1];
+    rs.has_cached_normal = state.words[1] != 0;
+    rng.restore(rs);
+  } else {
+    eval(x);
+  }
+
+  auto pack = [&] {
+    const RngState rs = rng.state();
+    state.optimizer = name();
+    state.evaluations = result.evaluations;
+    state.history = result.history;
+    state.numbers.clear();
+    state.numbers.reserve(2 + 2 * n);
+    state.numbers.push_back(best_so_far);
+    state.numbers.push_back(rs.cached_normal);
+    state.numbers.insert(state.numbers.end(), x.begin(), x.end());
+    state.numbers.insert(state.numbers.end(), best_x.begin(), best_x.end());
+    state.words = {static_cast<std::uint64_t>(k),
+                   rs.has_cached_normal ? 1ULL : 0ULL,
+                   rs.words[0], rs.words[1], rs.words[2], rs.words[3]};
+    state.child.clear();
+  };
 
   std::vector<double> delta(n), plus(n), minus(n);
-  for (std::size_t k = 0; result.evaluations + 2 <= config_.max_evals; ++k) {
+  while (result.evaluations + 2 <= config_.max_evals) {
+    // Preemption safe point: between full (plus, minus) iteration pairs.
+    if (preempt && result.evaluations > evals_at_entry &&
+        preempt->should_stop(result.evaluations)) {
+      pack();
+      result.x = best_x;
+      result.value = best_so_far;
+      result.preempted = true;
+      return result;
+    }
     const double ak =
         config_.a / std::pow(static_cast<double>(k) + 1 + config_.stability,
                              config_.alpha);
@@ -52,10 +107,12 @@ OptimResult Spsa::minimize(const Objective& f, std::vector<double> x0) const {
       const double ghat = (fp - fm) / (2.0 * ck * delta[j]);
       x[j] -= ak * ghat;
     }
+    ++k;
   }
 
   result.x = std::move(best_x);
   result.value = best_so_far;
+  state.clear();
   return result;
 }
 

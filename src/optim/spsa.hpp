@@ -3,6 +3,10 @@
 // A standard optimizer for noisy variational-quantum objectives; included as
 // an ablation alternative. Two objective calls per iteration regardless of
 // dimension.
+//
+// Resumable: the OptimState packs the iterate, incumbent, iteration counter
+// and the full RNG stream (including the Box–Muller cache), so a preempted
+// run draws the exact same perturbation sequence when it continues.
 #pragma once
 
 #include <cstdint>
@@ -27,8 +31,10 @@ class Spsa final : public Optimizer {
  public:
   explicit Spsa(SpsaConfig config = {}) : config_(config) {}
 
-  [[nodiscard]] OptimResult minimize(const Objective& f,
-                                     std::vector<double> x0) const override;
+  using Optimizer::minimize;
+  [[nodiscard]] OptimResult minimize(const Objective& f, std::vector<double> x0,
+                                     OptimState& state,
+                                     PreemptToken* preempt) const override;
   [[nodiscard]] std::string name() const override { return "spsa"; }
 
  private:

@@ -15,6 +15,8 @@ struct TrainResult {
   std::vector<double> theta;     ///< trained parameters (γ, β interleaved)
   double energy = 0.0;           ///< best <C> reached (maximized)
   std::size_t evaluations = 0;   ///< objective calls used
+  bool preempted = false;        ///< run parked by the PreemptToken; the
+                                 ///< OptimState continues it later
 };
 
 /// Training configuration. The optimizer MINIMIZES, so the objective is
@@ -28,6 +30,16 @@ TrainResult train_qaoa(const circuit::Circuit& ansatz,
                        const EnergyEvaluator& evaluator,
                        const optim::Optimizer& optimizer,
                        const TrainOptions& options = {});
+
+/// Resumable form: threads a training checkpoint (`state`) and a cooperative
+/// preemption token through the optimizer. A fresh state starts the run; a
+/// state packed by a previous preempted call continues it, and the stitched
+/// final result is identical to an uninterrupted run.
+TrainResult train_qaoa(const circuit::Circuit& ansatz,
+                       const EnergyEvaluator& evaluator,
+                       const optim::Optimizer& optimizer,
+                       const TrainOptions& options, optim::OptimState& state,
+                       optim::PreemptToken* preempt);
 
 /// Approximation ratio r = <C> / C_classical (Eq. 3). `classical_optimum`
 /// is the exact max-cut value of the same graph.

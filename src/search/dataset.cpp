@@ -12,12 +12,10 @@
 
 namespace qarch::search {
 
-DatasetReport search_dataset(const std::vector<graph::Graph>& graphs,
-                             const DatasetSearchConfig& config) {
+SessionConfig dataset_session(const std::vector<graph::Graph>& graphs,
+                              const DatasetSearchConfig& config) {
   QARCH_REQUIRE(!graphs.empty(), "dataset must contain at least one graph");
   QARCH_REQUIRE(config.node_slots >= 1, "need at least one node slot");
-
-  Timer timer;
   const std::size_t clients = std::min(config.node_slots, graphs.size());
   // One shared service for the whole dataset. Every graph needs its own
   // evaluator — up to two under backend=Auto, which can resolve different
@@ -33,7 +31,23 @@ DatasetReport search_dataset(const std::vector<graph::Graph>& graphs,
   session.evaluator_cache =
       std::max(session.evaluator_cache, 2 * graphs.size());
   if (session.workers != 0) session.workers *= clients;
-  EvalService service(session);
+  return session;
+}
+
+DatasetReport search_dataset(const std::vector<graph::Graph>& graphs,
+                             const DatasetSearchConfig& config) {
+  EvalService service(dataset_session(graphs, config));
+  return search_dataset(graphs, config, service);
+}
+
+DatasetReport search_dataset(const std::vector<graph::Graph>& graphs,
+                             const DatasetSearchConfig& config,
+                             EvalService& service) {
+  QARCH_REQUIRE(!graphs.empty(), "dataset must contain at least one graph");
+  QARCH_REQUIRE(config.node_slots >= 1, "need at least one node slot");
+
+  Timer timer;
+  const std::size_t clients = std::min(config.node_slots, graphs.size());
   const SearchEngine engine(config.engine);
 
   DatasetReport report;

@@ -51,4 +51,19 @@ struct DatasetSearchConfig {
 DatasetReport search_dataset(const std::vector<graph::Graph>& graphs,
                              const DatasetSearchConfig& config);
 
+/// The SessionConfig the dataset driver would wire its own service with:
+/// evaluator LRU widened for the whole dataset, worker pool widened for the
+/// concurrent clients. Exposed so callers that need to OWN the service —
+/// e.g. to drain() it from a signal handler, or to share it across runs —
+/// can build one equivalently.
+SessionConfig dataset_session(const std::vector<graph::Graph>& graphs,
+                              const DatasetSearchConfig& config);
+
+/// Same search against a caller-owned service (built from dataset_session or
+/// otherwise). The caller keeps control of the service's lifetime, caches,
+/// checkpoints, and drain.
+DatasetReport search_dataset(const std::vector<graph::Graph>& graphs,
+                             const DatasetSearchConfig& config,
+                             class EvalService& service);
+
 }  // namespace qarch::search

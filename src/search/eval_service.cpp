@@ -11,10 +11,13 @@
 #include <mutex>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "optim/optimizer.hpp"
+#include "search/fault.hpp"
 #include "search/report_io.hpp"
 
 namespace qarch::search {
@@ -34,10 +37,17 @@ constexpr const char* kCacheCodeVersion = "qarch-eval-v5";
 /// structure changes.
 constexpr const char* kPlanCacheCodeVersion = "qarch-plan-v1";
 
+/// Version gate of persisted in-flight checkpoints. Tied to optimizer-state
+/// layout (OptimState packing of each optimizer), which can change
+/// independently of result semantics.
+constexpr const char* kCheckpointCodeVersion = "qarch-ckpt-v1";
+
+class JobToken;
+
 /// One submitted (graph, mixer, p, budget) evaluation. Several tickets may
 /// attach to one job (concurrent duplicate submissions); the job runs once.
 struct EvalJob {
-  enum class Status { Queued, Running, Done, Cancelled, Failed };
+  enum class Status { Queued, Running, Done, Cancelled, Failed, Expired };
 
   // Immutable after construction.
   std::string key;            ///< result-cache key
@@ -48,11 +58,28 @@ struct EvalJob {
   std::size_t training_evals = 0;  ///< resolved budget (never 0)
   std::shared_ptr<ServiceState> service;
 
+  // Robustness knobs, resolved from JobOptions/SessionConfig at publication
+  // and immutable afterwards.
+  double deadline_at = 0.0;       ///< service-clock expiry (0 = none)
+  double max_eval_seconds = 0.0;  ///< run-time budget across slices (0 = none)
+  int max_retries = 0;            ///< failed-evaluation rerun budget
+  double retry_backoff = 0.05;    ///< base of the exponential backoff
+
   // Scheduler coordinates, fixed when the job is published (guarded by the
   // SERVICE mutex like the queues they index into).
   std::size_t client_id = 0;  ///< fair-share queue this job sits in
   int priority = 0;           ///< intra-client ordering (higher first)
   std::uint64_t seq = 0;      ///< FIFO tiebreak among equal priorities
+
+  // Preemption / retry bookkeeping, guarded by the SERVICE mutex (the
+  // dispatching worker copies the checkpoint in and out under it; between
+  // slices nothing else touches these).
+  int attempts = 0;               ///< failed attempts so far
+  std::size_t evals_done = 0;     ///< training evals banked in `checkpoint`
+  double run_seconds = 0.0;       ///< wall time consumed across slices
+  optim::OptimState checkpoint;   ///< resume point (fresh() = none)
+  std::string checkpoint_engine;  ///< engine that produced it ("sv" / "tn")
+  std::shared_ptr<JobToken> token;  ///< live while a slice is running
 
   // Guarded by `mutex`.
   std::mutex mutex;
@@ -85,6 +112,13 @@ struct ServiceState {
   std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
   std::atomic<bool> stopping{false};
+  /// drain() in progress or finished: dispatch stops (pop_next refuses),
+  /// running slices park at their next safe point, retries turn terminal.
+  std::atomic<bool> draining{false};
+  /// Serializes checkpoint/cache file writes so a slower older snapshot can
+  /// never overwrite a newer one. Taken BEFORE `mutex` (writers snapshot
+  /// under `mutex` while holding this); never taken while holding `mutex`.
+  std::mutex io_mutex;
 
   // Shared store of planned contraction orders, injected into every
   // evaluator this service builds (all tensor-network programs of all
@@ -141,6 +175,27 @@ struct ServiceState {
   std::size_t rr_cursor = 0;          ///< round-robin position in rr_order
   bool rr_granted = false;  ///< cursor's queue already drew this visit's quantum
   std::uint64_t next_seq = 0;
+  // -- preemption / retry / checkpoint state ---------------------------------
+  /// Jobs rescheduled with a retry backoff: runnable once now() passes
+  /// not_before. pop_next promotes due entries into the fair-share queues
+  /// and sleeps on sched_cv for the earliest one when nothing else is
+  /// runnable.
+  struct DelayedJob {
+    double not_before = 0.0;
+    std::shared_ptr<EvalJob> job;
+  };
+  std::vector<DelayedJob> delayed;
+  std::condition_variable sched_cv;  ///< wakes backoff sleepers (new work,
+                                     ///< drain, shutdown)
+  /// Jobs with a slice currently on a worker; drain() waits on drain_cv for
+  /// this to empty.
+  std::unordered_set<EvalJob*> running;
+  std::condition_variable drain_cv;
+  /// In-flight training checkpoints by result key: captured at every park /
+  /// cadence checkpoint, erased on completion or terminal failure, persisted
+  /// to config.checkpoint_path, and consulted by submit() so a resubmitted
+  /// candidate (same process or a restarted one) resumes mid-training.
+  std::unordered_map<std::string, TrainingCheckpoint> checkpoints;
   // Evaluator LRU: (graph fp, engine, budget) → construction slot. The slot
   // indirection lets workers build evaluators OUTSIDE this mutex (an
   // Evaluator constructor runs the exponential maxcut_exact solver) while
@@ -160,6 +215,95 @@ struct ServiceState {
                                          epoch)
         .count();
   }
+};
+
+/// The service-side PreemptToken handed to a running training slice. Polled
+/// by the optimizer at its safe points (loop tops, ≥ 1 objective call
+/// apart); decides whether the slice should stop and why:
+///   Checkpoint — cadence reached; the worker snapshots and keeps going.
+///   Park       — another client is waiting (quantum expired) or the service
+///                is draining; snapshot, free the worker, requeue.
+///   Expire     — the job blew its deadline or run-time budget.
+class JobToken final : public optim::PreemptToken {
+ public:
+  enum class Reason { None, Checkpoint, Park, Expire };
+
+  JobToken(ServiceState* state, EvalJob* job, double slice_start,
+           double run_before)
+      : state_(state),
+        job_(job),
+        slice_start_(slice_start),
+        run_before_(run_before) {}
+
+  /// Asks the slice to park at its next safe point (used by tests; drain()
+  /// reaches running slices through ServiceState::draining instead).
+  void force_park() { forced_.store(true); }
+
+  [[nodiscard]] Reason reason() const { return reason_; }
+
+  bool should_stop(std::size_t evaluations) override {
+    // The optimizer's counter can restart (multistart resets it per inner
+    // run), so accumulate deltas instead of trusting the absolute value.
+    const std::size_t delta =
+        evaluations >= last_evals_ ? evaluations - last_evals_ : evaluations;
+    last_evals_ = evaluations;
+    acc_evals_ += delta;
+    if (forced_.load() || state_->draining.load()) {
+      reason_ = Reason::Park;
+      return true;
+    }
+    const double now = state_->now();
+    if (job_->deadline_at > 0.0 && now >= job_->deadline_at) {
+      reason_ = Reason::Expire;
+      return true;
+    }
+    if (job_->max_eval_seconds > 0.0 &&
+        run_before_ + (now - slice_start_) >= job_->max_eval_seconds) {
+      reason_ = Reason::Expire;
+      return true;
+    }
+    if (const std::size_t cadence = state_->config.checkpoint_evals;
+        cadence > 0 && acc_evals_ >= cadence) {
+      acc_evals_ = 0;
+      reason_ = Reason::Checkpoint;
+      return true;
+    }
+    const double quantum = state_->config.preempt_quantum_seconds;
+    if (quantum > 0.0 && now - slice_start_ >= quantum &&
+        now >= next_probe_) {
+      bool contended = false;
+      {
+        // Park only when some OTHER client has queued work: preempting for
+        // the job's own queue would just thrash (DWRR already ordered it),
+        // and an uncontended service runs every job straight through.
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        for (const std::size_t id : state_->rr_order)
+          if (id != job_->client_id) {
+            contended = true;
+            break;
+          }
+      }
+      if (contended) {
+        reason_ = Reason::Park;
+        return true;
+      }
+      // Nobody waiting: probe again half a quantum later instead of taking
+      // the service mutex on every objective call.
+      next_probe_ = now + quantum * 0.5;
+    }
+    return false;
+  }
+
+ private:
+  ServiceState* state_;
+  EvalJob* job_;
+  std::atomic<bool> forced_{false};
+  Reason reason_ = Reason::None;
+  double slice_start_ = 0.0;
+  double run_before_ = 0.0;   ///< run_seconds banked before this slice
+  double next_probe_ = 0.0;
+  std::size_t last_evals_ = 0;
+  std::size_t acc_evals_ = 0;
 };
 
 namespace {
@@ -282,29 +426,107 @@ void enqueue_job(ServiceState& state, const std::shared_ptr<EvalJob>& job) {
   if (was_empty) state.rr_order.push_back(job->client_id);
 }
 
+/// A service-clock timestamp as a steady_clock time point (for cv waits).
+std::chrono::steady_clock::time_point service_time(const ServiceState& state,
+                                                   double seconds) {
+  return state.epoch +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+/// Remaining training budget of a job — the fair-share cost unit. A parked
+/// job already banked evals_done of its budget, so requeueing it charges
+/// only the remainder (net, a client pays for the evals its slices actually
+/// consumed). Requires state.mutex held (evals_done).
+double job_cost(const EvalJob& job) {
+  return static_cast<double>(job.training_evals > job.evals_done
+                                 ? job.training_evals - job.evals_done
+                                 : 1);
+}
+
+/// The persistable form of a job's current checkpoint. Requires state.mutex
+/// held (reads nothing mutable, but callers are there anyway).
+TrainingCheckpoint checkpoint_record(const EvalJob& job,
+                                     const std::string& engine_name,
+                                     const optim::OptimState& training) {
+  TrainingCheckpoint ck;
+  ck.graph_fp = job.graph_key;
+  ck.mixer = job.mixer;
+  ck.p = job.p;
+  ck.training_evals = job.training_evals;
+  ck.engine = engine_name;
+  ck.state = training;
+  return ck;
+}
+
+/// Atomically rewrites config.checkpoint_path with the current in-flight
+/// checkpoint set (no-op without a path). Best-effort: a write failure is
+/// logged, not thrown — the in-memory checkpoint still resumes within this
+/// process. io_mutex serializes writers so an older snapshot can never land
+/// on top of a newer one.
+void persist_checkpoints(ServiceState& state) {
+  if (state.config.checkpoint_path.empty()) return;
+  std::lock_guard<std::mutex> io(state.io_mutex);
+  std::vector<TrainingCheckpoint> entries;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    entries.reserve(state.checkpoints.size());
+    for (const auto& [key, ck] : state.checkpoints) entries.push_back(ck);
+  }
+  try {
+    save_checkpoints(entries, state.config.checkpoint_path,
+                     kCheckpointCodeVersion);
+  } catch (const std::exception& e) {
+    log::warn("checkpoints not persisted: ", e.what());
+  }
+}
+
 /// Deficit-weighted round robin over the client queues: each visit grants
 /// the queue weight × quantum budget units (quantum = the widest head job
 /// currently queued, so every rotation lets someone dispatch); a queue keeps
-/// dispatching while its deficit covers its head job's training budget, then
-/// the cursor moves on. Returns nullptr when nothing is queued — drainers
-/// whose job was cancelled (or served by the result cache on resubmission)
-/// outnumber the remaining jobs and just retire.
+/// dispatching while its deficit covers its head job's REMAINING budget,
+/// then the cursor moves on. Also the retry pump: due delayed (backoff)
+/// jobs are promoted into their queues first, and when only not-yet-due
+/// entries remain the caller sleeps here until the earliest comes due.
+/// Returns nullptr when nothing is left to serve — surplus drainers (their
+/// job was cancelled, or served by the result cache on resubmission) just
+/// retire — or when drain() stopped dispatch.
 std::shared_ptr<EvalJob> pop_next(ServiceState& state) {
-  std::lock_guard<std::mutex> lock(state.mutex);
-  if (state.rr_order.empty()) return nullptr;
+  std::unique_lock<std::mutex> lock(state.mutex);
+  for (;;) {
+    if (state.draining.load() && !state.stopping.load()) return nullptr;
+    const double now = state.now();
+    if (!state.delayed.empty()) {
+      auto it = state.delayed.begin();
+      while (it != state.delayed.end()) {
+        // Shutdown promotes everything immediately: run_job resolves the
+        // promoted jobs as Cancelled instead of leaving tickets hanging.
+        if (state.stopping.load() || now >= it->not_before) {
+          enqueue_job(state, it->job);
+          it = state.delayed.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (!state.rr_order.empty()) break;
+    if (state.delayed.empty()) return nullptr;
+    double next_due = state.delayed.front().not_before;
+    for (const ServiceState::DelayedJob& d : state.delayed)
+      next_due = std::min(next_due, d.not_before);
+    state.sched_cv.wait_until(lock, service_time(state, next_due));
+  }
   double quantum = 1.0;
   for (const std::size_t id : state.rr_order) {
     const ServiceState::ClientQueue& q = state.clients[id];
-    quantum = std::max(
-        quantum,
-        static_cast<double>(q.jobs.begin()->second->training_evals));
+    quantum = std::max(quantum, job_cost(*q.jobs.begin()->second));
   }
   for (;;) {
     if (state.rr_cursor >= state.rr_order.size()) state.rr_cursor = 0;
     const std::size_t id = state.rr_order[state.rr_cursor];
     ServiceState::ClientQueue& queue = state.clients[id];
     const auto head = queue.jobs.begin();
-    const double cost = static_cast<double>(head->second->training_evals);
+    const double cost = job_cost(*head->second);
     if (queue.deficit < cost && !state.rr_granted) {
       queue.deficit += queue.weight * quantum;
       state.rr_granted = true;
@@ -342,8 +564,79 @@ void finish_cancelled(ServiceState& state, const std::shared_ptr<EvalJob>& job) 
   job->cv.notify_all();
 }
 
-/// Worker body: runs one job end to end. `state` is captured by shared_ptr
-/// so a draining pool can outlive the EvalService front-end.
+/// Terminal bookkeeping of a deadline-expired job. The caller already set
+/// Status::Expired (and finished_at) under the JOB mutex; this mirrors
+/// finish_cancelled — inflight/queue withdrawal — plus the checkpoint record
+/// is dropped: past its deadline the partial training is dead weight.
+void finish_expired(ServiceState& state, const std::shared_ptr<EvalJob>& job) {
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    const auto it = state.inflight.find(job->key);
+    if (it != state.inflight.end() && it->second.lock() == job)
+      state.inflight.erase(it);
+    ++state.stats.deadline_expired;
+    state.checkpoints.erase(job->key);
+    const auto cit = state.clients.find(job->client_id);
+    if (cit != state.clients.end()) {
+      cit->second.jobs.erase(std::make_pair(-job->priority, job->seq));
+      if (cit->second.jobs.empty()) deactivate_client(state, job->client_id);
+    }
+  }
+  job->cv.notify_all();
+}
+
+/// Snapshot-and-write of the plan and result caches: the body of
+/// EvalService::save_cache, shared with the completion-time durability flush
+/// in run_job. io_mutex serializes writers (see persist_checkpoints).
+std::size_t persist_caches(ServiceState& state) {
+  std::lock_guard<std::mutex> io(state.io_mutex);
+  // Plan cache first: cheap, and useful even when result persistence is off.
+  if (!state.config.plan_cache_path.empty())
+    save_plan_cache(state.plan_cache->snapshot(), state.config.plan_cache_path,
+                    kPlanCacheCodeVersion);
+  if (state.config.cache_path.empty() || state.config.result_cache == 0)
+    return 0;
+  std::vector<CacheEntry> entries;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    entries.reserve(state.done_order.size() + state.foreign_entries.size());
+    std::set<std::string> seen;
+    // done_order is most-recently-used first; persist in that order so a
+    // smaller result_cache on reload keeps the hottest entries.
+    for (const auto& [key, cached] : state.done_order) {
+      CacheEntry e;
+      e.graph_fp = cached.graph_fp;
+      e.training_evals = cached.training_evals;
+      e.engine = cached.engine;
+      e.result = cached.result;
+      e.result.from_cache = false;  // provenance is per-submission, not disk
+      seen.insert(cache_identity(e));
+      entries.push_back(std::move(e));
+    }
+    // Re-persist what this service could not hold itself — other-backend
+    // entries, over-capacity leftovers, LRU evictions (deduplicated on
+    // insert). An identity done_order also holds means the candidate was
+    // freshly re-evaluated after its eviction: the new result shadows the
+    // stale stash.
+    for (const CacheEntry& e : state.foreign_entries)
+      if (seen.insert(cache_identity(e)).second) entries.push_back(e);
+  }
+  save_result_cache(entries, state.config.cache_path, kCacheCodeVersion);
+  return entries.size();
+}
+
+/// Worker body: runs one job until it completes, parks, expires, retries, or
+/// fails. `state` is captured by shared_ptr so a draining pool can outlive
+/// the EvalService front-end.
+///
+/// The slice loop is the preemption core: evaluate_resumable runs the
+/// candidate's training against the job's checkpoint and the JobToken, and
+/// comes back either completed or preempted with the checkpoint advanced.
+/// A Checkpoint preemption banks the state and CONTINUES on this worker; a
+/// Park frees the worker and requeues the job (same checkpoint, fair-share
+/// deficit refunded to the remaining cost); an Expire resolves the ticket.
+/// Because a resumed run replays the exact optimizer trajectory, a
+/// parked-and-resumed evaluation is bit-identical to an uninterrupted one.
 void run_job(const std::shared_ptr<ServiceState>& state,
              const std::shared_ptr<EvalJob>& job) {
   {
@@ -356,14 +649,25 @@ void run_job(const std::shared_ptr<ServiceState>& state,
       finish_cancelled(*state, job);
       return;
     }
+    if (job->deadline_at > 0.0 && state->now() >= job->deadline_at) {
+      job->status = EvalJob::Status::Expired;
+      job->finished_at = state->now();
+      lock.unlock();
+      finish_expired(*state, job);
+      return;
+    }
     job->status = EvalJob::Status::Running;
-    job->started_at = state->now();
+    if (job->started_at == 0.0) job->started_at = state->now();
   }
 
+  const double slice_start = state->now();
   CandidateResult result;
   qaoa::EngineKind engine = qaoa::EngineKind::Statevector;
   bool failed = false;
   std::string error;
+  optim::OptimState training;
+  std::string engine_name;
+  std::shared_ptr<JobToken> token;
   try {
     switch (state->config.backend) {
       case BackendChoice::Statevector:
@@ -377,27 +681,163 @@ void run_job(const std::shared_ptr<ServiceState>& state,
                                     job->p);
         break;
     }
+    engine_name = engine == qaoa::EngineKind::Statevector ? "sv" : "tn";
+    int attempt = 0;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      attempt = job->attempts;
+      if (!job->checkpoint.fresh() &&
+          job->checkpoint_engine != engine_name) {
+        // A checkpoint from the other engine cannot seed this run (its
+        // objective numerics differ); restart rather than mix trajectories.
+        job->checkpoint.clear();
+        job->checkpoint_engine.clear();
+        job->evals_done = 0;
+        ++state->stats.checkpoints_discarded;
+      }
+      training = job->checkpoint;
+      if (!training.fresh()) ++state->stats.resumed;
+      token = std::make_shared<JobToken>(state.get(), job.get(), slice_start,
+                                         job->run_seconds);
+      job->token = token;
+      state->running.insert(job.get());
+    }
+    // Fault-injection hook: may sleep, or throw FaultInjected into the
+    // ordinary failure/retry path below. Deterministically keyed by
+    // (candidate, attempt), so a given attempt either always or never fails
+    // regardless of thread interleaving.
+    FaultInjector::instance().on_evaluation(
+        job->key, static_cast<std::uint64_t>(attempt));
     const auto evaluator = evaluator_for(*state, job->graph_key, job->graph,
                                          engine, job->training_evals);
-    result = evaluator->evaluate(job->mixer, job->p);
-    result.queue_seconds = job->started_at - job->submitted_at;
-    result.eval_seconds = state->now() - job->started_at;
+    for (;;) {
+      ResumableEvaluation slice = evaluator->evaluate_resumable(
+          job->mixer, job->p, training, token.get());
+      if (slice.completed) {
+        result = std::move(slice.result);
+        break;
+      }
+      if (token->reason() == JobToken::Reason::Checkpoint) {
+        // Cadence snapshot: bank the state and keep running on this worker.
+        {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          job->checkpoint = training;
+          job->checkpoint_engine = engine_name;
+          job->evals_done = slice.evaluations_done;
+          if (!state->config.checkpoint_path.empty())
+            state->checkpoints[job->key] =
+                checkpoint_record(*job, engine_name, training);
+        }
+        persist_checkpoints(*state);
+        FaultInjector::instance().at_point("checkpoint");
+        continue;
+      }
+      if (token->reason() == JobToken::Reason::Expire) {
+        {
+          std::lock_guard<std::mutex> jlock(job->mutex);
+          job->status = EvalJob::Status::Expired;
+          job->finished_at = state->now();
+        }
+        {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          state->running.erase(job.get());
+          job->token.reset();
+          job->run_seconds += state->now() - slice_start;
+        }
+        finish_expired(*state, job);
+        state->drain_cv.notify_all();
+        return;
+      }
+      // Park: snapshot, requeue (or resolve Cancelled under shutdown), free
+      // this worker for whoever the scheduler prefers.
+      bool cancelled = false;
+      {
+        std::lock_guard<std::mutex> jlock(job->mutex);
+        if (state->stopping.load()) {
+          job->status = EvalJob::Status::Cancelled;
+          job->finished_at = state->now();
+          cancelled = true;
+        } else {
+          job->status = EvalJob::Status::Queued;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->running.erase(job.get());
+        job->token.reset();
+        job->checkpoint = training;
+        job->checkpoint_engine = engine_name;
+        job->evals_done = slice.evaluations_done;
+        job->run_seconds += state->now() - slice_start;
+        if (!state->config.checkpoint_path.empty())
+          state->checkpoints[job->key] =
+              checkpoint_record(*job, engine_name, training);
+        if (!cancelled) {
+          ++state->stats.parked;
+          job->seq = state->next_seq++;
+          enqueue_job(*state, job);
+          // Refund the unconsumed part of the dispatch charge: the next pop
+          // re-charges the REMAINING cost, so net the client paid only for
+          // the evals this slice actually consumed.
+          const auto cit = state->clients.find(job->client_id);
+          if (cit != state->clients.end())
+            cit->second.deficit += job_cost(*job);
+          // Yield the next dispatch to the backlog that triggered the park:
+          // the refund means the unchanged cursor would cover this queue's
+          // head again and re-dispatch the very job that just parked.
+          ++state->rr_cursor;
+          state->rr_granted = false;
+        }
+      }
+      if (cancelled) {
+        finish_cancelled(*state, job);
+      } else {
+        state->sched_cv.notify_all();
+        state->drain_cv.notify_all();
+        persist_checkpoints(*state);
+        FaultInjector::instance().at_point("park");
+      }
+      return;
+    }
   } catch (const std::exception& e) {
     failed = true;
     error = e.what();
   }
 
+  const double slice_seconds = state->now() - slice_start;
+  bool retry = false;
+  double backoff = 0.0;
   {
     std::lock_guard<std::mutex> lock(state->mutex);
-    state->inflight.erase(job->key);
+    state->running.erase(job.get());
+    job->token.reset();
+    job->run_seconds += slice_seconds;
     if (failed) {
-      ++state->stats.failed;
+      if (!state->stopping.load() && !state->draining.load() &&
+          job->attempts < job->max_retries) {
+        // Bounded retry with exponential backoff. The checkpoint (if any)
+        // survives, so the retry resumes instead of restarting; the job
+        // stays in `inflight` so duplicates keep attaching to it.
+        backoff = job->retry_backoff * std::ldexp(1.0, job->attempts);
+        ++job->attempts;
+        ++state->stats.retried;
+        retry = true;
+      } else {
+        ++state->stats.failed;
+        state->inflight.erase(job->key);
+        state->checkpoints.erase(job->key);
+      }
     } else {
       ++state->stats.completed;
       if (engine == qaoa::EngineKind::Statevector)
         ++state->stats.picked_statevector;
       else
         ++state->stats.picked_tensornetwork;
+      result.queue_seconds = job->started_at - job->submitted_at;
+      result.eval_seconds = job->run_seconds;
+      state->inflight.erase(job->key);
+      state->checkpoints.erase(job->key);
+      job->checkpoint.clear();
       if (state->config.result_cache > 0) {
         ServiceState::CachedResult cached;
         cached.result = result;
@@ -435,6 +875,19 @@ void run_job(const std::shared_ptr<ServiceState>& state,
       }
     }
   }
+  if (retry) {
+    {
+      std::lock_guard<std::mutex> jlock(job->mutex);
+      job->status = EvalJob::Status::Queued;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      job->seq = state->next_seq++;
+      state->delayed.push_back({state->now() + backoff, job});
+    }
+    state->sched_cv.notify_all();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(job->mutex);
     job->finished_at = state->now();
@@ -447,14 +900,32 @@ void run_job(const std::shared_ptr<ServiceState>& state,
     }
   }
   job->cv.notify_all();
+  state->drain_cv.notify_all();
+  if (!state->config.checkpoint_path.empty()) {
+    // Durability mode: drop the resolved job's checkpoint record from disk
+    // and flush completed results as they finish, so a crash loses at most
+    // the slice since the last checkpoint — never a finished evaluation.
+    persist_checkpoints(*state);
+    if (!failed && state->config.cache_write &&
+        !state->config.cache_path.empty() &&
+        state->config.result_cache > 0) {
+      try {
+        persist_caches(*state);
+      } catch (const std::exception& e) {
+        log::warn("result-cache flush failed: ", e.what());
+      }
+    }
+  }
 }
 
 /// Drainer body executed by the pool. One drainer is enqueued per published
 /// job, but a drainer runs whatever job the fair-share scheduler serves
-/// next, not "its own" — surplus drainers (their job was cancelled) find an
-/// empty scheduler and retire.
+/// next, not "its own" — and keeps serving: a parked or retried job
+/// re-enters the queues without a new drainer being spawned, so the drainer
+/// that parked it must loop rather than retire. Surplus drainers (their job
+/// was cancelled) find an empty scheduler and retire.
 void run_next(const std::shared_ptr<ServiceState>& state) {
-  if (const std::shared_ptr<EvalJob> job = pop_next(*state))
+  while (const std::shared_ptr<EvalJob> job = pop_next(*state))
     run_job(state, job);
 }
 
@@ -524,22 +995,57 @@ qaoa::EngineKind auto_engine_choice(const SessionConfig& config,
 
 const CandidateResult& EvalTicket::wait() const {
   QARCH_REQUIRE(handle_ != nullptr, "wait() on an empty EvalTicket");
-  detail::EvalJob& job = *handle_->job;
+  // An unbounded wait always resolves (or throws) — never nullptr.
+  return *wait_for(-1.0);
+}
+
+const CandidateResult* EvalTicket::wait_for(double timeout_seconds) const {
+  QARCH_REQUIRE(handle_ != nullptr, "wait_for() on an empty EvalTicket");
+  const std::shared_ptr<detail::EvalJob>& job_ptr = handle_->job;
+  detail::EvalJob& job = *job_ptr;
+  const std::shared_ptr<detail::ServiceState>& state = job.service;
+  const double wait_deadline =
+      timeout_seconds >= 0.0 ? state->now() + timeout_seconds : -1.0;
   std::unique_lock<std::mutex> lock(job.mutex);
-  // The abandoned flag is part of the predicate: a concurrent cancel() of a
-  // ticket copy must wake and fail a waiter already parked here even when
-  // other clients keep the shared job itself alive.
-  job.cv.wait(lock, [this, &job] {
-    return handle_->abandoned.load() ||
-           (job.status != detail::EvalJob::Status::Queued &&
-            job.status != detail::EvalJob::Status::Running);
-  });
+  for (;;) {
+    // The abandoned flag is part of the predicate: a concurrent cancel() of
+    // a ticket copy must wake and fail a waiter already parked here even
+    // when other clients keep the shared job itself alive.
+    if (handle_->abandoned.load() ||
+        (job.status != detail::EvalJob::Status::Queued &&
+         job.status != detail::EvalJob::Status::Running))
+      break;
+    const double now = state->now();
+    // Deadlines are enforced from the waiter side too: a job stuck QUEUED
+    // behind a flood expires right here, no worker required — so a
+    // deadline'd ticket can never hang its caller.
+    if (job.status == detail::EvalJob::Status::Queued &&
+        job.deadline_at > 0.0 && now >= job.deadline_at) {
+      job.status = detail::EvalJob::Status::Expired;
+      job.finished_at = now;
+      lock.unlock();
+      detail::finish_expired(*state, job_ptr);
+      lock.lock();
+      break;
+    }
+    if (wait_deadline >= 0.0 && now >= wait_deadline) return nullptr;
+    double wake = wait_deadline;
+    if (job.status == detail::EvalJob::Status::Queued &&
+        job.deadline_at > 0.0)
+      wake = wake < 0.0 ? job.deadline_at : std::min(wake, job.deadline_at);
+    if (wake < 0.0)
+      job.cv.wait(lock);
+    else
+      job.cv.wait_until(lock, detail::service_time(*state, wake));
+  }
   if (handle_->abandoned.load()) throw Error("EvalTicket was cancelled");
   switch (job.status) {
     case detail::EvalJob::Status::Done:
-      return job.result;
+      return &job.result;
     case detail::EvalJob::Status::Failed:
       throw Error("candidate evaluation failed: " + job.error);
+    case detail::EvalJob::Status::Expired:
+      throw Error("candidate evaluation deadline expired");
     default:
       throw Error("candidate evaluation was cancelled");
   }
@@ -563,7 +1069,8 @@ bool EvalTicket::cancel() {
     std::lock_guard<std::mutex> lock(job->mutex);
     if (job->status == detail::EvalJob::Status::Running ||
         job->status == detail::EvalJob::Status::Done ||
-        job->status == detail::EvalJob::Status::Failed)
+        job->status == detail::EvalJob::Status::Failed ||
+        job->status == detail::EvalJob::Status::Expired)
       return false;
     // exchange, not store: two threads cancelling copies of the SAME handle
     // both pass the lock-free abandoned check above, and a double decrement
@@ -586,6 +1093,12 @@ bool EvalTicket::cancel() {
 
 bool EvalTicket::cancelled() const {
   return handle_ != nullptr && handle_->abandoned.load();
+}
+
+bool EvalTicket::expired() const {
+  if (handle_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(handle_->job->mutex);
+  return handle_->job->status == detail::EvalJob::Status::Expired;
 }
 
 bool EvalTicket::cache_hit() const {
@@ -671,13 +1184,32 @@ EvalService::EvalService(SessionConfig config)
     }
     state_->plan_cache->merge(std::move(plans));
   }
+  if (!state_->config.checkpoint_path.empty()) {
+    // In-flight checkpoints of a previous (killed or drained) process:
+    // submit() seeds matching jobs from these, so they resume mid-training.
+    auto entries = load_checkpoints(state_->config.checkpoint_path,
+                                    detail::kCheckpointCodeVersion);
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    for (TrainingCheckpoint& ck : entries) {
+      const std::string key = detail::result_key(ck.graph_fp, ck.mixer, ck.p,
+                                                 ck.training_evals);
+      state_->checkpoints[key] = std::move(ck);
+      ++state_->stats.checkpoints_loaded;
+    }
+  }
 }
 
 EvalService::~EvalService() {
   // Pending queued jobs resolve as Cancelled instead of running to
   // completion; in-flight evaluations finish and land in the result cache.
+  // Backoff sleepers wake via sched_cv, promote their delayed jobs, and
+  // cancel them the same way.
   state_->stopping.store(true);
+  state_->sched_cv.notify_all();
   pool_.raw().wait_idle();
+  // Checkpoints persist even when cache_write is off: they are this
+  // process's own in-flight state, not a shared warm-start file.
+  detail::persist_checkpoints(*state_);
   // result_cache == 0 never loaded the file (nothing to merge back), so
   // writing would truncate a shared cache to nothing — leave it alone.
   const bool write_results = !state_->config.cache_path.empty() &&
@@ -685,7 +1217,7 @@ EvalService::~EvalService() {
   const bool write_plans = !state_->config.plan_cache_path.empty();
   if (state_->config.cache_write && (write_results || write_plans)) {
     try {
-      save_cache();
+      detail::persist_caches(*state_);
     } catch (const std::exception& e) {
       log::warn("cache not persisted: ", e.what());
     }
@@ -693,43 +1225,63 @@ EvalService::~EvalService() {
 }
 
 std::size_t EvalService::save_cache() const {
-  // Plan cache first: cheap, and useful even when result persistence is off.
-  if (!state_->config.plan_cache_path.empty())
-    save_plan_cache(state_->plan_cache->snapshot(),
-                    state_->config.plan_cache_path,
-                    detail::kPlanCacheCodeVersion);
-  if (state_->config.cache_path.empty() ||
-      state_->config.result_cache == 0)
-    return 0;
-  std::vector<CacheEntry> entries;
+  detail::persist_checkpoints(*state_);
+  return detail::persist_caches(*state_);
+}
+
+std::size_t EvalService::drain(double timeout_seconds) {
+  std::size_t parked_before = 0;
   {
     std::lock_guard<std::mutex> lock(state_->mutex);
-    entries.reserve(state_->done_order.size() +
-                    state_->foreign_entries.size());
-    std::set<std::string> seen;
-    // done_order is most-recently-used first; persist in that order so a
-    // smaller result_cache on reload keeps the hottest entries.
-    for (const auto& [key, cached] : state_->done_order) {
-      CacheEntry e;
-      e.graph_fp = cached.graph_fp;
-      e.training_evals = cached.training_evals;
-      e.engine = cached.engine;
-      e.result = cached.result;
-      e.result.from_cache = false;  // provenance is per-submission, not disk
-      seen.insert(detail::cache_identity(e));
-      entries.push_back(std::move(e));
-    }
-    // Re-persist what this service could not hold itself — other-backend
-    // entries, over-capacity leftovers, LRU evictions (deduplicated on
-    // insert). An identity done_order also holds means the candidate was
-    // freshly re-evaluated after its eviction: the new result shadows the
-    // stale stash.
-    for (const CacheEntry& e : state_->foreign_entries)
-      if (seen.insert(detail::cache_identity(e)).second) entries.push_back(e);
+    parked_before = state_->stats.parked;
   }
-  save_result_cache(entries, state_->config.cache_path,
-                    detail::kCacheCodeVersion);
-  return entries.size();
+  // Stop dispatch (pop_next refuses while draining) and let every running
+  // slice's token park it at the next safe point; wake backoff sleepers so
+  // they notice too.
+  state_->draining.store(true);
+  state_->sched_cv.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->drain_cv.wait_until(
+        lock,
+        std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(std::max(0.0, timeout_seconds))),
+        [&] { return state_->running.empty(); });
+  }
+  // Withdraw everything still queued or delayed — the process is going away;
+  // their checkpoints (if any) survive for the next one.
+  std::vector<std::shared_ptr<detail::EvalJob>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    for (auto& client : state_->clients)
+      for (auto& entry : client.second.jobs) doomed.push_back(entry.second);
+    for (auto& delayed : state_->delayed) doomed.push_back(delayed.job);
+    state_->delayed.clear();
+  }
+  for (const std::shared_ptr<detail::EvalJob>& job : doomed) {
+    bool withdrew = false;
+    {
+      std::lock_guard<std::mutex> lock(job->mutex);
+      if (job->status == detail::EvalJob::Status::Queued) {
+        job->status = detail::EvalJob::Status::Cancelled;
+        job->finished_at = state_->now();
+        withdrew = true;
+      }
+    }
+    if (withdrew) detail::finish_cancelled(*state_, job);
+  }
+  try {
+    save_cache();  // persists checkpoints too
+  } catch (const std::exception& e) {
+    log::warn("drain: cache not persisted: ", e.what());
+  }
+  std::size_t parked_after = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    parked_after = state_->stats.parked;
+  }
+  return parked_after - parked_before;
 }
 
 EvalClient EvalService::register_client(const std::string& name,
@@ -841,6 +1393,26 @@ EvalTicket EvalService::submit(const graph::Graph& g,
       //    fair-share queue for dispatch.
       if (!attach && fresh) {
         fresh->submitted_at = state_->now();
+        fresh->deadline_at =
+            options.deadline_seconds > 0.0
+                ? fresh->submitted_at + options.deadline_seconds
+                : 0.0;
+        fresh->max_eval_seconds = options.max_eval_seconds;
+        fresh->max_retries = options.max_retries >= 0
+                                 ? options.max_retries
+                                 : state_->config.eval_retries;
+        fresh->retry_backoff = options.retry_backoff_seconds >= 0.0
+                                   ? options.retry_backoff_seconds
+                                   : state_->config.retry_backoff_seconds;
+        // Warm-start from an in-flight checkpoint (parked here earlier, or
+        // persisted by a previous process): the dispatching worker resumes
+        // mid-training instead of from step 0.
+        if (const auto ck = state_->checkpoints.find(key);
+            ck != state_->checkpoints.end()) {
+          fresh->checkpoint = ck->second.state;
+          fresh->checkpoint_engine = ck->second.engine;
+          fresh->evals_done = ck->second.state.evaluations;
+        }
         state_->inflight[key] = fresh;
         ++state_->stats.cache_misses;
         const auto cit = state_->clients.find(options.client);
@@ -920,19 +1492,33 @@ std::vector<EvalTicket> EvalService::submit_batch(
 
 std::vector<CandidateResult> EvalService::collect(
     const std::vector<EvalTicket>& tickets) const {
+  return collect(tickets, -1.0);
+}
+
+std::vector<CandidateResult> EvalService::collect(
+    const std::vector<EvalTicket>& tickets, double timeout_seconds) const {
   std::vector<CandidateResult> results;
   results.reserve(tickets.size());
+  const double deadline =
+      timeout_seconds >= 0.0 ? state_->now() + timeout_seconds : -1.0;
   for (const EvalTicket& t : tickets) {
     // A cancelled ticket is a withdrawn REQUEST, not a batch failure: skip
     // it instead of throwing away every completed result in the batch.
     if (t.cancelled()) continue;
     try {
-      results.push_back(t.wait());
+      const double remaining =
+          deadline < 0.0 ? -1.0 : std::max(0.0, deadline - state_->now());
+      const CandidateResult* r = t.wait_for(remaining);
+      if (r == nullptr) continue;  // batch deadline passed: skip unresolved
+      results.push_back(*r);
     } catch (const Error&) {
-      // Cancelled concurrently between the check above and wait(): still a
-      // skip, not a batch failure. Real evaluation failures (and jobs
-      // cancelled by service shutdown) propagate.
-      if (t.cancelled()) continue;
+      // Cancelled concurrently between the check above and the wait: still
+      // a skip, not a batch failure — and so is a job that blew ITS OWN
+      // deadline (deadlines are opted into per job; the rest of the batch
+      // stays collectable, and the caller can probe ticket.expired()).
+      // Real evaluation failures (and jobs cancelled by service shutdown)
+      // propagate.
+      if (t.cancelled() || t.expired()) continue;
       throw;
     }
     // Per-submission accounting on the caller's copy: a ticket that attached

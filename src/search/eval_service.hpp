@@ -45,7 +45,22 @@
 //     a warm run compiles its programs with ZERO planner invocations
 //     (probe: qtensor::planner_invocation_count()),
 //   * the BackendChoice::Auto per-candidate engine decision
-//     (auto_engine_choice below).
+//     (auto_engine_choice below),
+//   * cooperative preemption and fault tolerance: with
+//     SessionConfig::preempt_quantum_seconds set, a training run that has
+//     held its worker for a quantum is PARKED at the optimizer's next safe
+//     point whenever another client is waiting — its optimizer state is
+//     checkpointed, the worker freed, the job requeued with its fair-share
+//     deficit preserved — and later RESUMED exactly where it left off (the
+//     resumed trajectory is bit-identical to an uninterrupted one).
+//     SessionConfig::checkpoint_evals adds an eval-count checkpoint cadence,
+//     and with SessionConfig::checkpoint_path those in-flight checkpoints
+//     persist to disk, so a killed process restarted on the same paths
+//     resumes mid-training. JobOptions adds per-job deadlines
+//     (deadline_seconds / max_eval_seconds → tickets resolve Expired) and
+//     bounded retries with exponential backoff; drain() parks everything
+//     for a graceful shutdown. See src/search/README.md for the full job
+//     lifecycle.
 //
 // Tickets carry service-side timestamps (submit / start / finish on the
 // service clock), so drivers report queue-wait and evaluation latency without
@@ -99,6 +114,19 @@ struct JobOptions {
   /// knob's). Also forwarded as the pool-level drain priority, which
   /// matters when the raw pool is shared with non-service work.
   int priority = 0;
+  /// Wall-clock budget from SUBMISSION, in service-clock seconds. Past it
+  /// the job resolves Expired — whether still queued (wait_for expires it)
+  /// or mid-run (the preemption token aborts the slice). 0 = no deadline.
+  double deadline_seconds = 0.0;
+  /// Wall-clock budget for the EVALUATION itself (summed across preemption
+  /// slices, excluding queue wait). 0 = unbounded.
+  double max_eval_seconds = 0.0;
+  /// Bounded retry budget for failed evaluations; attempt k reruns after
+  /// retry_backoff × 2^(k−1). −1 = the session's eval_retries default.
+  int max_retries = -1;
+  /// Base backoff delay in seconds; −1 = the session's
+  /// retry_backoff_seconds default.
+  double retry_backoff_seconds = -1.0;
 };
 
 /// RAII registration of one fair-share scheduler queue. Move-only; the queue
@@ -141,11 +169,20 @@ class EvalTicket {
   [[nodiscard]] bool valid() const { return handle_ != nullptr; }
 
   /// Blocks until the evaluation finished and returns its result. Throws
-  /// Error if this ticket was cancelled or the evaluation failed.
+  /// Error if this ticket was cancelled, the evaluation failed, or the
+  /// job's deadline expired.
   const CandidateResult& wait() const;
 
-  /// Non-blocking: true once wait() would not block (done, failed, or
-  /// cancelled).
+  /// Bounded wait: blocks at most `timeout_seconds` (negative = forever).
+  /// Returns the result once resolved, or nullptr when the timeout passed
+  /// with the job still queued/running. Throws like wait() on cancellation,
+  /// failure, or deadline expiry. Deadlines are enforced from the waiter
+  /// side too: a job whose deadline passes while it is still QUEUED is
+  /// expired here rather than left hanging behind a flooded queue.
+  const CandidateResult* wait_for(double timeout_seconds) const;
+
+  /// Non-blocking: true once wait() would not block (done, failed,
+  /// expired, or cancelled).
   [[nodiscard]] bool ready() const;
 
   /// Cancels a still-queued evaluation. Returns true when this ticket is now
@@ -156,6 +193,10 @@ class EvalTicket {
 
   /// True when cancel() succeeded on this ticket.
   [[nodiscard]] bool cancelled() const;
+
+  /// True when the job resolved by blowing its JobOptions::deadline_seconds
+  /// budget (wait() on such a ticket throws).
+  [[nodiscard]] bool expired() const;
 
   /// True when the result came from the service's candidate cache or an
   /// in-flight duplicate rather than a fresh evaluation of this submission.
@@ -194,11 +235,18 @@ class EvalService {
       std::size_t p, const JobOptions& options = {});
 
   /// Blocks until every ticket resolved; results in ticket order. Tickets
-  /// that were CANCELLED are skipped (the surviving results still come back
-  /// in ticket order), so one withdrawn submission does not discard a whole
-  /// batch. Evaluation FAILURES still throw.
+  /// that were CANCELLED or DEADLINE-EXPIRED are skipped (the surviving
+  /// results still come back in ticket order), so one withdrawn or expired
+  /// submission does not discard a whole batch. Evaluation FAILURES still
+  /// throw.
   std::vector<CandidateResult> collect(
       const std::vector<EvalTicket>& tickets) const;
+
+  /// Bounded collect: one overall deadline shared by the whole batch
+  /// (negative = forever). Tickets still unresolved when it passes are
+  /// skipped, like cancelled ones.
+  std::vector<CandidateResult> collect(const std::vector<EvalTicket>& tickets,
+                                       double timeout_seconds) const;
 
   /// Registers a weighted fair-share queue. Workers serve queues by
   /// deficit-weighted round robin with training_evals as the cost unit: over
@@ -221,8 +269,28 @@ class EvalService {
     std::size_t cache_loaded = 0;       ///< results warm-started from disk
     std::size_t plans_loaded = 0;       ///< contraction plans loaded from disk
     std::size_t clients_registered = 0; ///< register_client() calls
+    std::size_t parked = 0;             ///< preemptions: job checkpointed,
+                                        ///< worker freed, job requeued
+    std::size_t resumed = 0;            ///< dispatches that continued from a
+                                        ///< checkpoint instead of step 0
+    std::size_t retried = 0;            ///< failed evaluations rescheduled
+                                        ///< with backoff
+    std::size_t deadline_expired = 0;   ///< jobs resolved past their deadline
+    std::size_t checkpoints_loaded = 0; ///< in-flight checkpoints warm-started
+                                        ///< from checkpoint_path
+    std::size_t checkpoints_discarded = 0;  ///< checkpoints dropped (engine
+                                            ///< mismatch on resume)
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Graceful preemption of the whole service: stops dispatching, parks every
+  /// running evaluation at its next safe point (checkpoint captured, worker
+  /// freed), cancels what is still queued, then persists checkpoints and
+  /// caches via save_cache(). Waits at most `timeout_seconds` for running
+  /// slices to reach a safe point. Returns the number of jobs parked. Meant
+  /// for signal handlers / shutdown paths: after drain() the service only
+  /// serves cache hits — destroy it and build a new one to resume.
+  std::size_t drain(double timeout_seconds);
 
   /// Writes the candidate-result cache to SessionConfig::cache_path (atomic
   /// tmp-file + rename; no-op when the path is empty). Called automatically

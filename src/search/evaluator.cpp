@@ -22,6 +22,15 @@ Evaluator::Evaluator(const graph::Graph& g, EvaluatorOptions options)
 
 CandidateResult Evaluator::evaluate(const qaoa::MixerSpec& mixer,
                                     std::size_t p) const {
+  optim::OptimState scratch;
+  ResumableEvaluation run = evaluate_resumable(mixer, p, scratch, nullptr);
+  QARCH_REQUIRE(run.completed, "unpreempted evaluation must complete");
+  return run.result;
+}
+
+ResumableEvaluation Evaluator::evaluate_resumable(
+    const qaoa::MixerSpec& mixer, std::size_t p, optim::OptimState& state,
+    optim::PreemptToken* preempt) const {
   Timer timer;
   circuit::Circuit ansatz = qaoa::build_qaoa_circuit(graph_, p, mixer);
   // Searched sequences routinely contain mergeable structure (rx·rx, h·h
@@ -47,9 +56,26 @@ CandidateResult Evaluator::evaluate(const qaoa::MixerSpec& mixer,
           return std::make_unique<optim::Cobyla>(per_run);
         },
         ms);
-    trained = qaoa::train_qaoa(ansatz, energy_, multistart, options_.train);
+    trained =
+        qaoa::train_qaoa(ansatz, energy_, multistart, options_.train, state,
+                         preempt);
   } else {
-    trained = qaoa::train_qaoa(ansatz, energy_, cobyla_, options_.train);
+    trained = qaoa::train_qaoa(ansatz, energy_, cobyla_, options_.train, state,
+                               preempt);
+  }
+
+  ResumableEvaluation out;
+  out.evaluations_done = trained.evaluations;
+  if (trained.preempted) {
+    // Parked mid-training: report the partial accounting; the sampling pass
+    // waits for the completing slice.
+    out.result.mixer = mixer;
+    out.result.p = p;
+    out.result.energy = trained.energy;
+    out.result.theta = trained.theta;
+    out.result.evaluations = trained.evaluations;
+    out.result.eval_seconds = timer.seconds();
+    return out;
   }
 
   CandidateResult r;
@@ -70,7 +96,9 @@ CandidateResult Evaluator::evaluate(const qaoa::MixerSpec& mixer,
   // The service overwrites this with its own timestamps; direct callers get
   // the training+sampling wall-clock of this call.
   r.eval_seconds = timer.seconds();
-  return r;
+  out.completed = true;
+  out.result = std::move(r);
+  return out;
 }
 
 }  // namespace qarch::search

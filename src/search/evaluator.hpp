@@ -68,6 +68,16 @@ struct EvaluatorOptions {
   }
 };
 
+/// Outcome of one resumable evaluation slice. When `completed` is false the
+/// slice was parked by the PreemptToken: `result` is only partially filled
+/// (no sampling pass yet) and the caller's OptimState holds the training
+/// checkpoint that continues the run.
+struct ResumableEvaluation {
+  bool completed = false;
+  CandidateResult result;
+  std::size_t evaluations_done = 0;  ///< training evals consumed so far
+};
+
 /// Trains and scores candidate mixers for one fixed graph.
 ///
 /// Thread-safe: evaluate() builds all per-candidate state locally, so one
@@ -80,6 +90,15 @@ class Evaluator {
   /// (SIMULATE_QAOA + reward computation of Algorithm 1).
   [[nodiscard]] CandidateResult evaluate(const qaoa::MixerSpec& mixer,
                                          std::size_t p) const;
+
+  /// Preemptible form: runs one training slice, polling `preempt` at the
+  /// optimizer's safe points. A fresh `state` starts the candidate; a state
+  /// packed by a previous parked slice continues it. Repeated slices stitch
+  /// to a result identical to one uninterrupted evaluate() call — the final
+  /// slice runs the sampling pass and completes.
+  [[nodiscard]] ResumableEvaluation evaluate_resumable(
+      const qaoa::MixerSpec& mixer, std::size_t p, optim::OptimState& state,
+      optim::PreemptToken* preempt) const;
 
   /// The exact classical max-cut of the evaluation graph.
   [[nodiscard]] double classical_optimum() const { return classical_optimum_; }

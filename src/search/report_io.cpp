@@ -1,10 +1,13 @@
 #include "search/report_io.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -45,29 +48,44 @@ std::string hex_decode(const std::string& hex) {
 // Whole-file-or-nothing JSON publish shared by every persistent cache:
 // write to a unique tmp name (pid + process-wide counter, so concurrent
 // writers — other processes AND other services in this process — never
-// interleave into the same scratch file), flush-and-check BEFORE the rename
-// (buffered data can still fail at close, e.g. ENOSPC, and renaming a
-// truncated tmp over a valid cache would break atomicity), then rename so
-// readers see either the old complete file or the new one.
+// interleave into the same scratch file), fsync BEFORE the rename (a rename
+// only orders metadata: without the data flush a crash right after the
+// publish can leave the DESTINATION pointing at a zero-length or truncated
+// file, exactly what the crash-resume path must never see), then rename so
+// readers see either the old complete file or the new one. Rename failures
+// (e.g. a cross-filesystem cache_path target) surface as errors rather than
+// silently dropping the persist. The directory fsync afterwards makes the
+// rename itself durable; it is best-effort because some filesystems refuse
+// directory fds.
 void atomic_write_json(const json::Value& value, const std::string& path,
                        const char* what) {
   static std::atomic<unsigned> save_counter{0};
   const std::string tmp = path + ".tmp." +
                           std::to_string(static_cast<long>(::getpid())) +
                           "." + std::to_string(save_counter.fetch_add(1));
-  {
-    std::ofstream out(tmp);
-    if (!out) throw Error(std::string(what) + ": cannot open " + tmp);
-    out << value.dump(2) << '\n';
-    out.close();
-    if (out.fail()) {
-      std::remove(tmp.c_str());
-      throw Error(std::string(what) + ": write failed for " + tmp);
-    }
+  const std::string payload = value.dump(2) + '\n';
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr)
+    throw Error(std::string(what) + ": cannot open " + tmp);
+  bool ok =
+      std::fwrite(payload.data(), 1, payload.size(), out) == payload.size();
+  ok = std::fflush(out) == 0 && ok;
+  ok = ::fsync(::fileno(out)) == 0 && ok;
+  ok = std::fclose(out) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw Error(std::string(what) + ": write failed for " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw Error(std::string(what) + ": cannot rename " + tmp + " to " + path);
+  }
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dir_fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
   }
 }
 
@@ -304,6 +322,151 @@ std::vector<qtensor::CachedPlan> load_plan_cache(
     return plan_cache_from_json(json::parse(buffer.str()), code_version);
   } catch (const std::exception& e) {
     log::warn("ignoring corrupt plan cache ", path, ": ", e.what());
+    return {};
+  }
+}
+
+namespace {
+
+// Optimizer internals may legitimately hold non-finite doubles (an untouched
+// +inf incumbent before any restart completes). JSON has no inf/nan tokens,
+// so those cross as tagged strings; everything finite stays a plain number
+// (%.17g — bit-exact round trip).
+json::Value finite_or_tag(double v) {
+  if (std::isfinite(v)) return {v};
+  if (std::isnan(v)) return {"nan"};
+  return {v > 0 ? "inf" : "-inf"};
+}
+
+double number_or_tag(const json::Value& v) {
+  if (v.type() == json::Value::Type::String) {
+    const std::string& s = v.as_string();
+    if (s == "inf") return std::numeric_limits<double>::infinity();
+    if (s == "-inf") return -std::numeric_limits<double>::infinity();
+    if (s == "nan") return std::numeric_limits<double>::quiet_NaN();
+    throw InvalidArgument("bad tagged number: " + s);
+  }
+  return v.as_number();
+}
+
+}  // namespace
+
+json::Value optim_state_to_json(const optim::OptimState& state) {
+  json::Value obj = json::Value::object();
+  obj.set("optimizer", state.optimizer);
+  obj.set("evaluations", state.evaluations);
+  json::Value history = json::Value::array();
+  for (double h : state.history) history.push_back(finite_or_tag(h));
+  obj.set("history", std::move(history));
+  json::Value numbers = json::Value::array();
+  for (double n : state.numbers) numbers.push_back(finite_or_tag(n));
+  obj.set("numbers", std::move(numbers));
+  // 64-bit words (counters, RNG state) do not round-trip through JSON
+  // doubles; go via strings like the plan cache's structure hashes.
+  json::Value words = json::Value::array();
+  for (std::uint64_t w : state.words) words.push_back(std::to_string(w));
+  obj.set("words", std::move(words));
+  json::Value child = json::Value::array();
+  for (const optim::OptimState& c : state.child)
+    child.push_back(optim_state_to_json(c));
+  obj.set("child", std::move(child));
+  return obj;
+}
+
+optim::OptimState optim_state_from_json(const json::Value& value) {
+  optim::OptimState state;
+  state.optimizer = value.at("optimizer").as_string();
+  state.evaluations =
+      static_cast<std::size_t>(value.at("evaluations").as_number());
+  const json::Value& history = value.at("history");
+  for (std::size_t i = 0; i < history.size(); ++i)
+    state.history.push_back(number_or_tag(history.at(i)));
+  const json::Value& numbers = value.at("numbers");
+  for (std::size_t i = 0; i < numbers.size(); ++i)
+    state.numbers.push_back(number_or_tag(numbers.at(i)));
+  const json::Value& words = value.at("words");
+  for (std::size_t i = 0; i < words.size(); ++i)
+    state.words.push_back(std::stoull(words.at(i).as_string()));
+  const json::Value& child = value.at("child");
+  for (std::size_t i = 0; i < child.size(); ++i)
+    state.child.push_back(optim_state_from_json(child.at(i)));
+  return state;
+}
+
+json::Value checkpoints_to_json(const std::vector<TrainingCheckpoint>& entries,
+                                const std::string& code_version) {
+  json::Value obj = json::Value::object();
+  obj.set("format", "qarch-checkpoints");
+  obj.set("code_version", code_version);
+  json::Value list = json::Value::array();
+  for (const TrainingCheckpoint& e : entries) {
+    json::Value entry = json::Value::object();
+    entry.set("graph_fp", hex_encode(e.graph_fp));
+    json::Value gates = json::Value::array();
+    for (circuit::GateKind g : e.mixer.gates)
+      gates.push_back(circuit::gate_name(g));
+    entry.set("mixer", std::move(gates));
+    entry.set("p", e.p);
+    entry.set("training_evals", e.training_evals);
+    entry.set("engine", e.engine);
+    entry.set("state", optim_state_to_json(e.state));
+    list.push_back(std::move(entry));
+  }
+  obj.set("entries", std::move(list));
+  return obj;
+}
+
+std::vector<TrainingCheckpoint> checkpoints_from_json(
+    const json::Value& value, const std::string& code_version) {
+  std::vector<TrainingCheckpoint> entries;
+  if (!value.contains("format") ||
+      value.at("format").as_string() != "qarch-checkpoints")
+    return entries;
+  if (!value.contains("code_version") ||
+      value.at("code_version").as_string() != code_version)
+    return entries;  // optimizer internals changed: retrain rather than trust
+  if (!value.contains("entries")) return entries;
+  const json::Value& list = value.at("entries");
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    try {
+      const json::Value& item = list.at(i);
+      TrainingCheckpoint e;
+      e.graph_fp = hex_decode(item.at("graph_fp").as_string());
+      const json::Value& gates = item.at("mixer");
+      for (std::size_t k = 0; k < gates.size(); ++k)
+        e.mixer.gates.push_back(
+            circuit::gate_from_name(gates.at(k).as_string()));
+      e.p = static_cast<std::size_t>(item.at("p").as_number());
+      e.training_evals =
+          static_cast<std::size_t>(item.at("training_evals").as_number());
+      e.engine = item.at("engine").as_string();
+      e.state = optim_state_from_json(item.at("state"));
+      entries.push_back(std::move(e));
+    } catch (const std::exception&) {
+      // One mangled checkpoint must not poison the rest; the affected
+      // candidate simply retrains from scratch.
+    }
+  }
+  return entries;
+}
+
+void save_checkpoints(const std::vector<TrainingCheckpoint>& entries,
+                      const std::string& path,
+                      const std::string& code_version) {
+  atomic_write_json(checkpoints_to_json(entries, code_version), path,
+                    "save_checkpoints");
+}
+
+std::vector<TrainingCheckpoint> load_checkpoints(
+    const std::string& path, const std::string& code_version) {
+  std::ifstream in(path);
+  if (!in) return {};  // no checkpoints yet: nothing was in flight
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return checkpoints_from_json(json::parse(buffer.str()), code_version);
+  } catch (const std::exception& e) {
+    log::warn("ignoring corrupt checkpoint file ", path, ": ", e.what());
     return {};
   }
 }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/json.hpp"
+#include "optim/optimizer.hpp"
 #include "qtensor/plan_cache.hpp"
 #include "search/engine.hpp"
 
@@ -90,6 +91,53 @@ void save_plan_cache(const std::vector<qtensor::CachedPlan>& plans,
 
 /// Loads a plan-cache file; missing/corrupt/mismatched files yield {}.
 std::vector<qtensor::CachedPlan> load_plan_cache(
+    const std::string& path, const std::string& code_version);
+
+// -- in-flight training checkpoints -------------------------------------------
+//
+// Same file discipline again (atomic fsync'd tmp+rename, version-gated,
+// corruption-tolerant load) for the evaluation service's in-flight training
+// checkpoints: a killed process restarted on the same checkpoint_path
+// resumes every parked/running candidate mid-training instead of from
+// step 0. A checkpoint is tiny — theta-sized vectors plus optimizer
+// counters — so persisting on every capture is cheap.
+
+/// Serializes an opaque optimizer state. Doubles round-trip bit-exactly
+/// (%.17g); non-finite values (e.g. an untouched +inf incumbent) and 64-bit
+/// words cross as strings.
+json::Value optim_state_to_json(const optim::OptimState& state);
+
+/// Parses an optimizer state (inverse of optim_state_to_json).
+optim::OptimState optim_state_from_json(const json::Value& value);
+
+/// One persisted in-flight training run, keyed like the result cache —
+/// (graph fingerprint, mixer, p, budget, engine) — plus the optimizer state
+/// that resumes it.
+struct TrainingCheckpoint {
+  std::string graph_fp;            ///< raw graph_fingerprint() bytes
+  qaoa::MixerSpec mixer;
+  std::size_t p = 0;
+  std::size_t training_evals = 0;  ///< full budget of the checkpointed run
+  std::string engine;              ///< resolved engine ("sv" / "tn")
+  optim::OptimState state;
+};
+
+/// Serializes checkpoints under the given checkpoint code version.
+json::Value checkpoints_to_json(const std::vector<TrainingCheckpoint>& entries,
+                                const std::string& code_version);
+
+/// Parses checkpoints; version mismatch yields no entries and individually
+/// malformed entries are skipped.
+std::vector<TrainingCheckpoint> checkpoints_from_json(
+    const json::Value& value, const std::string& code_version);
+
+/// Atomically rewrites `path` with the given checkpoints.
+void save_checkpoints(const std::vector<TrainingCheckpoint>& entries,
+                      const std::string& path,
+                      const std::string& code_version);
+
+/// Loads a checkpoint file; missing/corrupt/mismatched files yield {}.
+std::vector<TrainingCheckpoint> load_checkpoints(
     const std::string& path, const std::string& code_version);
 
 }  // namespace qarch::search

@@ -96,6 +96,33 @@ struct SessionConfig {
   /// (in-process plan sharing stays on).
   std::string plan_cache_path;
 
+  // -- robustness: preemption, checkpoints, retries --------------------------
+  /// Preemption quantum for running evaluations, in service-clock seconds.
+  /// When > 0 a training run that has held its worker this long is parked at
+  /// the optimizer's next safe point — checkpoint captured, worker freed,
+  /// job requeued with its fair-share deficit preserved — whenever another
+  /// client has queued work. 0 disables parking (jobs run to completion).
+  double preempt_quantum_seconds = 0.0;
+  /// Checkpoint cadence in objective evaluations: when > 0, a running job
+  /// snapshots its optimizer state every this-many training evals (and
+  /// persists it when `checkpoint_path` is set). Eval-count based, so the
+  /// cadence is deterministic across machines. 0 disables mid-run
+  /// checkpointing (park/drain still checkpoint at the parking point).
+  std::size_t checkpoint_evals = 0;
+  /// On-disk home of in-flight training checkpoints (JSON, atomic rewrite,
+  /// version-gated and corruption-tolerant like the result cache). With a
+  /// path set, a killed process restarted on the same paths resumes every
+  /// checkpointed candidate mid-training instead of from step 0, and
+  /// completed results are flushed to `cache_path` as they finish rather
+  /// than only at shutdown. Empty disables checkpoint persistence.
+  std::string checkpoint_path;
+  /// Default bounded retry budget for failed evaluations (overridable per
+  /// job via JobOptions::max_retries). 0 = fail fast.
+  int eval_retries = 0;
+  /// Base delay of the exponential retry backoff: attempt k reruns after
+  /// retry_backoff_seconds * 2^(k-1).
+  double retry_backoff_seconds = 0.05;
+
   // -- escape hatch ----------------------------------------------------------
   /// Deep engine toggles (sv_plan.*, qtensor.*, optimizer details, restart
   /// jitter) start from this base; the named knobs above override the

@@ -1,0 +1,192 @@
+// Preemption/resume tests: every optimizer must continue BIT-IDENTICALLY
+// after being preempted at any safe point, with its OptimState pushed
+// through the JSON round-trip the evaluation service uses for on-disk
+// checkpoints. The reference is an uninterrupted run of the same optimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "optim/cobyla.hpp"
+#include "optim/grid_search.hpp"
+#include "optim/multistart.hpp"
+#include "optim/nelder_mead.hpp"
+#include "optim/spsa.hpp"
+#include "search/report_io.hpp"
+
+namespace {
+
+using namespace qarch;
+
+// Mildly multimodal, smooth, fully deterministic — enough structure to make
+// every optimizer take real steps (reflections, contractions, trust-region
+// shrinks) before its budget runs out.
+double bumpy(std::span<const double> x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - 0.3 * static_cast<double>(i + 1);
+    s += d * d - 0.2 * std::cos(3.0 * x[i]);
+  }
+  return s;
+}
+
+/// Fires at every poll. The progress guard means each minimize() entry still
+/// makes >= 1 objective call, so this chops the run into the smallest
+/// segments possible — the worst case for state packing.
+class AlwaysStop final : public optim::PreemptToken {
+ public:
+  bool should_stop(std::size_t) override { return true; }
+};
+
+/// Fires once `period` objective calls have accumulated since the segment
+/// started (counter deltas, tolerant of the multi-start per-restart reset).
+class StopEvery final : public optim::PreemptToken {
+ public:
+  explicit StopEvery(std::size_t period) : period_(period) {}
+  bool should_stop(std::size_t evaluations) override {
+    seen_ += evaluations >= last_ ? evaluations - last_ : evaluations;
+    last_ = evaluations;
+    if (seen_ < period_) return false;
+    seen_ = 0;
+    return true;
+  }
+
+ private:
+  std::size_t period_;
+  std::size_t seen_ = 0;
+  std::size_t last_ = 0;
+};
+
+/// Runs `opt` to completion under `token`, round-tripping the packed state
+/// through JSON between every pair of segments. Returns the final result and
+/// reports how many segments it took.
+optim::OptimResult run_chopped(const optim::Optimizer& opt,
+                               const std::vector<double>& x0,
+                               optim::PreemptToken& token,
+                               std::size_t& segments) {
+  optim::OptimState state;
+  for (segments = 1; segments < 100000; ++segments) {
+    optim::OptimResult r = opt.minimize(bumpy, x0, state, &token);
+    if (!r.preempted) {
+      EXPECT_TRUE(state.fresh()) << opt.name()
+                                 << ": state not cleared on completion";
+      return r;
+    }
+    EXPECT_FALSE(state.fresh()) << opt.name()
+                                << ": preempted without packing state";
+    // The same serialization the eval service applies to checkpoints.
+    state = search::optim_state_from_json(search::optim_state_to_json(state));
+  }
+  ADD_FAILURE() << opt.name() << " never completed under preemption";
+  return {};
+}
+
+void expect_identical(const optim::OptimResult& plain,
+                      const optim::OptimResult& chopped,
+                      const std::string& who) {
+  EXPECT_EQ(plain.evaluations, chopped.evaluations) << who;
+  EXPECT_EQ(plain.value, chopped.value) << who;
+  ASSERT_EQ(plain.x.size(), chopped.x.size()) << who;
+  for (std::size_t i = 0; i < plain.x.size(); ++i)
+    EXPECT_EQ(plain.x[i], chopped.x[i]) << who << " x[" << i << "]";
+  ASSERT_EQ(plain.history.size(), chopped.history.size()) << who;
+  for (std::size_t i = 0; i < plain.history.size(); ++i)
+    EXPECT_EQ(plain.history[i], chopped.history[i])
+        << who << " history[" << i << "]";
+}
+
+/// plain-vs-maximally-chopped equivalence for one optimizer.
+void check_resume(const optim::Optimizer& opt, const std::vector<double>& x0) {
+  const optim::OptimResult plain = opt.minimize(bumpy, x0);
+  EXPECT_FALSE(plain.preempted);
+  AlwaysStop token;
+  std::size_t segments = 0;
+  const optim::OptimResult chopped = run_chopped(opt, x0, token, segments);
+  EXPECT_GT(segments, 1u) << opt.name() << ": preemption never fired";
+  expect_identical(plain, chopped, opt.name());
+}
+
+TEST(OptimResume, CobylaBitIdentical) {
+  optim::CobylaConfig cfg;
+  cfg.max_evals = 120;
+  check_resume(optim::Cobyla(cfg), {1.1, -0.8});
+}
+
+TEST(OptimResume, NelderMeadBitIdentical) {
+  optim::NelderMeadConfig cfg;
+  cfg.max_evals = 120;
+  check_resume(optim::NelderMead(cfg), {1.1, -0.8, 0.4});
+}
+
+TEST(OptimResume, SpsaBitIdentical) {
+  optim::SpsaConfig cfg;
+  cfg.max_evals = 80;
+  cfg.seed = 97;
+  check_resume(optim::Spsa(cfg), {0.9, -0.5});
+}
+
+TEST(OptimResume, GridSearchBitIdentical) {
+  optim::GridSearchConfig cfg;
+  cfg.points_per_axis = 7;
+  check_resume(optim::GridSearch(cfg), {0.0, 0.0});
+}
+
+TEST(OptimResume, MultiStartBitIdentical) {
+  optim::MultiStartConfig cfg;
+  cfg.restarts = 3;
+  cfg.total_evals = 90;
+  const optim::MultiStart opt(
+      [](std::size_t budget) {
+        optim::CobylaConfig base;
+        base.max_evals = budget;
+        return std::make_unique<optim::Cobyla>(base);
+      },
+      cfg);
+  check_resume(opt, {0.6, -0.4});
+}
+
+// A coarser cadence exercises a different set of safe points than the
+// every-poll chop, including preemption landing mid-restart in multi-start.
+TEST(OptimResume, PeriodicPreemptionAlsoBitIdentical) {
+  optim::MultiStartConfig cfg;
+  cfg.restarts = 4;
+  cfg.total_evals = 120;
+  cfg.seed = 5;
+  const optim::MultiStart opt(
+      [](std::size_t budget) {
+        optim::NelderMeadConfig base;
+        base.max_evals = budget;
+        return std::make_unique<optim::NelderMead>(base);
+      },
+      cfg);
+  const std::vector<double> x0 = {0.2, 0.7};
+  const optim::OptimResult plain = opt.minimize(bumpy, x0);
+  for (const std::size_t period : {3u, 7u, 17u}) {
+    StopEvery token(period);
+    std::size_t segments = 0;
+    const optim::OptimResult chopped = run_chopped(opt, x0, token, segments);
+    expect_identical(plain, chopped,
+                     "multi-start/nm period=" + std::to_string(period));
+  }
+}
+
+TEST(OptimResume, ManualPreemptReportsPartialProgress) {
+  optim::CobylaConfig cfg;
+  cfg.max_evals = 200;
+  const optim::Cobyla opt(cfg);
+  optim::ManualPreempt token;
+  token.request_stop();
+  optim::OptimState state;
+  const auto r = opt.minimize(bumpy, {1.0, 1.0}, state, &token);
+  EXPECT_TRUE(r.preempted);
+  EXPECT_GE(r.evaluations, 1u);  // progress guard: never a zero-work segment
+  EXPECT_LT(r.evaluations, cfg.max_evals);
+  EXPECT_EQ(r.history.size(), r.evaluations);
+  EXPECT_EQ(state.evaluations, r.evaluations);
+  EXPECT_FALSE(state.fresh());
+}
+
+}  // namespace
