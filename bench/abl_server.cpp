@@ -1,0 +1,180 @@
+// Ablation: the qarchd wire front-end vs the in-process EvalService.
+//
+// One candidate cohort runs three ways against identical SessionConfigs:
+//   1. COLD over the wire — an in-process QarchServer on an ephemeral
+//      loopback port, one client submitting the whole cohort then polling
+//      every ticket (the full request→schedule→evaluate→cache→respond
+//      path);
+//   2. WARM over the wire — the same cohort resubmitted; every response
+//      must come from the result cache, so per-request latency IS the
+//      protocol cost (connect + parse + dispatch + serialize);
+//   3. DIRECT — the same submissions against a bare EvalService, giving
+//      the in-process floor the wire numbers are compared to.
+//
+// The headline numbers are the per-evaluation wire overhead (warm wire
+// mean minus direct warm mean; a warm wire evaluation is a submit + poll
+// round-trip pair) and a bit-for-bit parity count between the wire and
+// direct cold results — the daemon is allowed to add microseconds, never
+// semantics.
+//
+// Results land in BENCH_server.json (section "server").
+//
+// Flags: --qubits N (8) --degree D (3) --p P (1) --kmax K (2) --evals E (40)
+//        --workers W (4) --out PATH
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "search/eval_service.hpp"
+#include "search/report_io.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+
+using namespace qarch;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("qubits", 8));
+  const auto degree = static_cast<std::size_t>(cli.get_int("degree", 3));
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 1));
+  const auto k_max = static_cast<std::size_t>(cli.get_int("kmax", 2));
+  const auto evals = static_cast<std::size_t>(cli.get_int("evals", 40));
+  const auto workers = static_cast<std::size_t>(cli.get_int("workers", 4));
+  const std::string out = cli.get("out", "BENCH_server.json");
+
+  Rng rng(7);
+  const auto g = graph::random_regular(n, degree, rng);
+  const auto cohort = search::all_combinations(
+      search::GateAlphabet::standard(), k_max,
+      search::CombinationMode::Product);
+
+  SessionConfig session;
+  session.backend = BackendChoice::Statevector;
+  session.training_evals = evals;
+  session.workers = workers;
+
+  std::printf("server ablation: %s, %zu candidates (k<=%zu), p=%zu, "
+              "%zu evals, %zu workers\n\n",
+              g.to_string().c_str(), cohort.size(), k_max, p, evals, workers);
+  json::Value section = json::Value::object();
+  section.set("qubits", n);
+  section.set("p", p);
+  section.set("candidates", cohort.size());
+  section.set("evals", evals);
+  section.set("workers", workers);
+
+  // -- the wire legs ---------------------------------------------------------
+  server::ServerConfig config;
+  config.session = session;
+  config.tenants = {
+      server::TenantSpec{.name = "bench", .api_key = "bench-key"}};
+  server::QarchServer server(config);
+  server.start();
+
+  server::ClientOptions options;
+  options.port = server.port();
+  options.api_key = "bench-key";
+  server::QarchClient client(options);
+
+  std::vector<search::CandidateResult> wire_results;
+  Timer cold_timer;
+  {
+    std::vector<std::string> tickets;
+    tickets.reserve(cohort.size());
+    for (const auto& m : cohort)
+      tickets.push_back(client.submit(
+          server::QarchClient::submit_body(g, m.to_string(), p)));
+    for (const auto& ticket : tickets) {
+      json::Value response = client.result(ticket, 30000.0);
+      while (response.at("status").as_string() == "pending")
+        response = client.result(ticket, 30000.0);
+      wire_results.push_back(
+          search::candidate_from_json(response.at("result")));
+    }
+  }
+  const double cold_seconds = cold_timer.seconds();
+
+  std::vector<double> warm_latencies;
+  for (const auto& m : cohort) {
+    Timer t;
+    (void)client.evaluate(server::QarchClient::submit_body(g, m.to_string(), p),
+                          1000.0);
+    warm_latencies.push_back(t.seconds());
+  }
+  const auto wire_stats = server.service().stats();
+
+  // -- the direct floor ------------------------------------------------------
+  search::EvalService direct(session);
+  std::vector<search::CandidateResult> direct_results;
+  Timer direct_cold_timer;
+  {
+    std::vector<search::EvalTicket> tickets;
+    tickets.reserve(cohort.size());
+    for (const auto& m : cohort) tickets.push_back(direct.submit(g, m, p));
+    for (const auto& t : tickets) direct_results.push_back(t.wait());
+  }
+  const double direct_cold_seconds = direct_cold_timer.seconds();
+
+  std::vector<double> direct_warm_latencies;
+  for (const auto& m : cohort) {
+    Timer t;
+    (void)direct.submit(g, m, p).wait();
+    direct_warm_latencies.push_back(t.seconds());
+  }
+
+  // -- parity + the overhead headline ---------------------------------------
+  std::size_t parity = 0;
+  for (std::size_t i = 0; i < cohort.size(); ++i)
+    if (wire_results[i].energy == direct_results[i].energy &&
+        wire_results[i].theta == direct_results[i].theta &&
+        wire_results[i].evaluations == direct_results[i].evaluations)
+      ++parity;
+
+  const auto mean = [](const std::vector<double>& xs) {
+    double s = 0.0;
+    for (double x : xs) s += x;
+    return xs.empty() ? 0.0 : s / static_cast<double>(xs.size());
+  };
+  const auto p99 = [](std::vector<double> xs) {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    return xs[std::min(xs.size() - 1, xs.size() * 99 / 100)];
+  };
+  const double warm_wire_mean = mean(warm_latencies);
+  const double warm_direct_mean = mean(direct_warm_latencies);
+  const double overhead_us = (warm_wire_mean - warm_direct_mean) * 1e6;
+
+  // A warm wire evaluate() is TWO HTTP round trips (submit + poll); the
+  // overhead below is per cached evaluation, not per single request.
+  std::printf("cold cohort:   wire %.3f s, direct %.3f s\n"
+              "warm eval:     wire mean %.1f us (p99 %.1f us), direct mean "
+              "%.1f us\n"
+              "wire overhead: %.1f us/eval (submit + poll)\n"
+              "parity:        %zu/%zu bit-identical, %zu cache hits on the "
+              "warm pass\n",
+              cold_seconds, direct_cold_seconds, warm_wire_mean * 1e6,
+              p99(warm_latencies) * 1e6, warm_direct_mean * 1e6, overhead_us,
+              parity, cohort.size(),
+              wire_stats.cache_hits);
+
+  section.set("cold_wire_seconds", cold_seconds);
+  section.set("cold_direct_seconds", direct_cold_seconds);
+  section.set("warm_wire_mean_seconds", warm_wire_mean);
+  section.set("warm_wire_p99_seconds", p99(warm_latencies));
+  section.set("warm_direct_mean_seconds", warm_direct_mean);
+  section.set("wire_overhead_us_per_eval", overhead_us);
+  section.set("parity_bit_identical", parity);
+  section.set("wire_cache_hits", wire_stats.cache_hits);
+  section.set("wire_cache_misses", wire_stats.cache_misses);
+
+  bench::update_bench_json(out, "server", std::move(section));
+
+  // The bench doubles as a smoke check: non-parity is a bug, not a datum.
+  if (parity != cohort.size()) {
+    std::fprintf(stderr, "abl_server: wire/direct parity FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1534,4 +1534,29 @@ EvalService::Stats EvalService::stats() const {
   return state_->stats;
 }
 
+std::vector<EvalService::ClientInfo> EvalService::clients() const {
+  std::vector<ClientInfo> infos;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  infos.reserve(state_->clients.size());
+  for (const auto& [id, queue] : state_->clients) {
+    if (queue.closed) continue;  // handle destroyed; queue draining out
+    ClientInfo info;
+    info.id = id;
+    info.name = queue.name;
+    info.weight = queue.weight;
+    info.queued = queue.jobs.size();
+    infos.push_back(std::move(info));
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const ClientInfo& a, const ClientInfo& b) { return a.id < b.id; });
+  return infos;
+}
+
+std::size_t EvalService::pending() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::size_t queued = 0;
+  for (const auto& [id, queue] : state_->clients) queued += queue.jobs.size();
+  return queued + state_->delayed.size() + state_->running.size();
+}
+
 }  // namespace qarch::search

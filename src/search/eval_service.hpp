@@ -283,6 +283,24 @@ class EvalService {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Live view of one fair-share queue, for monitoring front-ends
+  /// (qarchd's /v1/stats reports these per tenant).
+  struct ClientInfo {
+    std::size_t id = 0;        ///< EvalClient::id(), 0 = the default queue
+    std::string name;          ///< register_client() diagnostic name
+    double weight = 1.0;
+    std::size_t queued = 0;    ///< jobs waiting in this queue right now
+  };
+
+  /// Snapshot of every registered (and the default) queue. Order: default
+  /// queue first, then registration order is not guaranteed — sort by id.
+  [[nodiscard]] std::vector<ClientInfo> clients() const;
+
+  /// Jobs submitted but not yet terminally resolved: queued, running, or
+  /// sleeping in a retry backoff. Cache hits never count. A monitoring
+  /// probe, not a synchronization primitive.
+  [[nodiscard]] std::size_t pending() const;
+
   /// Graceful preemption of the whole service: stops dispatching, parks every
   /// running evaluation at its next safe point (checkpoint captured, worker
   /// freed), cancels what is still queued, then persists checkpoints and

@@ -88,6 +88,10 @@ FaultPlan parse_fault_plan(const std::string& spec) {
       QARCH_REQUIRE(plan.delay_seconds >= 0.0, "QARCH_FAULT: negative delay");
       QARCH_REQUIRE(plan.delay_rate >= 0.0 && plan.delay_rate <= 1.0,
                     "QARCH_FAULT: delay rate must be in [0, 1]");
+    } else if (key == "drop") {
+      plan.drop_rate = parse_double(value, "drop");
+      QARCH_REQUIRE(plan.drop_rate >= 0.0 && plan.drop_rate <= 1.0,
+                    "QARCH_FAULT: drop rate must be in [0, 1]");
     } else if (key == "crash") {
       // crash=<point>[:<nth visit>], visit defaults to 1.
       const std::size_t colon = value.find(':');
@@ -122,6 +126,7 @@ void FaultInjector::configure(const FaultPlan& plan) {
   plan_ = plan;
   failures_ = 0;
   delays_ = 0;
+  drops_ = 0;
   point_visits_.clear();
 }
 
@@ -171,6 +176,17 @@ void FaultInjector::at_point(const char* point) {
   if (visit == plan_.crash_after) std::_Exit(137);
 }
 
+bool FaultInjector::drop_connection(std::uint64_t conn_id) {
+  if (plan_.drop_rate <= 0.0) return false;
+  // Same pure (plan, ordinal) discipline as the evaluation verdicts: the
+  // Nth accepted connection either always or never drops for a given plan.
+  if (verdict("conn", plan_.seed, conn_id, 0x5eedD509ULL) >= plan_.drop_rate)
+    return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++drops_;
+  return true;
+}
+
 std::uint64_t FaultInjector::injected_failures() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return failures_;
@@ -179,6 +195,11 @@ std::uint64_t FaultInjector::injected_failures() const {
 std::uint64_t FaultInjector::injected_delays() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return delays_;
+}
+
+std::uint64_t FaultInjector::dropped_connections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return drops_;
 }
 
 }  // namespace qarch::search

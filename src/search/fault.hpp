@@ -21,6 +21,15 @@
 //   QARCH_FAULT="failfirst=2"                first 2 attempts of every job fail
 //   QARCH_FAULT="delay=0.01@0.5"             50% of evals sleep 10ms
 //   QARCH_FAULT="crash=checkpoint:3"         _Exit(137) on 3rd checkpoint write
+//   QARCH_FAULT="drop=0.3,seed=7"            qarchd drops 30% of connections
+//
+// The wire-level faults extend the same harness over the qarchd daemon:
+// `drop=p` makes the server abandon a seeded fraction of accepted
+// connections after reading the request and before answering (the client
+// sees a clean TCP close mid-exchange and must retry), and
+// `crash=server_response:N` kills the daemon between a response's header
+// and body sends — a half-written response on the wire, exactly what a
+// retrying client and a restarted daemon have to converge through.
 //
 // When QARCH_FAULT is unset the injector is inert: one branch per
 // evaluation, nothing else.
@@ -50,10 +59,12 @@ struct FaultPlan {
   double delay_rate = 0.0;      ///< fraction of evaluations delayed
   std::string crash_point;      ///< named point that kills the process
   std::uint64_t crash_after = 0;///< which visit to the point crashes (1-based)
+  double drop_rate = 0.0;       ///< fraction of server connections dropped
 
   [[nodiscard]] bool enabled() const {
     return fail_rate > 0.0 || fail_first > 0 ||
-           (delay_rate > 0.0 && delay_seconds > 0.0) || !crash_point.empty();
+           (delay_rate > 0.0 && delay_seconds > 0.0) ||
+           !crash_point.empty() || drop_rate > 0.0;
   }
 };
 
@@ -84,9 +95,16 @@ class FaultInjector {
   /// the crash point terminates the process with _Exit(137).
   void at_point(const char* point);
 
+  /// Wire-fault verdict for the `conn_id`-th accepted server connection
+  /// (a process-lifetime ordinal): true = the server should close the
+  /// socket without responding. Pure in (plan, conn_id), so a given
+  /// connection ordinal drops identically across reruns.
+  [[nodiscard]] bool drop_connection(std::uint64_t conn_id);
+
   /// Counters for tests/reports.
   [[nodiscard]] std::uint64_t injected_failures() const;
   [[nodiscard]] std::uint64_t injected_delays() const;
+  [[nodiscard]] std::uint64_t dropped_connections() const;
 
  private:
   FaultInjector();
@@ -95,6 +113,7 @@ class FaultInjector {
   mutable std::mutex mutex_;
   std::uint64_t failures_ = 0;
   std::uint64_t delays_ = 0;
+  std::uint64_t drops_ = 0;
   std::unordered_map<std::string, std::uint64_t> point_visits_;
 };
 

@@ -1,0 +1,145 @@
+#include "server/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "search/report_io.hpp"
+
+namespace qarch::server {
+
+namespace {
+
+/// Sleep for the k-th retry (0-based): base × 2^k, capped at 2 s so a long
+/// daemon restart costs polling, not minutes of exponential silence.
+void backoff(double base_seconds, int attempt) {
+  double delay = base_seconds;
+  for (int i = 0; i < attempt; ++i) delay *= 2.0;
+  delay = std::min(delay, 2.0);
+  if (delay > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+}
+
+}  // namespace
+
+QarchClient::QarchClient(ClientOptions options) : options_(std::move(options)) {
+  QARCH_REQUIRE(options_.port != 0, "QarchClient needs a port");
+}
+
+json::Value QarchClient::request(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body) {
+  HttpLimits limits;
+  limits.read_timeout_seconds = options_.request_timeout_seconds;
+  std::string last_error;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) backoff(options_.retry_backoff_seconds, attempt - 1);
+    try {
+      Socket conn = tcp_connect(options_.host, options_.port,
+                                options_.connect_timeout_seconds);
+      std::map<std::string, std::string> headers;
+      if (!options_.api_key.empty()) headers["X-Api-Key"] = options_.api_key;
+      if (!write_http_request(conn, method, target, body, headers))
+        throw HttpError(502, "connection closed mid-request");
+      HttpResponse response;
+      read_http_response(conn, response, limits);
+      // A parsed response is authoritative — the daemon answered, so stop
+      // retrying regardless of the status.
+      if (response.status >= 200 && response.status < 300)
+        return json::parse(response.body);
+      std::string message = "HTTP " + std::to_string(response.status);
+      try {
+        const json::Value parsed = json::parse(response.body);
+        if (parsed.contains("error"))
+          message = parsed.at("error").as_string();
+      } catch (const Error&) {
+        // Non-JSON error body; keep the status-line message.
+      }
+      throw ApiError(response.status, message);
+    } catch (const ApiError&) {
+      throw;
+    } catch (const Error& e) {
+      // Refused connections, drops mid-exchange, truncated responses: all
+      // transport trouble, all retryable.
+      last_error = e.what();
+    }
+  }
+  throw Error("qarch_client: " + method + " " + target + " failed after " +
+              std::to_string(options_.max_retries + 1) +
+              " attempts; last error: " + last_error);
+}
+
+json::Value QarchClient::healthz() { return request("GET", "/healthz", ""); }
+
+json::Value QarchClient::stats() { return request("GET", "/v1/stats", ""); }
+
+std::string QarchClient::submit(const json::Value& body) {
+  const json::Value response = request("POST", "/v1/submit", body.dump());
+  return response.at("ticket").as_string();
+}
+
+json::Value QarchClient::result(const std::string& ticket, double wait_ms) {
+  std::string target = "/v1/result/" + ticket;
+  if (wait_ms > 0.0)
+    target += "?wait_ms=" + std::to_string(static_cast<long>(wait_ms));
+  return request("GET", target, "");
+}
+
+bool QarchClient::cancel(const std::string& ticket) {
+  const json::Value response = request("POST", "/v1/cancel/" + ticket, "");
+  return response.at("cancelled").as_bool();
+}
+
+search::CandidateResult QarchClient::evaluate(const json::Value& body,
+                                              double poll_wait_ms) {
+  QARCH_REQUIRE(poll_wait_ms > 0.0, "poll_wait_ms must be positive");
+  std::string ticket = submit(body);
+  for (;;) {
+    json::Value response;
+    try {
+      response = result(ticket, poll_wait_ms);
+    } catch (const ApiError& e) {
+      // 404 = the daemon forgot the ticket — it restarted (or evicted a
+      // very old record). Resubmit: the service's result cache and
+      // in-flight dedup make the resubmission converge on the same
+      // candidate instead of retraining from scratch.
+      if (e.status() != 404) throw;
+      ticket = submit(body);
+      continue;
+    }
+    const std::string& status = response.at("status").as_string();
+    if (status == "pending") continue;
+    if (status == "done")
+      return search::candidate_from_json(response.at("result"));
+    std::string message = "evaluation resolved " + status;
+    if (response.contains("error"))
+      message += ": " + response.at("error").as_string();
+    throw ApiError(410, message);
+  }
+}
+
+json::Value QarchClient::submit_body(const graph::Graph& g,
+                                     const std::string& mixer, std::size_t p,
+                                     std::size_t budget) {
+  json::Value edges = json::Value::array();
+  for (const graph::Edge& e : g.edges()) {
+    json::Value edge = json::Value::array();
+    edge.push_back(e.u);
+    edge.push_back(e.v);
+    edge.push_back(e.weight);
+    edges.push_back(std::move(edge));
+  }
+  json::Value graph_json = json::Value::object();
+  graph_json.set("n", g.num_vertices());
+  graph_json.set("edges", std::move(edges));
+  json::Value body = json::Value::object();
+  body.set("graph", std::move(graph_json));
+  body.set("mixer", mixer);
+  body.set("p", p);
+  if (budget > 0) body.set("budget", budget);
+  return body;
+}
+
+}  // namespace qarch::server

@@ -1,0 +1,112 @@
+// qarch_client: the typed client of the qarchd wire protocol.
+//
+// One class wraps the whole protocol (submit / result / cancel / stats /
+// healthz) plus the two things every caller of a network service ends up
+// hand-rolling:
+//
+//   * TRANSPORT RETRIES — connection refused, connection dropped mid-
+//     exchange, truncated response: all retried with exponential backoff up
+//     to ClientOptions::max_retries. Only transport trouble retries;
+//     a parsed non-2xx answer is the daemon's verdict and throws ApiError
+//     immediately.
+//   * RESTART CONVERGENCE — evaluate() survives a daemon that crashed and
+//     was restarted on the same cache/checkpoint paths: the new daemon has
+//     forgotten the old ticket table (404), so evaluate() RESUBMITS the
+//     same body. The service's result cache and in-flight dedup make the
+//     resubmission converge to the same candidate instead of paying for a
+//     second training run.
+//
+// The client is deliberately synchronous (one request per call, one socket
+// per request): the concurrency story lives server-side in EvalService, and
+// callers that want parallel submits run parallel threads, as the stress
+// test does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "graph/graph.hpp"
+#include "search/evaluator.hpp"
+#include "server/http.hpp"
+
+namespace qarch::server {
+
+/// A parsed non-2xx daemon answer: the HTTP status plus the "error" message
+/// from the JSON body. NOT retried by the client — the daemon meant it.
+class ApiError : public Error {
+ public:
+  ApiError(int status, const std::string& what) : Error(what), status_(status) {}
+  [[nodiscard]] int status() const { return status_; }
+
+ private:
+  int status_;
+};
+
+/// Where and how to talk to a qarchd.
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string api_key;                    ///< sent as X-Api-Key on /v1/*
+  double connect_timeout_seconds = 5.0;
+  /// Per-request read timeout. Must exceed the longest wait_ms long-poll
+  /// the caller intends to issue.
+  double request_timeout_seconds = 60.0;
+  int max_retries = 8;                    ///< transport-level retry budget
+  double retry_backoff_seconds = 0.05;    ///< base delay, doubled per retry
+};
+
+/// The typed qarchd client. Thread-compatible: use one instance per thread
+/// (each request opens its own connection; there is no shared mutable state
+/// beyond the immutable options).
+class QarchClient {
+ public:
+  explicit QarchClient(ClientOptions options);
+
+  /// GET /healthz (unauthenticated).
+  json::Value healthz();
+
+  /// GET /v1/stats.
+  json::Value stats();
+
+  /// POST /v1/submit with a raw body (see submit_body / README for the
+  /// schema). Returns the ticket id. Throws ApiError on 4xx/5xx.
+  std::string submit(const json::Value& body);
+
+  /// GET /v1/result/<ticket>?wait_ms=N. Returns the whole response object
+  /// ({ticket, status, result?, error?}).
+  json::Value result(const std::string& ticket, double wait_ms = 0.0);
+
+  /// POST /v1/cancel/<ticket>. True when the cancel landed before the
+  /// evaluation started.
+  bool cancel(const std::string& ticket);
+
+  /// Submit-and-wait with restart convergence (see file comment): polls in
+  /// `poll_wait_ms` long-poll slices until the ticket resolves, resubmitting
+  /// the body when the daemon forgot the ticket (404 after a restart).
+  /// Returns the evaluated candidate; throws ApiError when the job resolved
+  /// cancelled / expired / failed.
+  search::CandidateResult evaluate(const json::Value& body,
+                                   double poll_wait_ms = 500.0);
+
+  /// Builds the canonical submit body for an explicit graph: n + edge list,
+  /// mixer string, depth, optional budget (0 = daemon default).
+  static json::Value submit_body(const graph::Graph& g,
+                                 const std::string& mixer, std::size_t p,
+                                 std::size_t budget = 0);
+
+  /// One raw request with auth, transport retries, and JSON parsing; the
+  /// building block of everything above. Throws ApiError on a non-2xx
+  /// answer, Error when the transport never yielded a response within the
+  /// retry budget.
+  json::Value request(const std::string& method, const std::string& target,
+                      const std::string& body);
+
+  [[nodiscard]] const ClientOptions& options() const { return options_; }
+
+ private:
+  ClientOptions options_;
+};
+
+}  // namespace qarch::server

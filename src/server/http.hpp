@@ -1,0 +1,173 @@
+// Minimal portable HTTP/1.1 over POSIX sockets: the wire substrate of the
+// qarchd daemon and the qarch_client library.
+//
+// Scope is deliberately small — newline-delimited request/status lines and
+// headers, Content-Length bodies, bounded reads — because everything behind
+// the wire (scheduling, caching, preemption) already lives in
+// search::EvalService; this layer only has to move JSON strings across a
+// socket safely:
+//
+//   * every read is bounded (header-section and body byte limits, poll-based
+//     timeouts), so a slow or malicious peer cannot wedge a server thread or
+//     balloon memory — violations surface as HttpError with the HTTP status
+//     the server should answer (400 / 413 / 431 / 408);
+//   * both CRLF and bare-LF line endings are accepted on input and CRLF is
+//     always emitted, so hand-typed `nc` sessions work;
+//   * connections are blocking sockets driven by poll() — no epoll, no
+//     platform-specific event machinery — which keeps the layer portable to
+//     anything POSIX.
+//
+// Nothing in here knows about tenants, tickets, or JSON; see server.hpp for
+// the daemon and client.hpp for the typed client.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace qarch::server {
+
+/// A protocol violation with the HTTP status the peer should be told.
+/// Thrown by the request/response readers; the server maps it to an error
+/// response, the client surfaces it to the caller.
+class HttpError : public Error {
+ public:
+  HttpError(int status, const std::string& what)
+      : Error(what), status_(status) {}
+  [[nodiscard]] int status() const { return status_; }
+
+ private:
+  int status_;
+};
+
+/// RAII wrapper of one connected TCP socket (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+
+  /// Writes all n bytes (SIGPIPE suppressed). Returns false when the peer
+  /// went away mid-write — callers treat that as a dropped connection, not
+  /// an error worth throwing for.
+  bool send_all(const char* data, std::size_t n);
+  bool send_all(const std::string& data) {
+    return send_all(data.data(), data.size());
+  }
+
+  /// Reads up to n bytes, waiting at most timeout_seconds for the first
+  /// byte. Returns the byte count, 0 on orderly EOF, and -1 on timeout or
+  /// error.
+  long recv_some(char* buf, std::size_t n, double timeout_seconds);
+
+  /// True when a read would not block (data or EOF pending) within
+  /// timeout_seconds. Lets a server idle on a keep-alive connection in
+  /// short slices so shutdown stays responsive.
+  [[nodiscard]] bool readable(double timeout_seconds) const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1 (loopback only: qarchd is a
+/// front door for a trusted reverse proxy, not a hardened public endpoint).
+/// Port 0 binds an ephemeral port — read the real one back via port().
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener() { close(); }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Waits up to timeout_seconds for a connection; an invalid Socket means
+  /// the wait timed out (poll again) or the listener was closed.
+  Socket accept(double timeout_seconds);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to host:port, waiting at most timeout_seconds. Throws Error on
+/// refusal or timeout.
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   double timeout_seconds);
+
+/// One parsed HTTP request.
+struct HttpRequest {
+  std::string method;                          ///< "GET", "POST", ...
+  std::string path;                            ///< target without the query
+  std::map<std::string, std::string> query;    ///< decoded ?key=value pairs
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+  std::string body;
+
+  /// Query parameter or `fallback` when absent.
+  [[nodiscard]] std::string query_value(const std::string& key,
+                                        const std::string& fallback) const;
+};
+
+/// One HTTP response to serialize (server) or parse (client).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::map<std::string, std::string> headers;  ///< parsed on the client side
+  std::string body;
+};
+
+/// Byte bounds and pacing of one connection's reads.
+struct HttpLimits {
+  std::size_t max_header_bytes = 8192;       ///< request/status line + headers
+  std::size_t max_body_bytes = 1 << 20;      ///< Content-Length ceiling
+  double read_timeout_seconds = 30.0;        ///< per-read poll timeout
+};
+
+/// Reads one request off the socket. Returns false on a clean EOF before
+/// the first byte (keep-alive peer went away — not an error). Throws
+/// HttpError on malformed or over-limit input: 400 (bad request line /
+/// headers / length), 413 (body over max_body_bytes), 431 (header section
+/// over max_header_bytes), 408 (timed out mid-request).
+bool read_http_request(Socket& socket, HttpRequest& out,
+                       const HttpLimits& limits);
+
+/// Serializes and sends a response (Content-Length framed, keep-alive).
+/// Returns false when the peer vanished mid-write.
+bool write_http_response(Socket& socket, const HttpResponse& response);
+
+/// The status line + headers + blank line of a response, without the body.
+/// The server sends head and body separately so the fault-injection
+/// crash point `server_response` can kill the daemon between the two — a
+/// half-written response on the wire is exactly what retrying clients must
+/// survive.
+std::string serialize_response_head(const HttpResponse& response);
+
+/// Serializes and sends a request. `target` is the path plus any query
+/// string, already encoded; `headers` are extra headers (e.g. X-Api-Key).
+bool write_http_request(Socket& socket, const std::string& method,
+                        const std::string& target, const std::string& body,
+                        const std::map<std::string, std::string>& headers = {});
+
+/// Reads one response. Throws HttpError(502) on a malformed or truncated
+/// response, including EOF before the status line (a dropped connection —
+/// retryable by the caller).
+void read_http_response(Socket& socket, HttpResponse& out,
+                        const HttpLimits& limits);
+
+/// Canonical reason phrase of the statuses this server emits.
+std::string status_reason(int status);
+
+}  // namespace qarch::server

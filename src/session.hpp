@@ -123,6 +123,31 @@ struct SessionConfig {
   /// retry_backoff_seconds * 2^(k-1).
   double retry_backoff_seconds = 0.05;
 
+  // -- qarchd network front-end ----------------------------------------------
+  // Defaults applied by server::QarchServer to every tenant that does not
+  // override them in its TenantSpec, plus the daemon's wire limits. They live
+  // here so one SessionConfig fully describes a deployment (evaluation
+  // semantics AND serving posture) and persists/compares as one unit.
+  /// Connection-handling threads of the daemon (each serves one request at a
+  /// time; long-polls occupy a thread for their wait).
+  std::size_t server_io_threads = 8;
+  /// Largest accepted request body; bigger submits are rejected 413 before
+  /// the JSON parser ever sees them.
+  std::size_t server_max_body_bytes = 1 << 20;
+  /// Cap on the ?wait_ms= long-poll: a client asking for more waits this
+  /// long and polls again (bounds how long a connection can pin an IO
+  /// thread).
+  double server_max_wait_seconds = 30.0;
+  /// Default tenant token-bucket refill rate in requests/second
+  /// (0 = no refill: tenants spend their burst and are then rejected 429).
+  double server_rate = 0.0;
+  /// Default tenant bucket capacity; 0 disables rate limiting entirely for
+  /// tenants that do not set their own burst.
+  double server_burst = 0.0;
+  /// Default per-tenant quota of outstanding (unresolved) tickets; a tenant
+  /// at its quota gets 429 on submit until results resolve. 0 = unlimited.
+  std::size_t server_max_inflight = 0;
+
   // -- escape hatch ----------------------------------------------------------
   /// Deep engine toggles (sv_plan.*, qtensor.*, optimizer details, restart
   /// jitter) start from this base; the named knobs above override the

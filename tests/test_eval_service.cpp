@@ -19,6 +19,7 @@
 #include "search/combinations.hpp"
 #include "search/engine.hpp"
 #include "search/eval_service.hpp"
+#include "search/fault.hpp"
 #include "search/halving.hpp"
 #include "search/report_io.hpp"
 #include "session.hpp"
@@ -1070,6 +1071,85 @@ TEST(SessionConfig, BaseDeepTogglesSurviveReconciliation) {
   s.base.cobyla.max_evals = 999;
   EXPECT_EQ(s.evaluator_options(qaoa::EngineKind::Statevector).cobyla.max_evals,
             77u);
+}
+
+// A deliberate three-way race on ticket resolution. While one worker is
+// pinned by a blocker, queued jobs are concurrently cancelled (twice each,
+// from two threads, through duplicate tickets sharing ONE deduped job),
+// expired (deadlines far shorter than the blocker), and completed — all
+// while a collect() in a fourth thread is already waiting on those same
+// tickets. However the races land, every scheduled job must resolve exactly
+// once: completed + cancelled + deadline_expired + failed == cache_misses.
+TEST(EvalService, RacedCancelExpiryCompletionResolvesEveryJobOnce) {
+  // 150 ms of injected delay per evaluation job guarantees the blocker
+  // outlives the 50 ms deadlines below no matter how quickly COBYLA
+  // converges on this machine.
+  struct FaultGuard {
+    ~FaultGuard() { search::FaultInjector::instance().reset(); }
+  } guard;
+  search::FaultPlan slow;
+  slow.delay_seconds = 0.15;
+  slow.delay_rate = 1.0;
+  search::FaultInjector::instance().configure(slow);
+
+  const auto blocker_graph = test_graph(71, 10, 3);
+  const auto g = test_graph(72);
+  const auto cohort = search::all_combinations(
+      search::GateAlphabet::standard(), 1, search::CombinationMode::Product);
+  SessionConfig session = fast_session();
+  session.workers = 1;
+  search::EvalService service(session);
+
+  search::JobOptions heavy;
+  heavy.training_evals = 500;
+  auto blocker =
+      service.submit(blocker_graph, qaoa::MixerSpec::baseline(), 2, heavy);
+
+  // p distinguishes the three fates; mixers are distinct within each fate.
+  // The cancel cohort is submitted TWICE: the duplicate dedups onto the same
+  // in-flight job (a cache hit), so the two cancelling threads race on one
+  // underlying job through different handles.
+  std::vector<search::EvalTicket> cancel_a, cancel_b, doomed, winners;
+  for (std::size_t i = 0; i < 3; ++i) {
+    cancel_a.push_back(service.submit(g, cohort[i], 3));
+    cancel_b.push_back(service.submit(g, cohort[i], 3));
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    search::JobOptions job;
+    job.deadline_seconds = 0.05;  // the blocker alone outlives this
+    doomed.push_back(service.submit(g, cohort[i], 2, job));
+  }
+  for (std::size_t i = 0; i < 3; ++i)
+    winners.push_back(service.submit(g, cohort[i], 1));
+
+  // The collector is already blocked inside collect() when the cancellations
+  // and expiries start landing — resolution must wake it, not strand it.
+  std::thread collector([&] {
+    (void)service.collect(winners);
+    (void)service.collect(doomed);
+    (void)service.collect(cancel_a);
+  });
+  std::thread canceller_a([&] {
+    for (auto& t : cancel_a) (void)t.cancel();
+  });
+  std::thread canceller_b([&] {
+    for (auto& t : cancel_b) (void)t.cancel();
+  });
+  canceller_a.join();
+  canceller_b.join();
+  (void)blocker.wait();
+  collector.join();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 13u);  // blocker + 3x2 + 3 + 3
+  EXPECT_EQ(stats.cache_hits, 3u);  // the duplicate cancel submissions
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.submitted);
+  EXPECT_EQ(stats.cancelled, 3u);   // once per job, despite racing handles
+  EXPECT_EQ(stats.deadline_expired, 3u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.completed + stats.cancelled + stats.deadline_expired +
+                stats.failed,
+            stats.cache_misses);
 }
 
 TEST(GraphFingerprint, DistinguishesStructureNotIdentity) {

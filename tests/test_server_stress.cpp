@@ -1,0 +1,296 @@
+// qarchd under load: many concurrent client threads across several tenants
+// flooding one in-process daemon. Three promises are exercised:
+//
+//   * CONVERGENCE — every submitted ticket reaches a terminal state, and a
+//     "done" wire response is bit-for-bit identical to what a direct
+//     in-process evaluation of the same candidate produces (the daemon adds
+//     transport, never semantics — and the service dedups the flood down to
+//     one evaluation per distinct candidate);
+//   * FAIR SHARE — a high-weight interactive tenant's request latency stays
+//     bounded while a greedy batch tenant floods the queue (deficit-weighted
+//     round robin, proven here over the wire end to end);
+//   * ACCOUNTING — after the storm the service counters balance exactly:
+//     every submission is a hit or a miss, every published job resolved
+//     exactly once (completed/cancelled/expired), nothing lost, nothing run
+//     twice.
+//
+// Where wall-clock matters, evaluation duration is pinned with the
+// fault-injection delay hook (one real sleep per evaluation job) instead of
+// relying on how fast COBYLA happens to converge on this machine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "search/eval_service.hpp"
+#include "search/evaluator.hpp"
+#include "search/fault.hpp"
+#include "search/report_io.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "session.hpp"
+
+namespace {
+
+using namespace qarch;
+using server::ClientOptions;
+using server::QarchClient;
+using server::QarchServer;
+using server::ServerConfig;
+using server::TenantSpec;
+
+SessionConfig fast_session() {
+  SessionConfig s;
+  s.backend = BackendChoice::Statevector;
+  s.training_evals = 20;
+  s.shots = 32;
+  s.sample_trials = 2;
+  s.workers = 2;
+  s.server_io_threads = 8;
+  return s;
+}
+
+graph::Graph test_graph(std::uint64_t seed, std::size_t n = 6,
+                        std::size_t degree = 3) {
+  Rng rng(seed);
+  return graph::random_regular(n, degree, rng);
+}
+
+QarchClient make_client(QarchServer& server, const std::string& key) {
+  ClientOptions options;
+  options.port = server.port();
+  options.api_key = key;
+  options.max_retries = 4;
+  return QarchClient(options);
+}
+
+struct FaultGuard {
+  ~FaultGuard() { search::FaultInjector::instance().reset(); }
+};
+
+TEST(QarchServerStress, ConcurrentTenantFloodConvergesBitForBit) {
+  const std::vector<graph::Graph> graphs = {test_graph(81), test_graph(82)};
+  const std::vector<std::string> mixers = {"rx", "ry", "rx,ry", "ry,rz"};
+
+  ServerConfig config;
+  config.session = fast_session();
+  config.tenants = {TenantSpec{.name = "t0", .api_key = "k0"},
+                    TenantSpec{.name = "t1", .api_key = "k1"},
+                    TenantSpec{.name = "t2", .api_key = "k2"}};
+  QarchServer server(config);
+  server.start();
+
+  // The serial reference for every distinct candidate, evaluated directly.
+  std::map<std::pair<std::size_t, std::string>, search::CandidateResult>
+      expected;
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const search::Evaluator direct(
+        graphs[gi],
+        config.session.evaluator_options(qaoa::EngineKind::Statevector));
+    for (const auto& m : mixers)
+      expected[{gi, m}] = direct.evaluate(qaoa::MixerSpec::parse(m), 1);
+  }
+
+  // 3 tenants x 3 threads, every thread submits the full candidate set in a
+  // rotated order, then polls everything to completion.
+  constexpr std::size_t kThreadsPerTenant = 3;
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> resolved{0};
+  std::vector<std::thread> threads;
+  for (std::size_t tenant = 0; tenant < 3; ++tenant) {
+    for (std::size_t worker = 0; worker < kThreadsPerTenant; ++worker) {
+      threads.emplace_back([&, tenant, worker] {
+        QarchClient client =
+            make_client(server, "k" + std::to_string(tenant));
+        std::vector<std::pair<std::string, std::pair<std::size_t, std::string>>>
+            submitted;
+        const std::size_t total = graphs.size() * mixers.size();
+        for (std::size_t i = 0; i < total; ++i) {
+          const std::size_t slot = (i + worker + tenant) % total;
+          const std::size_t gi = slot / mixers.size();
+          const std::string& m = mixers[slot % mixers.size()];
+          const std::string ticket = client.submit(
+              QarchClient::submit_body(graphs[gi], m, 1));
+          submitted.emplace_back(ticket, std::make_pair(gi, m));
+        }
+        for (const auto& [ticket, key] : submitted) {
+          json::Value response = client.result(ticket, 30000.0);
+          while (response.at("status").as_string() == "pending")
+            response = client.result(ticket, 30000.0);
+          if (response.at("status").as_string() != "done") {
+            ++mismatches;
+            continue;
+          }
+          const auto r = search::candidate_from_json(response.at("result"));
+          const auto& want = expected.at(key);
+          if (r.energy != want.energy || r.theta != want.theta ||
+              r.sampled_ratio != want.sampled_ratio ||
+              r.evaluations != want.evaluations)
+            ++mismatches;
+          ++resolved;
+        }
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  const std::size_t total_submits = 3 * kThreadsPerTenant * 8;
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_EQ(resolved, total_submits);
+  EXPECT_EQ(server.counters().submits, total_submits);
+
+  // Accounting balances exactly, and the flood deduplicated down to ONE
+  // evaluation per distinct candidate service-wide.
+  const auto stats = server.service().stats();
+  EXPECT_EQ(stats.submitted, total_submits);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.submitted);
+  EXPECT_EQ(stats.cache_misses, graphs.size() * mixers.size());
+  EXPECT_EQ(stats.completed + stats.cancelled + stats.deadline_expired,
+            stats.cache_misses);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(QarchServerStress, FairShareKeepsInteractiveResponsiveUnderFlood) {
+  // 200 ms of injected delay per evaluation job pins the timeline: every
+  // job runs >= 0.2 s of wall clock regardless of machine speed or
+  // sanitizer slowdown, so the flood below is >= 2.4 s of single-worker
+  // backlog.
+  FaultGuard guard;
+  search::FaultPlan slow;
+  slow.delay_seconds = 0.2;
+  slow.delay_rate = 1.0;
+  search::FaultInjector::instance().configure(slow);
+
+  ServerConfig config;
+  config.session = fast_session();
+  config.session.workers = 1;
+  config.tenants = {
+      TenantSpec{.name = "greedy", .api_key = "kg", .weight = 1.0},
+      TenantSpec{.name = "interactive", .api_key = "ki", .weight = 8.0}};
+  QarchServer server(config);
+  server.start();
+  QarchClient greedy = make_client(server, "kg");
+  QarchClient interactive = make_client(server, "ki");
+
+  // The flood: 12 distinct jobs, >= 0.2 s each.
+  std::vector<std::string> flood;
+  for (std::size_t i = 0; i < 12; ++i)
+    flood.push_back(greedy.submit(QarchClient::submit_body(
+        test_graph(90 + i, 8, 3), "rx", 1, /*budget=*/40)));
+
+  // The interactive tenant arrives after the flood and runs a sequential
+  // submit/wait session, timing each request end to end over the wire.
+  const std::vector<std::string> session_mixers = {"rx", "ry", "rz", "rx,ry"};
+  double worst_seconds = 0.0;
+  for (const auto& m : session_mixers) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string ticket =
+        interactive.submit(QarchClient::submit_body(test_graph(89, 4, 3), m,
+                                                    1, /*budget=*/20));
+    json::Value response = interactive.result(ticket, 30000.0);
+    while (response.at("status").as_string() == "pending")
+      response = interactive.result(ticket, 30000.0);
+    ASSERT_EQ(response.at("status").as_string(), "done") << m;
+    worst_seconds = std::max(
+        worst_seconds,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
+  // Bounded tail latency: the worst interactive request waited for at most
+  // a couple of greedy jobs (weight 8 vs 1) plus its own >= 0.2 s run. FIFO
+  // would have served all 12 greedy jobs first (>= 2.4 s) and blown this
+  // bound for every request.
+  EXPECT_LT(worst_seconds, 1.5);
+
+  // And the flood is demonstrably still in progress: fairness, not luck.
+  std::size_t unresolved = 0;
+  for (const auto& ticket : flood)
+    if (greedy.result(ticket, 0.0).at("status").as_string() == "pending")
+      ++unresolved;
+  EXPECT_GT(unresolved, 0u);
+
+  // Cancel what is still queued so teardown is quick; everything must end
+  // terminal either way.
+  for (const auto& ticket : flood) (void)greedy.cancel(ticket);
+  for (const auto& ticket : flood) {
+    json::Value response = greedy.result(ticket, 30000.0);
+    while (response.at("status").as_string() == "pending")
+      response = greedy.result(ticket, 30000.0);
+    const std::string status = response.at("status").as_string();
+    EXPECT_TRUE(status == "done" || status == "cancelled") << status;
+  }
+}
+
+TEST(QarchServerStress, DeadlinedFloodLeavesNoTicketBehind) {
+  // Two tenants race 24 submissions, half with a deadline far shorter than
+  // the queue they are stuck in. Every ticket must reach a terminal state
+  // and the books must balance: resolved-once accounting holds under
+  // concurrent expiry, cancellation, and completion.
+  FaultGuard guard;
+  search::FaultPlan slow;
+  slow.delay_seconds = 0.2;
+  slow.delay_rate = 1.0;
+  search::FaultInjector::instance().configure(slow);
+
+  ServerConfig config;
+  config.session = fast_session();
+  config.session.workers = 1;
+  config.tenants = {TenantSpec{.name = "a", .api_key = "ka"},
+                    TenantSpec{.name = "b", .api_key = "kb"}};
+  QarchServer server(config);
+  server.start();
+
+  std::atomic<std::size_t> done{0}, expired{0}, other{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      QarchClient client = make_client(server, t == 0 ? "ka" : "kb");
+      std::vector<std::string> tickets;
+      for (std::size_t i = 0; i < 12; ++i) {
+        // Distinct candidates per (tenant, i): no cross-tenant dedup, so
+        // the deadline half genuinely expires instead of attaching to an
+        // undeadlined duplicate.
+        json::Value body = QarchClient::submit_body(
+            test_graph(120 + 20 * t + i, 6, 3), "rx", 1, /*budget=*/40);
+        if (i % 2 == 0) body.set("deadline_ms", 150.0);
+        tickets.push_back(client.submit(body));
+      }
+      for (const auto& ticket : tickets) {
+        json::Value response = client.result(ticket, 30000.0);
+        while (response.at("status").as_string() == "pending")
+          response = client.result(ticket, 30000.0);
+        const std::string status = response.at("status").as_string();
+        if (status == "done")
+          ++done;
+        else if (status == "expired")
+          ++expired;
+        else
+          ++other;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(done + expired + other, 24u);
+  EXPECT_EQ(other, 0u);
+  EXPECT_GT(expired, 0u);  // the backlog dwarfed the 150 ms deadlines
+  EXPECT_GT(done, 0u);
+
+  const auto stats = server.service().stats();
+  EXPECT_EQ(stats.submitted, 24u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.submitted);
+  EXPECT_EQ(stats.completed + stats.cancelled + stats.deadline_expired +
+                stats.failed,
+            stats.cache_misses);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// qarchd — the networked multi-tenant evaluation daemon.
+//
+// Serves the qarch wire protocol (src/server/README.md) over loopback HTTP,
+// backed by one search::EvalService: fair-share scheduling across tenants,
+// shared result/plan caches, preemption, checkpoints. SIGTERM/SIGINT drain
+// gracefully — running evaluations park at their next safe point and every
+// cache/checkpoint persists, so a restart on the same paths resumes.
+//
+//   qarchd --port 8787 --workers 4 \
+//          --tenants 'alice:key-a:4,bob:key-b:1:2:5:8' \
+//          --cache /var/qarch/results.json --checkpoint /var/qarch/ckpt.json
+//
+// --tenants is a comma-separated list of name:key[:weight[:rate[:burst
+// [:inflight]]]] specs. With no --tenants a single unlimited tenant
+// "default" with key "dev" is served (local development only).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void on_signal(int) { g_shutdown.store(true); }
+
+std::vector<qarch::server::TenantSpec> parse_tenants(const std::string& text) {
+  std::vector<qarch::server::TenantSpec> tenants;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    if (!item.empty())
+      tenants.push_back(qarch::server::TenantSpec::parse(item));
+    pos = comma + 1;
+  }
+  return tenants;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qarch;
+  try {
+    const Cli cli(argc, argv);
+    if (cli.has("help")) {
+      std::printf(
+          "usage: qarchd [--port N] [--workers N] [--tenants SPECS]\n"
+          "              [--engine sv|tn|auto] [--evals N] [--cache PATH]\n"
+          "              [--plan-cache PATH] [--checkpoint PATH]\n"
+          "              [--ckpt-evals N] [--quantum SECONDS] [--retries N]\n"
+          "              [--io-threads N] [--max-wait-ms N] [--max-vertices N]\n"
+          "tenant spec: name:key[:weight[:rate[:burst[:inflight]]]] (comma-"
+          "separated)\n");
+      return 0;
+    }
+
+    server::ServerConfig config;
+    config.port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+    config.max_vertices =
+        static_cast<std::size_t>(cli.get_int("max-vertices", 32));
+    SessionConfig& session = config.session;
+    session.backend = backend_from_name(cli.get("engine", "auto"));
+    session.workers = static_cast<std::size_t>(cli.get_int("workers", 2));
+    session.training_evals =
+        static_cast<std::size_t>(cli.get_int("evals", session.training_evals));
+    session.cache_path = cli.get("cache", "");
+    session.plan_cache_path = cli.get("plan-cache", "");
+    session.checkpoint_path = cli.get("checkpoint", "");
+    session.checkpoint_evals =
+        static_cast<std::size_t>(cli.get_int("ckpt-evals", 0));
+    session.preempt_quantum_seconds = cli.get_double("quantum", 0.0);
+    session.eval_retries = static_cast<int>(cli.get_int("retries", 0));
+    session.server_io_threads =
+        static_cast<std::size_t>(cli.get_int("io-threads", 8));
+    session.server_max_wait_seconds =
+        cli.get_double("max-wait-ms", 30000.0) / 1000.0;
+
+    config.tenants = parse_tenants(cli.get("tenants", "default:dev"));
+
+    server::QarchServer daemon(std::move(config));
+    daemon.start();
+    std::printf("qarchd: listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(daemon.port()));
+    std::fflush(stdout);
+
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    while (!g_shutdown.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::printf("qarchd: draining\n");
+    std::fflush(stdout);
+    daemon.stop(cli.get_double("drain-timeout", 10.0));
+    std::printf("qarchd: clean shutdown\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qarchd: fatal: %s\n", e.what());
+    return 1;
+  }
+}
