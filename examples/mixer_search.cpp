@@ -6,6 +6,8 @@
 //                  [--workers 0(=all cores)] [--evals 200] [--seed 3]
 //                  [--engine sv|tn|auto] [--small] [--cache PATH]
 //                  [--plan-cache PATH] [--checkpoint PATH] [--retries 0]
+//                  [--objective expectation|cvar|best] [--cvar-alpha 0.25]
+//                  [--objective-shots 0(=evaluator default)]
 //
 // --small shrinks everything (CI smoke-test profile: 6 qubits, p=1, k<=1,
 // 30 evaluations). --cache persists the service's candidate-result cache to
@@ -16,6 +18,10 @@
 // never invokes the planner. --checkpoint persists in-flight training
 // checkpoints (crash-safe resume); --retries bounds reruns of failed
 // evaluations (exercised by the QARCH_FAULT injection harness in CI).
+// --objective switches training from the exact <C> to a sample-based
+// objective (CVaR-α or best-of-shots) drawn from the compiled query::Sampler;
+// --cvar-alpha sets the CVaR tail fraction, --objective-shots the draws per
+// objective evaluation.
 // SIGINT/SIGTERM drain the service — running evaluations park at a safe
 // point, caches and checkpoints hit disk — then exit 130.
 #include <atomic>
@@ -28,6 +34,7 @@
 #include "common/cli.hpp"
 #include "graph/generators.hpp"
 #include "qaoa/mixer.hpp"
+#include "qaoa/objective.hpp"
 #include "qtensor/planner.hpp"
 #include "search/engine.hpp"
 
@@ -92,6 +99,14 @@ int main(int argc, char** argv) {
   cfg.session.checkpoint_evals =
       static_cast<std::size_t>(cli.get_int("ckpt-evals", 0));
   cfg.session.eval_retries = static_cast<int>(cli.get_int("retries", 0));
+  cfg.session.objective.kind =
+      qaoa::objective_kind_from_name(cli.get("objective", "expectation"));
+  cfg.session.objective.alpha = cli.get_double("cvar-alpha", 0.25);
+  cfg.session.objective.shots =
+      static_cast<std::size_t>(cli.get_int("objective-shots", 0));
+  if (!cfg.session.objective.is_default())
+    std::printf("training objective: %s\n",
+                cfg.session.objective.tag().c_str());
 
   // One service; the engine is a pure client. A second engine (or thread)
   // could share `service` and its caches — fairly, since every run registers

@@ -43,17 +43,29 @@ class StatevectorPlan final : public EnergyPlan {
   }
 
   double energy(std::span<const double> theta) const override {
-    return ham_.energy(zz_expectations(theta));
+    // One state computation serves both the ZZ sweep and the Z fields.
+    const sim::State& state = run_state(theta);
+    return ham_.energy(zz_from_state(state), z_from_state(state));
   }
 
   std::vector<double> zz_expectations(
       std::span<const double> theta) const override {
+    return zz_from_state(run_state(theta));
+  }
+
+  std::vector<double> z_expectations(
+      std::span<const double> theta) const override {
+    return z_from_state(run_state(theta));
+  }
+
+ private:
+  /// Per-thread scratch statevector: repeated energy(theta) calls (hundreds
+  /// per training run) reuse one allocation instead of 2^n fresh complex
+  /// doubles per call, and concurrent search workers each get their own
+  /// buffer — no locks anywhere on the evaluation path.
+  const sim::State& run_state(std::span<const double> theta) const {
     QARCH_REQUIRE(theta.size() >= ansatz_.num_params(),
                   "parameter vector too short for ansatz");
-    // Per-thread scratch statevector: repeated energy(theta) calls (hundreds
-    // per training run) reuse one allocation instead of 2^n fresh complex
-    // doubles per call, and concurrent search workers each get their own
-    // buffer — no locks anywhere on the evaluation path.
     static thread_local sim::State scratch;
     const std::size_t dim = std::size_t{1} << ansatz_.num_qubits();
     if (scratch.capacity() > dim * 4) {
@@ -69,17 +81,28 @@ class StatevectorPlan final : public EnergyPlan {
     else
       for (const auto& g : ansatz_.gates())
         simulator_.apply(scratch, g, theta);
+    return scratch;
+  }
+
+  std::vector<double> zz_from_state(const sim::State& state) const {
     if (options_.sv_batch_expectations)
       return sim::batched_expectation_zz(
-          scratch, pairs_, options_.inner_workers,
+          state, pairs_, options_.inner_workers,
           options_.sv_plan.parallel_threshold_qubits, options_.sv_plan.simd);
     std::vector<double> zz(pairs_.size());
     for (std::size_t k = 0; k < pairs_.size(); ++k)
-      zz[k] = sim::expectation_zz(scratch, pairs_[k].u, pairs_[k].v);
+      zz[k] = sim::expectation_zz(state, pairs_[k].u, pairs_[k].v);
     return zz;
   }
 
- private:
+  std::vector<double> z_from_state(const sim::State& state) const {
+    const auto& zs = ham_.z_terms();
+    std::vector<double> z(zs.size());
+    for (std::size_t k = 0; k < zs.size(); ++k)
+      z[k] = sim::expectation_z(state, zs[k].q);
+    return z;
+  }
+
   circuit::Circuit ansatz_;
   const MaxCutHamiltonian& ham_;
   EnergyOptions options_;
@@ -162,6 +185,17 @@ class TensorNetworkPlan final : public EnergyPlan {
                 ansatz_, rep.u, rep.v, local);
           },
           options_.inner_workers);
+      // Field terms compile one single-qubit <Z_q> program each; the shared
+      // plan cache dedups the planning across equal lightcone structures.
+      const auto& zs = ham_.z_terms();
+      z_programs_.resize(zs.size());
+      parallel::parallel_for(
+          0, zs.size(),
+          [&](std::size_t k) {
+            z_programs_[k] = std::make_unique<qtensor::ContractionProgram>(
+                ansatz_, zs[k].q, options_.qtensor.program_options());
+          },
+          options_.inner_workers);
       return;
     }
     // Probe parameters: any values produce the same network structure.
@@ -172,10 +206,16 @@ class TensorNetworkPlan final : public EnergyPlan {
           ansatz_, probe, terms[k].u, terms[k].v, options_.qtensor.network);
       orders_[k] = make_order(net);
     }
+    z_orders_.resize(ham_.z_terms().size());
+    for (std::size_t k = 0; k < ham_.z_terms().size(); ++k) {
+      const auto net = qtensor::expectation_z_network(
+          ansatz_, probe, ham_.z_terms()[k].q, options_.qtensor.network);
+      z_orders_[k] = make_order(net);
+    }
   }
 
   double energy(std::span<const double> theta) const override {
-    return ham_.energy(zz_expectations(theta));
+    return ham_.energy(zz_expectations(theta), z_expectations(theta));
   }
 
   std::vector<double> zz_expectations(
@@ -210,10 +250,38 @@ class TensorNetworkPlan final : public EnergyPlan {
     return zz;
   }
 
+  std::vector<double> z_expectations(
+      std::span<const double> theta) const override {
+    const auto& zs = ham_.z_terms();
+    std::vector<double> z(zs.size());
+    if (zs.empty()) return z;
+    if (!z_programs_.empty()) {
+      parallel::parallel_for(
+          0, zs.size(),
+          [&](std::size_t k) {
+            z[k] = z_programs_[k]->expectation_zz(theta, *backend_);
+          },
+          options_.inner_workers);
+      return z;
+    }
+    parallel::parallel_for(
+        0, zs.size(),
+        [&](std::size_t k) {
+          const auto net = qtensor::expectation_z_network(
+              ansatz_, theta, zs[k].q, options_.qtensor.network);
+          const auto r = qtensor::contract(net, z_orders_[k], *backend_);
+          QARCH_CHECK(std::abs(r.value.imag()) < 1e-8,
+                      "Hermitian expectation has a large imaginary part");
+          z[k] = r.value.real();
+        },
+        options_.inner_workers);
+    return z;
+  }
+
   EnergyPlanInfo info() const override {
     EnergyPlanInfo i;
     i.terms = ham_.terms().size();
-    i.compiled_programs = programs_.size();
+    i.compiled_programs = programs_.size() + z_programs_.size();
     std::set<std::string> keys;
     for (const ShapeGroup& g : groups_) keys.insert(g.key);
     i.distinct_shapes = keys.size();
@@ -251,12 +319,15 @@ class TensorNetworkPlan final : public EnergyPlan {
   const MaxCutHamiltonian& ham_;
   EnergyOptions options_;
   std::shared_ptr<const qtensor::Backend> backend_;
-  /// Compiled mode: one program per shape group, aligned with groups_.
+  /// Compiled mode: one program per shape group, aligned with groups_, plus
+  /// one single-qubit program per field term.
   std::vector<std::unique_ptr<qtensor::ContractionProgram>> programs_;
+  std::vector<std::unique_ptr<qtensor::ContractionProgram>> z_programs_;
   std::vector<ShapeGroup> groups_;
   std::vector<std::size_t> term_group_;  ///< term index -> group index
-  /// Legacy mode: cached per-edge elimination orders.
+  /// Legacy mode: cached per-edge / per-field elimination orders.
   std::vector<std::vector<qtensor::VarId>> orders_;
+  std::vector<std::vector<qtensor::VarId>> z_orders_;
 };
 
 /// Bit-exact structural key for one circuit: gate kinds, qubit wiring, and
@@ -295,7 +366,10 @@ struct EnergyEvaluator::PlanCache {
 };
 
 EnergyEvaluator::EnergyEvaluator(const graph::Graph& g, EnergyOptions options)
-    : ham_(g),
+    : EnergyEvaluator(Hamiltonian(g), std::move(options)) {}
+
+EnergyEvaluator::EnergyEvaluator(Hamiltonian ham, EnergyOptions options)
+    : ham_(std::move(ham)),
       options_(std::move(options)),
       cache_(std::make_unique<PlanCache>()) {}
 

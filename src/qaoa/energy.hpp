@@ -92,6 +92,15 @@ class EnergyPlan {
   [[nodiscard]] virtual std::vector<double> zz_expectations(
       std::span<const double> theta) const = 0;
 
+  /// Per-term <Z_q>, aligned with hamiltonian().z_terms(). Empty when the
+  /// Hamiltonian has no field terms (the MaxCut case), so the default suits
+  /// plans over field-free Hamiltonians.
+  [[nodiscard]] virtual std::vector<double> z_expectations(
+      std::span<const double> theta) const {
+    (void)theta;
+    return {};
+  }
+
   /// Compile-time facts (shape dedup accounting); zeros by default.
   [[nodiscard]] virtual EnergyPlanInfo info() const { return {}; }
 };
@@ -112,6 +121,11 @@ class EnergyPlan {
 class EnergyEvaluator {
  public:
   explicit EnergyEvaluator(const graph::Graph& g, EnergyOptions options = {});
+
+  /// Generalized form: evaluate <C> for any diagonal ZZ+Z+constant
+  /// Hamiltonian (MIS, Ising, weighted variants). The graph constructor is
+  /// this with Hamiltonian(g).
+  explicit EnergyEvaluator(Hamiltonian ham, EnergyOptions options = {});
   ~EnergyEvaluator();
 
   /// Builds an UNCACHED plan the caller exclusively owns. Prefer plan_for()

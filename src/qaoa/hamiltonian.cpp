@@ -1,10 +1,30 @@
 #include "qaoa/hamiltonian.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/error.hpp"
 
 namespace qarch::qaoa {
 
-MaxCutHamiltonian::MaxCutHamiltonian(const graph::Graph& g)
+HamiltonianKind hamiltonian_kind_from_name(const std::string& name) {
+  if (name == "maxcut") return HamiltonianKind::MaxCut;
+  if (name == "mis") return HamiltonianKind::MIS;
+  if (name == "ising") return HamiltonianKind::Ising;
+  throw InvalidArgument("unknown hamiltonian kind: " + name);
+}
+
+std::string hamiltonian_kind_name(HamiltonianKind kind) {
+  switch (kind) {
+    case HamiltonianKind::MaxCut: return "maxcut";
+    case HamiltonianKind::MIS: return "mis";
+    case HamiltonianKind::Ising: return "ising";
+  }
+  throw InvalidArgument("invalid HamiltonianKind");
+}
+
+Hamiltonian::Hamiltonian(const graph::Graph& g)
     : num_qubits_(g.num_vertices()) {
   terms_.reserve(g.num_edges());
   for (const auto& e : g.edges()) {
@@ -13,24 +33,149 @@ MaxCutHamiltonian::MaxCutHamiltonian(const graph::Graph& g)
   }
 }
 
-double MaxCutHamiltonian::energy(
-    const std::vector<double>& zz_expectations) const {
+Hamiltonian Hamiltonian::maxcut(const graph::Graph& g) {
+  return Hamiltonian(g);
+}
+
+Hamiltonian Hamiltonian::mis(const graph::Graph& g, double penalty) {
+  QARCH_REQUIRE(penalty > 0.0, "MIS penalty must be positive");
+  Hamiltonian h;
+  h.kind_ = HamiltonianKind::MIS;
+  h.num_qubits_ = g.num_vertices();
+  // Σ_i x_i = n/2 - Σ_i z_i/2 with x = (1-z)/2.
+  h.constant_ = static_cast<double>(g.num_vertices()) / 2.0;
+  std::vector<double> field(g.num_vertices(), -0.5);
+  // penalty * x_u x_v = penalty/4 * (1 - z_u - z_v + z_u z_v).
+  h.terms_.reserve(g.num_edges());
+  for (const auto& e : g.edges()) {
+    const double c = penalty * e.weight / 4.0;
+    h.constant_ -= c;
+    field[e.u] += c;
+    field[e.v] += c;
+    h.terms_.push_back(ZZTerm{e.u, e.v, -c});
+  }
+  for (std::size_t q = 0; q < field.size(); ++q)
+    if (field[q] != 0.0) h.z_terms_.push_back(ZTerm{q, field[q]});
+  return h;
+}
+
+Hamiltonian Hamiltonian::ising(const graph::Graph& g, double coupling,
+                               double field) {
+  Hamiltonian h;
+  h.kind_ = HamiltonianKind::Ising;
+  h.num_qubits_ = g.num_vertices();
+  h.terms_.reserve(g.num_edges());
+  for (const auto& e : g.edges())
+    h.terms_.push_back(ZZTerm{e.u, e.v, -coupling * e.weight});
+  if (field != 0.0)
+    for (std::size_t q = 0; q < g.num_vertices(); ++q)
+      h.z_terms_.push_back(ZTerm{q, -field});
+  return h;
+}
+
+double Hamiltonian::energy(const std::vector<double>& zz_expectations,
+                           const std::vector<double>& z_expectations) const {
   QARCH_REQUIRE(zz_expectations.size() == terms_.size(),
                 "expectation count mismatch");
+  QARCH_REQUIRE(z_expectations.size() == z_terms_.size() ||
+                    (z_terms_.empty() && z_expectations.empty()),
+                "field expectation count mismatch");
   double e = constant_;
   for (std::size_t k = 0; k < terms_.size(); ++k)
     e += terms_[k].coefficient * zz_expectations[k];
+  for (std::size_t k = 0; k < z_terms_.size(); ++k)
+    e += z_terms_[k].coefficient * z_expectations[k];
   return e;
 }
 
-double MaxCutHamiltonian::classical_value(const std::vector<int>& z) const {
+double Hamiltonian::classical_value(const std::vector<int>& z) const {
   QARCH_REQUIRE(z.size() == num_qubits_, "assignment size mismatch");
   double e = constant_;
   for (const ZZTerm& t : terms_) {
     QARCH_REQUIRE(z[t.u] == 1 || z[t.u] == -1, "assignment must be ±1");
     e += t.coefficient * static_cast<double>(z[t.u] * z[t.v]);
   }
+  for (const ZTerm& t : z_terms_) {
+    QARCH_REQUIRE(z[t.q] == 1 || z[t.q] == -1, "assignment must be ±1");
+    e += t.coefficient * static_cast<double>(z[t.q]);
+  }
   return e;
+}
+
+double Hamiltonian::classical_value_bits(std::size_t basis_index) const {
+  double e = constant_;
+  for (const ZZTerm& t : terms_) {
+    const int zu = ((basis_index >> t.u) & 1ULL) != 0 ? -1 : 1;
+    const int zv = ((basis_index >> t.v) & 1ULL) != 0 ? -1 : 1;
+    e += t.coefficient * static_cast<double>(zu * zv);
+  }
+  for (const ZTerm& t : z_terms_) {
+    const int zq = ((basis_index >> t.q) & 1ULL) != 0 ? -1 : 1;
+    e += t.coefficient * static_cast<double>(zq);
+  }
+  return e;
+}
+
+double classical_maximum(const Hamiltonian& ham) {
+  QARCH_REQUIRE(ham.num_qubits() <= 30,
+                "classical_maximum: exact enumeration needs <= 30 qubits");
+  const std::size_t dim = std::size_t{1} << ham.num_qubits();
+  double best = ham.classical_value_bits(0);
+  for (std::size_t i = 1; i < dim; ++i)
+    best = std::max(best, ham.classical_value_bits(i));
+  return best;
+}
+
+Hamiltonian HamiltonianSpec::build(const graph::Graph& g) const {
+  switch (kind) {
+    case HamiltonianKind::MaxCut: return Hamiltonian::maxcut(g);
+    case HamiltonianKind::MIS: return Hamiltonian::mis(g, penalty);
+    case HamiltonianKind::Ising: return Hamiltonian::ising(g, coupling, field);
+  }
+  throw InvalidArgument("invalid HamiltonianKind");
+}
+
+namespace {
+
+/// Shortest round-trippable rendering of a double (no trailing noise for the
+/// common 2, 1.5 cases; %.17g keeps exotic values exact).
+std::string format_param(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  if (std::strtod(buf, nullptr) == v) return buf;
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string HamiltonianSpec::tag() const {
+  switch (kind) {
+    case HamiltonianKind::MaxCut: return "maxcut";
+    case HamiltonianKind::MIS: return "mis@" + format_param(penalty);
+    case HamiltonianKind::Ising:
+      return "ising@" + format_param(coupling) + "@" + format_param(field);
+  }
+  throw InvalidArgument("invalid HamiltonianKind");
+}
+
+HamiltonianSpec HamiltonianSpec::parse_tag(const std::string& tag) {
+  HamiltonianSpec spec;
+  const std::size_t at = tag.find('@');
+  const std::string name = tag.substr(0, at);
+  spec.kind = hamiltonian_kind_from_name(name);
+  if (at == std::string::npos) return spec;
+  const std::string rest = tag.substr(at + 1);
+  const std::size_t at2 = rest.find('@');
+  if (spec.kind == HamiltonianKind::MIS) {
+    QARCH_REQUIRE(at2 == std::string::npos, "malformed mis tag: " + tag);
+    spec.penalty = std::strtod(rest.c_str(), nullptr);
+  } else if (spec.kind == HamiltonianKind::Ising) {
+    spec.coupling = std::strtod(rest.substr(0, at2).c_str(), nullptr);
+    if (at2 != std::string::npos)
+      spec.field = std::strtod(rest.substr(at2 + 1).c_str(), nullptr);
+  }
+  return spec;
 }
 
 }  // namespace qarch::qaoa

@@ -1,0 +1,113 @@
+#include "qaoa/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qarch::qaoa {
+
+ObjectiveKind objective_kind_from_name(const std::string& name) {
+  if (name == "expectation" || name == "energy")
+    return ObjectiveKind::Expectation;
+  if (name == "cvar") return ObjectiveKind::CVaR;
+  if (name == "best" || name == "best-of-shots")
+    return ObjectiveKind::BestOfShots;
+  throw InvalidArgument("unknown objective kind: " + name);
+}
+
+std::string objective_kind_name(ObjectiveKind kind) {
+  switch (kind) {
+    case ObjectiveKind::Expectation: return "expectation";
+    case ObjectiveKind::CVaR: return "cvar";
+    case ObjectiveKind::BestOfShots: return "best";
+  }
+  throw InvalidArgument("invalid ObjectiveKind");
+}
+
+namespace {
+
+std::string format_param(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  if (std::strtod(buf, nullptr) == v) return buf;
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ObjectiveSpec::tag() const {
+  switch (kind) {
+    case ObjectiveKind::Expectation: return "expectation";
+    case ObjectiveKind::CVaR: {
+      std::string t = "cvar@" + format_param(alpha);
+      if (shots > 0) t += "@" + std::to_string(shots);
+      return t;
+    }
+    case ObjectiveKind::BestOfShots: {
+      std::string t = "best";
+      if (shots > 0) t += "@" + std::to_string(shots);
+      return t;
+    }
+  }
+  throw InvalidArgument("invalid ObjectiveKind");
+}
+
+ObjectiveSpec ObjectiveSpec::parse_tag(const std::string& tag) {
+  ObjectiveSpec spec;
+  const std::size_t at = tag.find('@');
+  spec.kind = objective_kind_from_name(tag.substr(0, at));
+  if (at == std::string::npos) return spec;
+  const std::string rest = tag.substr(at + 1);
+  const std::size_t at2 = rest.find('@');
+  if (spec.kind == ObjectiveKind::CVaR) {
+    spec.alpha = std::strtod(rest.substr(0, at2).c_str(), nullptr);
+    if (at2 != std::string::npos)
+      spec.shots = static_cast<std::size_t>(
+          std::strtoull(rest.substr(at2 + 1).c_str(), nullptr, 10));
+  } else if (spec.kind == ObjectiveKind::BestOfShots) {
+    QARCH_REQUIRE(at2 == std::string::npos, "malformed best tag: " + tag);
+    spec.shots = static_cast<std::size_t>(
+        std::strtoull(rest.c_str(), nullptr, 10));
+  } else {
+    throw InvalidArgument("malformed objective tag: " + tag);
+  }
+  return spec;
+}
+
+double cvar_value(std::vector<double> values, double alpha) {
+  QARCH_REQUIRE(!values.empty(), "cvar needs at least one sample");
+  QARCH_REQUIRE(alpha > 0.0 && alpha <= 1.0, "cvar alpha must be in (0, 1]");
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(alpha * static_cast<double>(values.size()))));
+  std::partial_sort(values.begin(), values.begin() + keep, values.end(),
+                    std::greater<double>());
+  const double total =
+      std::accumulate(values.begin(), values.begin() + keep, 0.0);
+  return total / static_cast<double>(keep);
+}
+
+double best_of_value(const std::vector<double>& values) {
+  QARCH_REQUIRE(!values.empty(), "best-of needs at least one sample");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double objective_value(const ObjectiveSpec& spec, std::vector<double> values) {
+  switch (spec.kind) {
+    case ObjectiveKind::Expectation: {
+      QARCH_REQUIRE(!values.empty(), "mean needs at least one sample");
+      return std::accumulate(values.begin(), values.end(), 0.0) /
+             static_cast<double>(values.size());
+    }
+    case ObjectiveKind::CVaR: return cvar_value(std::move(values), spec.alpha);
+    case ObjectiveKind::BestOfShots: return best_of_value(values);
+  }
+  throw InvalidArgument("invalid ObjectiveKind");
+}
+
+}  // namespace qarch::qaoa

@@ -1,0 +1,72 @@
+// Training objectives over a candidate circuit.
+//
+// The paper always optimizes the energy expectation <C>. Sampling-aware
+// objectives are standard QAOA practice beyond it:
+//
+//   * CVaR-α (Barkoutsos et al. 2020): the mean of the best ⌈α·shots⌉
+//     sampled classical values — rewarding the tail the hardware would
+//     actually keep instead of the full distribution's mean;
+//   * best-of-shots: the single best sampled value, the max-of-shots
+//     statistic Eq. 3 scores with after training.
+//
+// All objectives are MAXIMIZED (optimizers minimize their negation, exactly
+// as train_qaoa does for <C>). The sample-based objectives are pure
+// functions of theta: every evaluation re-seeds its Rng from the candidate
+// seed, so training stays deterministic, resumable after preemption, and
+// uses common random numbers across optimizer steps.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qarch::qaoa {
+
+/// Which training objective a candidate optimizes.
+enum class ObjectiveKind { Expectation, CVaR, BestOfShots };
+
+/// Parses "expectation", "cvar", "best" / "best-of-shots".
+ObjectiveKind objective_kind_from_name(const std::string& name);
+
+/// Canonical name of a kind ("expectation", "cvar", "best").
+std::string objective_kind_name(ObjectiveKind kind);
+
+/// Buildable description of an objective — the SessionConfig / wire /
+/// cache-key form.
+struct ObjectiveSpec {
+  ObjectiveKind kind = ObjectiveKind::Expectation;
+  /// CVaR tail fraction: the objective averages the best ⌈alpha·shots⌉
+  /// sampled values. alpha = 1 recovers the sampled mean.
+  double alpha = 0.25;
+  /// Samples drawn per objective evaluation for the sample-based kinds
+  /// (0 = use EvaluatorOptions::shots).
+  std::size_t shots = 0;
+
+  /// True for the Expectation default — the only spec whose cache keys stay
+  /// byte-identical to the pre-objective cache format.
+  [[nodiscard]] bool is_default() const {
+    return kind == ObjectiveKind::Expectation;
+  }
+
+  /// Stable cache-key / wire tag: "expectation", "cvar@<alpha>[@<shots>]",
+  /// "best[@<shots>]".
+  [[nodiscard]] std::string tag() const;
+
+  /// Parses a tag() string back into a spec.
+  static ObjectiveSpec parse_tag(const std::string& tag);
+
+  friend bool operator==(const ObjectiveSpec&, const ObjectiveSpec&) = default;
+};
+
+/// CVaR_α of sample values under MAXIMIZATION: the mean of the ⌈α·n⌉ best
+/// entries. `values` is consumed (partially sorted in place).
+double cvar_value(std::vector<double> values, double alpha);
+
+/// The best (largest) sample value.
+double best_of_value(const std::vector<double>& values);
+
+/// Dispatches `values` through the spec's aggregation (Expectation = mean:
+/// useful for tests; training uses the exact <C> path for that kind).
+double objective_value(const ObjectiveSpec& spec, std::vector<double> values);
+
+}  // namespace qarch::qaoa

@@ -1,5 +1,6 @@
 #include "qaoa/sampling.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -48,6 +49,49 @@ double expected_best_cut(const circuit::Circuit& ansatz,
   double total = 0.0;
   for (std::size_t t = 0; t < trials; ++t)
     total += best_sampled_cut(state, g, shots, rng);
+  return total / static_cast<double>(trials);
+}
+
+double expected_best_cut(const query::Sampler& sampler,
+                         std::span<const double> theta, const graph::Graph& g,
+                         std::size_t shots, std::size_t trials, Rng& rng) {
+  QARCH_REQUIRE(shots >= 1, "need at least one shot");
+  QARCH_REQUIRE(trials >= 1, "need at least one trial");
+  QARCH_REQUIRE(sampler.num_qubits() == g.num_vertices(),
+                "sampler/graph size mismatch");
+  // One stream of shots*trials draws, chunked per trial — the exact stream
+  // the legacy overload consumes, so the statevector engine reproduces its
+  // values bit for bit for the same rng.
+  const std::vector<std::size_t> samples =
+      sampler.sample(theta, shots * trials, rng);
+  double total = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    double best = 0.0;
+    for (std::size_t s = 0; s < shots; ++s)
+      best = std::max(best, cut_of_basis_state(g, samples[t * shots + s]));
+    total += best;
+  }
+  return total / static_cast<double>(trials);
+}
+
+double expected_best_value(const query::Sampler& sampler,
+                           std::span<const double> theta,
+                           const Hamiltonian& ham, std::size_t shots,
+                           std::size_t trials, Rng& rng) {
+  QARCH_REQUIRE(shots >= 1, "need at least one shot");
+  QARCH_REQUIRE(trials >= 1, "need at least one trial");
+  QARCH_REQUIRE(sampler.num_qubits() == ham.num_qubits(),
+                "sampler/Hamiltonian size mismatch");
+  const std::vector<std::size_t> samples =
+      sampler.sample(theta, shots * trials, rng);
+  double total = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    double best = ham.classical_value_bits(samples[t * shots]);
+    for (std::size_t s = 1; s < shots; ++s)
+      best = std::max(best,
+                      ham.classical_value_bits(samples[t * shots + s]));
+    total += best;
+  }
   return total / static_cast<double>(trials);
 }
 

@@ -14,6 +14,8 @@
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
+#include "qaoa/hamiltonian.hpp"
+#include "query/sampler.hpp"
 #include "sim/statevector.hpp"
 
 namespace qarch::qaoa {
@@ -33,5 +35,20 @@ double best_sampled_cut(const sim::State& state, const graph::Graph& g,
 double expected_best_cut(const circuit::Circuit& ansatz,
                          std::span<const double> theta, const graph::Graph& g,
                          std::size_t shots, std::size_t trials, Rng& rng);
+
+/// Engine-agnostic form: samples come from a compiled query::Sampler (either
+/// the statevector engine — whose draw stream matches the legacy overload
+/// above for the same rng — or direct tensor-network sampling, which never
+/// materializes the state).
+double expected_best_cut(const query::Sampler& sampler,
+                         std::span<const double> theta, const graph::Graph& g,
+                         std::size_t shots, std::size_t trials, Rng& rng);
+
+/// Generalized-Hamiltonian form of the same statistic: mean over `trials`
+/// of the best classical_value_bits among `shots` samples.
+double expected_best_value(const query::Sampler& sampler,
+                           std::span<const double> theta,
+                           const Hamiltonian& ham, std::size_t shots,
+                           std::size_t trials, Rng& rng);
 
 }  // namespace qarch::qaoa

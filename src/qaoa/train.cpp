@@ -40,6 +40,28 @@ TrainResult train_qaoa(const circuit::Circuit& ansatz,
   return out;
 }
 
+TrainResult train_objective(std::size_t num_params,
+                            const optim::Objective& value,
+                            const optim::Optimizer& optimizer,
+                            const TrainOptions& options,
+                            optim::OptimState& state,
+                            optim::PreemptToken* preempt) {
+  QARCH_REQUIRE(num_params >= 1, "objective has no parameters");
+  const optim::Objective objective = [&](std::span<const double> theta) {
+    return -value(theta);  // maximize
+  };
+  std::vector<double> x0(num_params, options.initial_value);
+  const optim::OptimResult r =
+      optimizer.minimize(objective, std::move(x0), state, preempt);
+
+  TrainResult out;
+  out.theta = r.x;
+  out.energy = -r.value;
+  out.evaluations = r.evaluations;
+  out.preempted = r.preempted;
+  return out;
+}
+
 double approximation_ratio(double energy, double classical_optimum) {
   QARCH_REQUIRE(classical_optimum > 0.0, "classical optimum must be positive");
   return energy / classical_optimum;

@@ -41,6 +41,17 @@ TrainResult train_qaoa(const circuit::Circuit& ansatz,
                        const TrainOptions& options, optim::OptimState& state,
                        optim::PreemptToken* preempt);
 
+/// Generalized-objective form: trains against an arbitrary MAXIMIZED value
+/// function (e.g. a sampled CVaR or best-of-shots estimator) instead of the
+/// exact <C>. Same checkpoint/preemption semantics; `value` must be a
+/// deterministic function of theta for a resumed run to stitch exactly.
+TrainResult train_objective(std::size_t num_params,
+                            const optim::Objective& value,
+                            const optim::Optimizer& optimizer,
+                            const TrainOptions& options,
+                            optim::OptimState& state,
+                            optim::PreemptToken* preempt);
+
 /// Approximation ratio r = <C> / C_classical (Eq. 3). `classical_optimum`
 /// is the exact max-cut value of the same graph.
 double approximation_ratio(double energy, double classical_optimum);

@@ -95,7 +95,12 @@ class QTensorSimulator {
                                       std::span<const double> theta,
                                       std::size_t u, std::size_t v) const;
 
-  /// Amplitude <bits| U |+>^n.
+  /// Amplitude <bits| U |+>^n. When compile_programs is set (the default)
+  /// this routes through query::AmplitudeProgram — planned via the shared
+  /// planner and plan cache, so repeated calls on the same circuit
+  /// structure never replan; callers replaying many (theta, bits) pairs
+  /// should hold an AmplitudeProgram directly and skip the per-call
+  /// compile. compile_programs=false keeps the legacy one-shot path.
   [[nodiscard]] cplx amplitude(const circuit::Circuit& circuit,
                                std::span<const double> theta,
                                std::span<const int> bits) const;

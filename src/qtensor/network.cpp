@@ -115,6 +115,38 @@ class NetworkBuilder {
     net_.tensors.emplace_back(std::vector<VarId>{var(q)}, std::move(data));
   }
 
+  /// Adds a rank-1 diagonal factor with arbitrary data on qubit q's current
+  /// wire (observables, projectors; never creates variables).
+  void add_diagonal(std::size_t q, std::vector<cplx> data) {
+    net_.tensors.emplace_back(std::vector<VarId>{var(q)}, std::move(data));
+  }
+
+  /// Adds an open-index copy tensor δ(o, w) on qubit q's current wire w.
+  /// The wire continues (the tensor is diagonal in w); the fresh index o
+  /// stays open and indexes the diagonal of the reduced density matrix —
+  /// i.e. the outcome probability p(o) once everything else contracts.
+  VarId add_open_projector(std::size_t q) {
+    const VarId open = fresh();
+    net_.tensors.emplace_back(std::vector<VarId>{open, var(q)},
+                              std::vector<cplx>{1.0, 0.0, 0.0, 1.0});
+    return open;
+  }
+
+  /// Cuts qubit q's wire at the current point: the existing (ket-side)
+  /// variable is left open and returned as `row`; a fresh variable becomes
+  /// the qubit's current wire for the bra side and is returned as `col`.
+  void cut_wire(std::size_t q, VarId* row, VarId* col) {
+    *row = var(q);
+    *col = fresh();
+    current_var_[q] = *col;
+  }
+
+  /// Tensors appended so far — the index the NEXT add_* call will occupy
+  /// (used to record CapBindings).
+  [[nodiscard]] std::size_t tensor_count() const {
+    return net_.tensors.size();
+  }
+
   /// Adds a Pauli-Z observable factor (diagonal, never creates variables).
   void add_z_observable(std::size_t q) {
     net_.tensors.emplace_back(std::vector<VarId>{var(q)},
@@ -224,6 +256,133 @@ TensorNetwork amplitude_network(const circuit::Circuit& circuit,
   for (const Gate& g : circuit.gates()) b.add_gate(g, theta);
   for (std::size_t q : qubits) b.add_basis_cap(q, bits[q]);
   return b.take();
+}
+
+TensorNetwork expectation_z_network(const circuit::Circuit& circuit,
+                                    std::span<const double> theta,
+                                    std::size_t q,
+                                    const NetworkOptions& options,
+                                    std::vector<GateBinding>* bindings) {
+  QARCH_REQUIRE(q < circuit.num_qubits(), "bad Z target");
+  g_network_build_count.fetch_add(1, std::memory_order_relaxed);
+  circuit::Circuit effective = circuit;
+  std::set<std::size_t> active;
+  if (options.lightcone) {
+    effective = lightcone_circuit(circuit, {q}, &active);
+  } else {
+    for (std::size_t i = 0; i < circuit.num_qubits(); ++i) active.insert(i);
+  }
+  active.insert(q);
+  std::vector<std::size_t> qubits(active.begin(), active.end());
+
+  NetworkBuilder b(qubits, options.diagonal_optimization, bindings);
+  for (std::size_t i : qubits) b.add_plus_cap(i);
+  for (const Gate& g : effective.gates()) b.add_gate(g, theta);
+  b.add_z_observable(q);
+  const circuit::Circuit adjoint = effective.inverse();
+  for (const Gate& g : adjoint.gates()) b.add_gate(g, theta);
+  for (std::size_t i : qubits) b.add_plus_cap(i);
+  return b.take();
+}
+
+void cap_tensor_data(int bit, std::span<cplx> out) {
+  QARCH_REQUIRE(out.size() >= 2, "cap_tensor_data: buffer too small");
+  out[0] = bit == 0 ? 1.0 : 0.0;
+  out[1] = bit == 0 ? 0.0 : 1.0;
+}
+
+QueryNetwork amplitude_query_network(const circuit::Circuit& circuit,
+                                     std::span<const double> theta,
+                                     std::span<const std::size_t> open_qubits,
+                                     const NetworkOptions& options) {
+  for (std::size_t i = 0; i < open_qubits.size(); ++i) {
+    QARCH_REQUIRE(open_qubits[i] < circuit.num_qubits(),
+                  "open qubit out of range");
+    QARCH_REQUIRE(i == 0 || open_qubits[i - 1] < open_qubits[i],
+                  "open qubits must be sorted and unique");
+  }
+  g_network_build_count.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::size_t> qubits(circuit.num_qubits());
+  for (std::size_t q = 0; q < qubits.size(); ++q) qubits[q] = q;
+
+  QueryNetwork out;
+  NetworkBuilder b(qubits, options.diagonal_optimization, &out.bindings);
+  for (std::size_t q : qubits) b.add_plus_cap(q);
+  for (const Gate& g : circuit.gates()) b.add_gate(g, theta);
+  std::size_t next_open = 0;
+  for (std::size_t q : qubits) {
+    if (next_open < open_qubits.size() && open_qubits[next_open] == q) {
+      out.open_labels.push_back(b.var(q));
+      ++next_open;
+      continue;
+    }
+    out.caps.push_back({b.tensor_count(), q});
+    b.add_basis_cap(q, 0);
+  }
+  out.net = b.take();
+  return out;
+}
+
+QueryNetwork measure_query_network(const circuit::Circuit& circuit,
+                                   std::span<const double> theta,
+                                   std::span<const WireRole> roles,
+                                   const NetworkOptions& options) {
+  QARCH_REQUIRE(roles.size() == circuit.num_qubits(),
+                "measure_query_network: one role per qubit");
+  g_network_build_count.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::size_t> targets;
+  for (std::size_t q = 0; q < roles.size(); ++q)
+    if (roles[q] != WireRole::Trace) targets.push_back(q);
+
+  circuit::Circuit effective = circuit;
+  std::set<std::size_t> active;
+  if (options.lightcone) {
+    effective = lightcone_circuit(circuit, targets, &active);
+  } else {
+    for (std::size_t q = 0; q < circuit.num_qubits(); ++q) active.insert(q);
+  }
+  active.insert(targets.begin(), targets.end());
+  std::vector<std::size_t> qubits(active.begin(), active.end());
+
+  QueryNetwork out;
+  NetworkBuilder b(qubits, options.diagonal_optimization, &out.bindings);
+  for (std::size_t q : qubits) b.add_plus_cap(q);
+  for (const Gate& g : effective.gates()) b.add_gate(g, theta);
+  // Observable point: per-qubit output treatment, recorded in the
+  // documented open-label order (Diagonal, then Cut rows, then Cut cols).
+  std::vector<VarId> rows, cols;
+  for (std::size_t q : qubits) {
+    switch (roles[q]) {
+      case WireRole::Trace:
+        break;
+      case WireRole::Fix: {
+        // A diagonal projector has the cap data layout on the live wire;
+        // the wire continues into U† (diagonal ⇒ no fresh variable).
+        out.caps.push_back({b.tensor_count(), q});
+        std::vector<cplx> data(2);
+        cap_tensor_data(0, data);
+        b.add_diagonal(q, std::move(data));
+        break;
+      }
+      case WireRole::Diagonal:
+        out.open_labels.push_back(b.add_open_projector(q));
+        break;
+      case WireRole::Cut: {
+        VarId row = 0, col = 0;
+        b.cut_wire(q, &row, &col);
+        rows.push_back(row);
+        cols.push_back(col);
+        break;
+      }
+    }
+  }
+  out.open_labels.insert(out.open_labels.end(), rows.begin(), rows.end());
+  out.open_labels.insert(out.open_labels.end(), cols.begin(), cols.end());
+  const circuit::Circuit adjoint = effective.inverse();
+  for (const Gate& g : adjoint.gates()) b.add_gate(g, theta);
+  for (std::size_t q : qubits) b.add_plus_cap(q);
+  out.net = b.take();
+  return out;
 }
 
 }  // namespace qarch::qtensor

@@ -98,4 +98,81 @@ TensorNetwork amplitude_network(const circuit::Circuit& circuit,
                                 const NetworkOptions& options = {},
                                 std::vector<GateBinding>* bindings = nullptr);
 
+/// Network for <+|^n U† Z_q U |+>^n — the single-qubit analogue of
+/// expectation_zz_network, used by Hamiltonians with Z field terms.
+TensorNetwork expectation_z_network(const circuit::Circuit& circuit,
+                                    std::span<const double> theta,
+                                    std::size_t q,
+                                    const NetworkOptions& options = {},
+                                    std::vector<GateBinding>* bindings =
+                                        nullptr);
+
+// -- open-index query networks ------------------------------------------------
+//
+// The compiled query programs (src/query/) need networks where some output
+// wires stay OPEN (batched amplitudes, marginals, per-qubit sampling steps)
+// and where basis choices are RE-BINDABLE per replay the way gate parameters
+// already are. Both builders below return the network together with its
+// rebind points.
+
+/// Ties one network tensor to a computational-basis choice on one qubit: a
+/// rank-1 tensor whose data is [bit==0, bit==1] — a <bit| cap in an
+/// amplitude network, a diagonal |bit><bit| projector at the observable
+/// point of a measurement network (both have the same data layout, so one
+/// rebind kernel serves both). Compiled query programs rewrite these two
+/// entries per replay instead of rebuilding the network.
+struct CapBinding {
+  std::size_t tensor_index = 0;  ///< index into TensorNetwork::tensors
+  std::size_t qubit = 0;
+};
+
+/// Writes the cap/projector data for `bit` into out[0..1].
+void cap_tensor_data(int bit, std::span<cplx> out);
+
+/// A network with rebind points and open output variables, as the compiled
+/// query programs consume it.
+struct QueryNetwork {
+  TensorNetwork net;
+  std::vector<GateBinding> bindings;  ///< theta-rebindable gate tensors
+  std::vector<CapBinding> caps;       ///< bit-rebindable caps / projectors
+  /// Open output variables. Contracting every OTHER variable leaves a
+  /// tensor over exactly these labels; their order is documented per
+  /// builder below.
+  std::vector<VarId> open_labels;
+};
+
+/// Network for batched amplitudes <bits, *| U |+>^n: every qubit NOT in
+/// `open_qubits` ends in a rebindable basis cap (caps ordered by ascending
+/// qubit, initially bit 0); each qubit IN `open_qubits` leaves its final
+/// wire variable open (open_labels ordered by ascending qubit). Contracting
+/// all closed variables yields the 2^k amplitude tensor over the open
+/// wires. `open_qubits` must be sorted, unique, and may be empty (plain
+/// amplitude).
+QueryNetwork amplitude_query_network(const circuit::Circuit& circuit,
+                                     std::span<const double> theta,
+                                     std::span<const std::size_t> open_qubits,
+                                     const NetworkOptions& options = {});
+
+/// Role of one qubit's output wire in a measurement-query network.
+enum class WireRole {
+  Trace,     ///< marginalized out (wire passes straight into U†)
+  Fix,       ///< rebindable diagonal projector |b><b| (a CapBinding)
+  Diagonal,  ///< open diagonal index: output entries are probabilities
+  Cut        ///< wire cut open on both sides: a row AND a column RDM index
+};
+
+/// Network for <+|^n U† M U |+>^n with per-qubit output treatment `roles`
+/// (size = num_qubits). Fix inserts a rebindable projector (caps ordered by
+/// ascending qubit); Diagonal inserts a copy tensor with a fresh open index
+/// o so the contracted tensor is the probability p(o | fixed bits); Cut
+/// opens the ket- and bra-side wires separately, yielding reduced-density-
+/// matrix indices. open_labels order: all Diagonal labels (ascending
+/// qubit), then all Cut ROW labels (ascending qubit), then all Cut COLUMN
+/// labels (ascending qubit). Lightcone reduction applies with targets =
+/// every non-Trace qubit.
+QueryNetwork measure_query_network(const circuit::Circuit& circuit,
+                                   std::span<const double> theta,
+                                   std::span<const WireRole> roles,
+                                   const NetworkOptions& options = {});
+
 }  // namespace qarch::qtensor

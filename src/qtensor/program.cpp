@@ -58,18 +58,29 @@ ContractionProgram::ContractionProgram(const circuit::Circuit& circuit,
                                        std::size_t u, std::size_t v,
                                        const ProgramOptions& options)
     : options_(options), num_params_(circuit.num_params()) {
-  compile(circuit, u, v);
+  compile(circuit, {u, v});
+}
+
+ContractionProgram::ContractionProgram(const circuit::Circuit& circuit,
+                                       std::size_t q,
+                                       const ProgramOptions& options)
+    : options_(options), num_params_(circuit.num_params()) {
+  compile(circuit, {q});
 }
 
 ContractionProgram::~ContractionProgram() = default;
 
 void ContractionProgram::compile(const circuit::Circuit& circuit,
-                                 std::size_t u, std::size_t v) {
+                                 const std::vector<std::size_t>& targets) {
   // The ONE network build of this program's lifetime. Any probe theta
   // produces the same structure; zeros keep the baked data deterministic.
   const std::vector<double> probe(num_params_, 0.0);
-  TensorNetwork net = expectation_zz_network(circuit, probe, u, v,
-                                             options_.network, &bindings_);
+  TensorNetwork net =
+      targets.size() == 2
+          ? expectation_zz_network(circuit, probe, targets[0], targets[1],
+                                   options_.network, &bindings_)
+          : expectation_z_network(circuit, probe, targets[0],
+                                  options_.network, &bindings_);
 
   // Contraction order: a plan-cache hit (keyed by canonical lightcone shape
   // + exact structure hash) replays a previously chosen order with zero
@@ -82,7 +93,9 @@ void ContractionProgram::compile(const circuit::Circuit& circuit,
   std::string shape_key = options_.shape_key;
   if (options_.plan_cache != nullptr) {
     if (shape_key.empty())
-      shape_key = lightcone_shape(circuit, u, v).key;
+      shape_key = targets.size() == 2
+                      ? lightcone_shape(circuit, targets[0], targets[1]).key
+                      : "z:" + std::to_string(targets[0]);
     structure = network_structure_hash(net);
     if (auto hit = options_.plan_cache->find(shape_key, structure);
         hit.has_value() && order_applicable(net, hit->order)) {

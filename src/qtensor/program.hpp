@@ -81,6 +81,12 @@ class ContractionProgram {
  public:
   ContractionProgram(const circuit::Circuit& circuit, std::size_t u,
                      std::size_t v, const ProgramOptions& options = {});
+
+  /// Single-qubit form: compiles <Z_q> instead of <Z_u Z_v> (Hamiltonians
+  /// with field terms). Plan-cache keyed under a "z"-prefixed shape key +
+  /// structure hash; everything else is identical.
+  ContractionProgram(const circuit::Circuit& circuit, std::size_t q,
+                     const ProgramOptions& options = {});
   ~ContractionProgram();
 
   // Non-copyable and non-movable (the scratch pool is address-stable);
@@ -120,7 +126,8 @@ class ContractionProgram {
   struct Scratch;
   struct ScratchLease;
 
-  void compile(const circuit::Circuit& circuit, std::size_t u, std::size_t v);
+  void compile(const circuit::Circuit& circuit,
+               const std::vector<std::size_t>& targets);
   void init_scratch(Scratch& s) const;
   void rebind(Scratch& s, std::span<const double> theta) const;
   [[nodiscard]] cplx run_schedule(Scratch& s, const Backend& backend) const;

@@ -1,0 +1,229 @@
+// Compiled query programs — open-index contraction over both engines' TN
+// machinery.
+//
+// ContractionProgram (qtensor/program.hpp) compiles CLOSED networks: every
+// variable is eliminated and the result is a scalar expectation. The query
+// subsystem generalizes that pipeline to networks with OPEN output labels,
+// which is what amplitudes with free wires, reduced density matrices, and
+// per-qubit sampling marginals all are:
+//
+//   * the network is built once (qtensor::amplitude_query_network /
+//     measure_query_network) with its theta rebind points (GateBinding) and
+//     basis rebind points (CapBinding) recorded;
+//   * the contraction order comes from the SAME planner and the SAME
+//     persistent plan cache as the closed programs — open variables are
+//     filtered out of the planned order, so a warm process replays queries
+//     with zero planner invocations;
+//   * bucket elimination over the closed variables is flattened into the
+//     same static product_sum_into schedule, and the surviving open-label
+//     slots are combined by one Backend::product_into into the caller's
+//     2^k output buffer.
+//
+// A replay therefore costs a per-symbol-gate rebind, a per-cap 2-entry
+// rewrite, and the schedule — no network rebuild, no ordering, no
+// allocation. Replays are const and thread-safe via the same pooled-scratch
+// idiom as ContractionProgram.
+//
+// Queries are NOT sliced: open-index contractions in this repo are narrow
+// (amplitude lightcones, k-qubit marginals with small k), and the planned
+// width is guarded instead (max_width) so a pathological query fails loudly
+// rather than allocating 2^40 entries.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "qtensor/backend.hpp"
+#include "qtensor/contraction.hpp"
+#include "qtensor/network.hpp"
+#include "qtensor/plan_cache.hpp"
+#include "qtensor/planner.hpp"
+
+namespace qarch::query {
+
+using qtensor::cplx;
+
+/// Compile-time configuration shared by every query program.
+struct QueryOptions {
+  qtensor::NetworkOptions network;  ///< lightcone / diagonal rank reduction
+  qtensor::PlannerOptions planner;  ///< ordering heuristics that compete
+  /// Shared persistent plan cache (the same object ContractionProgram uses;
+  /// query keys carry a "q:" prefix so the key spaces never collide).
+  std::shared_ptr<qtensor::PlanCache> plan_cache;
+  /// Hard ceiling on the compiled schedule's intermediate rank. Queries are
+  /// not sliced, so a plan wider than this is a usage error (too many open
+  /// qubits / marginal targets), reported at compile time.
+  std::size_t max_width = 30;
+};
+
+/// Derives QueryOptions from the facade / energy-engine option block — the
+/// query-side reconciliation point mirroring
+/// qtensor::QTensorOptions::program_options().
+[[nodiscard]] QueryOptions query_options(
+    const qtensor::QTensorOptions& options);
+
+/// Compile-time facts about one query program.
+struct QueryStats {
+  std::size_t tensors = 0;        ///< network tensors (inputs)
+  std::size_t bound_tensors = 0;  ///< theta-rebindable tensors
+  std::size_t cap_tensors = 0;    ///< bit-rebindable caps / projectors
+  std::size_t open_labels = 0;    ///< open output variables (output rank)
+  std::size_t steps = 0;          ///< bucket-elimination steps
+  std::size_t width = 0;          ///< max intermediate rank (incl. output)
+  double est_flops = 0.0;         ///< planner cost model estimate
+  std::string heuristic;          ///< winning ordering heuristic
+  bool plan_cached = false;       ///< order came from the plan cache
+  std::string shape_key;          ///< plan-cache key ("q:"-prefixed)
+};
+
+/// One compiled open-index contraction: eliminates every closed variable of
+/// a QueryNetwork along a planned order and writes the 2^k tensor over
+/// `final_labels` (k = open label count, first label outermost). The
+/// building block under AmplitudeProgram / MarginalProgram / Sampler.
+class QueryProgram {
+ public:
+  /// `final_labels` must be a permutation of network.open_labels and fixes
+  /// the output layout; `shape_key` keys the plan cache (the network
+  /// structure hash guards exact applicability).
+  QueryProgram(qtensor::QueryNetwork network,
+               std::vector<qtensor::VarId> final_labels,
+               std::size_t num_params, const QueryOptions& options,
+               std::string shape_key);
+  ~QueryProgram();
+
+  QueryProgram(const QueryProgram&) = delete;
+  QueryProgram& operator=(const QueryProgram&) = delete;
+
+  /// Rebinds gates to `theta` and caps to `cap_bits` (one 0/1 per cap, in
+  /// the network's cap order — ascending qubit for both builders), replays
+  /// the schedule, and writes the 2^k output tensor into `out`
+  /// (out.size() == output_entries()). Thread-safe.
+  void run(std::span<const double> theta, std::span<const int> cap_bits,
+           const qtensor::Backend& backend, std::span<cplx> out) const;
+
+  [[nodiscard]] std::size_t num_caps() const { return caps_.size(); }
+  [[nodiscard]] std::size_t num_open() const { return final_labels_.size(); }
+  [[nodiscard]] std::size_t output_entries() const {
+    return std::size_t{1} << final_labels_.size();
+  }
+  [[nodiscard]] std::size_t num_params() const { return num_params_; }
+  [[nodiscard]] const QueryStats& stats() const { return stats_; }
+
+ private:
+  /// Flattened bucket step, identical to ContractionProgram's.
+  struct Step {
+    std::vector<std::size_t> factors;  ///< input slot ids
+    std::vector<qtensor::VarId> out_labels;  ///< eliminated var first
+    std::size_t out_slot = 0;
+    std::size_t entries = 0;  ///< 2^|out_labels|
+  };
+
+  struct Scratch;
+  struct ScratchLease;
+
+  void compile(qtensor::TensorNetwork net, std::string shape_key);
+  void init_scratch(Scratch& s) const;
+  [[nodiscard]] ScratchLease lease() const;
+
+  QueryOptions options_;
+  std::size_t num_params_ = 0;
+  std::vector<qtensor::Tensor> inputs_;         ///< baked network tensors
+  std::vector<qtensor::GateBinding> bindings_;  ///< theta-dependent inputs
+  std::vector<qtensor::CapBinding> caps_;       ///< bit-dependent inputs
+  std::vector<qtensor::VarId> final_labels_;    ///< output label order
+  std::vector<Step> steps_;
+  std::vector<std::size_t> final_slots_;  ///< live slots after elimination
+  std::size_t num_slots_ = 0;
+  QueryStats stats_;
+
+  mutable std::mutex pool_mutex_;
+  mutable std::vector<std::unique_ptr<Scratch>> pool_;
+};
+
+/// A single amplitude <bits|U|+>^n, compiled once and replayable for any
+/// (theta, bits). Replaces the rebuild-per-call QTensorSimulator::amplitude
+/// path (which now routes through this program).
+class AmplitudeProgram {
+ public:
+  explicit AmplitudeProgram(const circuit::Circuit& circuit,
+                            const QueryOptions& options = {});
+
+  /// bits[q] in {0,1}, bits.size() == num_qubits.
+  [[nodiscard]] cplx amplitude(std::span<const double> theta,
+                               std::span<const int> bits,
+                               const qtensor::Backend& backend) const;
+
+  [[nodiscard]] std::size_t num_qubits() const { return num_qubits_; }
+  [[nodiscard]] const QueryStats& stats() const { return program_->stats(); }
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::unique_ptr<QueryProgram> program_;
+};
+
+/// A batch of 2^k amplitudes with the qubits in `open_qubits` left free:
+/// one replay yields <fixed_bits, *|U|+>^n for every assignment of the open
+/// qubits. Output indexing is LSB-first over open_qubits: bit j of the
+/// result index is the value of open_qubits[j].
+class BatchedAmplitudeProgram {
+ public:
+  /// `open_qubits` must be sorted, unique, and non-empty.
+  BatchedAmplitudeProgram(const circuit::Circuit& circuit,
+                          std::span<const std::size_t> open_qubits,
+                          const QueryOptions& options = {});
+
+  /// `fixed_bits` has one 0/1 per NON-open qubit, ascending by qubit.
+  /// Returns 2^k amplitudes indexed as documented above.
+  [[nodiscard]] std::vector<cplx> amplitudes(
+      std::span<const double> theta, std::span<const int> fixed_bits,
+      const qtensor::Backend& backend) const;
+
+  [[nodiscard]] std::size_t num_qubits() const { return num_qubits_; }
+  [[nodiscard]] const std::vector<std::size_t>& open_qubits() const {
+    return open_qubits_;
+  }
+  [[nodiscard]] const QueryStats& stats() const { return program_->stats(); }
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::vector<std::size_t> open_qubits_;
+  std::unique_ptr<QueryProgram> program_;
+};
+
+/// The reduced density matrix of `targets` (sorted, unique, non-empty):
+/// rho = Tr_rest |psi><psi| as a row-major 2^k x 2^k matrix,
+/// rdm[r * 2^k + c] with bit j of r and c being the value of targets[j].
+/// Everything outside the targets' lightcone cancels, so small marginals of
+/// shallow circuits stay cheap at any qubit count.
+class MarginalProgram {
+ public:
+  MarginalProgram(const circuit::Circuit& circuit,
+                  std::span<const std::size_t> targets,
+                  const QueryOptions& options = {});
+
+  [[nodiscard]] std::vector<cplx> rdm(std::span<const double> theta,
+                                      const qtensor::Backend& backend) const;
+
+  /// Diagonal of the RDM as real probabilities (clamped at 0): the marginal
+  /// distribution of the targets, indexed LSB-first over `targets`.
+  [[nodiscard]] std::vector<double> probabilities(
+      std::span<const double> theta, const qtensor::Backend& backend) const;
+
+  [[nodiscard]] std::size_t num_qubits() const { return num_qubits_; }
+  [[nodiscard]] const std::vector<std::size_t>& targets() const {
+    return targets_;
+  }
+  [[nodiscard]] const QueryStats& stats() const { return program_->stats(); }
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::vector<std::size_t> targets_;
+  std::unique_ptr<QueryProgram> program_;
+};
+
+}  // namespace qarch::query

@@ -1,0 +1,157 @@
+#include "query/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <optional>
+
+#include "common/error.hpp"
+#include "qtensor/backend.hpp"
+
+namespace qarch::query {
+
+struct Sampler::Impl {
+  SamplerOptions options;
+  std::size_t n = 0;
+  // Statevector engine.
+  std::optional<sim::SimProgram> program;
+  // Tensor-network engine: steps[k] opens qubit n-1-k, fixes qubits above
+  // it, traces qubits below it.
+  std::unique_ptr<qtensor::Backend> backend;
+  std::vector<std::unique_ptr<QueryProgram>> steps;
+
+  /// |psi> for the statevector engine, reusing one per-thread buffer across
+  /// calls (same idiom as qaoa's StatevectorPlan).
+  const sim::State& state(std::span<const double> theta) const {
+    static thread_local sim::State scratch;
+    const std::size_t dim = std::size_t{1} << n;
+    if (scratch.capacity() > dim * 4) {
+      sim::State released;
+      scratch.swap(released);
+    }
+    const double amp = 1.0 / std::sqrt(static_cast<double>(dim));
+    scratch.assign(dim, sim::cplx{amp, 0.0});
+    program->apply_inplace(scratch, theta, options.sv_workers);
+    return scratch;
+  }
+
+  /// Joint marginal [p(prefix, q=0), p(prefix, q=1)] for step k, where the
+  /// prefix is the already-drawn bits of qubits above q, read from `idx`.
+  void step_marginal(std::size_t k, std::span<const double> theta,
+                     std::size_t idx, std::vector<int>& caps,
+                     double out[2]) const {
+    const std::size_t q = n - 1 - k;
+    caps.clear();
+    for (std::size_t j = q + 1; j < n; ++j)
+      caps.push_back(static_cast<int>((idx >> j) & 1));
+    cplx buf[2];
+    steps[k]->run(theta, caps, *backend, std::span<cplx>(buf, 2));
+    out[0] = std::max(0.0, buf[0].real());
+    out[1] = std::max(0.0, buf[1].real());
+  }
+};
+
+Sampler::Sampler(const circuit::Circuit& ansatz, const SamplerOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+  impl_->n = ansatz.num_qubits();
+  QARCH_REQUIRE(impl_->n >= 1, "sampler needs at least one qubit");
+  if (options.engine == SamplerEngine::Statevector) {
+    impl_->program.emplace(ansatz, options.sv_plan);
+    return;
+  }
+  impl_->backend = qtensor::make_backend(options.tn_backend);
+  impl_->steps.reserve(impl_->n);
+  for (std::size_t k = 0; k < impl_->n; ++k) {
+    const std::size_t q = impl_->n - 1 - k;
+    std::vector<qtensor::WireRole> roles(impl_->n, qtensor::WireRole::Trace);
+    roles[q] = qtensor::WireRole::Diagonal;
+    for (std::size_t j = q + 1; j < impl_->n; ++j)
+      roles[j] = qtensor::WireRole::Fix;
+    qtensor::QueryNetwork network = qtensor::measure_query_network(
+        ansatz, std::vector<double>(ansatz.num_params(), 0.0), roles,
+        options.query.network);
+    std::vector<qtensor::VarId> final_labels = network.open_labels;
+    impl_->steps.push_back(std::make_unique<QueryProgram>(
+        std::move(network), std::move(final_labels), ansatz.num_params(),
+        options.query, "q:chain" + std::to_string(q)));
+  }
+}
+
+Sampler::~Sampler() = default;
+
+std::size_t Sampler::num_qubits() const { return impl_->n; }
+
+SamplerEngine Sampler::engine() const { return impl_->options.engine; }
+
+std::vector<QueryStats> Sampler::step_stats() const {
+  std::vector<QueryStats> stats;
+  stats.reserve(impl_->steps.size());
+  for (const auto& s : impl_->steps) stats.push_back(s->stats());
+  return stats;
+}
+
+std::vector<std::size_t> Sampler::sample(std::span<const double> theta,
+                                         std::size_t shots, Rng& rng) const {
+  std::vector<std::size_t> out;
+  out.reserve(shots);
+  if (impl_->options.engine == SamplerEngine::Statevector) {
+    const sim::State& state = impl_->state(theta);
+    for (std::size_t s = 0; s < shots; ++s) {
+      // Subtractive inverse CDF over |amplitude|^2, ascending index, with
+      // the tail guarded against float drift — identical to
+      // qaoa::sample_basis_state so legacy streams are preserved.
+      double r = rng.uniform();
+      std::size_t idx = state.size() - 1;
+      for (std::size_t i = 0; i < state.size(); ++i) {
+        const double p = std::norm(state[i]);
+        if (r < p) {
+          idx = i;
+          break;
+        }
+        r -= p;
+      }
+      out.push_back(idx);
+    }
+    return out;
+  }
+  // Tensor-network engine: walk qubits MSB-first, choosing each bit from
+  // its JOINT marginal with the subtractive residue. This reproduces the
+  // ascending-index inverse CDF exactly: after fixing a prefix, the residue
+  // r lies in [0, p(prefix)) and p(prefix, next=0) splits that interval the
+  // same way the flat CDF does.
+  std::vector<int> caps;
+  caps.reserve(impl_->n);
+  for (std::size_t s = 0; s < shots; ++s) {
+    double r = rng.uniform();
+    std::size_t idx = 0;
+    for (std::size_t k = 0; k < impl_->n; ++k) {
+      const std::size_t q = impl_->n - 1 - k;
+      double m[2];
+      impl_->step_marginal(k, theta, idx, caps, m);
+      if (r < m[0]) continue;  // bit stays 0
+      r -= m[0];
+      idx |= std::size_t{1} << q;
+    }
+    out.push_back(idx);
+  }
+  return out;
+}
+
+double Sampler::probability(std::span<const double> theta,
+                            std::size_t basis) const {
+  QARCH_REQUIRE(basis < (std::size_t{1} << impl_->n),
+                "basis index out of range");
+  if (impl_->options.engine == SamplerEngine::Statevector) {
+    const sim::State& state = impl_->state(theta);
+    return std::norm(state[basis]);
+  }
+  // The last chain step fixes every qubit but 0; its joint marginal AT the
+  // full prefix is the basis probability itself.
+  std::vector<int> caps;
+  double m[2];
+  impl_->step_marginal(impl_->n - 1, theta, basis, caps, m);
+  return m[basis & 1];
+}
+
+}  // namespace qarch::query

@@ -1,0 +1,89 @@
+// Direct sampling from a parameterized circuit on either engine.
+//
+// Statevector sampling materializes |psi> once and inverse-CDF-samples the
+// 2^n probability vector. Tensor-network sampling never materializes the
+// state: qubits are drawn one at a time, MSB (qubit n-1) first, each from
+// the JOINT marginal p(prefix, bit) contracted directly from the network
+// with the already-drawn prefix fixed by rebindable projector caps
+// (qtensor::measure_query_network, WireRole::Fix + Diagonal). All n
+// per-qubit marginal programs are compiled once per Sampler through the
+// shared planner / plan cache and replayed per shot.
+//
+// Both engines consume exactly ONE rng.uniform() per shot and map it
+// through the same ascending-index inverse CDF (the subtractive scheme of
+// qaoa::sample_basis_state, which the per-qubit joint-marginal walk
+// reproduces exactly), so:
+//
+//   * a given (engine, seed) stream is bit-for-bit deterministic, at every
+//     worker count — the contraction kernels compute each output entry on
+//     one thread in a fixed order;
+//   * the two engines agree in distribution, and disagree on a draw only
+//     when r lands within float error of a CDF boundary.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "query/program.hpp"
+#include "sim/sim_program.hpp"
+
+namespace qarch::query {
+
+/// Which engine draws the samples.
+enum class SamplerEngine {
+  Statevector,    ///< materialize |psi>, sample the probability vector
+  TensorNetwork,  ///< qubit-by-qubit marginal contraction, no statevector
+};
+
+/// Compile-time configuration of a Sampler.
+struct SamplerOptions {
+  SamplerEngine engine = SamplerEngine::Statevector;
+  /// Tensor-network engine: compile config for the per-qubit marginal
+  /// programs (planner, plan cache, lightcone toggles).
+  QueryOptions query;
+  /// Tensor-network engine: contraction backend spec ("serial",
+  /// "parallel[:N]").
+  std::string tn_backend = "serial";
+  /// Statevector engine: compile config and replay workers.
+  sim::PlanOptions sv_plan;
+  std::size_t sv_workers = 1;
+};
+
+/// Compiled basis-state sampler for one ansatz. Thread-safe replays;
+/// bit q of a returned sample is the measured value of qubit q.
+class Sampler {
+ public:
+  explicit Sampler(const circuit::Circuit& ansatz,
+                   const SamplerOptions& options = {});
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Draws `shots` basis states, one rng.uniform() each.
+  [[nodiscard]] std::vector<std::size_t> sample(std::span<const double> theta,
+                                                std::size_t shots,
+                                                Rng& rng) const;
+
+  /// Exact probability of one basis state: |<basis|psi>|^2 on the
+  /// statevector engine, the fully-fixed marginal on the tensor-network
+  /// engine.
+  [[nodiscard]] double probability(std::span<const double> theta,
+                                   std::size_t basis) const;
+
+  [[nodiscard]] std::size_t num_qubits() const;
+  [[nodiscard]] SamplerEngine engine() const;
+  /// Tensor-network engine: per-qubit marginal program stats (empty on the
+  /// statevector engine). steps()[k] samples qubit num_qubits-1-k.
+  [[nodiscard]] std::vector<QueryStats> step_stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace qarch::query

@@ -56,6 +56,8 @@ struct EvalJob {
   qaoa::MixerSpec mixer;
   std::size_t p = 1;
   std::size_t training_evals = 0;  ///< resolved budget (never 0)
+  qaoa::ObjectiveSpec objective;       ///< resolved from JobOptions/session
+  qaoa::HamiltonianSpec hamiltonian;   ///< resolved from JobOptions/session
   std::shared_ptr<ServiceState> service;
 
   // Robustness knobs, resolved from JobOptions/SessionConfig at publication
@@ -138,6 +140,8 @@ struct ServiceState {
     std::string graph_fp;
     std::size_t training_evals = 0;
     std::string engine;  ///< resolved engine the run used ("sv" / "tn")
+    std::string objective;    ///< ObjectiveSpec::tag(), "" = default
+    std::string hamiltonian;  ///< HamiltonianSpec::tag(), "" = default
   };
   std::list<std::pair<std::string, CachedResult>> done_order;
   std::unordered_map<std::string,
@@ -155,6 +159,9 @@ struct ServiceState {
   // rewrite durability for everything that was on disk while capping a long
   // run's memory at O(file + 2 × result_cache) instead of O(evictions).
   std::size_t foreign_floor = 0;
+  /// Service-clock time of the last cache_refresh_seconds file re-read
+  /// (submit-time cross-pollination between processes sharing cache_path).
+  double last_cache_refresh = 0.0;
   // In-flight dedup: key → queued/running job.
   std::unordered_map<std::string, std::weak_ptr<EvalJob>> inflight;
   // -- fair-share scheduler --------------------------------------------------
@@ -318,12 +325,33 @@ std::string result_key(const std::string& graph_key,
          "@e" + std::to_string(evals);
 }
 
-/// Identity of a persisted entry: the result key plus the engine that
-/// produced it (one candidate may have an sv and a tn twin on disk).
+/// Objective/Hamiltonian identity suffix from persisted tag strings (empty =
+/// default spec). Appended only when non-default, so the default path's keys
+/// — and therefore every cache file written before generalized objectives
+/// existed — stay byte-identical.
+std::string tag_suffix(const std::string& objective_tag,
+                       const std::string& hamiltonian_tag) {
+  std::string s;
+  if (!objective_tag.empty()) s += "@o" + objective_tag;
+  if (!hamiltonian_tag.empty()) s += "@h" + hamiltonian_tag;
+  return s;
+}
+
+/// The same suffix from resolved specs.
+std::string spec_suffix(const qaoa::ObjectiveSpec& objective,
+                        const qaoa::HamiltonianSpec& hamiltonian) {
+  return tag_suffix(objective.is_default() ? std::string() : objective.tag(),
+                    hamiltonian.is_default() ? std::string()
+                                             : hamiltonian.tag());
+}
+
+/// Identity of a persisted entry: the result key (with spec suffix) plus the
+/// engine that produced it (one candidate may have an sv and a tn twin on
+/// disk).
 std::string cache_identity(const CacheEntry& e) {
   return result_key(e.graph_fp, e.result.mixer, e.result.p,
                     e.training_evals) +
-         '\x1f' + e.engine;
+         tag_suffix(e.objective, e.hamiltonian) + '\x1f' + e.engine;
 }
 
 /// Adds (or refreshes) one entry in the to-be-persisted overflow set:
@@ -347,15 +375,15 @@ void stash_foreign(ServiceState& state, CacheEntry entry) {
 /// key's first requester constructs inside the slot's call_once while later
 /// requesters block on that SLOT only — the service mutex is never held
 /// across construction (which runs the exponential maxcut_exact solver).
-std::shared_ptr<const Evaluator> evaluator_for(ServiceState& state,
-                                               const std::string& graph_key,
-                                               const graph::Graph& g,
-                                               qaoa::EngineKind engine,
-                                               std::size_t training_evals) {
+std::shared_ptr<const Evaluator> evaluator_for(
+    ServiceState& state, const std::string& graph_key, const graph::Graph& g,
+    qaoa::EngineKind engine, std::size_t training_evals,
+    const qaoa::ObjectiveSpec& objective,
+    const qaoa::HamiltonianSpec& hamiltonian) {
   const std::string key =
       graph_key + '\x1f' +
       (engine == qaoa::EngineKind::Statevector ? "sv" : "tn") + '\x1f' +
-      std::to_string(training_evals);
+      std::to_string(training_evals) + spec_suffix(objective, hamiltonian);
   std::shared_ptr<ServiceState::EvaluatorSlot> slot;
   {
     std::lock_guard<std::mutex> lock(state.mutex);
@@ -379,6 +407,9 @@ std::shared_ptr<const Evaluator> evaluator_for(ServiceState& state,
   bool built = false;
   std::call_once(slot->once, [&] {
     auto options = state.config.evaluator_options(engine, training_evals);
+    // Per-job specs override the session defaults the facade copied in.
+    options.objective = objective;
+    options.hamiltonian = hamiltonian;
     // Every evaluator shares the service's plan store: tensor-network
     // programs reuse orders across candidates, clients, and (when
     // plan_cache_path is set) across processes.
@@ -455,6 +486,8 @@ TrainingCheckpoint checkpoint_record(const EvalJob& job,
   ck.p = job.p;
   ck.training_evals = job.training_evals;
   ck.engine = engine_name;
+  if (!job.objective.is_default()) ck.objective = job.objective.tag();
+  if (!job.hamiltonian.is_default()) ck.hamiltonian = job.hamiltonian.tag();
   ck.state = training;
   return ck;
 }
@@ -608,6 +641,8 @@ std::size_t persist_caches(ServiceState& state) {
       e.graph_fp = cached.graph_fp;
       e.training_evals = cached.training_evals;
       e.engine = cached.engine;
+      e.objective = cached.objective;
+      e.hamiltonian = cached.hamiltonian;
       e.result = cached.result;
       e.result.from_cache = false;  // provenance is per-submission, not disk
       seen.insert(cache_identity(e));
@@ -623,6 +658,77 @@ std::size_t persist_caches(ServiceState& state) {
   }
   save_result_cache(entries, state.config.cache_path, kCacheCodeVersion);
   return entries.size();
+}
+
+/// Cheap submit-time probe for the cache_refresh_seconds satellite: true
+/// when the interval elapsed, in which case THIS caller claims the refresh
+/// (the timestamp advances under the mutex, so concurrent submitters do the
+/// file IO at most once per interval).
+bool cache_refresh_due(ServiceState& state) {
+  if (state.config.cache_refresh_seconds <= 0.0 ||
+      state.config.cache_path.empty() || state.config.result_cache == 0)
+    return false;
+  const double now = state.now();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (now - state.last_cache_refresh < state.config.cache_refresh_seconds)
+    return false;
+  state.last_cache_refresh = now;
+  return true;
+}
+
+/// Re-reads the result-cache file and merges entries this service does not
+/// already hold — cross-pollination between concurrent processes sharing one
+/// cache_path, without waiting for either to restart. Merge rules mirror the
+/// constructor load: the engine gate and capacity bound apply, rejected
+/// entries are stashed for the next rewrite (when this service writes at
+/// all), and entries this process already holds in memory always win over
+/// disk state. File IO runs under io_mutex only; the service mutex is taken
+/// afterwards for the merge (io_mutex-before-mutex, never nested the other
+/// way).
+void refresh_result_cache(ServiceState& state) {
+  std::vector<CacheEntry> entries;
+  {
+    std::lock_guard<std::mutex> io(state.io_mutex);
+    entries = load_result_cache(state.config.cache_path, kCacheCodeVersion);
+  }
+  std::lock_guard<std::mutex> lock(state.mutex);
+  ++state.stats.cache_refreshes;
+  const bool keep_for_rewrite = state.config.cache_write;
+  const std::size_t stash_bound =
+      state.foreign_floor + state.config.result_cache;
+  for (CacheEntry& e : entries) {
+    const bool engine_gated =
+        (state.config.backend == BackendChoice::Statevector &&
+         e.engine != "sv") ||
+        (state.config.backend == BackendChoice::TensorNetwork &&
+         e.engine != "tn");
+    const std::string key =
+        result_key(e.graph_fp, e.result.mixer, e.result.p, e.training_evals) +
+        tag_suffix(e.objective, e.hamiltonian);
+    if (engine_gated || state.done_by_key.count(key) > 0 ||
+        state.done_order.size() >= state.config.result_cache) {
+      // Not loadable here (wrong engine, already held, or over capacity) —
+      // but still on disk, so a rewriting service must carry it. Bounded
+      // like the eviction stash: refreshes cannot grow memory without limit.
+      if (keep_for_rewrite &&
+          (state.foreign_entries.size() < stash_bound ||
+           state.foreign_by_identity.count(cache_identity(e)) > 0))
+        stash_foreign(state, std::move(e));
+      continue;
+    }
+    ServiceState::CachedResult cached;
+    cached.result = e.result;
+    cached.graph_fp = std::move(e.graph_fp);
+    cached.training_evals = e.training_evals;
+    cached.engine = std::move(e.engine);
+    cached.objective = std::move(e.objective);
+    cached.hamiltonian = std::move(e.hamiltonian);
+    // Appended at the LRU's cold end: a merged entry is a warm start, not a
+    // recent use, so it is first out if capacity tightens.
+    state.done_order.emplace_back(key, std::move(cached));
+    state.done_by_key[key] = std::prev(state.done_order.end());
+    ++state.stats.cache_loaded;
+  }
 }
 
 /// Worker body: runs one job until it completes, parks, expires, retries, or
@@ -708,8 +814,9 @@ void run_job(const std::shared_ptr<ServiceState>& state,
     // regardless of thread interleaving.
     FaultInjector::instance().on_evaluation(
         job->key, static_cast<std::uint64_t>(attempt));
-    const auto evaluator = evaluator_for(*state, job->graph_key, job->graph,
-                                         engine, job->training_evals);
+    const auto evaluator =
+        evaluator_for(*state, job->graph_key, job->graph, engine,
+                      job->training_evals, job->objective, job->hamiltonian);
     for (;;) {
       ResumableEvaluation slice = evaluator->evaluate_resumable(
           job->mixer, job->p, training, token.get());
@@ -845,6 +952,10 @@ void run_job(const std::shared_ptr<ServiceState>& state,
         cached.training_evals = job->training_evals;
         cached.engine =
             engine == qaoa::EngineKind::Statevector ? "sv" : "tn";
+        if (!job->objective.is_default())
+          cached.objective = job->objective.tag();
+        if (!job->hamiltonian.is_default())
+          cached.hamiltonian = job->hamiltonian.tag();
         state->done_order.emplace_front(job->key, std::move(cached));
         state->done_by_key[job->key] = state->done_order.begin();
         while (state->done_order.size() > state->config.result_cache) {
@@ -863,6 +974,8 @@ void run_job(const std::shared_ptr<ServiceState>& state,
             evicted.graph_fp = std::move(old.graph_fp);
             evicted.training_evals = old.training_evals;
             evicted.engine = std::move(old.engine);
+            evicted.objective = std::move(old.objective);
+            evicted.hamiltonian = std::move(old.hamiltonian);
             evicted.result = std::move(old.result);
             if (state->foreign_entries.size() <
                     state->foreign_floor + state->config.result_cache ||
@@ -1156,8 +1269,10 @@ EvalService::EvalService(SessionConfig config)
         if (keep_for_rewrite) detail::stash_foreign(*state_, e);
         continue;
       }
-      const std::string key = detail::result_key(
-          e.graph_fp, e.result.mixer, e.result.p, e.training_evals);
+      const std::string key =
+          detail::result_key(e.graph_fp, e.result.mixer, e.result.p,
+                             e.training_evals) +
+          detail::tag_suffix(e.objective, e.hamiltonian);
       if (state_->done_by_key.count(key) > 0) {
         // Same candidate from the other engine (Auto accepted the first
         // twin): not loaded, but preserved across this service's rewrite.
@@ -1169,6 +1284,8 @@ EvalService::EvalService(SessionConfig config)
       cached.graph_fp = e.graph_fp;
       cached.training_evals = e.training_evals;
       cached.engine = e.engine;
+      cached.objective = e.objective;
+      cached.hamiltonian = e.hamiltonian;
       state_->done_order.emplace_back(key, std::move(cached));
       state_->done_by_key[key] = std::prev(state_->done_order.end());
       ++state_->stats.cache_loaded;
@@ -1191,8 +1308,10 @@ EvalService::EvalService(SessionConfig config)
                                     detail::kCheckpointCodeVersion);
     std::lock_guard<std::mutex> lock(state_->mutex);
     for (TrainingCheckpoint& ck : entries) {
-      const std::string key = detail::result_key(ck.graph_fp, ck.mixer, ck.p,
-                                                 ck.training_evals);
+      const std::string key =
+          detail::result_key(ck.graph_fp, ck.mixer, ck.p,
+                             ck.training_evals) +
+          detail::tag_suffix(ck.objective, ck.hamiltonian);
       state_->checkpoints[key] = std::move(ck);
       ++state_->stats.checkpoints_loaded;
     }
@@ -1348,8 +1467,18 @@ EvalTicket EvalService::submit(const graph::Graph& g,
   const std::size_t evals = options.training_evals > 0
                                 ? options.training_evals
                                 : state_->config.training_evals;
+  const qaoa::ObjectiveSpec objective =
+      options.objective ? *options.objective : state_->config.objective;
+  const qaoa::HamiltonianSpec hamiltonian =
+      options.hamiltonian ? *options.hamiltonian : state_->config.hamiltonian;
   const std::string graph_key = graph_fingerprint(g);
-  const std::string key = detail::result_key(graph_key, mixer, p, evals);
+  const std::string key = detail::result_key(graph_key, mixer, p, evals) +
+                          detail::spec_suffix(objective, hamiltonian);
+
+  // Timed cross-process cache pollination: at most one submitter per
+  // interval re-reads the shared cache file before the lookups below.
+  if (detail::cache_refresh_due(*state_))
+    detail::refresh_result_cache(*state_);
 
   {
     std::lock_guard<std::mutex> lock(state_->mutex);
@@ -1463,6 +1592,8 @@ EvalTicket EvalService::submit(const graph::Graph& g,
       fresh->mixer = mixer;
       fresh->p = p;
       fresh->training_evals = evals;
+      fresh->objective = objective;
+      fresh->hamiltonian = hamiltonian;
       fresh->service = state_;
       continue;  // retry the cache checks with the job ready to publish
     }

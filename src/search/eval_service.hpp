@@ -69,6 +69,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -127,6 +128,14 @@ struct JobOptions {
   /// Base backoff delay in seconds; −1 = the session's
   /// retry_backoff_seconds default.
   double retry_backoff_seconds = -1.0;
+  /// Training objective for this job (nullopt = the session's objective).
+  /// Part of candidate identity: jobs with different objectives never share
+  /// cache entries, in-flight runs, or checkpoints — the default spec keeps
+  /// the pre-objective key format byte-identical.
+  std::optional<qaoa::ObjectiveSpec> objective;
+  /// Cost Hamiltonian for this job (nullopt = the session's hamiltonian).
+  /// Part of candidate identity like `objective`.
+  std::optional<qaoa::HamiltonianSpec> hamiltonian;
 };
 
 /// RAII registration of one fair-share scheduler queue. Move-only; the queue
@@ -280,6 +289,8 @@ class EvalService {
                                         ///< from checkpoint_path
     std::size_t checkpoints_discarded = 0;  ///< checkpoints dropped (engine
                                             ///< mismatch on resume)
+    std::size_t cache_refreshes = 0;    ///< timed result-cache file re-reads
+                                        ///< (cache_refresh_seconds)
   };
   [[nodiscard]] Stats stats() const;
 

@@ -1,5 +1,7 @@
 #include "search/evaluator.hpp"
 
+#include <optional>
+
 #include "circuit/optimizer.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -13,11 +15,31 @@ namespace qarch::search {
 Evaluator::Evaluator(const graph::Graph& g, EvaluatorOptions options)
     : graph_(g),
       options_(std::move(options)),
-      energy_(graph_, options_.effective_energy()),
+      ham_(options_.hamiltonian.build(graph_)),
+      energy_(ham_, options_.effective_energy()),
       cobyla_(options_.cobyla) {
   QARCH_REQUIRE(g.num_edges() >= 1, "evaluation graph needs edges");
   QARCH_REQUIRE(options_.restarts >= 1, "need at least one training start");
-  classical_optimum_ = graph::maxcut_exact(graph_).value;
+  classical_optimum_ = options_.hamiltonian.is_default()
+                           ? graph::maxcut_exact(graph_).value
+                           : qaoa::classical_maximum(ham_);
+}
+
+double Evaluator::ratio_of(double value) const {
+  return classical_optimum_ > 0.0 ? value / classical_optimum_ : 0.0;
+}
+
+query::SamplerOptions Evaluator::sampler_options() const {
+  const qaoa::EnergyOptions energy = options_.effective_energy();
+  query::SamplerOptions so;
+  so.engine = energy.engine == qaoa::EngineKind::Statevector
+                  ? query::SamplerEngine::Statevector
+                  : query::SamplerEngine::TensorNetwork;
+  so.query = query::query_options(energy.qtensor);
+  so.tn_backend = energy.qtensor.backend;
+  so.sv_plan = energy.sv_plan;
+  so.sv_workers = energy.inner_workers;
+  return so;
 }
 
 CandidateResult Evaluator::evaluate(const qaoa::MixerSpec& mixer,
@@ -37,31 +59,53 @@ ResumableEvaluation Evaluator::evaluate_resumable(
   // pairs); shrinking the candidate benefits every engine — the compiled
   // statevector plan, the per-edge TN lightcones, and the sampling pass.
   if (options_.simplify_circuit) ansatz = circuit::optimize(ansatz);
-  qaoa::TrainResult trained;
+  // Restarts split the COBYLA budget; the one shared objective means the
+  // candidate compiles exactly once on EITHER engine: one SimProgram
+  // (statevector) or one per-edge set of ContractionPrograms (qtensor) —
+  // probes: sim::program_compile_count() and qtensor::network_build_count().
+  std::optional<optim::MultiStart> multistart;
+  const optim::Optimizer* optimizer = &cobyla_;
   if (options_.restarts > 1) {
-    // Restarts split the COBYLA budget; train_qaoa's cached plan is the one
-    // objective every restart shares, so the candidate compiles exactly once
-    // on EITHER engine: one SimProgram (statevector) or one per-edge set of
-    // ContractionPrograms (qtensor) — probes: sim::program_compile_count()
-    // and qtensor::network_build_count().
     optim::MultiStartConfig ms;
     ms.restarts = options_.restarts;
     ms.total_evals = options_.cobyla.max_evals;
     ms.perturbation = options_.restart_perturbation;
     ms.seed = options_.restart_seed;
-    const optim::MultiStart multistart(
+    multistart.emplace(
         [this](std::size_t budget) -> std::unique_ptr<optim::Optimizer> {
           optim::CobylaConfig per_run = options_.cobyla;
           per_run.max_evals = budget;
           return std::make_unique<optim::Cobyla>(per_run);
         },
         ms);
-    trained =
-        qaoa::train_qaoa(ansatz, energy_, multistart, options_.train, state,
-                         preempt);
+    optimizer = &*multistart;
+  }
+  // One compiled sampler per candidate when anything needs draws: the
+  // sampled training objectives and/or the generalized scoring pass.
+  std::optional<query::Sampler> sampler;
+  qaoa::TrainResult trained;
+  if (options_.objective.kind == qaoa::ObjectiveKind::Expectation) {
+    trained = qaoa::train_qaoa(ansatz, energy_, *optimizer, options_.train,
+                               state, preempt);
   } else {
-    trained = qaoa::train_qaoa(ansatz, energy_, cobyla_, options_.train, state,
-                               preempt);
+    sampler.emplace(ansatz, sampler_options());
+    const std::size_t shots =
+        options_.objective.shots > 0 ? options_.objective.shots
+                                     : options_.shots;
+    const optim::Objective value = [&](std::span<const double> theta) {
+      // Seed fixed per evaluation: the sampled objective is a
+      // deterministic function of theta, so restarts compare fairly and
+      // resumed slices stitch exactly.
+      Rng rng(options_.sample_seed ^ 0x0051ed2700c1a9ULL);
+      const std::vector<std::size_t> samples =
+          sampler->sample(theta, shots, rng);
+      std::vector<double> values(samples.size());
+      for (std::size_t i = 0; i < samples.size(); ++i)
+        values[i] = ham_.classical_value_bits(samples[i]);
+      return qaoa::objective_value(options_.objective, std::move(values));
+    };
+    trained = qaoa::train_objective(ansatz.num_params(), value, *optimizer,
+                                    options_.train, state, preempt);
   }
 
   ResumableEvaluation out;
@@ -82,15 +126,26 @@ ResumableEvaluation Evaluator::evaluate_resumable(
   r.mixer = mixer;
   r.p = p;
   r.energy = trained.energy;
-  r.ratio = qaoa::approximation_ratio(trained.energy, classical_optimum_);
-  // Eq. 3 numerator: expected best cut among sampled measurements. Seeded
-  // per-candidate for determinism regardless of evaluation order.
+  r.ratio = ratio_of(trained.energy);
+  // Eq. 3 numerator: expected best value among sampled measurements. Seeded
+  // per-candidate for determinism regardless of evaluation order. The
+  // default MaxCut spec keeps the legacy statevector scoring path (and its
+  // exact draw stream); generalized Hamiltonians score through the compiled
+  // sampler on the configured engine.
   Rng sample_rng(options_.sample_seed ^ (p * 0x9e3779b97f4a7c15ULL) ^
                  mixer.gates.size());
-  const double best_cut =
-      qaoa::expected_best_cut(ansatz, trained.theta, graph_, options_.shots,
-                              options_.sample_trials, sample_rng);
-  r.sampled_ratio = qaoa::approximation_ratio(best_cut, classical_optimum_);
+  if (options_.hamiltonian.is_default()) {
+    const double best_cut =
+        qaoa::expected_best_cut(ansatz, trained.theta, graph_, options_.shots,
+                                options_.sample_trials, sample_rng);
+    r.sampled_ratio = ratio_of(best_cut);
+  } else {
+    if (!sampler.has_value()) sampler.emplace(ansatz, sampler_options());
+    const double best_value = qaoa::expected_best_value(
+        *sampler, trained.theta, ham_, options_.shots, options_.sample_trials,
+        sample_rng);
+    r.sampled_ratio = ratio_of(best_value);
+  }
   r.theta = trained.theta;
   r.evaluations = trained.evaluations;
   // The service overwrites this with its own timestamps; direct callers get

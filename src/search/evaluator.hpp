@@ -10,7 +10,9 @@
 #include "optim/cobyla.hpp"
 #include "qaoa/energy.hpp"
 #include "qaoa/mixer.hpp"
+#include "qaoa/objective.hpp"
 #include "qaoa/train.hpp"
+#include "query/sampler.hpp"
 
 namespace qarch::search {
 
@@ -52,6 +54,17 @@ struct EvaluatorOptions {
   std::size_t shots = 128;                ///< samples per <C_max> batch
   std::size_t sample_trials = 8;          ///< batches averaged for <C_max>
   std::uint64_t sample_seed = 99;         ///< sampling stream seed
+  /// Training objective. Expectation (default) trains on the exact <C>
+  /// through the compiled energy plans — the paper's setup, bit-identical
+  /// to the pre-objective evaluator. CVaR / BestOfShots train on a sampled
+  /// statistic drawn from a compiled query::Sampler on the SAME engine the
+  /// energy options select (spec.shots overrides `shots` when set).
+  qaoa::ObjectiveSpec objective;
+  /// Cost Hamiltonian. MaxCut (default) keeps the exact legacy scoring
+  /// path; MIS / Ising route the ratio denominator through
+  /// qaoa::classical_maximum and the sampling pass through the
+  /// generalized-value scorer.
+  qaoa::HamiltonianSpec hamiltonian;
 
   /// The energy options the evaluator actually runs with. The low-level
   /// reconciliation between EvaluatorOptions and EnergyOptions: when the
@@ -100,15 +113,23 @@ class Evaluator {
       const qaoa::MixerSpec& mixer, std::size_t p, optim::OptimState& state,
       optim::PreemptToken* preempt) const;
 
-  /// The exact classical max-cut of the evaluation graph.
+  /// The exact classical optimum of the configured Hamiltonian (max-cut
+  /// value for the default spec, brute-force maximum otherwise).
   [[nodiscard]] double classical_optimum() const { return classical_optimum_; }
 
   [[nodiscard]] const graph::Graph& graph() const { return graph_; }
+  [[nodiscard]] const qaoa::Hamiltonian& hamiltonian() const { return ham_; }
   [[nodiscard]] const EvaluatorOptions& options() const { return options_; }
 
  private:
+  /// value / classical_optimum, or 0 when the optimum is not positive
+  /// (possible for general Ising objectives; MaxCut optima always are).
+  [[nodiscard]] double ratio_of(double value) const;
+  [[nodiscard]] query::SamplerOptions sampler_options() const;
+
   graph::Graph graph_;
   EvaluatorOptions options_;
+  qaoa::Hamiltonian ham_;
   qaoa::EnergyEvaluator energy_;
   optim::Cobyla cobyla_;
   double classical_optimum_ = 0.0;

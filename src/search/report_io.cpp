@@ -198,6 +198,10 @@ json::Value result_cache_to_json(const std::vector<CacheEntry>& entries,
     entry.set("graph_fp", hex_encode(e.graph_fp));
     entry.set("training_evals", e.training_evals);
     entry.set("engine", e.engine);
+    // Spec tags are written only when non-default, so files produced by
+    // default-objective runs stay byte-compatible with older readers.
+    if (!e.objective.empty()) entry.set("objective", e.objective);
+    if (!e.hamiltonian.empty()) entry.set("hamiltonian", e.hamiltonian);
     entry.set("result", candidate_to_json(e.result));
     list.push_back(std::move(entry));
   }
@@ -224,6 +228,10 @@ std::vector<CacheEntry> result_cache_from_json(
       e.training_evals = static_cast<std::size_t>(
           item.at("training_evals").as_number());
       e.engine = item.at("engine").as_string();
+      if (item.contains("objective"))
+        e.objective = item.at("objective").as_string();
+      if (item.contains("hamiltonian"))
+        e.hamiltonian = item.at("hamiltonian").as_string();
       e.result = candidate_from_json(item.at("result"));
       entries.push_back(std::move(e));
     } catch (const std::exception&) {
@@ -409,6 +417,8 @@ json::Value checkpoints_to_json(const std::vector<TrainingCheckpoint>& entries,
     entry.set("p", e.p);
     entry.set("training_evals", e.training_evals);
     entry.set("engine", e.engine);
+    if (!e.objective.empty()) entry.set("objective", e.objective);
+    if (!e.hamiltonian.empty()) entry.set("hamiltonian", e.hamiltonian);
     entry.set("state", optim_state_to_json(e.state));
     list.push_back(std::move(entry));
   }
@@ -440,6 +450,10 @@ std::vector<TrainingCheckpoint> checkpoints_from_json(
       e.training_evals =
           static_cast<std::size_t>(item.at("training_evals").as_number());
       e.engine = item.at("engine").as_string();
+      if (item.contains("objective"))
+        e.objective = item.at("objective").as_string();
+      if (item.contains("hamiltonian"))
+        e.hamiltonian = item.at("hamiltonian").as_string();
       e.state = optim_state_from_json(item.at("state"));
       entries.push_back(std::move(e));
     } catch (const std::exception&) {

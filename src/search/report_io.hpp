@@ -42,6 +42,8 @@ struct CacheEntry {
   std::string graph_fp;             ///< raw graph_fingerprint() bytes
   std::size_t training_evals = 0;   ///< COBYLA budget the result was run at
   std::string engine;               ///< resolved engine ("sv" / "tn")
+  std::string objective;            ///< ObjectiveSpec::tag(), "" = default
+  std::string hamiltonian;          ///< HamiltonianSpec::tag(), "" = default
   CandidateResult result;
 };
 
@@ -119,6 +121,8 @@ struct TrainingCheckpoint {
   std::size_t p = 0;
   std::size_t training_evals = 0;  ///< full budget of the checkpointed run
   std::string engine;              ///< resolved engine ("sv" / "tn")
+  std::string objective;           ///< ObjectiveSpec::tag(), "" = default
+  std::string hamiltonian;         ///< HamiltonianSpec::tag(), "" = default
   optim::OptimState state;
 };
 

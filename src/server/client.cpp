@@ -34,19 +34,27 @@ json::Value QarchClient::request(const std::string& method,
   HttpLimits limits;
   limits.read_timeout_seconds = options_.request_timeout_seconds;
   std::string last_error;
-  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
-    if (attempt > 0) backoff(options_.retry_backoff_seconds, attempt - 1);
+  int attempt = 0;
+  for (;;) {
+    // Reuse the keep-alive socket of the previous exchange when we have
+    // one; the daemon may have closed it in the meantime (restart, idle
+    // reaping), which surfaces as transport trouble below.
+    const bool reused = conn_.has_value();
     try {
-      Socket conn = tcp_connect(options_.host, options_.port,
-                                options_.connect_timeout_seconds);
+      if (!conn_) {
+        conn_.emplace(tcp_connect(options_.host, options_.port,
+                                  options_.connect_timeout_seconds));
+        ++connections_opened_;
+      }
       std::map<std::string, std::string> headers;
       if (!options_.api_key.empty()) headers["X-Api-Key"] = options_.api_key;
-      if (!write_http_request(conn, method, target, body, headers))
+      if (!write_http_request(*conn_, method, target, body, headers))
         throw HttpError(502, "connection closed mid-request");
       HttpResponse response;
-      read_http_response(conn, response, limits);
+      read_http_response(*conn_, response, limits);
       // A parsed response is authoritative — the daemon answered, so stop
-      // retrying regardless of the status.
+      // retrying regardless of the status. The response was fully read, so
+      // the connection stays cached for the next request either way.
       if (response.status >= 200 && response.status < 300)
         return json::parse(response.body);
       std::string message = "HTTP " + std::to_string(response.status);
@@ -62,8 +70,15 @@ json::Value QarchClient::request(const std::string& method,
       throw;
     } catch (const Error& e) {
       // Refused connections, drops mid-exchange, truncated responses: all
-      // transport trouble, all retryable.
+      // transport trouble, all retryable — and never on a half-used socket.
+      conn_.reset();
       last_error = e.what();
+      // A dead KEPT-ALIVE socket is the normal keep-alive race (the daemon
+      // closed an idle connection), not daemon trouble: retry immediately
+      // on a fresh connection without spending the retry budget.
+      if (reused) continue;
+      if (++attempt > options_.max_retries) break;
+      backoff(options_.retry_backoff_seconds, attempt - 1);
     }
   }
   throw Error("qarch_client: " + method + " " + target + " failed after " +

@@ -16,14 +16,20 @@
 //     resubmission converge to the same candidate instead of paying for a
 //     second training run.
 //
-// The client is deliberately synchronous (one request per call, one socket
-// per request): the concurrency story lives server-side in EvalService, and
-// callers that want parallel submits run parallel threads, as the stress
-// test does.
+//   * KEEP-ALIVE — the socket of a successful exchange is kept open and
+//     reused by the next request (qarchd serves persistent connections).
+//     A reused socket that the daemon closed in the meantime is a normal
+//     race, not an error: the request is retried once on a fresh
+//     connection without consuming the retry budget or backing off.
+//
+// The client is deliberately synchronous (one request per call): the
+// concurrency story lives server-side in EvalService, and callers that want
+// parallel submits run parallel threads, as the stress test does.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/json.hpp"
@@ -58,8 +64,7 @@ struct ClientOptions {
 };
 
 /// The typed qarchd client. Thread-compatible: use one instance per thread
-/// (each request opens its own connection; there is no shared mutable state
-/// beyond the immutable options).
+/// (the cached keep-alive connection is per-instance mutable state).
 class QarchClient {
  public:
   explicit QarchClient(ClientOptions options);
@@ -105,8 +110,16 @@ class QarchClient {
 
   [[nodiscard]] const ClientOptions& options() const { return options_; }
 
+  /// How many TCP connections this client has opened — the keep-alive
+  /// probe: N sequential requests on a healthy daemon open exactly one.
+  [[nodiscard]] std::size_t connections_opened() const {
+    return connections_opened_;
+  }
+
  private:
   ClientOptions options_;
+  std::optional<Socket> conn_;  ///< cached keep-alive connection
+  std::size_t connections_opened_ = 0;
 };
 
 }  // namespace qarch::server

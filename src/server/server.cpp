@@ -8,14 +8,20 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "circuit/optimizer.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "graph/extra_generators.hpp"
 #include "graph/generators.hpp"
+#include "qaoa/ansatz.hpp"
+#include "qaoa/hamiltonian.hpp"
+#include "qaoa/objective.hpp"
+#include "query/sampler.hpp"
 #include "search/fault.hpp"
 #include "search/report_io.hpp"
 
@@ -60,6 +66,55 @@ HttpResponse error_body(int status, const std::string& message) {
   json::Value out = json::Value::object();
   out.set("error", message);
   return json_response(status, out);
+}
+
+/// Optional training-objective fields shared by /v1/submit: "objective"
+/// names the kind, "cvar_alpha" / "objective_shots" parameterize it. The
+/// parameter fields without "objective" are rejected (a silent default would
+/// mask a typo'd request). Unknown kinds throw InvalidArgument → 400.
+std::optional<qaoa::ObjectiveSpec> objective_spec_from_json(
+    const json::Value& body) {
+  if (!body.contains("objective")) {
+    QARCH_REQUIRE(!body.contains("cvar_alpha") &&
+                      !body.contains("objective_shots"),
+                  "\"cvar_alpha\" / \"objective_shots\" need \"objective\"");
+    return std::nullopt;
+  }
+  qaoa::ObjectiveSpec spec;
+  spec.kind =
+      qaoa::objective_kind_from_name(body.at("objective").as_string());
+  if (body.contains("cvar_alpha")) {
+    spec.alpha = body.at("cvar_alpha").as_number();
+    QARCH_REQUIRE(spec.alpha > 0.0 && spec.alpha <= 1.0,
+                  "\"cvar_alpha\" must be in (0, 1]");
+  }
+  if (body.contains("objective_shots"))
+    spec.shots = as_uint(body.at("objective_shots"), "\"objective_shots\"");
+  return spec;
+}
+
+/// Optional cost-Hamiltonian fields shared by /v1/submit and /v1/sample:
+/// "hamiltonian" names the kind ("maxcut" / "mis" / "ising"),
+/// "mis_penalty" / "ising_coupling" / "ising_field" parameterize it.
+std::optional<qaoa::HamiltonianSpec> hamiltonian_spec_from_json(
+    const json::Value& body) {
+  if (!body.contains("hamiltonian")) {
+    QARCH_REQUIRE(!body.contains("mis_penalty") &&
+                      !body.contains("ising_coupling") &&
+                      !body.contains("ising_field"),
+                  "Hamiltonian parameters need \"hamiltonian\"");
+    return std::nullopt;
+  }
+  qaoa::HamiltonianSpec spec;
+  spec.kind =
+      qaoa::hamiltonian_kind_from_name(body.at("hamiltonian").as_string());
+  if (body.contains("mis_penalty"))
+    spec.penalty = body.at("mis_penalty").as_number();
+  if (body.contains("ising_coupling"))
+    spec.coupling = body.at("ising_coupling").as_number();
+  if (body.contains("ising_field"))
+    spec.field = body.at("ising_field").as_number();
+  return spec;
 }
 
 }  // namespace
@@ -267,30 +322,35 @@ struct QarchServer::Impl {
     return json_response(200, out);
   }
 
-  HttpResponse handle_submit(Tenant& tenant, const HttpRequest& request) {
-    // Admission first, parsing second: a rate-limited tenant must not cost
-    // the server JSON parsing either.
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      if (tenant.burst > 0.0) {
-        const double now = service->now();
-        tenant.tokens = std::min(
-            tenant.burst,
-            tenant.tokens + (now - tenant.last_refill) * tenant.rate);
-        tenant.last_refill = now;
-        if (tenant.tokens < 1.0) {
-          ++counters.rate_limited;
-          return error_body(429, "rate limit exceeded for tenant \"" +
-                                     tenant.spec.name + "\"");
-        }
-        tenant.tokens -= 1.0;
-      }
+  /// Token-bucket admission shared by submit and sample: nullopt = admitted,
+  /// otherwise the 429 answer. Runs before any JSON parsing so a
+  /// rate-limited tenant must not cost the server parsing either.
+  std::optional<HttpResponse> rate_limit(Tenant& tenant) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (tenant.burst <= 0.0) return std::nullopt;
+    const double now = service->now();
+    tenant.tokens = std::min(
+        tenant.burst, tenant.tokens + (now - tenant.last_refill) * tenant.rate);
+    tenant.last_refill = now;
+    if (tenant.tokens < 1.0) {
+      ++counters.rate_limited;
+      return error_body(429, "rate limit exceeded for tenant \"" +
+                                 tenant.spec.name + "\"");
     }
+    tenant.tokens -= 1.0;
+    return std::nullopt;
+  }
+
+  HttpResponse handle_submit(Tenant& tenant, const HttpRequest& request) {
+    if (auto rejected = rate_limit(tenant)) return *rejected;
 
     const json::Value body = json::parse(request.body);
-    static const std::array<std::string, 8> kKnown = {
-        "graph",  "generator", "mixer",    "p",
-        "budget", "engine",    "priority", "deadline_ms"};
+    static const std::array<std::string, 15> kKnown = {
+        "graph",       "generator",      "mixer",
+        "p",           "budget",         "engine",
+        "priority",    "deadline_ms",    "objective",
+        "cvar_alpha",  "objective_shots", "hamiltonian",
+        "mis_penalty", "ising_coupling", "ising_field"};
     for (const auto& [key, value] : body.items()) {
       (void)value;
       QARCH_REQUIRE(std::find(kKnown.begin(), kKnown.end(), key) !=
@@ -327,6 +387,11 @@ struct QarchServer::Impl {
       QARCH_REQUIRE(deadline_ms >= 0.0, "\"deadline_ms\" must be >= 0");
       options.deadline_seconds = deadline_ms / 1000.0;
     }
+    // nullopt = inherit the daemon's session-level objective/Hamiltonian —
+    // an explicit field overrides per job (and becomes part of the
+    // candidate's cache identity inside the service).
+    options.objective = objective_spec_from_json(body);
+    options.hamiltonian = hamiltonian_spec_from_json(body);
 
     // Quota check, submission, and bookkeeping under one lock so concurrent
     // submits cannot both squeeze through the last quota slot.
@@ -360,6 +425,100 @@ struct QarchServer::Impl {
     out.set("status", ticket.ready() ? "ready" : "queued");
     out.set("cached", ticket.cache_hit());
     return json_response(202, out);
+  }
+
+  /// POST /v1/sample: draw basis states from a fixed-parameter ansatz,
+  /// synchronously on the IO thread (sampling is a bounded replay, not a
+  /// training loop — no ticket, no queue, no outstanding-quota charge).
+  /// Unlike submit, "engine" here is a REQUEST: "sv" / "tn" / "auto" pick
+  /// the sampling engine per call (sampling has no cross-process cache whose
+  /// identity an engine switch could corrupt).
+  HttpResponse handle_sample(Tenant& tenant, const HttpRequest& request) {
+    if (auto rejected = rate_limit(tenant)) return *rejected;
+
+    const json::Value body = json::parse(request.body);
+    static const std::array<std::string, 12> kKnown = {
+        "graph", "generator",   "mixer",       "p",
+        "theta", "shots",       "seed",        "engine",
+        "hamiltonian", "mis_penalty", "ising_coupling", "ising_field"};
+    for (const auto& [key, value] : body.items()) {
+      (void)value;
+      QARCH_REQUIRE(std::find(kKnown.begin(), kKnown.end(), key) !=
+                        kKnown.end(),
+                    "unknown sample field: \"" + key + "\"");
+    }
+    const graph::Graph g = graph_from_submit_json(body, config.max_vertices);
+    QARCH_REQUIRE(body.contains("mixer"), "sample body is missing \"mixer\"");
+    const qaoa::MixerSpec mixer =
+        qaoa::MixerSpec::parse(body.at("mixer").as_string());
+    const std::size_t p = require_uint(body, "p");
+    QARCH_REQUIRE(p >= 1, "\"p\" must be at least 1");
+    const std::size_t shots = require_uint(body, "shots");
+    QARCH_REQUIRE(shots >= 1 && shots <= 1000000,
+                  "\"shots\" must be in [1, 1000000]");
+    const std::uint64_t seed =
+        body.contains("seed") ? as_uint(body.at("seed"), "\"seed\"") : 0;
+
+    BackendChoice choice = config.session.backend;
+    if (body.contains("engine"))
+      choice = backend_from_name(body.at("engine").as_string());
+    const qaoa::EngineKind engine =
+        choice == BackendChoice::Statevector ? qaoa::EngineKind::Statevector
+        : choice == BackendChoice::TensorNetwork
+            ? qaoa::EngineKind::TensorNetwork
+            : search::auto_engine_choice(config.session, g, mixer, p);
+
+    circuit::Circuit ansatz = qaoa::build_qaoa_circuit(g, p, mixer);
+    if (config.session.simplify_circuit) ansatz = circuit::optimize(ansatz);
+    QARCH_REQUIRE(body.contains("theta"), "sample body is missing \"theta\"");
+    const json::Value& theta_json = body.at("theta");
+    std::vector<double> theta;
+    theta.reserve(theta_json.size());
+    for (std::size_t i = 0; i < theta_json.size(); ++i)
+      theta.push_back(theta_json.at(i).as_number());
+    QARCH_REQUIRE(theta.size() == ansatz.num_params(),
+                  "\"theta\" must have " +
+                      std::to_string(ansatz.num_params()) +
+                      " entries for p=" + std::to_string(p) + ", got " +
+                      std::to_string(theta.size()));
+
+    // The same engine-reconciled options the Evaluator samples with
+    // (Evaluator::sampler_options), so wire draws match direct ones
+    // bit-for-bit at equal (engine, seed).
+    const qaoa::EnergyOptions energy = config.session.energy_options(engine);
+    query::SamplerOptions so;
+    so.engine = engine == qaoa::EngineKind::Statevector
+                    ? query::SamplerEngine::Statevector
+                    : query::SamplerEngine::TensorNetwork;
+    so.query = query::query_options(energy.qtensor);
+    so.tn_backend = energy.qtensor.backend;
+    so.sv_plan = energy.sv_plan;
+    so.sv_workers = energy.inner_workers;
+    const query::Sampler sampler(ansatz, so);
+
+    Rng rng(seed);
+    const std::vector<std::size_t> samples = sampler.sample(theta, shots, rng);
+    const qaoa::Hamiltonian ham =
+        hamiltonian_spec_from_json(body).value_or(config.session.hamiltonian)
+            .build(g);
+
+    json::Value samples_json = json::Value::array();
+    json::Value values_json = json::Value::array();
+    for (const std::size_t s : samples) {
+      samples_json.push_back(s);
+      values_json.push_back(ham.classical_value_bits(s));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++counters.samples;
+    }
+    json::Value out = json::Value::object();
+    out.set("samples", std::move(samples_json));
+    out.set("values", std::move(values_json));
+    out.set("engine",
+            engine == qaoa::EngineKind::Statevector ? "sv" : "tn");
+    out.set("shots", shots);
+    return json_response(200, out);
   }
 
   /// Looks a ticket up for a tenant; an invalid EvalTicket means 404 —
@@ -475,6 +634,7 @@ struct QarchServer::Impl {
     wire.set("rate_limited", snapshot.rate_limited);
     wire.set("quota_rejected", snapshot.quota_rejected);
     wire.set("submits", snapshot.submits);
+    wire.set("samples", snapshot.samples);
     wire.set("cancels", snapshot.cancels);
     wire.set("dropped", snapshot.dropped);
 
@@ -520,6 +680,11 @@ struct QarchServer::Impl {
         if (request.method != "POST")
           return error_body(405, "submit is POST-only");
         return handle_submit(*tenant, request);
+      }
+      if (request.path == "/v1/sample") {
+        if (request.method != "POST")
+          return error_body(405, "sample is POST-only");
+        return handle_sample(*tenant, request);
       }
       if (request.path.rfind("/v1/result/", 0) == 0) {
         if (request.method != "GET")

@@ -27,7 +27,14 @@
 // Protocol (full spec with examples in src/server/README.md):
 //
 //   POST /v1/submit            {graph|generator, mixer, p, budget?, engine?,
-//                               priority?, deadline_ms?}   -> 202 {ticket}
+//                               priority?, deadline_ms?, objective?,
+//                               cvar_alpha?, objective_shots?, hamiltonian?,
+//                               mis_penalty?, ising_coupling?, ising_field?}
+//                                                          -> 202 {ticket}
+//   POST /v1/sample            {graph|generator, mixer, p, theta, shots,
+//                               seed?, engine?, hamiltonian?, ...}
+//                                                          -> 200 {samples,
+//                                                              values, engine}
 //   GET  /v1/result/<ticket>?wait_ms=N                     -> 200 {status,...}
 //   POST /v1/cancel/<ticket>                               -> 200 {cancelled}
 //   GET  /v1/stats                                         -> 200 {...}
@@ -118,6 +125,7 @@ class QarchServer {
     std::size_t rate_limited = 0;    ///< 429: token bucket empty
     std::size_t quota_rejected = 0;  ///< 429: outstanding-ticket quota
     std::size_t submits = 0;         ///< tickets issued
+    std::size_t samples = 0;         ///< /v1/sample requests served
     std::size_t cancels = 0;         ///< cancel requests honoured
     std::size_t dropped = 0;         ///< connections dropped by fault
                                      ///< injection (QARCH_FAULT drop=)

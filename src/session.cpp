@@ -31,6 +31,8 @@ search::EvaluatorOptions SessionConfig::evaluator_options(
   opt.simplify_circuit = simplify_circuit;
   opt.shots = shots;
   opt.sample_trials = sample_trials;
+  opt.objective = objective;
+  opt.hamiltonian = hamiltonian;
   return opt;
 }
 

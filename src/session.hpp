@@ -67,6 +67,17 @@ struct SessionConfig {
   std::size_t shots = 128;           ///< samples per <C_max> batch
   std::size_t sample_trials = 8;     ///< batches averaged for <C_max>
 
+  // -- objective / Hamiltonian (src/query generalized objectives) ------------
+  /// Training objective: exact <C> (default), CVaR-α over sampled values, or
+  /// best-of-shots. Non-default objectives train on draws from a compiled
+  /// query::Sampler on the candidate's engine. Per-job overridable through
+  /// search::JobOptions::objective.
+  qaoa::ObjectiveSpec objective;
+  /// Cost Hamiltonian: MaxCut (default), MIS with quadratic penalty, or an
+  /// Ising objective. Per-job overridable through
+  /// search::JobOptions::hamiltonian.
+  qaoa::HamiltonianSpec hamiltonian;
+
   // -- evaluation-service caches ---------------------------------------------
   /// Capacity of the service's (graph, engine, budget) → Evaluator LRU.
   std::size_t evaluator_cache = 16;
@@ -95,6 +106,13 @@ struct SessionConfig {
   /// pays off even when every candidate is new. Empty disables persistence
   /// (in-process plan sharing stays on).
   std::string plan_cache_path;
+  /// When > 0 and `cache_path` is set, the service RE-READS the result
+  /// cache file at most every this-many seconds (checked at submit time)
+  /// and merges entries it does not already hold — cross-pollination
+  /// between concurrent processes sharing one cache file, without waiting
+  /// for either to restart. Entries this process already computed always
+  /// win over disk state. 0 keeps the constructor-only load.
+  double cache_refresh_seconds = 0.0;
 
   // -- robustness: preemption, checkpoints, retries --------------------------
   /// Preemption quantum for running evaluations, in service-clock seconds.

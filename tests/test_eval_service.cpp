@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -1150,6 +1151,126 @@ TEST(EvalService, RacedCancelExpiryCompletionResolvesEveryJobOnce) {
   EXPECT_EQ(stats.completed + stats.cancelled + stats.deadline_expired +
                 stats.failed,
             stats.cache_misses);
+}
+
+// ---------------------------------------------------------------------------
+// Generalized objectives / Hamiltonians through the service, and the timed
+// cache-refresh cross-pollination satellite.
+// ---------------------------------------------------------------------------
+
+TEST(EvalService, ObjectiveAndHamiltonianAreDistinctCacheKeys) {
+  const auto g = test_graph(211);
+  SessionConfig session = fast_session();
+  search::EvalService service(session);
+
+  // Default objective, CVaR objective, and a MIS Hamiltonian are three
+  // distinct candidates for the same (graph, mixer, p, budget).
+  auto base = service.submit(g, qaoa::MixerSpec::qnas(), 1);
+  const auto r_base = base.wait();
+
+  search::JobOptions cvar;
+  cvar.objective = qaoa::ObjectiveSpec{};
+  cvar.objective->kind = qaoa::ObjectiveKind::CVaR;
+  cvar.objective->alpha = 0.5;
+  auto cvar_ticket = service.submit(g, qaoa::MixerSpec::qnas(), 1, cvar);
+  const auto r_cvar = cvar_ticket.wait();
+  EXPECT_FALSE(cvar_ticket.cache_hit());
+
+  search::JobOptions mis;
+  mis.hamiltonian = qaoa::HamiltonianSpec{};
+  mis.hamiltonian->kind = qaoa::HamiltonianKind::MIS;
+  auto mis_ticket = service.submit(g, qaoa::MixerSpec::qnas(), 1, mis);
+  (void)mis_ticket.wait();
+  EXPECT_FALSE(mis_ticket.cache_hit());
+
+  // Resubmitting each spec hits its own cache entry.
+  auto cvar_again = service.submit(g, qaoa::MixerSpec::qnas(), 1, cvar);
+  const auto r_cvar2 = cvar_again.wait();
+  EXPECT_TRUE(cvar_again.cache_hit());
+  EXPECT_EQ(r_cvar.energy, r_cvar2.energy);
+  EXPECT_EQ(r_cvar.theta, r_cvar2.theta);
+
+  // An explicit default spec and an omitted spec are the SAME candidate
+  // (the key stays byte-identical to the pre-objective format).
+  search::JobOptions explicit_default;
+  explicit_default.objective = qaoa::ObjectiveSpec{};
+  explicit_default.hamiltonian = qaoa::HamiltonianSpec{};
+  auto dup = service.submit(g, qaoa::MixerSpec::qnas(), 1, explicit_default);
+  const auto r_dup = dup.wait();
+  EXPECT_TRUE(dup.cache_hit());
+  EXPECT_EQ(r_base.energy, r_dup.energy);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+}
+
+TEST(EvalService, ObjectiveTaggedEntriesSurvivePersistence) {
+  const std::string path = persist::temp_path("qarch_objective_cache.json");
+  std::remove(path.c_str());
+  const auto g = test_graph(223);
+  SessionConfig session = fast_session();
+  session.cache_path = path;
+
+  search::JobOptions cvar;
+  cvar.objective = qaoa::ObjectiveSpec{};
+  cvar.objective->kind = qaoa::ObjectiveKind::CVaR;
+
+  search::CandidateResult first;
+  {
+    search::EvalService cold(session);
+    first = cold.submit(g, qaoa::MixerSpec::qnas(), 1, cvar).wait();
+    // The default-objective candidate is a distinct entry.
+    (void)cold.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  }
+
+  search::EvalService warm(session);
+  EXPECT_EQ(warm.stats().cache_loaded, 2u);
+  auto hit = warm.submit(g, qaoa::MixerSpec::qnas(), 1, cvar);
+  const auto& r = hit.wait();
+  EXPECT_TRUE(hit.cache_hit());
+  EXPECT_EQ(r.energy, first.energy);
+  EXPECT_EQ(r.theta, first.theta);
+  EXPECT_EQ(warm.stats().completed, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(EvalService, TimedCacheRefreshCrossPollinates) {
+  const std::string path = persist::temp_path("qarch_cache_refresh.json");
+  std::remove(path.c_str());
+  const auto g = test_graph(227);
+  SessionConfig session = fast_session();
+  session.cache_path = path;
+
+  // The long-lived reader polls the shared file at most every 10 ms.
+  SessionConfig reader_session = session;
+  reader_session.cache_refresh_seconds = 0.01;
+  search::EvalService reader(reader_session);
+  EXPECT_EQ(reader.stats().cache_loaded, 0u);  // file did not exist yet
+
+  // A second process trains the candidate and persists on shutdown.
+  search::CandidateResult trained;
+  {
+    search::EvalService writer(session);
+    trained = writer.submit(g, qaoa::MixerSpec::qnas(), 1).wait();
+  }
+
+  // Past the refresh interval, the reader's next submit re-reads the file
+  // and serves the candidate from cache without training.
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  auto ticket = reader.submit(g, qaoa::MixerSpec::qnas(), 1);
+  const auto& r = ticket.wait();
+  EXPECT_TRUE(ticket.cache_hit());
+  EXPECT_EQ(r.energy, trained.energy);
+  EXPECT_EQ(r.theta, trained.theta);
+  const auto stats = reader.stats();
+  EXPECT_GE(stats.cache_refreshes, 1u);
+  EXPECT_EQ(stats.cache_loaded, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+
+  // cache_refresh_seconds = 0 (the default) never re-reads.
+  search::EvalService no_refresh(session);
+  std::remove(path.c_str());
 }
 
 TEST(GraphFingerprint, DistinguishesStructureNotIdentity) {

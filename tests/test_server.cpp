@@ -8,13 +8,20 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "circuit/optimizer.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
+#include "qaoa/ansatz.hpp"
+#include "qaoa/hamiltonian.hpp"
+#include "qaoa/objective.hpp"
+#include "query/sampler.hpp"
 #include "search/eval_service.hpp"
 #include "search/fault.hpp"
 #include "search/report_io.hpp"
@@ -305,6 +312,212 @@ TEST(QarchServer, WireResultMatchesDirectServiceBitForBit) {
   const auto cached = search::candidate_from_json(again.at("result"));
   EXPECT_EQ(cached.energy, expected.energy);
   EXPECT_EQ(cached.theta, expected.theta);
+}
+
+/// The sampler a /v1/sample request resolves to, built the same way the
+/// daemon builds it (ansatz simplification + engine-reconciled options), so
+/// wire draws can be compared bit-for-bit against direct ones.
+query::Sampler direct_sampler(const SessionConfig& session,
+                              const graph::Graph& g, const std::string& mixer,
+                              std::size_t p, qaoa::EngineKind engine) {
+  circuit::Circuit ansatz =
+      qaoa::build_qaoa_circuit(g, p, qaoa::MixerSpec::parse(mixer));
+  if (session.simplify_circuit) ansatz = circuit::optimize(ansatz);
+  const qaoa::EnergyOptions energy = session.energy_options(engine);
+  query::SamplerOptions so;
+  so.engine = engine == qaoa::EngineKind::Statevector
+                  ? query::SamplerEngine::Statevector
+                  : query::SamplerEngine::TensorNetwork;
+  so.query = query::query_options(energy.qtensor);
+  so.tn_backend = energy.qtensor.backend;
+  so.sv_plan = energy.sv_plan;
+  so.sv_workers = energy.inner_workers;
+  return query::Sampler(ansatz, so);
+}
+
+TEST(QarchServer, SampleOverTheWireMatchesDirectSampler) {
+  const auto g = test_graph(31);
+  ServerConfig config = base_config();
+  QarchServer server(config);
+  server.start();
+  QarchClient alice = make_client(server, "key-a");
+
+  const std::vector<double> theta = {0.4, -0.7};
+  const std::size_t shots = 48;
+  const std::uint64_t seed = 12345;
+
+  json::Value body = QarchClient::submit_body(g, "rx", 1);
+  json::Value theta_json = json::Value::array();
+  for (const double t : theta) theta_json.push_back(t);
+  body.set("theta", std::move(theta_json));
+  body.set("shots", shots);
+  body.set("seed", seed);
+
+  // Statevector daemon, both engines requestable per call: draws must match
+  // an identically configured direct sampler at the same seed bit-for-bit.
+  for (const std::string& engine : {std::string("sv"), std::string("tn")}) {
+    body.set("engine", engine);
+    const json::Value response =
+        alice.request("POST", "/v1/sample", body.dump());
+    EXPECT_EQ(response.at("engine").as_string(), engine);
+    ASSERT_EQ(response.at("samples").size(), shots);
+    ASSERT_EQ(response.at("values").size(), shots);
+
+    const query::Sampler sampler = direct_sampler(
+        config.session, g, "rx", 1,
+        engine == "sv" ? qaoa::EngineKind::Statevector
+                       : qaoa::EngineKind::TensorNetwork);
+    Rng rng(seed);
+    const std::vector<std::size_t> expected =
+        sampler.sample(theta, shots, rng);
+    const qaoa::Hamiltonian ham(g);
+    for (std::size_t i = 0; i < shots; ++i) {
+      EXPECT_EQ(
+          static_cast<std::size_t>(response.at("samples").at(i).as_number()),
+          expected[i]);
+      EXPECT_DOUBLE_EQ(response.at("values").at(i).as_number(),
+                       ham.classical_value_bits(expected[i]));
+    }
+  }
+
+  // A non-default Hamiltonian reprices the same draws.
+  body.set("engine", "sv");
+  body.set("hamiltonian", "mis");
+  body.set("mis_penalty", 2.5);
+  const json::Value mis_response =
+      alice.request("POST", "/v1/sample", body.dump());
+  const qaoa::Hamiltonian mis = qaoa::Hamiltonian::mis(g, 2.5);
+  const query::Sampler sampler = direct_sampler(
+      config.session, g, "rx", 1, qaoa::EngineKind::Statevector);
+  Rng rng(seed);
+  const auto expected = sampler.sample(theta, shots, rng);
+  for (std::size_t i = 0; i < shots; ++i)
+    EXPECT_DOUBLE_EQ(mis_response.at("values").at(i).as_number(),
+                     mis.classical_value_bits(expected[i]));
+
+  // The wire counter ticked once per sample request.
+  const json::Value stats = alice.stats();
+  EXPECT_EQ(stats.at("server").at("samples").as_number(), 3.0);
+}
+
+TEST(QarchServer, SampleRejectsMalformedRequests) {
+  QarchServer server(base_config());
+  server.start();
+  QarchClient alice = make_client(server, "key-a");
+
+  json::Value body = ring_body();
+  json::Value theta = json::Value::array();
+  theta.push_back(0.1);
+  theta.push_back(0.2);
+  body.set("theta", std::move(theta));
+  body.set("shots", 4);
+  EXPECT_EQ(api_status(alice, "POST", "/v1/sample", body.dump()), 200);
+  EXPECT_EQ(api_status(alice, "GET", "/v1/sample", ""), 405);
+
+  json::Value bad = json::parse(body.dump());
+  bad.set("budget", 10);  // a submit field, not a sample field
+  EXPECT_EQ(api_status(alice, "POST", "/v1/sample", bad.dump()), 400);
+
+  json::Value no_theta = ring_body();
+  no_theta.set("shots", 4);
+  EXPECT_EQ(api_status(alice, "POST", "/v1/sample", no_theta.dump()), 400);
+
+  json::Value short_theta = json::parse(body.dump());
+  json::Value one = json::Value::array();
+  one.push_back(0.1);
+  short_theta.set("theta", std::move(one));
+  EXPECT_EQ(api_status(alice, "POST", "/v1/sample", short_theta.dump()), 400);
+
+  json::Value no_shots = json::parse(body.dump());
+  no_shots.set("shots", 0);
+  EXPECT_EQ(api_status(alice, "POST", "/v1/sample", no_shots.dump()), 400);
+}
+
+TEST(QarchServer, ObjectiveSubmitMatchesDirectServiceBitForBit) {
+  const auto g = test_graph(37);
+  ServerConfig config = base_config();
+  QarchServer server(config);
+  server.start();
+  QarchClient alice = make_client(server, "key-a");
+
+  json::Value body = QarchClient::submit_body(g, "rx", 1);
+  body.set("objective", "cvar");
+  body.set("cvar_alpha", 0.5);
+  body.set("hamiltonian", "mis");
+  const search::CandidateResult wire = alice.evaluate(body);
+
+  search::EvalService direct(config.session);
+  search::JobOptions options;
+  options.objective = qaoa::ObjectiveSpec{};
+  options.objective->kind = qaoa::ObjectiveKind::CVaR;
+  options.objective->alpha = 0.5;
+  options.hamiltonian = qaoa::HamiltonianSpec{};
+  options.hamiltonian->kind = qaoa::HamiltonianKind::MIS;
+  const search::CandidateResult expected =
+      direct.submit(g, qaoa::MixerSpec::parse("rx"), 1, options).wait();
+  EXPECT_EQ(wire.energy, expected.energy);
+  EXPECT_EQ(wire.ratio, expected.ratio);
+  EXPECT_EQ(wire.sampled_ratio, expected.sampled_ratio);
+  EXPECT_EQ(wire.theta, expected.theta);
+
+  // The spec'd candidate and the default candidate are distinct wire
+  // submissions (no false cache hit between them).
+  const std::string default_ticket =
+      alice.submit(QarchClient::submit_body(g, "rx", 1));
+  const json::Value default_result = alice.result(default_ticket, 20000.0);
+  EXPECT_EQ(default_result.at("status").as_string(), "done");
+  EXPECT_FALSE(default_result.at("from_cache").as_bool());
+
+  // Unknown kinds and orphaned parameter fields are the client's fault.
+  json::Value bad = QarchClient::submit_body(g, "rx", 1);
+  bad.set("objective", "nope");
+  EXPECT_EQ(api_status(alice, "POST", "/v1/submit", bad.dump()), 400);
+  json::Value orphan = QarchClient::submit_body(g, "rx", 1);
+  orphan.set("cvar_alpha", 0.5);
+  EXPECT_EQ(api_status(alice, "POST", "/v1/submit", orphan.dump()), 400);
+  json::Value orphan_ham = QarchClient::submit_body(g, "rx", 1);
+  orphan_ham.set("mis_penalty", 2.0);
+  EXPECT_EQ(api_status(alice, "POST", "/v1/submit", orphan_ham.dump()), 400);
+}
+
+TEST(QarchClient, KeepAliveReusesOneConnectionAndSurvivesRestart) {
+  ServerConfig config = base_config();
+  std::optional<QarchServer> daemon;
+  daemon.emplace(config);
+  daemon->start();
+  const std::uint16_t port = daemon->port();
+
+  ClientOptions options;
+  options.port = port;
+  options.api_key = "key-a";
+  options.max_retries = 4;
+  options.retry_backoff_seconds = 0.01;
+  QarchClient client(options);
+
+  // Several sequential requests ride ONE connection.
+  (void)client.healthz();
+  (void)client.stats();
+  (void)client.submit(ring_body());
+  (void)client.stats();
+  EXPECT_EQ(client.connections_opened(), 1u);
+
+  // Restart the daemon on the same port: the cached socket goes stale. The
+  // next request recovers on a fresh connection (at most one extra for the
+  // dead-socket discovery) without surfacing an error.
+  daemon->stop();
+  daemon.reset();
+  config.port = port;
+  daemon.emplace(config);
+  daemon->start();
+  EXPECT_NO_THROW((void)client.stats());
+  EXPECT_GE(client.connections_opened(), 2u);
+  EXPECT_LE(client.connections_opened(), 3u);
+
+  // And stays on the new connection afterwards.
+  const std::size_t settled = client.connections_opened();
+  (void)client.healthz();
+  (void)client.stats();
+  EXPECT_EQ(client.connections_opened(), settled);
 }
 
 TEST(QarchServer, LongPollWaitsAndImmediatePollReportsPending) {
