@@ -1,0 +1,230 @@
+// Thread-safety annotations and the lock primitives built on them.
+//
+// This header is the ONLY place in the repo allowed to name the raw standard
+// primitives (`std::mutex`, `std::lock_guard`, `std::condition_variable`);
+// everything else uses `qarch::Mutex` / `qarch::LockGuard` /
+// `qarch::UniqueLock` / `qarch::CondVar` so that
+//
+//   1. Clang's `-Wthread-safety` analysis sees every acquire/release
+//      (libstdc++'s own lock types carry no annotations, so raw
+//      `std::lock_guard` is invisible to the analysis), and
+//   2. debug/sanitizer builds get the runtime lock-order checker in
+//      lock_order.hpp for free on every ranked mutex.
+//
+// `tools/qarch_lint.py` enforces the "no raw primitives" rule in CI.
+//
+// The macros follow the abseil `thread_annotation.h` naming and expand to
+// nothing on compilers without the attributes (GCC builds are unaffected).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/lock_order.hpp"
+
+#if defined(__clang__) && defined(__has_attribute)
+#define QARCH_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define QARCH_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+// On a class: instances are a lockable capability ("mutex").
+#define QARCH_CAPABILITY(x) QARCH_THREAD_ANNOTATION(capability(x))
+// On a class: RAII object that holds a capability for its lifetime.
+#define QARCH_SCOPED_CAPABILITY QARCH_THREAD_ANNOTATION(scoped_lockable)
+// On a member: reads/writes require the given capability to be held.
+#define QARCH_GUARDED_BY(x) QARCH_THREAD_ANNOTATION(guarded_by(x))
+// On a pointer member: the pointed-to data requires the capability.
+#define QARCH_PT_GUARDED_BY(x) QARCH_THREAD_ANNOTATION(pt_guarded_by(x))
+// On a function: caller must already hold the capability.
+#define QARCH_REQUIRES(...) \
+  QARCH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// On a function: acquires the capability (held on return).
+#define QARCH_ACQUIRE(...) \
+  QARCH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+// On a function: releases the capability (no longer held on return).
+#define QARCH_RELEASE(...) \
+  QARCH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// On a function: returns true iff the capability was acquired.
+#define QARCH_TRY_ACQUIRE(...) \
+  QARCH_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// On a function: caller must NOT hold the capability (deadlock guard).
+#define QARCH_EXCLUDES(...) QARCH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// On a function: promises (without proof) that the capability is held.
+// Used at aliasing sites the analysis cannot follow — see Mutex::assert_held.
+#define QARCH_ASSERT_CAPABILITY(x) \
+  QARCH_THREAD_ANNOTATION(assert_capability(x))
+// On a function: opt out of the analysis (constructors/destructors that
+// touch guarded members before/after any concurrency is possible).
+#define QARCH_NO_THREAD_SAFETY_ANALYSIS \
+  QARCH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace qarch {
+
+// Annotated mutex. Default-constructed mutexes behave exactly like
+// std::mutex; passing a rank (see lock_order.hpp for the repo's tiers) opts
+// the mutex into the runtime lock-order checker in debug/sanitizer builds.
+// In release builds the rank/name are discarded at construction and the type
+// is layout-identical to std::mutex — zero overhead, compile-time gated.
+class QARCH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+#if QARCH_LOCK_ORDER_CHECK
+  Mutex(int rank, const char* name) : rank_(rank), name_(name) {}
+#else
+  Mutex(int /*rank*/, const char* /*name*/) {}
+#endif
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QARCH_ACQUIRE() {
+#if QARCH_LOCK_ORDER_CHECK
+    lock_order::on_acquire(this, rank_, name_);
+#endif
+    m_.lock();
+  }
+
+  void unlock() QARCH_RELEASE() {
+    m_.unlock();
+#if QARCH_LOCK_ORDER_CHECK
+    lock_order::on_release(this);
+#endif
+  }
+
+  bool try_lock() QARCH_TRY_ACQUIRE(true) {
+    if (!m_.try_lock()) return false;
+#if QARCH_LOCK_ORDER_CHECK
+    // try_lock cannot deadlock, but a successful acquisition still
+    // participates in the held stack so later lock() calls are checked.
+    lock_order::on_acquire(this, rank_, name_);
+#endif
+    return true;
+  }
+
+  // Tell the static analysis this mutex is held when the proof is defeated
+  // by aliasing (e.g. `job->service->mutex` locked through another name for
+  // the same ServiceState). The claim is checked at runtime in debug builds.
+  void assert_held() QARCH_ASSERT_CAPABILITY(this) {
+#if QARCH_LOCK_ORDER_CHECK
+    lock_order::assert_held(this, name_);
+#endif
+  }
+
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+#if QARCH_LOCK_ORDER_CHECK
+  int rank_ = lock_order::kUnranked;
+  const char* name_ = nullptr;
+#endif
+};
+
+#if !QARCH_LOCK_ORDER_CHECK
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "release-mode Mutex must add nothing over std::mutex");
+#endif
+
+// Scoped lock, annotated. Equivalent to std::lock_guard<qarch::Mutex>.
+class QARCH_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) QARCH_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() QARCH_RELEASE() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+// Movable-state scoped lock supporting early unlock / re-lock, for
+// condition-variable waits and the unlock-call-relock pattern in the
+// service. Equivalent to std::unique_lock<qarch::Mutex>.
+class QARCH_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) QARCH_ACQUIRE(m) : m_(&m) {
+    m_->lock();
+    held_ = true;
+  }
+  ~UniqueLock() QARCH_RELEASE() {
+    if (held_) m_->unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() QARCH_ACQUIRE() {
+    m_->lock();
+    held_ = true;
+  }
+  void unlock() QARCH_RELEASE() {
+    held_ = false;
+    m_->unlock();
+  }
+  bool owns_lock() const { return held_; }
+  Mutex& mutex() { return *m_; }
+
+ private:
+  friend class CondVar;
+  Mutex* m_;
+  bool held_ = false;
+};
+
+// Condition variable working on qarch::Mutex via UniqueLock.
+//
+// No predicate overloads on purpose: `cv.wait(lock, [&]{ ...guarded... })`
+// puts guarded reads inside a lambda the thread-safety analysis treats as an
+// unannotated function, producing false positives. Call sites spell the loop
+//   while (!condition) cv.wait(lock);
+// so the guarded reads stay in the annotated scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(UniqueLock& lock) {
+#if QARCH_LOCK_ORDER_CHECK
+    // The wait releases and reacquires the mutex; mirror that in the
+    // checker's held stack so sibling threads' acquisitions are judged
+    // against the true held set.
+    const lock_order::HeldEntry popped = lock_order::on_release(lock.m_);
+#endif
+    std::unique_lock<std::mutex> native(lock.m_->native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+#if QARCH_LOCK_ORDER_CHECK
+    lock_order::on_acquire(lock.m_, popped.rank, popped.name);
+#endif
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+#if QARCH_LOCK_ORDER_CHECK
+    const lock_order::HeldEntry popped = lock_order::on_release(lock.m_);
+#endif
+    std::unique_lock<std::mutex> native(lock.m_->native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+#if QARCH_LOCK_ORDER_CHECK
+    lock_order::on_acquire(lock.m_, popped.rank, popped.name);
+#endif
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return wait_until(lock, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qarch

@@ -1,0 +1,129 @@
+// Runtime lock-order checker implementation. See lock_order.hpp for the
+// hierarchy and the two checks (rank + acquired-order graph).
+//
+// This file (with annotations.hpp) is the sanctioned home of the raw
+// standard primitives; the checker cannot be built on qarch::Mutex without
+// recursing into itself.
+#include "common/lock_order.hpp"
+
+#if QARCH_LOCK_ORDER_CHECK
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qarch {
+namespace lock_order {
+namespace {
+
+thread_local std::vector<HeldEntry> t_held;
+
+// Acquired-order digraph over tier names: edge u -> v means "a thread held
+// u while acquiring v". Guarded by g_graph_mutex. Names are interned via
+// std::string keys so the graph stays valid after a mutex is destroyed.
+std::mutex g_graph_mutex;
+std::map<std::string, std::set<std::string>>& graph() {
+  static auto* g = new std::map<std::string, std::set<std::string>>();
+  return *g;
+}
+
+// Requires g_graph_mutex. Depth-first reachability: is `to` reachable from
+// `from` along recorded acquired-before edges?
+bool reachable(const std::string& from, const std::string& to,
+               std::set<std::string>& seen) {
+  if (from == to) return true;
+  if (!seen.insert(from).second) return false;
+  auto it = graph().find(from);
+  if (it == graph().end()) return false;
+  for (const auto& next : it->second) {
+    if (reachable(next, to, seen)) return true;
+  }
+  return false;
+}
+
+[[noreturn]] void die(const char* kind, const HeldEntry& held, int rank,
+                      const char* name) {
+  std::fprintf(stderr,
+               "qarch: lock-order violation (%s): acquiring \"%s\" (rank %d) "
+               "while holding \"%s\" (rank %d)\n",
+               kind, name ? name : "?", rank, held.name ? held.name : "?",
+               held.rank);
+  std::fprintf(stderr, "qarch: held-lock stack (outermost first):\n");
+  for (const auto& e : t_held) {
+    std::fprintf(stderr, "qarch:   \"%s\" (rank %d)\n",
+                 e.name ? e.name : "?", e.rank);
+  }
+  std::fprintf(stderr,
+               "qarch: see src/common/lock_order.hpp for the hierarchy\n");
+  std::abort();
+}
+
+}  // namespace
+
+void on_acquire(const void* mutex, int rank, const char* name) {
+  if (rank == kUnranked) return;
+  for (const HeldEntry& held : t_held) {
+    if (held.mutex == mutex) {
+      std::fprintf(stderr,
+                   "qarch: recursive acquisition of \"%s\" (rank %d)\n",
+                   name ? name : "?", rank);
+      std::abort();
+    }
+    if (rank < held.rank) die("rank inversion", held, rank, name);
+  }
+  // Record (held -> acquired) edges and reject any that closes a cycle.
+  // The rank check above already orders cross-tier pairs, so cycles can
+  // only arise between equal-rank tiers — but recording every edge keeps
+  // the graph a complete audit trail of observed orders.
+  if (!t_held.empty() && name != nullptr) {
+    std::lock_guard<std::mutex> g(g_graph_mutex);
+    for (const HeldEntry& held : t_held) {
+      if (held.name == nullptr || std::string(held.name) == name) continue;
+      std::set<std::string> seen;
+      if (reachable(name, held.name, seen)) {
+        std::fprintf(stderr,
+                     "qarch: previously observed order: \"%s\" before "
+                     "\"%s\"\n",
+                     name, held.name);
+        die("order-graph cycle", held, rank, name);
+      }
+      graph()[held.name].insert(name);
+    }
+  }
+  t_held.push_back(HeldEntry{mutex, rank, name});
+}
+
+HeldEntry on_release(const void* mutex) {
+  // Locks are almost always released innermost-first, but UniqueLock's
+  // early-unlock makes out-of-order release legal; erase wherever it sits.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      HeldEntry popped = *it;
+      t_held.erase(std::next(it).base());
+      return popped;
+    }
+  }
+  return HeldEntry{};
+}
+
+void assert_held(const void* mutex, const char* name) {
+  for (const HeldEntry& e : t_held) {
+    if (e.mutex == mutex) return;
+  }
+  std::fprintf(stderr,
+               "qarch: assert_held(\"%s\") failed: mutex is not on this "
+               "thread's held stack\n",
+               name ? name : "?");
+  std::abort();
+}
+
+int held_count() { return static_cast<int>(t_held.size()); }
+
+}  // namespace lock_order
+}  // namespace qarch
+
+#endif  // QARCH_LOCK_ORDER_CHECK

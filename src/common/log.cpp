@@ -7,13 +7,17 @@
 #include <ctime>
 #include <mutex>
 
+#include "common/annotations.hpp"
+
 namespace qarch::log {
 
 namespace {
 
 std::atomic<Level> g_level{Level::Info};
 std::once_flag g_env_once;
-std::mutex g_write_mutex;
+// Innermost tier: log lines are emitted while holding service.io on
+// checkpoint/cache persist errors (see lock_order.hpp).
+Mutex g_write_mutex{90, "log.write"};
 
 void init_from_env() {
   const char* env = std::getenv("QARCH_LOG");
@@ -46,7 +50,7 @@ Level level() {
 }
 
 void write(Level level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  LockGuard lock(g_write_mutex);
   std::fprintf(stderr, "[qarch %s] %s\n", level_name(level), message.c_str());
 }
 

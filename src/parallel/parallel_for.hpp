@@ -10,10 +10,12 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "parallel/thread.hpp"
 
 namespace qarch::parallel {
 
@@ -39,7 +41,10 @@ inline void parallel_for(std::size_t begin, std::size_t end,
   }
 
   std::atomic<std::size_t> next{begin};
-  std::mutex err_mutex;
+  // Leaf-tier lock (see lock_order.hpp): bodies may hold cache/scratch
+  // locks when they throw, but those are released by unwinding before the
+  // catch block runs.
+  Mutex err_mutex{85, "parallel.errors"};
   std::exception_ptr first_error;
 
   auto run = [&] {
@@ -50,14 +55,14 @@ inline void parallel_for(std::size_t begin, std::size_t end,
       try {
         for (std::size_t i = lo; i < hi; ++i) body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mutex);
+        LockGuard lock(err_mutex);
         if (!first_error) first_error = std::current_exception();
         return;
       }
     }
   };
 
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
   threads.reserve(workers - 1);
   for (std::size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(run);
   run();

@@ -4,6 +4,11 @@
 // `multiprocessing.Pool.starmap_async`. `TaskPool::starmap_async` reproduces
 // that contract: submit fn over a vector of argument tuples, obtain a handle,
 // and collect ordered results later. Built on ThreadPool.
+//
+// Thread safety: TaskPool owns no locks of its own — all synchronization
+// lives in ThreadPool (annotated `qarch::Mutex`, tier `pool.queue` in
+// common/lock_order.hpp) and in the std::future handshake. MapResult is
+// thread-compatible: one owner collects results.
 #pragma once
 
 #include <future>

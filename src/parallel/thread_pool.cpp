@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <thread>
 
 namespace qarch::parallel {
 
@@ -14,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -22,16 +23,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  UniqueLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.wait(lock);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (stop_ && queue_.empty()) return;
       // priority_queue::top() is const; moving out right before pop() is
       // safe (the element is discarded either way).
@@ -41,7 +42,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }

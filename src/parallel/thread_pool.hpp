@@ -7,15 +7,15 @@
 // from 8 to 64 regardless of the physical core count.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
-#include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "parallel/thread.hpp"
 
 namespace qarch::parallel {
 
@@ -46,7 +46,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       queue_.push(Task{priority, next_seq_++, [task] { (*task)(); }});
     }
     cv_.notify_one();
@@ -54,7 +54,7 @@ class ThreadPool {
   }
 
   /// Blocks until the queue is empty and all in-flight tasks finished.
-  void wait_idle();
+  void wait_idle() QARCH_EXCLUDES(mutex_);
 
  private:
   /// One queued task: priority beats sequence; sequence restores FIFO among
@@ -71,16 +71,17 @@ class ThreadPool {
     }
   };
 
-  void worker_loop();
+  void worker_loop() QARCH_EXCLUDES(mutex_);
 
-  std::vector<std::thread> threads_;
-  std::priority_queue<Task, std::vector<Task>, TaskOrder> queue_;
-  std::uint64_t next_seq_ = 0;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  std::vector<Thread> threads_;
+  Mutex mutex_{70, "pool.queue"};
+  std::priority_queue<Task, std::vector<Task>, TaskOrder> queue_
+      QARCH_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ QARCH_GUARDED_BY(mutex_) = 0;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::size_t active_ QARCH_GUARDED_BY(mutex_) = 0;
+  bool stop_ QARCH_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace qarch::parallel

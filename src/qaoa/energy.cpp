@@ -3,12 +3,12 @@
 #include <cmath>
 #include <cstring>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "parallel/parallel_for.hpp"
 #include "qtensor/ordering.hpp"
@@ -360,9 +360,11 @@ std::string circuit_fingerprint(const circuit::Circuit& c) {
 /// LRU map fingerprint → shared plan. Locked only in plan_for(), i.e. once
 /// per (candidate, training run) — never per energy(theta) call.
 struct EnergyEvaluator::PlanCache {
-  std::mutex mutex;
-  std::list<std::pair<std::string, std::shared_ptr<const EnergyPlan>>> order;
-  std::unordered_map<std::string, decltype(order)::iterator> by_key;
+  Mutex mutex{50, "cache.energyplans"};
+  std::list<std::pair<std::string, std::shared_ptr<const EnergyPlan>>> order
+      QARCH_GUARDED_BY(mutex);
+  std::unordered_map<std::string, decltype(order)::iterator> by_key
+      QARCH_GUARDED_BY(mutex);
 };
 
 EnergyEvaluator::EnergyEvaluator(const graph::Graph& g, EnergyOptions options)
@@ -389,7 +391,7 @@ std::shared_ptr<const EnergyPlan> EnergyEvaluator::plan_for(
   if (options_.plan_cache_capacity == 0) return make_plan(ansatz);
   const std::string key = circuit_fingerprint(ansatz);
   {
-    std::lock_guard<std::mutex> lock(cache_->mutex);
+    LockGuard lock(cache_->mutex);
     const auto it = cache_->by_key.find(key);
     if (it != cache_->by_key.end()) {
       cache_->order.splice(cache_->order.begin(), cache_->order, it->second);
@@ -400,7 +402,7 @@ std::shared_ptr<const EnergyPlan> EnergyEvaluator::plan_for(
   // other's compilations; a racing duplicate is possible but harmless (one
   // of the two plans simply wins the cache slot).
   std::shared_ptr<const EnergyPlan> plan = make_plan(ansatz);
-  std::lock_guard<std::mutex> lock(cache_->mutex);
+  LockGuard lock(cache_->mutex);
   const auto it = cache_->by_key.find(key);
   if (it != cache_->by_key.end()) return it->second->second;
   cache_->order.emplace_front(key, plan);

@@ -11,19 +11,19 @@ std::string PlanCache::map_key(const std::string& shape_key,
 
 std::optional<CachedPlan> PlanCache::find(const std::string& shape_key,
                                           std::uint64_t structure_hash) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = plans_.find(map_key(shape_key, structure_hash));
   if (it == plans_.end()) return std::nullopt;
   return it->second;
 }
 
 void PlanCache::insert(CachedPlan plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   plans_[map_key(plan.shape_key, plan.structure_hash)] = std::move(plan);
 }
 
 void PlanCache::merge(std::vector<CachedPlan> plans) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (CachedPlan& p : plans) {
     const std::string key = map_key(p.shape_key, p.structure_hash);
     plans_.emplace(key, std::move(p));  // keep the in-memory entry on clash
@@ -33,7 +33,7 @@ void PlanCache::merge(std::vector<CachedPlan> plans) {
 std::vector<CachedPlan> PlanCache::snapshot() const {
   std::vector<CachedPlan> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     out.reserve(plans_.size());
     for (const auto& [key, plan] : plans_) out.push_back(plan);
   }
@@ -46,7 +46,7 @@ std::vector<CachedPlan> PlanCache::snapshot() const {
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return plans_.size();
 }
 

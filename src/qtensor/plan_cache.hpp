@@ -19,12 +19,12 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "qtensor/network.hpp"
 #include "qtensor/planner.hpp"
 
@@ -62,8 +62,8 @@ class PlanCache {
  private:
   static std::string map_key(const std::string& shape_key,
                              std::uint64_t structure_hash);
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, CachedPlan> plans_;
+  mutable Mutex mutex_{52, "cache.orders"};
+  std::unordered_map<std::string, CachedPlan> plans_ QARCH_GUARDED_BY(mutex_);
 };
 
 }  // namespace qarch::qtensor

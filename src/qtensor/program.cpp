@@ -49,7 +49,7 @@ struct ContractionProgram::ScratchLease {
   ScratchLease(const ScratchLease&) = delete;
   ~ScratchLease() {
     if (scratch == nullptr) return;
-    std::lock_guard<std::mutex> lock(program->pool_mutex_);
+    LockGuard lock(program->pool_mutex_);
     program->pool_.push_back(std::move(scratch));
   }
 };
@@ -279,7 +279,7 @@ cplx ContractionProgram::run_schedule(Scratch& s,
 
 ContractionProgram::ScratchLease ContractionProgram::lease() const {
   {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    LockGuard lock(pool_mutex_);
     if (!pool_.empty()) {
       std::unique_ptr<Scratch> s = std::move(pool_.back());
       pool_.pop_back();

@@ -25,12 +25,12 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "common/annotations.hpp"
 #include "qtensor/backend.hpp"
 #include "qtensor/network.hpp"
 #include "qtensor/plan_cache.hpp"
@@ -144,8 +144,9 @@ class ContractionProgram {
   std::size_t num_slots_ = 0;
   ProgramStats stats_;
 
-  mutable std::mutex pool_mutex_;
-  mutable std::vector<std::unique_ptr<Scratch>> pool_;
+  mutable Mutex pool_mutex_{60, "cache.scratch"};
+  mutable std::vector<std::unique_ptr<Scratch>> pool_
+      QARCH_GUARDED_BY(pool_mutex_);
 };
 
 }  // namespace qarch::qtensor

@@ -59,7 +59,7 @@ struct QueryProgram::ScratchLease {
   ScratchLease(const ScratchLease&) = delete;
   ~ScratchLease() {
     if (scratch == nullptr) return;
-    std::lock_guard<std::mutex> lock(program->pool_mutex_);
+    LockGuard lock(program->pool_mutex_);
     program->pool_.push_back(std::move(scratch));
   }
 };
@@ -212,7 +212,7 @@ void QueryProgram::init_scratch(Scratch& s) const {
 
 QueryProgram::ScratchLease QueryProgram::lease() const {
   {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    LockGuard lock(pool_mutex_);
     if (!pool_.empty()) {
       std::unique_ptr<Scratch> s = std::move(pool_.back());
       pool_.pop_back();

@@ -32,12 +32,12 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "common/annotations.hpp"
 #include "qtensor/backend.hpp"
 #include "qtensor/contraction.hpp"
 #include "qtensor/network.hpp"
@@ -141,8 +141,9 @@ class QueryProgram {
   std::size_t num_slots_ = 0;
   QueryStats stats_;
 
-  mutable std::mutex pool_mutex_;
-  mutable std::vector<std::unique_ptr<Scratch>> pool_;
+  mutable Mutex pool_mutex_{60, "cache.scratch"};
+  mutable std::vector<std::unique_ptr<Scratch>> pool_
+      QARCH_GUARDED_BY(pool_mutex_);
 };
 
 /// A single amplitude <bits|U|+>^n, compiled once and replayable for any

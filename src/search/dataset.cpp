@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
-#include <thread>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "parallel/thread.hpp"
 #include "search/eval_service.hpp"
 
 namespace qarch::search {
@@ -62,9 +62,9 @@ DatasetReport search_dataset(const std::vector<graph::Graph>& graphs,
     // exists for — NOT a second worker pool: clients mostly block in
     // collect()).
     std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
+    Mutex error_mutex{85, "parallel.errors"};
     std::exception_ptr first_error;
-    std::vector<std::thread> threads;
+    std::vector<parallel::Thread> threads;
     threads.reserve(clients);
     for (std::size_t c = 0; c < clients; ++c) {
       threads.emplace_back([&] {
@@ -75,14 +75,14 @@ DatasetReport search_dataset(const std::vector<graph::Graph>& graphs,
             report.per_graph[i] = engine.run_exhaustive(
                 service, graphs[i], config.k_max, config.mode);
           } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
+            LockGuard lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
             return;
           }
         }
       });
     }
-    for (std::thread& t : threads) t.join();
+    for (parallel::Thread& t : threads) t.join();
     if (first_error) std::rethrow_exception(first_error);
   }
 

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <iterator>
 #include <list>
 #include <map>
@@ -14,6 +13,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "optim/optimizer.hpp"
@@ -68,7 +68,9 @@ struct EvalJob {
   double retry_backoff = 0.05;    ///< base of the exponential backoff
 
   // Scheduler coordinates, fixed when the job is published (guarded by the
-  // SERVICE mutex like the queues they index into).
+  // SERVICE mutex like the queues they index into — a cross-object guard the
+  // static analysis cannot express, so these carry no QARCH_GUARDED_BY; the
+  // runtime lock-order checker and the TSan CI leg cover them).
   std::size_t client_id = 0;  ///< fair-share queue this job sits in
   int priority = 0;           ///< intra-client ordering (higher first)
   std::uint64_t seq = 0;      ///< FIFO tiebreak among equal priorities
@@ -83,16 +85,21 @@ struct EvalJob {
   std::string checkpoint_engine;  ///< engine that produced it ("sv" / "tn")
   std::shared_ptr<JobToken> token;  ///< live while a slice is running
 
-  // Guarded by `mutex`.
-  std::mutex mutex;
-  std::condition_variable cv;
-  Status status = Status::Queued;
-  std::size_t waiters = 1;    ///< live (un-cancelled) tickets attached
-  CandidateResult result;
-  std::string error;
+  // Guarded by `mutex` (tier service.job, rank 40 — see
+  // common/lock_order.hpp; the only nesting with the service mutex is
+  // service.state -> service.job, e.g. submit()'s done-cache path).
+  Mutex mutex{40, "service.job"};
+  CondVar cv;
+  Status status QARCH_GUARDED_BY(mutex) = Status::Queued;
+  std::size_t waiters QARCH_GUARDED_BY(mutex) = 1;  ///< live tickets attached
+  CandidateResult result QARCH_GUARDED_BY(mutex);
+  std::string error QARCH_GUARDED_BY(mutex);
+  // Timing marks: submitted_at is set before publication and immutable
+  // afterwards; started_at is written once by the dispatching worker and read
+  // only by that worker while the job runs.
   double submitted_at = 0.0;  ///< service-clock seconds
   double started_at = 0.0;
-  double finished_at = 0.0;
+  double finished_at QARCH_GUARDED_BY(mutex) = 0.0;
 };
 
 /// Per-submission view of a job: cancellation is a property of the TICKET
@@ -120,7 +127,7 @@ struct ServiceState {
   /// Serializes checkpoint/cache file writes so a slower older snapshot can
   /// never overwrite a newer one. Taken BEFORE `mutex` (writers snapshot
   /// under `mutex` while holding this); never taken while holding `mutex`.
-  std::mutex io_mutex;
+  Mutex io_mutex{20, "service.io"};
 
   // Shared store of planned contraction orders, injected into every
   // evaluator this service builds (all tensor-network programs of all
@@ -130,8 +137,8 @@ struct ServiceState {
   std::shared_ptr<qtensor::PlanCache> plan_cache =
       std::make_shared<qtensor::PlanCache>();
 
-  std::mutex mutex;  // guards everything below
-  EvalService::Stats stats;
+  Mutex mutex{30, "service.state"};  // guards everything below
+  EvalService::Stats stats QARCH_GUARDED_BY(mutex);
   // Result cache: key → result + provenance, LRU-bounded by
   // config.result_cache. graph_fp / training_evals / engine ride along so
   // entries can be persisted without re-parsing the composite key.
@@ -143,27 +150,30 @@ struct ServiceState {
     std::string objective;    ///< ObjectiveSpec::tag(), "" = default
     std::string hamiltonian;  ///< HamiltonianSpec::tag(), "" = default
   };
-  std::list<std::pair<std::string, CachedResult>> done_order;
-  std::unordered_map<std::string,
-                     decltype(done_order)::iterator> done_by_key;
+  std::list<std::pair<std::string, CachedResult>> done_order
+      QARCH_GUARDED_BY(mutex);
+  std::unordered_map<std::string, decltype(done_order)::iterator> done_by_key
+      QARCH_GUARDED_BY(mutex);
   // Persisted entries this service cannot hold in done_order — another
   // engine's results (backend gate), over-capacity leftovers, LRU
   // evictions. Carried so a cache_write shutdown rewrites the WHOLE file
   // instead of destroying warm starts other runs rely on. Deduplicated on
   // insert by (candidate key, engine), so memory tracks the number of
   // DISTINCT persisted candidates, not the eviction churn.
-  std::vector<CacheEntry> foreign_entries;
-  std::unordered_map<std::string, std::size_t> foreign_by_identity;
+  std::vector<CacheEntry> foreign_entries QARCH_GUARDED_BY(mutex);
+  std::unordered_map<std::string, std::size_t> foreign_by_identity
+      QARCH_GUARDED_BY(mutex);
   // Stash bound for NEW entries added by LRU eviction: what the file held
   // at load (foreign_floor) plus one result_cache's worth of extras. Keeps
   // rewrite durability for everything that was on disk while capping a long
   // run's memory at O(file + 2 × result_cache) instead of O(evictions).
-  std::size_t foreign_floor = 0;
+  std::size_t foreign_floor QARCH_GUARDED_BY(mutex) = 0;
   /// Service-clock time of the last cache_refresh_seconds file re-read
   /// (submit-time cross-pollination between processes sharing cache_path).
-  double last_cache_refresh = 0.0;
+  double last_cache_refresh QARCH_GUARDED_BY(mutex) = 0.0;
   // In-flight dedup: key → queued/running job.
-  std::unordered_map<std::string, std::weak_ptr<EvalJob>> inflight;
+  std::unordered_map<std::string, std::weak_ptr<EvalJob>> inflight
+      QARCH_GUARDED_BY(mutex);
   // -- fair-share scheduler --------------------------------------------------
   // Every published job waits in its client's queue; pool workers run
   // generic drainer tasks that pick the next job by deficit-weighted round
@@ -177,11 +187,14 @@ struct ServiceState {
     // (−priority, seq) → job: pop order is priority desc, FIFO among equals.
     std::map<std::pair<int, std::uint64_t>, std::shared_ptr<EvalJob>> jobs;
   };
-  std::unordered_map<std::size_t, ClientQueue> clients;
-  std::vector<std::size_t> rr_order;  ///< ids with non-empty queues
-  std::size_t rr_cursor = 0;          ///< round-robin position in rr_order
-  bool rr_granted = false;  ///< cursor's queue already drew this visit's quantum
-  std::uint64_t next_seq = 0;
+  std::unordered_map<std::size_t, ClientQueue> clients
+      QARCH_GUARDED_BY(mutex);
+  std::vector<std::size_t> rr_order
+      QARCH_GUARDED_BY(mutex);  ///< ids with non-empty queues
+  std::size_t rr_cursor QARCH_GUARDED_BY(mutex) = 0;  ///< rr_order position
+  bool rr_granted QARCH_GUARDED_BY(mutex) =
+      false;  ///< cursor's queue already drew this visit's quantum
+  std::uint64_t next_seq QARCH_GUARDED_BY(mutex) = 0;
   // -- preemption / retry / checkpoint state ---------------------------------
   /// Jobs rescheduled with a retry backoff: runnable once now() passes
   /// not_before. pop_next promotes due entries into the fair-share queues
@@ -191,18 +204,18 @@ struct ServiceState {
     double not_before = 0.0;
     std::shared_ptr<EvalJob> job;
   };
-  std::vector<DelayedJob> delayed;
-  std::condition_variable sched_cv;  ///< wakes backoff sleepers (new work,
-                                     ///< drain, shutdown)
+  std::vector<DelayedJob> delayed QARCH_GUARDED_BY(mutex);
+  CondVar sched_cv;  ///< wakes backoff sleepers (new work, drain, shutdown)
   /// Jobs with a slice currently on a worker; drain() waits on drain_cv for
   /// this to empty.
-  std::unordered_set<EvalJob*> running;
-  std::condition_variable drain_cv;
+  std::unordered_set<EvalJob*> running QARCH_GUARDED_BY(mutex);
+  CondVar drain_cv;
   /// In-flight training checkpoints by result key: captured at every park /
   /// cadence checkpoint, erased on completion or terminal failure, persisted
   /// to config.checkpoint_path, and consulted by submit() so a resubmitted
   /// candidate (same process or a restarted one) resumes mid-training.
-  std::unordered_map<std::string, TrainingCheckpoint> checkpoints;
+  std::unordered_map<std::string, TrainingCheckpoint> checkpoints
+      QARCH_GUARDED_BY(mutex);
   // Evaluator LRU: (graph fp, engine, budget) → construction slot. The slot
   // indirection lets workers build evaluators OUTSIDE this mutex (an
   // Evaluator constructor runs the exponential maxcut_exact solver) while
@@ -213,9 +226,9 @@ struct ServiceState {
     std::shared_ptr<const Evaluator> evaluator;
   };
   std::list<std::pair<std::string, std::shared_ptr<EvaluatorSlot>>>
-      eval_order;
-  std::unordered_map<std::string,
-                     decltype(eval_order)::iterator> eval_by_key;
+      eval_order QARCH_GUARDED_BY(mutex);
+  std::unordered_map<std::string, decltype(eval_order)::iterator> eval_by_key
+      QARCH_GUARDED_BY(mutex);
 
   [[nodiscard]] double now() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -283,7 +296,7 @@ class JobToken final : public optim::PreemptToken {
         // Park only when some OTHER client has queued work: preempting for
         // the job's own queue would just thrash (DWRR already ordered it),
         // and an uncontended service runs every job straight through.
-        std::lock_guard<std::mutex> lock(state_->mutex);
+        LockGuard lock(state_->mutex);
         for (const std::size_t id : state_->rr_order)
           if (id != job_->client_id) {
             contended = true;
@@ -358,7 +371,8 @@ std::string cache_identity(const CacheEntry& e) {
 /// entries the in-memory cache cannot hold but the next rewrite must keep.
 /// Deduplicated by identity so eviction churn cannot grow it. Requires
 /// state.mutex held.
-void stash_foreign(ServiceState& state, CacheEntry entry) {
+void stash_foreign(ServiceState& state, CacheEntry entry)
+    QARCH_REQUIRES(state.mutex) {
   const std::string id = cache_identity(entry);
   if (const auto it = state.foreign_by_identity.find(id);
       it != state.foreign_by_identity.end()) {
@@ -386,7 +400,7 @@ std::shared_ptr<const Evaluator> evaluator_for(
       std::to_string(training_evals) + spec_suffix(objective, hamiltonian);
   std::shared_ptr<ServiceState::EvaluatorSlot> slot;
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    LockGuard lock(state.mutex);
     if (const auto it = state.eval_by_key.find(key);
         it != state.eval_by_key.end()) {
       state.eval_order.splice(state.eval_order.begin(), state.eval_order,
@@ -418,7 +432,7 @@ std::shared_ptr<const Evaluator> evaluator_for(
     built = true;
   });
   if (built) {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    LockGuard lock(state.mutex);
     ++state.stats.evaluators_built;
   }
   return slot->evaluator;
@@ -427,7 +441,8 @@ std::shared_ptr<const Evaluator> evaluator_for(
 /// Removes `id` from the round-robin rotation (its queue just drained) and
 /// reclaims the queue entirely when its handle was already destroyed.
 /// Requires state.mutex held.
-void deactivate_client(ServiceState& state, std::size_t id) {
+void deactivate_client(ServiceState& state, std::size_t id)
+    QARCH_REQUIRES(state.mutex) {
   const auto pos =
       std::find(state.rr_order.begin(), state.rr_order.end(), id);
   if (pos != state.rr_order.end()) {
@@ -450,7 +465,8 @@ void deactivate_client(ServiceState& state, std::size_t id) {
 
 /// Inserts a published job into its client's fair-share queue. Requires
 /// state.mutex held; the caller resolved client_id/priority/seq already.
-void enqueue_job(ServiceState& state, const std::shared_ptr<EvalJob>& job) {
+void enqueue_job(ServiceState& state, const std::shared_ptr<EvalJob>& job)
+    QARCH_REQUIRES(state.mutex) {
   ServiceState::ClientQueue& queue = state.clients[job->client_id];
   const bool was_empty = queue.jobs.empty();
   queue.jobs.emplace(std::make_pair(-job->priority, job->seq), job);
@@ -497,12 +513,13 @@ TrainingCheckpoint checkpoint_record(const EvalJob& job,
 /// logged, not thrown — the in-memory checkpoint still resumes within this
 /// process. io_mutex serializes writers so an older snapshot can never land
 /// on top of a newer one.
-void persist_checkpoints(ServiceState& state) {
+void persist_checkpoints(ServiceState& state)
+    QARCH_EXCLUDES(state.io_mutex, state.mutex) {
   if (state.config.checkpoint_path.empty()) return;
-  std::lock_guard<std::mutex> io(state.io_mutex);
+  LockGuard io(state.io_mutex);
   std::vector<TrainingCheckpoint> entries;
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    LockGuard lock(state.mutex);
     entries.reserve(state.checkpoints.size());
     for (const auto& [key, ck] : state.checkpoints) entries.push_back(ck);
   }
@@ -524,8 +541,9 @@ void persist_checkpoints(ServiceState& state) {
 /// Returns nullptr when nothing is left to serve — surplus drainers (their
 /// job was cancelled, or served by the result cache on resubmission) just
 /// retire — or when drain() stopped dispatch.
-std::shared_ptr<EvalJob> pop_next(ServiceState& state) {
-  std::unique_lock<std::mutex> lock(state.mutex);
+std::shared_ptr<EvalJob> pop_next(ServiceState& state)
+    QARCH_EXCLUDES(state.mutex) {
+  UniqueLock lock(state.mutex);
   for (;;) {
     if (state.draining.load() && !state.stopping.load()) return nullptr;
     const double now = state.now();
@@ -577,9 +595,11 @@ std::shared_ptr<EvalJob> pop_next(ServiceState& state) {
   }
 }
 
-void finish_cancelled(ServiceState& state, const std::shared_ptr<EvalJob>& job) {
+void finish_cancelled(ServiceState& state,
+                      const std::shared_ptr<EvalJob>& job)
+    QARCH_EXCLUDES(state.mutex) {
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    LockGuard lock(state.mutex);
     // Erase by identity, not by key: a duplicate resubmission may already
     // have replaced this key's in-flight entry with a fresh job.
     const auto it = state.inflight.find(job->key);
@@ -601,9 +621,11 @@ void finish_cancelled(ServiceState& state, const std::shared_ptr<EvalJob>& job) 
 /// Status::Expired (and finished_at) under the JOB mutex; this mirrors
 /// finish_cancelled — inflight/queue withdrawal — plus the checkpoint record
 /// is dropped: past its deadline the partial training is dead weight.
-void finish_expired(ServiceState& state, const std::shared_ptr<EvalJob>& job) {
+void finish_expired(ServiceState& state,
+                    const std::shared_ptr<EvalJob>& job)
+    QARCH_EXCLUDES(state.mutex) {
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    LockGuard lock(state.mutex);
     const auto it = state.inflight.find(job->key);
     if (it != state.inflight.end() && it->second.lock() == job)
       state.inflight.erase(it);
@@ -621,8 +643,9 @@ void finish_expired(ServiceState& state, const std::shared_ptr<EvalJob>& job) {
 /// Snapshot-and-write of the plan and result caches: the body of
 /// EvalService::save_cache, shared with the completion-time durability flush
 /// in run_job. io_mutex serializes writers (see persist_checkpoints).
-std::size_t persist_caches(ServiceState& state) {
-  std::lock_guard<std::mutex> io(state.io_mutex);
+std::size_t persist_caches(ServiceState& state)
+    QARCH_EXCLUDES(state.io_mutex, state.mutex) {
+  LockGuard io(state.io_mutex);
   // Plan cache first: cheap, and useful even when result persistence is off.
   if (!state.config.plan_cache_path.empty())
     save_plan_cache(state.plan_cache->snapshot(), state.config.plan_cache_path,
@@ -631,7 +654,7 @@ std::size_t persist_caches(ServiceState& state) {
     return 0;
   std::vector<CacheEntry> entries;
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    LockGuard lock(state.mutex);
     entries.reserve(state.done_order.size() + state.foreign_entries.size());
     std::set<std::string> seen;
     // done_order is most-recently-used first; persist in that order so a
@@ -664,12 +687,12 @@ std::size_t persist_caches(ServiceState& state) {
 /// when the interval elapsed, in which case THIS caller claims the refresh
 /// (the timestamp advances under the mutex, so concurrent submitters do the
 /// file IO at most once per interval).
-bool cache_refresh_due(ServiceState& state) {
+bool cache_refresh_due(ServiceState& state) QARCH_EXCLUDES(state.mutex) {
   if (state.config.cache_refresh_seconds <= 0.0 ||
       state.config.cache_path.empty() || state.config.result_cache == 0)
     return false;
   const double now = state.now();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  LockGuard lock(state.mutex);
   if (now - state.last_cache_refresh < state.config.cache_refresh_seconds)
     return false;
   state.last_cache_refresh = now;
@@ -685,13 +708,14 @@ bool cache_refresh_due(ServiceState& state) {
 /// disk state. File IO runs under io_mutex only; the service mutex is taken
 /// afterwards for the merge (io_mutex-before-mutex, never nested the other
 /// way).
-void refresh_result_cache(ServiceState& state) {
+void refresh_result_cache(ServiceState& state)
+    QARCH_EXCLUDES(state.io_mutex, state.mutex) {
   std::vector<CacheEntry> entries;
   {
-    std::lock_guard<std::mutex> io(state.io_mutex);
+    LockGuard io(state.io_mutex);
     entries = load_result_cache(state.config.cache_path, kCacheCodeVersion);
   }
-  std::lock_guard<std::mutex> lock(state.mutex);
+  LockGuard lock(state.mutex);
   ++state.stats.cache_refreshes;
   const bool keep_for_rewrite = state.config.cache_write;
   const std::size_t stash_bound =
@@ -746,7 +770,7 @@ void refresh_result_cache(ServiceState& state) {
 void run_job(const std::shared_ptr<ServiceState>& state,
              const std::shared_ptr<EvalJob>& job) {
   {
-    std::unique_lock<std::mutex> lock(job->mutex);
+    UniqueLock lock(job->mutex);
     if (job->status != EvalJob::Status::Queued) return;
     if (state->stopping.load()) {
       job->status = EvalJob::Status::Cancelled;
@@ -790,7 +814,7 @@ void run_job(const std::shared_ptr<ServiceState>& state,
     engine_name = engine == qaoa::EngineKind::Statevector ? "sv" : "tn";
     int attempt = 0;
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      LockGuard lock(state->mutex);
       attempt = job->attempts;
       if (!job->checkpoint.fresh() &&
           job->checkpoint_engine != engine_name) {
@@ -827,7 +851,7 @@ void run_job(const std::shared_ptr<ServiceState>& state,
       if (token->reason() == JobToken::Reason::Checkpoint) {
         // Cadence snapshot: bank the state and keep running on this worker.
         {
-          std::lock_guard<std::mutex> lock(state->mutex);
+          LockGuard lock(state->mutex);
           job->checkpoint = training;
           job->checkpoint_engine = engine_name;
           job->evals_done = slice.evaluations_done;
@@ -841,12 +865,12 @@ void run_job(const std::shared_ptr<ServiceState>& state,
       }
       if (token->reason() == JobToken::Reason::Expire) {
         {
-          std::lock_guard<std::mutex> jlock(job->mutex);
+          LockGuard jlock(job->mutex);
           job->status = EvalJob::Status::Expired;
           job->finished_at = state->now();
         }
         {
-          std::lock_guard<std::mutex> lock(state->mutex);
+          LockGuard lock(state->mutex);
           state->running.erase(job.get());
           job->token.reset();
           job->run_seconds += state->now() - slice_start;
@@ -859,7 +883,7 @@ void run_job(const std::shared_ptr<ServiceState>& state,
       // this worker for whoever the scheduler prefers.
       bool cancelled = false;
       {
-        std::lock_guard<std::mutex> jlock(job->mutex);
+        LockGuard jlock(job->mutex);
         if (state->stopping.load()) {
           job->status = EvalJob::Status::Cancelled;
           job->finished_at = state->now();
@@ -869,7 +893,7 @@ void run_job(const std::shared_ptr<ServiceState>& state,
         }
       }
       {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        LockGuard lock(state->mutex);
         state->running.erase(job.get());
         job->token.reset();
         job->checkpoint = training;
@@ -915,7 +939,7 @@ void run_job(const std::shared_ptr<ServiceState>& state,
   bool retry = false;
   double backoff = 0.0;
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    LockGuard lock(state->mutex);
     state->running.erase(job.get());
     job->token.reset();
     job->run_seconds += slice_seconds;
@@ -990,11 +1014,11 @@ void run_job(const std::shared_ptr<ServiceState>& state,
   }
   if (retry) {
     {
-      std::lock_guard<std::mutex> jlock(job->mutex);
+      LockGuard jlock(job->mutex);
       job->status = EvalJob::Status::Queued;
     }
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      LockGuard lock(state->mutex);
       job->seq = state->next_seq++;
       state->delayed.push_back({state->now() + backoff, job});
     }
@@ -1002,7 +1026,7 @@ void run_job(const std::shared_ptr<ServiceState>& state,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(job->mutex);
+    LockGuard lock(job->mutex);
     job->finished_at = state->now();
     if (failed) {
       job->status = EvalJob::Status::Failed;
@@ -1119,7 +1143,7 @@ const CandidateResult* EvalTicket::wait_for(double timeout_seconds) const {
   const std::shared_ptr<detail::ServiceState>& state = job.service;
   const double wait_deadline =
       timeout_seconds >= 0.0 ? state->now() + timeout_seconds : -1.0;
-  std::unique_lock<std::mutex> lock(job.mutex);
+  UniqueLock lock(job.mutex);
   for (;;) {
     // The abandoned flag is part of the predicate: a concurrent cancel() of
     // a ticket copy must wake and fail a waiter already parked here even
@@ -1168,7 +1192,7 @@ bool EvalTicket::ready() const {
   QARCH_REQUIRE(handle_ != nullptr, "ready() on an empty EvalTicket");
   if (handle_->abandoned.load()) return true;
   detail::EvalJob& job = *handle_->job;
-  std::lock_guard<std::mutex> lock(job.mutex);
+  LockGuard lock(job.mutex);
   return job.status != detail::EvalJob::Status::Queued &&
          job.status != detail::EvalJob::Status::Running;
 }
@@ -1179,7 +1203,7 @@ bool EvalTicket::cancel() {
   const std::shared_ptr<detail::EvalJob>& job = handle_->job;
   bool withdrew_job = false;
   {
-    std::lock_guard<std::mutex> lock(job->mutex);
+    LockGuard lock(job->mutex);
     if (job->status == detail::EvalJob::Status::Running ||
         job->status == detail::EvalJob::Status::Done ||
         job->status == detail::EvalJob::Status::Failed ||
@@ -1210,7 +1234,7 @@ bool EvalTicket::cancelled() const {
 
 bool EvalTicket::expired() const {
   if (handle_ == nullptr) return false;
-  std::lock_guard<std::mutex> lock(handle_->job->mutex);
+  LockGuard lock(handle_->job->mutex);
   return handle_->job->status == detail::EvalJob::Status::Expired;
 }
 
@@ -1225,7 +1249,7 @@ double EvalTicket::submitted_at() const {
 
 double EvalTicket::finished_at() const {
   QARCH_REQUIRE(handle_ != nullptr, "finished_at() on an empty EvalTicket");
-  std::lock_guard<std::mutex> lock(handle_->job->mutex);
+  LockGuard lock(handle_->job->mutex);
   return handle_->job->finished_at;
 }
 
@@ -1237,14 +1261,17 @@ EvalService::EvalService(SessionConfig config)
     : state_(std::make_shared<detail::ServiceState>()),
       pool_(config.workers) {
   state_->config = std::move(config);
-  auto& fallback = state_->clients[0];  // the anonymous-submission queue
-  fallback.name = "default";
-  fallback.weight = 1.0;
+  {
+    LockGuard lock(state_->mutex);
+    auto& fallback = state_->clients[0];  // the anonymous-submission queue
+    fallback.name = "default";
+    fallback.weight = 1.0;
+  }
   if (!state_->config.cache_path.empty() && state_->config.result_cache > 0) {
     const auto entries =
         load_result_cache(state_->config.cache_path,
                           detail::kCacheCodeVersion);
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    LockGuard lock(state_->mutex);
     // A read-only service (cache_write = false) never rewrites the file, so
     // stashing unloadable entries for re-persistence would be dead memory.
     const bool keep_for_rewrite = state_->config.cache_write;
@@ -1296,7 +1323,7 @@ EvalService::EvalService(SessionConfig config)
     auto plans = load_plan_cache(state_->config.plan_cache_path,
                                  detail::kPlanCacheCodeVersion);
     {
-      std::lock_guard<std::mutex> lock(state_->mutex);
+      LockGuard lock(state_->mutex);
       state_->stats.plans_loaded = plans.size();
     }
     state_->plan_cache->merge(std::move(plans));
@@ -1306,7 +1333,7 @@ EvalService::EvalService(SessionConfig config)
     // submit() seeds matching jobs from these, so they resume mid-training.
     auto entries = load_checkpoints(state_->config.checkpoint_path,
                                     detail::kCheckpointCodeVersion);
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    LockGuard lock(state_->mutex);
     for (TrainingCheckpoint& ck : entries) {
       const std::string key =
           detail::result_key(ck.graph_fp, ck.mixer, ck.p,
@@ -1351,7 +1378,7 @@ std::size_t EvalService::save_cache() const {
 std::size_t EvalService::drain(double timeout_seconds) {
   std::size_t parked_before = 0;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    LockGuard lock(state_->mutex);
     parked_before = state_->stats.parked;
   }
   // Stop dispatch (pop_next refuses while draining) and let every running
@@ -1360,19 +1387,22 @@ std::size_t EvalService::drain(double timeout_seconds) {
   state_->draining.store(true);
   state_->sched_cv.notify_all();
   {
-    std::unique_lock<std::mutex> lock(state_->mutex);
-    state_->drain_cv.wait_until(
-        lock,
+    const auto deadline =
         std::chrono::steady_clock::now() +
-            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                std::chrono::duration<double>(std::max(0.0, timeout_seconds))),
-        [&] { return state_->running.empty(); });
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::max(0.0, timeout_seconds)));
+    UniqueLock lock(state_->mutex);
+    while (!state_->running.empty()) {
+      if (state_->drain_cv.wait_until(lock, deadline) ==
+          std::cv_status::timeout)
+        break;
+    }
   }
   // Withdraw everything still queued or delayed — the process is going away;
   // their checkpoints (if any) survive for the next one.
   std::vector<std::shared_ptr<detail::EvalJob>> doomed;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    LockGuard lock(state_->mutex);
     for (auto& client : state_->clients)
       for (auto& entry : client.second.jobs) doomed.push_back(entry.second);
     for (auto& delayed : state_->delayed) doomed.push_back(delayed.job);
@@ -1381,7 +1411,7 @@ std::size_t EvalService::drain(double timeout_seconds) {
   for (const std::shared_ptr<detail::EvalJob>& job : doomed) {
     bool withdrew = false;
     {
-      std::lock_guard<std::mutex> lock(job->mutex);
+      LockGuard lock(job->mutex);
       if (job->status == detail::EvalJob::Status::Queued) {
         job->status = detail::EvalJob::Status::Cancelled;
         job->finished_at = state_->now();
@@ -1397,7 +1427,7 @@ std::size_t EvalService::drain(double timeout_seconds) {
   }
   std::size_t parked_after = 0;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    LockGuard lock(state_->mutex);
     parked_after = state_->stats.parked;
   }
   return parked_after - parked_before;
@@ -1414,7 +1444,7 @@ EvalClient EvalService::register_client(const std::string& name,
   // ANOTHER service — can then never collide with a registered client here,
   // so the documented fallback to the default queue actually holds.
   static std::atomic<std::size_t> next_client_id{1};
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  LockGuard lock(state_->mutex);
   const std::size_t id = next_client_id.fetch_add(1);
   auto& client = state_->clients[id];
   client.name = name;
@@ -1429,7 +1459,7 @@ EvalClient EvalService::register_client(const std::string& name,
 
 EvalClient::~EvalClient() {
   if (!state_) return;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  LockGuard lock(state_->mutex);
   const auto it = state_->clients.find(id_);
   if (it == state_->clients.end()) return;
   if (it->second.jobs.empty())
@@ -1481,7 +1511,7 @@ EvalTicket EvalService::submit(const graph::Graph& g,
     detail::refresh_result_cache(*state_);
 
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    LockGuard lock(state_->mutex);
     ++state_->stats.submitted;
   }
   // Built lazily OUTSIDE the service lock (it deep-copies the graph) and
@@ -1491,7 +1521,7 @@ EvalTicket EvalService::submit(const graph::Graph& g,
     std::shared_ptr<detail::EvalJob> attach;
     bool published = false;
     {
-      std::lock_guard<std::mutex> lock(state_->mutex);
+      LockGuard lock(state_->mutex);
       // 1. Completed-result cache.
       if (const auto it = state_->done_by_key.find(key);
           it != state_->done_by_key.end()) {
@@ -1501,10 +1531,15 @@ EvalTicket EvalService::submit(const graph::Graph& g,
         auto job = std::make_shared<detail::EvalJob>();
         job->key = key;
         job->service = state_;
-        job->status = detail::EvalJob::Status::Done;
-        job->result = it->second->second.result;
-        job->result.from_cache = true;
-        job->submitted_at = job->finished_at = state_->now();
+        {
+          // Unpublished job: the lock is uncontended and exists to make the
+          // guarded writes provable to the thread-safety analysis.
+          LockGuard jlock(job->mutex);
+          job->status = detail::EvalJob::Status::Done;
+          job->result = it->second->second.result;
+          job->result.from_cache = true;
+          job->submitted_at = job->finished_at = state_->now();
+        }
         auto handle = std::make_shared<detail::TicketHandle>();
         handle->submitted_at = job->submitted_at;
         handle->job = std::move(job);
@@ -1558,7 +1593,7 @@ EvalTicket EvalService::submit(const graph::Graph& g,
     if (attach) {
       bool attached = false;
       {
-        std::lock_guard<std::mutex> lock(attach->mutex);
+        LockGuard lock(attach->mutex);
         if (attach->status != detail::EvalJob::Status::Cancelled) {
           ++attach->waiters;
           attached = true;
@@ -1567,7 +1602,7 @@ EvalTicket EvalService::submit(const graph::Graph& g,
       if (!attached) {
         // Lost a cancellation race: drop the stale in-flight entry (the
         // canceller may not have reached it yet) and resubmit fresh.
-        std::lock_guard<std::mutex> lock(state_->mutex);
+        LockGuard lock(state_->mutex);
         const auto it = state_->inflight.find(key);
         if (it != state_->inflight.end() &&
             it->second.lock() == attach)
@@ -1575,7 +1610,7 @@ EvalTicket EvalService::submit(const graph::Graph& g,
         continue;
       }
       {
-        std::lock_guard<std::mutex> lock(state_->mutex);
+        LockGuard lock(state_->mutex);
         ++state_->stats.cache_hits;
       }
       auto handle = std::make_shared<detail::TicketHandle>();
@@ -1661,13 +1696,13 @@ std::vector<CandidateResult> EvalService::collect(
 }
 
 EvalService::Stats EvalService::stats() const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  LockGuard lock(state_->mutex);
   return state_->stats;
 }
 
 std::vector<EvalService::ClientInfo> EvalService::clients() const {
   std::vector<ClientInfo> infos;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  LockGuard lock(state_->mutex);
   infos.reserve(state_->clients.size());
   for (const auto& [id, queue] : state_->clients) {
     if (queue.closed) continue;  // handle destroyed; queue draining out
@@ -1684,7 +1719,7 @@ std::vector<EvalService::ClientInfo> EvalService::clients() const {
 }
 
 std::size_t EvalService::pending() const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  LockGuard lock(state_->mutex);
   std::size_t queued = 0;
   for (const auto& [id, queue] : state_->clients) queued += queue.jobs.size();
   return queued + state_->delayed.size() + state_->running.size();

@@ -94,7 +94,10 @@ struct ResumableEvaluation {
 /// Trains and scores candidate mixers for one fixed graph.
 ///
 /// Thread-safe: evaluate() builds all per-candidate state locally, so one
-/// Evaluator can be shared by every worker of the parallel search.
+/// Evaluator can be shared by every worker of the parallel search. The only
+/// shared mutable state behind evaluate() is the per-(n, p) energy plan
+/// cache in qaoa/energy.cpp, which guards itself with an annotated
+/// qarch::Mutex (tier cache.energyplans, rank 50 in common/lock_order.hpp).
 class Evaluator {
  public:
   Evaluator(const graph::Graph& g, EvaluatorOptions options = {});

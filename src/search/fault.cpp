@@ -117,13 +117,16 @@ FaultInjector& FaultInjector::instance() {
 }
 
 FaultInjector::FaultInjector() {
+  FaultPlan plan;
   if (const char* env = std::getenv("QARCH_FAULT"); env != nullptr && *env)
-    plan_ = parse_fault_plan(env);
+    plan = parse_fault_plan(env);
+  configure(plan);
 }
 
 void FaultInjector::configure(const FaultPlan& plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   plan_ = plan;
+  armed_.store(plan.enabled(), std::memory_order_release);
   failures_ = 0;
   delays_ = 0;
   drops_ = 0;
@@ -137,25 +140,37 @@ void FaultInjector::reset() {
   configure(plan);
 }
 
+FaultPlan FaultInjector::plan() const {
+  LockGuard lock(mutex_);
+  return plan_;
+}
+
 void FaultInjector::on_evaluation(const std::string& key,
                                   std::uint64_t attempt) {
-  if (!plan_.enabled()) return;
-  if (plan_.delay_rate > 0.0 && plan_.delay_seconds > 0.0 &&
-      verdict(key, plan_.seed, attempt, 0x5eedDE1AULL) < plan_.delay_rate) {
+  // Fast path: plan_ is only readable under mutex_ (configure() can swap it
+  // from another thread), but the unset-QARCH_FAULT case must stay one
+  // branch per evaluation — the armed_ atomic carries exactly that bit.
+  if (!armed_.load(std::memory_order_acquire)) return;
+  FaultPlan plan;
+  {
+    LockGuard lock(mutex_);
+    plan = plan_;
+  }
+  if (plan.delay_rate > 0.0 && plan.delay_seconds > 0.0 &&
+      verdict(key, plan.seed, attempt, 0x5eedDE1AULL) < plan.delay_rate) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       ++delays_;
     }
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(plan_.delay_seconds));
+    backoff_sleep(plan.delay_seconds);
   }
-  const bool fail_deterministic = attempt < plan_.fail_first;
+  const bool fail_deterministic = attempt < plan.fail_first;
   const bool fail_seeded =
-      plan_.fail_rate > 0.0 &&
-      verdict(key, plan_.seed, attempt, 0x5eedFA11ULL) < plan_.fail_rate;
+      plan.fail_rate > 0.0 &&
+      verdict(key, plan.seed, attempt, 0x5eedFA11ULL) < plan.fail_rate;
   if (fail_deterministic || fail_seeded) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       ++failures_;
     }
     throw FaultInjected("injected evaluation failure (attempt " +
@@ -164,42 +179,55 @@ void FaultInjector::on_evaluation(const std::string& key,
 }
 
 void FaultInjector::at_point(const char* point) {
-  if (plan_.crash_point.empty()) return;
+  if (!armed_.load(std::memory_order_acquire)) return;
   std::uint64_t visit = 0;
+  std::uint64_t crash_after = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (plan_.crash_point != point) return;
+    LockGuard lock(mutex_);
+    if (plan_.crash_point.empty() || plan_.crash_point != point) return;
     visit = ++point_visits_[plan_.crash_point];
+    crash_after = plan_.crash_after;
   }
   // Simulated SIGKILL: no destructors, no atexit, no flushing — exactly the
   // hole the checkpoint/cache durability work has to survive.
-  if (visit == plan_.crash_after) std::_Exit(137);
+  if (visit == crash_after) std::_Exit(137);
 }
 
 bool FaultInjector::drop_connection(std::uint64_t conn_id) {
-  if (plan_.drop_rate <= 0.0) return false;
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  FaultPlan plan;
+  {
+    LockGuard lock(mutex_);
+    plan = plan_;
+  }
+  if (plan.drop_rate <= 0.0) return false;
   // Same pure (plan, ordinal) discipline as the evaluation verdicts: the
   // Nth accepted connection either always or never drops for a given plan.
-  if (verdict("conn", plan_.seed, conn_id, 0x5eedD509ULL) >= plan_.drop_rate)
+  if (verdict("conn", plan.seed, conn_id, 0x5eedD509ULL) >= plan.drop_rate)
     return false;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   ++drops_;
   return true;
 }
 
 std::uint64_t FaultInjector::injected_failures() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return failures_;
 }
 
 std::uint64_t FaultInjector::injected_delays() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return delays_;
 }
 
 std::uint64_t FaultInjector::dropped_connections() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return drops_;
+}
+
+void backoff_sleep(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 
 }  // namespace qarch::search

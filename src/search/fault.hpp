@@ -35,11 +35,13 @@
 // evaluation, nothing else.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+
+#include "common/annotations.hpp"
 
 namespace qarch::search {
 
@@ -85,7 +87,9 @@ class FaultInjector {
   /// Back to "whatever QARCH_FAULT says" with fresh counters.
   void reset();
 
-  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  /// Snapshot of the active plan (by value: configure() may swap the plan
+  /// concurrently, so handing out a reference would race).
+  [[nodiscard]] FaultPlan plan() const;
 
   /// Call before evaluating `key` for the given 0-based attempt. May sleep
   /// (injected delay) and may throw FaultInjected.
@@ -109,12 +113,23 @@ class FaultInjector {
  private:
   FaultInjector();
 
-  FaultPlan plan_;
-  mutable std::mutex mutex_;
-  std::uint64_t failures_ = 0;
-  std::uint64_t delays_ = 0;
-  std::uint64_t drops_ = 0;
-  std::unordered_map<std::string, std::uint64_t> point_visits_;
+  mutable Mutex mutex_{80, "fault.injector"};
+  /// The active plan. configure()/reset() replace it while workers read it,
+  /// so every read goes through a mutex-held copy; the `armed_` atomic keeps
+  /// the QARCH_FAULT-unset fast path lock-free (one relaxed load).
+  FaultPlan plan_ QARCH_GUARDED_BY(mutex_);
+  std::atomic<bool> armed_{false};
+  std::uint64_t failures_ QARCH_GUARDED_BY(mutex_) = 0;
+  std::uint64_t delays_ QARCH_GUARDED_BY(mutex_) = 0;
+  std::uint64_t drops_ QARCH_GUARDED_BY(mutex_) = 0;
+  std::unordered_map<std::string, std::uint64_t> point_visits_
+      QARCH_GUARDED_BY(mutex_);
 };
+
+/// The sanctioned sleep for retry backoff in src/search / src/server
+/// (tools/qarch_lint.py bans naked sleep_for there so every delay in the
+/// service path stays observable from one place and can be faulted or
+/// virtualized later). Injected fault delays also route through here.
+void backoff_sleep(double seconds);
 
 }  // namespace qarch::search

@@ -1,11 +1,10 @@
 #include "server/client.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
+#include "search/fault.hpp"
 #include "search/report_io.hpp"
 
 namespace qarch::server {
@@ -14,12 +13,12 @@ namespace {
 
 /// Sleep for the k-th retry (0-based): base × 2^k, capped at 2 s so a long
 /// daemon restart costs polling, not minutes of exponential silence.
+/// Routed through search::backoff_sleep — the one sanctioned delay point in
+/// the service path (qarch_lint bans naked sleep_for here).
 void backoff(double base_seconds, int attempt) {
   double delay = base_seconds;
   for (int i = 0; i < attempt; ++i) delay *= 2.0;
-  delay = std::min(delay, 2.0);
-  if (delay > 0.0)
-    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  search::backoff_sleep(std::min(delay, 2.0));
 }
 
 }  // namespace

@@ -4,20 +4,19 @@
 #include <array>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "circuit/optimizer.hpp"
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "graph/extra_generators.hpp"
 #include "graph/generators.hpp"
+#include "parallel/thread.hpp"
 #include "qaoa/ansatz.hpp"
 #include "qaoa/hamiltonian.hpp"
 #include "qaoa/objective.hpp"
@@ -246,23 +245,33 @@ struct QarchServer::Impl {
 
   // -- wire state ------------------------------------------------------------
   std::unique_ptr<TcpListener> listener;
-  std::thread acceptor;
-  std::vector<std::thread> io_threads;
+  parallel::Thread acceptor;
+  std::vector<parallel::Thread> io_threads;
   std::atomic<bool> started{false};
   std::atomic<bool> stopping{false};
   std::atomic<bool> stopped{false};
-  std::mutex conn_mutex;
-  std::condition_variable conn_cv;
-  std::deque<std::pair<Socket, std::uint64_t>> conn_queue;
+  Mutex conn_mutex{12, "server.connqueue"};
+  CondVar conn_cv;
+  std::deque<std::pair<Socket, std::uint64_t>> conn_queue
+      QARCH_GUARDED_BY(conn_mutex);
   std::atomic<std::uint64_t> conn_seq{0};
 
   // -- tenant / ticket state (guarded by mutex) -------------------------------
-  mutable std::mutex mutex;
-  std::map<std::string, Tenant> tenants;  ///< keyed by api key
-  std::unordered_map<std::string, TicketRecord> tickets;
-  std::deque<std::string> ticket_order;  ///< issue order, for eviction
-  std::uint64_t next_ticket = 1;
-  Counters counters;
+  // Tier server.wire, rank 10 in common/lock_order.hpp: held across calls
+  // into the service (service.state, rank 30) and across ticket.ready()
+  // (service.job, rank 40), so it must rank below both.
+  mutable Mutex mutex{10, "server.wire"};
+  /// Keyed by api key. NOT annotated: the map is fixed after construction
+  /// (authenticate() reads it without the lock by design); the mutable
+  /// fields inside each Tenant ARE guarded by `mutex` — a cross-object
+  /// guard the static analysis cannot express.
+  std::map<std::string, Tenant> tenants;
+  std::unordered_map<std::string, TicketRecord> tickets
+      QARCH_GUARDED_BY(mutex);
+  std::deque<std::string> ticket_order
+      QARCH_GUARDED_BY(mutex);  ///< issue order, for eviction
+  std::uint64_t next_ticket QARCH_GUARDED_BY(mutex) = 1;
+  Counters counters QARCH_GUARDED_BY(mutex);
 
   /// Ticket-table ceiling; beyond it the oldest records are forgotten (their
   /// submissions still run — only the wire handle disappears, answered 404).
@@ -270,9 +279,8 @@ struct QarchServer::Impl {
 
   // -- helpers ---------------------------------------------------------------
 
-  /// Drops resolved/evicted ids from a tenant's outstanding list. Caller
-  /// holds `mutex`.
-  void prune_outstanding(Tenant& tenant) {
+  /// Drops resolved/evicted ids from a tenant's outstanding list.
+  void prune_outstanding(Tenant& tenant) QARCH_REQUIRES(mutex) {
     auto resolved = [&](const std::string& id) {
       const auto it = tickets.find(id);
       return it == tickets.end() || it->second.ticket.ready();
@@ -282,8 +290,7 @@ struct QarchServer::Impl {
                              tenant.outstanding.end());
   }
 
-  /// Caller holds `mutex`.
-  void evict_tickets() {
+  void evict_tickets() QARCH_REQUIRES(mutex) {
     while (tickets.size() > kMaxTickets && !ticket_order.empty()) {
       tickets.erase(ticket_order.front());
       ticket_order.pop_front();
@@ -292,7 +299,7 @@ struct QarchServer::Impl {
 
   HttpResponse error_response(int status, const std::string& message) {
     if (status == 400 || status == 413 || status == 431) {
-      std::lock_guard<std::mutex> lock(mutex);
+      LockGuard lock(mutex);
       ++counters.bad_requests;
     }
     return error_body(status, message);
@@ -306,7 +313,7 @@ struct QarchServer::Impl {
       const auto it = tenants.find(header->second);
       if (it != tenants.end()) return &it->second;
     }
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     ++counters.unauthorized;
     return nullptr;
   }
@@ -326,7 +333,7 @@ struct QarchServer::Impl {
   /// otherwise the 429 answer. Runs before any JSON parsing so a
   /// rate-limited tenant must not cost the server parsing either.
   std::optional<HttpResponse> rate_limit(Tenant& tenant) {
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     if (tenant.burst <= 0.0) return std::nullopt;
     const double now = service->now();
     tenant.tokens = std::min(
@@ -398,7 +405,7 @@ struct QarchServer::Impl {
     std::string id;
     search::EvalTicket ticket;
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      LockGuard lock(mutex);
       if (tenant.max_inflight > 0) {
         prune_outstanding(tenant);
         if (tenant.outstanding.size() >= tenant.max_inflight) {
@@ -509,7 +516,7 @@ struct QarchServer::Impl {
       values_json.push_back(ham.classical_value_bits(s));
     }
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      LockGuard lock(mutex);
       ++counters.samples;
     }
     json::Value out = json::Value::object();
@@ -524,7 +531,7 @@ struct QarchServer::Impl {
   /// Looks a ticket up for a tenant; an invalid EvalTicket means 404 —
   /// unknown and foreign tickets are deliberately indistinguishable.
   search::EvalTicket lookup(const Tenant& tenant, const std::string& id) {
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     const auto it = tickets.find(id);
     if (it == tickets.end() || it->second.tenant_key != tenant.spec.api_key)
       return {};
@@ -595,7 +602,7 @@ struct QarchServer::Impl {
     if (!ticket.valid()) return error_body(404, "unknown ticket: " + id);
     const bool cancelled = ticket.cancel();
     if (cancelled) {
-      std::lock_guard<std::mutex> lock(mutex);
+      LockGuard lock(mutex);
       ++counters.cancels;
     }
     json::Value out = json::Value::object();
@@ -624,7 +631,7 @@ struct QarchServer::Impl {
     json::Value wire = json::Value::object();
     Counters snapshot;
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      LockGuard lock(mutex);
       snapshot = counters;
     }
     wire.set("connections", snapshot.connections);
@@ -640,7 +647,7 @@ struct QarchServer::Impl {
 
     json::Value tenants_json = json::Value::array();
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      LockGuard lock(mutex);
       for (auto& [key, tenant] : tenants) {
         (void)key;
         prune_outstanding(tenant);
@@ -741,19 +748,19 @@ struct QarchServer::Impl {
       } catch (const HttpError& e) {
         // Framing is unreliable after a malformed request: answer and close.
         if (e.status() == 400 || e.status() == 413 || e.status() == 431) {
-          std::lock_guard<std::mutex> lock(mutex);
+          LockGuard lock(mutex);
           ++counters.bad_requests;
         }
         write_http_response(conn, error_body(e.status(), e.what()));
         return;
       }
       if (doomed) {
-        std::lock_guard<std::mutex> lock(mutex);
+        LockGuard lock(mutex);
         ++counters.dropped;
         return;
       }
       {
-        std::lock_guard<std::mutex> lock(mutex);
+        LockGuard lock(mutex);
         ++counters.requests;
       }
       const HttpResponse response = dispatch(request);
@@ -777,11 +784,11 @@ struct QarchServer::Impl {
       if (!conn.valid()) continue;
       const std::uint64_t id = ++conn_seq;
       {
-        std::lock_guard<std::mutex> lock(mutex);
+        LockGuard lock(mutex);
         ++counters.connections;
       }
       {
-        std::lock_guard<std::mutex> lock(conn_mutex);
+        LockGuard lock(conn_mutex);
         conn_queue.emplace_back(std::move(conn), id);
       }
       conn_cv.notify_one();
@@ -792,9 +799,8 @@ struct QarchServer::Impl {
     for (;;) {
       std::pair<Socket, std::uint64_t> item;
       {
-        std::unique_lock<std::mutex> lock(conn_mutex);
-        conn_cv.wait(lock,
-                     [&] { return stopping.load() || !conn_queue.empty(); });
+        UniqueLock lock(conn_mutex);
+        while (!stopping.load() && conn_queue.empty()) conn_cv.wait(lock);
         if (conn_queue.empty()) return;  // stopping, queue drained
         item = std::move(conn_queue.front());
         conn_queue.pop_front();
@@ -843,7 +849,7 @@ void QarchServer::start() {
                 "QarchServer needs at least one tenant to serve /v1/*");
   impl_->listener = std::make_unique<TcpListener>(impl_->config.port);
   impl_->started.store(true);
-  impl_->acceptor = std::thread([this] { impl_->accept_loop(); });
+  impl_->acceptor = parallel::Thread([this] { impl_->accept_loop(); });
   const std::size_t n = std::max<std::size_t>(
       1, impl_->config.session.server_io_threads);
   impl_->io_threads.reserve(n);
@@ -857,9 +863,12 @@ void QarchServer::stop(double drain_timeout_seconds) {
   if (impl_->listener) impl_->listener->close();
   if (impl_->acceptor.joinable()) impl_->acceptor.join();
   impl_->conn_cv.notify_all();
-  for (std::thread& t : impl_->io_threads)
+  for (parallel::Thread& t : impl_->io_threads)
     if (t.joinable()) t.join();
-  impl_->conn_queue.clear();  // never-served sockets close here
+  {
+    LockGuard lock(impl_->conn_mutex);
+    impl_->conn_queue.clear();  // never-served sockets close here
+  }
   service_->drain(drain_timeout_seconds);
 }
 
@@ -869,7 +878,7 @@ std::uint16_t QarchServer::port() const {
 }
 
 QarchServer::Counters QarchServer::counters() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  LockGuard lock(impl_->mutex);
   return impl_->counters;
 }
 

@@ -138,6 +138,13 @@ void reset_program_compile_count();
 /// A circuit compiled against fixed structure, replayable for any theta.
 /// Thread-safe after construction: run() binds parameterized coefficients
 /// into locals, so one program may be shared across search workers.
+///
+/// Thread-safety contract: SimProgram owns NO qarch::Mutex — all members
+/// are immutable after the constructor returns, so concurrent run() calls
+/// need no synchronization (the compile counter above is a lone
+/// std::atomic, and per-replay scratch is thread_local). If a future change
+/// adds mutable shared state, it must take an annotated qarch::Mutex with a
+/// rank from common/lock_order.hpp, not a raw std::mutex.
 class SimProgram {
  public:
   explicit SimProgram(const circuit::Circuit& circuit, PlanOptions options = {});

@@ -3,22 +3,52 @@
 
 Walks every *.md outside build directories, extracts [text](target) links,
 and checks that each relative target resolves to an existing file or
-directory. External links (http/https/mailto) are ignored on purpose: this
-job must never flake on network state. Exits non-zero listing every broken
-link so README/doc cross-references stay valid as files move.
+directory. Fragments are validated too: `file.md#section` (and pure
+in-page `#section` anchors) must match a real heading in the target file,
+GitHub-slugified — so cross-references into sections like the
+"Lock hierarchy" tables in src/search/README.md and src/server/README.md
+break loudly when a heading is renamed. External links (http/https/mailto)
+are ignored on purpose: this job must never flake on network state. Exits
+non-zero listing every broken link so README/doc cross-references stay
+valid as files move.
 """
 import re
 import sys
 from pathlib import Path
 
-SKIP_DIRS = {"build", "build-asan", ".git"}
+SKIP_DIRS = {"build", "build-asan", "build-tsan", "build-debug", ".git"}
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """Approximates GitHub's heading-to-anchor slug: strip markdown
+    emphasis/code markers, lowercase, drop punctuation, spaces to hyphens."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # [text](url) -> text
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r" +", "-", text).strip("-")
+
+
+def heading_anchors(md: Path, cache: dict) -> set:
+    if md not in cache:
+        anchors = set()
+        counts = {}
+        for heading in HEADING_RE.findall(md.read_text(encoding="utf-8")):
+            slug = github_slug(heading)
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+        cache[md] = anchors
+    return cache[md]
 
 
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     broken = []
     checked = 0
+    anchor_cache = {}
     for md in sorted(root.rglob("*.md")):
         if any(part in SKIP_DIRS for part in md.relative_to(root).parts):
             continue
@@ -26,19 +56,23 @@ def main() -> int:
         for target in LINK_RE.findall(text):
             if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
                 continue  # http:, https:, mailto:, ...
-            path_part = target.split("#", 1)[0]
-            if not path_part:
-                continue  # pure in-page anchor
+            path_part, _, fragment = target.partition("#")
             checked += 1
-            resolved = (md.parent / path_part).resolve()
+            resolved = (md.parent / path_part).resolve() if path_part else md
             if not resolved.exists():
                 broken.append(f"{md.relative_to(root)}: {target}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in heading_anchors(resolved, anchor_cache):
+                    broken.append(
+                        f"{md.relative_to(root)}: {target} "
+                        f"(no such heading in {resolved.name})")
     if broken:
         print("broken markdown links:")
         for b in broken:
             print(f"  {b}")
         return 1
-    print(f"ok: {checked} relative links resolve")
+    print(f"ok: {checked} relative links and anchors resolve")
     return 0
 
 
